@@ -1,0 +1,63 @@
+//! One benchmark per paper table/figure: each measures regenerating
+//! that result at smoke scale (same code paths as the full
+//! reproduction, scaled-down workload).
+
+// Criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jockey_bench::smoke_env;
+use jockey_experiments::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    let env = smoke_env();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1_cov_of_recurring_jobs", |b| {
+        b.iter(|| figures::table1::run(env))
+    });
+    g.bench_function("fig1_job_dependency_cdfs", |b| {
+        b.iter(|| figures::fig1::run(env))
+    });
+    g.bench_function("table2_job_statistics", |b| {
+        b.iter(|| figures::table2::run(env))
+    });
+    g.bench_function("fig3_plan_graph_rendering", |b| {
+        b.iter(|| figures::fig3::run(env))
+    });
+    g.bench_function("fig4_fig5_policy_sweep", |b| {
+        b.iter(|| figures::sweep::run(env))
+    });
+    g.bench_function("fig6_adaptive_run_traces", |b| {
+        b.iter(|| figures::fig6::run(env))
+    });
+    g.bench_function("table3_inflated_runs", |b| {
+        b.iter(|| figures::table3::run(env))
+    });
+    g.bench_function("fig7_deadline_changes", |b| {
+        b.iter(|| figures::fig7::run(env))
+    });
+    g.bench_function("fig8_prediction_error", |b| {
+        b.iter(|| figures::fig8::run(env))
+    });
+    g.bench_function("fig9_indicator_traces", |b| {
+        b.iter(|| figures::fig9::run(env))
+    });
+    g.bench_function("fig10_indicator_comparison", |b| {
+        b.iter(|| figures::fig10::run(env))
+    });
+    g.bench_function("fig11_sensitivity_ablations", |b| {
+        b.iter(|| figures::fig11::run(env))
+    });
+    g.bench_function("fig12_slack_sweep", |b| {
+        b.iter(|| figures::fig12::run(env))
+    });
+    g.bench_function("fig13_hysteresis_sweep", |b| {
+        b.iter(|| figures::fig13::run(env))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Hot-path kernels: cluster simulation throughput, `C(p, a)` training
+//! and queries, and the per-tick cost of the control loop — the pieces
+//! whose cost determines whether Jockey's offline/online split is
+//! viable (§4.1 argues online simulation would be too slow; these
+//! numbers quantify the claim for this implementation).
+
+// Criterion macros expand to undocumented items.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jockey_bench::smoke_env;
+use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation};
+use jockey_core::control::ControlParams;
+use jockey_core::cpa::{CpaModel, TrainConfig};
+use jockey_core::policy::Policy;
+use jockey_core::progress::{IndicatorContext, ProgressIndicator};
+use jockey_simrt::time::SimDuration;
+use jockey_workloads::jobs::paper_job;
+
+/// Simulate one full execution of a generated job on a dedicated
+/// cluster — the unit of work repeated thousands of times in training.
+fn bench_cluster_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim");
+    g.sample_size(10);
+    for (idx, label) in [(0_usize, "job-A_681_tasks"), (6, "job-G_8496_tasks")] {
+        let job = paper_job(idx, 1);
+        g.bench_with_input(BenchmarkId::new("dedicated_run", label), &job, |b, job| {
+            b.iter(|| {
+                let mut sim = ClusterSim::new(ClusterConfig::dedicated(40), 3);
+                sim.add_job(job.spec.clone(), Box::new(FixedAllocation(40)));
+                sim.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Offline training of a full C(p, a) table for one job.
+fn bench_cpa_training(c: &mut Criterion) {
+    let env = smoke_env();
+    let job = &env.jobs[0];
+    let ctx = job.setup.indicator_context();
+    let mut g = c.benchmark_group("cpa");
+    g.sample_size(10);
+    g.bench_function("train_smoke_job", |b| {
+        b.iter(|| {
+            CpaModel::train(
+                &job.gen.graph,
+                &job.profile,
+                &ctx,
+                &TrainConfig::fast(vec![4, 16, 64]),
+                9,
+            )
+        })
+    });
+    // Online query cost: this is what runs inside the control loop.
+    let model = &job.setup.cpa;
+    g.bench_function("query_remaining", |b| {
+        b.iter(|| model.remaining(std::hint::black_box(0.37), std::hint::black_box(23)))
+    });
+    g.finish();
+}
+
+/// One control-loop tick: progress evaluation plus the allocation scan.
+fn bench_control_tick(c: &mut Criterion) {
+    let env = smoke_env();
+    let job = &env.jobs[0];
+    let n = job.gen.graph.num_stages();
+    let controller = |policy| {
+        job.setup
+            .controller(policy, SimDuration::from_mins(30), ControlParams::default())
+    };
+    let status = jockey_cluster::JobStatus {
+        now: jockey_simrt::time::SimTime::from_mins(5),
+        elapsed: SimDuration::from_mins(5),
+        stage_fraction: vec![0.4; n],
+        stage_completed: vec![1; n],
+        running: 8,
+        running_guaranteed: 8,
+        guarantee: 8,
+        work_done: 100.0,
+        finished: false,
+    };
+    let mut g = c.benchmark_group("control");
+    for (label, policy) in [("tick_cpa_model", Policy::Jockey), ("tick_amdahl_model", Policy::JockeyNoSim)] {
+        let mut ctl = controller(policy);
+        g.bench_function(label, |b| b.iter(|| ctl.tick(std::hint::black_box(&status))));
+    }
+    g.finish();
+}
+
+/// Progress-indicator evaluation (runs every control tick).
+fn bench_indicators(c: &mut Criterion) {
+    let job = paper_job(6, 1); // Job G: 110 stages.
+    let profile = jockey_workloads::recurring::training_profile(&job.spec, 60, 5);
+    let fs: Vec<f64> = (0..job.graph.num_stages())
+        .map(|i| (i % 10) as f64 / 10.0)
+        .collect();
+    let mut g = c.benchmark_group("indicators_110_stages");
+    for kind in ProgressIndicator::ALL {
+        let ctx = IndicatorContext::new(kind, &job.graph, &profile, None);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| ctx.progress(std::hint::black_box(&fs)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_sim,
+    bench_cpa_training,
+    bench_control_tick,
+    bench_indicators
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Shared helpers for the criterion benchmark targets.
+//!
+//! Each paper table/figure has a benchmark in `benches/figures.rs`
+//! that regenerates it at smoke scale; `benches/kernels.rs` measures
+//! the hot paths (cluster simulation, C(p,a) training and queries,
+//! control ticks); `benches/ablations.rs` compares design alternatives
+//! called out in DESIGN.md (progress indicators, prediction models).
+
+use std::sync::OnceLock;
+
+use jockey_experiments::env::{Env, Scale};
+
+/// A process-wide smoke-scale environment, built once and shared by
+/// every benchmark (training is far more expensive than any single
+/// measured iteration).
+pub fn smoke_env() -> &'static Env {
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| Env::build(Scale::Smoke, 42))
+}

@@ -1,0 +1,236 @@
+//! Aggregate background-load model.
+//!
+//! Rather than simulating thousands of co-located jobs individually,
+//! the simulator models their aggregate token demand as a stochastic
+//! utilization process: an Ornstein–Uhlenbeck (mean-reverting) random
+//! walk sampled on a fixed tick, overlaid with Poisson-arriving
+//! *overload events* during which utilization pins at a configured
+//! ceiling. This captures the two phenomena §2.3–§2.4 attribute to
+//! other jobs: fluctuating spare-token availability, and cluster-wide
+//! slowdown under contention.
+
+use crate::config::BackgroundConfig;
+use jockey_simrt::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The evolving background-load state.
+///
+/// Call [`BackgroundModel::advance_to`] before reading; the model
+/// resamples itself on its internal tick.
+#[derive(Clone, Debug)]
+pub struct BackgroundModel {
+    cfg: BackgroundConfig,
+    rng: StdRng,
+    /// Current OU utilization (before overload override).
+    util: f64,
+    /// Time the process last ticked.
+    last_tick: SimTime,
+    /// End of the current overload event, if one is active.
+    overload_until: Option<SimTime>,
+    /// Next scheduled overload arrival.
+    next_overload: SimTime,
+}
+
+impl BackgroundModel {
+    /// Creates the model; `rng` must be a dedicated stream.
+    pub fn new(cfg: BackgroundConfig, mut rng: StdRng) -> Self {
+        let next_overload = if cfg.enabled && cfg.overload_rate_per_hour > 0.0 {
+            SimTime::ZERO + exp_duration(&mut rng, 3600.0 / cfg.overload_rate_per_hour)
+        } else {
+            SimTime::MAX
+        };
+        let util = cfg.mean_util;
+        BackgroundModel {
+            cfg,
+            rng,
+            util,
+            last_tick: SimTime::ZERO,
+            overload_until: None,
+            next_overload,
+        }
+    }
+
+    /// Advances the process to `now`, resampling on each elapsed tick.
+    pub fn advance_to(&mut self, now: SimTime) {
+        if !self.cfg.enabled {
+            return;
+        }
+        // Start/stop overload episodes.
+        while self.next_overload <= now {
+            let dur = exp_duration(
+                &mut self.rng,
+                self.cfg.overload_duration_mins.max(0.01) * 60.0,
+            );
+            let start = self.next_overload;
+            self.overload_until = Some(start + dur);
+            self.next_overload = start
+                + exp_duration(&mut self.rng, 3600.0 / self.cfg.overload_rate_per_hour)
+                + dur;
+        }
+        if let Some(until) = self.overload_until {
+            if now >= until {
+                self.overload_until = None;
+            }
+        }
+        // OU steps on the tick grid.
+        while now.saturating_since(self.last_tick) >= self.cfg.tick {
+            self.last_tick += self.cfg.tick;
+            let noise: f64 = standard_normal(&mut self.rng) * self.cfg.volatility;
+            self.util += self.cfg.reversion * (self.cfg.mean_util - self.util) + noise;
+            self.util = self.util.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Current effective utilization in `[0, 1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if !self.cfg.enabled {
+            return 0.0;
+        }
+        match self.overload_until {
+            Some(until) if now < until => self.cfg.overload_util,
+            _ => self.util,
+        }
+    }
+
+    /// Tokens demanded by background jobs out of `total`.
+    pub fn demand_tokens(&self, now: SimTime, total: u32) -> u32 {
+        (self.utilization(now) * f64::from(total)).round() as u32
+    }
+
+    /// Cluster-wide task slowdown multiplier at `now`:
+    /// `1 + slope * max(0, util - knee)`.
+    pub fn slowdown(&self, now: SimTime) -> f64 {
+        let u = self.utilization(now);
+        1.0 + self.cfg.slowdown_slope * (u - self.cfg.slowdown_knee).max(0.0)
+    }
+
+    /// True while an overload episode is active.
+    pub fn in_overload(&self, now: SimTime) -> bool {
+        matches!(self.overload_until, Some(until) if now < until)
+    }
+
+    /// The process resampling period.
+    pub fn tick(&self) -> SimDuration {
+        self.cfg.tick
+    }
+}
+
+/// Samples an exponential duration with the given mean in seconds.
+fn exp_duration(rng: &mut StdRng, mean_secs: f64) -> SimDuration {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    SimDuration::from_secs_f64(-mean_secs * u.ln())
+}
+
+/// One Box–Muller standard normal draw.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_simrt::rng::SeedDeriver;
+
+    fn rng() -> StdRng {
+        SeedDeriver::new(11).rng("bg")
+    }
+
+    #[test]
+    fn disabled_model_is_silent() {
+        let mut m = BackgroundModel::new(BackgroundConfig::none(), rng());
+        m.advance_to(SimTime::from_mins(60));
+        assert_eq!(m.utilization(SimTime::from_mins(60)), 0.0);
+        assert_eq!(m.demand_tokens(SimTime::from_mins(60), 1000), 0);
+        assert_eq!(m.slowdown(SimTime::from_mins(60)), 1.0);
+    }
+
+    #[test]
+    fn utilization_reverts_to_mean() {
+        let mut cfg = BackgroundConfig::production();
+        cfg.overload_rate_per_hour = 0.0;
+        let mut m = BackgroundModel::new(cfg.clone(), rng());
+        let mut total = 0.0;
+        let mut n = 0;
+        for minute in 1..=600 {
+            let t = SimTime::from_mins(minute);
+            m.advance_to(t);
+            total += m.utilization(t);
+            n += 1;
+        }
+        let avg = total / f64::from(n);
+        assert!((avg - cfg.mean_util).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn utilization_stays_in_bounds() {
+        let mut cfg = BackgroundConfig::production();
+        cfg.volatility = 0.5; // Extreme noise.
+        let mut m = BackgroundModel::new(cfg, rng());
+        for minute in 1..=240 {
+            let t = SimTime::from_mins(minute);
+            m.advance_to(t);
+            let u = m.utilization(t);
+            assert!((0.0..=1.0).contains(&u), "u {u}");
+        }
+    }
+
+    #[test]
+    fn overloads_occur_and_end() {
+        let mut cfg = BackgroundConfig::production();
+        cfg.overload_rate_per_hour = 6.0; // Frequent for the test.
+        cfg.overload_duration_mins = 5.0;
+        let mut m = BackgroundModel::new(cfg.clone(), rng());
+        let mut overloaded_minutes = 0;
+        let mut normal_minutes = 0;
+        for minute in 1..=600 {
+            let t = SimTime::from_mins(minute);
+            m.advance_to(t);
+            if m.in_overload(t) {
+                overloaded_minutes += 1;
+                assert_eq!(m.utilization(t), cfg.overload_util);
+            } else {
+                normal_minutes += 1;
+            }
+        }
+        assert!(overloaded_minutes > 10, "got {overloaded_minutes}");
+        assert!(normal_minutes > 100, "got {normal_minutes}");
+    }
+
+    #[test]
+    fn slowdown_kicks_in_above_knee() {
+        let mut cfg = BackgroundConfig::production();
+        cfg.overload_rate_per_hour = 0.0;
+        cfg.slowdown_knee = 0.0;
+        cfg.slowdown_slope = 2.0;
+        let m = BackgroundModel::new(cfg.clone(), rng());
+        let t = SimTime::ZERO;
+        let expected = 1.0 + 2.0 * m.utilization(t);
+        assert!((m.slowdown(t) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_tokens_scales_with_total() {
+        let mut cfg = BackgroundConfig::production();
+        cfg.overload_rate_per_hour = 0.0;
+        cfg.volatility = 0.0;
+        let m = BackgroundModel::new(cfg, rng());
+        assert_eq!(m.demand_tokens(SimTime::ZERO, 1000), 800);
+        assert_eq!(m.demand_tokens(SimTime::ZERO, 10), 8);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = BackgroundConfig::production();
+        let mut a = BackgroundModel::new(cfg.clone(), rng());
+        let mut b = BackgroundModel::new(cfg, rng());
+        for minute in 1..=120 {
+            let t = SimTime::from_mins(minute);
+            a.advance_to(t);
+            b.advance_to(t);
+            assert_eq!(a.utilization(t), b.utilization(t));
+        }
+    }
+}

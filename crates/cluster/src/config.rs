@@ -1,0 +1,279 @@
+//! Cluster simulator configuration.
+
+use jockey_simrt::time::{SimDuration, SimTime};
+
+/// Background-load process parameters (see [`crate::background`]).
+///
+/// Utilization is modelled as a mean-reverting (Ornstein–Uhlenbeck)
+/// process sampled at a fixed tick, plus Poisson-arriving overload
+/// events that pin utilization near saturation — standing in for the
+/// paper's "higher load on the cluster at that time" episodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackgroundConfig {
+    /// Whether any background load exists at all. `false` gives the
+    /// dedicated-cluster mode used by the offline job simulator.
+    pub enabled: bool,
+    /// Long-run mean utilization of cluster tokens by other jobs
+    /// (the paper's cluster averages 0.8).
+    pub mean_util: f64,
+    /// Standard deviation of the per-tick utilization innovation.
+    pub volatility: f64,
+    /// Mean-reversion rate per tick, in `(0, 1]`.
+    pub reversion: f64,
+    /// Overload events per hour (Poisson arrivals).
+    pub overload_rate_per_hour: f64,
+    /// Mean overload duration in minutes (exponential).
+    pub overload_duration_mins: f64,
+    /// Utilization during an overload event.
+    pub overload_util: f64,
+    /// How often the process is resampled.
+    pub tick: SimDuration,
+    /// Utilization above which task slowdown begins.
+    pub slowdown_knee: f64,
+    /// Slowdown multiplier gained per unit utilization above the knee:
+    /// `slowdown = 1 + slope * max(0, util - knee)`.
+    pub slowdown_slope: f64,
+}
+
+impl BackgroundConfig {
+    /// No background load: a dedicated cluster.
+    pub fn none() -> Self {
+        BackgroundConfig {
+            enabled: false,
+            mean_util: 0.0,
+            volatility: 0.0,
+            reversion: 1.0,
+            overload_rate_per_hour: 0.0,
+            overload_duration_mins: 0.0,
+            overload_util: 0.0,
+            tick: SimDuration::from_secs(30),
+            slowdown_knee: 1.0,
+            slowdown_slope: 0.0,
+        }
+    }
+
+    /// A production-like shared cluster: ~80% mean utilization with
+    /// bursts, occasional overloads, and load-dependent slowdown.
+    pub fn production() -> Self {
+        BackgroundConfig {
+            enabled: true,
+            mean_util: 0.80,
+            volatility: 0.035,
+            reversion: 0.10,
+            overload_rate_per_hour: 0.35,
+            overload_duration_mins: 10.0,
+            overload_util: 1.0,
+            tick: SimDuration::from_secs(30),
+            slowdown_knee: 0.80,
+            slowdown_slope: 2.5,
+        }
+    }
+}
+
+/// Failure-injection parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureConfig {
+    /// If set, overrides each job's own task-failure probability.
+    pub task_failure_prob: Option<f64>,
+    /// Machine failures per hour across the slice of the cluster the
+    /// simulated jobs occupy.
+    pub machine_failure_rate_per_hour: f64,
+    /// Running tasks killed by one machine failure (a machine hosts a
+    /// handful of task slots).
+    pub tasks_per_machine: u32,
+    /// Probability that a machine failure also destroys the output of
+    /// completed tasks in still-incomplete stages, forcing
+    /// recomputation (the costly pre-barrier failure mode).
+    pub data_loss_prob: f64,
+}
+
+impl FailureConfig {
+    /// No failures at all.
+    pub fn none() -> Self {
+        FailureConfig {
+            task_failure_prob: Some(0.0),
+            machine_failure_rate_per_hour: 0.0,
+            tasks_per_machine: 2,
+            data_loss_prob: 0.0,
+        }
+    }
+
+    /// Production-like failure rates: job-specific task failures, about
+    /// one machine failure per four hours affecting the job's slice.
+    pub fn production() -> Self {
+        FailureConfig {
+            task_failure_prob: None,
+            machine_failure_rate_per_hour: 0.25,
+            tasks_per_machine: 2,
+            data_loss_prob: 0.5,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterConfig {
+    /// Optional machine-level placement and locality model
+    /// (disabled = abstract token pool).
+    pub placement: Option<crate::placement::PlacementConfig>,
+    /// Total tokens in the simulated cluster slice (guaranteed +
+    /// spare + background).
+    pub total_tokens: u32,
+    /// Upper bound on any single job's guarantee (the paper's
+    /// experiments cap at 100 tokens).
+    pub max_guarantee: u32,
+    /// Whether unused capacity is redistributed as spare tokens.
+    pub spare_enabled: bool,
+    /// Runtime multiplier for spare-class tasks ("pushed into the
+    /// background during periods of contention").
+    pub spare_slowdown: f64,
+    /// How often each job's controller is invoked.
+    pub control_period: SimDuration,
+    /// Background-load model.
+    pub background: BackgroundConfig,
+    /// Failure injection.
+    pub failures: FailureConfig,
+    /// Hard stop: jobs not finished by then are reported incomplete.
+    pub max_sim_time: SimTime,
+}
+
+impl ClusterConfig {
+    /// A dedicated, failure-free cluster of exactly `tokens` tokens
+    /// with no spare capacity — the configuration of Jockey's offline
+    /// job simulator at allocation `a = tokens`.
+    pub fn dedicated(tokens: u32) -> Self {
+        ClusterConfig {
+            placement: None,
+            total_tokens: tokens,
+            max_guarantee: tokens,
+            spare_enabled: false,
+            spare_slowdown: 1.25,
+            control_period: SimDuration::from_secs(30),
+            background: BackgroundConfig::none(),
+            failures: FailureConfig::none(),
+            max_sim_time: SimTime::from_mins(24 * 60),
+        }
+    }
+
+    /// Like [`ClusterConfig::dedicated`] but with the job's own failure
+    /// probabilities active, matching §4.1's simulator ("restarting
+    /// failed tasks").
+    pub fn dedicated_with_failures(tokens: u32) -> Self {
+        let mut c = Self::dedicated(tokens);
+        c.failures = FailureConfig {
+            task_failure_prob: None,
+            machine_failure_rate_per_hour: 0.0,
+            tasks_per_machine: 2,
+            data_loss_prob: 0.0,
+        };
+        c
+    }
+
+    /// A production-like shared cluster slice: 1000 tokens, 100-token
+    /// per-job guarantee cap, spare capacity, background load and
+    /// failures.
+    pub fn production() -> Self {
+        ClusterConfig {
+            placement: None,
+            total_tokens: 1_000,
+            max_guarantee: 100,
+            spare_enabled: true,
+            spare_slowdown: 1.25,
+            control_period: SimDuration::from_mins(1),
+            background: BackgroundConfig::production(),
+            failures: FailureConfig::production(),
+            max_sim_time: SimTime::from_mins(24 * 60),
+        }
+    }
+
+    /// Validates parameter ranges, returning a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_tokens == 0 {
+            return Err("total_tokens must be positive".into());
+        }
+        if self.max_guarantee == 0 || self.max_guarantee > self.total_tokens {
+            return Err("max_guarantee must be in [1, total_tokens]".into());
+        }
+        if self.spare_slowdown < 1.0 {
+            return Err("spare_slowdown must be >= 1".into());
+        }
+        if self.control_period.is_zero() {
+            return Err("control_period must be positive".into());
+        }
+        let b = &self.background;
+        if b.enabled {
+            if !(0.0..=1.0).contains(&b.mean_util) || !(0.0..=1.0).contains(&b.overload_util) {
+                return Err("background utilizations must be in [0, 1]".into());
+            }
+            if b.tick.is_zero() {
+                return Err("background tick must be positive".into());
+            }
+            if !(0.0..=1.0).contains(&b.reversion) {
+                return Err("reversion must be in [0, 1]".into());
+            }
+        }
+        if let Some(p) = &self.placement {
+            p.validate()?;
+        }
+        let f = &self.failures;
+        if let Some(p) = f.task_failure_prob {
+            if !(0.0..=1.0).contains(&p) {
+                return Err("task_failure_prob must be in [0, 1]".into());
+            }
+        }
+        if !(0.0..=1.0).contains(&f.data_loss_prob) {
+            return Err("data_loss_prob must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert_eq!(ClusterConfig::dedicated(10).validate(), Ok(()));
+        assert_eq!(ClusterConfig::dedicated_with_failures(10).validate(), Ok(()));
+        assert_eq!(ClusterConfig::production().validate(), Ok(()));
+    }
+
+    #[test]
+    fn dedicated_has_no_noise() {
+        let c = ClusterConfig::dedicated(42);
+        assert!(!c.background.enabled);
+        assert!(!c.spare_enabled);
+        assert_eq!(c.failures.task_failure_prob, Some(0.0));
+        assert_eq!(c.total_tokens, 42);
+        assert_eq!(c.max_guarantee, 42);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = ClusterConfig::dedicated(10);
+        c.total_tokens = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::dedicated(10);
+        c.max_guarantee = 11;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::dedicated(10);
+        c.spare_slowdown = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::production();
+        c.background.mean_util = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::production();
+        c.failures.data_loss_prob = -0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::dedicated(10);
+        c.failures.task_failure_prob = Some(2.0);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Machine-level placement and data locality.
+//!
+//! §2.1: "Job data files reside in a distributed file system which is
+//! implemented using the same servers that run tasks" — so a task
+//! scheduled on a machine holding its input reads locally, and one
+//! placed elsewhere pays a network penalty; §3.1 notes tasks "can be
+//! slowed or potentially lose locality". This module adds an optional
+//! machine model to the simulator:
+//!
+//! - each started task is placed on a machine; with probability
+//!   `locality_fraction` the placement is input-local, otherwise its
+//!   runtime is inflated by `remote_penalty`;
+//! - machine-failure events target a *machine*, killing exactly the
+//!   tasks resident there (instead of a random sample).
+//!
+//! Placement is disabled by default ([`PlacementConfig`] is opt-in via
+//! [`crate::config::ClusterConfig::placement`]); the abstract model is
+//! sufficient for the paper's evaluation and keeps its calibration.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Machine-model parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementConfig {
+    /// Machines in the simulated slice (the paper's racks hold ~40).
+    pub machines: u32,
+    /// Probability a task is placed input-local.
+    pub locality_fraction: f64,
+    /// Runtime multiplier for non-local tasks.
+    pub remote_penalty: f64,
+}
+
+impl PlacementConfig {
+    /// A production-like model: a 40-machine slice, 85% of placements
+    /// local, 30% penalty for remote reads.
+    pub fn production() -> Self {
+        PlacementConfig {
+            machines: 40,
+            locality_fraction: 0.85,
+            remote_penalty: 1.3,
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines == 0 {
+            return Err("placement.machines must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.locality_fraction) {
+            return Err("placement.locality_fraction must be in [0, 1]".into());
+        }
+        if self.remote_penalty < 1.0 {
+            return Err("placement.remote_penalty must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Places one task: returns `(machine id, runtime multiplier)`.
+    pub fn place(&self, rng: &mut StdRng) -> (u32, f64) {
+        let machine = rng.gen_range(0..self.machines);
+        let mult = if rng.gen::<f64>() < self.locality_fraction {
+            1.0
+        } else {
+            self.remote_penalty
+        };
+        (machine, mult)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_simrt::rng::SeedDeriver;
+
+    #[test]
+    fn production_validates() {
+        assert_eq!(PlacementConfig::production().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut p = PlacementConfig::production();
+        p.machines = 0;
+        assert!(p.validate().is_err());
+        let mut p = PlacementConfig::production();
+        p.locality_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = PlacementConfig::production();
+        p.remote_penalty = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn placement_respects_locality_fraction() {
+        let cfg = PlacementConfig {
+            machines: 10,
+            locality_fraction: 0.75,
+            remote_penalty: 1.4,
+        };
+        let mut rng = SeedDeriver::new(9).rng("placement");
+        let n = 20_000;
+        let mut local = 0;
+        for _ in 0..n {
+            let (machine, mult) = cfg.place(&mut rng);
+            assert!(machine < 10);
+            assert!(mult == 1.0 || mult == 1.4);
+            if mult == 1.0 {
+                local += 1;
+            }
+        }
+        let frac = f64::from(local) / f64::from(n);
+        assert!((frac - 0.75).abs() < 0.02, "local fraction {frac}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Execution traces recorded during a simulated run.
+//!
+//! A [`RunTrace`] holds the time series needed to reproduce the
+//! paper's run-detail plots (Fig. 6: raw allocation, smoothed
+//! allocation, running vertices, oracle allocation; Fig. 9: progress
+//! and predicted completion) and the allocation metrics of §5.1
+//! (allocation above oracle, total machine-hours).
+
+use jockey_simrt::series::TimeSeries;
+use jockey_simrt::time::SimTime;
+
+/// Time series recorded for one job over one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunTrace {
+    /// The applied (post-hysteresis) token guarantee.
+    pub guarantee: TimeSeries,
+    /// The controller's raw desired allocation, when reported.
+    pub raw_allocation: TimeSeries,
+    /// Number of running tasks (vertices) at each control tick.
+    pub running: TimeSeries,
+    /// Controller progress estimate in `[0, 1]`, when reported.
+    pub progress: TimeSeries,
+    /// Controller predicted completion (seconds from job start), when
+    /// reported.
+    pub predicted_completion: TimeSeries,
+    /// Background utilization observed at each control tick.
+    pub background_util: TimeSeries,
+}
+
+impl RunTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        RunTrace::default()
+    }
+
+    /// Token-seconds of guarantee held up to `end` (the integral of
+    /// the guarantee series).
+    pub fn guarantee_token_seconds(&self, end: SimTime) -> f64 {
+        self.guarantee.integral_until(end)
+    }
+
+    /// Average guarantee over `[first tick, end]`, 0 if empty.
+    pub fn mean_guarantee(&self, end: SimTime) -> f64 {
+        if self.guarantee.is_empty() {
+            return 0.0;
+        }
+        let start = self.guarantee.points()[0].0;
+        let span = end.saturating_since(start).as_secs_f64();
+        if span <= 0.0 {
+            return self.guarantee.last().unwrap_or(0.0);
+        }
+        self.guarantee.integral_until(end) / span
+    }
+
+    /// Fraction of guarantee-seconds in excess of a constant `oracle`
+    /// allocation — the paper's "fraction of allocation above the
+    /// oracle" impact metric (§5.1). Clamped to `[0, 1]`.
+    pub fn fraction_above_oracle(&self, end: SimTime, oracle: u32) -> f64 {
+        let used = self.guarantee_token_seconds(end);
+        if used <= 0.0 {
+            return 0.0;
+        }
+        let start = self.guarantee.points()[0].0;
+        let span = end.saturating_since(start).as_secs_f64();
+        let oracle_seconds = f64::from(oracle) * span;
+        ((used - oracle_seconds) / used).clamp(0.0, 1.0)
+    }
+
+    /// Median of the applied guarantee samples, 0 if empty.
+    pub fn median_guarantee(&self) -> f64 {
+        let v = self.guarantee.values();
+        if v.is_empty() {
+            0.0
+        } else {
+            jockey_simrt::stats::percentile(&v, 50.0)
+        }
+    }
+
+    /// Maximum applied guarantee, 0 if empty.
+    pub fn max_guarantee(&self) -> f64 {
+        self.guarantee.max().unwrap_or(0.0)
+    }
+
+    /// First applied guarantee, 0 if empty.
+    pub fn first_guarantee(&self) -> f64 {
+        self.guarantee.points().first().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Last applied guarantee, 0 if empty.
+    pub fn last_guarantee(&self) -> f64 {
+        self.guarantee.last().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_simrt::time::SimTime;
+
+    fn trace() -> RunTrace {
+        let mut t = RunTrace::new();
+        t.guarantee.push(SimTime::ZERO, 10.0);
+        t.guarantee.push(SimTime::from_mins(10), 30.0);
+        t
+    }
+
+    #[test]
+    fn token_seconds_integrates() {
+        let t = trace();
+        let end = SimTime::from_mins(20);
+        assert_eq!(t.guarantee_token_seconds(end), 10.0 * 600.0 + 30.0 * 600.0);
+        assert_eq!(t.mean_guarantee(end), 20.0);
+    }
+
+    #[test]
+    fn fraction_above_oracle_matches_hand_calc() {
+        let t = trace();
+        let end = SimTime::from_mins(20);
+        // Used = 24000 token-s; oracle 10 tokens over 1200 s = 12000.
+        assert!((t.fraction_above_oracle(end, 10) - 0.5).abs() < 1e-12);
+        // Oracle above usage clamps to zero.
+        assert_eq!(t.fraction_above_oracle(end, 100), 0.0);
+    }
+
+    #[test]
+    fn summary_accessors() {
+        let t = trace();
+        assert_eq!(t.first_guarantee(), 10.0);
+        assert_eq!(t.last_guarantee(), 30.0);
+        assert_eq!(t.max_guarantee(), 30.0);
+        assert_eq!(t.median_guarantee(), 20.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zeroes() {
+        let t = RunTrace::new();
+        assert_eq!(t.mean_guarantee(SimTime::from_mins(1)), 0.0);
+        assert_eq!(t.fraction_above_oracle(SimTime::from_mins(1), 5), 0.0);
+        assert_eq!(t.median_guarantee(), 0.0);
+    }
+}

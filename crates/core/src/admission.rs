@@ -1,0 +1,238 @@
+//! SLO admission control: "does this job fit?" (§1).
+//!
+//! "Jockey's job model can be used to check whether a newly submitted
+//! job would 'fit' in the cluster – that is, that all previously
+//! accepted SLO jobs would still be able to meet their deadlines –
+//! before permitting it to run." This module implements that check as a
+//! token reservation ledger: each admitted SLO job reserves the minimum
+//! allocation whose slack-inflated fresh prediction meets its deadline;
+//! a new job is admitted only if the total reservation stays within the
+//! SLO capacity.
+
+use crate::cpa::CpaModel;
+use jockey_simrt::time::SimDuration;
+use std::fmt;
+
+/// Why a job was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// No allocation in the model's grid meets the deadline even on a
+    /// dedicated cluster — the deadline is infeasible (§2.2: it cannot
+    /// be shorter than the critical path).
+    Infeasible,
+    /// Admitting the job would over-commit the SLO capacity.
+    InsufficientCapacity {
+        /// Tokens the new job needs.
+        required: u32,
+        /// Tokens currently unreserved.
+        available: u32,
+    },
+    /// A job with this name is already admitted.
+    DuplicateName,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Infeasible => write!(f, "deadline infeasible at any allocation"),
+            AdmissionError::InsufficientCapacity { required, available } => write!(
+                f,
+                "needs {required} guaranteed tokens but only {available} are unreserved"
+            ),
+            AdmissionError::DuplicateName => write!(f, "job already admitted"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// One admitted job's reservation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Job name.
+    pub name: String,
+    /// Reserved guaranteed tokens.
+    pub tokens: u32,
+}
+
+/// A token-reservation admission controller over a fixed SLO capacity.
+///
+/// # Examples
+///
+/// ```no_run
+/// use jockey_core::admission::AdmissionController;
+/// use jockey_core::cpa::CpaModel;
+/// use jockey_simrt::time::SimDuration;
+///
+/// fn demo(model: &CpaModel) {
+///     let mut ac = AdmissionController::new(100);
+///     let tokens = ac
+///         .try_admit("hourly-report", model, SimDuration::from_mins(60), 1.2)
+///         .unwrap();
+///     assert!(tokens <= 100);
+///     ac.release("hourly-report");
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionController {
+    capacity: u32,
+    admitted: Vec<Reservation>,
+}
+
+impl AdmissionController {
+    /// Creates a controller managing `capacity` guaranteed tokens.
+    pub fn new(capacity: u32) -> Self {
+        AdmissionController {
+            capacity,
+            admitted: Vec::new(),
+        }
+    }
+
+    /// Total capacity under management.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Tokens currently reserved by admitted jobs.
+    pub fn reserved(&self) -> u32 {
+        self.admitted.iter().map(|r| r.tokens).sum()
+    }
+
+    /// Tokens still unreserved.
+    pub fn available(&self) -> u32 {
+        self.capacity.saturating_sub(self.reserved())
+    }
+
+    /// The current reservations.
+    pub fn admitted(&self) -> &[Reservation] {
+        &self.admitted
+    }
+
+    /// Attempts to admit a job: sizes its reservation from the model
+    /// and deadline, and reserves it if it fits. Returns the reserved
+    /// token count.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Infeasible`] when no allocation meets the
+    /// deadline, [`AdmissionError::InsufficientCapacity`] when the
+    /// cluster cannot hold the reservation, and
+    /// [`AdmissionError::DuplicateName`] on name reuse.
+    pub fn try_admit(
+        &mut self,
+        name: &str,
+        model: &CpaModel,
+        deadline: SimDuration,
+        slack: f64,
+    ) -> Result<u32, AdmissionError> {
+        if self.admitted.iter().any(|r| r.name == name) {
+            return Err(AdmissionError::DuplicateName);
+        }
+        let required = model
+            .min_allocation_for_deadline(deadline, slack)
+            .ok_or(AdmissionError::Infeasible)?;
+        let available = self.available();
+        if required > available {
+            return Err(AdmissionError::InsufficientCapacity { required, available });
+        }
+        self.admitted.push(Reservation {
+            name: name.to_string(),
+            tokens: required,
+        });
+        Ok(required)
+    }
+
+    /// Releases a job's reservation (at completion). Returns the freed
+    /// tokens, or `None` if the job was not admitted.
+    pub fn release(&mut self, name: &str) -> Option<u32> {
+        let idx = self.admitted.iter().position(|r| r.name == name)?;
+        Some(self.admitted.remove(idx).tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::{IndicatorContext, ProgressIndicator};
+    use crate::TrainConfig;
+    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+    use std::sync::Arc;
+
+    fn model() -> CpaModel {
+        let mut b = JobGraphBuilder::new("adm");
+        let m = b.stage("map", 12);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
+        sim.add_job(spec, Box::new(FixedAllocation(6)));
+        let profile = sim.run().remove(0).profile;
+        let ctx =
+            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        CpaModel::train(&graph, &profile, &ctx, &TrainConfig::fast(vec![2, 4, 8]), 42)
+    }
+
+    #[test]
+    fn admits_until_capacity_then_rejects() {
+        let m = model();
+        let d = SimDuration::from_secs(120);
+        let mut ac = AdmissionController::new(8);
+        let first = ac.try_admit("a", &m, d, 1.0).unwrap();
+        assert!(first >= 1);
+        // Keep admitting identical jobs until capacity runs out.
+        let mut names = Vec::new();
+        for i in 0.. {
+            let name = format!("job{i}");
+            match ac.try_admit(&name, &m, d, 1.0) {
+                Ok(_) => names.push(name),
+                Err(AdmissionError::InsufficientCapacity { required, available }) => {
+                    assert!(required > available);
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(ac.reserved() <= ac.capacity());
+        assert!(!names.is_empty());
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let m = model();
+        let mut ac = AdmissionController::new(100);
+        assert_eq!(
+            ac.try_admit("x", &m, SimDuration::from_secs(1), 1.0),
+            Err(AdmissionError::Infeasible)
+        );
+        assert_eq!(ac.reserved(), 0);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_and_release_frees() {
+        let m = model();
+        let d = SimDuration::from_secs(120);
+        let mut ac = AdmissionController::new(16);
+        let t = ac.try_admit("a", &m, d, 1.0).unwrap();
+        assert_eq!(
+            ac.try_admit("a", &m, d, 1.0),
+            Err(AdmissionError::DuplicateName)
+        );
+        assert_eq!(ac.release("a"), Some(t));
+        assert_eq!(ac.release("a"), None);
+        assert_eq!(ac.reserved(), 0);
+        // Re-admission after release succeeds.
+        assert!(ac.try_admit("a", &m, d, 1.0).is_ok());
+    }
+
+    #[test]
+    fn tighter_deadlines_reserve_more() {
+        let m = model();
+        let mut ac = AdmissionController::new(100);
+        let loose = ac.try_admit("loose", &m, SimDuration::from_secs(300), 1.0).unwrap();
+        let tight = ac.try_admit("tight", &m, SimDuration::from_secs(70), 1.0).unwrap();
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+}

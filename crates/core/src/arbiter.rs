@@ -1,0 +1,454 @@
+//! A prototype multi-job arbiter (§4.4's future work).
+//!
+//! "We plan to extend Jockey to reach globally optimal allocations when
+//! managing multiple SLO-bound jobs. Doing so requires an additional
+//! inter-job arbiter that dynamically shifts resources from jobs with
+//! low expected marginal utility to those with high expected marginal
+//! utility." This module implements the natural greedy version: starting
+//! from each job's minimum, repeatedly grant one token to the job whose
+//! expected utility improves the most, until the budget is exhausted or
+//! no job benefits.
+
+use std::sync::Arc;
+
+use crate::predict::CompletionModel;
+use crate::utility::UtilityFunction;
+
+/// One job's state as seen by the arbiter.
+#[derive(Clone)]
+pub struct ArbiterJob {
+    /// Completion model (typically a trained [`crate::cpa::CpaModel`]).
+    pub model: Arc<dyn CompletionModel>,
+    /// The job's utility function.
+    pub utility: UtilityFunction,
+    /// Current progress (from the job's indicator).
+    pub progress: f64,
+    /// Per-stage completion fractions (for Amdahl-style models).
+    pub stage_fraction: Vec<f64>,
+    /// Seconds since the job started.
+    pub elapsed_secs: f64,
+    /// Prediction slack multiplier.
+    pub slack: f64,
+}
+
+impl ArbiterJob {
+    fn utility_at(&self, allocation: u32) -> f64 {
+        let remaining = self.slack
+            * self
+                .model
+                .remaining_secs(&self.stage_fraction, self.progress, allocation);
+        self.utility.eval(self.elapsed_secs + remaining)
+    }
+}
+
+/// Greedily splits `budget` tokens across `jobs` by marginal utility.
+///
+/// Every job receives at least one token. Remaining tokens go one at a
+/// time to the job with the highest marginal utility gain; allocation
+/// stops early when no job's utility improves by more than `1e-12`
+/// (granting tokens that help nobody would only hurt the rest of the
+/// cluster). Each job is also capped at its model's
+/// [`CompletionModel::max_allocation`].
+///
+/// Returns the per-job allocations, in input order.
+///
+/// # Panics
+///
+/// Panics if `budget < jobs.len()` (cannot give everyone a token) and
+/// `jobs` is non-empty.
+pub fn arbitrate(jobs: &[ArbiterJob], budget: u32) -> Vec<u32> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    assert!(
+        budget as usize >= jobs.len(),
+        "budget {budget} below job count {}",
+        jobs.len()
+    );
+    let mut alloc: Vec<u32> = vec![1; jobs.len()];
+    let mut remaining = budget - jobs.len() as u32;
+    let mut current_u: Vec<f64> = jobs
+        .iter()
+        .zip(&alloc)
+        .map(|(j, &a)| j.utility_at(a))
+        .collect();
+
+    while remaining > 0 {
+        // Find the job with the best marginal gain for one more token.
+        let mut best: Option<(usize, f64, f64)> = None; // (job, gain, new_u)
+        for (i, job) in jobs.iter().enumerate() {
+            if alloc[i] >= job.model.max_allocation() {
+                continue;
+            }
+            let u_next = job.utility_at(alloc[i] + 1);
+            let gain = u_next - current_u[i];
+            if best.is_none_or(|(_, g, _)| gain > g) {
+                best = Some((i, gain, u_next));
+            }
+        }
+        match best {
+            Some((i, gain, u_next)) if gain > 1e-12 => {
+                alloc[i] += 1;
+                current_u[i] = u_next;
+                remaining -= 1;
+            }
+            _ => break,
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_simrt::time::SimDuration;
+
+    /// remaining = work * (1 - progress) / a.
+    struct Toy {
+        work: f64,
+    }
+
+    impl CompletionModel for Toy {
+        fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+            self.work * (1.0 - progress) / f64::from(allocation.max(1))
+        }
+        fn max_allocation(&self) -> u32 {
+            100
+        }
+    }
+
+    fn job(work: f64, deadline_mins: u64, progress: f64, elapsed_secs: f64) -> ArbiterJob {
+        ArbiterJob {
+            model: Arc::new(Toy { work }),
+            utility: UtilityFunction::deadline(SimDuration::from_mins(deadline_mins)),
+            progress,
+            stage_fraction: vec![],
+            elapsed_secs,
+            slack: 1.0,
+        }
+    }
+
+    #[test]
+    fn tight_deadline_wins_tokens() {
+        // Same work; one job has half the time left.
+        let jobs = [job(36_000.0, 60, 0.0, 0.0), job(36_000.0, 120, 0.0, 0.0)];
+        let alloc = arbitrate(&jobs, 20);
+        assert!(alloc.iter().sum::<u32>() <= 20);
+        assert!(alloc[0] > alloc[1], "{alloc:?}");
+        // The tight job needs 10 tokens (36000/3600) to be on time.
+        assert!(alloc[0] >= 10, "{alloc:?}");
+    }
+
+    #[test]
+    fn stops_when_no_marginal_gain() {
+        // Tiny jobs: one token each already maximizes utility.
+        let jobs = [job(60.0, 60, 0.0, 0.0), job(60.0, 60, 0.0, 0.0)];
+        let alloc = arbitrate(&jobs, 50);
+        assert_eq!(alloc, vec![1, 1]);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let jobs = [
+            job(100_000.0, 30, 0.0, 0.0),
+            job(100_000.0, 30, 0.0, 0.0),
+            job(100_000.0, 30, 0.0, 0.0),
+        ];
+        let alloc = arbitrate(&jobs, 10);
+        assert_eq!(alloc.iter().sum::<u32>(), 10);
+    }
+
+    #[test]
+    fn progressed_jobs_release_demand() {
+        let jobs = [job(36_000.0, 60, 0.9, 600.0), job(36_000.0, 60, 0.0, 600.0)];
+        let alloc = arbitrate(&jobs, 20);
+        assert!(alloc[1] > alloc[0], "{alloc:?}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(arbitrate(&[], 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn budget_below_job_count_panics() {
+        let jobs = [job(1.0, 60, 0.0, 0.0), job(1.0, 60, 0.0, 0.0)];
+        arbitrate(&jobs, 1);
+    }
+}
+
+use jockey_cluster::{ControlDecision, JobController, JobStatus};
+use jockey_simrt::time::SimDuration;
+use std::sync::Mutex;
+
+use crate::progress::IndicatorContext;
+
+/// Per-job state tracked by a [`SharedArbiter`].
+struct Slot {
+    model: Arc<dyn CompletionModel>,
+    utility: UtilityFunction,
+    slack: f64,
+    progress: f64,
+    stage_fraction: Vec<f64>,
+    elapsed_secs: f64,
+    finished: bool,
+}
+
+/// A live inter-job arbiter (§4.4): concurrent SLO jobs register
+/// against one token budget; each control tick, the ticking job
+/// refreshes its state and the greedy marginal-utility split
+/// ([`arbitrate`]) decides its guarantee from the latest view of every
+/// job. Decentralized — each job's controller runs independently but
+/// shares the arbiter — so no global scheduler loop is needed.
+pub struct SharedArbiter {
+    budget: u32,
+    slots: Mutex<Vec<Slot>>,
+}
+
+impl SharedArbiter {
+    /// Creates an arbiter managing `budget` guaranteed tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new(budget: u32) -> Arc<Self> {
+        assert!(budget > 0);
+        Arc::new(SharedArbiter {
+            budget,
+            slots: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Registers a job, returning its controller. `slack` is the
+    /// prediction multiplier applied inside the arbitration.
+    pub fn register(
+        self: &Arc<Self>,
+        model: Arc<dyn CompletionModel>,
+        indicator: IndicatorContext,
+        utility: UtilityFunction,
+        slack: f64,
+    ) -> ArbitratedController {
+        let mut slots = self.slots.lock().expect("arbiter poisoned");
+        let n = indicator_stage_count(&indicator);
+        slots.push(Slot {
+            model,
+            utility,
+            slack,
+            progress: 0.0,
+            stage_fraction: vec![0.0; n],
+            elapsed_secs: 0.0,
+            finished: false,
+        });
+        ArbitratedController {
+            arbiter: self.clone(),
+            slot: slots.len() - 1,
+            indicator,
+            smoothed: None,
+        }
+    }
+
+    /// Updates one slot and recomputes the ticking job's share.
+    fn tick_slot(&self, slot: usize, progress: f64, status: &JobStatus) -> u32 {
+        let mut slots = self.slots.lock().expect("arbiter poisoned");
+        {
+            let s = &mut slots[slot];
+            s.progress = progress;
+            s.stage_fraction = status.stage_fraction.clone();
+            s.elapsed_secs = status.elapsed.as_secs_f64();
+            s.finished = status.finished;
+        }
+        // Arbitrate across unfinished jobs with the latest view.
+        let active: Vec<usize> = (0..slots.len()).filter(|&i| !slots[i].finished).collect();
+        if active.is_empty() || !active.contains(&slot) {
+            return 1;
+        }
+        let jobs: Vec<ArbiterJob> = active
+            .iter()
+            .map(|&i| {
+                let s = &slots[i];
+                ArbiterJob {
+                    model: s.model.clone(),
+                    utility: s.utility.clone(),
+                    progress: s.progress,
+                    stage_fraction: s.stage_fraction.clone(),
+                    elapsed_secs: s.elapsed_secs,
+                    slack: s.slack,
+                }
+            })
+            .collect();
+        let budget = self.budget.max(active.len() as u32);
+        let alloc = arbitrate(&jobs, budget);
+        let pos = active.iter().position(|&i| i == slot).expect("slot active");
+        alloc[pos]
+    }
+
+    fn set_deadline(&self, slot: usize, new_deadline: SimDuration) {
+        let mut slots = self.slots.lock().expect("arbiter poisoned");
+        slots[slot].utility = slots[slot].utility.with_deadline(new_deadline);
+    }
+}
+
+/// Number of stages an indicator context expects (derived by probing
+/// with an empty-progress vector would panic; contexts remember their
+/// stage count via the weights vector length).
+fn indicator_stage_count(ctx: &IndicatorContext) -> usize {
+    ctx.stage_count()
+}
+
+/// A per-job controller backed by a [`SharedArbiter`].
+///
+/// The raw greedy split is smoothed with the same hysteresis the §4.3
+/// control loop uses (α = 0.3 here): without it, jobs with near-equal
+/// marginal utilities would swap tokens every tick, and each swing
+/// demotes or evicts running tasks in the cluster.
+pub struct ArbitratedController {
+    arbiter: Arc<SharedArbiter>,
+    slot: usize,
+    indicator: IndicatorContext,
+    smoothed: Option<f64>,
+}
+
+/// Hysteresis coefficient applied to the arbiter's raw shares.
+const ARBITER_HYSTERESIS: f64 = 0.3;
+
+impl JobController for ArbitratedController {
+    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+        let p = self.indicator.progress(&status.stage_fraction);
+        let raw = self.arbiter.tick_slot(self.slot, p, status);
+        let next = match self.smoothed {
+            None => f64::from(raw),
+            Some(cur) => cur + ARBITER_HYSTERESIS * (f64::from(raw) - cur),
+        };
+        self.smoothed = Some(next);
+        ControlDecision {
+            guarantee: (next.ceil() as u32).max(1),
+            raw: Some(f64::from(raw)),
+            progress: Some(p),
+            predicted_completion: None,
+        }
+    }
+
+    fn deadline_changed(&mut self, new_deadline: SimDuration) {
+        self.arbiter.set_deadline(self.slot, new_deadline);
+        // A new SLO is a fresh sizing problem (same as JockeyController).
+        self.smoothed = None;
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+    use crate::cpa::{CpaModel, TrainConfig};
+    use crate::progress::{IndicatorContext, ProgressIndicator};
+    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+    use jockey_simrt::time::SimDuration;
+
+    fn trained_job(seed: u64) -> (Arc<jockey_jobgraph::JobGraph>, jockey_jobgraph::JobProfile) {
+        let mut b = JobGraphBuilder::new(format!("arb-{seed}"));
+        let m = b.stage("map", 24);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph.clone(), Constant(20.0), Constant(0.5), 0.0);
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), seed);
+        sim.add_job(spec, Box::new(FixedAllocation(6)));
+        (graph.clone(), sim.run().remove(0).profile)
+    }
+
+    #[test]
+    fn two_arbitrated_jobs_share_a_budget_and_meet_deadlines() {
+        let (g1, p1) = trained_job(1);
+        let (g2, p2) = trained_job(2);
+        let ctx1 = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &g1, &p1, None);
+        let ctx2 = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &g2, &p2, None);
+        let cfg = TrainConfig::fast(vec![1, 2, 4, 8, 12]);
+        let m1 = Arc::new(CpaModel::train(&g1, &p1, &ctx1, &cfg, 3));
+        let m2 = Arc::new(CpaModel::train(&g2, &p2, &ctx2, &cfg, 4));
+
+        // Tight deadline for job 1, loose for job 2.
+        let d1 = SimDuration::from_secs_f64(m1.fresh_latency(12) * 1.6);
+        let d2 = SimDuration::from_secs_f64(m2.fresh_latency(12) * 5.0);
+
+        let arbiter = SharedArbiter::new(12);
+        let c1 = arbiter.register(
+            m1.clone() as Arc<dyn CompletionModel>,
+            ctx1,
+            UtilityFunction::deadline(d1),
+            1.2,
+        );
+        let c2 = arbiter.register(
+            m2.clone() as Arc<dyn CompletionModel>,
+            ctx2,
+            UtilityFunction::deadline(d2),
+            1.2,
+        );
+
+        let mut cluster = ClusterConfig::dedicated(12);
+        cluster.max_guarantee = 12;
+        cluster.control_period = SimDuration::from_secs(15);
+        let mut sim = ClusterSim::new(cluster, 9);
+        let i1 = sim.add_job(
+            JobSpec::from_profile(g1.clone(), &p1),
+            Box::new(c1),
+        );
+        let i2 = sim.add_job(
+            JobSpec::from_profile(g2.clone(), &p2),
+            Box::new(c2),
+        );
+        let results = sim.run();
+        let l1 = results[i1].duration().expect("job 1 finished");
+        let l2 = results[i2].duration().expect("job 2 finished");
+        assert!(l1 <= d1, "tight job missed: {l1:?} vs {d1:?}");
+        assert!(l2 <= d2, "loose job missed: {l2:?} vs {d2:?}");
+        // The tight job got the larger share while both ran.
+        assert!(
+            results[i1].trace.median_guarantee() >= results[i2].trace.median_guarantee(),
+            "tight {} vs loose {}",
+            results[i1].trace.median_guarantee(),
+            results[i2].trace.median_guarantee()
+        );
+        // Combined medians stay within the arbiter's budget.
+        assert!(
+            results[i1].trace.median_guarantee() + results[i2].trace.median_guarantee()
+                <= 12.0 + 1e-9
+        );
+    }
+
+    #[test]
+    fn finished_jobs_release_their_share() {
+        let (g, p) = trained_job(5);
+        let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &g, &p, None);
+        let cfg = TrainConfig::fast(vec![1, 2, 4, 8]);
+        let m = Arc::new(CpaModel::train(&g, &p, &ctx, &cfg, 6));
+        let arbiter = SharedArbiter::new(8);
+        let mut a = arbiter.register(
+            m.clone() as Arc<dyn CompletionModel>,
+            ctx.clone(),
+            UtilityFunction::deadline(SimDuration::from_mins(10)),
+            1.2,
+        );
+        let _b = arbiter.register(
+            m as Arc<dyn CompletionModel>,
+            ctx,
+            UtilityFunction::deadline(SimDuration::from_mins(10)),
+            1.2,
+        );
+        // Drive job A to "finished" and check its share collapses.
+        let status = jockey_cluster::JobStatus {
+            now: jockey_simrt::time::SimTime::from_mins(5),
+            elapsed: SimDuration::from_mins(5),
+            stage_fraction: vec![1.0, 1.0],
+            stage_completed: vec![24, 2],
+            running: 0,
+            running_guaranteed: 0,
+            guarantee: 4,
+            work_done: 0.0,
+            finished: true,
+        };
+        let d = a.tick(&status);
+        assert_eq!(d.guarantee, 1, "finished job should hold no budget");
+    }
+}

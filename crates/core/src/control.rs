@@ -1,0 +1,495 @@
+//! The resource-allocation control loop (§4.3).
+//!
+//! Each control period the loop:
+//!
+//! 1. computes job progress `p` with its progress indicator;
+//! 2. evaluates, for every candidate allocation `a`, the expected
+//!    utility `U_a = U(t_r + S·C(p, a))` — predictions inflated by the
+//!    **slack** factor `S` and the utility **shifted left by the dead
+//!    zone** `D`;
+//! 3. picks the *minimum* allocation maximizing utility,
+//!    `A^r = argmin_a {a : U_a = max_b U_b}`;
+//! 4. conditions the raw allocation: **increases** are applied only
+//!    when the job is at least `D` behind schedule (predicted, at the
+//!    current allocation, to miss the shifted deadline) — decreases
+//!    (releasing over-provisioned tokens, Fig. 6(c)) are always
+//!    allowed; and **hysteresis** smooths the move:
+//!    `A^s_t = A^s_{t−1} + α (A^r − A^s_{t−1})`.
+
+use std::sync::Arc;
+
+use jockey_cluster::{ControlDecision, JobController, JobStatus};
+use jockey_simrt::time::SimDuration;
+
+use crate::predict::CompletionModel;
+use crate::progress::IndicatorContext;
+use crate::utility::UtilityFunction;
+
+/// Control-loop conditioning parameters (§4.3's three mechanisms).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlParams {
+    /// Prediction multiplier `S` compensating for model error
+    /// (default 1.2).
+    pub slack: f64,
+    /// Hysteresis coefficient `α ∈ (0, 1]`; 1.0 disables smoothing
+    /// (default 0.2).
+    pub hysteresis: f64,
+    /// Dead zone `D` (default 3 minutes).
+    pub dead_zone: SimDuration,
+    /// Lower bound on the applied guarantee.
+    pub min_allocation: u32,
+}
+
+impl Default for ControlParams {
+    fn default() -> Self {
+        ControlParams {
+            slack: 1.2,
+            hysteresis: 0.2,
+            dead_zone: SimDuration::from_mins(3),
+            min_allocation: 1,
+        }
+    }
+}
+
+impl ControlParams {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values.
+    pub fn validate(&self) {
+        assert!(self.slack >= 1.0, "slack must be >= 1, got {}", self.slack);
+        assert!(
+            self.hysteresis > 0.0 && self.hysteresis <= 1.0,
+            "hysteresis must be in (0, 1], got {}",
+            self.hysteresis
+        );
+        assert!(self.min_allocation >= 1);
+    }
+}
+
+/// Jockey's adaptive controller: a completion model (simulator-trained
+/// `C(p, a)` or Amdahl) driven through the §4.3 control policy.
+pub struct JockeyController {
+    model: Arc<dyn CompletionModel>,
+    indicator: IndicatorContext,
+    utility: UtilityFunction,
+    shifted_utility: UtilityFunction,
+    params: ControlParams,
+    /// `A^s`, the smoothed allocation; `None` before the first decision
+    /// (the first decision jumps straight to the raw allocation).
+    smoothed: Option<f64>,
+}
+
+impl JockeyController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid [`ControlParams`].
+    pub fn new(
+        model: Arc<dyn CompletionModel>,
+        indicator: IndicatorContext,
+        utility: UtilityFunction,
+        params: ControlParams,
+    ) -> Self {
+        params.validate();
+        let shifted_utility = utility.shifted_left(params.dead_zone);
+        JockeyController {
+            model,
+            indicator,
+            utility,
+            shifted_utility,
+            params,
+            smoothed: None,
+        }
+    }
+
+    /// The raw allocation `A^r`: the minimum allocation maximizing
+    /// expected utility at progress `p` and elapsed time `t_r`.
+    pub fn raw_allocation(&self, fs: &[f64], progress: f64, elapsed_secs: f64) -> u32 {
+        let max = self.model.max_allocation();
+        let mut best_u = f64::NEG_INFINITY;
+        let mut best_a = max;
+        // Ascending scan: the *first* allocation achieving the maximum
+        // utility (within epsilon) is the minimal one.
+        for a in self.params.min_allocation..=max {
+            let remaining = self.params.slack * self.model.remaining_secs(fs, progress, a);
+            let u = self.shifted_utility.eval(elapsed_secs + remaining);
+            if u > best_u + 1e-9 {
+                best_u = u;
+                best_a = a;
+            }
+        }
+        best_a
+    }
+
+    /// True when the job is at least `D` behind schedule: predicted, at
+    /// allocation `current`, to finish past the dead-zone-shifted
+    /// deadline.
+    fn behind_schedule(&self, fs: &[f64], progress: f64, elapsed_secs: f64, current: u32) -> bool {
+        let Some(deadline) = self.utility.deadline_duration() else {
+            // No deadline encoded: no dead-zone gating.
+            return true;
+        };
+        let remaining = self.params.slack * self.model.remaining_secs(fs, progress, current);
+        elapsed_secs + remaining
+            > deadline.as_secs_f64() - self.params.dead_zone.as_secs_f64()
+    }
+
+    /// True when the job is at least `D` *ahead* of the (already
+    /// dead-zone-shifted) schedule at allocation `current` — the
+    /// symmetric half of the dead zone: resources are released only
+    /// with real margin in hand, so a late straggler or overload does
+    /// not turn a release into a miss.
+    fn ahead_of_schedule(&self, fs: &[f64], progress: f64, elapsed_secs: f64, current: u32) -> bool {
+        let Some(deadline) = self.utility.deadline_duration() else {
+            return true;
+        };
+        let remaining = self.params.slack * self.model.remaining_secs(fs, progress, current);
+        elapsed_secs + remaining
+            <= deadline.as_secs_f64() - 2.0 * self.params.dead_zone.as_secs_f64()
+    }
+
+    /// The slack factor currently in force.
+    pub fn params(&self) -> &ControlParams {
+        &self.params
+    }
+}
+
+impl JobController for JockeyController {
+    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+        if status.finished {
+            let g = self.params.min_allocation;
+            return ControlDecision::simple(g);
+        }
+        let fs = &status.stage_fraction;
+        let p = self.indicator.progress(fs);
+        let tr = status.elapsed.as_secs_f64();
+        let raw = self.raw_allocation(fs, p, tr);
+
+        let next = match self.smoothed {
+            // First decision: adopt the raw allocation outright — this
+            // is the pessimistic initial sizing of §1.
+            None => f64::from(raw),
+            Some(cur) => {
+                let cur_alloc = (cur.round() as u32).max(self.params.min_allocation);
+                let target = if f64::from(raw) > cur {
+                    // Dead zone: only chase increases when behind.
+                    if self.behind_schedule(fs, p, tr, cur_alloc) {
+                        f64::from(raw)
+                    } else {
+                        cur
+                    }
+                } else if f64::from(raw) < cur {
+                    // Symmetric dead zone: only release when ahead.
+                    if self.ahead_of_schedule(fs, p, tr, cur_alloc) {
+                        f64::from(raw)
+                    } else {
+                        cur
+                    }
+                } else {
+                    cur
+                };
+                cur + self.params.hysteresis * (target - cur)
+            }
+        };
+        self.smoothed = Some(next);
+        let guarantee = (next.ceil() as u32).max(self.params.min_allocation);
+
+        let predicted =
+            tr + self.model.remaining_secs(fs, p, guarantee.max(self.params.min_allocation));
+        ControlDecision {
+            guarantee,
+            raw: Some(f64::from(raw)),
+            progress: Some(p),
+            predicted_completion: Some(predicted),
+        }
+    }
+
+    fn deadline_changed(&mut self, new_deadline: SimDuration) {
+        self.utility = self.utility.with_deadline(new_deadline);
+        self.shifted_utility = self.utility.shifted_left(self.params.dead_zone);
+        // A new SLO is a fresh sizing problem: the next decision jumps
+        // straight to the raw allocation (as at job admission) instead
+        // of chasing it through the hysteresis filter — a halved
+        // deadline cannot afford a multi-period ramp, and a relaxed one
+        // should release its over-provision immediately (§5.2 reports
+        // 63–83% released on doubling/tripling).
+        self.smoothed = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::{IndicatorContext, ProgressIndicator};
+    use jockey_simrt::time::SimTime;
+
+    /// A transparent analytic model: remaining = (1 - progress) * work / a.
+    struct ToyModel {
+        work: f64,
+        max: u32,
+    }
+
+    impl CompletionModel for ToyModel {
+        fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+            (1.0 - progress) * self.work / f64::from(allocation.max(1))
+        }
+        fn max_allocation(&self) -> u32 {
+            self.max
+        }
+    }
+
+    fn indicator() -> IndicatorContext {
+        // Single-stage fixture.
+        let mut b = jockey_jobgraph::graph::JobGraphBuilder::new("toy");
+        b.stage("only", 10);
+        let g = b.build().unwrap();
+        let mut pb = jockey_jobgraph::profile::ProfileBuilder::new(&g);
+        for _ in 0..10 {
+            pb.record_task(jockey_jobgraph::StageId(0), 1.0, 10.0, false);
+        }
+        let p = pb.finish(100.0, 1.0);
+        IndicatorContext::new(ProgressIndicator::VertexFrac, &g, &p, None)
+    }
+
+    fn status(frac: f64, elapsed_mins: f64, guarantee: u32) -> JobStatus {
+        JobStatus {
+            now: SimTime::from_secs_f64(elapsed_mins * 60.0),
+            elapsed: SimDuration::from_secs_f64(elapsed_mins * 60.0),
+            stage_fraction: vec![frac],
+            stage_completed: vec![(frac * 10.0) as u32],
+            running: guarantee,
+            running_guaranteed: guarantee,
+            guarantee,
+            work_done: frac * 100.0,
+            finished: frac >= 1.0,
+        }
+    }
+
+    fn controller(work: f64, deadline_mins: u64, params: ControlParams) -> JockeyController {
+        JockeyController::new(
+            Arc::new(ToyModel { work, max: 100 }),
+            indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(deadline_mins)),
+            params,
+        )
+    }
+
+    #[test]
+    fn raw_allocation_is_minimal_deadline_meeting() {
+        // 6000 s of work, 60-min deadline (3600 s), slack 1.0, dead
+        // zone 0: need ceil(6000/3600) = 2 tokens.
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let c = controller(6_000.0, 60, params);
+        assert_eq!(c.raw_allocation(&[0.0], 0.0, 0.0), 2);
+        // With slack 1.5: 9000/3600 -> 3.
+        let c = controller(6_000.0, 60, ControlParams { slack: 1.5, ..params });
+        assert_eq!(c.raw_allocation(&[0.0], 0.0, 0.0), 3);
+    }
+
+    #[test]
+    fn first_tick_jumps_to_raw() {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 0.2,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let mut c = controller(6_000.0, 60, params);
+        let d = c.tick(&status(0.0, 0.0, 0));
+        assert_eq!(d.guarantee, 2);
+        assert_eq!(d.raw, Some(2.0));
+        assert_eq!(d.progress, Some(0.0));
+    }
+
+    #[test]
+    fn hysteresis_smooths_increases() {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 0.5,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let mut c = controller(6_000.0, 60, params);
+        c.tick(&status(0.0, 0.0, 0)); // smoothed = 2.
+        // 30 minutes in, no progress: need 6000/1800 = 4 raw; smoothed
+        // moves halfway from 2 to 4 = 3.
+        let d = c.tick(&status(0.0, 30.0, 2));
+        assert_eq!(d.raw, Some(4.0));
+        assert_eq!(d.guarantee, 3);
+    }
+
+    #[test]
+    fn behind_schedule_jobs_get_more_tokens() {
+        let mut c = controller(6_000.0, 60, ControlParams::default());
+        let first = c.tick(&status(0.0, 0.0, 0)).guarantee;
+        // Halfway to deadline with only 10% done: well behind.
+        let later = c.tick(&status(0.1, 30.0, first)).guarantee;
+        assert!(later > first, "{later} vs {first}");
+    }
+
+    #[test]
+    fn ahead_of_schedule_jobs_release_tokens() {
+        let mut c = controller(6_000.0, 60, ControlParams::default());
+        let first = c.tick(&status(0.0, 0.0, 0)).guarantee;
+        // 90% done after 10 minutes: way ahead; raw collapses.
+        let later = c.tick(&status(0.9, 10.0, first)).guarantee;
+        assert!(later <= first, "{later} vs {first}");
+        let even_later = c.tick(&status(0.95, 12.0, later)).guarantee;
+        assert!(even_later <= later);
+    }
+
+    #[test]
+    fn dead_zone_tightens_effective_deadline() {
+        // 3100 s of work against a 60-min deadline: 1 token meets the
+        // raw deadline (3100 < 3600) but not a 50-min shifted one
+        // (3100 > 3000), so a 10-minute dead zone asks for 2 tokens.
+        let without = controller(
+            3_100.0,
+            60,
+            ControlParams {
+                slack: 1.0,
+                hysteresis: 1.0,
+                dead_zone: SimDuration::ZERO,
+                min_allocation: 1,
+            },
+        );
+        let with = controller(
+            3_100.0,
+            60,
+            ControlParams {
+                slack: 1.0,
+                hysteresis: 1.0,
+                dead_zone: SimDuration::from_mins(10),
+                min_allocation: 1,
+            },
+        );
+        assert_eq!(without.raw_allocation(&[0.0], 0.0, 0.0), 1);
+        assert_eq!(with.raw_allocation(&[0.0], 0.0, 0.0), 2);
+    }
+
+    #[test]
+    fn dead_zone_gate_blocks_increases_when_on_schedule() {
+        // A model whose raw allocation can exceed the current one even
+        // while the current allocation is on schedule: remaining time
+        // is flat in `a` below 10 tokens, so the argmin lands high when
+        // the tail begins to matter, but the current small allocation
+        // already meets the shifted deadline.
+        struct Step;
+        impl CompletionModel for Step {
+            fn remaining_secs(&self, _fs: &[f64], progress: f64, a: u32) -> f64 {
+                let base = (1.0 - progress) * 2_000.0;
+                if a >= 10 {
+                    base * 0.5
+                } else {
+                    base
+                }
+            }
+            fn max_allocation(&self) -> u32 {
+                100
+            }
+        }
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::from_mins(3),
+            min_allocation: 1,
+        };
+        let mut c = JockeyController::new(
+            Arc::new(Step),
+            indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            params,
+        );
+        // First decision adopts the raw allocation (1: 2000 s meets the
+        // 57-minute shifted deadline at any allocation).
+        let g0 = c.tick(&status(0.0, 0.0, 0)).guarantee;
+        assert_eq!(g0, 1);
+        // Still on schedule later: no escalation.
+        let g1 = c.tick(&status(0.5, 10.0, g0)).guarantee;
+        assert_eq!(g1, 1);
+    }
+
+    #[test]
+    fn impossible_deadline_pushes_to_max() {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let mut c = controller(1_000_000.0, 60, params);
+        let d = c.tick(&status(0.0, 0.0, 0));
+        // No allocation meets the deadline; utility still improves with
+        // earlier completion, so the loop escalates to the cap.
+        assert_eq!(d.guarantee, 100);
+    }
+
+    #[test]
+    fn deadline_change_triggers_reallocation() {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let mut c = controller(6_000.0, 60, params);
+        let before = c.tick(&status(0.0, 0.0, 0)).guarantee;
+        c.deadline_changed(SimDuration::from_mins(30));
+        let after = c.tick(&status(0.0, 1.0, before)).guarantee;
+        assert!(after > before, "{after} vs {before}");
+        // Relaxing the deadline releases resources again.
+        c.deadline_changed(SimDuration::from_mins(120));
+        let relaxed = c.tick(&status(0.1, 2.0, after)).guarantee;
+        assert!(relaxed < after);
+    }
+
+    #[test]
+    fn finished_job_releases_to_minimum() {
+        let mut c = controller(6_000.0, 60, ControlParams::default());
+        c.tick(&status(0.0, 0.0, 0));
+        let d = c.tick(&status(1.0, 20.0, 5));
+        assert_eq!(d.guarantee, 1);
+    }
+
+    #[test]
+    fn predicted_completion_is_reported() {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let mut c = controller(6_000.0, 60, params);
+        let d = c.tick(&status(0.0, 0.0, 0));
+        // 2 tokens -> 3000 s predicted completion.
+        assert_eq!(d.predicted_completion, Some(3_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "slack")]
+    fn rejects_sub_one_slack() {
+        ControlParams {
+            slack: 0.9,
+            ..ControlParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn rejects_zero_hysteresis() {
+        ControlParams {
+            hysteresis: 0.0,
+            ..ControlParams::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,590 @@
+//! The `C(p, a)` completion-time model and its offline training
+//! pipeline (§4.1).
+//!
+//! `C(p, a)` is a random variable: the remaining time to complete the
+//! job when it has made progress `p` and holds `a` tokens. The paper
+//! estimates its distribution by *repeatedly simulating the job* at
+//! each allocation in a grid: a run at allocation `a` finishing at time
+//! `T` contributes, for every sampled instant `t`, one observation
+//! `(p_t, T − t)`. At runtime the control loop only queries the
+//! precomputed table, so no simulation happens on the critical path.
+//!
+//! Because "we care about the worst-case completion time" (§5.3), the
+//! model answers queries at a configurable high percentile (default
+//! p95) of the samples in a cell, interpolating linearly between grid
+//! allocations. This built-in pessimism is what lets Jockey
+//! "over-allocate resources at the start to compensate for potential
+//! future failures" (§1).
+
+use std::sync::{Arc, Mutex};
+
+use jockey_cluster::{ClusterConfig, ClusterSim, ControlDecision, JobController, JobSpec, JobStatus};
+use jockey_jobgraph::graph::JobGraph;
+use jockey_jobgraph::profile::JobProfile;
+use jockey_simrt::rng::SeedDeriver;
+use jockey_simrt::time::{SimDuration, SimTime};
+
+use crate::predict::CompletionModel;
+use crate::progress::IndicatorContext;
+
+/// Offline training configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Token allocations to simulate (ascending).
+    pub allocations: Vec<u32>,
+    /// Independent simulated runs per allocation.
+    pub runs_per_allocation: usize,
+    /// How often progress is sampled during each simulated run.
+    pub sample_period: SimDuration,
+    /// Number of progress buckets in `[0, 1]`.
+    pub progress_bins: usize,
+    /// Percentile (0–100) reported by queries; high values encode the
+    /// paper's worst-case pessimism.
+    pub percentile: f64,
+    /// Simulation horizon per training run.
+    pub max_sim_time: SimTime,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        // The grid reaches down to single tokens: the control loop
+        // releases resources toward the *minimum* utility-maximizing
+        // allocation, so the model must know how slow the job's tail
+        // really is at tiny allocations.
+        TrainConfig {
+            allocations: [1, 2, 5]
+                .into_iter()
+                .chain((1..=10).map(|i| i * 10))
+                .collect(),
+            runs_per_allocation: 10,
+            sample_period: SimDuration::from_secs(30),
+            progress_bins: 100,
+            percentile: 95.0,
+            max_sim_time: SimTime::from_mins(24 * 60),
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A cheap configuration for tests: few allocations, few runs.
+    /// Include small allocations so release decisions stay informed.
+    pub fn fast(allocations: Vec<u32>) -> Self {
+        TrainConfig {
+            allocations,
+            runs_per_allocation: 4,
+            sample_period: SimDuration::from_secs(15),
+            progress_bins: 50,
+            percentile: 90.0,
+            max_sim_time: SimTime::from_mins(12 * 60),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(!self.allocations.is_empty(), "allocation grid empty");
+        assert!(
+            self.allocations.windows(2).all(|w| w[0] < w[1]),
+            "allocation grid must be strictly ascending"
+        );
+        assert!(self.allocations[0] >= 1);
+        assert!(self.runs_per_allocation >= 1);
+        assert!(self.progress_bins >= 2);
+        assert!((50.0..=100.0).contains(&self.percentile));
+        assert!(!self.sample_period.is_zero());
+    }
+}
+
+/// A controller that applies a fixed allocation and records `(elapsed,
+/// f_s)` snapshots at every control tick — the instrumentation used to
+/// harvest `C(p, a)` samples from training runs.
+/// One harvested snapshot: elapsed seconds plus per-stage fractions.
+type ProgressSample = (f64, Vec<f64>);
+
+struct RecordingController {
+    allocation: u32,
+    samples: Arc<Mutex<Vec<ProgressSample>>>,
+}
+
+impl JobController for RecordingController {
+    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+        self.samples
+            .lock()
+            .expect("sampler mutex poisoned")
+            .push((status.elapsed.as_secs_f64(), status.stage_fraction.clone()));
+        ControlDecision::simple(self.allocation)
+    }
+}
+
+/// The trained `C(p, a)` table.
+#[derive(Clone, Debug)]
+pub struct CpaModel {
+    allocations: Vec<u32>,
+    bins: usize,
+    percentile: f64,
+    /// `cells[alloc_idx][bin]`: ascending-sorted remaining-time samples.
+    cells: Vec<Vec<Vec<f64>>>,
+}
+
+impl CpaModel {
+    /// Trains the model by simulating `profile` (replayed through
+    /// `spec`'s graph) at every allocation in the grid, indexing
+    /// progress with `indicator`.
+    ///
+    /// Training is deterministic in `seed` and parallelized across the
+    /// allocation grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`TrainConfig`].
+    pub fn train(
+        graph: &Arc<JobGraph>,
+        profile: &JobProfile,
+        indicator: &IndicatorContext,
+        cfg: &TrainConfig,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        let seeds = SeedDeriver::new(seed).child("cpa-train");
+        let spec = JobSpec::from_profile(graph.clone(), profile);
+
+        // One training shard per allocation, run in parallel. Each
+        // shard's RNG seeds derive from (allocation index, run index),
+        // so results are independent of thread scheduling.
+        let mut cells: Vec<Vec<Vec<f64>>> = Vec::with_capacity(cfg.allocations.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cfg
+                .allocations
+                .iter()
+                .enumerate()
+                .map(|(ai, &alloc)| {
+                    let spec = spec.clone();
+                    let seeds = seeds.child_indexed("alloc", ai as u64);
+                    scope.spawn(move || {
+                        train_one_allocation(spec, indicator, alloc, cfg, seeds)
+                    })
+                })
+                .collect();
+            for h in handles {
+                cells.push(h.join().expect("training shard panicked"));
+            }
+        });
+
+        for alloc_cells in &mut cells {
+            for cell in alloc_cells.iter_mut() {
+                cell.sort_by(f64::total_cmp);
+            }
+        }
+        CpaModel {
+            allocations: cfg.allocations.clone(),
+            bins: cfg.progress_bins,
+            percentile: cfg.percentile,
+            cells,
+        }
+    }
+
+    /// The allocation grid the model was trained on.
+    pub fn allocations(&self) -> &[u32] {
+        &self.allocations
+    }
+
+    /// The percentile used by [`CpaModel::remaining`] queries.
+    pub fn percentile(&self) -> f64 {
+        self.percentile
+    }
+
+    /// Total number of stored samples (diagnostics).
+    pub fn sample_count(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|a| a.iter().map(Vec::len))
+            .sum()
+    }
+
+    fn bin_of(&self, p: f64) -> usize {
+        (((p.clamp(0.0, 1.0)) * self.bins as f64) as usize).min(self.bins - 1)
+    }
+
+    /// The remaining-time estimate at a single grid allocation index,
+    /// searching outward from the progress bin for the nearest
+    /// non-empty cell.
+    fn remaining_at_grid(&self, ai: usize, bin: usize, percentile: f64) -> f64 {
+        let cells = &self.cells[ai];
+        // Search outward: prefer the queried bin, then neighbors.
+        for d in 0..self.bins {
+            let candidates = [bin.checked_sub(d), bin.checked_add(d).filter(|&b| b < self.bins)];
+            for b in candidates.into_iter().flatten() {
+                if !cells[b].is_empty() {
+                    return jockey_simrt::stats::percentile_sorted(&cells[b], percentile);
+                }
+            }
+        }
+        // No samples at this allocation at all: treat it as unusably
+        // slow, never as instantaneous.
+        f64::INFINITY
+    }
+
+    /// `C(p, a)` at the model's configured percentile, linearly
+    /// interpolated between grid allocations and clamped to the grid's
+    /// endpoints outside it.
+    pub fn remaining(&self, progress: f64, allocation: u32) -> f64 {
+        self.remaining_percentile(progress, allocation, self.percentile)
+    }
+
+    /// `C(p, a)` at an explicit percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is outside `[0, 100]`.
+    pub fn remaining_percentile(&self, progress: f64, allocation: u32, percentile: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&percentile));
+        let bin = self.bin_of(progress);
+        let grid = &self.allocations;
+        if allocation <= grid[0] {
+            return self.remaining_at_grid(0, bin, percentile);
+        }
+        if allocation >= *grid.last().expect("non-empty grid") {
+            return self.remaining_at_grid(grid.len() - 1, bin, percentile);
+        }
+        // Find surrounding grid points.
+        let hi = grid.partition_point(|&g| g < allocation);
+        let lo = hi - 1;
+        let (ga, gb) = (grid[lo], grid[hi]);
+        if ga == allocation {
+            return self.remaining_at_grid(lo, bin, percentile);
+        }
+        let va = self.remaining_at_grid(lo, bin, percentile);
+        let vb = self.remaining_at_grid(hi, bin, percentile);
+        let w = f64::from(allocation - ga) / f64::from(gb - ga);
+        va + (vb - va) * w
+    }
+
+    /// Estimated full-job latency at allocation `a` (progress 0) — the
+    /// quantity used for a-priori sizing and feasibility checks.
+    pub fn fresh_latency(&self, allocation: u32) -> f64 {
+        self.remaining(0.0, allocation)
+    }
+
+    /// The smallest allocation whose (pessimistic) fresh latency with
+    /// multiplier `slack` meets `deadline`, if any does.
+    pub fn min_allocation_for_deadline(&self, deadline: SimDuration, slack: f64) -> Option<u32> {
+        let d = deadline.as_secs_f64();
+        let max = *self.allocations.last().expect("non-empty grid");
+        (1..=max).find(|&a| self.fresh_latency(a) * slack <= d)
+    }
+
+    /// Serializes the trained table to a [`jockey_simrt::table::KvStore`],
+    /// so models can be trained once and shipped alongside job profiles.
+    pub fn to_kv(&self) -> jockey_simrt::table::KvStore {
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set_u64("bins", self.bins as u64);
+        kv.set_f64("percentile", self.percentile);
+        kv.set_f64_list(
+            "allocations",
+            &self.allocations.iter().map(|&a| f64::from(a)).collect::<Vec<_>>(),
+        );
+        for (ai, alloc_cells) in self.cells.iter().enumerate() {
+            for (bin, cell) in alloc_cells.iter().enumerate() {
+                if !cell.is_empty() {
+                    kv.set_f64_list(&format!("cell.{ai}.{bin}"), cell);
+                }
+            }
+        }
+        kv
+    }
+
+    /// Deserializes a table written by [`CpaModel::to_kv`]. Returns
+    /// `None` on missing or malformed keys.
+    pub fn from_kv(kv: &jockey_simrt::table::KvStore) -> Option<CpaModel> {
+        let bins = kv.get_u64("bins")? as usize;
+        let percentile = kv.get_f64("percentile")?;
+        let allocations: Vec<u32> = kv
+            .get_f64_list("allocations")?
+            .into_iter()
+            .map(|a| a as u32)
+            .collect();
+        if bins == 0 || allocations.is_empty() {
+            return None;
+        }
+        let mut cells = vec![vec![Vec::new(); bins]; allocations.len()];
+        for key in kv.keys() {
+            if let Some(rest) = key.strip_prefix("cell.") {
+                let (ai, bin) = rest.split_once('.')?;
+                let ai: usize = ai.parse().ok()?;
+                let bin: usize = bin.parse().ok()?;
+                if ai >= allocations.len() || bin >= bins {
+                    return None;
+                }
+                cells[ai][bin] = kv.get_f64_list(key)?;
+            }
+        }
+        Some(CpaModel {
+            allocations,
+            bins,
+            percentile,
+            cells,
+        })
+    }
+}
+
+impl CompletionModel for CpaModel {
+    fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+        self.remaining(progress, allocation)
+    }
+
+    fn max_allocation(&self) -> u32 {
+        *self.allocations.last().expect("non-empty grid")
+    }
+}
+
+/// Simulates every training run for one allocation and buckets the
+/// harvested samples.
+fn train_one_allocation(
+    spec: JobSpec,
+    indicator: &IndicatorContext,
+    allocation: u32,
+    cfg: &TrainConfig,
+    seeds: SeedDeriver,
+) -> Vec<Vec<f64>> {
+    let mut cells: Vec<Vec<f64>> = vec![Vec::new(); cfg.progress_bins];
+    for run in 0..cfg.runs_per_allocation {
+        let samples = Arc::new(Mutex::new(Vec::new()));
+        let controller = RecordingController {
+            allocation,
+            samples: samples.clone(),
+        };
+        let mut sim_cfg = ClusterConfig::dedicated_with_failures(allocation);
+        sim_cfg.control_period = cfg.sample_period;
+        sim_cfg.max_sim_time = cfg.max_sim_time;
+        let mut sim = ClusterSim::new(sim_cfg, seeds.seed_indexed("run", run as u64));
+        sim.add_job(spec.clone(), Box::new(controller));
+        let result = sim.run().remove(0);
+        // A run that hit the simulation horizon is censored: its true
+        // completion is *at least* the horizon. Using the horizon as
+        // the completion time yields pessimistic-but-finite samples, so
+        // starved allocations read as "very slow" rather than leaving
+        // empty cells that would be misread as "instant".
+        let total = match result.duration() {
+            Some(d) => d.as_secs_f64(),
+            None => cfg.max_sim_time.as_secs_f64(),
+        };
+        let recorded = samples.lock().expect("sampler mutex poisoned");
+        for (t, fs) in recorded.iter() {
+            let p = indicator.progress(fs);
+            let bin = (((p.clamp(0.0, 1.0)) * cfg.progress_bins as f64) as usize)
+                .min(cfg.progress_bins - 1);
+            cells[bin].push((total - t).max(0.0));
+        }
+        // Completion itself: zero remaining at full progress (only for
+        // runs that actually completed).
+        if result.duration().is_some() {
+            cells[cfg.progress_bins - 1].push(0.0);
+        }
+    }
+    cells
+}
+
+/// Runs the job once on an effectively unconstrained cluster and
+/// returns the relative stage windows — the `minstage-inf` indicator's
+/// inputs ("a simulation of the job with no constraint on resources",
+/// §5.4).
+pub fn unconstrained_rel_windows(
+    graph: &Arc<JobGraph>,
+    profile: &JobProfile,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    let tokens = u32::try_from(graph.total_tasks()).unwrap_or(u32::MAX).max(1);
+    let spec = JobSpec::from_profile(graph.clone(), profile);
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(tokens), seed);
+    sim.add_job(spec, Box::new(jockey_cluster::FixedAllocation(tokens)));
+    let result = sim.run().remove(0);
+    result
+        .profile
+        .stages
+        .iter()
+        .map(|s| (s.rel_start, s.rel_end))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::ProgressIndicator;
+    use jockey_cluster::FixedAllocation;
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+
+    /// map(12 x 10 s) --barrier--> reduce(2 x 20 s), deterministic.
+    fn fixture() -> (Arc<JobGraph>, JobProfile) {
+        let mut b = JobGraphBuilder::new("train-me");
+        let m = b.stage("map", 12);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        // Produce a profile by actually running the job once.
+        let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
+        sim.add_job(spec, Box::new(FixedAllocation(6)));
+        let profile = sim.run().remove(0).profile;
+        (graph, profile)
+    }
+
+    fn model(graph: &Arc<JobGraph>, profile: &JobProfile) -> (CpaModel, IndicatorContext) {
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, graph, profile, None);
+        let cfg = TrainConfig::fast(vec![2, 4, 8]);
+        let m = CpaModel::train(graph, profile, &ind, &cfg, 42);
+        (m, ind)
+    }
+
+    #[test]
+    fn trained_model_has_samples_and_monotone_allocations() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        assert!(m.sample_count() > 20);
+        let at = |a| m.fresh_latency(a);
+        assert!(at(2) > at(4), "2 tokens {} vs 4 tokens {}", at(2), at(4));
+        assert!(at(4) > at(8), "4 tokens {} vs 8 tokens {}", at(4), at(8));
+    }
+
+    #[test]
+    fn fresh_latency_approximates_true_runtime() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        // True latency at 4 tokens: 3 map waves (30s+q) + 1 reduce wave
+        // (20s+q) ≈ 52 s. The p90 estimate should be within ~25%.
+        let est = m.fresh_latency(4);
+        assert!((40.0..70.0).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn remaining_decreases_with_progress() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        let early = m.remaining(0.05, 4);
+        let late = m.remaining(0.9, 4);
+        assert!(late < early, "late {late} vs early {early}");
+        // At completion the remaining time is ~0.
+        assert!(m.remaining(1.0, 4) < 16.0);
+    }
+
+    #[test]
+    fn interpolation_between_grid_points() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        let v2 = m.fresh_latency(2);
+        let v3 = m.fresh_latency(3);
+        let v4 = m.fresh_latency(4);
+        assert!((v3 - (v2 + v4) / 2.0).abs() < 1e-9, "{v2} {v3} {v4}");
+        // Outside the grid: clamped.
+        assert_eq!(m.fresh_latency(1), v2);
+        assert_eq!(m.fresh_latency(100), m.fresh_latency(8));
+    }
+
+    #[test]
+    fn min_allocation_for_deadline_is_minimal() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        let d = SimDuration::from_secs(80);
+        let a = m.min_allocation_for_deadline(d, 1.0).unwrap();
+        assert!(m.fresh_latency(a) <= 80.0);
+        if a > 1 {
+            assert!(m.fresh_latency(a - 1) > 80.0);
+        }
+        // Impossible deadline -> None.
+        assert_eq!(
+            m.min_allocation_for_deadline(SimDuration::from_secs(1), 1.0),
+            None
+        );
+    }
+
+    #[test]
+    fn percentile_queries_are_ordered() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        let p50 = m.remaining_percentile(0.0, 4, 50.0);
+        let p95 = m.remaining_percentile(0.0, 4, 95.0);
+        assert!(p95 >= p50);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (graph, profile) = fixture();
+        let ind =
+            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let cfg = TrainConfig::fast(vec![2, 4]);
+        let a = CpaModel::train(&graph, &profile, &ind, &cfg, 7);
+        let b = CpaModel::train(&graph, &profile, &ind, &cfg, 7);
+        assert_eq!(a.sample_count(), b.sample_count());
+        assert_eq!(a.fresh_latency(3), b.fresh_latency(3));
+    }
+
+    #[test]
+    fn unconstrained_windows_cover_unit_interval() {
+        let (graph, profile) = fixture();
+        let rel = unconstrained_rel_windows(&graph, &profile, 5);
+        assert_eq!(rel.len(), 2);
+        // Map starts at 0; reduce ends at the job end.
+        assert_eq!(rel[0].0, 0.0);
+        assert!(rel[1].1 > 0.9);
+        // Reduce starts after map in an unconstrained run too (barrier).
+        assert!(rel[1].0 >= rel[0].1 - 0.3);
+    }
+
+    #[test]
+    fn model_implements_completion_model() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        let cm: &dyn CompletionModel = &m;
+        assert_eq!(cm.max_allocation(), 8);
+        assert!(cm.remaining_secs(&[], 0.0, 4) > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::progress::{IndicatorContext, ProgressIndicator};
+    use jockey_cluster::FixedAllocation;
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+
+    #[test]
+    fn kv_roundtrip_preserves_queries() {
+        let mut b = JobGraphBuilder::new("persist");
+        let m = b.stage("map", 8);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 3);
+        sim.add_job(spec, Box::new(FixedAllocation(4)));
+        let profile = sim.run().remove(0).profile;
+        let ctx =
+            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let model = CpaModel::train(&graph, &profile, &ctx, &TrainConfig::fast(vec![2, 4]), 1);
+
+        let round = CpaModel::from_kv(&model.to_kv()).expect("round-trips");
+        assert_eq!(round.allocations(), model.allocations());
+        assert_eq!(round.percentile(), model.percentile());
+        assert_eq!(round.sample_count(), model.sample_count());
+        for p in [0.0, 0.3, 0.7, 1.0] {
+            for a in [1, 2, 3, 4, 8] {
+                assert_eq!(round.remaining(p, a), model.remaining(p, a), "p={p} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_kv_rejects_malformed() {
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set_u64("bins", 0);
+        kv.set_f64("percentile", 95.0);
+        kv.set_f64_list("allocations", &[1.0]);
+        assert!(CpaModel::from_kv(&kv).is_none());
+
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set_u64("bins", 10);
+        kv.set_f64("percentile", 95.0);
+        kv.set_f64_list("allocations", &[1.0]);
+        kv.set_f64_list("cell.5.0", &[1.0]); // Allocation index out of range.
+        assert!(CpaModel::from_kv(&kv).is_none());
+    }
+}

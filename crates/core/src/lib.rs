@@ -1,0 +1,62 @@
+//! Jockey: guaranteed job latency for data-parallel clusters.
+//!
+//! This crate implements the paper's contribution — the three
+//! components of Fig. 2 plus the baselines and extensions evaluated in
+//! §5:
+//!
+//! - [`cpa`]: the **offline job simulator pipeline** producing
+//!   `C(p, a)`, the distribution of remaining completion time at
+//!   progress `p` under token allocation `a` (§4.1). Training runs the
+//!   shared cluster simulator in dedicated mode, replaying the job's
+//!   measured profile, and indexes remaining times by a progress
+//!   indicator.
+//! - [`predict`]: the modified **Amdahl's-Law model** (§4.1) used by
+//!   the "Jockey w/o simulator" baseline, and the [`predict::CompletionModel`]
+//!   trait both predictors implement.
+//! - [`progress`]: the six **job progress indicators** of §4.2/§5.4
+//!   (`totalworkWithQ`, `totalwork`, `vertexfrac`, `cp`, `minstage`,
+//!   `minstage-inf`).
+//! - [`control`]: the **resource-allocation control loop** (§4.3) with
+//!   slack, hysteresis and dead zone.
+//! - [`utility`]: piecewise-linear job utility functions.
+//! - [`policy`]: ready-made policies — Jockey, Jockey w/o adaptation,
+//!   Jockey w/o simulator, and max-allocation — as used in §5.2.
+//! - [`oracle`]: the oracle allocation `O(T, d) = ceil(T/d)` impact
+//!   baseline (§5.1).
+//! - [`admission`]: SLO admission control ("does this job fit?", §1).
+//! - [`arbiter`]: the multi-job marginal-utility arbiter (§4.4's
+//!   future work) — both one-shot [`arbiter::arbitrate`] splits and the
+//!   live [`arbiter::SharedArbiter`] that coordinates concurrent
+//!   controllers against one budget.
+//! - [`fallback`]: the §5.6 fair-share fallback guard on persistent
+//!   model error.
+//! - [`recal`]: §4.4/§5.6 online model recalibration (runtime
+//!   inflation tracking).
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` in the workspace root for the
+//! end-to-end flow: profile a job, train `C(p, a)`, and run the control
+//! loop against a noisy shared cluster.
+
+pub mod admission;
+pub mod arbiter;
+pub mod control;
+pub mod cpa;
+pub mod fallback;
+pub mod oracle;
+pub mod policy;
+pub mod predict;
+pub mod progress;
+pub mod recal;
+pub mod utility;
+
+pub use control::{ControlParams, JockeyController};
+pub use fallback::FallbackGuard;
+pub use recal::RecalibratingController;
+pub use cpa::{CpaModel, TrainConfig};
+pub use oracle::oracle_allocation;
+pub use policy::Policy;
+pub use predict::{AmdahlModel, CompletionModel};
+pub use progress::{IndicatorContext, ProgressIndicator};
+pub use utility::UtilityFunction;

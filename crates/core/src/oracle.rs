@@ -1,0 +1,52 @@
+//! The oracle allocation baseline (§5.1).
+//!
+//! For a deadline of `d` and a job requiring aggregate CPU time `T`,
+//! the oracle allocation is `O(T, d) = ceil(T / d)` tokens: the
+//! theoretical minimum constant allocation that could finish the job on
+//! time, assuming perfect knowledge of `T` and a job that can always
+//! use exactly that parallelism. Jockey's cluster impact is measured as
+//! the fraction of its allocation above this bound.
+
+use jockey_simrt::time::SimDuration;
+
+/// `O(T, d) = ceil(T / d)`, in tokens, never less than 1.
+///
+/// # Panics
+///
+/// Panics if `deadline` is zero or `total_work_secs` is negative.
+pub fn oracle_allocation(total_work_secs: f64, deadline: SimDuration) -> u32 {
+    assert!(!deadline.is_zero(), "deadline must be positive");
+    assert!(total_work_secs >= 0.0, "work must be non-negative");
+    ((total_work_secs / deadline.as_secs_f64()).ceil() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_formula() {
+        // 100 minutes of work, 50-minute deadline: 2 tokens.
+        assert_eq!(
+            oracle_allocation(6_000.0, SimDuration::from_mins(50)),
+            2
+        );
+        // Non-integral ratios round up.
+        assert_eq!(
+            oracle_allocation(6_100.0, SimDuration::from_mins(50)),
+            3
+        );
+    }
+
+    #[test]
+    fn tiny_jobs_still_need_one_token() {
+        assert_eq!(oracle_allocation(1.0, SimDuration::from_mins(60)), 1);
+        assert_eq!(oracle_allocation(0.0, SimDuration::from_mins(60)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn zero_deadline_panics() {
+        oracle_allocation(10.0, SimDuration::ZERO);
+    }
+}

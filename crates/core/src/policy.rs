@@ -1,0 +1,323 @@
+//! The four resource-allocation policies of §5.2, packaged for the
+//! evaluation harness.
+//!
+//! - **Jockey** — `C(p, a)` model + dynamic adaptation (the paper's
+//!   system);
+//! - **Jockey w/o adaptation** — the `C(p, a)` model picks one a-priori
+//!   allocation that maximizes utility, never changed at runtime;
+//! - **Jockey w/o simulator** — dynamic adaptation driven by the
+//!   Amdahl's-Law model;
+//! - **Max allocation** — guarantee the full token budget.
+//!
+//! [`JockeySetup`] bundles the per-job artifacts (training profile,
+//! trained `C(p, a)` table, indicator context) so a policy can be
+//! instantiated per run with one call.
+
+use std::sync::Arc;
+
+use jockey_cluster::{FixedAllocation, JobController};
+use jockey_jobgraph::graph::JobGraph;
+use jockey_jobgraph::profile::JobProfile;
+use jockey_simrt::time::SimDuration;
+
+use crate::control::{ControlParams, JockeyController};
+use crate::cpa::{unconstrained_rel_windows, CpaModel, TrainConfig};
+use crate::predict::AmdahlModel;
+use crate::progress::{IndicatorContext, ProgressIndicator};
+use crate::utility::UtilityFunction;
+
+/// The §5.2 policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Simulator model + dynamic adaptation.
+    Jockey,
+    /// Simulator model, static a-priori allocation.
+    JockeyNoAdapt,
+    /// Amdahl model + dynamic adaptation.
+    JockeyNoSim,
+    /// Guarantee the full budget.
+    MaxAllocation,
+}
+
+impl Policy {
+    /// All four policies in the paper's presentation order.
+    pub const ALL: [Policy; 4] = [
+        Policy::Jockey,
+        Policy::JockeyNoAdapt,
+        Policy::JockeyNoSim,
+        Policy::MaxAllocation,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Jockey => "Jockey",
+            Policy::JockeyNoAdapt => "Jockey w/o adaptation",
+            Policy::JockeyNoSim => "Jockey w/o simulator",
+            Policy::MaxAllocation => "max allocation",
+        }
+    }
+}
+
+/// Per-job trained artifacts, built once offline and reused across
+/// experiment runs (the paper trains from a single production run of
+/// each job, §5.1).
+#[derive(Clone)]
+pub struct JockeySetup {
+    /// The job's plan graph.
+    pub graph: Arc<JobGraph>,
+    /// The training profile (one prior execution).
+    pub profile: JobProfile,
+    /// The trained `C(p, a)` table.
+    pub cpa: Arc<CpaModel>,
+    /// Which progress indicator the setup was trained with.
+    pub indicator: ProgressIndicator,
+    /// Unconstrained-run stage windows (for `minstage-inf`).
+    pub rel_inf: Vec<(f64, f64)>,
+    /// The token budget (max guarantee) policies may use.
+    pub max_tokens: u32,
+}
+
+impl JockeySetup {
+    /// Trains all artifacts for one job: the unconstrained stage
+    /// windows, the indicator context, and the `C(p, a)` table.
+    pub fn train(
+        graph: Arc<JobGraph>,
+        profile: JobProfile,
+        indicator: ProgressIndicator,
+        train_cfg: &TrainConfig,
+        seed: u64,
+    ) -> Self {
+        let rel_inf = unconstrained_rel_windows(&graph, &profile, seed ^ 0x5eed);
+        let ctx = IndicatorContext::new(indicator, &graph, &profile, Some(rel_inf.clone()));
+        let cpa = Arc::new(CpaModel::train(&graph, &profile, &ctx, train_cfg, seed));
+        let max_tokens = *train_cfg.allocations.last().expect("non-empty grid");
+        JockeySetup {
+            graph,
+            profile,
+            cpa,
+            indicator,
+            rel_inf,
+            max_tokens,
+        }
+    }
+
+    /// Feasibility check (§2.2): a deadline is feasible only if it is
+    /// at least the job's critical path — and practically, only if the
+    /// model's median prediction at the full token budget fits within
+    /// it.
+    pub fn feasible(&self, deadline: SimDuration) -> bool {
+        let cp = self.profile.critical_path(&self.graph);
+        if deadline.as_secs_f64() < cp {
+            return false;
+        }
+        self.cpa
+            .remaining_percentile(0.0, self.max_tokens, 50.0)
+            <= deadline.as_secs_f64()
+    }
+
+    /// A fresh indicator context of the configured kind (contexts are
+    /// cheap; controllers own one each).
+    pub fn indicator_context(&self) -> IndicatorContext {
+        self.indicator_context_of(self.indicator)
+    }
+
+    /// A fresh indicator context of an explicit kind (for the §5.5
+    /// indicator ablations).
+    pub fn indicator_context_of(&self, kind: ProgressIndicator) -> IndicatorContext {
+        IndicatorContext::new(kind, &self.graph, &self.profile, Some(self.rel_inf.clone()))
+    }
+
+    /// Instantiates a controller for `policy` against `deadline`.
+    ///
+    /// For [`Policy::JockeyNoAdapt`], the static allocation is the
+    /// minimum whose slack-inflated fresh prediction meets the deadline
+    /// (falling back to the full budget for infeasible deadlines).
+    pub fn controller(
+        &self,
+        policy: Policy,
+        deadline: SimDuration,
+        params: ControlParams,
+    ) -> Box<dyn JobController> {
+        self.controller_with_indicator(policy, deadline, params, self.indicator)
+    }
+
+    /// Like [`JockeySetup::controller`] but overriding the progress
+    /// indicator (the §5.5 `minstage`/`CP` ablations).
+    pub fn controller_with_indicator(
+        &self,
+        policy: Policy,
+        deadline: SimDuration,
+        params: ControlParams,
+        indicator: ProgressIndicator,
+    ) -> Box<dyn JobController> {
+        let utility = UtilityFunction::deadline(deadline);
+        match policy {
+            Policy::Jockey => Box::new(JockeyController::new(
+                self.cpa.clone(),
+                self.indicator_context_of(indicator),
+                utility,
+                params,
+            )),
+            Policy::JockeyNoAdapt => {
+                let a = self
+                    .cpa
+                    .min_allocation_for_deadline(deadline, params.slack)
+                    .unwrap_or(self.max_tokens);
+                Box::new(FixedAllocation(a))
+            }
+            Policy::JockeyNoSim => {
+                let model = Arc::new(AmdahlModel::new(
+                    &self.graph,
+                    &self.profile,
+                    self.max_tokens,
+                ));
+                Box::new(JockeyController::new(
+                    model,
+                    self.indicator_context_of(indicator),
+                    utility,
+                    params,
+                ))
+            }
+            Policy::MaxAllocation => Box::new(FixedAllocation(self.max_tokens)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_cluster::{ClusterConfig, ClusterSim, JobSpec};
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+    use jockey_simrt::time::SimTime;
+
+    fn setup() -> JockeySetup {
+        let mut b = JobGraphBuilder::new("policy-job");
+        let m = b.stage("map", 12);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
+        sim.add_job(spec, Box::new(FixedAllocation(6)));
+        let profile = sim.run().remove(0).profile;
+        JockeySetup::train(
+            graph,
+            profile,
+            ProgressIndicator::TotalWorkWithQ,
+            &TrainConfig::fast(vec![2, 4, 8]),
+            42,
+        )
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Policy::Jockey.name(), "Jockey");
+        assert_eq!(Policy::JockeyNoAdapt.name(), "Jockey w/o adaptation");
+        assert_eq!(Policy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn all_policies_complete_a_job() {
+        let s = setup();
+        for policy in Policy::ALL {
+            let spec = JobSpec::from_profile(s.graph.clone(), &s.profile);
+            let controller =
+                s.controller(policy, SimDuration::from_secs(120), ControlParams::default());
+            let mut cfg = ClusterConfig::dedicated(8);
+            cfg.control_period = jockey_simrt::time::SimDuration::from_secs(15);
+            let mut sim = ClusterSim::new(cfg, 9);
+            sim.add_job(spec, controller);
+            let r = sim.run().remove(0);
+            assert!(
+                r.completed_at.is_some(),
+                "{} failed to finish",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn no_adapt_sizes_to_deadline() {
+        let s = setup();
+        // Loose deadline: the static allocation should be small.
+        let loose = s
+            .cpa
+            .min_allocation_for_deadline(SimDuration::from_secs(300), 1.2)
+            .unwrap();
+        let tight = s
+            .cpa
+            .min_allocation_for_deadline(SimDuration::from_secs(70), 1.2)
+            .unwrap_or(s.max_tokens);
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn max_allocation_uses_full_budget() {
+        let s = setup();
+        let mut c = s.controller(
+            Policy::MaxAllocation,
+            SimDuration::from_secs(60),
+            ControlParams::default(),
+        );
+        let status = jockey_cluster::JobStatus {
+            now: SimTime::ZERO,
+            elapsed: SimDuration::ZERO,
+            stage_fraction: vec![0.0, 0.0],
+            stage_completed: vec![0, 0],
+            running: 0,
+            running_guaranteed: 0,
+            guarantee: 0,
+            work_done: 0.0,
+            finished: false,
+        };
+        assert_eq!(c.tick(&status).guarantee, 8);
+    }
+
+    #[test]
+    fn indicator_override_builds() {
+        let s = setup();
+        for kind in ProgressIndicator::ALL {
+            let _ = s.controller_with_indicator(
+                Policy::Jockey,
+                SimDuration::from_secs(120),
+                ControlParams::default(),
+                kind,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod feasibility_tests {
+    use super::*;
+    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+    use std::sync::Arc;
+
+    #[test]
+    fn feasibility_brackets_the_critical_path() {
+        let mut b = JobGraphBuilder::new("feas");
+        let m = b.stage("map", 8);
+        let r = b.stage("reduce", 1);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph.clone(), Constant(30.0), Constant(0.0), 0.0);
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(8), 1);
+        sim.add_job(spec, Box::new(FixedAllocation(8)));
+        let profile = sim.run().remove(0).profile;
+        let setup = JockeySetup::train(
+            graph,
+            profile,
+            ProgressIndicator::TotalWorkWithQ,
+            &crate::cpa::TrainConfig::fast(vec![2, 4, 8]),
+            3,
+        );
+        // Critical path = 60 s; anything below is infeasible.
+        assert!(!setup.feasible(SimDuration::from_secs(59)));
+        // A generous deadline is feasible.
+        assert!(setup.feasible(SimDuration::from_secs(300)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Completion-time prediction: the [`CompletionModel`] trait and the
+//! modified Amdahl's-Law model (§4.1).
+//!
+//! §4.1 derives the Amdahl model as follows: let `S` be the critical
+//! path length and `P` the aggregate CPU time off the critical path;
+//! with `N` processors the job takes `S + P/N`. At runtime, across
+//! stages with unfinished tasks,
+//!
+//! ```text
+//! S_t = max_{s: f_s<1} (1 − f_s)·l_s + L_s
+//! P_t = Σ_{s: f_s<1} (1 − f_s)·T_s
+//! remaining(a) = S_t + P_t / a
+//! ```
+//!
+//! where `l_s` is the longest task runtime in stage `s`, `L_s` the
+//! longest path from `s` to the end of the job, and `T_s` the stage's
+//! total CPU time — all estimable from a prior run.
+
+use jockey_jobgraph::graph::JobGraph;
+use jockey_jobgraph::profile::JobProfile;
+
+/// Predicts the remaining completion time of a job.
+///
+/// Implementations receive both the raw per-stage completion fractions
+/// `fs` and the scalar `progress` (from a [`crate::progress::IndicatorContext`]):
+/// the Amdahl model uses `fs`, the `C(p, a)` model uses `progress`.
+pub trait CompletionModel: Send + Sync {
+    /// Estimated remaining seconds until completion given per-stage
+    /// fractions `fs`, scalar progress `progress`, and token
+    /// allocation `allocation`.
+    fn remaining_secs(&self, fs: &[f64], progress: f64, allocation: u32) -> f64;
+
+    /// The largest allocation worth considering (the search upper
+    /// bound for the control loop).
+    fn max_allocation(&self) -> u32;
+}
+
+/// The modified Amdahl's-Law model, used by "Jockey w/o simulator".
+#[derive(Clone, Debug)]
+pub struct AmdahlModel {
+    /// `l_s` per stage.
+    max_runtime: Vec<f64>,
+    /// `L_s` per stage.
+    longest_path: Vec<f64>,
+    /// `T_s` per stage.
+    total_exec: Vec<f64>,
+    /// Search upper bound for allocations.
+    max_allocation: u32,
+}
+
+impl AmdahlModel {
+    /// Builds the model from a training profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile and graph disagree on stage count, or
+    /// `max_allocation` is zero.
+    pub fn new(graph: &JobGraph, profile: &JobProfile, max_allocation: u32) -> Self {
+        assert!(max_allocation > 0);
+        assert_eq!(graph.num_stages(), profile.stages.len());
+        AmdahlModel {
+            max_runtime: profile.max_runtimes(),
+            longest_path: profile.longest_paths(graph),
+            total_exec: profile.stages.iter().map(|s| s.total_exec()).collect(),
+            max_allocation,
+        }
+    }
+
+    /// `S_t`: remaining critical path at fractions `fs`.
+    pub fn remaining_critical_path(&self, fs: &[f64]) -> f64 {
+        let mut st: f64 = 0.0;
+        for (s, &f) in fs.iter().enumerate() {
+            if f < 1.0 {
+                st = st.max((1.0 - f) * self.max_runtime[s] + self.longest_path[s]);
+            }
+        }
+        st
+    }
+
+    /// `P_t`: total remaining CPU seconds at fractions `fs`.
+    pub fn remaining_work(&self, fs: &[f64]) -> f64 {
+        fs.iter()
+            .enumerate()
+            .filter(|&(_, &f)| f < 1.0)
+            .map(|(s, &f)| (1.0 - f) * self.total_exec[s])
+            .sum()
+    }
+}
+
+impl CompletionModel for AmdahlModel {
+    fn remaining_secs(&self, fs: &[f64], _progress: f64, allocation: u32) -> f64 {
+        assert_eq!(fs.len(), self.max_runtime.len(), "fs length mismatch");
+        let a = allocation.max(1);
+        // §4.1: `P` is the aggregate CPU time *minus the time on the
+        // critical path* — work on the critical path is already
+        // accounted for by the serial term `S_t`.
+        let st = self.remaining_critical_path(fs);
+        let pt = (self.remaining_work(fs) - st).max(0.0);
+        st + pt / f64::from(a)
+    }
+
+    fn max_allocation(&self) -> u32 {
+        self.max_allocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_jobgraph::profile::ProfileBuilder;
+    use jockey_jobgraph::StageId;
+
+    /// map(4 tasks x 10 s) --barrier--> reduce(2 tasks x 30 s).
+    fn fixture() -> (JobGraph, JobProfile) {
+        let mut b = JobGraphBuilder::new("f");
+        let m = b.stage("map", 4);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let g = b.build().unwrap();
+        let mut pb = ProfileBuilder::new(&g);
+        for _ in 0..4 {
+            pb.record_task(StageId(0), 0.0, 10.0, false);
+        }
+        for _ in 0..2 {
+            pb.record_task(StageId(1), 0.0, 30.0, false);
+        }
+        let p = pb.finish(70.0, 1.0);
+        (g, p)
+    }
+
+    #[test]
+    fn full_job_prediction_matches_formula() {
+        let (g, p) = fixture();
+        let m = AmdahlModel::new(&g, &p, 100);
+        // S_0 = 10 + 30 = 40; total work 100, so P_0 = 100 - 40 = 60
+        // (§4.1 subtracts the critical-path time from the parallel
+        // term).
+        let fs = [0.0, 0.0];
+        assert_eq!(m.remaining_critical_path(&fs), 40.0);
+        assert_eq!(m.remaining_work(&fs), 100.0);
+        assert_eq!(m.remaining_secs(&fs, 0.0, 10), 40.0 + 6.0);
+        assert_eq!(m.remaining_secs(&fs, 0.0, 1), 100.0);
+        assert_eq!(m.max_allocation(), 100);
+    }
+
+    #[test]
+    fn partial_progress_shrinks_both_terms() {
+        let (g, p) = fixture();
+        let m = AmdahlModel::new(&g, &p, 100);
+        // Map half done: S_t = max(0.5*10 + 30, 30 + 0) = 35;
+        // P_t = 0.5*40 + 60 = 80.
+        let fs = [0.5, 0.0];
+        assert_eq!(m.remaining_critical_path(&fs), 35.0);
+        assert_eq!(m.remaining_work(&fs), 80.0);
+        // Map fully done: S_t = 30, work 60, parallel term 30.
+        let fs = [1.0, 0.0];
+        assert_eq!(m.remaining_secs(&fs, 0.0, 60), 30.5);
+    }
+
+    #[test]
+    fn finished_job_has_zero_remaining() {
+        let (g, p) = fixture();
+        let m = AmdahlModel::new(&g, &p, 100);
+        assert_eq!(m.remaining_secs(&[1.0, 1.0], 1.0, 50), 0.0);
+    }
+
+    #[test]
+    fn more_allocation_never_slower() {
+        let (g, p) = fixture();
+        let m = AmdahlModel::new(&g, &p, 100);
+        let fs = [0.25, 0.0];
+        let mut prev = f64::INFINITY;
+        for a in 1..=100 {
+            let r = m.remaining_secs(&fs, 0.0, a);
+            assert!(r <= prev);
+            prev = r;
+        }
+        // Asymptotically bounded below by the critical path.
+        assert!(prev >= m.remaining_critical_path(&fs));
+    }
+
+    #[test]
+    fn zero_allocation_is_treated_as_one() {
+        let (g, p) = fixture();
+        let m = AmdahlModel::new(&g, &p, 100);
+        assert_eq!(
+            m.remaining_secs(&[0.0, 0.0], 0.0, 0),
+            m.remaining_secs(&[0.0, 0.0], 0.0, 1)
+        );
+    }
+}

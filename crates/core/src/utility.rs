@@ -1,0 +1,191 @@
+//! Piecewise-linear job utility functions.
+//!
+//! §2.2: "Directly specifying a utility function to indicate a job's
+//! deadline and importance alleviates this problem for our users." The
+//! evaluation (§5.1) uses, for a deadline of `d` minutes, the
+//! piecewise-linear function through `(0, 1)`, `(d, 1)`, `(d+10, −1)`,
+//! `(d+1000, −1000)`: flat until the deadline, dropping sharply after
+//! it, and ever more negative the later the job finishes.
+
+use jockey_simrt::time::SimDuration;
+
+/// A piecewise-linear utility over completion time (seconds from job
+/// start). Between knots the function interpolates linearly; beyond the
+/// last knot it extrapolates the final segment's slope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilityFunction {
+    /// `(completion_secs, utility)` knots, strictly increasing in time.
+    knots: Vec<(f64, f64)>,
+    /// The deadline this function encodes, if built from one.
+    deadline: Option<SimDuration>,
+}
+
+impl UtilityFunction {
+    /// Builds a utility from explicit knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two knots are given or times are not
+    /// strictly increasing.
+    pub fn from_knots(knots: Vec<(f64, f64)>) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        assert!(
+            knots.windows(2).all(|w| w[0].0 < w[1].0),
+            "knot times must be strictly increasing"
+        );
+        UtilityFunction { knots, deadline: None }
+    }
+
+    /// The paper's standard deadline utility (§5.1): for deadline `d`,
+    /// the function through `(0, 1)`, `(d, 1)`, `(d + 10 min, −1)`,
+    /// `(d + 1000 min, −1000)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn deadline(deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "deadline must be positive");
+        let d = deadline.as_secs_f64();
+        UtilityFunction {
+            knots: vec![
+                (0.0, 1.0),
+                (d, 1.0),
+                (d + 600.0, -1.0),
+                (d + 60_000.0, -1000.0),
+            ],
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The deadline encoded by this function, if any.
+    pub fn deadline_duration(&self) -> Option<SimDuration> {
+        self.deadline
+    }
+
+    /// Evaluates the utility of completing at `t_secs` from job start.
+    pub fn eval(&self, t_secs: f64) -> f64 {
+        let k = &self.knots;
+        if t_secs <= k[0].0 {
+            return k[0].1;
+        }
+        for w in k.windows(2) {
+            let (t0, u0) = w[0];
+            let (t1, u1) = w[1];
+            if t_secs <= t1 {
+                return u0 + (u1 - u0) * (t_secs - t0) / (t1 - t0);
+            }
+        }
+        // Extrapolate the final slope.
+        let (t0, u0) = k[k.len() - 2];
+        let (t1, u1) = k[k.len() - 1];
+        u1 + (u1 - u0) / (t1 - t0) * (t_secs - t1)
+    }
+
+    /// A copy shifted left by `shift`: `U'(t) = U(t + shift)`. This is
+    /// how the control loop's dead zone tightens the deadline (§4.3).
+    pub fn shifted_left(&self, shift: SimDuration) -> Self {
+        let s = shift.as_secs_f64();
+        let knots = self
+            .knots
+            .iter()
+            .map(|&(t, u)| (t - s, u))
+            .collect::<Vec<_>>();
+        // Times may now start below zero but remain strictly increasing.
+        UtilityFunction {
+            knots,
+            deadline: self
+                .deadline
+                .map(|d| SimDuration::from_secs_f64((d.as_secs_f64() - s).max(0.0))),
+        }
+    }
+
+    /// A copy with the deadline replaced, preserving the standard
+    /// shape. Only valid on functions built by
+    /// [`UtilityFunction::deadline`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this function was not built from a deadline.
+    pub fn with_deadline(&self, new_deadline: SimDuration) -> Self {
+        assert!(
+            self.deadline.is_some(),
+            "with_deadline requires a deadline-shaped utility"
+        );
+        UtilityFunction::deadline(new_deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_shape_matches_paper() {
+        let d = SimDuration::from_mins(60);
+        let u = UtilityFunction::deadline(d);
+        assert_eq!(u.eval(0.0), 1.0);
+        assert_eq!(u.eval(3_600.0), 1.0);
+        assert_eq!(u.eval(1_800.0), 1.0);
+        // 10 minutes late: -1.
+        assert!((u.eval(3_600.0 + 600.0) - (-1.0)).abs() < 1e-9);
+        // Halfway through the drop: 0.
+        assert!(u.eval(3_600.0 + 300.0).abs() < 1e-9);
+        // 1000 minutes late: -1000.
+        assert!((u.eval(3_600.0 + 60_000.0) - (-1000.0)).abs() < 1e-9);
+        assert_eq!(u.deadline_duration(), Some(d));
+    }
+
+    #[test]
+    fn extrapolates_final_slope() {
+        let u = UtilityFunction::deadline(SimDuration::from_mins(10));
+        let end = 600.0 + 60_000.0;
+        let slope = (-1000.0 - (-1.0)) / (60_000.0 - 600.0);
+        let expected = -1000.0 + slope * 1_000.0;
+        assert!((u.eval(end + 1_000.0) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn earlier_is_never_worse() {
+        let u = UtilityFunction::deadline(SimDuration::from_mins(45));
+        let mut prev = f64::INFINITY;
+        for i in 0..200 {
+            let t = i as f64 * 60.0;
+            let v = u.eval(t);
+            assert!(v <= prev + 1e-12, "utility increased at {t}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn shifted_left_tightens_deadline() {
+        let u = UtilityFunction::deadline(SimDuration::from_mins(60));
+        let s = u.shifted_left(SimDuration::from_mins(3));
+        // At 57 minutes the shifted function is still flat.
+        assert_eq!(s.eval(57.0 * 60.0), 1.0);
+        // At 60 minutes the shifted function has started dropping.
+        assert!(s.eval(60.0 * 60.0) < 1.0);
+        assert_eq!(s.deadline_duration(), Some(SimDuration::from_mins(57)));
+    }
+
+    #[test]
+    fn with_deadline_replaces() {
+        let u = UtilityFunction::deadline(SimDuration::from_mins(60));
+        let v = u.with_deadline(SimDuration::from_mins(30));
+        assert_eq!(v.eval(1_900.0), 1.0 - (1_900.0 - 1_800.0) / 600.0 * 2.0);
+        assert_eq!(v.deadline_duration(), Some(SimDuration::from_mins(30)));
+    }
+
+    #[test]
+    fn custom_knots_interpolate() {
+        let u = UtilityFunction::from_knots(vec![(0.0, 10.0), (100.0, 0.0)]);
+        assert_eq!(u.eval(-5.0), 10.0);
+        assert_eq!(u.eval(50.0), 5.0);
+        assert_eq!(u.eval(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_knots() {
+        UtilityFunction::from_knots(vec![(5.0, 1.0), (5.0, 0.0)]);
+    }
+}

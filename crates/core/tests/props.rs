@@ -1,0 +1,192 @@
+//! Property-based tests of Jockey's models, indicators, utilities and
+//! control loop.
+
+use std::sync::Arc;
+
+use jockey_core::control::{ControlParams, JockeyController};
+use jockey_core::predict::CompletionModel;
+use jockey_core::progress::{IndicatorContext, ProgressIndicator};
+use jockey_core::utility::UtilityFunction;
+use jockey_cluster::{ControlDecision, JobController, JobStatus};
+use jockey_jobgraph::graph::{EdgeKind, JobGraph, JobGraphBuilder, StageId};
+use jockey_jobgraph::profile::ProfileBuilder;
+use jockey_simrt::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A simple two-stage fixture with parameterized weights.
+fn fixture(map_tasks: u32, reduce_tasks: u32, map_secs: f64, reduce_secs: f64) -> (JobGraph, jockey_jobgraph::profile::JobProfile) {
+    let mut b = JobGraphBuilder::new("prop");
+    let m = b.stage("map", map_tasks);
+    let r = b.stage("reduce", reduce_tasks);
+    b.edge(m, r, EdgeKind::AllToAll);
+    let g = b.build().unwrap();
+    let mut pb = ProfileBuilder::new(&g);
+    for _ in 0..map_tasks {
+        pb.record_task(StageId(0), 0.5, map_secs, false);
+    }
+    for _ in 0..reduce_tasks {
+        pb.record_task(StageId(1), 0.5, reduce_secs, false);
+    }
+    pb.record_stage_window(StageId(0), 0.0, map_secs);
+    pb.record_stage_window(StageId(1), map_secs, map_secs + reduce_secs);
+    let p = pb.finish(map_secs + reduce_secs, 1.0);
+    (g, p)
+}
+
+/// An analytic model: remaining = (1 − p)·W/a, used to probe the
+/// control loop in isolation.
+struct Toy {
+    work: f64,
+}
+
+impl CompletionModel for Toy {
+    fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+        (1.0 - progress) * self.work / f64::from(allocation.max(1))
+    }
+    fn max_allocation(&self) -> u32 {
+        100
+    }
+}
+
+fn status(frac: f64, elapsed_secs: f64) -> JobStatus {
+    JobStatus {
+        now: SimTime::from_secs_f64(elapsed_secs),
+        elapsed: SimDuration::from_secs_f64(elapsed_secs),
+        stage_fraction: vec![frac],
+        stage_completed: vec![(frac * 10.0) as u32],
+        running: 1,
+        running_guaranteed: 1,
+        guarantee: 1,
+        work_done: 0.0,
+        finished: frac >= 1.0,
+    }
+}
+
+fn one_stage_indicator() -> IndicatorContext {
+    let mut b = JobGraphBuilder::new("one");
+    b.stage("only", 10);
+    let g = b.build().unwrap();
+    let mut pb = ProfileBuilder::new(&g);
+    for _ in 0..10 {
+        pb.record_task(StageId(0), 0.5, 5.0, false);
+    }
+    let p = pb.finish(50.0, 1.0);
+    IndicatorContext::new(ProgressIndicator::VertexFrac, &g, &p, None)
+}
+
+proptest! {
+    /// Deadline utilities are non-increasing and flat-at-1 before the
+    /// deadline.
+    #[test]
+    fn utility_monotone_nonincreasing(
+        deadline_mins in 1_u64..1000,
+        t1 in 0.0_f64..1e6,
+        t2 in 0.0_f64..1e6,
+    ) {
+        let u = UtilityFunction::deadline(SimDuration::from_mins(deadline_mins));
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(u.eval(lo) >= u.eval(hi) - 1e-9);
+        prop_assert_eq!(u.eval(0.0), 1.0);
+        prop_assert_eq!(u.eval(deadline_mins as f64 * 60.0), 1.0);
+    }
+
+    /// Shifting left by D makes the utility everywhere ≤ the original
+    /// at the same time (deadlines only tighten).
+    #[test]
+    fn shifted_utility_dominated(
+        deadline_mins in 2_u64..500,
+        shift_mins in 0_u64..100,
+        t in 0.0_f64..1e5,
+    ) {
+        let u = UtilityFunction::deadline(SimDuration::from_mins(deadline_mins));
+        let s = u.shifted_left(SimDuration::from_mins(shift_mins));
+        prop_assert!(s.eval(t) <= u.eval(t) + 1e-9);
+    }
+
+    /// Every indicator is bounded in [0, 1] for arbitrary fractions,
+    /// and weighted indicators are monotone when all stages advance.
+    #[test]
+    fn indicators_bounded_and_monotone(
+        map_tasks in 1_u32..50,
+        reduce_tasks in 1_u32..50,
+        map_secs in 0.1_f64..60.0,
+        reduce_secs in 0.1_f64..60.0,
+        f1 in 0.0_f64..1.0,
+        f2 in 0.0_f64..1.0,
+    ) {
+        let (g, p) = fixture(map_tasks, reduce_tasks, map_secs, reduce_secs);
+        for kind in ProgressIndicator::ALL {
+            let ctx = IndicatorContext::new(kind, &g, &p, None);
+            let v = ctx.progress(&[f1, f2]);
+            prop_assert!((0.0..=1.0).contains(&v), "{:?} out of range: {}", kind, v);
+        }
+        // Uniform advancement is monotone for the weighted family.
+        let (lo, hi) = (f1.min(f2), f1.max(f2));
+        for kind in [
+            ProgressIndicator::TotalWorkWithQ,
+            ProgressIndicator::TotalWork,
+            ProgressIndicator::VertexFrac,
+            ProgressIndicator::CriticalPath,
+        ] {
+            let ctx = IndicatorContext::new(kind, &g, &p, None);
+            prop_assert!(
+                ctx.progress(&[lo, lo]) <= ctx.progress(&[hi, hi]) + 1e-9,
+                "{:?} not monotone", kind
+            );
+        }
+    }
+
+    /// The control loop's raw allocation is monotone in urgency: less
+    /// progress at the same elapsed time never yields a smaller raw
+    /// allocation.
+    #[test]
+    fn raw_allocation_monotone_in_urgency(
+        work in 100.0_f64..100_000.0,
+        deadline_mins in 10_u64..200,
+        p1 in 0.0_f64..1.0,
+        p2 in 0.0_f64..1.0,
+        elapsed_frac in 0.0_f64..0.9,
+    ) {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let c = JockeyController::new(
+            Arc::new(Toy { work }),
+            one_stage_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(deadline_mins)),
+            params,
+        );
+        let tr = deadline_mins as f64 * 60.0 * elapsed_frac;
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a_less_done = c.raw_allocation(&[lo], lo, tr);
+        let a_more_done = c.raw_allocation(&[hi], hi, tr);
+        prop_assert!(a_less_done >= a_more_done);
+    }
+
+    /// The applied guarantee always lies within [min_allocation, max].
+    #[test]
+    fn guarantee_stays_in_bounds(
+        work in 100.0_f64..1e6,
+        deadline_mins in 5_u64..100,
+        fracs in proptest::collection::vec(0.0_f64..1.0, 1..20),
+    ) {
+        let mut c = JockeyController::new(
+            Arc::new(Toy { work }),
+            one_stage_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(deadline_mins)),
+            ControlParams::default(),
+        );
+        let mut sorted = fracs.clone();
+        sorted.sort_by(f64::total_cmp);
+        for (i, &f) in sorted.iter().enumerate() {
+            let d: ControlDecision = c.tick(&status(f, i as f64 * 60.0));
+            prop_assert!(d.guarantee >= 1 && d.guarantee <= 100);
+            if let Some(p) = d.progress {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Runs the extensions comparison (recalibration / fallback guard).
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::ext::run(&env);
+    jockey_experiments::report::emit("ext", "Extensions: controller variants under 1.5x work", &t);
+}

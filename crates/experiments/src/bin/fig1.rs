@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1: job-dependency CDFs.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig1::run(&env);
+    jockey_experiments::report::emit("fig1", "Fig. 1: dependence between jobs (CDFs)", &t);
+}

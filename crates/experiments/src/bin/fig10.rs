@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10: progress-indicator comparison.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig10::run(&env);
+    jockey_experiments::report::emit("fig10", "Fig. 10: comparison of progress indicators", &t);
+}

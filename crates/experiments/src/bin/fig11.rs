@@ -1,0 +1,6 @@
+//! Regenerates Fig. 11: control-loop sensitivity ablations.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig11::run(&env);
+    jockey_experiments::report::emit("fig11", "Fig. 11: sensitivity analysis", &t);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 12: slack sensitivity sweep.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig12::run(&env);
+    jockey_experiments::report::emit("fig12", "Fig. 12: sensitivity of the slack parameter", &t);
+}

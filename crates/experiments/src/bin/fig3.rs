@@ -1,0 +1,7 @@
+//! Regenerates Fig. 3: stage dependency graphs as Graphviz files.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    for (name, dot) in jockey_experiments::figures::fig3::run(&env) {
+        jockey_experiments::report::emit_text(&name, &dot);
+    }
+}

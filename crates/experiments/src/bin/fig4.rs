@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4: deadlines missed vs. allocation above oracle.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig4::run(&env);
+    jockey_experiments::report::emit("fig4", "Fig. 4: fraction of deadlines missed vs. allocation above oracle", &t);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5: completion time relative to deadline CDFs.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig5::run(&env);
+    jockey_experiments::report::emit("fig5", "Fig. 5: CDFs of completion time relative to deadline", &t);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 6: adaptive-run time series.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let scenarios = jockey_experiments::figures::fig6::run(&env);
+    let summary = jockey_experiments::figures::fig6::summary(&scenarios);
+    jockey_experiments::report::emit("fig6_summary", "Fig. 6: adaptive run scenarios", &summary);
+    for s in &scenarios {
+        let t = jockey_experiments::figures::fig6::series_table(s);
+        jockey_experiments::report::emit(
+            &format!("fig6{}", s.label),
+            &format!("Fig. 6({}): {}", s.label, s.description),
+            &t,
+        );
+    }
+}

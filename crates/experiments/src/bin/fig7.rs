@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7: mid-run deadline changes.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig7::run(&env);
+    jockey_experiments::report::emit("fig7", "Fig. 7 / §5.2: adapting to deadline changes", &t);
+}

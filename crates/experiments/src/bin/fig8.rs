@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8: simulator vs. Amdahl prediction error.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig8::run(&env);
+    jockey_experiments::report::emit("fig8", "Fig. 8: average prediction error by allocation", &t);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9: progress-indicator traces.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::fig9::run(&env);
+    jockey_experiments::report::emit("fig9", "Fig. 9: totalworkWithQ vs CP indicator traces", &t);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2: statistics of the evaluation jobs.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let t = jockey_experiments::figures::table2::run(&env);
+    jockey_experiments::report::emit("table2", "Table 2: statistics of evaluation jobs, measured (target)", &t);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3: training run vs. inflated actual runs.
+fn main() {
+    let env = jockey_experiments::bin_env();
+    let (t, _) = jockey_experiments::figures::table3::run(&env);
+    jockey_experiments::report::emit("table3", "Table 3: training vs. actual runs of job F", &t);
+}

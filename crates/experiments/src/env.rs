@@ -1,0 +1,269 @@
+//! The evaluation environment: jobs, training artifacts, and the
+//! shared-cluster configuration used by every §5 experiment.
+
+
+use jockey_cluster::{BackgroundConfig, ClusterConfig, FailureConfig};
+use jockey_core::cpa::TrainConfig;
+use jockey_core::policy::JockeySetup;
+use jockey_core::progress::ProgressIndicator;
+use jockey_jobgraph::profile::JobProfile;
+use jockey_simrt::time::{SimDuration, SimTime};
+use jockey_workloads::jobs::{self, GeneratedJob, JobTargets};
+use jockey_workloads::recurring::training_profile;
+
+use crate::par::parallel_map;
+
+/// Experiment scale: how many jobs, runs and training repetitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny jobs, minimal training — used by the test suite.
+    Smoke,
+    /// The seven Table 2 jobs, light training — minutes of wall clock.
+    Quick,
+    /// All 21 recurring jobs with full training — the paper-shaped run.
+    Full,
+}
+
+impl Scale {
+    /// Reads `JOCKEY_SCALE` (`smoke` / `quick` / `full`); defaults to
+    /// [`Scale::Full`].
+    pub fn from_env() -> Scale {
+        match std::env::var("JOCKEY_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Independent repetitions per experiment cell (the paper runs "at
+    /// least three experiments for each combination", §5.1).
+    pub fn repeats(self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Quick => 2,
+            Scale::Full => 3,
+        }
+    }
+
+    /// The `C(p, a)` training configuration at this scale.
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            Scale::Smoke => TrainConfig::fast(vec![1, 5, 10, 20, 40, 100]),
+            Scale::Quick => TrainConfig {
+                allocations: vec![1, 3, 10, 20, 40, 70, 100],
+                runs_per_allocation: 5,
+                ..TrainConfig::default()
+            },
+            Scale::Full => TrainConfig::default(),
+        }
+    }
+}
+
+/// One evaluation job with all its trained artifacts.
+pub struct EvalJob {
+    /// The generated job (graph + executable spec + targets).
+    pub gen: GeneratedJob,
+    /// Training profile from one dedicated "production" run.
+    pub profile: JobProfile,
+    /// Trained Jockey artifacts (C(p,a), indicator context, etc.).
+    pub setup: JockeySetup,
+    /// The job's base SLO deadline.
+    pub deadline: SimDuration,
+    /// Whether this is one of the detailed jobs A–G.
+    pub detailed: bool,
+}
+
+impl EvalJob {
+    /// Job name (e.g. `"job-A"`).
+    pub fn name(&self) -> &str {
+        self.gen.graph.name()
+    }
+}
+
+/// The full evaluation environment.
+pub struct Env {
+    /// Scale the environment was built at.
+    pub scale: Scale,
+    /// Root seed.
+    pub seed: u64,
+    /// All evaluation jobs (detailed ones first).
+    pub jobs: Vec<EvalJob>,
+}
+
+/// Tokens used for the training ("production") run of each job.
+const TRAINING_TOKENS: u32 = 80;
+
+/// Deadlines are set to this multiple of the model's median latency at
+/// the full token budget — loose enough that max-allocation finishes
+/// ~70% early (Fig. 5), tight enough that the oracle allocation is
+/// well below the budget.
+const DEADLINE_FACTOR: f64 = 2.6;
+
+impl Env {
+    /// Builds the environment: generates jobs, runs training
+    /// executions, trains `C(p, a)` tables, and derives deadlines.
+    /// Parallelized across jobs; deterministic in `seed`.
+    pub fn build(scale: Scale, seed: u64) -> Env {
+        let train_cfg = scale.train_config();
+        let gens: Vec<(GeneratedJob, bool)> = match scale {
+            Scale::Smoke => smoke_jobs(seed).into_iter().map(|g| (g, true)).collect(),
+            Scale::Quick => jobs::paper_jobs(seed).into_iter().map(|g| (g, true)).collect(),
+            Scale::Full => {
+                let mut v: Vec<(GeneratedJob, bool)> = jobs::paper_jobs(seed)
+                    .into_iter()
+                    .map(|g| (g, true))
+                    .collect();
+                v.extend(
+                    jobs::synthetic_recurring_jobs(14, seed ^ 0xabcd)
+                        .into_iter()
+                        .map(|g| (g, false)),
+                );
+                v
+            }
+        };
+
+        let jobs = parallel_map(gens.into_iter().enumerate().collect(), |(i, (gen, detailed))| {
+            let profile = training_profile(&gen.spec, TRAINING_TOKENS, seed ^ ((i as u64) << 8));
+            let setup = JockeySetup::train(
+                gen.graph.clone(),
+                profile.clone(),
+                ProgressIndicator::TotalWorkWithQ,
+                &train_cfg,
+                seed ^ train_seed(i),
+            );
+            let p90_at_max = setup
+                .cpa
+                .remaining_percentile(0.0, setup.max_tokens, 90.0);
+            let deadline_mins = (p90_at_max * DEADLINE_FACTOR / 60.0).ceil().max(5.0);
+            let deadline = SimDuration::from_mins(deadline_mins as u64);
+            EvalJob {
+                gen,
+                profile,
+                setup,
+                deadline,
+                detailed,
+            }
+        });
+
+        Env { scale, seed, jobs }
+    }
+
+    /// The detailed jobs (A–G at Quick/Full, all jobs at Smoke).
+    pub fn detailed(&self) -> Vec<&EvalJob> {
+        self.jobs.iter().filter(|j| j.detailed).collect()
+    }
+
+    /// The shared-cluster configuration experiments run in: a heavily
+    /// utilized slice (≈93% mean utilization) with volatile spare
+    /// capacity, overload episodes, load-dependent slowdown and
+    /// machine failures — the §2.3/§2.4 variance sources.
+    pub fn experiment_cluster(&self) -> ClusterConfig {
+        ClusterConfig {
+            placement: None,
+            total_tokens: 150,
+            max_guarantee: 100,
+            spare_enabled: true,
+            spare_slowdown: 1.4,
+            control_period: SimDuration::from_mins(1),
+            background: BackgroundConfig {
+                enabled: true,
+                mean_util: 0.88,
+                volatility: 0.04,
+                reversion: 0.10,
+                overload_rate_per_hour: 0.8,
+                overload_duration_mins: 10.0,
+                overload_util: 1.0,
+                tick: SimDuration::from_secs(30),
+                slowdown_knee: 0.85,
+                slowdown_slope: 1.5,
+            },
+            failures: FailureConfig {
+                task_failure_prob: None,
+                machine_failure_rate_per_hour: 1.0,
+                tasks_per_machine: 3,
+                data_loss_prob: 0.5,
+            },
+            max_sim_time: SimTime::from_mins(12 * 60),
+        }
+    }
+}
+
+/// Seed mixer for per-job training streams.
+fn train_seed(i: usize) -> u64 {
+    0x1234_5678_9abc_def0 ^ ((i as u64) << 16)
+}
+
+/// Three small jobs for the smoke scale.
+fn smoke_jobs(seed: u64) -> Vec<GeneratedJob> {
+    let targets = [
+        JobTargets {
+            name: "S0",
+            stages: 6,
+            barriers: 2,
+            vertices: 160,
+            runtime_median: 5.0,
+            runtime_p90: 12.0,
+            p90_fastest: 2.0,
+            p90_slowest: 30.0,
+            data_gb: 10.0,
+        },
+        JobTargets {
+            name: "S1",
+            stages: 8,
+            barriers: 1,
+            vertices: 240,
+            runtime_median: 4.0,
+            runtime_p90: 10.0,
+            p90_fastest: 2.0,
+            p90_slowest: 25.0,
+            data_gb: 12.0,
+        },
+        JobTargets {
+            name: "S2",
+            stages: 5,
+            barriers: 0,
+            vertices: 120,
+            runtime_median: 6.0,
+            runtime_p90: 15.0,
+            p90_fastest: 3.0,
+            p90_slowest: 28.0,
+            data_gb: 8.0,
+        },
+    ];
+    targets
+        .into_iter()
+        .map(|t| jobs::generate(t, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_env_builds_with_sane_deadlines() {
+        let env = Env::build(Scale::Smoke, 11);
+        assert_eq!(env.jobs.len(), 3);
+        for j in &env.jobs {
+            assert!(j.deadline >= SimDuration::from_mins(5), "{}", j.name());
+            assert!(j.deadline <= SimDuration::from_mins(240), "{}", j.name());
+            assert!(j.profile.total_work() > 0.0);
+            assert!(j.setup.cpa.sample_count() > 0);
+            assert!(j.detailed);
+        }
+        assert_eq!(env.detailed().len(), 3);
+    }
+
+    #[test]
+    fn experiment_cluster_validates() {
+        let env = Env::build(Scale::Smoke, 11);
+        assert_eq!(env.experiment_cluster().validate(), Ok(()));
+    }
+
+    #[test]
+    fn scale_knobs() {
+        assert_eq!(Scale::Smoke.repeats(), 1);
+        assert_eq!(Scale::Full.repeats(), 3);
+        assert!(Scale::Full.train_config().allocations.len() >= 8);
+    }
+}

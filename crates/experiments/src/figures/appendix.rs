@@ -1,0 +1,64 @@
+//! Appendix (beyond the paper): structural parallelism profiles of the
+//! evaluation jobs — the quantitative form of §3.3's "wide variation
+//! in a job's degree of parallelism".
+
+use jockey_jobgraph::metrics::{level_widths, max_useful_allocation, speedup_bound};
+use jockey_simrt::table::Table;
+
+use crate::env::Env;
+
+/// Per-job structural metrics: topological depth, widest/narrowest
+/// level, maximum useful allocation, and the Brent speedup bound under
+/// profiled mean task costs.
+pub fn run(env: &Env) -> Table {
+    let mut t = Table::new([
+        "job",
+        "levels",
+        "widest_level_tasks",
+        "narrowest_level_tasks",
+        "max_useful_allocation",
+        "speedup_bound",
+    ]);
+    for job in env.detailed() {
+        let g = &job.gen.graph;
+        let widths = level_widths(g);
+        let costs: Vec<f64> = job
+            .profile
+            .stages
+            .iter()
+            .map(|s| s.mean_runtime().max(0.01))
+            .collect();
+        t.row([
+            job.gen.targets.name.to_string(),
+            widths.len().to_string(),
+            widths.iter().max().unwrap_or(&0).to_string(),
+            widths.iter().min().unwrap_or(&0).to_string(),
+            max_useful_allocation(g).to_string(),
+            format!("{:.0}", speedup_bound(g, &costs)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn profiles_show_parallelism_variation() {
+        let env = Env::build(Scale::Smoke, 37);
+        let t = run(&env);
+        assert_eq!(t.len(), env.detailed().len());
+        for line in t.to_tsv().lines().skip(1) {
+            let cells: Vec<&str> = line.split('\t').collect();
+            let widest: u64 = cells[2].parse().unwrap();
+            let narrowest: u64 = cells[3].parse().unwrap();
+            let useful: u64 = cells[4].parse().unwrap();
+            assert!(widest >= narrowest);
+            assert_eq!(useful, widest);
+            let speedup: f64 = cells[5].parse().unwrap();
+            assert!(speedup >= 1.0);
+        }
+    }
+}

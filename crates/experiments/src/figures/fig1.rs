@@ -1,0 +1,74 @@
+//! Fig. 1: dependence between jobs — CDFs of (a) gaps between
+//! dependent jobs, (b) dependent-chain lengths, (c) transitive
+//! dependents, (d) business groups depending on a job.
+
+use jockey_simrt::stats::Ecdf;
+use jockey_simrt::table::Table;
+use jockey_workloads::pipeline::{
+    chain_lengths, dependency_gaps_mins, dependent_groups, generate_trace, transitive_dependents,
+    TraceConfig,
+};
+
+use crate::env::{Env, Scale};
+
+/// Computes the four Fig. 1 series as `(metric, value, cdf)` rows.
+pub fn run(env: &Env) -> Table {
+    let mut cfg = TraceConfig::default();
+    if env.scale == Scale::Smoke {
+        cfg.jobs = 600;
+    }
+    let trace = generate_trace(&cfg, env.seed ^ 0xf161);
+
+    let mut t = Table::new(["metric", "value", "cdf"]);
+    let emit = |t: &mut Table, metric: &str, values: Vec<f64>| {
+        let e = Ecdf::new(values);
+        // Sample at percentile grid points to keep the table compact.
+        for q in 1..=100 {
+            let x = e.quantile(f64::from(q) / 100.0);
+            t.row([
+                metric.to_string(),
+                format!("{x:.2}"),
+                format!("{:.2}", f64::from(q) / 100.0),
+            ]);
+        }
+    };
+    emit(
+        &mut t,
+        "gap_between_dependent_jobs_mins",
+        dependency_gaps_mins(&trace),
+    );
+    emit(
+        &mut t,
+        "dependent_chain_length",
+        chain_lengths(&trace).iter().map(|&c| c as f64).collect(),
+    );
+    emit(
+        &mut t,
+        "jobs_indirectly_using_output",
+        transitive_dependents(&trace)
+            .iter()
+            .map(|&c| c as f64)
+            .collect(),
+    );
+    emit(
+        &mut t,
+        "groups_depending_on_job",
+        dependent_groups(&trace).iter().map(|&c| c as f64).collect(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_four_cdfs() {
+        let env = Env::build(Scale::Smoke, 7);
+        let t = run(&env);
+        assert_eq!(t.len(), 400);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("gap_between_dependent_jobs_mins"));
+        assert!(tsv.contains("groups_depending_on_job"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 10 (table): comparison of the six progress indicators by
+//! average ΔT (oscillation of the completion estimate) and longest
+//! constant interval (how long the indicator "gets stuck"), both
+//! relative to job duration.
+
+use jockey_core::policy::Policy;
+use jockey_core::progress::ProgressIndicator;
+use jockey_simrt::stats;
+use jockey_simrt::table::Table;
+use jockey_simrt::time::SimTime;
+
+use crate::env::Env;
+use crate::par::parallel_map;
+use crate::slo::{run_slo, SloConfig};
+
+/// Runs every indicator over the detailed jobs and aggregates the two
+/// §5.4 metrics.
+pub fn run(env: &Env) -> Table {
+    let detailed = env.detailed();
+    let cluster = env.experiment_cluster();
+
+    let mut items = Vec::new();
+    for (ki, kind) in ProgressIndicator::ALL.into_iter().enumerate() {
+        for (ji, _) in detailed.iter().enumerate() {
+            for rep in 0..env.scale.repeats() {
+                items.push((kind, ki, ji, rep));
+            }
+        }
+    }
+    let results = parallel_map(items, |(kind, ki, ji, rep)| {
+        let job = detailed[ji];
+        let mut cfg = SloConfig::standard(
+            Policy::Jockey,
+            job.deadline,
+            cluster.clone(),
+            env.seed ^ ((ki as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1010,
+        );
+        cfg.indicator = Some(kind);
+        let out = run_slo(job, &cfg);
+        let dur = out.duration.as_secs_f64();
+        let end = SimTime::ZERO + out.duration;
+        // ΔT: mean |T_t − T_{t+1}| of the completion estimate,
+        // relative to job duration.
+        let delta_t = out.trace.predicted_completion.mean_abs_delta(dur);
+        // Longest stretch the *indicator value* stayed constant.
+        let stuck = out.trace.progress.longest_constant_interval(end);
+        (kind, delta_t, stuck)
+    });
+
+    let mut t = Table::new(["indicator", "avg_delta_T_pct", "longest_constant_interval_pct"]);
+    for kind in ProgressIndicator::ALL {
+        let deltas: Vec<f64> = results
+            .iter()
+            .filter(|(k, _, _)| *k == kind)
+            .map(|&(_, d, _)| d)
+            .collect();
+        let stucks: Vec<f64> = results
+            .iter()
+            .filter(|(k, _, _)| *k == kind)
+            .map(|&(_, _, s)| s)
+            .collect();
+        t.row([
+            kind.name().to_string(),
+            format!("{:.1}", stats::mean(&deltas) * 100.0),
+            format!("{:.1}", stats::mean(&stucks) * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn all_indicators_measured_and_structural_ones_get_stuck_longer() {
+        let env = Env::build(Scale::Smoke, 25);
+        let t = run(&env);
+        assert_eq!(t.len(), 6);
+        let tsv = t.to_tsv();
+        let stuck_of = |name: &str| -> f64 {
+            tsv.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| l.split('\t').nth(2))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let work = stuck_of("totalworkWithQ");
+        let minstage = stuck_of("minstage\t");
+        // §5.4's headline: minstage-style indicators stall much longer
+        // than work-based ones.
+        assert!(
+            minstage >= work,
+            "minstage {minstage} should be >= totalworkWithQ {work}"
+        );
+    }
+}

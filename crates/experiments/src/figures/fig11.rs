@@ -1,0 +1,171 @@
+//! Fig. 11 (table): sensitivity ablations of the control loop —
+//! baseline vs. removing hysteresis/dead zone/slack, a 5-minute
+//! control period, and the `minstage`/`CP` indicators.
+
+use jockey_core::control::ControlParams;
+use jockey_core::policy::Policy;
+use jockey_core::progress::ProgressIndicator;
+use jockey_simrt::stats;
+use jockey_simrt::table::Table;
+use jockey_simrt::time::SimDuration;
+
+use crate::env::Env;
+use crate::par::parallel_map;
+use crate::slo::{run_slo, SloConfig, SloOutcome};
+
+/// One ablation variant.
+#[derive(Clone, Copy)]
+pub struct Variant {
+    /// Paper row label.
+    pub label: &'static str,
+    /// Control parameters.
+    pub params: ControlParams,
+    /// Control period.
+    pub period_mins: u64,
+    /// Indicator override.
+    pub indicator: Option<ProgressIndicator>,
+}
+
+/// The paper's seven Fig. 11 rows.
+pub fn variants() -> Vec<Variant> {
+    let base = ControlParams::default();
+    vec![
+        Variant {
+            label: "baseline",
+            params: base,
+            period_mins: 1,
+            indicator: None,
+        },
+        Variant {
+            label: "no hysteresis, no deadzone",
+            params: ControlParams {
+                hysteresis: 1.0,
+                dead_zone: SimDuration::ZERO,
+                ..base
+            },
+            period_mins: 1,
+            indicator: None,
+        },
+        Variant {
+            label: "no deadzone",
+            params: ControlParams {
+                dead_zone: SimDuration::ZERO,
+                ..base
+            },
+            period_mins: 1,
+            indicator: None,
+        },
+        Variant {
+            label: "no slack, less hysteresis",
+            params: ControlParams {
+                slack: 1.0,
+                hysteresis: 0.4,
+                ..base
+            },
+            period_mins: 1,
+            indicator: None,
+        },
+        Variant {
+            label: "5-min period",
+            params: base,
+            period_mins: 5,
+            indicator: None,
+        },
+        Variant {
+            label: "minstage progress",
+            params: base,
+            period_mins: 1,
+            indicator: Some(ProgressIndicator::MinStage),
+        },
+        Variant {
+            label: "CP progress",
+            params: base,
+            period_mins: 1,
+            indicator: Some(ProgressIndicator::CriticalPath),
+        },
+    ]
+}
+
+/// Runs all variants over the detailed jobs.
+pub fn run(env: &Env) -> Table {
+    let detailed = env.detailed();
+    let cluster = env.experiment_cluster();
+    let vars = variants();
+
+    let mut items = Vec::new();
+    for (vi, _) in vars.iter().enumerate() {
+        for (ji, _) in detailed.iter().enumerate() {
+            for rep in 0..env.scale.repeats() {
+                items.push((vi, ji, rep));
+            }
+        }
+    }
+    let outcomes: Vec<(usize, SloOutcome)> = parallel_map(items, |(vi, ji, rep)| {
+        let v = vars[vi];
+        let job = detailed[ji];
+        let mut cfg = SloConfig::standard(
+            Policy::Jockey,
+            job.deadline,
+            cluster.clone(),
+            env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1111,
+        );
+        cfg.params = v.params;
+        cfg.control_period = SimDuration::from_mins(v.period_mins);
+        cfg.indicator = v.indicator;
+        (vi, run_slo(job, &cfg))
+    });
+
+    let mut t = Table::new([
+        "experiment",
+        "met_SLO",
+        "latency_vs_deadline",
+        "allocation_above_oracle",
+        "median_allocation",
+    ]);
+    for (vi, v) in vars.iter().enumerate() {
+        let group: Vec<&SloOutcome> = outcomes
+            .iter()
+            .filter(|(i, _)| *i == vi)
+            .map(|(_, o)| o)
+            .collect();
+        let met = group.iter().filter(|o| o.met).count() as f64 / group.len() as f64;
+        let lat: Vec<f64> = group.iter().map(|o| o.rel_deadline - 1.0).collect();
+        let above: Vec<f64> = group.iter().map(|o| o.frac_above_oracle).collect();
+        let med: Vec<f64> = group.iter().map(|o| o.median_alloc).collect();
+        t.row([
+            v.label.to_string(),
+            format!("{:.0}%", met * 100.0),
+            format!("{:+.0}%", stats::mean(&lat) * 100.0),
+            format!("{:.0}%", stats::mean(&above) * 100.0),
+            format!("{:.1}", stats::mean(&med)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn seven_variants_reported() {
+        let env = Env::build(Scale::Smoke, 27);
+        let t = run(&env);
+        assert_eq!(t.len(), 7);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("baseline"));
+        assert!(tsv.contains("no hysteresis, no deadzone"));
+        assert!(tsv.contains("CP progress"));
+        // Baseline met-rate parses as a percentage.
+        let met: f64 = tsv
+            .lines()
+            .find(|l| l.starts_with("baseline"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!((0.0..=100.0).contains(&met));
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 12: sensitivity to the slack parameter — SLOs met, latency
+//! relative to deadline, allocation above oracle, and the first /
+//! median / last allocations plus total machine-hours, per slack
+//! value.
+
+use jockey_core::control::ControlParams;
+use jockey_core::policy::Policy;
+use jockey_simrt::stats;
+use jockey_simrt::table::Table;
+
+use crate::env::Env;
+use crate::par::parallel_map;
+use crate::slo::{run_slo, SloConfig, SloOutcome};
+
+/// Slack values swept (the paper's x-axis spans 1.0–1.6).
+pub const SLACKS: [f64; 5] = [1.0, 1.1, 1.2, 1.4, 1.6];
+
+/// Runs the sweep.
+pub fn run(env: &Env) -> Table {
+    let detailed = env.detailed();
+    let cluster = env.experiment_cluster();
+
+    let mut items = Vec::new();
+    for (si, _) in SLACKS.iter().enumerate() {
+        for (ji, _) in detailed.iter().enumerate() {
+            for rep in 0..env.scale.repeats() {
+                items.push((si, ji, rep));
+            }
+        }
+    }
+    let outcomes: Vec<(usize, SloOutcome)> = parallel_map(items, |(si, ji, rep)| {
+        let job = detailed[ji];
+        let mut cfg = SloConfig::standard(
+            Policy::Jockey,
+            job.deadline,
+            cluster.clone(),
+            env.seed ^ ((si as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1212,
+        );
+        cfg.params = ControlParams {
+            slack: SLACKS[si],
+            ..ControlParams::default()
+        };
+        (si, run_slo(job, &cfg))
+    });
+
+    let mut t = Table::new([
+        "slack",
+        "met_SLO",
+        "latency_vs_deadline",
+        "allocation_above_oracle",
+        "first_allocation",
+        "median_allocation",
+        "last_allocation",
+        "machine_hours",
+    ]);
+    for (si, &slack) in SLACKS.iter().enumerate() {
+        let group: Vec<&SloOutcome> = outcomes
+            .iter()
+            .filter(|(i, _)| *i == si)
+            .map(|(_, o)| o)
+            .collect();
+        let met = group.iter().filter(|o| o.met).count() as f64 / group.len() as f64;
+        let lat: Vec<f64> = group.iter().map(|o| o.rel_deadline - 1.0).collect();
+        let above: Vec<f64> = group.iter().map(|o| o.frac_above_oracle).collect();
+        let first: Vec<f64> = group.iter().map(|o| o.first_alloc).collect();
+        let med: Vec<f64> = group.iter().map(|o| o.median_alloc).collect();
+        let last: Vec<f64> = group.iter().map(|o| o.last_alloc).collect();
+        let hours: Vec<f64> = group.iter().map(|o| o.machine_hours).collect();
+        t.row([
+            format!("{slack}"),
+            format!("{:.0}%", met * 100.0),
+            format!("{:+.0}%", stats::mean(&lat) * 100.0),
+            format!("{:.0}%", stats::mean(&above) * 100.0),
+            format!("{:.1}", stats::mean(&first)),
+            format!("{:.1}", stats::mean(&med)),
+            format!("{:.1}", stats::mean(&last)),
+            format!("{:.1}", stats::mean(&hours)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn more_slack_allocates_more_upfront() {
+        let env = Env::build(Scale::Smoke, 29);
+        let t = run(&env);
+        assert_eq!(t.len(), SLACKS.len());
+        let firsts: Vec<f64> = t
+            .to_tsv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split('\t').nth(4).unwrap().parse().unwrap())
+            .collect();
+        // Fig. 12: initial allocation grows with slack.
+        assert!(
+            firsts.last().unwrap() >= firsts.first().unwrap(),
+            "first allocations {firsts:?}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 13: sensitivity to the hysteresis parameter — SLOs met,
+//! latency relative to deadline, allocation above oracle, and the
+//! median / max / last allocations plus machine-hours, per α.
+
+use jockey_core::control::ControlParams;
+use jockey_core::policy::Policy;
+use jockey_simrt::stats;
+use jockey_simrt::table::Table;
+
+use crate::env::Env;
+use crate::par::parallel_map;
+use crate::slo::{run_slo, SloConfig, SloOutcome};
+
+/// Hysteresis values swept (the paper's x-axis spans 0.05–1.0).
+pub const ALPHAS: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
+
+/// Runs the sweep.
+pub fn run(env: &Env) -> Table {
+    let detailed = env.detailed();
+    let cluster = env.experiment_cluster();
+
+    let mut items = Vec::new();
+    for (ai, _) in ALPHAS.iter().enumerate() {
+        for (ji, _) in detailed.iter().enumerate() {
+            for rep in 0..env.scale.repeats() {
+                items.push((ai, ji, rep));
+            }
+        }
+    }
+    let outcomes: Vec<(usize, SloOutcome)> = parallel_map(items, |(ai, ji, rep)| {
+        let job = detailed[ji];
+        let mut cfg = SloConfig::standard(
+            Policy::Jockey,
+            job.deadline,
+            cluster.clone(),
+            env.seed ^ ((ai as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1313,
+        );
+        cfg.params = ControlParams {
+            hysteresis: ALPHAS[ai],
+            ..ControlParams::default()
+        };
+        (ai, run_slo(job, &cfg))
+    });
+
+    let mut t = Table::new([
+        "hysteresis",
+        "met_SLO",
+        "latency_vs_deadline",
+        "allocation_above_oracle",
+        "median_allocation",
+        "max_allocation",
+        "last_allocation",
+        "machine_hours",
+    ]);
+    for (ai, &alpha) in ALPHAS.iter().enumerate() {
+        let group: Vec<&SloOutcome> = outcomes
+            .iter()
+            .filter(|(i, _)| *i == ai)
+            .map(|(_, o)| o)
+            .collect();
+        let met = group.iter().filter(|o| o.met).count() as f64 / group.len() as f64;
+        let lat: Vec<f64> = group.iter().map(|o| o.rel_deadline - 1.0).collect();
+        let above: Vec<f64> = group.iter().map(|o| o.frac_above_oracle).collect();
+        let med: Vec<f64> = group.iter().map(|o| o.median_alloc).collect();
+        let max: Vec<f64> = group.iter().map(|o| o.max_alloc).collect();
+        let last: Vec<f64> = group.iter().map(|o| o.last_alloc).collect();
+        let hours: Vec<f64> = group.iter().map(|o| o.machine_hours).collect();
+        t.row([
+            format!("{alpha}"),
+            format!("{:.0}%", met * 100.0),
+            format!("{:+.0}%", stats::mean(&lat) * 100.0),
+            format!("{:.0}%", stats::mean(&above) * 100.0),
+            format!("{:.1}", stats::mean(&med)),
+            format!("{:.1}", stats::mean(&max)),
+            format!("{:.1}", stats::mean(&last)),
+            format!("{:.1}", stats::mean(&hours)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn all_alphas_reported() {
+        let env = Env::build(Scale::Smoke, 31);
+        let t = run(&env);
+        assert_eq!(t.len(), ALPHAS.len());
+        // Max allocation should not shrink as smoothing is removed
+        // (the paper finds higher α ⇒ much higher max allocations).
+        let maxes: Vec<f64> = t
+            .to_tsv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split('\t').nth(5).unwrap().parse().unwrap())
+            .collect();
+        assert!(maxes.iter().all(|&m| m >= 1.0), "{maxes:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 3: stage dependency structure of the evaluation jobs, rendered
+//! as Graphviz digraphs (blue triangles = full-shuffle/barrier stages,
+//! node size ∝ vertex count — the paper's visual language).
+
+use jockey_jobgraph::dot::to_dot;
+
+use crate::env::Env;
+
+/// Renders each detailed job; returns `(filename, dot source)` pairs.
+pub fn run(env: &Env) -> Vec<(String, String)> {
+    env.detailed()
+        .iter()
+        .map(|j| {
+            (
+                format!("fig3/{}.dot", j.gen.graph.name()),
+                to_dot(&j.gen.graph),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn renders_every_detailed_job() {
+        let env = Env::build(Scale::Smoke, 7);
+        let out = run(&env);
+        assert_eq!(out.len(), env.detailed().len());
+        for (name, dot) in &out {
+            assert!(name.ends_with(".dot"));
+            assert!(dot.starts_with("digraph"));
+        }
+    }
+}

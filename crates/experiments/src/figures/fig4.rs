@@ -1,0 +1,85 @@
+//! Fig. 4: fraction of deadlines missed vs. fraction of allocation
+//! above the oracle, per policy.
+
+use jockey_core::policy::Policy;
+use jockey_simrt::stats;
+use jockey_simrt::table::Table;
+
+use crate::figures::sweep;
+use crate::slo::SloOutcome;
+
+/// Aggregates sweep outcomes into the Fig. 4 scatter: one row per
+/// policy with (x = mean fraction of allocation above oracle,
+/// y = fraction of deadlines missed).
+pub fn table(outcomes: &[SloOutcome]) -> Table {
+    let mut t = Table::new([
+        "policy",
+        "runs",
+        "fraction_missed",
+        "fraction_above_oracle",
+        "mean_rel_deadline",
+    ]);
+    for policy in Policy::ALL {
+        let runs = sweep::by_policy(outcomes, policy);
+        if runs.is_empty() {
+            continue;
+        }
+        let missed = runs.iter().filter(|o| !o.met).count() as f64 / runs.len() as f64;
+        let above: Vec<f64> = runs.iter().map(|o| o.frac_above_oracle).collect();
+        let rel: Vec<f64> = runs.iter().map(|o| o.rel_deadline).collect();
+        t.row([
+            policy.name().to_string(),
+            runs.len().to_string(),
+            format!("{:.3}", missed),
+            format!("{:.3}", stats::mean(&above)),
+            format!("{:.3}", stats::mean(&rel)),
+        ]);
+    }
+    t
+}
+
+/// Detail rows for every missed deadline (diagnostics; written next
+/// to the aggregate so calibration changes can be traced to runs).
+pub fn misses_table(outcomes: &[SloOutcome]) -> Table {
+    let mut t = Table::new([
+        "policy", "job", "deadline_min", "rel_deadline", "completed",
+        "oracle", "median_alloc", "max_alloc", "last_alloc",
+    ]);
+    for o in outcomes.iter().filter(|o| !o.met) {
+        t.row([
+            o.policy.name().to_string(),
+            o.job.clone(),
+            format!("{:.0}", o.deadline.as_minutes_f64()),
+            format!("{:.2}", o.rel_deadline),
+            o.completed.to_string(),
+            o.oracle.to_string(),
+            format!("{:.0}", o.median_alloc),
+            format!("{:.0}", o.max_alloc),
+            format!("{:.0}", o.last_alloc),
+        ]);
+    }
+    t
+}
+
+/// Runs the sweep and aggregates (standalone entry point).
+pub fn run(env: &crate::env::Env) -> Table {
+    let outcomes = sweep::run(env);
+    crate::report::emit("fig4_misses", "Fig. 4 diagnostics: missed runs", &misses_table(&outcomes));
+    table(&outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Env, Scale};
+
+    #[test]
+    fn aggregates_have_one_row_per_policy() {
+        let env = Env::build(Scale::Smoke, 3);
+        let t = run(&env);
+        assert_eq!(t.len(), 4);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("Jockey"));
+        assert!(tsv.contains("max allocation"));
+    }
+}

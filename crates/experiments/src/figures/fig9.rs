@@ -1,0 +1,72 @@
+//! Fig. 9: progress-indicator traces — the `totalworkWithQ` and `CP`
+//! indicator values and the resulting estimated completion times `T_t`
+//! over one controlled run of job G.
+
+use jockey_core::policy::Policy;
+use jockey_core::progress::ProgressIndicator;
+use jockey_simrt::table::Table;
+
+use crate::env::Env;
+use crate::slo::{run_slo, SloConfig, SloOutcome};
+
+/// Runs job G once per indicator and emits `(indicator, minute,
+/// progress_pct, estimated_completion_min)` rows.
+pub fn run(env: &Env) -> Table {
+    let detailed = env.detailed();
+    let job = detailed
+        .iter()
+        .find(|j| j.gen.targets.name == "G")
+        .unwrap_or(detailed.last().expect("non-empty detailed set"));
+    let cluster = env.experiment_cluster();
+
+    let mut t = Table::new([
+        "indicator",
+        "minute",
+        "progress_pct",
+        "estimated_completion_min",
+    ]);
+    for kind in [ProgressIndicator::TotalWorkWithQ, ProgressIndicator::CriticalPath] {
+        let mut cfg = SloConfig::standard(
+            Policy::Jockey,
+            job.deadline,
+            cluster.clone(),
+            env.seed ^ 0x919,
+        );
+        cfg.indicator = Some(kind);
+        let out: SloOutcome = run_slo(job, &cfg);
+        for &(at, p) in out.trace.progress.points() {
+            let tt = out
+                .trace
+                .predicted_completion
+                .value_at(at)
+                .unwrap_or(f64::NAN);
+            t.row([
+                kind.name().to_string(),
+                format!("{:.1}", at.as_minutes_f64()),
+                format!("{:.1}", p * 100.0),
+                format!("{:.1}", tt / 60.0),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn traces_cover_both_indicators() {
+        let env = Env::build(Scale::Smoke, 23);
+        let t = run(&env);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("totalworkWithQ"));
+        assert!(tsv.contains("CP"));
+        // Progress values stay within [0, 100].
+        for line in tsv.lines().skip(1) {
+            let p: f64 = line.split('\t').nth(2).unwrap().parse().unwrap();
+            assert!((0.0..=100.0).contains(&p), "progress {p}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! One module per paper table/figure.
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`table1`] | CoV of recurring-job completion times |
+//! | [`fig1`] | job-dependency CDFs |
+//! | [`table2`] | statistics of jobs A–G |
+//! | [`fig3`] | stage dependency graphs (Graphviz) |
+//! | [`sweep`] | the shared §5.2 policy sweep |
+//! | [`fig4`] | % deadlines missed vs. allocation above oracle |
+//! | [`fig5`] | CDFs of completion time relative to deadline |
+//! | [`fig6`] | adaptive-run time series |
+//! | [`table3`] | training vs. actual runs of job F |
+//! | [`fig7`] | mid-run deadline changes |
+//! | [`fig8`] | simulator vs. Amdahl prediction error |
+//! | [`fig9`] | progress-indicator traces |
+//! | [`fig10`] | indicator comparison (ΔT, constant interval) |
+//! | [`fig11`] | control-loop sensitivity ablations |
+//! | [`fig12`] | slack parameter sweep |
+//! | [`fig13`] | hysteresis parameter sweep |
+//! | [`ext`] | §4.4/§5.6 extension controllers under adverse load |
+//! | [`appendix`] | structural parallelism profiles (§3.3) |
+
+pub mod appendix;
+pub mod ext;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sweep;
+pub mod table1;
+pub mod table2;
+pub mod table3;

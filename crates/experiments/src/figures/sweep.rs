@@ -1,0 +1,87 @@
+//! The shared §5.2 policy sweep backing Figs. 4 and 5.
+//!
+//! Every evaluation job runs under each of the four policies, at its
+//! base deadline (and, for the detailed jobs, a second deadline twice
+//! as long — §5.1 tests seven jobs with two deadlines each), repeated
+//! across independent cluster seeds. The paper reports "more than 80
+//! runs per policy"; at full scale this sweep produces
+//! `(21 + 7) × 3 = 84` runs per policy.
+
+use jockey_core::policy::Policy;
+use jockey_simrt::time::SimDuration;
+use jockey_workloads::recurring::input_size_factors;
+
+use crate::env::Env;
+use crate::par::parallel_map;
+use crate::slo::{run_slo, SloConfig, SloOutcome};
+
+/// Runs the full policy sweep. Deterministic in the environment seed.
+///
+/// Each (job, deadline, repetition) cell draws an input-size factor
+/// (§2.3: inputs vary across runs of recurring jobs) shared by all
+/// four policies, so policy comparisons are paired.
+pub fn run(env: &Env) -> Vec<SloOutcome> {
+    let mut items: Vec<(usize, Policy, SimDuration, f64, u64)> = Vec::new();
+    for (ji, job) in env.jobs.iter().enumerate() {
+        let factors = input_size_factors(env.scale.repeats() * 2, 0.18, env.seed ^ (ji as u64));
+        let mut deadlines = vec![job.deadline];
+        if job.detailed {
+            deadlines.push(job.deadline * 2);
+        }
+        for (di, deadline) in deadlines.into_iter().enumerate() {
+            for policy in Policy::ALL {
+                for rep in 0..env.scale.repeats() {
+                    let seed = env.seed
+                        ^ ((ji as u64) << 32)
+                        ^ ((rep as u64) << 16)
+                        ^ (policy_tag(policy) << 8)
+                        ^ (deadline.as_millis() & 0xff);
+                    let factor = factors[di * env.scale.repeats() + rep];
+                    items.push((ji, policy, deadline, factor, seed));
+                }
+            }
+        }
+    }
+    let cluster = env.experiment_cluster();
+    parallel_map(items, |(ji, policy, deadline, factor, seed)| {
+        let mut cfg = SloConfig::standard(policy, deadline, cluster.clone(), seed);
+        cfg.work_scale = factor;
+        run_slo(&env.jobs[ji], &cfg)
+    })
+}
+
+fn policy_tag(p: Policy) -> u64 {
+    match p {
+        Policy::Jockey => 1,
+        Policy::JockeyNoAdapt => 2,
+        Policy::JockeyNoSim => 3,
+        Policy::MaxAllocation => 4,
+    }
+}
+
+/// Outcomes for one policy.
+pub fn by_policy(outcomes: &[SloOutcome], policy: Policy) -> Vec<&SloOutcome> {
+    outcomes.iter().filter(|o| o.policy == policy).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn smoke_sweep_covers_all_policies() {
+        let env = Env::build(Scale::Smoke, 3);
+        let outcomes = run(&env);
+        // 3 jobs × 2 deadlines × 4 policies × 1 repeat.
+        assert_eq!(outcomes.len(), 3 * 2 * 4);
+        for p in Policy::ALL {
+            let runs = by_policy(&outcomes, p);
+            assert_eq!(runs.len(), 6);
+            // Max allocation should meet every smoke deadline.
+            if p == Policy::MaxAllocation {
+                assert!(runs.iter().all(|o| o.met), "max-alloc missed a deadline");
+            }
+        }
+    }
+}

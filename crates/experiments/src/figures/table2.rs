@@ -1,0 +1,113 @@
+//! Table 2: statistics of the evaluation jobs, measured from their
+//! training profiles, with the paper's published targets alongside.
+
+use jockey_simrt::stats;
+use jockey_simrt::table::Table;
+
+use crate::env::Env;
+
+/// Measures each detailed job's Table 2 statistics. Cells show
+/// `measured (target)` where a published target exists.
+pub fn run(env: &Env) -> Table {
+    let jobs = env.detailed();
+    let mut columns = vec!["stat".to_string()];
+    columns.extend(jobs.iter().map(|j| j.gen.targets.name.to_string()));
+    let mut t = Table::new(columns);
+
+    let fmt = |measured: f64, target: f64| format!("{measured:.1} ({target:.1})");
+
+    let mut row = |label: &str, f: &dyn Fn(&crate::env::EvalJob) -> String| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(jobs.iter().map(|j| f(j)));
+        t.row(cells);
+    };
+
+    row("vertex runtime median [sec]", &|j| {
+        let all = pooled_runtimes(j);
+        fmt(stats::percentile(&all, 50.0), j.gen.targets.runtime_median)
+    });
+    row("vertex runtime p90 [sec]", &|j| {
+        let all = pooled_runtimes(j);
+        fmt(stats::percentile(&all, 90.0), j.gen.targets.runtime_p90)
+    });
+    row("vertex runtime p90 [sec] (fastest stage)", &|j| {
+        let p90s = stage_p90s(j);
+        fmt(
+            p90s.iter().copied().fold(f64::INFINITY, f64::min),
+            j.gen.targets.p90_fastest,
+        )
+    });
+    row("vertex runtime p90 [sec] (slowest stage)", &|j| {
+        let p90s = stage_p90s(j);
+        fmt(
+            p90s.iter().copied().fold(0.0, f64::max),
+            j.gen.targets.p90_slowest,
+        )
+    });
+    row("total data read [GB]", &|j| {
+        fmt(j.profile.total_data_gb, j.gen.targets.data_gb)
+    });
+    row("number of stages", &|j| {
+        format!(
+            "{} ({})",
+            j.gen.graph.num_stages(),
+            j.gen.targets.stages
+        )
+    });
+    row("number of barrier stages", &|j| {
+        format!(
+            "{} ({})",
+            j.gen.graph.num_barrier_stages(),
+            j.gen.targets.barriers
+        )
+    });
+    row("number of vertices", &|j| {
+        format!("{} ({})", j.gen.graph.total_tasks(), j.gen.targets.vertices)
+    });
+    t
+}
+
+/// All recorded task runtimes of the training run, pooled.
+fn pooled_runtimes(j: &crate::env::EvalJob) -> Vec<f64> {
+    j.profile
+        .stages
+        .iter()
+        .flat_map(|s| s.runtimes.iter().copied())
+        .collect()
+}
+
+/// Per-stage p90 runtimes from the training run (stages with at least
+/// four samples, to avoid single-task noise dominating the extremes).
+fn stage_p90s(j: &crate::env::EvalJob) -> Vec<f64> {
+    j.profile
+        .stages
+        .iter()
+        .filter(|s| s.runtimes.len() >= 4)
+        .map(|s| stats::percentile(&s.runtimes, 90.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Scale;
+
+    #[test]
+    fn exact_structure_is_reported() {
+        let env = Env::build(Scale::Smoke, 7);
+        let t = run(&env);
+        assert_eq!(t.len(), 8);
+        let tsv = t.to_tsv();
+        // Structural stats must match targets exactly: "x (x)".
+        for line in tsv.lines().filter(|l| {
+            l.starts_with("number of stages")
+                || l.starts_with("number of vertices")
+                || l.starts_with("number of barrier")
+        }) {
+            for cell in line.split('\t').skip(1) {
+                let (m, t) = cell.split_once(" (").unwrap();
+                assert_eq!(m, t.trim_end_matches(')'), "mismatch in {cell}");
+            }
+        }
+    }
+}

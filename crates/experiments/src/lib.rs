@@ -1,0 +1,50 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! paper's §2 measurement study and §5 evaluation.
+//!
+//! Each figure/table has a module under [`figures`] exposing a
+//! `run(&Env) -> …` entry point and a thin binary under `src/bin/`
+//! (e.g. `cargo run --release -p jockey-experiments --bin fig4`).
+//! `--bin repro-all` regenerates everything and writes TSVs under
+//! `results/`.
+//!
+//! The harness pieces:
+//!
+//! - [`env`](mod@env): builds the evaluation jobs (Table 2's A–G plus synthetic
+//!   recurring jobs), their training profiles and trained
+//!   [`jockey_core::policy::JockeySetup`]s, at three scales (smoke /
+//!   quick / full).
+//! - [`slo`]: runs one SLO-controlled job execution in the shared
+//!   cluster and extracts the §5.1 metrics (deadline met, completion
+//!   relative to deadline, allocation above oracle, allocation stats).
+//! - [`report`]: results directory and table output helpers.
+//! - [`par`]: a deterministic parallel map used for experiment sweeps.
+
+pub mod env;
+pub mod figures;
+pub mod par;
+pub mod report;
+pub mod slo;
+
+pub use env::{Env, EvalJob, Scale};
+pub use slo::{run_slo, SloConfig, SloOutcome};
+
+/// Builds the environment for an experiment binary: scale from
+/// `JOCKEY_SCALE` (`smoke`/`quick`/`full`, default full), seed from
+/// `JOCKEY_SEED` (default 42). Prints a short banner since training
+/// takes a while at full scale.
+pub fn bin_env() -> Env {
+    let scale = Scale::from_env();
+    let seed = std::env::var("JOCKEY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("[jockey] building environment: scale={scale:?} seed={seed} (training C(p,a) models...)");
+    let start = std::time::Instant::now();
+    let env = Env::build(scale, seed);
+    eprintln!(
+        "[jockey] environment ready: {} jobs in {:.1}s",
+        env.jobs.len(),
+        start.elapsed().as_secs_f64()
+    );
+    env
+}

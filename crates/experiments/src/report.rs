@@ -1,0 +1,74 @@
+//! Results output: directory layout and table emission.
+
+use jockey_simrt::table::Table;
+use std::path::PathBuf;
+
+/// The directory experiment outputs are written to: the
+/// `JOCKEY_RESULTS` environment variable if set, else `results/` under
+/// the current directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("JOCKEY_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints `table` (aligned) under a heading and writes it to
+/// `results/<name>.tsv`.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be written.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("== {title} ==");
+    print!("{}", table.to_aligned());
+    println!();
+    let path = results_dir().join(format!("{name}.tsv"));
+    table
+        .write_tsv(&path)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("[written {}]", path.display());
+}
+
+/// Writes raw text (e.g. a Graphviz rendering) to
+/// `results/<filename>`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn emit_text(filename: &str, text: &str) {
+    let path = results_dir().join(filename);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("creating results dir");
+    }
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("[written {}]", path.display());
+}
+
+/// Formats a float with three significant decimals for table cells.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn results_dir_respects_env() {
+        // Can't mutate the process env safely in parallel tests;
+        // just check the default shape.
+        let d = results_dir();
+        assert!(d.ends_with("results") || d.is_absolute());
+    }
+}

@@ -1,0 +1,313 @@
+//! Running one SLO-controlled job execution and extracting the §5.1
+//! metrics.
+
+use std::sync::Arc;
+
+use jockey_cluster::{ClusterConfig, ClusterSim, JobSpec, RunTrace};
+use jockey_core::control::ControlParams;
+use jockey_core::oracle::oracle_allocation;
+use jockey_core::policy::Policy;
+use jockey_core::progress::ProgressIndicator;
+use jockey_simrt::dist::{Sample, Scaled};
+use jockey_simrt::time::{SimDuration, SimTime};
+
+use crate::env::EvalJob;
+
+/// The §4.4/§5.6 extension controllers, selectable per run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Extension {
+    /// Online model recalibration (λ inflation tracking).
+    Recalibrating,
+    /// Fair-share fallback on persistent model error.
+    FallbackGuard {
+        /// Guarantee pinned after falling back.
+        fair_share: u32,
+    },
+}
+
+/// Configuration of one SLO experiment run.
+#[derive(Clone)]
+pub struct SloConfig {
+    /// Which §5.2 policy controls the job.
+    pub policy: Policy,
+    /// The SLO deadline.
+    pub deadline: SimDuration,
+    /// Control-loop parameters (slack, hysteresis, dead zone).
+    pub params: ControlParams,
+    /// Progress-indicator override (`None` uses the setup's default).
+    pub indicator: Option<ProgressIndicator>,
+    /// Control period (the paper re-runs the loop each minute).
+    pub control_period: SimDuration,
+    /// Input-size factor: scales all task runtimes (1.0 = training
+    /// size).
+    pub work_scale: f64,
+    /// Optionally slow one stage by a factor (Fig. 6(b)'s scenario).
+    pub stage_slow: Option<(usize, f64)>,
+    /// Optionally change the deadline mid-run (Fig. 7).
+    pub deadline_change: Option<(SimTime, SimDuration)>,
+    /// Optionally bypass the policy and pin a fixed guarantee (used by
+    /// the Table 1 measurement study, which predates Jockey).
+    pub force_allocation: Option<u32>,
+    /// Optional §4.4/§5.6 extension wrapped around the Jockey
+    /// controller.
+    pub extension: Option<Extension>,
+    /// Cluster configuration for this run.
+    pub cluster: ClusterConfig,
+    /// Seed for all of this run's randomness.
+    pub seed: u64,
+}
+
+impl SloConfig {
+    /// A standard run: the given policy and deadline, default control
+    /// parameters, training-size input.
+    pub fn standard(
+        policy: Policy,
+        deadline: SimDuration,
+        cluster: ClusterConfig,
+        seed: u64,
+    ) -> Self {
+        SloConfig {
+            policy,
+            deadline,
+            params: ControlParams::default(),
+            indicator: None,
+            control_period: SimDuration::from_mins(1),
+            work_scale: 1.0,
+            stage_slow: None,
+            deadline_change: None,
+            force_allocation: None,
+            extension: None,
+            cluster,
+            seed,
+        }
+    }
+}
+
+/// Metrics of one SLO experiment run.
+#[derive(Clone, Debug)]
+pub struct SloOutcome {
+    /// Job name.
+    pub job: String,
+    /// Policy that ran.
+    pub policy: Policy,
+    /// The effective deadline (after any mid-run change).
+    pub deadline: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+    /// Whether the job finished within the simulation horizon.
+    pub completed: bool,
+    /// End-to-end latency (horizon if incomplete).
+    pub duration: SimDuration,
+    /// `duration / deadline` (Fig. 5's x-axis; <1 means SLO met).
+    pub rel_deadline: f64,
+    /// Whether the SLO was met.
+    pub met: bool,
+    /// The oracle allocation for this run's measured work.
+    pub oracle: u32,
+    /// Fraction of the requested allocation above the oracle (§5.1's
+    /// impact metric).
+    pub frac_above_oracle: f64,
+    /// First / median / last / max of the applied guarantee.
+    pub first_alloc: f64,
+    /// Median applied guarantee.
+    pub median_alloc: f64,
+    /// Final applied guarantee.
+    pub last_alloc: f64,
+    /// Maximum applied guarantee.
+    pub max_alloc: f64,
+    /// Total guaranteed machine-hours requested.
+    pub machine_hours: f64,
+    /// Completed work in task-seconds.
+    pub work_done_secs: f64,
+    /// Tasks run on spare tokens.
+    pub spare_tasks: u64,
+    /// Tasks run on guaranteed tokens.
+    pub guaranteed_tasks: u64,
+    /// The full trace (allocation/progress/prediction series).
+    pub trace: RunTrace,
+    /// The run's measured profile (Table 3 uses these).
+    pub profile: jockey_jobgraph::profile::JobProfile,
+}
+
+/// Runs one SLO experiment.
+pub fn run_slo(job: &EvalJob, cfg: &SloConfig) -> SloOutcome {
+    // Build the run's spec: input-size scaling plus optional per-stage
+    // slowdowns.
+    let mut runtimes: Vec<Arc<dyn Sample>> = job
+        .gen
+        .spec
+        .stage_runtimes
+        .iter()
+        .map(|d| -> Arc<dyn Sample> {
+            if cfg.work_scale == 1.0 {
+                d.clone()
+            } else {
+                Arc::new(Scaled::new(d.clone(), cfg.work_scale))
+            }
+        })
+        .collect();
+    if let Some((stage, factor)) = cfg.stage_slow {
+        runtimes[stage] = Arc::new(Scaled::new(runtimes[stage].clone(), factor));
+    }
+    let spec = JobSpec::new(
+        job.gen.spec.graph.clone(),
+        runtimes,
+        job.gen.spec.stage_queues.clone(),
+        job.gen.spec.task_failure_prob,
+        job.gen.spec.data_gb * cfg.work_scale,
+    );
+
+    let indicator = cfg.indicator.unwrap_or(job.setup.indicator);
+    let controller: Box<dyn jockey_cluster::JobController> = match (cfg.force_allocation, cfg.extension) {
+        (Some(tokens), _) => Box::new(jockey_cluster::FixedAllocation(tokens)),
+        (None, Some(Extension::Recalibrating)) => {
+            Box::new(jockey_core::recal::RecalibratingController::new(
+                job.setup.cpa.clone(),
+                job.setup.indicator_context_of(indicator),
+                jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
+                cfg.params,
+            ))
+        }
+        (None, Some(Extension::FallbackGuard { fair_share })) => {
+            let inner = jockey_core::control::JockeyController::new(
+                job.setup.cpa.clone(),
+                job.setup.indicator_context_of(indicator),
+                jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
+                cfg.params,
+            );
+            Box::new(jockey_core::fallback::FallbackGuard::new(inner, fair_share, 1.5, 3))
+        }
+        (None, None) => job.setup.controller_with_indicator(
+            cfg.policy,
+            cfg.deadline,
+            cfg.params,
+            indicator,
+        ),
+    };
+
+    let mut cluster = cfg.cluster.clone();
+    cluster.control_period = cfg.control_period;
+    let mut sim = ClusterSim::new(cluster, cfg.seed);
+    let idx = sim.add_job(spec, controller);
+    let mut deadline = cfg.deadline;
+    if let Some((at, new_deadline)) = cfg.deadline_change {
+        sim.schedule_deadline_change(idx, at, new_deadline);
+        deadline = new_deadline;
+    }
+    let result = sim.run().remove(idx);
+
+    let completed = result.completed_at.is_some();
+    // Incomplete runs are censored at the simulation horizon.
+    let end = result.completed_at.unwrap_or(
+        result.started_at + cfg.cluster.max_sim_time.saturating_since(SimTime::ZERO),
+    );
+    let duration = end.saturating_since(result.started_at);
+    let rel = duration.as_secs_f64() / deadline.as_secs_f64();
+    let oracle = oracle_allocation(result.work_done_secs, deadline);
+
+    SloOutcome {
+        job: result.name.clone(),
+        policy: cfg.policy,
+        deadline,
+        seed: cfg.seed,
+        completed,
+        duration,
+        rel_deadline: rel,
+        met: completed && rel <= 1.0,
+        oracle,
+        frac_above_oracle: result.trace.fraction_above_oracle(end, oracle),
+        first_alloc: result.trace.first_guarantee(),
+        median_alloc: result.trace.median_guarantee(),
+        last_alloc: result.trace.last_guarantee(),
+        max_alloc: result.trace.max_guarantee(),
+        machine_hours: result.trace.guarantee_token_seconds(end) / 3_600.0,
+        work_done_secs: result.work_done_secs,
+        spare_tasks: result.spare_task_count,
+        guaranteed_tasks: result.guaranteed_task_count,
+        trace: result.trace,
+        profile: result.profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Env, Scale};
+
+    fn env() -> Env {
+        Env::build(Scale::Smoke, 5)
+    }
+
+    #[test]
+    fn jockey_meets_smoke_deadlines() {
+        let env = env();
+        let job = &env.jobs[0];
+        let cfg = SloConfig::standard(
+            Policy::Jockey,
+            job.deadline,
+            env.experiment_cluster(),
+            1,
+        );
+        let out = run_slo(job, &cfg);
+        assert!(out.completed, "job did not complete");
+        assert!(out.met, "rel={:.2}", out.rel_deadline);
+        assert!(out.oracle >= 1);
+        assert!(out.machine_hours > 0.0);
+    }
+
+    #[test]
+    fn max_allocation_finishes_much_earlier() {
+        let env = env();
+        let job = &env.jobs[0];
+        let mk = |policy| {
+            run_slo(
+                job,
+                &SloConfig::standard(policy, job.deadline, env.experiment_cluster(), 2),
+            )
+        };
+        let jockey = mk(Policy::Jockey);
+        let maxa = mk(Policy::MaxAllocation);
+        assert!(maxa.met);
+        // At smoke scale the dead zone dominates tiny deadlines, so
+        // Jockey can track max-allocation closely; allow a small slop.
+        assert!(maxa.rel_deadline <= jockey.rel_deadline + 0.10);
+        // Max allocation requests at least as much above the oracle as
+        // Jockey (they can tie at smoke scale where the dead zone pins
+        // Jockey at the budget), and always holds the full budget.
+        assert!(maxa.frac_above_oracle >= jockey.frac_above_oracle);
+        assert_eq!(maxa.median_alloc, 100.0);
+    }
+
+    #[test]
+    fn work_scale_inflates_duration() {
+        let env = env();
+        let job = &env.jobs[0];
+        let base = SloConfig::standard(
+            Policy::MaxAllocation,
+            job.deadline,
+            env.experiment_cluster(),
+            3,
+        );
+        let mut big = base.clone();
+        big.work_scale = 2.0;
+        let a = run_slo(job, &base);
+        let b = run_slo(job, &big);
+        assert!(b.work_done_secs > a.work_done_secs * 1.5);
+    }
+
+    #[test]
+    fn deadline_change_is_reported() {
+        let env = env();
+        let job = &env.jobs[0];
+        let mut cfg = SloConfig::standard(
+            Policy::Jockey,
+            job.deadline,
+            env.experiment_cluster(),
+            4,
+        );
+        let new_deadline = SimDuration::from_mins(job.deadline.as_minutes_f64() as u64 * 2);
+        cfg.deadline_change = Some((SimTime::from_mins(2), new_deadline));
+        let out = run_slo(job, &cfg);
+        assert_eq!(out.deadline, new_deadline);
+    }
+}

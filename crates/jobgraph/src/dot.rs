@@ -1,0 +1,128 @@
+//! Graphviz rendering of plan graphs, in the style of Fig. 3.
+//!
+//! In the paper's visualization each node is a stage, *blue triangular*
+//! nodes are stages with a full shuffle (all-to-all input), node size is
+//! proportional to the stage's vertex count, and edges run top to
+//! bottom. [`to_dot`] reproduces that styling; the `fig3` experiment
+//! binary writes one `.dot` file per evaluation job.
+
+use crate::graph::JobGraph;
+use std::fmt::Write as _;
+
+/// Renders `graph` as a Graphviz `digraph`.
+///
+/// Stages with an inbound all-to-all edge (barriers / full shuffles) are
+/// drawn as triangles, others as circles; node width scales with the
+/// square root of the task count so area tracks vertex count.
+///
+/// # Examples
+///
+/// ```
+/// use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+/// use jockey_jobgraph::dot::to_dot;
+///
+/// let mut b = JobGraphBuilder::new("j");
+/// let m = b.stage("map", 4);
+/// let r = b.stage("reduce", 2);
+/// b.edge(m, r, EdgeKind::AllToAll);
+/// let dot = to_dot(&b.build().unwrap());
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("triangle"));
+/// ```
+pub fn to_dot(graph: &JobGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fixedsize=true, fontsize=8];");
+
+    let max_tasks = graph
+        .stage_ids()
+        .map(|s| graph.tasks_in(s))
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+
+    for s in graph.stage_ids() {
+        let tasks = graph.tasks_in(s) as f64;
+        // Node area proportional to vertex count: width in [0.25, 1.5].
+        let width = 0.25 + 1.25 * (tasks / max_tasks).sqrt();
+        let (shape, color) = if graph.is_barrier_stage(s) {
+            ("triangle", "#4472c4")
+        } else {
+            ("circle", "#222222")
+        };
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"{}\\n{} tasks\", shape={}, width={:.2}, height={:.2}, color=\"{}\"];",
+            s.index(),
+            escape(&graph.stage(s).name),
+            graph.tasks_in(s),
+            shape,
+            width,
+            width,
+            color,
+        );
+    }
+    for e in graph.edges() {
+        let style = match e.kind {
+            crate::graph::EdgeKind::OneToOne => "solid",
+            crate::graph::EdgeKind::AllToAll => "bold",
+        };
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [style={}];",
+            e.from.index(),
+            e.to.index(),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, JobGraphBuilder};
+
+    #[test]
+    fn renders_nodes_edges_and_shapes() {
+        let mut b = JobGraphBuilder::new("viz");
+        let a = b.stage("extract", 100);
+        let c = b.stage("agg", 5);
+        let d = b.stage("pass", 100);
+        b.edge(a, c, EdgeKind::AllToAll);
+        b.edge(a, d, EdgeKind::OneToOne);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.starts_with("digraph \"viz\""));
+        assert!(dot.contains("s0 -> s1 [style=bold]"));
+        assert!(dot.contains("s0 -> s2 [style=solid]"));
+        assert!(dot.contains("shape=triangle"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("100 tasks"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut b = JobGraphBuilder::new("has\"quote");
+        b.stage("s\"1", 1);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("has\\\"quote"));
+        assert!(dot.contains("s\\\"1"));
+    }
+
+    #[test]
+    fn larger_stages_get_wider_nodes() {
+        let mut b = JobGraphBuilder::new("sizes");
+        b.stage("small", 1);
+        b.stage("big", 100);
+        let dot = to_dot(&b.build().unwrap());
+        // Width of the big node must be the 1.50 maximum; small is near 0.25+0.125.
+        assert!(dot.contains("width=1.50"));
+        assert!(dot.contains("width=0.38"));
+    }
+}

@@ -1,0 +1,639 @@
+//! The execution-plan graph: stages, edges, and path analyses.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a stage within one [`JobGraph`] (a dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub usize);
+
+impl StageId {
+    /// The dense index of this stage.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// How data flows across an edge between two stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Task `i` of the consumer reads only task `i` of the producer;
+    /// requires equal task counts. Downstream tasks can start as soon as
+    /// their single input finishes.
+    OneToOne,
+    /// Full shuffle: every consumer task reads every producer task. The
+    /// consuming stage is a **barrier** — none of its tasks may start
+    /// until the entire producer stage has finished.
+    AllToAll,
+}
+
+/// A stage: a named group of identical parallel tasks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stage {
+    /// Human-readable stage name (e.g. `"SV3_Aggregate"`).
+    pub name: String,
+    /// Number of parallel tasks (vertices) in the stage.
+    pub tasks: u32,
+}
+
+/// An edge between two stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing stage.
+    pub from: StageId,
+    /// Consuming stage.
+    pub to: StageId,
+    /// Data-flow pattern.
+    pub kind: EdgeKind,
+}
+
+/// Errors detected while building a [`JobGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A stage was declared with zero tasks.
+    EmptyStage {
+        /// Offending stage.
+        stage: StageId,
+    },
+    /// An edge references a stage that was never added.
+    UnknownStage {
+        /// The out-of-range id.
+        stage: StageId,
+    },
+    /// An edge connects a stage to itself.
+    SelfLoop {
+        /// Offending stage.
+        stage: StageId,
+    },
+    /// A one-to-one edge connects stages with different task counts.
+    OneToOneMismatch {
+        /// Producer stage.
+        from: StageId,
+        /// Consumer stage.
+        to: StageId,
+        /// Producer task count.
+        from_tasks: u32,
+        /// Consumer task count.
+        to_tasks: u32,
+    },
+    /// The same (from, to) pair appears twice.
+    DuplicateEdge {
+        /// Producer stage.
+        from: StageId,
+        /// Consumer stage.
+        to: StageId,
+    },
+    /// The edges form a cycle: no topological order exists.
+    Cyclic,
+    /// The graph has no stages at all.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyStage { stage } => {
+                write!(f, "stage {stage:?} has zero tasks")
+            }
+            GraphError::UnknownStage { stage } => {
+                write!(f, "edge references unknown stage {stage:?}")
+            }
+            GraphError::SelfLoop { stage } => {
+                write!(f, "self-loop on stage {stage:?}")
+            }
+            GraphError::OneToOneMismatch {
+                from,
+                to,
+                from_tasks,
+                to_tasks,
+            } => write!(
+                f,
+                "one-to-one edge {from:?}->{to:?} joins {from_tasks} tasks to {to_tasks}"
+            ),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from:?}->{to:?}")
+            }
+            GraphError::Cyclic => write!(f, "plan graph contains a cycle"),
+            GraphError::Empty => write!(f, "plan graph has no stages"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Builder assembling and validating a [`JobGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+///
+/// let mut b = JobGraphBuilder::new("wordcount");
+/// let extract = b.stage("extract", 100);
+/// let agg = b.stage("aggregate", 10);
+/// b.edge(extract, agg, EdgeKind::AllToAll);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.total_tasks(), 110);
+/// assert!(g.is_barrier_stage(agg));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct JobGraphBuilder {
+    name: String,
+    stages: Vec<Stage>,
+    edges: Vec<Edge>,
+}
+
+impl JobGraphBuilder {
+    /// Starts a builder for a job named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobGraphBuilder {
+            name: name.into(),
+            stages: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a stage with `tasks` parallel tasks, returning its id.
+    pub fn stage(&mut self, name: impl Into<String>, tasks: u32) -> StageId {
+        let id = StageId(self.stages.len());
+        self.stages.push(Stage {
+            name: name.into(),
+            tasks,
+        });
+        id
+    }
+
+    /// Adds a data-flow edge.
+    pub fn edge(&mut self, from: StageId, to: StageId, kind: EdgeKind) -> &mut Self {
+        self.edges.push(Edge { from, to, kind });
+        self
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] found: empty graph or stage,
+    /// dangling or duplicate edges, self-loops, one-to-one task-count
+    /// mismatches, or cycles.
+    pub fn build(self) -> Result<JobGraph, GraphError> {
+        if self.stages.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.tasks == 0 {
+                return Err(GraphError::EmptyStage { stage: StageId(i) });
+            }
+        }
+        let n = self.stages.len();
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.edges {
+            for endpoint in [e.from, e.to] {
+                if endpoint.0 >= n {
+                    return Err(GraphError::UnknownStage { stage: endpoint });
+                }
+            }
+            if e.from == e.to {
+                return Err(GraphError::SelfLoop { stage: e.from });
+            }
+            if !seen.insert((e.from, e.to)) {
+                return Err(GraphError::DuplicateEdge {
+                    from: e.from,
+                    to: e.to,
+                });
+            }
+            if e.kind == EdgeKind::OneToOne {
+                let (ft, tt) = (self.stages[e.from.0].tasks, self.stages[e.to.0].tasks);
+                if ft != tt {
+                    return Err(GraphError::OneToOneMismatch {
+                        from: e.from,
+                        to: e.to,
+                        from_tasks: ft,
+                        to_tasks: tt,
+                    });
+                }
+            }
+        }
+
+        // Adjacency lists in stage order; edge order within a list follows
+        // insertion order, keeping everything deterministic.
+        let mut parents: Vec<Vec<(StageId, EdgeKind)>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<(StageId, EdgeKind)>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            parents[e.to.0].push((e.from, e.kind));
+            children[e.from.0].push((e.to, e.kind));
+        }
+
+        let topo = topological_order(n, &parents).ok_or(GraphError::Cyclic)?;
+
+        Ok(JobGraph {
+            name: self.name,
+            stages: self.stages,
+            edges: self.edges,
+            parents,
+            children,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm; `None` if a cycle exists. Deterministic: ready
+/// stages are processed in ascending id order via a FIFO seeded in order.
+fn topological_order(n: usize, parents: &[Vec<(StageId, EdgeKind)>]) -> Option<Vec<StageId>> {
+    let mut indegree: Vec<usize> = parents.iter().map(Vec::len).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (to, ps) in parents.iter().enumerate() {
+        for &(from, _) in ps {
+            children[from.0].push(to);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(StageId(i));
+        for &c in &children[i] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                queue.push_back(c);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// An immutable, validated execution-plan graph.
+#[derive(Clone, Debug)]
+pub struct JobGraph {
+    name: String,
+    stages: Vec<Stage>,
+    edges: Vec<Edge>,
+    parents: Vec<Vec<(StageId, EdgeKind)>>,
+    children: Vec<Vec<(StageId, EdgeKind)>>,
+    topo: Vec<StageId>,
+}
+
+impl JobGraph {
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// All stage ids in declaration order.
+    pub fn stage_ids(&self) -> impl Iterator<Item = StageId> + '_ {
+        (0..self.stages.len()).map(StageId)
+    }
+
+    /// The stage record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn stage(&self, id: StageId) -> &Stage {
+        &self.stages[id.0]
+    }
+
+    /// Number of tasks in stage `id`.
+    pub fn tasks_in(&self, id: StageId) -> u32 {
+        self.stages[id.0].tasks
+    }
+
+    /// Total number of tasks (vertices) across all stages.
+    pub fn total_tasks(&self) -> u64 {
+        self.stages.iter().map(|s| u64::from(s.tasks)).sum()
+    }
+
+    /// All edges in declaration order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Producer stages feeding `id`, with edge kinds.
+    pub fn parents(&self, id: StageId) -> &[(StageId, EdgeKind)] {
+        &self.parents[id.0]
+    }
+
+    /// Consumer stages fed by `id`, with edge kinds.
+    pub fn children(&self, id: StageId) -> &[(StageId, EdgeKind)] {
+        &self.children[id.0]
+    }
+
+    /// A topological order of the stages (parents before children).
+    pub fn topo_order(&self) -> &[StageId] {
+        &self.topo
+    }
+
+    /// Stages with no parents (the job's inputs).
+    pub fn roots(&self) -> Vec<StageId> {
+        self.stage_ids()
+            .filter(|&s| self.parents(s).is_empty())
+            .collect()
+    }
+
+    /// Stages with no children (the job's outputs).
+    pub fn leaves(&self) -> Vec<StageId> {
+        self.stage_ids()
+            .filter(|&s| self.children(s).is_empty())
+            .collect()
+    }
+
+    /// True if `id` has at least one inbound all-to-all edge, i.e. it
+    /// must wait for an entire upstream stage before starting (§2.1).
+    pub fn is_barrier_stage(&self, id: StageId) -> bool {
+        self.parents(id)
+            .iter()
+            .any(|&(_, k)| k == EdgeKind::AllToAll)
+    }
+
+    /// Number of barrier stages (the Table 2 statistic).
+    pub fn num_barrier_stages(&self) -> usize {
+        self.stage_ids()
+            .filter(|&s| self.is_barrier_stage(s))
+            .count()
+    }
+
+    /// Longest path from each stage's *completion* to the end of the
+    /// job, `L_s`, where stage `t` costs `costs[t]` (§4.1's Amdahl
+    /// inputs). A leaf has `L_s = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != num_stages()`.
+    pub fn longest_path_to_end(&self, costs: &[f64]) -> Vec<f64> {
+        assert_eq!(costs.len(), self.num_stages(), "cost vector length");
+        let mut ls = vec![0.0_f64; self.num_stages()];
+        for &s in self.topo.iter().rev() {
+            let best = self
+                .children(s)
+                .iter()
+                .map(|&(c, _)| costs[c.0] + ls[c.0])
+                .fold(0.0_f64, f64::max);
+            ls[s.0] = best;
+        }
+        ls
+    }
+
+    /// Length of the critical path: the longest cost-weighted path
+    /// through the DAG, i.e. the job's minimum possible latency with
+    /// infinite resources (§2.2's feasibility bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != num_stages()`.
+    pub fn critical_path(&self, costs: &[f64]) -> f64 {
+        let ls = self.longest_path_to_end(costs);
+        self.stage_ids()
+            .map(|s| costs[s.0] + ls[s.0])
+            .fold(0.0, f64::max)
+    }
+
+    /// Looks up a stage id by name (first match).
+    pub fn stage_by_name(&self, name: &str) -> Option<StageId> {
+        self.stages
+            .iter()
+            .position(|s| s.name == name)
+            .map(StageId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// extract(4) -1:1-> filter(4) -shuffle-> agg(2); extract -shuffle-> side(3).
+    fn diamondish() -> JobGraph {
+        let mut b = JobGraphBuilder::new("test");
+        let extract = b.stage("extract", 4);
+        let filter = b.stage("filter", 4);
+        let agg = b.stage("agg", 2);
+        let side = b.stage("side", 3);
+        b.edge(extract, filter, EdgeKind::OneToOne);
+        b.edge(filter, agg, EdgeKind::AllToAll);
+        b.edge(extract, side, EdgeKind::AllToAll);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_shape() {
+        let g = diamondish();
+        assert_eq!(g.num_stages(), 4);
+        assert_eq!(g.total_tasks(), 13);
+        assert_eq!(g.roots(), vec![StageId(0)]);
+        assert_eq!(g.leaves(), vec![StageId(2), StageId(3)]);
+        assert_eq!(g.num_barrier_stages(), 2);
+        assert!(!g.is_barrier_stage(StageId(1)));
+        assert!(g.is_barrier_stage(StageId(2)));
+        assert_eq!(g.stage_by_name("agg"), Some(StageId(2)));
+        assert_eq!(g.stage_by_name("nope"), None);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamondish();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| g.topo_order().iter().position(|&s| s.0 == i).unwrap())
+            .collect();
+        for e in g.edges() {
+            assert!(pos[e.from.0] < pos[e.to.0], "{e:?} violated");
+        }
+    }
+
+    #[test]
+    fn longest_path_and_critical_path() {
+        let g = diamondish();
+        // costs: extract=2, filter=3, agg=5, side=1.
+        let costs = [2.0, 3.0, 5.0, 1.0];
+        let ls = g.longest_path_to_end(&costs);
+        assert_eq!(ls[2], 0.0);
+        assert_eq!(ls[3], 0.0);
+        assert_eq!(ls[1], 5.0);
+        assert_eq!(ls[0], 8.0); // via filter->agg.
+        assert_eq!(g.critical_path(&costs), 10.0);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = JobGraphBuilder::new("cyc");
+        let a = b.stage("a", 1);
+        let c = b.stage("b", 1);
+        b.edge(a, c, EdgeKind::AllToAll);
+        b.edge(c, a, EdgeKind::AllToAll);
+        assert_eq!(b.build().unwrap_err(), GraphError::Cyclic);
+    }
+
+    #[test]
+    fn rejects_one_to_one_mismatch() {
+        let mut b = JobGraphBuilder::new("bad");
+        let a = b.stage("a", 3);
+        let c = b.stage("b", 4);
+        b.edge(a, c, EdgeKind::OneToOne);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::OneToOneMismatch { from_tasks: 3, to_tasks: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_graphs() {
+        assert_eq!(
+            JobGraphBuilder::new("e").build().unwrap_err(),
+            GraphError::Empty
+        );
+
+        let mut b = JobGraphBuilder::new("z");
+        b.stage("a", 0);
+        assert!(matches!(b.build().unwrap_err(), GraphError::EmptyStage { .. }));
+
+        let mut b = JobGraphBuilder::new("dangling");
+        let a = b.stage("a", 1);
+        b.edge(a, StageId(7), EdgeKind::AllToAll);
+        assert!(matches!(b.build().unwrap_err(), GraphError::UnknownStage { .. }));
+
+        let mut b = JobGraphBuilder::new("loop");
+        let a = b.stage("a", 1);
+        b.edge(a, a, EdgeKind::AllToAll);
+        assert!(matches!(b.build().unwrap_err(), GraphError::SelfLoop { .. }));
+
+        let mut b = JobGraphBuilder::new("dup");
+        let a = b.stage("a", 1);
+        let c = b.stage("b", 1);
+        b.edge(a, c, EdgeKind::AllToAll);
+        b.edge(a, c, EdgeKind::AllToAll);
+        assert!(matches!(b.build().unwrap_err(), GraphError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn single_stage_job() {
+        let mut b = JobGraphBuilder::new("one");
+        b.stage("only", 5);
+        let g = b.build().unwrap();
+        assert_eq!(g.critical_path(&[7.0]), 7.0);
+        assert_eq!(g.roots(), g.leaves());
+        assert_eq!(g.num_barrier_stages(), 0);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = GraphError::Cyclic;
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::EmptyStage { stage: StageId(3) };
+        assert!(e.to_string().contains("s3"));
+    }
+}
+
+impl JobGraph {
+    /// Serializes the graph structure to a
+    /// [`jockey_simrt::table::KvStore`] (stages, task counts, edges).
+    pub fn to_kv(&self) -> jockey_simrt::table::KvStore {
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set("name", self.name());
+        kv.set_u64("stages", self.num_stages() as u64);
+        for s in self.stage_ids() {
+            kv.set(&format!("stage.{}.name", s.index()), &self.stage(s).name);
+            kv.set_u64(
+                &format!("stage.{}.tasks", s.index()),
+                u64::from(self.tasks_in(s)),
+            );
+        }
+        kv.set_u64("edges", self.edges().len() as u64);
+        for (i, e) in self.edges().iter().enumerate() {
+            kv.set(
+                &format!("edge.{i}"),
+                &format!(
+                    "{} {} {}",
+                    e.from.index(),
+                    e.to.index(),
+                    match e.kind {
+                        EdgeKind::OneToOne => "1to1",
+                        EdgeKind::AllToAll => "all",
+                    }
+                ),
+            );
+        }
+        kv
+    }
+
+    /// Deserializes a graph written by [`JobGraph::to_kv`].
+    ///
+    /// Returns `None` on missing/malformed keys or if the described
+    /// graph fails validation.
+    pub fn from_kv(kv: &jockey_simrt::table::KvStore) -> Option<JobGraph> {
+        let name = kv.get("name")?;
+        let n = kv.get_u64("stages")? as usize;
+        let mut b = JobGraphBuilder::new(name);
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let sname = kv.get(&format!("stage.{i}.name"))?;
+            let tasks = kv.get_u64(&format!("stage.{i}.tasks"))? as u32;
+            ids.push(b.stage(sname, tasks));
+        }
+        let m = kv.get_u64("edges")? as usize;
+        for i in 0..m {
+            let raw = kv.get(&format!("edge.{i}"))?;
+            let mut parts = raw.split(' ');
+            let from: usize = parts.next()?.parse().ok()?;
+            let to: usize = parts.next()?.parse().ok()?;
+            let kind = match parts.next()? {
+                "1to1" => EdgeKind::OneToOne,
+                "all" => EdgeKind::AllToAll,
+                _ => return None,
+            };
+            b.edge(*ids.get(from)?, *ids.get(to)?, kind);
+        }
+        b.build().ok()
+    }
+}
+
+#[cfg(test)]
+mod kv_tests {
+    use super::*;
+
+    #[test]
+    fn graph_kv_roundtrip() {
+        let mut b = JobGraphBuilder::new("roundtrip");
+        let a = b.stage("extract", 12);
+        let c = b.stage("reduce", 3);
+        let d = b.stage("pass", 12);
+        b.edge(a, c, EdgeKind::AllToAll);
+        b.edge(a, d, EdgeKind::OneToOne);
+        let g = b.build().unwrap();
+        let round = JobGraph::from_kv(&g.to_kv()).unwrap();
+        assert_eq!(round.name(), g.name());
+        assert_eq!(round.num_stages(), g.num_stages());
+        assert_eq!(round.total_tasks(), g.total_tasks());
+        assert_eq!(round.edges(), g.edges());
+        assert_eq!(round.stage(c).name, "reduce");
+    }
+
+    #[test]
+    fn from_kv_rejects_garbage() {
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set("name", "x");
+        kv.set_u64("stages", 1);
+        // Missing stage keys.
+        assert!(JobGraph::from_kv(&kv).is_none());
+
+        let mut b = JobGraphBuilder::new("ok");
+        b.stage("s", 1);
+        let mut kv = b.build().unwrap().to_kv();
+        kv.set("edge.0", "0 9 all");
+        kv.set_u64("edges", 1);
+        assert!(JobGraph::from_kv(&kv).is_none());
+    }
+}

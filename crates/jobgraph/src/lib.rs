@@ -1,0 +1,35 @@
+//! Data-parallel job model: stage DAGs, task dependencies, critical
+//! paths, and job profiles.
+//!
+//! A SCOPE/Dryad job compiles to an *execution plan graph* whose nodes
+//! are **stages** (map, reduce, join, …) and whose edges carry data
+//! between them (§2.1 of the paper). Each stage consists of parallel
+//! **tasks** (the paper also calls them vertices). Edges are either
+//! one-to-one (task *i* feeds task *i*) or all-to-all (every upstream
+//! task feeds every downstream task); an all-to-all edge into a stage is
+//! a **barrier**: no task of the stage may start until every input task
+//! has finished.
+//!
+//! This crate provides:
+//!
+//! - [`graph`]: the immutable [`JobGraph`] and its validating
+//!   [`JobGraphBuilder`], plus topological and path analyses
+//!   (critical path, per-stage longest-path-to-end `L_s`).
+//! - [`task`]: task identifiers and per-task dependency resolution.
+//! - [`profile`]: [`JobProfile`] — the per-stage statistics extracted
+//!   from a prior run (`T_s`, `Q_s`, `l_s`, `L_s`, relative start/end
+//!   times) that feed Jockey's simulator, Amdahl model and progress
+//!   indicators.
+//! - [`dot`]: Graphviz rendering of plan graphs (Fig. 3).
+//! - [`metrics`]: structural metrics — per-level parallelism, maximum
+//!   useful allocation, Brent speedup bounds (§3.3's motivation).
+
+pub mod dot;
+pub mod graph;
+pub mod metrics;
+pub mod profile;
+pub mod task;
+
+pub use graph::{EdgeKind, GraphError, JobGraph, JobGraphBuilder, StageId};
+pub use profile::{JobProfile, StageProfile};
+pub use task::{TaskDeps, TaskId};

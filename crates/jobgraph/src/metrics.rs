@@ -1,0 +1,138 @@
+//! Structural metrics of plan graphs.
+//!
+//! §3.3 motivates Jockey's design with "the wide variation in a job's
+//! degree of parallelism during execution. Some stages may be split
+//! into hundreds of tasks, while others … are split into few tasks.
+//! The scheduler must allocate enough resources early in the job so
+//! that it does not attempt in vain to speed-up execution by
+//! increasing the resources for a later stage beyond the available
+//! parallelism." These metrics quantify that structure:
+//!
+//! - [`level_widths`]: available parallelism per topological level —
+//!   the ceiling any allocation can exploit at each phase of the job;
+//! - [`max_useful_allocation`]: the largest allocation that can ever
+//!   be fully used (the widest level);
+//! - [`speedup_bound`]: the work/critical-path bound on achievable
+//!   speedup (Brent's theorem), i.e. where adding tokens stops paying.
+
+use crate::graph::JobGraph;
+
+/// Assigns each stage a topological level (longest edge-distance from
+/// any root) and returns the total task count per level.
+///
+/// Stages on the same level have no dependencies between them and can
+/// in principle run concurrently, so `level_widths(g)[k]` is the
+/// available parallelism while the job is in phase `k`.
+pub fn level_widths(graph: &JobGraph) -> Vec<u64> {
+    let n = graph.num_stages();
+    let mut level = vec![0_usize; n];
+    for &s in graph.topo_order() {
+        let l = graph
+            .parents(s)
+            .iter()
+            .map(|&(p, _)| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[s.index()] = l;
+    }
+    let depth = level.iter().copied().max().unwrap_or(0) + 1;
+    let mut widths = vec![0_u64; depth];
+    for s in graph.stage_ids() {
+        widths[level[s.index()]] += u64::from(graph.tasks_in(s));
+    }
+    widths
+}
+
+/// The widest topological level: the largest token allocation the job
+/// can ever saturate. Beyond this, extra guaranteed tokens sit idle at
+/// every point of the execution.
+pub fn max_useful_allocation(graph: &JobGraph) -> u64 {
+    level_widths(graph).into_iter().max().unwrap_or(0)
+}
+
+/// Brent's-theorem speedup bound: `T1 / T∞` where `T1` is the total
+/// cost-weighted work and `T∞` the cost-weighted critical path. No
+/// allocation can speed the job up by more than this factor over a
+/// single token.
+///
+/// # Panics
+///
+/// Panics if `costs.len() != graph.num_stages()`.
+pub fn speedup_bound(graph: &JobGraph, costs: &[f64]) -> f64 {
+    assert_eq!(costs.len(), graph.num_stages());
+    let total: f64 = graph
+        .stage_ids()
+        .map(|s| costs[s.index()] * f64::from(graph.tasks_in(s)))
+        .sum();
+    let cp = graph.critical_path(costs);
+    if cp <= 0.0 {
+        1.0
+    } else {
+        (total / cp).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, JobGraphBuilder};
+
+    /// extract(100) ─1:1→ filter(100) ─all→ agg(4); side root probe(10).
+    fn fixture() -> JobGraph {
+        let mut b = JobGraphBuilder::new("metrics");
+        let e = b.stage("extract", 100);
+        let f = b.stage("filter", 100);
+        let a = b.stage("agg", 4);
+        let _p = b.stage("probe", 10);
+        b.edge(e, f, EdgeKind::OneToOne);
+        b.edge(f, a, EdgeKind::AllToAll);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn level_widths_follow_longest_paths() {
+        let g = fixture();
+        // Level 0: extract + probe (110); level 1: filter; level 2: agg.
+        assert_eq!(level_widths(&g), vec![110, 100, 4]);
+    }
+
+    #[test]
+    fn max_useful_allocation_is_widest_level() {
+        let g = fixture();
+        assert_eq!(max_useful_allocation(&g), 110);
+    }
+
+    #[test]
+    fn speedup_bound_matches_brent() {
+        let g = fixture();
+        // Unit costs: work = 214 task-units; critical path = 3.
+        let costs = vec![1.0; 4];
+        let b = speedup_bound(&g, &costs);
+        assert!((b - 214.0 / 3.0).abs() < 1e-9, "bound {b}");
+    }
+
+    #[test]
+    fn single_stage_degenerates_cleanly() {
+        let mut b = JobGraphBuilder::new("one");
+        b.stage("only", 7);
+        let g = b.build().unwrap();
+        assert_eq!(level_widths(&g), vec![7]);
+        assert_eq!(max_useful_allocation(&g), 7);
+        assert_eq!(speedup_bound(&g, &[2.0]), 7.0);
+    }
+
+    #[test]
+    fn paper_jobs_have_wide_parallelism_variation() {
+        // §3.3's premise, checked against our Table 2 generator output
+        // shape: wide early levels, narrow tails.
+        let mut b = JobGraphBuilder::new("shapeish");
+        let wide = b.stage("wide", 500);
+        let mid = b.stage("mid", 50);
+        let tail = b.stage("tail", 1);
+        b.edge(wide, mid, EdgeKind::AllToAll);
+        b.edge(mid, tail, EdgeKind::AllToAll);
+        let g = b.build().unwrap();
+        let w = level_widths(&g);
+        assert!(w[0] > w[2] * 100, "no variation: {w:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Task identifiers and task-level dependency resolution.
+//!
+//! Dependencies are resolved lazily from the stage graph rather than
+//! materialized per task: an all-to-all edge between two 5 000-task
+//! stages would otherwise expand to 25 million edges. [`TaskDeps`]
+//! answers "is this task ready?" from per-stage completion counters plus
+//! a per-task predicate for one-to-one edges, and enumerates the
+//! candidate dependents to re-examine when a task completes.
+
+use crate::graph::{EdgeKind, JobGraph, StageId};
+use std::fmt;
+
+/// Identifies one task (vertex): a stage plus an index within it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId {
+    /// The stage this task belongs to.
+    pub stage: StageId,
+    /// Index within the stage, `0..tasks_in(stage)`.
+    pub index: u32,
+}
+
+impl TaskId {
+    /// Creates a task id.
+    pub fn new(stage: StageId, index: u32) -> Self {
+        TaskId { stage, index }
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}.{}", self.stage, self.index)
+    }
+}
+
+/// Lazy task-dependency resolution over a [`JobGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+/// use jockey_jobgraph::task::{TaskDeps, TaskId};
+///
+/// let mut b = JobGraphBuilder::new("j");
+/// let m = b.stage("map", 2);
+/// let r = b.stage("reduce", 2);
+/// b.edge(m, r, EdgeKind::AllToAll);
+/// let g = b.build().unwrap();
+/// let deps = TaskDeps::new(&g);
+///
+/// // With only one of two map tasks done, reduce tasks are not ready.
+/// let done = [1, 0];
+/// assert!(!deps.is_ready(TaskId::new(r, 0), &done, |_| false));
+/// // Once the whole map stage finishes, they are.
+/// let done = [2, 0];
+/// assert!(deps.is_ready(TaskId::new(r, 0), &done, |_| true));
+/// ```
+pub struct TaskDeps<'g> {
+    graph: &'g JobGraph,
+}
+
+impl<'g> TaskDeps<'g> {
+    /// Creates a resolver over `graph`.
+    pub fn new(graph: &'g JobGraph) -> Self {
+        TaskDeps { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g JobGraph {
+        self.graph
+    }
+
+    /// True if every input of `task` is complete.
+    ///
+    /// `stage_complete[s]` must hold the number of completed tasks of
+    /// stage `s`; `task_done` answers per-task completion for one-to-one
+    /// edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_complete` is shorter than the stage count.
+    pub fn is_ready(
+        &self,
+        task: TaskId,
+        stage_complete: &[u32],
+        mut task_done: impl FnMut(TaskId) -> bool,
+    ) -> bool {
+        assert!(stage_complete.len() >= self.graph.num_stages());
+        self.graph.parents(task.stage).iter().all(|&(p, kind)| match kind {
+            EdgeKind::AllToAll => stage_complete[p.index()] == self.graph.tasks_in(p),
+            EdgeKind::OneToOne => task_done(TaskId::new(p, task.index)),
+        })
+    }
+
+    /// Tasks that *may* have become ready because `completed` finished.
+    ///
+    /// For one-to-one edges this is the same-index task of each child;
+    /// for all-to-all edges, every task of each child — but only when
+    /// `completed`'s stage just fully finished (`stage_now_complete`),
+    /// since before that the barrier still holds. Candidates must still
+    /// be checked with [`TaskDeps::is_ready`] (they may have other
+    /// unfinished parents).
+    pub fn candidate_dependents(&self, completed: TaskId, stage_now_complete: bool) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        for &(child, kind) in self.graph.children(completed.stage) {
+            match kind {
+                EdgeKind::OneToOne => out.push(TaskId::new(child, completed.index)),
+                EdgeKind::AllToAll => {
+                    if stage_now_complete {
+                        out.extend(
+                            (0..self.graph.tasks_in(child)).map(|i| TaskId::new(child, i)),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All tasks of root stages (ready at job start).
+    pub fn initial_tasks(&self) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        for s in self.graph.roots() {
+            out.extend((0..self.graph.tasks_in(s)).map(|i| TaskId::new(s, i)));
+        }
+        out
+    }
+
+    /// Iterates over every task of the job in stage order.
+    pub fn all_tasks(&self) -> impl Iterator<Item = TaskId> + 'g {
+        let graph = self.graph;
+        graph.stage_ids().flat_map(move |s| {
+            (0..graph.tasks_in(s)).map(move |i| TaskId::new(s, i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::JobGraphBuilder;
+
+    fn chain() -> JobGraph {
+        // a(3) -1:1-> b(3) -shuffle-> c(2)
+        let mut b = JobGraphBuilder::new("chain");
+        let s0 = b.stage("a", 3);
+        let s1 = b.stage("b", 3);
+        let s2 = b.stage("c", 2);
+        b.edge(s0, s1, EdgeKind::OneToOne);
+        b.edge(s1, s2, EdgeKind::AllToAll);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_tasks_are_roots() {
+        let g = chain();
+        let deps = TaskDeps::new(&g);
+        let init = deps.initial_tasks();
+        assert_eq!(init.len(), 3);
+        assert!(init.iter().all(|t| t.stage == StageId(0)));
+    }
+
+    #[test]
+    fn one_to_one_readiness_is_per_index() {
+        let g = chain();
+        let deps = TaskDeps::new(&g);
+        let b1 = TaskId::new(StageId(1), 1);
+        // Only a.1 done.
+        let done_set = [TaskId::new(StageId(0), 1)];
+        let counts = [1, 0, 0];
+        assert!(deps.is_ready(b1, &counts, |t| done_set.contains(&t)));
+        assert!(!deps.is_ready(TaskId::new(StageId(1), 0), &counts, |t| done_set.contains(&t)));
+    }
+
+    #[test]
+    fn barrier_blocks_until_stage_complete() {
+        let g = chain();
+        let deps = TaskDeps::new(&g);
+        let c0 = TaskId::new(StageId(2), 0);
+        assert!(!deps.is_ready(c0, &[3, 2, 0], |_| true));
+        assert!(deps.is_ready(c0, &[3, 3, 0], |_| true));
+    }
+
+    #[test]
+    fn candidates_follow_edge_kinds() {
+        let g = chain();
+        let deps = TaskDeps::new(&g);
+        // Completing a.2 (stage not yet complete) proposes b.2 only.
+        let c = deps.candidate_dependents(TaskId::new(StageId(0), 2), false);
+        assert_eq!(c, vec![TaskId::new(StageId(1), 2)]);
+        // Completing the last b task proposes every c task.
+        let c = deps.candidate_dependents(TaskId::new(StageId(1), 0), true);
+        assert_eq!(
+            c,
+            vec![TaskId::new(StageId(2), 0), TaskId::new(StageId(2), 1)]
+        );
+        // Barrier children are not proposed while the stage is incomplete.
+        let c = deps.candidate_dependents(TaskId::new(StageId(1), 0), false);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn all_tasks_enumerates_everything() {
+        let g = chain();
+        let deps = TaskDeps::new(&g);
+        assert_eq!(deps.all_tasks().count() as u64, g.total_tasks());
+    }
+}

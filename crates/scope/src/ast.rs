@@ -1,0 +1,459 @@
+//! Abstract syntax of mini-SCOPE scripts.
+//!
+//! A script is a sequence of statements, each binding a dataset name to
+//! an operator over previously bound datasets, plus `OUTPUT` statements
+//! marking job sinks. [`ScriptBuilder`] offers a programmatic way to
+//! assemble the same structure the parser produces from text.
+
+/// How an `OUTPUT` statement writes its result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Written by the producing stage's tasks in place (no extra stage).
+    Partitioned,
+    /// Merged through a single writer task (adds a 1-task barrier stage).
+    Single,
+}
+
+/// One statement of a script.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `name = EXTRACT FROM "file" PARTITIONS n [COST c];` — reads an
+    /// input split into `partitions` parallel tasks. `cost` is a
+    /// relative per-task work hint (default 1.0).
+    Extract {
+        /// Bound dataset name.
+        name: String,
+        /// Input path (informational).
+        input: String,
+        /// Degree of parallelism.
+        partitions: u32,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = SELECT FROM src [WHERE "pred"] [COST c];` — a row-wise
+    /// filter/transform; fuses with its producer when possible.
+    Select {
+        /// Bound dataset name.
+        name: String,
+        /// Input dataset.
+        src: String,
+        /// Predicate text (informational).
+        predicate: Option<String>,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = PROJECT src [COST c];` — a row-wise projection; fuses
+    /// like `SELECT`.
+    Project {
+        /// Bound dataset name.
+        name: String,
+        /// Input dataset.
+        src: String,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = REDUCE src ON "key" PARTITIONS n [COST c];` — a full
+    /// shuffle into `n` reducers (a barrier). `AGGREGATE` parses to the
+    /// same statement.
+    Reduce {
+        /// Bound dataset name.
+        name: String,
+        /// Input dataset.
+        src: String,
+        /// Grouping key (informational).
+        key: String,
+        /// Reducer count.
+        partitions: u32,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = JOIN left, right ON "key" PARTITIONS n [COST c];` —
+    /// repartitions both inputs into `n` join tasks (a barrier on both).
+    Join {
+        /// Bound dataset name.
+        name: String,
+        /// Left input dataset.
+        left: String,
+        /// Right input dataset.
+        right: String,
+        /// Join key (informational).
+        key: String,
+        /// Join task count.
+        partitions: u32,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = UNION a, b [PARTITIONS n] [COST c];` — concatenates two
+    /// datasets through a merge stage.
+    Union {
+        /// Bound dataset name.
+        name: String,
+        /// Left input dataset.
+        left: String,
+        /// Right input dataset.
+        right: String,
+        /// Merge task count (defaults to the larger input's).
+        partitions: Option<u32>,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = SORT src BY "key" PARTITIONS n [COST c];` — a global
+    /// sort: a range-partition shuffle into `n` sorters (a barrier)
+    /// followed by a one-to-one per-partition sort stage, the classic
+    /// two-stage Dryad sort plan.
+    Sort {
+        /// Bound dataset name.
+        name: String,
+        /// Input dataset.
+        src: String,
+        /// Sort key (informational).
+        key: String,
+        /// Sorter count.
+        partitions: u32,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = DISTINCT src ON "key" PARTITIONS n [COST c];` — a
+    /// deduplicating shuffle; compiles like `REDUCE`.
+    Distinct {
+        /// Bound dataset name.
+        name: String,
+        /// Input dataset.
+        src: String,
+        /// Dedup key (informational).
+        key: String,
+        /// Reducer count.
+        partitions: u32,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `name = PROCESS src USING "udo" [COST c];` — a row-wise
+    /// user-defined operator; fuses like `SELECT`/`PROJECT`.
+    Process {
+        /// Bound dataset name.
+        name: String,
+        /// Input dataset.
+        src: String,
+        /// Operator name (informational).
+        udo: String,
+        /// Relative per-task work.
+        cost: f64,
+    },
+    /// `OUTPUT src TO "file" [SINGLE];` — marks `src` as a job sink.
+    Output {
+        /// Dataset to write.
+        src: String,
+        /// Output path (informational).
+        path: String,
+        /// Partitioned or single-writer.
+        mode: OutputMode,
+    },
+}
+
+impl Statement {
+    /// The dataset name bound by this statement, if any (`OUTPUT` binds
+    /// none).
+    pub fn binds(&self) -> Option<&str> {
+        match self {
+            Statement::Extract { name, .. }
+            | Statement::Select { name, .. }
+            | Statement::Project { name, .. }
+            | Statement::Reduce { name, .. }
+            | Statement::Join { name, .. }
+            | Statement::Union { name, .. }
+            | Statement::Sort { name, .. }
+            | Statement::Distinct { name, .. }
+            | Statement::Process { name, .. } => Some(name),
+            Statement::Output { .. } => None,
+        }
+    }
+
+    /// The dataset names this statement reads.
+    pub fn reads(&self) -> Vec<&str> {
+        match self {
+            Statement::Extract { .. } => vec![],
+            Statement::Select { src, .. }
+            | Statement::Project { src, .. }
+            | Statement::Reduce { src, .. }
+            | Statement::Sort { src, .. }
+            | Statement::Distinct { src, .. }
+            | Statement::Process { src, .. }
+            | Statement::Output { src, .. } => vec![src],
+            Statement::Join { left, right, .. } | Statement::Union { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+}
+
+/// A parsed script: a name and its statements in source order.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Script {
+    /// Job name (defaults to `"scope-job"`; set by [`ScriptBuilder`]).
+    pub name: String,
+    /// Statements in source order.
+    pub statements: Vec<Statement>,
+}
+
+/// Fluent programmatic construction of a [`Script`].
+///
+/// # Examples
+///
+/// ```
+/// use jockey_scope::ast::ScriptBuilder;
+///
+/// let script = ScriptBuilder::new("clicks")
+///     .extract("raw", "clicks.log", 100, 1.0)
+///     .select("clean", "raw", Some("valid"), 0.5)
+///     .reduce("counts", "clean", "url", 10, 2.0)
+///     .output("counts", "out.tsv", false)
+///     .build();
+/// assert_eq!(script.statements.len(), 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ScriptBuilder {
+    script: Script,
+}
+
+impl ScriptBuilder {
+    /// Starts a script named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScriptBuilder {
+            script: Script {
+                name: name.into(),
+                statements: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds an `EXTRACT` statement.
+    pub fn extract(
+        mut self,
+        name: impl Into<String>,
+        input: impl Into<String>,
+        partitions: u32,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Extract {
+            name: name.into(),
+            input: input.into(),
+            partitions,
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `SELECT` statement.
+    pub fn select(
+        mut self,
+        name: impl Into<String>,
+        src: impl Into<String>,
+        predicate: Option<&str>,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Select {
+            name: name.into(),
+            src: src.into(),
+            predicate: predicate.map(str::to_string),
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `PROJECT` statement.
+    pub fn project(mut self, name: impl Into<String>, src: impl Into<String>, cost: f64) -> Self {
+        self.script.statements.push(Statement::Project {
+            name: name.into(),
+            src: src.into(),
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `REDUCE` statement.
+    pub fn reduce(
+        mut self,
+        name: impl Into<String>,
+        src: impl Into<String>,
+        key: impl Into<String>,
+        partitions: u32,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Reduce {
+            name: name.into(),
+            src: src.into(),
+            key: key.into(),
+            partitions,
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `JOIN` statement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn join(
+        mut self,
+        name: impl Into<String>,
+        left: impl Into<String>,
+        right: impl Into<String>,
+        key: impl Into<String>,
+        partitions: u32,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Join {
+            name: name.into(),
+            left: left.into(),
+            right: right.into(),
+            key: key.into(),
+            partitions,
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `UNION` statement.
+    pub fn union(
+        mut self,
+        name: impl Into<String>,
+        left: impl Into<String>,
+        right: impl Into<String>,
+        partitions: Option<u32>,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Union {
+            name: name.into(),
+            left: left.into(),
+            right: right.into(),
+            partitions,
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `SORT` statement.
+    pub fn sort(
+        mut self,
+        name: impl Into<String>,
+        src: impl Into<String>,
+        key: impl Into<String>,
+        partitions: u32,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Sort {
+            name: name.into(),
+            src: src.into(),
+            key: key.into(),
+            partitions,
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `DISTINCT` statement.
+    pub fn distinct(
+        mut self,
+        name: impl Into<String>,
+        src: impl Into<String>,
+        key: impl Into<String>,
+        partitions: u32,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Distinct {
+            name: name.into(),
+            src: src.into(),
+            key: key.into(),
+            partitions,
+            cost,
+        });
+        self
+    }
+
+    /// Adds a `PROCESS` statement.
+    pub fn process(
+        mut self,
+        name: impl Into<String>,
+        src: impl Into<String>,
+        udo: impl Into<String>,
+        cost: f64,
+    ) -> Self {
+        self.script.statements.push(Statement::Process {
+            name: name.into(),
+            src: src.into(),
+            udo: udo.into(),
+            cost,
+        });
+        self
+    }
+
+    /// Adds an `OUTPUT` statement; `single` selects the single-writer
+    /// mode.
+    pub fn output(mut self, src: impl Into<String>, path: impl Into<String>, single: bool) -> Self {
+        self.script.statements.push(Statement::Output {
+            src: src.into(),
+            path: path.into(),
+            mode: if single {
+                OutputMode::Single
+            } else {
+                OutputMode::Partitioned
+            },
+        });
+        self
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> Script {
+        self.script
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_and_reads() {
+        let s = Statement::Join {
+            name: "j".into(),
+            left: "a".into(),
+            right: "b".into(),
+            key: "k".into(),
+            partitions: 4,
+            cost: 1.0,
+        };
+        assert_eq!(s.binds(), Some("j"));
+        assert_eq!(s.reads(), vec!["a", "b"]);
+
+        let o = Statement::Output {
+            src: "j".into(),
+            path: "p".into(),
+            mode: OutputMode::Single,
+        };
+        assert_eq!(o.binds(), None);
+        assert_eq!(o.reads(), vec!["j"]);
+
+        let e = Statement::Extract {
+            name: "e".into(),
+            input: "i".into(),
+            partitions: 2,
+            cost: 1.0,
+        };
+        assert!(e.reads().is_empty());
+    }
+
+    #[test]
+    fn builder_produces_statements_in_order() {
+        let script = ScriptBuilder::new("t")
+            .extract("a", "in", 4, 1.0)
+            .project("b", "a", 0.2)
+            .union("u", "a", "b", Some(4), 1.0)
+            .output("u", "out", true)
+            .build();
+        assert_eq!(script.name, "t");
+        assert_eq!(script.statements.len(), 4);
+        assert!(matches!(script.statements[2], Statement::Union { .. }));
+        assert!(matches!(
+            script.statements[3],
+            Statement::Output { mode: OutputMode::Single, .. }
+        ));
+    }
+}

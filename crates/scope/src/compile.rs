@@ -1,0 +1,527 @@
+//! Lowering scripts to execution-plan graphs.
+//!
+//! The compiler mirrors what the SCOPE/Dryad toolchain does structurally:
+//!
+//! - every `EXTRACT` becomes a stage whose task count is its declared
+//!   partitioning;
+//! - chains of row-wise operators (`SELECT`, `PROJECT`) **fuse** into
+//!   their producer stage when they are its only consumer, otherwise
+//!   they become a new stage connected one-to-one;
+//! - `REDUCE`/`AGGREGATE`, `DISTINCT`, `JOIN` and `UNION` repartition
+//!   their inputs: each becomes a new stage fed by **all-to-all**
+//!   edges — a barrier;
+//! - `SORT` lowers to the classic two-stage Dryad sort plan: a
+//!   range-partition barrier stage followed by a one-to-one
+//!   per-partition sort stage;
+//! - `OUTPUT ... SINGLE` appends a one-task merge stage (another
+//!   barrier); partitioned output is written by the producer in place.
+//!
+//! Besides the graph, compilation produces a per-stage *cost hint* (the
+//! sum of the fused operators' `COST` annotations), which workload
+//! generators translate into task-runtime distributions.
+
+use crate::ast::{OutputMode, Script, Statement};
+use jockey_jobgraph::graph::{EdgeKind, GraphError, JobGraph, JobGraphBuilder};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors detected while lowering a script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A statement reads a dataset that was never bound.
+    UnknownDataset {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Two statements bind the same dataset name.
+    DuplicateName {
+        /// The re-bound name.
+        name: String,
+    },
+    /// A statement declares zero partitions.
+    ZeroPartitions {
+        /// The offending dataset name.
+        name: String,
+    },
+    /// The script has no `OUTPUT` statement: the job computes nothing.
+    NoOutput,
+    /// The script has no statements at all.
+    EmptyScript,
+    /// The resulting graph failed validation (should not happen for
+    /// scripts that pass the checks above; surfaced for completeness).
+    Graph(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownDataset { name } => write!(f, "unknown dataset {name:?}"),
+            CompileError::DuplicateName { name } => write!(f, "dataset {name:?} bound twice"),
+            CompileError::ZeroPartitions { name } => {
+                write!(f, "dataset {name:?} declares zero partitions")
+            }
+            CompileError::NoOutput => write!(f, "script has no OUTPUT statement"),
+            CompileError::EmptyScript => write!(f, "script is empty"),
+            CompileError::Graph(e) => write!(f, "invalid plan graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e.to_string())
+    }
+}
+
+/// The result of compiling a script: the plan graph plus per-stage
+/// relative cost hints.
+#[derive(Clone, Debug)]
+pub struct CompiledJob {
+    /// The validated execution-plan graph.
+    pub graph: JobGraph,
+    /// Relative per-task work for each stage (sum of fused `COST`
+    /// annotations), indexed like the graph's stages.
+    pub stage_costs: Vec<f64>,
+}
+
+/// A stage being assembled.
+struct ProtoStage {
+    name: String,
+    tasks: u32,
+    cost: f64,
+}
+
+/// Compiles a script to a [`CompiledJob`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for unbound or re-bound dataset names,
+/// zero partition counts, scripts without `OUTPUT`, or (defensively)
+/// graph validation failures.
+pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
+    if script.statements.is_empty() {
+        return Err(CompileError::EmptyScript);
+    }
+    if !script
+        .statements
+        .iter()
+        .any(|s| matches!(s, Statement::Output { .. }))
+    {
+        return Err(CompileError::NoOutput);
+    }
+
+    // Count consumers of each dataset to decide row-wise fusion.
+    let mut consumers: HashMap<&str, usize> = HashMap::new();
+    for stmt in &script.statements {
+        for r in stmt.reads() {
+            *consumers.entry(r).or_insert(0) += 1;
+        }
+    }
+
+    let mut stages: Vec<ProtoStage> = Vec::new();
+    let mut edges: Vec<(usize, usize, EdgeKind)> = Vec::new();
+    let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
+    // Dataset name -> (producing stage index, partition count).
+    let mut datasets: HashMap<String, (usize, u32)> = HashMap::new();
+
+    let add_edge = |edges: &mut Vec<(usize, usize, EdgeKind)>,
+                        edge_set: &mut HashSet<(usize, usize)>,
+                        from: usize,
+                        to: usize,
+                        kind: EdgeKind| {
+        if edge_set.insert((from, to)) {
+            edges.push((from, to, kind));
+        }
+    };
+
+    for stmt in &script.statements {
+        // Reject rebinding.
+        if let Some(name) = stmt.binds() {
+            if datasets.contains_key(name) {
+                return Err(CompileError::DuplicateName { name: name.to_string() });
+            }
+        }
+        // Resolve inputs.
+        let resolve = |datasets: &HashMap<String, (usize, u32)>,
+                       name: &str|
+         -> Result<(usize, u32), CompileError> {
+            datasets
+                .get(name)
+                .copied()
+                .ok_or_else(|| CompileError::UnknownDataset { name: name.to_string() })
+        };
+
+        match stmt {
+            Statement::Extract { name, partitions, cost, .. } => {
+                if *partitions == 0 {
+                    return Err(CompileError::ZeroPartitions { name: name.clone() });
+                }
+                stages.push(ProtoStage {
+                    name: format!("extract_{name}"),
+                    tasks: *partitions,
+                    cost: *cost,
+                });
+                datasets.insert(name.clone(), (stages.len() - 1, *partitions));
+            }
+            Statement::Select { name, src, cost, .. }
+            | Statement::Project { name, src, cost } => {
+                let (src_stage, parts) = resolve(&datasets, src)?;
+                if consumers.get(src.as_str()).copied().unwrap_or(0) == 1 {
+                    // Sole consumer: fuse into the producer stage.
+                    stages[src_stage].cost += cost;
+                    stages[src_stage].name.push('+');
+                    stages[src_stage].name.push_str(name);
+                    datasets.insert(name.clone(), (src_stage, parts));
+                } else {
+                    stages.push(ProtoStage {
+                        name: format!("map_{name}"),
+                        tasks: parts,
+                        cost: *cost,
+                    });
+                    let id = stages.len() - 1;
+                    add_edge(&mut edges, &mut edge_set, src_stage, id, EdgeKind::OneToOne);
+                    datasets.insert(name.clone(), (id, parts));
+                }
+            }
+            Statement::Reduce { name, src, partitions, cost, .. } => {
+                if *partitions == 0 {
+                    return Err(CompileError::ZeroPartitions { name: name.clone() });
+                }
+                let (src_stage, _) = resolve(&datasets, src)?;
+                stages.push(ProtoStage {
+                    name: format!("reduce_{name}"),
+                    tasks: *partitions,
+                    cost: *cost,
+                });
+                let id = stages.len() - 1;
+                add_edge(&mut edges, &mut edge_set, src_stage, id, EdgeKind::AllToAll);
+                datasets.insert(name.clone(), (id, *partitions));
+            }
+            Statement::Join { name, left, right, partitions, cost, .. } => {
+                if *partitions == 0 {
+                    return Err(CompileError::ZeroPartitions { name: name.clone() });
+                }
+                let (ls, _) = resolve(&datasets, left)?;
+                let (rs, _) = resolve(&datasets, right)?;
+                stages.push(ProtoStage {
+                    name: format!("join_{name}"),
+                    tasks: *partitions,
+                    cost: *cost,
+                });
+                let id = stages.len() - 1;
+                add_edge(&mut edges, &mut edge_set, ls, id, EdgeKind::AllToAll);
+                add_edge(&mut edges, &mut edge_set, rs, id, EdgeKind::AllToAll);
+                datasets.insert(name.clone(), (id, *partitions));
+            }
+            Statement::Sort { name, src, partitions, cost, .. } => {
+                if *partitions == 0 {
+                    return Err(CompileError::ZeroPartitions { name: name.clone() });
+                }
+                let (src_stage, _) = resolve(&datasets, src)?;
+                // Stage 1: range partition (shuffle barrier).
+                stages.push(ProtoStage {
+                    name: format!("rangepart_{name}"),
+                    tasks: *partitions,
+                    cost: cost * 0.4,
+                });
+                let part = stages.len() - 1;
+                add_edge(&mut edges, &mut edge_set, src_stage, part, EdgeKind::AllToAll);
+                // Stage 2: per-partition sort (one-to-one).
+                stages.push(ProtoStage {
+                    name: format!("sort_{name}"),
+                    tasks: *partitions,
+                    cost: cost * 0.6,
+                });
+                let sort = stages.len() - 1;
+                add_edge(&mut edges, &mut edge_set, part, sort, EdgeKind::OneToOne);
+                datasets.insert(name.clone(), (sort, *partitions));
+            }
+            Statement::Distinct { name, src, partitions, cost, .. } => {
+                if *partitions == 0 {
+                    return Err(CompileError::ZeroPartitions { name: name.clone() });
+                }
+                let (src_stage, _) = resolve(&datasets, src)?;
+                stages.push(ProtoStage {
+                    name: format!("distinct_{name}"),
+                    tasks: *partitions,
+                    cost: *cost,
+                });
+                let id = stages.len() - 1;
+                add_edge(&mut edges, &mut edge_set, src_stage, id, EdgeKind::AllToAll);
+                datasets.insert(name.clone(), (id, *partitions));
+            }
+            Statement::Process { name, src, cost, .. } => {
+                let (src_stage, parts) = resolve(&datasets, src)?;
+                if consumers.get(src.as_str()).copied().unwrap_or(0) == 1 {
+                    stages[src_stage].cost += cost;
+                    stages[src_stage].name.push('+');
+                    stages[src_stage].name.push_str(name);
+                    datasets.insert(name.clone(), (src_stage, parts));
+                } else {
+                    stages.push(ProtoStage {
+                        name: format!("process_{name}"),
+                        tasks: parts,
+                        cost: *cost,
+                    });
+                    let id = stages.len() - 1;
+                    add_edge(&mut edges, &mut edge_set, src_stage, id, EdgeKind::OneToOne);
+                    datasets.insert(name.clone(), (id, parts));
+                }
+            }
+            Statement::Union { name, left, right, partitions, cost } => {
+                let (ls, lp) = resolve(&datasets, left)?;
+                let (rs, rp) = resolve(&datasets, right)?;
+                let parts = partitions.unwrap_or_else(|| lp.max(rp));
+                if parts == 0 {
+                    return Err(CompileError::ZeroPartitions { name: name.clone() });
+                }
+                stages.push(ProtoStage {
+                    name: format!("union_{name}"),
+                    tasks: parts,
+                    cost: *cost,
+                });
+                let id = stages.len() - 1;
+                add_edge(&mut edges, &mut edge_set, ls, id, EdgeKind::AllToAll);
+                add_edge(&mut edges, &mut edge_set, rs, id, EdgeKind::AllToAll);
+                datasets.insert(name.clone(), (id, parts));
+            }
+            Statement::Output { src, mode, .. } => {
+                let (src_stage, _) = resolve(&datasets, src)?;
+                match mode {
+                    OutputMode::Partitioned => {
+                        // Writing is part of the producing stage; add a
+                        // nominal write cost.
+                        stages[src_stage].cost += 0.1;
+                    }
+                    OutputMode::Single => {
+                        stages.push(ProtoStage {
+                            name: format!("output_{src}"),
+                            tasks: 1,
+                            cost: 1.0,
+                        });
+                        let id = stages.len() - 1;
+                        add_edge(&mut edges, &mut edge_set, src_stage, id, EdgeKind::AllToAll);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut b = JobGraphBuilder::new(script.name.clone());
+    let ids: Vec<_> = stages
+        .iter()
+        .map(|p| b.stage(p.name.clone(), p.tasks))
+        .collect();
+    for (from, to, kind) in edges {
+        b.edge(ids[from], ids[to], kind);
+    }
+    let graph = b.build()?;
+    let stage_costs = stages.iter().map(|p| p.cost).collect();
+    Ok(CompiledJob { graph, stage_costs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compiled(src: &str) -> CompiledJob {
+        compile(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn extract_reduce_output_is_two_stages() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 8;
+               b = REDUCE a ON "k" PARTITIONS 2;
+               OUTPUT b TO "o";"#,
+        );
+        assert_eq!(c.graph.num_stages(), 2);
+        assert_eq!(c.graph.num_barrier_stages(), 1);
+        assert_eq!(c.graph.tasks_in(jockey_jobgraph::StageId(0)), 8);
+        assert_eq!(c.graph.tasks_in(jockey_jobgraph::StageId(1)), 2);
+    }
+
+    #[test]
+    fn row_wise_ops_fuse_into_producer() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 4 COST 2;
+               b = SELECT FROM a WHERE "p" COST 0.5;
+               d = PROJECT b COST 0.25;
+               OUTPUT d TO "o";"#,
+        );
+        // Everything fused into the extract stage.
+        assert_eq!(c.graph.num_stages(), 1);
+        // 2 + 0.5 + 0.25 + 0.1 (partitioned write).
+        assert!((c.stage_costs[0] - 2.85).abs() < 1e-12);
+        assert!(c.graph.stage(jockey_jobgraph::StageId(0)).name.contains("+b"));
+    }
+
+    #[test]
+    fn shared_input_prevents_fusion() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 4;
+               b = SELECT FROM a WHERE "p";
+               d = REDUCE a ON "k" PARTITIONS 2;
+               j = JOIN b, d ON "k" PARTITIONS 3;
+               OUTPUT j TO "o";"#,
+        );
+        // a, map_b (not fused: a has 2 consumers), reduce_d, join_j.
+        assert_eq!(c.graph.num_stages(), 4);
+        let map_b = c.graph.stage_by_name("map_b").unwrap();
+        assert!(!c.graph.is_barrier_stage(map_b));
+        assert_eq!(c.graph.tasks_in(map_b), 4);
+        let join = c.graph.stage_by_name("join_j").unwrap();
+        assert_eq!(c.graph.parents(join).len(), 2);
+    }
+
+    #[test]
+    fn single_output_adds_merge_stage() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 4;
+               OUTPUT a TO "o" SINGLE;"#,
+        );
+        assert_eq!(c.graph.num_stages(), 2);
+        let out = c.graph.stage_by_name("output_a").unwrap();
+        assert_eq!(c.graph.tasks_in(out), 1);
+        assert!(c.graph.is_barrier_stage(out));
+    }
+
+    #[test]
+    fn union_defaults_to_larger_input() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 4;
+               b = EXTRACT FROM "g" PARTITIONS 9;
+               u = UNION a, b;
+               OUTPUT u TO "o";"#,
+        );
+        let u = c.graph.stage_by_name("union_u").unwrap();
+        assert_eq!(c.graph.tasks_in(u), 9);
+    }
+
+    #[test]
+    fn self_join_dedups_edges() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 4;
+               j = JOIN a, a ON "k" PARTITIONS 2;
+               OUTPUT j TO "o";"#,
+        );
+        assert_eq!(c.graph.edges().len(), 1);
+    }
+
+    #[test]
+    fn errors_unknown_duplicate_zero_nooutput() {
+        let err = compile(&parse("OUTPUT ghost TO \"o\";").unwrap()).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownDataset { .. }));
+
+        let err = compile(
+            &parse(
+                r#"a = EXTRACT FROM "f" PARTITIONS 1;
+                   a = EXTRACT FROM "g" PARTITIONS 1;
+                   OUTPUT a TO "o";"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::DuplicateName { .. }));
+
+        let err = compile(
+            &parse("a = EXTRACT FROM \"f\" PARTITIONS 0; OUTPUT a TO \"o\";").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompileError::ZeroPartitions { .. }));
+
+        let err =
+            compile(&parse("a = EXTRACT FROM \"f\" PARTITIONS 1;").unwrap()).unwrap_err();
+        assert_eq!(err, CompileError::NoOutput);
+
+        let err = compile(&Script::default()).unwrap_err();
+        assert_eq!(err, CompileError::EmptyScript);
+    }
+
+    #[test]
+    fn costs_track_statements() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 2 COST 1.5;
+               r = REDUCE a ON "k" PARTITIONS 1 COST 4.0;
+               OUTPUT r TO "o";"#,
+        );
+        assert_eq!(c.stage_costs.len(), 2);
+        assert!((c.stage_costs[0] - 1.5).abs() < 1e-12);
+        assert!((c.stage_costs[1] - 4.1).abs() < 1e-12); // +0.1 write cost.
+    }
+
+    #[test]
+    fn sort_lowers_to_two_stage_plan() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 16;
+               s = SORT a BY "key" PARTITIONS 8 COST 2.0;
+               OUTPUT s TO "o";"#,
+        );
+        // extract, rangepart (barrier), sort (one-to-one).
+        assert_eq!(c.graph.num_stages(), 3);
+        assert_eq!(c.graph.num_barrier_stages(), 1);
+        let part = c.graph.stage_by_name("rangepart_s").unwrap();
+        let sort = c.graph.stage_by_name("sort_s").unwrap();
+        assert!(c.graph.is_barrier_stage(part));
+        assert!(!c.graph.is_barrier_stage(sort));
+        assert_eq!(c.graph.tasks_in(part), 8);
+        assert_eq!(c.graph.tasks_in(sort), 8);
+        // Cost split 40/60 plus the 0.1 write cost on the sort stage.
+        assert!((c.stage_costs[part.index()] - 0.8).abs() < 1e-12);
+        assert!((c.stage_costs[sort.index()] - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_is_a_barrier_stage() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 6;
+               d = DISTINCT a ON "k" PARTITIONS 3;
+               OUTPUT d TO "o";"#,
+        );
+        let d = c.graph.stage_by_name("distinct_d").unwrap();
+        assert!(c.graph.is_barrier_stage(d));
+        assert_eq!(c.graph.tasks_in(d), 3);
+    }
+
+    #[test]
+    fn process_fuses_like_select() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 4 COST 1.0;
+               p = PROCESS a USING "Tokenize" COST 0.7;
+               OUTPUT p TO "o";"#,
+        );
+        assert_eq!(c.graph.num_stages(), 1);
+        assert!((c.stage_costs[0] - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_with_shared_input_gets_own_stage() {
+        let c = compiled(
+            r#"a = EXTRACT FROM "f" PARTITIONS 4;
+               p = PROCESS a USING "Tokenize";
+               r = REDUCE a ON "k" PARTITIONS 2;
+               u = UNION p, r;
+               OUTPUT u TO "o";"#,
+        );
+        let p = c.graph.stage_by_name("process_p").unwrap();
+        assert!(!c.graph.is_barrier_stage(p));
+        assert_eq!(c.graph.tasks_in(p), 4);
+    }
+
+    #[test]
+    fn typical_mapreduce_shape_matches_fig3_description() {
+        // "A typical MapReduce job would be represented by a black circle
+        // connected to a blue triangle."
+        let c = compiled(
+            r#"m = EXTRACT FROM "in" PARTITIONS 100;
+               r = REDUCE m ON "k" PARTITIONS 10;
+               OUTPUT r TO "out";"#,
+        );
+        let dot = jockey_jobgraph::dot::to_dot(&c.graph);
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=triangle"));
+    }
+}

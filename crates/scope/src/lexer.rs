@@ -1,0 +1,304 @@
+//! Tokenizer for the mini-SCOPE script language.
+
+use std::fmt;
+
+/// A lexical token with its line number (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line the token started on.
+    pub line: u32,
+}
+
+/// Token kinds of the script language.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Keyword, upper-cased (`EXTRACT`, `SELECT`, `FROM`, ...).
+    Keyword(String),
+    /// Identifier (dataset names).
+    Ident(String),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// Non-negative integer literal.
+    Int(u64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `=`.
+    Equals,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword {k}"),
+            TokenKind::Ident(i) => write!(f, "identifier {i}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Equals => write!(f, "'='"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semi => write!(f, "';'"),
+        }
+    }
+}
+
+/// The reserved words of the language. Matching is case-insensitive;
+/// anything else alphabetic is an identifier.
+pub const KEYWORDS: &[&str] = &[
+    "EXTRACT", "FROM", "PARTITIONS", "COST", "SELECT", "WHERE", "PROJECT", "REDUCE", "AGGREGATE",
+    "ON", "JOIN", "UNION", "OUTPUT", "TO", "SINGLE", "SORT", "BY", "DISTINCT", "PROCESS", "USING",
+];
+
+/// Errors produced while tokenizing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LexError {
+    /// A character that starts no token.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A string literal without a closing quote.
+    UnterminatedString {
+        /// 1-based line where the string started.
+        line: u32,
+    },
+    /// A numeric literal that failed to parse.
+    BadNumber {
+        /// The raw text.
+        text: String,
+        /// 1-based line.
+        line: u32,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar { ch, line } => {
+                write!(f, "line {line}: unexpected character {ch:?}")
+            }
+            LexError::UnterminatedString { line } => {
+                write!(f, "line {line}: unterminated string literal")
+            }
+            LexError::BadNumber { text, line } => {
+                write!(f, "line {line}: malformed number {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a script.
+///
+/// Comments run from `//` to end of line. Keywords are recognized
+/// case-insensitively and normalized to upper case.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] at the first character that cannot start a
+/// token, unterminated string, or malformed number.
+///
+/// # Examples
+///
+/// ```
+/// use jockey_scope::lexer::{tokenize, TokenKind};
+///
+/// let toks = tokenize("a = EXTRACT FROM \"in\" PARTITIONS 4;").unwrap();
+/// assert_eq!(toks[0].kind, TokenKind::Ident("a".into()));
+/// assert_eq!(toks[2].kind, TokenKind::Keyword("EXTRACT".into()));
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    // Comment to end of line.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError::UnexpectedChar { ch: '/', line });
+                }
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Equals, line });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Comma, line });
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token { kind: TokenKind::Semi, line });
+            }
+            '"' => {
+                chars.next();
+                let start_line = line;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(LexError::UnterminatedString { line: start_line })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line: start_line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError::BadNumber {
+                        text: text.clone(),
+                        line,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError::BadNumber {
+                        text: text.clone(),
+                        line,
+                    })?)
+                };
+                tokens.push(Token { kind, line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(word)
+                };
+                tokens.push(Token { kind, line });
+            }
+            other => return Err(LexError::UnexpectedChar { ch: other, line }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_statement() {
+        let k = kinds("x = REDUCE y ON \"key\" PARTITIONS 10;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Equals,
+                TokenKind::Keyword("REDUCE".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Keyword("ON".into()),
+                TokenKind::Str("key".into()),
+                TokenKind::Keyword("PARTITIONS".into()),
+                TokenKind::Int(10),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("extract"), vec![TokenKind::Keyword("EXTRACT".into())]);
+        assert_eq!(kinds("Extract"), vec![TokenKind::Keyword("EXTRACT".into())]);
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(kinds("myData"), vec![TokenKind::Ident("myData".into())]);
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float(1.5)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a // this is a comment\nb");
+        assert_eq!(
+            k,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = tokenize("a\nb\nc").unwrap();
+        assert_eq!(toks.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            tokenize("@"),
+            Err(LexError::UnexpectedChar { ch: '@', line: 1 })
+        ));
+        assert!(matches!(
+            tokenize("\"open"),
+            Err(LexError::UnterminatedString { line: 1 })
+        ));
+        assert!(matches!(
+            tokenize("/x"),
+            Err(LexError::UnexpectedChar { ch: '/', .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LexError::UnterminatedString { line: 3 };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,76 @@
+//! A miniature SCOPE-like language and its compiler to execution-plan
+//! graphs.
+//!
+//! Jobs in the paper's cluster are written in SCOPE, "a mash-up language
+//! with both declarative and imperative elements similar to Pig or HIVE";
+//! a compiler translates each script into an execution plan graph whose
+//! nodes are stages and whose edges represent dataflow (§2.1). Jockey
+//! itself consumes only the plan graph, so this crate implements the
+//! smallest language that produces realistic graphs:
+//!
+//! ```text
+//! clicks  = EXTRACT FROM "clicks.log" PARTITIONS 100 COST 2.0;
+//! good    = SELECT FROM clicks WHERE "spam = false";
+//! byuser  = REDUCE good ON "user" PARTITIONS 20;
+//! joined  = JOIN good, byuser ON "user" PARTITIONS 50;
+//! OUTPUT joined TO "result.tsv" SINGLE;
+//! ```
+//!
+//! Scripts can be written as text and parsed ([`parse`]) or assembled
+//! programmatically ([`ast::ScriptBuilder`]). [`compile::compile`] lowers
+//! a script to a [`jockey_jobgraph::JobGraph`], fusing chains of
+//! row-wise operators into single stages (as the SCOPE optimizer does)
+//! and turning every repartitioning operator into an all-to-all edge —
+//! i.e. a barrier.
+//!
+//! # Examples
+//!
+//! ```
+//! let script = r#"
+//!     a = EXTRACT FROM "in" PARTITIONS 8;
+//!     b = REDUCE a ON "k" PARTITIONS 2;
+//!     OUTPUT b TO "out";
+//! "#;
+//! let compiled = jockey_scope::compile_script(script).unwrap();
+//! assert_eq!(compiled.graph.num_stages(), 2);
+//! assert_eq!(compiled.graph.num_barrier_stages(), 1);
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{OutputMode, Script, ScriptBuilder, Statement};
+pub use compile::{compile, CompileError, CompiledJob};
+pub use parser::{parse, ParseError};
+
+/// Parses and compiles a script in one step.
+///
+/// # Errors
+///
+/// Returns a [`ScriptError`] wrapping either a parse or a compile error.
+pub fn compile_script(text: &str) -> Result<CompiledJob, ScriptError> {
+    let script = parse(text).map_err(ScriptError::Parse)?;
+    compile(&script).map_err(ScriptError::Compile)
+}
+
+/// Either phase of script processing failing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScriptError {
+    /// The text did not parse.
+    Parse(ParseError),
+    /// The parsed script did not compile to a valid plan.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptError::Parse(e) => write!(f, "parse error: {e}"),
+            ScriptError::Compile(e) => write!(f, "compile error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}

@@ -1,0 +1,101 @@
+//! Property-based tests of the SCOPE compiler: structural invariants
+//! of generated scripts and lexer robustness.
+
+use jockey_scope::ast::ScriptBuilder;
+use jockey_scope::lexer::tokenize;
+use jockey_scope::{compile, parse};
+use proptest::prelude::*;
+
+/// Strategy: a random pipeline script built with the `ScriptBuilder`:
+/// one extract, then a mix of row-wise and repartitioning operators
+/// each consuming the previous dataset, ending in an OUTPUT.
+fn arb_script() -> impl Strategy<Value = (jockey_scope::Script, usize, usize)> {
+    (
+        2_u32..60,
+        proptest::collection::vec((0_u8..3, 1_u32..20), 0..10),
+        any::<bool>(),
+    )
+        .prop_map(|(parts, ops, single)| {
+            let mut b = ScriptBuilder::new("prop").extract("d0", "in", parts, 1.0);
+            // Expected stage count: extract + each repartition op +
+            // (single ? 1 : 0). Row-wise ops fuse (single consumer).
+            let mut stages = 1;
+            let mut barriers = 0;
+            let mut prev = "d0".to_string();
+            for (i, &(kind, p)) in ops.iter().enumerate() {
+                let name = format!("d{}", i + 1);
+                match kind {
+                    0 => {
+                        b = b.select(&name, &prev, Some("pred"), 0.5);
+                    }
+                    1 => {
+                        b = b.project(&name, &prev, 0.25);
+                    }
+                    _ => {
+                        b = b.reduce(&name, &prev, "k", p, 2.0);
+                        stages += 1;
+                        barriers += 1;
+                    }
+                }
+                prev = name;
+            }
+            b = b.output(&prev, "out", single);
+            if single {
+                stages += 1;
+                barriers += 1;
+            }
+            (b.build(), stages, barriers)
+        })
+}
+
+proptest! {
+    /// Compiling a linear pipeline yields exactly the predicted number
+    /// of stages and barrier stages, and a connected DAG ending in one
+    /// leaf.
+    #[test]
+    fn pipeline_structure_is_predictable((script, stages, barriers) in arb_script()) {
+        let compiled = compile(&script).expect("valid script");
+        prop_assert_eq!(compiled.graph.num_stages(), stages);
+        prop_assert_eq!(compiled.graph.num_barrier_stages(), barriers);
+        prop_assert_eq!(compiled.graph.roots().len(), 1);
+        prop_assert_eq!(compiled.graph.leaves().len(), 1);
+        prop_assert_eq!(compiled.stage_costs.len(), stages);
+        prop_assert!(compiled.stage_costs.iter().all(|&c| c > 0.0));
+    }
+
+    /// The lexer never panics on arbitrary input — it either tokenizes
+    /// or reports a structured error.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in ".*") {
+        let _ = tokenize(&src);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in ".*") {
+        let _ = parse(&src);
+    }
+
+    /// Identifier-ish text round-trips through the lexer.
+    #[test]
+    fn identifiers_tokenize(name in "[a-zA-Z_][a-zA-Z0-9_]{0,20}") {
+        let toks = tokenize(&name).expect("identifier-ish input lexes");
+        prop_assert_eq!(toks.len(), 1);
+    }
+
+    /// Parse of a printed numeric literal preserves the value.
+    #[test]
+    fn numeric_costs_survive_parsing(parts in 1_u32..10_000, cost in 0.01_f64..99.0) {
+        let src = format!(
+            "a = EXTRACT FROM \"f\" PARTITIONS {parts} COST {cost:.2};\nOUTPUT a TO \"o\";"
+        );
+        let script = parse(&src).expect("well-formed script");
+        match &script.statements[0] {
+            jockey_scope::Statement::Extract { partitions, cost: c, .. } => {
+                prop_assert_eq!(*partitions, parts);
+                prop_assert!((c - cost).abs() < 0.005);
+            }
+            other => prop_assert!(false, "unexpected statement {:?}", other),
+        }
+    }
+}

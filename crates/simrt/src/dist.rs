@@ -1,0 +1,506 @@
+//! Sampling distributions for task runtimes, queueing delays and
+//! failure processes.
+//!
+//! The Jockey paper's job simulator replays *per-stage distributions of
+//! task runtimes and initialization latencies* extracted from a prior run
+//! (§4.1). This module provides the distribution families the workspace
+//! uses to model those quantities:
+//!
+//! - [`LogNormal`] — the canonical heavy-ish-tailed task-runtime model,
+//!   fit directly from a (median, p90) pair as published in Table 2.
+//! - [`Pareto`] — the straggler/outlier tail.
+//! - [`Exponential`], [`Uniform`], [`Constant`] — building blocks.
+//! - [`Empirical`] — resampling of recorded values, used when replaying a
+//!   measured profile.
+//! - [`Mixture`], [`Clamped`], [`Scaled`] — combinators, e.g. "97%
+//!   log-normal body + 3% Pareto outliers, clamped to 1 hour".
+//!
+//! All samples are non-negative `f64` values; callers interpret the unit
+//! (this workspace uses seconds).
+
+use rand::Rng;
+
+/// A sampleable, non-negative, real-valued distribution.
+pub trait Sample: Send + Sync {
+    /// Draws one value.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// The distribution mean, if known in closed form.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A degenerate distribution returning a fixed value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.0
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.0)
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, either bound is negative, or either is not
+    /// finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo >= 0.0 && lo <= hi);
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.lo + rng.gen::<f64>() * (self.hi - self.lo)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.lo + self.hi) / 2.0)
+    }
+}
+
+/// Exponential distribution parameterized by its mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        Exponential { mean }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Inverse-CDF sampling; `1 - u` avoids ln(0).
+        let u: f64 = rng.gen();
+        -self.mean * (1.0 - u).ln()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+/// Standard-normal quantile of 0.9, used by [`LogNormal::from_median_p90`].
+const Z_90: f64 = 1.281_551_565_544_600_5;
+
+impl LogNormal {
+    /// Creates a log-normal from its underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Fits a log-normal to a published (median, p90) pair.
+    ///
+    /// The median of a log-normal is `exp(mu)` and its p90 is
+    /// `exp(mu + Z_90 * sigma)`, so both parameters are identified
+    /// exactly. This is how the workspace reconstructs the per-stage task
+    /// runtime distributions of Table 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `p90 < median`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jockey_simrt::dist::LogNormal;
+    ///
+    /// // Job A's overall vertex runtimes: median 16.3 s, p90 61.5 s.
+    /// let d = LogNormal::from_median_p90(16.3, 61.5);
+    /// assert!((d.median() - 16.3).abs() < 1e-9);
+    /// assert!((d.p90() - 61.5).abs() < 1e-9);
+    /// ```
+    pub fn from_median_p90(median: f64, p90: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        assert!(p90 >= median, "p90 {p90} below median {median}");
+        let mu = median.ln();
+        let sigma = (p90.ln() - mu) / Z_90;
+        LogNormal::new(mu, sigma)
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> f64 {
+        (self.mu + Z_90 * self.sigma).exp()
+    }
+
+    /// Draws a standard normal via Box–Muller (one of the pair).
+    fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+        // `1 - u` keeps the argument of ln strictly positive.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+}
+
+/// Pareto distribution with scale `x_m` and shape `alpha`, used for
+/// straggler tails.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with minimum value `scale` and tail
+    /// index `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are strictly positive and finite.
+    pub fn new(scale: f64, alpha: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0);
+        assert!(alpha.is_finite() && alpha > 0.0);
+        Pareto { scale, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale / u.powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.scale / (self.alpha - 1.0))
+    }
+}
+
+/// Resamples uniformly from a recorded set of values.
+///
+/// Used to replay measured profiles: sampling from an `Empirical` of a
+/// stage's observed task runtimes reproduces that stage's distribution
+/// without assuming a parametric family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution over `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a negative or non-finite
+    /// value.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "empirical distribution needs samples");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "empirical samples must be finite and non-negative"
+        );
+        Empirical { values }
+    }
+
+    /// The recorded values backing this distribution.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let i = (rng.gen::<u64>() % self.values.len() as u64) as usize;
+        self.values[i]
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+}
+
+/// A two-component mixture: with probability `p_second`, sample the
+/// second distribution, otherwise the first.
+pub struct Mixture<A, B> {
+    first: A,
+    second: B,
+    p_second: f64,
+}
+
+impl<A: Sample, B: Sample> Mixture<A, B> {
+    /// Creates a mixture drawing from `second` with probability
+    /// `p_second`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_second` is in `[0, 1]`.
+    pub fn new(first: A, second: B, p_second: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_second));
+        Mixture {
+            first,
+            second,
+            p_second,
+        }
+    }
+}
+
+impl<A: Sample, B: Sample> Sample for Mixture<A, B> {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        if rng.gen::<f64>() < self.p_second {
+            self.second.sample(rng)
+        } else {
+            self.first.sample(rng)
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let a = self.first.mean()?;
+        let b = self.second.mean()?;
+        Some(a * (1.0 - self.p_second) + b * self.p_second)
+    }
+}
+
+/// Clamps samples of an inner distribution to `[lo, hi]`.
+pub struct Clamped<D> {
+    inner: D,
+    lo: f64,
+    hi: f64,
+}
+
+impl<D: Sample> Clamped<D> {
+    /// Clamps `inner` to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(inner: D, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi);
+        Clamped { inner, lo, hi }
+    }
+}
+
+impl<D: Sample> Sample for Clamped<D> {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Scales samples of an inner distribution by a constant factor.
+pub struct Scaled<D> {
+    inner: D,
+    factor: f64,
+}
+
+impl<D: Sample> Scaled<D> {
+    /// Multiplies every sample of `inner` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn new(inner: D, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0);
+        Scaled { inner, factor }
+    }
+}
+
+impl<D: Sample> Sample for Scaled<D> {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.inner.sample(rng) * self.factor
+    }
+
+    fn mean(&self) -> Option<f64> {
+        self.inner.mean().map(|m| m * self.factor)
+    }
+}
+
+impl Sample for Box<dyn Sample> {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.as_ref().sample(rng)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        self.as_ref().mean()
+    }
+}
+
+impl Sample for std::sync::Arc<dyn Sample> {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.as_ref().sample(rng)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        self.as_ref().mean()
+    }
+}
+
+/// Draws `true` with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `p` is in `[0, 1]`.
+pub fn bernoulli(rng: &mut dyn rand::RngCore, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedDeriver;
+    use crate::stats;
+
+    fn draw<D: Sample>(d: &D, n: usize) -> Vec<f64> {
+        let mut rng = SeedDeriver::new(1234).rng("dist-tests");
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let xs = draw(&Constant(3.5), 10);
+        assert!(xs.iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 4.0);
+        let xs = draw(&d, 20_000);
+        assert!(xs.iter().all(|&x| (2.0..4.0).contains(&x)));
+        let m = stats::mean(&xs);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(7.0);
+        let m = stats::mean(&draw(&d, 50_000));
+        assert!((m - 7.0).abs() < 0.25, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_fit_matches_published_quantiles() {
+        let d = LogNormal::from_median_p90(3.0, 68.3);
+        let xs = {
+            let mut v = draw(&d, 100_000);
+            v.sort_by(f64::total_cmp);
+            v
+        };
+        let med = stats::percentile_sorted(&xs, 50.0);
+        let p90 = stats::percentile_sorted(&xs, 90.0);
+        assert!((med / 3.0 - 1.0).abs() < 0.05, "median {med}");
+        assert!((p90 / 68.3 - 1.0).abs() < 0.05, "p90 {p90}");
+    }
+
+    #[test]
+    fn lognormal_degenerate_sigma() {
+        let d = LogNormal::from_median_p90(5.0, 5.0);
+        let xs = draw(&d, 100);
+        assert!(xs.iter().all(|&x| (x - 5.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_mean() {
+        let d = Pareto::new(2.0, 3.0);
+        let xs = draw(&d, 50_000);
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        let m = stats::mean(&xs);
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+        assert_eq!(Pareto::new(1.0, 0.5).mean(), None);
+    }
+
+    #[test]
+    fn empirical_resamples_recorded_values() {
+        let d = Empirical::new(vec![1.0, 2.0, 4.0]);
+        let xs = draw(&d, 3_000);
+        assert!(xs.iter().all(|&x| x == 1.0 || x == 2.0 || x == 4.0));
+        for target in [1.0, 2.0, 4.0] {
+            let frac = xs.iter().filter(|&&x| x == target).count() as f64 / xs.len() as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.05, "frac of {target}: {frac}");
+        }
+    }
+
+    #[test]
+    fn mixture_weights_components() {
+        let d = Mixture::new(Constant(1.0), Constant(10.0), 0.25);
+        let xs = draw(&d, 20_000);
+        let frac_hi = xs.iter().filter(|&&x| x == 10.0).count() as f64 / xs.len() as f64;
+        assert!((frac_hi - 0.25).abs() < 0.02, "frac {frac_hi}");
+        assert!((d.mean().unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_limits_range() {
+        let d = Clamped::new(Pareto::new(1.0, 0.8), 0.0, 5.0);
+        assert!(draw(&d, 5_000).iter().all(|&x| x <= 5.0));
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let d = Scaled::new(Constant(3.0), 2.5);
+        assert_eq!(d.sample(&mut SeedDeriver::new(0).rng("x")), 7.5);
+        assert_eq!(d.mean(), Some(7.5));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = SeedDeriver::new(5).rng("bern");
+        let n = 20_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.1)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bernoulli_rejects_bad_probability() {
+        let mut rng = SeedDeriver::new(5).rng("bern");
+        bernoulli(&mut rng, 1.5);
+    }
+
+    #[test]
+    fn boxed_dyn_sample_works() {
+        let d: Box<dyn Sample> = Box::new(Constant(2.0));
+        assert_eq!(d.sample(&mut SeedDeriver::new(0).rng("x")), 2.0);
+        assert_eq!(d.mean(), Some(2.0));
+    }
+}

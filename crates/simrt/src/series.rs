@@ -1,0 +1,241 @@
+//! Time-series recording and the step-signal metrics of §5.4.
+//!
+//! The paper compares progress indicators with two metrics: the *longest
+//! constant interval* (longest stretch, relative to job duration, during
+//! which the indicator reported the same value) and the *average ΔT*
+//! (mean of `|T_t − T_{t+1}|` relative to job duration). [`TimeSeries`]
+//! records sampled signals — progress, predicted completion, token
+//! allocations — and computes both metrics, plus the time integral used
+//! to report "total machine-hours allocated" in Figs. 12 and 13.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A piecewise-constant signal sampled at monotonically non-decreasing
+/// instants.
+///
+/// # Examples
+///
+/// ```
+/// use jockey_simrt::series::TimeSeries;
+/// use jockey_simrt::time::SimTime;
+///
+/// let mut s = TimeSeries::new();
+/// s.push(SimTime::from_mins(0), 10.0);
+/// s.push(SimTime::from_mins(5), 20.0);
+/// assert_eq!(s.value_at(SimTime::from_mins(3)), Some(10.0));
+/// assert_eq!(s.value_at(SimTime::from_mins(5)), Some(20.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous sample's time.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be pushed in order");
+        }
+        self.points.push((at, value));
+    }
+
+    /// The recorded `(time, value)` samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Step ("sample and hold") evaluation: the value of the most recent
+    /// sample at or before `at`; `None` before the first sample.
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        let idx = self.points.partition_point(|&(t, _)| t <= at);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+
+    /// The recorded values, discarding times.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Maximum recorded value (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Integral of the step signal from the first sample to `end`
+    /// (value × seconds). Used for "total machine-hours" style metrics.
+    ///
+    /// Returns 0 for an empty series.
+    pub fn integral_until(&self, end: SimTime) -> f64 {
+        let mut total = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v) = w[0];
+            let t1 = w[1].0.min(end);
+            if t1 > t0 {
+                total += v * (t1 - t0).as_secs_f64();
+            }
+        }
+        if let Some(&(t, v)) = self.points.last() {
+            if end > t {
+                total += v * (end - t).as_secs_f64();
+            }
+        }
+        total
+    }
+
+    /// Longest stretch during which the value did not change, as a
+    /// fraction of the span `[first sample, end]` (§5.4's "longest
+    /// constant interval").
+    ///
+    /// Returns 0 for a series with fewer than two samples or a zero span.
+    pub fn longest_constant_interval(&self, end: SimTime) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let start = self.points[0].0;
+        let span = end.saturating_since(start);
+        if span.is_zero() {
+            return 0.0;
+        }
+        let mut longest = SimDuration::ZERO;
+        let mut run_start = self.points[0].0;
+        let mut run_value = self.points[0].1;
+        for &(t, v) in &self.points[1..] {
+            if v != run_value {
+                longest = longest.max(t.saturating_since(run_start));
+                run_start = t;
+                run_value = v;
+            }
+        }
+        longest = longest.max(end.saturating_since(run_start));
+        longest.as_secs_f64() / span.as_secs_f64()
+    }
+
+    /// Mean absolute step-to-step change, `avg |v_t − v_{t+1}|`,
+    /// normalized by `norm` (§5.4's "average ΔT", where `norm` is the
+    /// job duration in the same unit as the values).
+    ///
+    /// Returns 0 for fewer than two samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norm` is not strictly positive.
+    pub fn mean_abs_delta(&self, norm: f64) -> f64 {
+        assert!(norm > 0.0, "normalization must be positive");
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .points
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1).abs())
+            .sum();
+        sum / (self.points.len() - 1) as f64 / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for &(m, v) in pts {
+            s.push(SimTime::from_mins(m), v);
+        }
+        s
+    }
+
+    #[test]
+    fn value_at_is_step_function() {
+        let s = series(&[(1, 5.0), (3, 7.0)]);
+        assert_eq!(s.value_at(SimTime::ZERO), None);
+        assert_eq!(s.value_at(SimTime::from_mins(1)), Some(5.0));
+        assert_eq!(s.value_at(SimTime::from_mins(2)), Some(5.0));
+        assert_eq!(s.value_at(SimTime::from_mins(4)), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_mins(2), 1.0);
+        s.push(SimTime::from_mins(1), 2.0);
+    }
+
+    #[test]
+    fn integral_of_step_signal() {
+        // 10 tokens for 5 min, then 20 tokens for 5 min.
+        let s = series(&[(0, 10.0), (5, 20.0)]);
+        let total = s.integral_until(SimTime::from_mins(10));
+        assert_eq!(total, 10.0 * 300.0 + 20.0 * 300.0);
+    }
+
+    #[test]
+    fn integral_truncates_at_end() {
+        let s = series(&[(0, 10.0), (5, 20.0)]);
+        assert_eq!(s.integral_until(SimTime::from_mins(3)), 10.0 * 180.0);
+        assert_eq!(TimeSeries::new().integral_until(SimTime::from_mins(3)), 0.0);
+    }
+
+    #[test]
+    fn longest_constant_interval_fraction() {
+        // Constant 0–6 min, then changes each minute until 10.
+        let s = series(&[(0, 1.0), (6, 2.0), (7, 3.0), (8, 4.0), (9, 5.0)]);
+        let f = s.longest_constant_interval(SimTime::from_mins(10));
+        assert!((f - 0.6).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn constant_series_has_full_interval() {
+        let s = series(&[(0, 1.0), (5, 1.0), (9, 1.0)]);
+        assert_eq!(s.longest_constant_interval(SimTime::from_mins(10)), 1.0);
+        assert_eq!(series(&[(0, 1.0)]).longest_constant_interval(SimTime::from_mins(10)), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_delta_normalized() {
+        let s = series(&[(0, 10.0), (1, 12.0), (2, 11.0)]);
+        // |12-10| = 2, |11-12| = 1 → avg 1.5; normalized by 60 → 0.025.
+        assert!((s.mean_abs_delta(60.0) - 0.025).abs() < 1e-12);
+        assert_eq!(series(&[(0, 1.0)]).mean_abs_delta(60.0), 0.0);
+    }
+
+    #[test]
+    fn max_and_last() {
+        let s = series(&[(0, 3.0), (1, 9.0), (2, 4.0)]);
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.last(), Some(4.0));
+        assert_eq!(TimeSeries::new().max(), None);
+    }
+}

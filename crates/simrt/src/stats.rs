@@ -1,0 +1,391 @@
+//! Descriptive statistics used throughout the evaluation.
+//!
+//! The paper's measurement study is phrased in terms of percentiles,
+//! coefficients of variation (CoV, Table 1) and CDFs (Figs. 1 and 5);
+//! this module implements those estimators plus streaming moments
+//! ([`OnlineStats`]) for use inside simulators.
+
+use std::fmt;
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator). Returns 0 for fewer
+/// than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Coefficient of variation: `stddev / mean` (Table 1's statistic).
+///
+/// Returns 0 when the mean is zero.
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        stddev(xs) / m
+    }
+}
+
+/// Percentile `q` (0–100) of an **ascending-sorted** slice with linear
+/// interpolation between order statistics.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `q` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "slice must be sorted"
+    );
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile of an unsorted slice (copies and sorts internally).
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    percentile_sorted(&v, q)
+}
+
+/// An empirical cumulative distribution function.
+///
+/// # Examples
+///
+/// ```
+/// use jockey_simrt::stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.eval(2.0), 0.5);
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// assert_eq!(e.quantile(0.5), 2.5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF needs at least one sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "ECDF sample is NaN");
+        samples.sort_by(f64::total_cmp);
+        Ecdf { sorted: samples }
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x on the sorted vec.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction requires at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted samples (ascending).
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `(x, F(x))` pairs suitable for plotting the CDF as a step series.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if none).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if none).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A five-number-plus summary of a sample, used in result tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarizes a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "summarize of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    Summary {
+        n: v.len(),
+        mean: mean(&v),
+        std: stddev(&v),
+        min: v[0],
+        p10: percentile_sorted(&v, 10.0),
+        p50: percentile_sorted(&v, 50.0),
+        p90: percentile_sorted(&v, 90.0),
+        p99: percentile_sorted(&v, 99.0),
+        max: v[v.len() - 1],
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} std={:.3} p10={:.3} p50={:.3} p90={:.3} p99={:.3}",
+            self.n, self.mean, self.std, self.p10, self.p50, self.p90, self.p99
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cov_matches_definition() {
+        let xs = [10.0, 20.0, 30.0];
+        assert!((cov(&xs) - stddev(&xs) / 20.0).abs() < 1e-12);
+        assert_eq!(cov(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[42.0], 73.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn ecdf_eval_quantile() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 4.0);
+        assert_eq!(e.len(), 4);
+        let pts = e.points();
+        assert_eq!(pts[0], (1.0, 0.25));
+        assert_eq!(pts[3], (4.0, 1.0));
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        assert_eq!(o.count(), 5);
+        assert!((o.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((o.stddev() - stddev(&xs)).abs() < 1e-12);
+        assert_eq!(o.min(), -4.0);
+        assert_eq!(o.max(), 10.0);
+    }
+
+    #[test]
+    fn online_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = summarize(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.5);
+    }
+}

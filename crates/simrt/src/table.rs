@@ -1,0 +1,360 @@
+//! Minimal tabular and key-value text output.
+//!
+//! Experiment binaries emit their tables and figure series as TSV files
+//! under `results/`; job profiles can be persisted as a simple `key=value`
+//! text format. Both are implemented here by hand so that the workspace
+//! does not need a serialization framework.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple table with named columns, rendered as TSV or an aligned
+/// console listing.
+///
+/// # Examples
+///
+/// ```
+/// use jockey_simrt::table::Table;
+///
+/// let mut t = Table::new(["job", "deadline_min", "met"]);
+/// t.row(["A", "60", "true"]);
+/// assert_eq!(t.to_tsv(), "job\tdeadline_min\tmet\nA\t60\ttrue\n");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<I, S>(columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of columns.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        let cells: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as tab-separated values with a header line.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a column-aligned console listing.
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:<w$}", w = widths[i]);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.columns);
+        for r in &self.rows {
+            emit(&mut out, r);
+        }
+        out
+    }
+
+    /// Writes the TSV rendering to `path`, creating parent directories.
+    pub fn write_tsv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_tsv())
+    }
+
+    /// Parses a TSV string produced by [`Table::to_tsv`].
+    ///
+    /// Returns `None` if the input is empty or a row width mismatches the
+    /// header.
+    pub fn from_tsv(text: &str) -> Option<Table> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let columns: Vec<String> = header.split('\t').map(str::to_string).collect();
+        let mut rows = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<String> = line.split('\t').map(str::to_string).collect();
+            if cells.len() != columns.len() {
+                return None;
+            }
+            rows.push(cells);
+        }
+        Some(Table { columns, rows })
+    }
+}
+
+/// An ordered `key = value` store with typed accessors, used to persist
+/// job profiles and experiment configuration as plain text.
+///
+/// # Examples
+///
+/// ```
+/// use jockey_simrt::table::KvStore;
+///
+/// let mut kv = KvStore::new();
+/// kv.set_f64("slack", 1.2);
+/// kv.set_f64_list("stage.0.runtimes", &[1.0, 2.5]);
+/// let round = KvStore::from_text(&kv.to_text()).unwrap();
+/// assert_eq!(round.get_f64("slack"), Some(1.2));
+/// assert_eq!(round.get_f64_list("stage.0.runtimes"), Some(vec![1.0, 2.5]));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    entries: Vec<(String, String)>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Sets `key` to a raw string value, replacing any existing entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key contains `=` or a newline, or the value contains
+    /// a newline — the text format could not represent them.
+    pub fn set(&mut self, key: &str, value: &str) {
+        assert!(
+            !key.contains('=') && !key.contains('\n') && !value.contains('\n'),
+            "key/value not representable: {key:?}"
+        );
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            e.1 = value.to_string();
+        } else {
+            self.entries.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Gets the raw string value for `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets a float value.
+    pub fn set_f64(&mut self, key: &str, value: f64) {
+        self.set(key, &format!("{value}"));
+    }
+
+    /// Gets a float value.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Sets an integer value.
+    pub fn set_u64(&mut self, key: &str, value: u64) {
+        self.set(key, &value.to_string());
+    }
+
+    /// Gets an integer value.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Sets a comma-separated list of floats.
+    pub fn set_f64_list(&mut self, key: &str, values: &[f64]) {
+        let joined = values
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.set(key, &joined);
+    }
+
+    /// Gets a comma-separated list of floats.
+    pub fn get_f64_list(&self, key: &str) -> Option<Vec<f64>> {
+        let raw = self.get(key)?;
+        if raw.is_empty() {
+            return Some(Vec::new());
+        }
+        raw.split(',').map(|s| s.parse().ok()).collect()
+    }
+
+    /// All keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Renders the store as `key=value` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            let _ = writeln!(out, "{k}={v}");
+        }
+        out
+    }
+
+    /// Parses `key=value` lines; blank lines and `#` comments are
+    /// ignored. Returns `None` on a malformed line.
+    pub fn from_text(text: &str) -> Option<KvStore> {
+        let mut kv = KvStore::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line.split_once('=')?;
+            kv.entries.push((k.to_string(), v.to_string()));
+        }
+        Some(kv)
+    }
+
+    /// Writes the text rendering to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_text())
+    }
+
+    /// Reads a store from `path`.
+    pub fn read(path: &Path) -> io::Result<KvStore> {
+        let text = fs::read_to_string(path)?;
+        KvStore::from_text(&text)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed kv file"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "x"]);
+        t.row(["2", "y"]);
+        let parsed = Table::from_tsv(&t.to_tsv()).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn table_aligned_output() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["long-name", "1"]);
+        let s = t.to_aligned();
+        assert!(s.starts_with("name       v\n"), "got {s:?}");
+        assert!(s.contains("long-name  1"));
+    }
+
+    #[test]
+    fn table_numeric_rows() {
+        let mut t = Table::new(["x"]);
+        t.row([1.25]);
+        assert_eq!(t.to_tsv(), "x\n1.25\n");
+    }
+
+    #[test]
+    fn kv_roundtrip_and_types() {
+        let mut kv = KvStore::new();
+        kv.set("name", "job-A");
+        kv.set_f64("slack", 1.2);
+        kv.set_u64("stages", 23);
+        kv.set_f64_list("xs", &[1.0, 2.0, 3.5]);
+        kv.set_f64_list("empty", &[]);
+        let round = KvStore::from_text(&kv.to_text()).unwrap();
+        assert_eq!(round.get("name"), Some("job-A"));
+        assert_eq!(round.get_f64("slack"), Some(1.2));
+        assert_eq!(round.get_u64("stages"), Some(23));
+        assert_eq!(round.get_f64_list("xs"), Some(vec![1.0, 2.0, 3.5]));
+        assert_eq!(round.get_f64_list("empty"), Some(vec![]));
+        assert_eq!(round.get("missing"), None);
+    }
+
+    #[test]
+    fn kv_overwrites_in_place() {
+        let mut kv = KvStore::new();
+        kv.set("k", "1");
+        kv.set("k", "2");
+        assert_eq!(kv.get("k"), Some("2"));
+        assert_eq!(kv.keys().count(), 1);
+    }
+
+    #[test]
+    fn kv_ignores_comments_and_blanks() {
+        let kv = KvStore::from_text("# comment\n\na=1\n").unwrap();
+        assert_eq!(kv.get("a"), Some("1"));
+    }
+
+    #[test]
+    fn kv_rejects_malformed() {
+        assert!(KvStore::from_text("no-equals-sign").is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! Explicit background co-tenant jobs.
+//!
+//! The cluster simulator's default background model is an *aggregate*
+//! utilization process (`jockey_cluster::background`), which is cheap
+//! and easy to calibrate. For studies where the co-tenants themselves
+//! matter — contention for guarantees, barrier-synchronized demand
+//! spikes, work-conserving redistribution between real jobs — this
+//! module generates an explicit stream of small jobs to submit
+//! alongside the SLO job(s): a Poisson arrival process over a mix of
+//! map-only, map-reduce and multi-stage shapes, each with a static
+//! guarantee (the §3.2 quota regime most cluster tenants run under).
+
+use std::sync::Arc;
+
+use jockey_cluster::JobSpec;
+use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+use jockey_simrt::dist::{LogNormal, Sample};
+use jockey_simrt::rng::SeedDeriver;
+use jockey_simrt::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// One generated background job: its spec, submit time and the static
+/// guarantee its owner requested.
+pub struct BackgroundJob {
+    /// Executable spec.
+    pub spec: JobSpec,
+    /// Submission time.
+    pub submit_at: SimTime,
+    /// The owner's static token guarantee.
+    pub guarantee: u32,
+}
+
+/// Background-stream parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackgroundStream {
+    /// Job arrivals per hour.
+    pub arrivals_per_hour: f64,
+    /// Time window to fill with arrivals.
+    pub window: SimDuration,
+    /// Median task runtime of background tasks, seconds.
+    pub task_median_secs: f64,
+    /// Largest per-job task count.
+    pub max_tasks: u32,
+    /// Largest per-job guarantee.
+    pub max_guarantee: u32,
+}
+
+impl Default for BackgroundStream {
+    fn default() -> Self {
+        BackgroundStream {
+            arrivals_per_hour: 30.0,
+            window: SimDuration::from_mins(120),
+            task_median_secs: 8.0,
+            max_tasks: 400,
+            max_guarantee: 20,
+        }
+    }
+}
+
+impl BackgroundStream {
+    /// Generates the job stream, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals_per_hour` is not positive or limits are zero.
+    pub fn generate(&self, seed: u64) -> Vec<BackgroundJob> {
+        assert!(self.arrivals_per_hour > 0.0);
+        assert!(self.max_tasks >= 4 && self.max_guarantee >= 1);
+        let seeds = SeedDeriver::new(seed).child("background-jobs");
+        let mut rng = seeds.rng("arrivals");
+        let mean_gap = 3600.0 / self.arrivals_per_hour;
+
+        let mut jobs = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut i = 0_u64;
+        loop {
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            t += SimDuration::from_secs_f64(-mean_gap * u.ln());
+            if t.saturating_since(SimTime::ZERO) > self.window {
+                break;
+            }
+            jobs.push(self.one_job(i, t, &seeds));
+            i += 1;
+        }
+        jobs
+    }
+
+    /// Builds the `i`-th job: a random small shape.
+    fn one_job(&self, i: u64, submit_at: SimTime, seeds: &SeedDeriver) -> BackgroundJob {
+        let mut rng = seeds.rng_indexed("shape", i);
+        let tasks = rng.gen_range(4..=self.max_tasks);
+        let mut b = JobGraphBuilder::new(format!("bg-{i:04}"));
+        let shape = rng.gen_range(0..3_u8);
+        match shape {
+            // Map-only.
+            0 => {
+                b.stage("map", tasks);
+            }
+            // Classic map-reduce.
+            1 => {
+                let m = b.stage("map", tasks);
+                let r = b.stage("reduce", (tasks / 8).max(1));
+                b.edge(m, r, EdgeKind::AllToAll);
+            }
+            // Three-stage pipeline with a mid shuffle.
+            _ => {
+                let m = b.stage("extract", tasks);
+                let f = b.stage("filter", tasks);
+                let r = b.stage("agg", (tasks / 10).max(1));
+                b.edge(m, f, EdgeKind::OneToOne);
+                b.edge(f, r, EdgeKind::AllToAll);
+            }
+        }
+        let graph = Arc::new(b.build().expect("background shapes are valid"));
+        let runtime: Arc<dyn Sample> = Arc::new(LogNormal::from_median_p90(
+            self.task_median_secs * (0.5 + rng.gen::<f64>()),
+            self.task_median_secs * 3.0,
+        ));
+        let queue: Arc<dyn Sample> = Arc::new(LogNormal::from_median_p90(2.0, 6.0));
+        let n = graph.num_stages();
+        let spec = JobSpec::new(
+            graph,
+            vec![runtime; n],
+            vec![queue; n],
+            0.01,
+            rng.gen::<f64>() * 20.0,
+        );
+        let guarantee = rng.gen_range(1..=self.max_guarantee);
+        BackgroundJob {
+            spec,
+            submit_at,
+            guarantee,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation};
+
+    #[test]
+    fn stream_is_deterministic_and_within_window() {
+        let s = BackgroundStream::default();
+        let a = s.generate(5);
+        let b = s.generate(5);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit_at, y.submit_at);
+            assert_eq!(x.guarantee, y.guarantee);
+        }
+        // ~30/h over 2 h: expect on the order of 60 arrivals.
+        assert!((20..=120).contains(&a.len()), "{} arrivals", a.len());
+        for j in &a {
+            assert!(j.submit_at.saturating_since(SimTime::ZERO) <= s.window);
+            assert!(j.guarantee >= 1 && j.guarantee <= s.max_guarantee);
+        }
+    }
+
+    #[test]
+    fn shapes_are_varied() {
+        let jobs = BackgroundStream::default().generate(9);
+        let stage_counts: std::collections::HashSet<usize> = jobs
+            .iter()
+            .map(|j| j.spec.graph.num_stages())
+            .collect();
+        assert!(stage_counts.len() >= 2, "only {stage_counts:?}");
+    }
+
+    #[test]
+    fn co_tenants_actually_run_in_the_cluster() {
+        // Submit a handful of real background jobs into one cluster and
+        // check they all finish under their static guarantees.
+        let stream = BackgroundStream {
+            arrivals_per_hour: 60.0,
+            window: SimDuration::from_mins(10),
+            task_median_secs: 5.0,
+            max_tasks: 40,
+            max_guarantee: 4,
+        };
+        let jobs = stream.generate(3);
+        assert!(!jobs.is_empty());
+        let mut cfg = ClusterConfig::dedicated(64);
+        cfg.max_guarantee = 8;
+        cfg.spare_enabled = true;
+        let mut sim = ClusterSim::new(cfg, 7);
+        for j in &jobs {
+            sim.add_job_at(
+                j.spec.clone(),
+                Box::new(FixedAllocation(j.guarantee)),
+                j.submit_at,
+            );
+        }
+        let results = sim.run();
+        for r in &results {
+            assert!(r.completed_at.is_some(), "{} did not finish", r.name);
+        }
+    }
+}

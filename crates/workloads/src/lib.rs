@@ -1,0 +1,28 @@
+//! Workload generators for the Jockey evaluation.
+//!
+//! The paper evaluates on 21 recurring production jobs, seven of which
+//! (A–G) are characterized in Table 2 and visualized in Fig. 3. Those
+//! jobs are proprietary; this crate regenerates structurally and
+//! statistically equivalent jobs from the published statistics:
+//!
+//! - [`jobs`]: a segment-based DAG generator targeting exact stage,
+//!   barrier-stage and vertex counts, with per-stage log-normal task
+//!   runtimes calibrated to the published median/p90 vertex runtimes.
+//!   [`jobs::paper_jobs`] yields A–G; [`jobs::synthetic_recurring_jobs`]
+//!   yields the additional recurring jobs that round out the 21.
+//! - [`recurring`]: recurring-run machinery — training profiles from a
+//!   simulated "production run" and run-to-run input-size variation.
+//! - [`pipeline`]: the §2.5 job-dependency workload (Fig. 1): a
+//!   multi-day trace of jobs linked into cross-team pipelines, plus the
+//!   dependency analyses (dependents, chains, gaps, groups).
+//! - [`background`]: explicit co-tenant job streams, the heavyweight
+//!   alternative to the cluster simulator's aggregate background-load
+//!   process.
+
+pub mod background;
+pub mod jobs;
+pub mod pipeline;
+pub mod recurring;
+
+pub use jobs::{paper_job, paper_jobs, synthetic_recurring_jobs, GeneratedJob, JobTargets, TABLE2};
+pub use recurring::{input_size_factors, training_profile};

@@ -1,0 +1,377 @@
+//! The §2.5 job-dependency workload (Fig. 1).
+//!
+//! The paper infers inter-job dependencies over three days of cluster
+//! activity: a job depends on an earlier job when its input contains
+//! blocks the earlier job wrote. Fig. 1 then reports, across dependent
+//! jobs: the number of (transitive) dependents, the gap between a job's
+//! completion and its dependents' starts, the length of dependent-job
+//! chains, and how many business groups depend on a job.
+//!
+//! This module generates an equivalent synthetic trace: jobs arrive
+//! over a configurable window and attach to earlier jobs by
+//! preferential attachment (widely-used datasets attract ever more
+//! consumers — the mechanism behind the heavy upper tail), usually
+//! within their business group but sometimes across groups. The
+//! analyses below compute exactly the four Fig. 1 distributions.
+
+use jockey_simrt::rng::SeedDeriver;
+use rand::Rng;
+
+/// One job occurrence in the synthetic trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Dense id; parents always have smaller ids.
+    pub id: usize,
+    /// Owning business group.
+    pub group: u32,
+    /// Start time, seconds from trace start.
+    pub start_secs: f64,
+    /// End time, seconds from trace start.
+    pub end_secs: f64,
+    /// Jobs whose output this job reads.
+    pub parents: Vec<usize>,
+}
+
+/// Trace-generation parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceConfig {
+    /// Number of jobs in the trace.
+    pub jobs: usize,
+    /// Trace window in hours (the paper observes three days).
+    pub window_hours: f64,
+    /// Number of business groups.
+    pub groups: u32,
+    /// Probability a new job depends on at least one earlier job.
+    pub dependent_prob: f64,
+    /// Probability each extra parent is added (geometric).
+    pub extra_parent_prob: f64,
+    /// Probability a dependent job belongs to a different group than
+    /// its first parent.
+    pub cross_group_prob: f64,
+    /// Median gap between a parent finishing and a dependent starting,
+    /// minutes.
+    pub gap_median_mins: f64,
+    /// p90 of that gap, minutes.
+    pub gap_p90_mins: f64,
+    /// Median job duration, minutes.
+    pub duration_median_mins: f64,
+    /// p90 job duration, minutes.
+    pub duration_p90_mins: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            jobs: 3_000,
+            window_hours: 72.0,
+            groups: 12,
+            dependent_prob: 0.72,
+            extra_parent_prob: 0.35,
+            cross_group_prob: 0.25,
+            gap_median_mins: 10.0,
+            gap_p90_mins: 60.0,
+            duration_median_mins: 25.0,
+            duration_p90_mins: 120.0,
+        }
+    }
+}
+
+/// Generates a dependency trace.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0` or `groups == 0`.
+pub fn generate_trace(cfg: &TraceConfig, seed: u64) -> Vec<JobRecord> {
+    assert!(cfg.jobs > 0 && cfg.groups > 0);
+    let seeds = SeedDeriver::new(seed).child("pipeline-trace");
+    let mut rng = seeds.rng("trace");
+    let gap = jockey_simrt::dist::LogNormal::from_median_p90(
+        cfg.gap_median_mins * 60.0,
+        cfg.gap_p90_mins * 60.0,
+    );
+    let duration = jockey_simrt::dist::LogNormal::from_median_p90(
+        cfg.duration_median_mins * 60.0,
+        cfg.duration_p90_mins * 60.0,
+    );
+    use jockey_simrt::dist::Sample;
+
+    let window_secs = cfg.window_hours * 3_600.0;
+    let mut records: Vec<JobRecord> = Vec::with_capacity(cfg.jobs);
+    // Preferential attachment weights: 1 + number of direct dependents.
+    let mut weights: Vec<f64> = Vec::with_capacity(cfg.jobs);
+
+    for id in 0..cfg.jobs {
+        let independent = records.is_empty() || rng.gen::<f64>() >= cfg.dependent_prob;
+        let (parents, group, start) = if independent {
+            let start = rng.gen::<f64>() * window_secs;
+            let group = rng.gen_range(0..cfg.groups);
+            (Vec::new(), group, start)
+        } else {
+            // Parents mix popularity (hubs: widely-read datasets) with
+            // recency (pipelines: each stage consumes the previous
+            // one's fresh output). Recency is what produces the long
+            // dependent chains of Fig. 1.
+            let pick_parent = |rng: &mut rand::rngs::StdRng, weights: &[f64]| {
+                if rng.gen::<f64>() < 0.5 {
+                    let lo = weights.len().saturating_sub(40);
+                    rng.gen_range(lo..weights.len())
+                } else {
+                    pick_weighted(rng, weights)
+                }
+            };
+            let mut parents = vec![pick_parent(&mut rng, &weights)];
+            while rng.gen::<f64>() < cfg.extra_parent_prob && parents.len() < 4 {
+                let p = pick_parent(&mut rng, &weights);
+                if !parents.contains(&p) {
+                    parents.push(p);
+                }
+            }
+            let first = parents[0];
+            let group = if rng.gen::<f64>() < cfg.cross_group_prob {
+                rng.gen_range(0..cfg.groups)
+            } else {
+                records[first].group
+            };
+            let latest_end = parents
+                .iter()
+                .map(|&p| records[p].end_secs)
+                .fold(0.0, f64::max);
+            let start = latest_end + gap.sample(&mut rng);
+            (parents, group, start)
+        };
+        let end = start + duration.sample(&mut rng);
+        for &p in &parents {
+            weights[p] += 1.0;
+        }
+        weights.push(1.0);
+        records.push(JobRecord {
+            id,
+            group,
+            start_secs: start,
+            end_secs: end,
+            parents,
+        });
+    }
+    records
+}
+
+fn pick_weighted(rng: &mut rand::rngs::StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+/// A bitset-based transitive closure over the trace's dependency DAG.
+struct Closure {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Closure {
+    /// `bits[i]` = the set of jobs that (transitively) depend on job i.
+    fn build(records: &[JobRecord]) -> Closure {
+        let n = records.len();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0_u64; n * words];
+        // Children have larger ids; sweep backwards so each child's
+        // closure is complete before its parents read it.
+        for r in records.iter().rev() {
+            for &p in &r.parents {
+                // parent's closure |= child's closure | {child}. The
+                // split below is only correct for parent < child, which
+                // every valid trace satisfies; fail loudly otherwise.
+                assert!(p < r.id, "JobRecord {} lists non-causal parent {}", r.id, p);
+                let (head, tail) = bits.split_at_mut(r.id * words);
+                let parent_row = &mut head[p * words..p * words + words];
+                let child_row = &tail[..words];
+                for w in 0..words {
+                    parent_row[w] |= child_row[w];
+                }
+                parent_row[r.id / 64] |= 1 << (r.id % 64);
+            }
+        }
+        Closure { words, bits }
+    }
+
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words..(i + 1) * self.words]
+    }
+
+    fn count(&self, i: usize) -> u64 {
+        self.row(i).iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    fn iter_set(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(i).iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Number of jobs transitively using each job's output, over jobs with
+/// at least one dependent (Fig. 1, violet line).
+pub fn transitive_dependents(records: &[JobRecord]) -> Vec<u64> {
+    let closure = Closure::build(records);
+    (0..records.len())
+        .map(|i| closure.count(i))
+        .filter(|&c| c > 0)
+        .collect()
+}
+
+/// Gaps (minutes) between a parent's completion and each direct
+/// dependent's start (Fig. 1, blue line).
+pub fn dependency_gaps_mins(records: &[JobRecord]) -> Vec<f64> {
+    let mut gaps = Vec::new();
+    for r in records {
+        for &p in &r.parents {
+            gaps.push((r.start_secs - records[p].end_secs).max(0.0) / 60.0);
+        }
+    }
+    gaps
+}
+
+/// Longest downstream dependent chain from each job, over jobs with at
+/// least one dependent (Fig. 1, green line).
+pub fn chain_lengths(records: &[JobRecord]) -> Vec<u64> {
+    let n = records.len();
+    let mut depth = vec![0_u64; n];
+    // Sweep backwards: depth[i] = 1 + max depth of direct dependents.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for r in records {
+        for &p in &r.parents {
+            children[p].push(r.id);
+        }
+    }
+    for i in (0..n).rev() {
+        depth[i] = children[i]
+            .iter()
+            .map(|&c| depth[c] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    (0..n).filter(|&i| depth[i] > 0).map(|i| depth[i]).collect()
+}
+
+/// Number of distinct business groups transitively depending on each
+/// job, over jobs with at least one dependent (Fig. 1, red line).
+pub fn dependent_groups(records: &[JobRecord]) -> Vec<u64> {
+    let closure = Closure::build(records);
+    (0..records.len())
+        .filter(|&i| closure.count(i) > 0)
+        .map(|i| {
+            let mut groups = std::collections::HashSet::new();
+            for j in closure.iter_set(i) {
+                groups.insert(records[j].group);
+            }
+            groups.len() as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jockey_simrt::stats;
+
+    fn trace() -> Vec<JobRecord> {
+        generate_trace(&TraceConfig::default(), 17)
+    }
+
+    #[test]
+    fn trace_is_well_formed() {
+        let t = trace();
+        assert_eq!(t.len(), 3_000);
+        for r in &t {
+            assert!(r.end_secs > r.start_secs);
+            for &p in &r.parents {
+                assert!(p < r.id, "parents precede children");
+                // Dependents start after their parents finish.
+                assert!(r.start_secs >= t[p].end_secs);
+            }
+        }
+    }
+
+    #[test]
+    fn median_dependents_exceed_ten() {
+        // Fig. 1: "the median job's output is used by over ten other
+        // jobs – for the top 10% of jobs, there are over a hundred."
+        let t = trace();
+        let deps: Vec<f64> = transitive_dependents(&t).iter().map(|&d| d as f64).collect();
+        let median = stats::percentile(&deps, 50.0);
+        let p90 = stats::percentile(&deps, 90.0);
+        assert!(median >= 2.0, "median {median}");
+        assert!(p90 >= 30.0, "p90 {p90}");
+        assert!(p90 > median * 4.0, "tail not heavy: {median} vs {p90}");
+    }
+
+    #[test]
+    fn median_gap_near_ten_minutes() {
+        let t = trace();
+        let gaps = dependency_gaps_mins(&t);
+        let median = stats::percentile(&gaps, 50.0);
+        assert!((4.0..30.0).contains(&median), "median gap {median}");
+    }
+
+    #[test]
+    fn chains_are_long() {
+        let t = trace();
+        let chains: Vec<f64> = chain_lengths(&t).iter().map(|&c| c as f64).collect();
+        let p90 = stats::percentile(&chains, 90.0);
+        assert!(p90 >= 5.0, "p90 chain length {p90}");
+    }
+
+    #[test]
+    fn chains_span_groups() {
+        let t = trace();
+        let groups: Vec<f64> = dependent_groups(&t).iter().map(|&g| g as f64).collect();
+        let p90 = stats::percentile(&groups, 90.0);
+        assert!(p90 >= 2.0, "p90 dependent groups {p90}");
+    }
+
+    #[test]
+    fn closure_on_hand_built_dag() {
+        // 0 -> 1 -> 2, 0 -> 3.
+        let mk = |id: usize, parents: Vec<usize>, group: u32| JobRecord {
+            id,
+            group,
+            start_secs: id as f64 * 100.0,
+            end_secs: id as f64 * 100.0 + 50.0,
+            parents,
+        };
+        let t = vec![
+            mk(0, vec![], 0),
+            mk(1, vec![0], 0),
+            mk(2, vec![1], 1),
+            mk(3, vec![0], 2),
+        ];
+        let deps = transitive_dependents(&t);
+        // Jobs with dependents: 0 (3 dependents), 1 (1 dependent).
+        let mut sorted = deps.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 3]);
+        let chains = chain_lengths(&t);
+        let mut sorted = chains.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+        let groups = dependent_groups(&t);
+        let mut sorted = groups.clone();
+        sorted.sort_unstable();
+        // Job 0's dependents {1,2,3} span groups {0,1,2}; job 1's {2}.
+        assert_eq!(sorted, vec![1, 3]);
+        let gaps = dependency_gaps_mins(&t);
+        assert_eq!(gaps.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_trace(&TraceConfig::default(), 5);
+        let b = generate_trace(&TraceConfig::default(), 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Recurring-run machinery: training profiles and input-size variation.
+//!
+//! Jockey models recurring jobs from a prior execution (§2.6); §2.3
+//! notes that "the size of the input data to be processed varies across
+//! runs of recurring jobs". This module produces both: a *training
+//! profile* by executing a generated job once on a dedicated cluster
+//! slice (the stand-in for "a single production run", §5.1), and
+//! per-run input-size factors to scale subsequent executions.
+
+use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+use jockey_jobgraph::profile::JobProfile;
+use jockey_simrt::rng::SeedDeriver;
+use rand::Rng;
+
+/// Executes `spec` once at a fixed `tokens` allocation on a dedicated
+/// cluster (failures active, no background noise) and returns the
+/// measured profile — the training input for Jockey's models.
+///
+/// # Panics
+///
+/// Panics if `tokens` is zero or the run does not finish within 24
+/// simulated hours (a pathological spec).
+pub fn training_profile(spec: &JobSpec, tokens: u32, seed: u64) -> JobProfile {
+    assert!(tokens > 0);
+    let cfg = ClusterConfig::dedicated_with_failures(tokens);
+    let mut sim = ClusterSim::new(cfg, seed);
+    sim.add_job(spec.clone(), Box::new(FixedAllocation(tokens)));
+    let result = sim.run().remove(0);
+    assert!(
+        result.completed_at.is_some(),
+        "training run for {} did not finish",
+        spec.graph.name()
+    );
+    result.profile
+}
+
+/// Draws `n` input-size factors for successive runs of a recurring
+/// job: log-normal around 1.0 with the given coefficient of spread
+/// (e.g. 0.15 keeps ~90% of runs within roughly ±25%).
+///
+/// # Panics
+///
+/// Panics if `spread` is negative.
+pub fn input_size_factors(n: usize, spread: f64, seed: u64) -> Vec<f64> {
+    assert!(spread >= 0.0);
+    let mut rng = SeedDeriver::new(seed).rng("input-sizes");
+    (0..n)
+        .map(|_| {
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (spread * z).exp()
+        })
+        .collect()
+}
+
+/// Scales a job spec's runtime distributions by an input-size factor,
+/// returning a new spec (larger inputs mean proportionally more work
+/// per task).
+///
+/// # Panics
+///
+/// Panics if `factor` is not strictly positive.
+pub fn scaled_spec(spec: &JobSpec, factor: f64) -> JobSpec {
+    assert!(factor > 0.0 && factor.is_finite());
+    let runtimes = spec
+        .stage_runtimes
+        .iter()
+        .map(|d| -> std::sync::Arc<dyn jockey_simrt::dist::Sample> {
+            std::sync::Arc::new(jockey_simrt::dist::Scaled::new(d.clone(), factor))
+        })
+        .collect();
+    JobSpec::new(
+        spec.graph.clone(),
+        runtimes,
+        spec.stage_queues.clone(),
+        spec.task_failure_prob,
+        spec.data_gb * factor,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::paper_job;
+    use jockey_simrt::stats;
+
+    #[test]
+    fn training_profile_measures_the_job() {
+        let job = paper_job(1, 2); // Job B, barrier-free, 1605 tasks.
+        let p = training_profile(&job.spec, 50, 3);
+        assert_eq!(p.stages.len(), job.graph.num_stages());
+        assert!(p.total_work() > 0.0);
+        assert!(p.duration > 0.0);
+        // Every task ran at least once.
+        let attempts: usize = p.stages.iter().map(|s| s.runtimes.len()).sum();
+        assert!(attempts as u64 >= job.graph.total_tasks());
+    }
+
+    #[test]
+    fn input_size_factors_center_on_one() {
+        let f = input_size_factors(4_000, 0.15, 9);
+        assert_eq!(f.len(), 4_000);
+        let med = stats::percentile(&f, 50.0);
+        assert!((med - 1.0).abs() < 0.05, "median {med}");
+        assert!(f.iter().all(|&x| x > 0.0));
+        // Zero spread means exactly 1.0.
+        assert!(input_size_factors(10, 0.0, 9).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn scaled_spec_scales_work() {
+        let job = paper_job(2, 2);
+        let doubled = scaled_spec(&job.spec, 2.0);
+        let base = job.spec.expected_work();
+        let scaled = doubled.expected_work();
+        if let (Some(b), Some(s)) = (base, scaled) {
+            assert!((s / b - 2.0).abs() < 1e-9);
+        }
+        assert_eq!(doubled.data_gb, job.spec.data_gb * 2.0);
+    }
+}

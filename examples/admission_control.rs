@@ -1,0 +1,101 @@
+//! SLO admission control (§1): check that newly submitted SLO jobs
+//! "fit" — that every admitted job can still meet its deadline — before
+//! letting them run, then actually run the admitted set concurrently
+//! and verify every deadline is met.
+//!
+//! Run with: `cargo run --release --example admission_control`
+
+use jockey::cluster::{ClusterConfig, ClusterSim, JobSpec};
+use jockey::core::admission::{AdmissionController, AdmissionError};
+use jockey::core::control::ControlParams;
+use jockey::core::cpa::TrainConfig;
+use jockey::core::policy::{JockeySetup, Policy};
+use jockey::core::progress::ProgressIndicator;
+use jockey::simrt::time::SimDuration;
+use jockey::workloads::jobs::synthetic_recurring_jobs;
+use jockey::workloads::recurring::training_profile;
+
+fn main() {
+    // Train five recurring jobs offline.
+    let jobs = synthetic_recurring_jobs(5, 3);
+    let setups: Vec<JockeySetup> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let profile = training_profile(&j.spec, 60, i as u64);
+            JockeySetup::train(
+                j.graph.clone(),
+                profile,
+                ProgressIndicator::TotalWorkWithQ,
+                &TrainConfig::default(),
+                i as u64,
+            )
+        })
+        .collect();
+
+    // SLO capacity: 120 guaranteed tokens for deadline-bound jobs.
+    let mut ac = AdmissionController::new(120);
+    let slack = 1.2;
+    let mut admitted = Vec::new();
+
+    println!("submitting 5 SLO jobs against a 120-token guarantee pool:\n");
+    for (i, setup) in setups.iter().enumerate() {
+        let deadline = SimDuration::from_secs_f64(setup.cpa.fresh_latency(100) * 2.0);
+        let name = setup.graph.name().to_string();
+        match ac.try_admit(&name, &setup.cpa, deadline, slack) {
+            Ok(tokens) => {
+                println!(
+                    "  ADMIT  {name}: deadline {:.0} min, reserved {tokens} tokens ({} / {} used)",
+                    deadline.as_minutes_f64(),
+                    ac.reserved(),
+                    ac.capacity()
+                );
+                admitted.push((i, deadline));
+            }
+            Err(AdmissionError::InsufficientCapacity { required, available }) => {
+                println!(
+                    "  REJECT {name}: needs {required} guaranteed tokens, only {available} free"
+                );
+            }
+            Err(e) => println!("  REJECT {name}: {e}"),
+        }
+    }
+
+    // Run the admitted jobs concurrently in one shared cluster and
+    // check every SLO holds.
+    println!("\nrunning the admitted set concurrently...");
+    let mut cluster = ClusterConfig::production();
+    cluster.total_tokens = 400;
+    cluster.background.mean_util = 0.6; // Background beyond the SLO pool.
+    let mut sim = ClusterSim::new(cluster, 77);
+    for &(i, deadline) in &admitted {
+        let setup = &setups[i];
+        let spec = JobSpec::from_profile(setup.graph.clone(), &setup.profile);
+        let controller = setup.controller(Policy::Jockey, deadline, ControlParams::default());
+        sim.add_job(spec, controller);
+    }
+    let results = sim.run();
+
+    let mut all_met = true;
+    for (k, &(i, deadline)) in admitted.iter().enumerate() {
+        let r = &results[k];
+        let latency = r.duration().expect("admitted job finished");
+        let met = latency <= deadline;
+        all_met &= met;
+        println!(
+            "  {}: {:.1} / {:.0} min -> {}",
+            setups[i].graph.name(),
+            latency.as_minutes_f64(),
+            deadline.as_minutes_f64(),
+            if met { "met" } else { "MISSED" }
+        );
+    }
+    println!(
+        "\n{}",
+        if all_met {
+            "all admitted SLOs met — the reservation check was sound"
+        } else {
+            "an admitted SLO was missed — reservations were too optimistic"
+        }
+    );
+}

@@ -1,0 +1,115 @@
+//! Quickstart: guarantee a deadline for a recurring SCOPE job.
+//!
+//! The end-to-end Jockey workflow on a small clickstream job:
+//!
+//! 1. write the job in the mini-SCOPE language and compile it to an
+//!    execution-plan graph;
+//! 2. run it once on a dedicated cluster slice to collect a training
+//!    profile (recurring jobs make this data freely available);
+//! 3. train the `C(p, a)` completion-time model offline;
+//! 4. run the job in a busy shared cluster under Jockey's control loop
+//!    and watch it hit the deadline with far less than the full token
+//!    budget.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use jockey::cluster::{ClusterConfig, ClusterSim, JobSpec};
+use jockey::core::control::ControlParams;
+use jockey::core::cpa::TrainConfig;
+use jockey::core::oracle::oracle_allocation;
+use jockey::core::policy::{JockeySetup, Policy};
+use jockey::core::progress::ProgressIndicator;
+use jockey::scope::compile_script;
+use jockey::simrt::dist::{LogNormal, Sample};
+use jockey::simrt::time::SimDuration;
+use jockey::workloads::recurring::training_profile;
+
+fn main() {
+    // 1. A SCOPE-like script: extract, filter, aggregate, join, output.
+    let script = r#"
+        clicks  = EXTRACT FROM "clicks.log" PARTITIONS 120 COST 2.0;
+        good    = SELECT FROM clicks WHERE "NOT spam" COST 0.5;
+        byuser  = REDUCE good ON "user_id" PARTITIONS 24 COST 3.0;
+        joined  = JOIN good, byuser ON "user_id" PARTITIONS 40 COST 2.0;
+        top     = AGGREGATE joined ON "url" PARTITIONS 8 COST 1.5;
+        OUTPUT top TO "top_urls.tsv" SINGLE;
+    "#;
+    let compiled = compile_script(script).expect("script compiles");
+    let graph = Arc::new(compiled.graph);
+    println!(
+        "compiled `{}`: {} stages ({} barriers), {} tasks",
+        graph.name(),
+        graph.num_stages(),
+        graph.num_barrier_stages(),
+        graph.total_tasks()
+    );
+
+    // Task runtimes follow the compiler's per-stage cost hints.
+    let runtimes: Vec<Arc<dyn Sample>> = compiled
+        .stage_costs
+        .iter()
+        .map(|&c| -> Arc<dyn Sample> {
+            Arc::new(LogNormal::from_median_p90(4.0 * c, 12.0 * c))
+        })
+        .collect();
+    let queues: Vec<Arc<dyn Sample>> = (0..graph.num_stages())
+        .map(|_| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(3.0, 8.0)) })
+        .collect();
+    let spec = JobSpec::new(graph.clone(), runtimes, queues, 0.01, 42.0);
+
+    // 2. One profiling run on a dedicated slice.
+    let profile = training_profile(&spec, 40, 7);
+    println!(
+        "training run: {:.1} min latency, {:.1} CPU-hours of work",
+        profile.duration / 60.0,
+        profile.total_work() / 3600.0
+    );
+
+    // 3. Train the C(p, a) model offline.
+    let setup = JockeySetup::train(
+        graph.clone(),
+        profile,
+        ProgressIndicator::TotalWorkWithQ,
+        &TrainConfig::default(),
+        7,
+    );
+    let deadline = SimDuration::from_secs_f64(setup.cpa.fresh_latency(100) * 2.5);
+    println!(
+        "deadline: {:.1} min (predicted latency at 100 tokens: {:.1} min)",
+        deadline.as_minutes_f64(),
+        setup.cpa.fresh_latency(100) / 60.0
+    );
+
+    // 4. Run under Jockey in a busy shared cluster.
+    let controller = setup.controller(Policy::Jockey, deadline, ControlParams::default());
+    let mut cluster = ClusterConfig::production();
+    cluster.background.mean_util = 0.95;
+    let mut sim = ClusterSim::new(cluster, 99);
+    sim.add_job(spec, controller);
+    let result = sim.run().remove(0);
+
+    let latency = result.duration().expect("job finished");
+    let oracle = oracle_allocation(result.work_done_secs, deadline);
+    println!(
+        "shared-cluster run: {:.1} min ({}; {:.0}% of deadline)",
+        latency.as_minutes_f64(),
+        if latency <= deadline { "SLO MET" } else { "SLO MISSED" },
+        100.0 * latency.as_secs_f64() / deadline.as_secs_f64()
+    );
+    println!(
+        "allocation: median {:.0} tokens, max {:.0}, oracle bound {} -> {:.0}% above oracle",
+        result.trace.median_guarantee(),
+        result.trace.max_guarantee(),
+        oracle,
+        100.0
+            * result
+                .trace
+                .fraction_above_oracle(result.completed_at.unwrap(), oracle)
+    );
+    println!(
+        "{} tasks on guaranteed tokens, {} on spare",
+        result.guaranteed_task_count, result.spare_task_count
+    );
+}

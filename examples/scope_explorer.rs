@@ -1,0 +1,61 @@
+//! Explore the mini-SCOPE compiler: parse a script, print the
+//! execution-plan graph the way §2.1 describes it, and emit the Fig. 3
+//! style Graphviz rendering.
+//!
+//! Run with: `cargo run --example scope_explorer`
+
+use jockey::jobgraph::dot::to_dot;
+use jockey::scope::compile_script;
+
+fn main() {
+    let script = r#"
+        // A two-source analytics pipeline with a self-join.
+        impressions = EXTRACT FROM "impressions.log" PARTITIONS 96 COST 1.5;
+        clicks      = EXTRACT FROM "clicks.log" PARTITIONS 48 COST 1.0;
+        valid       = SELECT FROM impressions WHERE "user_agent NOT LIKE bot" COST 0.4;
+        sessions    = REDUCE valid ON "session_id" PARTITIONS 24 COST 2.5;
+        attributed  = JOIN sessions, clicks ON "session_id" PARTITIONS 32 COST 3.0;
+        byadvert    = AGGREGATE attributed ON "advertiser" PARTITIONS 6 COST 1.0;
+        everything  = UNION byadvert, sessions PARTITIONS 24;
+        OUTPUT everything TO "spend_report.tsv" SINGLE;
+    "#;
+
+    let compiled = compile_script(script).expect("script compiles");
+    let g = &compiled.graph;
+
+    println!("execution plan for `{}`:", g.name());
+    println!(
+        "  {} stages, {} barrier stages, {} tasks total\n",
+        g.num_stages(),
+        g.num_barrier_stages(),
+        g.total_tasks()
+    );
+    println!("  {:<4}{:<26}{:>7}{:>9}  inputs", "id", "stage", "tasks", "cost");
+    for s in g.stage_ids() {
+        let parents: Vec<String> = g
+            .parents(s)
+            .iter()
+            .map(|&(p, kind)| format!("{p}({kind:?})"))
+            .collect();
+        println!(
+            "  {:<4}{:<26}{:>7}{:>9.1}  {}",
+            s.index(),
+            g.stage(s).name,
+            g.tasks_in(s),
+            compiled.stage_costs[s.index()],
+            if parents.is_empty() {
+                "-".to_string()
+            } else {
+                parents.join(", ")
+            }
+        );
+    }
+
+    let costs = &compiled.stage_costs;
+    println!(
+        "\n  critical path (cost-weighted): {:.1} units",
+        g.critical_path(costs)
+    );
+    println!("\nGraphviz rendering (Fig. 3 style):\n");
+    println!("{}", to_dot(g));
+}

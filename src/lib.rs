@@ -1,0 +1,30 @@
+//! Facade crate for the Jockey reproduction workspace.
+//!
+//! Re-exports every member crate under a single dependency so that
+//! examples, integration tests and downstream users can write
+//! `use jockey::core::...` instead of depending on each crate
+//! individually.
+//!
+//! # Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`simrt`] | `jockey-simrt` | discrete-event runtime, RNG, distributions, statistics |
+//! | [`jobgraph`] | `jockey-jobgraph` | stage DAG model, profiles, critical paths |
+//! | [`scope`] | `jockey-scope` | mini SCOPE language compiled to job graphs |
+//! | [`cluster`] | `jockey-cluster` | shared-cluster simulator (tokens, spare capacity, failures) |
+//! | [`core`] | `jockey-core` | the Jockey controller: C(p,a) model, indicators, control loop |
+//! | [`workloads`] | `jockey-workloads` | the paper's jobs A–G and synthetic cluster workloads |
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: build a job, profile
+//! it, train the completion-time model, and let the control loop hit a
+//! deadline in a noisy shared cluster.
+
+pub use jockey_cluster as cluster;
+pub use jockey_core as core;
+pub use jockey_jobgraph as jobgraph;
+pub use jockey_scope as scope;
+pub use jockey_simrt as simrt;
+pub use jockey_workloads as workloads;

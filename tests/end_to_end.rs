@@ -1,0 +1,166 @@
+//! End-to-end integration: SCOPE script → plan graph → profiling run →
+//! trained `C(p, a)` model → Jockey control loop in a shared cluster.
+
+use std::sync::Arc;
+
+use jockey::cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+use jockey::core::control::ControlParams;
+use jockey::core::cpa::TrainConfig;
+use jockey::core::oracle::oracle_allocation;
+use jockey::core::policy::{JockeySetup, Policy};
+use jockey::core::progress::ProgressIndicator;
+use jockey::scope::compile_script;
+use jockey::simrt::dist::{Constant, LogNormal, Sample};
+use jockey::simrt::time::SimDuration;
+use jockey::workloads::recurring::training_profile;
+
+/// A small but structurally interesting job: two sources, a join, an
+/// aggregation, a single-writer output.
+fn small_job() -> JobSpec {
+    let compiled = compile_script(
+        r#"
+        a = EXTRACT FROM "a" PARTITIONS 24 COST 1.0;
+        b = EXTRACT FROM "b" PARTITIONS 12 COST 1.5;
+        j = JOIN a, b ON "k" PARTITIONS 16 COST 2.0;
+        r = REDUCE j ON "g" PARTITIONS 4 COST 1.0;
+        OUTPUT r TO "out" SINGLE;
+    "#,
+    )
+    .expect("script compiles");
+    let graph = Arc::new(compiled.graph);
+    let runtimes: Vec<Arc<dyn Sample>> = compiled
+        .stage_costs
+        .iter()
+        .map(|&c| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(3.0 * c, 7.0 * c)) })
+        .collect();
+    let queues: Vec<Arc<dyn Sample>> = (0..graph.num_stages())
+        .map(|_| -> Arc<dyn Sample> { Arc::new(Constant(0.5)) })
+        .collect();
+    JobSpec::new(graph, runtimes, queues, 0.01, 5.0)
+}
+
+fn trained_setup(spec: &JobSpec, seed: u64) -> JockeySetup {
+    let profile = training_profile(spec, 16, seed);
+    JockeySetup::train(
+        spec.graph.clone(),
+        profile,
+        ProgressIndicator::TotalWorkWithQ,
+        &TrainConfig::fast(vec![1, 2, 4, 8, 16, 32]),
+        seed,
+    )
+}
+
+fn noisy_cluster() -> ClusterConfig {
+    let mut cfg = ClusterConfig::production();
+    cfg.total_tokens = 120;
+    cfg.max_guarantee = 32;
+    cfg.background.mean_util = 0.9;
+    cfg
+}
+
+#[test]
+fn jockey_meets_deadline_in_noisy_cluster() {
+    let spec = small_job();
+    let setup = trained_setup(&spec, 1);
+    let deadline = SimDuration::from_secs_f64(setup.cpa.fresh_latency(32) * 3.0);
+
+    // The default 3-minute dead zone would swallow most of this tiny
+    // job's deadline; scale it to the job.
+    let params = ControlParams {
+        dead_zone: deadline.scale(0.05),
+        ..ControlParams::default()
+    };
+    let controller = setup.controller(Policy::Jockey, deadline, params);
+    let mut sim = ClusterSim::new(noisy_cluster(), 2);
+    sim.add_job(spec, controller);
+    let r = sim.run().remove(0);
+
+    let latency = r.duration().expect("finished");
+    assert!(
+        latency <= deadline,
+        "missed: {latency:?} vs {deadline:?}"
+    );
+    // And it should not have simply grabbed the max the whole time.
+    assert!(
+        r.trace.median_guarantee() < 32.0,
+        "median allocation {} is the full budget",
+        r.trace.median_guarantee()
+    );
+}
+
+#[test]
+fn jockey_uses_fewer_tokens_than_max_allocation() {
+    let spec = small_job();
+    let setup = trained_setup(&spec, 3);
+    let deadline = SimDuration::from_secs_f64(setup.cpa.fresh_latency(32) * 3.0);
+
+    let run = |policy: Policy, seed: u64| {
+        let controller = setup.controller(policy, deadline, ControlParams::default());
+        let mut sim = ClusterSim::new(noisy_cluster(), seed);
+        sim.add_job(small_job(), controller);
+        sim.run().remove(0)
+    };
+    let jockey = run(Policy::Jockey, 4);
+    let maxa = run(Policy::MaxAllocation, 4);
+    let end_j = jockey.completed_at.expect("jockey finished");
+    let end_m = maxa.completed_at.expect("max finished");
+
+    let oracle = oracle_allocation(jockey.work_done_secs, deadline);
+    let impact_j = jockey.trace.fraction_above_oracle(end_j, oracle);
+    let impact_m = maxa.trace.fraction_above_oracle(end_m, oracle);
+    assert!(
+        impact_j < impact_m,
+        "jockey impact {impact_j} not below max-allocation impact {impact_m}"
+    );
+}
+
+#[test]
+fn static_tight_allocation_misses_where_jockey_adapts() {
+    // An allocation sized with no headroom in a noisy cluster should
+    // be slower than Jockey's adaptive run on the same seed.
+    let spec = small_job();
+    let setup = trained_setup(&spec, 5);
+    let deadline = SimDuration::from_secs_f64(setup.cpa.fresh_latency(32) * 2.0);
+    // The oracle-style static allocation, with zero slack.
+    let bare = setup
+        .cpa
+        .min_allocation_for_deadline(deadline, 1.0)
+        .expect("feasible");
+
+    let mut sim = ClusterSim::new(noisy_cluster(), 6);
+    sim.add_job(small_job(), Box::new(FixedAllocation(bare)));
+    let static_run = sim.run().remove(0);
+
+    let controller = setup.controller(Policy::Jockey, deadline, ControlParams::default());
+    let mut sim = ClusterSim::new(noisy_cluster(), 6);
+    sim.add_job(small_job(), controller);
+    let jockey_run = sim.run().remove(0);
+
+    let jockey_latency = jockey_run.duration().expect("jockey finished");
+    assert!(jockey_latency <= deadline, "jockey missed: {jockey_latency:?}");
+    // The bare static run has no margin: it must do at least as badly.
+    let static_latency = static_run.duration().expect("static finished");
+    assert!(
+        static_latency.as_secs_f64() >= jockey_latency.as_secs_f64() * 0.8,
+        "static {static_latency:?} vs jockey {jockey_latency:?}"
+    );
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let spec = small_job();
+    let setup = trained_setup(&spec, 7);
+    let deadline = SimDuration::from_secs_f64(setup.cpa.fresh_latency(32) * 2.5);
+    let run = || {
+        let controller = setup.controller(Policy::Jockey, deadline, ControlParams::default());
+        let mut sim = ClusterSim::new(noisy_cluster(), 8);
+        sim.add_job(small_job(), controller);
+        let r = sim.run().remove(0);
+        (r.completed_at, r.work_done_secs, r.trace.guarantee.points().to_vec())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
