@@ -34,12 +34,7 @@ fn bench_model_ablation(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let cfg = SloConfig::standard(
-                    policy,
-                    job.deadline,
-                    env.experiment_cluster(),
-                    17,
-                );
+                let cfg = SloConfig::standard(policy, job.deadline, env.experiment_cluster(), 17);
                 run_slo(job, &cfg)
             })
         });
@@ -73,12 +68,8 @@ fn bench_conditioning_ablation(c: &mut Criterion) {
     for (label, params) in variants {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let mut cfg = SloConfig::standard(
-                    Policy::Jockey,
-                    job.deadline,
-                    env.experiment_cluster(),
-                    23,
-                );
+                let mut cfg =
+                    SloConfig::standard(Policy::Jockey, job.deadline, env.experiment_cluster(), 23);
                 cfg.params = params;
                 run_slo(job, &cfg)
             })

@@ -50,9 +50,7 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig11_sensitivity_ablations", |b| {
         b.iter(|| figures::fig11::run(env))
     });
-    g.bench_function("fig12_slack_sweep", |b| {
-        b.iter(|| figures::fig12::run(env))
-    });
+    g.bench_function("fig12_slack_sweep", |b| b.iter(|| figures::fig12::run(env)));
     g.bench_function("fig13_hysteresis_sweep", |b| {
         b.iter(|| figures::fig13::run(env))
     });

@@ -82,9 +82,14 @@ fn bench_control_tick(c: &mut Criterion) {
         finished: false,
     };
     let mut g = c.benchmark_group("control");
-    for (label, policy) in [("tick_cpa_model", Policy::Jockey), ("tick_amdahl_model", Policy::JockeyNoSim)] {
+    for (label, policy) in [
+        ("tick_cpa_model", Policy::Jockey),
+        ("tick_amdahl_model", Policy::JockeyNoSim),
+    ] {
         let mut ctl = controller(policy);
-        g.bench_function(label, |b| b.iter(|| ctl.tick(std::hint::black_box(&status))));
+        g.bench_function(label, |b| {
+            b.iter(|| ctl.tick(std::hint::black_box(&status)))
+        });
     }
     g.finish();
 }

@@ -64,9 +64,8 @@ impl BackgroundModel {
             );
             let start = self.next_overload;
             self.overload_until = Some(start + dur);
-            self.next_overload = start
-                + exp_duration(&mut self.rng, 3600.0 / self.cfg.overload_rate_per_hour)
-                + dur;
+            self.next_overload =
+                start + exp_duration(&mut self.rng, 3600.0 / self.cfg.overload_rate_per_hour) + dur;
         }
         if let Some(until) = self.overload_until {
             if now >= until {

@@ -1,5 +1,7 @@
 //! Cluster simulator configuration.
 
+use std::fmt;
+
 use jockey_simrt::time::{SimDuration, SimTime};
 
 /// Background-load process parameters (see [`crate::background`]).
@@ -75,8 +77,11 @@ impl BackgroundConfig {
 pub struct FailureConfig {
     /// If set, overrides each job's own task-failure probability.
     pub task_failure_prob: Option<f64>,
-    /// Machine failures per hour across the slice of the cluster the
-    /// simulated jobs occupy.
+    /// Per-machine failure hazard, in failures per machine-hour. The
+    /// slice's aggregate failure arrival rate is this value times its
+    /// machine count ([`PlacementConfig::machines`](crate::placement::PlacementConfig)
+    /// when placement is enabled, else `ceil(total_tokens /
+    /// tasks_per_machine)`).
     pub machine_failure_rate_per_hour: f64,
     /// Running tasks killed by one machine failure (a machine hosts a
     /// handful of task slots).
@@ -98,12 +103,13 @@ impl FailureConfig {
         }
     }
 
-    /// Production-like failure rates: job-specific task failures, about
-    /// one machine failure per four hours affecting the job's slice.
+    /// Production-like failure rates: job-specific task failures, and a
+    /// per-machine hazard sized so the default 1000-token / 500-machine
+    /// production slice sees about one machine failure per four hours.
     pub fn production() -> Self {
         FailureConfig {
             task_failure_prob: None,
-            machine_failure_rate_per_hour: 0.25,
+            machine_failure_rate_per_hour: 0.25 / 500.0,
             tasks_per_machine: 2,
             data_loss_prob: 0.5,
         }
@@ -186,48 +192,96 @@ impl ClusterConfig {
         }
     }
 
-    /// Validates parameter ranges, returning a description of the
-    /// first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates parameter ranges, returning the first problem found.
+    /// NaN is rejected wherever a range is checked (range `contains`
+    /// already excludes it; the open-ended bounds check it explicitly).
+    pub fn validate(&self) -> Result<(), InvalidClusterConfig> {
+        use InvalidClusterConfig as E;
         if self.total_tokens == 0 {
-            return Err("total_tokens must be positive".into());
+            return Err(E::TotalTokens);
         }
         if self.max_guarantee == 0 || self.max_guarantee > self.total_tokens {
-            return Err("max_guarantee must be in [1, total_tokens]".into());
+            return Err(E::MaxGuarantee(self.max_guarantee));
         }
-        if self.spare_slowdown < 1.0 {
-            return Err("spare_slowdown must be >= 1".into());
+        if !self.spare_slowdown.is_finite() || self.spare_slowdown < 1.0 {
+            return Err(E::SpareSlowdown(self.spare_slowdown));
         }
         if self.control_period.is_zero() {
-            return Err("control_period must be positive".into());
+            return Err(E::ControlPeriod);
         }
         let b = &self.background;
         if b.enabled {
             if !(0.0..=1.0).contains(&b.mean_util) || !(0.0..=1.0).contains(&b.overload_util) {
-                return Err("background utilizations must be in [0, 1]".into());
+                return Err(E::Background("utilizations must be in [0, 1]"));
             }
             if b.tick.is_zero() {
-                return Err("background tick must be positive".into());
+                return Err(E::Background("tick must be positive"));
             }
             if !(0.0..=1.0).contains(&b.reversion) {
-                return Err("reversion must be in [0, 1]".into());
+                return Err(E::Background("reversion must be in [0, 1]"));
             }
         }
         if let Some(p) = &self.placement {
-            p.validate()?;
+            p.validate().map_err(E::Placement)?;
         }
         let f = &self.failures;
         if let Some(p) = f.task_failure_prob {
             if !(0.0..=1.0).contains(&p) {
-                return Err("task_failure_prob must be in [0, 1]".into());
+                return Err(E::Failures("task_failure_prob must be in [0, 1]"));
             }
         }
+        if !f.machine_failure_rate_per_hour.is_finite() || f.machine_failure_rate_per_hour < 0.0 {
+            return Err(E::Failures(
+                "machine_failure_rate_per_hour must be finite and >= 0",
+            ));
+        }
         if !(0.0..=1.0).contains(&f.data_loss_prob) {
-            return Err("data_loss_prob must be in [0, 1]".into());
+            return Err(E::Failures("data_loss_prob must be in [0, 1]"));
         }
         Ok(())
     }
 }
+
+/// Why a [`ClusterConfig`] was rejected by
+/// [`ClusterConfig::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum InvalidClusterConfig {
+    /// `total_tokens` must be positive.
+    TotalTokens,
+    /// `max_guarantee` must be in `[1, total_tokens]`.
+    MaxGuarantee(u32),
+    /// `spare_slowdown` must be a finite value `>= 1` (NaN is rejected
+    /// explicitly).
+    SpareSlowdown(f64),
+    /// `control_period` must be positive.
+    ControlPeriod,
+    /// A background-load parameter is out of range.
+    Background(&'static str),
+    /// The placement model is invalid.
+    Placement(String),
+    /// A failure-injection parameter is out of range.
+    Failures(&'static str),
+}
+
+impl fmt::Display for InvalidClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidClusterConfig::TotalTokens => write!(f, "total_tokens must be positive"),
+            InvalidClusterConfig::MaxGuarantee(v) => {
+                write!(f, "max_guarantee must be in [1, total_tokens], got {v}")
+            }
+            InvalidClusterConfig::SpareSlowdown(v) => {
+                write!(f, "spare_slowdown must be a finite value >= 1, got {v}")
+            }
+            InvalidClusterConfig::ControlPeriod => write!(f, "control_period must be positive"),
+            InvalidClusterConfig::Background(what) => write!(f, "background {what}"),
+            InvalidClusterConfig::Placement(what) => write!(f, "{what}"),
+            InvalidClusterConfig::Failures(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidClusterConfig {}
 
 #[cfg(test)]
 mod tests {
@@ -236,7 +290,10 @@ mod tests {
     #[test]
     fn presets_validate() {
         assert_eq!(ClusterConfig::dedicated(10).validate(), Ok(()));
-        assert_eq!(ClusterConfig::dedicated_with_failures(10).validate(), Ok(()));
+        assert_eq!(
+            ClusterConfig::dedicated_with_failures(10).validate(),
+            Ok(())
+        );
         assert_eq!(ClusterConfig::production().validate(), Ok(()));
     }
 
@@ -274,6 +331,26 @@ mod tests {
 
         let mut c = ClusterConfig::dedicated(10);
         c.failures.task_failure_prob = Some(2.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nan() {
+        // `spare_slowdown < 1.0` alone would let NaN through: every
+        // comparison against NaN is false.
+        let mut c = ClusterConfig::dedicated(10);
+        c.spare_slowdown = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::SpareSlowdown(v)) if v.is_nan()
+        ));
+
+        let mut c = ClusterConfig::dedicated(10);
+        c.failures.machine_failure_rate_per_hour = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::production();
+        c.background.mean_util = f64::NAN;
         assert!(c.validate().is_err());
     }
 }

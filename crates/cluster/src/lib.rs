@@ -57,7 +57,7 @@ pub mod sim;
 pub mod trace;
 
 pub use background::BackgroundModel;
-pub use config::{BackgroundConfig, ClusterConfig, FailureConfig};
+pub use config::{BackgroundConfig, ClusterConfig, FailureConfig, InvalidClusterConfig};
 pub use controller::{ControlDecision, FixedAllocation, JobController, JobStatus};
 pub use job::JobSpec;
 pub use placement::PlacementConfig;

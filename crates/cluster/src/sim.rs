@@ -22,8 +22,10 @@ use std::collections::VecDeque;
 
 use jockey_jobgraph::profile::{JobProfile, ProfileBuilder};
 use jockey_jobgraph::task::{TaskDeps, TaskId};
-use jockey_simrt::dist::bernoulli;
+use jockey_simrt::dist::{bernoulli, Exponential, Sample};
 use jockey_simrt::event::EventQueue;
+use jockey_simrt::observe;
+use jockey_simrt::observe::{EntryKind, NoopObserver, SharedJournal, SimObserver};
 use jockey_simrt::rng::SeedDeriver;
 use jockey_simrt::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -72,12 +74,23 @@ struct RunningTask {
 
 /// Simulation events.
 enum Event {
-    JobStart { job: usize },
-    TaskDone { job: usize, task: TaskId, attempt: u32 },
-    ControlTick { job: usize },
+    JobStart {
+        job: usize,
+    },
+    TaskDone {
+        job: usize,
+        task: TaskId,
+        attempt: u32,
+    },
+    ControlTick {
+        job: usize,
+    },
     BackgroundTick,
     MachineFailure,
-    DeadlineChange { job: usize, new_deadline: SimDuration },
+    DeadlineChange {
+        job: usize,
+        new_deadline: SimDuration,
+    },
 }
 
 /// One job's dynamic state inside the simulator.
@@ -186,7 +199,8 @@ pub struct JobResult {
 impl JobResult {
     /// End-to-end latency, if the job finished.
     pub fn duration(&self) -> Option<SimDuration> {
-        self.completed_at.map(|t| t.saturating_since(self.started_at))
+        self.completed_at
+            .map(|t| t.saturating_since(self.started_at))
     }
 
     /// The oracle allocation `O(T, d) = ceil(T/d)` for deadline `d`
@@ -202,6 +216,17 @@ impl JobResult {
 }
 
 /// The cluster simulator. See the crate docs for an end-to-end example.
+///
+/// # Diagnostics
+///
+/// Every dispatched event, control decision, task transition and RNG
+/// stream fork is reported through a [`SimObserver`]. The default
+/// observer is a no-op; call [`ClusterSim::attach_journal`] to retain
+/// the last `N` records in a [`SharedJournal`] and dump them from a
+/// failing test. In debug/test builds, after every [`ClusterSim::step`]
+/// the simulator checks its core invariants (token conservation,
+/// event-time monotonicity, per-stage task accounting, monotone stage
+/// fractions) and panics with the journal tail when one is violated.
 pub struct ClusterSim {
     cfg: ClusterConfig,
     jobs: Vec<JobRun>,
@@ -209,6 +234,15 @@ pub struct ClusterSim {
     background: BackgroundModel,
     rng_machine: StdRng,
     seeds: SeedDeriver,
+    observer: Box<dyn SimObserver>,
+    invariants_enabled: bool,
+    /// Time of the most recently dispatched event (event-time
+    /// monotonicity invariant).
+    last_event_time: SimTime,
+    /// Per-job, per-stage floor on completed-task counts (monotone
+    /// stage-fraction invariant); lowered explicitly when a data-loss
+    /// event legitimately rolls completions back.
+    completed_floor: Vec<Vec<u32>>,
 }
 
 impl ClusterSim {
@@ -230,7 +264,31 @@ impl ClusterSim {
             background,
             rng_machine: seeds.rng("machine-failures"),
             seeds,
+            observer: Box::new(NoopObserver),
+            invariants_enabled: cfg!(debug_assertions),
+            last_event_time: SimTime::ZERO,
+            completed_floor: Vec::new(),
         }
+    }
+
+    /// Replaces the simulator's observer (the default records nothing).
+    pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.observer = observer;
+    }
+
+    /// Attaches a fresh ring journal retaining `capacity` entries and
+    /// returns a handle to it; use [`SharedJournal::dump`] after the
+    /// run (or from a panic hook) to see what the simulator did last.
+    pub fn attach_journal(&mut self, capacity: usize) -> SharedJournal {
+        let journal = SharedJournal::new(capacity);
+        self.observer = Box::new(journal.clone());
+        journal
+    }
+
+    /// Enables or disables the per-step invariant checks. They default
+    /// to on in debug/test builds and off in release builds.
+    pub fn set_invariant_checks(&mut self, enabled: bool) {
+        self.invariants_enabled = enabled;
     }
 
     /// Adds a job starting at time zero. Returns its index.
@@ -280,6 +338,13 @@ impl ClusterSim {
             spec,
         };
         self.jobs.push(job);
+        self.completed_floor.push(vec![0; n]);
+        observe!(
+            self.observer,
+            start_at,
+            EntryKind::RngFork,
+            "job {idx}: streams \"job-runtime\"/\"job-queue\"/\"job-fail\" forked"
+        );
         idx
     }
 
@@ -292,43 +357,19 @@ impl ClusterSim {
     /// Panics if `job` is out of range.
     pub fn schedule_deadline_change(&mut self, job: usize, at: SimTime, new_deadline: SimDuration) {
         assert!(job < self.jobs.len());
-        self.queue.schedule(at, Event::DeadlineChange { job, new_deadline });
+        self.queue
+            .schedule(at, Event::DeadlineChange { job, new_deadline });
     }
 
     /// Runs the simulation to completion (all jobs done, queue drained,
     /// or the configured horizon reached) and returns per-job results.
     pub fn run(mut self) -> Vec<JobResult> {
-        for j in 0..self.jobs.len() {
-            self.queue.schedule(self.jobs[j].start_at, Event::JobStart { job: j });
-        }
-        if self.cfg.background.enabled {
-            let tick = self.background.tick();
-            self.queue.schedule(SimTime::ZERO + tick, Event::BackgroundTick);
-        }
-        if self.cfg.failures.machine_failure_rate_per_hour > 0.0 {
-            self.arm_machine_failure(SimTime::ZERO);
-        }
-
+        self.prime();
         while let Some((now, event)) = self.queue.pop() {
             if now > self.cfg.max_sim_time {
                 break;
             }
-            match event {
-                Event::JobStart { job } => self.on_job_start(job, now),
-                Event::TaskDone { job, task, attempt } => {
-                    self.on_task_done(job, task, attempt, now)
-                }
-                Event::ControlTick { job } => self.on_control_tick(job, now),
-                Event::BackgroundTick => self.on_background_tick(now),
-                Event::MachineFailure => self.on_machine_failure(now),
-                Event::DeadlineChange { job, new_deadline } => {
-                    self.jobs[job].controller.deadline_changed(new_deadline);
-                    // Force an immediate control decision at the new
-                    // deadline rather than waiting for the next tick.
-                    self.control_decision(job, now);
-                    self.schedule_tasks(now);
-                }
-            }
+            self.step(now, event);
             if self.jobs.iter().all(JobRun::is_finished) {
                 break;
             }
@@ -356,6 +397,269 @@ impl ClusterSim {
                 }
             })
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop.
+    // ------------------------------------------------------------------
+
+    /// Seeds the event queue with job starts, the background tick and
+    /// the first machine failure.
+    fn prime(&mut self) {
+        observe!(
+            self.observer,
+            SimTime::ZERO,
+            EntryKind::RngFork,
+            "root streams \"background\" and \"machine-failures\" forked"
+        );
+        for j in 0..self.jobs.len() {
+            self.queue
+                .schedule(self.jobs[j].start_at, Event::JobStart { job: j });
+        }
+        if self.cfg.background.enabled {
+            let tick = self.background.tick();
+            self.queue
+                .schedule(SimTime::ZERO + tick, Event::BackgroundTick);
+        }
+        if self.cfg.failures.machine_failure_rate_per_hour > 0.0 {
+            self.arm_machine_failure(SimTime::ZERO);
+        }
+    }
+
+    /// Dispatches one event, then (in test/debug builds) checks the
+    /// simulator's invariants. Every event path funnels through the
+    /// scheduling pass, so post-step state is always consistent.
+    fn step(&mut self, now: SimTime, event: Event) {
+        if now > self.last_event_time {
+            observe!(
+                self.observer,
+                now,
+                EntryKind::Clock,
+                "clock advances from {:.3}s",
+                self.last_event_time.as_secs_f64()
+            );
+        }
+        match &event {
+            Event::JobStart { job } => {
+                observe!(self.observer, now, EntryKind::Event, "JobStart job={job}");
+            }
+            Event::TaskDone { job, task, attempt } => {
+                observe!(
+                    self.observer,
+                    now,
+                    EntryKind::Event,
+                    "TaskDone job={job} task=s{}/{} attempt={attempt}",
+                    task.stage.index(),
+                    task.index
+                );
+            }
+            Event::ControlTick { job } => {
+                observe!(
+                    self.observer,
+                    now,
+                    EntryKind::Event,
+                    "ControlTick job={job}"
+                );
+            }
+            Event::BackgroundTick => {
+                observe!(self.observer, now, EntryKind::Event, "BackgroundTick");
+            }
+            Event::MachineFailure => {
+                observe!(self.observer, now, EntryKind::Event, "MachineFailure");
+            }
+            Event::DeadlineChange { job, new_deadline } => {
+                observe!(
+                    self.observer,
+                    now,
+                    EntryKind::Event,
+                    "DeadlineChange job={job} new_deadline={:.1}s",
+                    new_deadline.as_secs_f64()
+                );
+            }
+        }
+        match event {
+            Event::JobStart { job } => self.on_job_start(job, now),
+            Event::TaskDone { job, task, attempt } => self.on_task_done(job, task, attempt, now),
+            Event::ControlTick { job } => self.on_control_tick(job, now),
+            Event::BackgroundTick => self.on_background_tick(now),
+            Event::MachineFailure => self.on_machine_failure(now),
+            Event::DeadlineChange { job, new_deadline } => {
+                self.jobs[job].controller.deadline_changed(new_deadline);
+                // Force an immediate control decision at the new
+                // deadline rather than waiting for the next tick.
+                self.control_decision(job, now);
+                self.schedule_tasks(now);
+            }
+        }
+        if self.invariants_enabled {
+            self.check_invariants(now);
+        } else {
+            self.last_event_time = now;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checks.
+    // ------------------------------------------------------------------
+
+    /// Verifies the simulator's core invariants after an event:
+    ///
+    /// 1. **Event-time monotonicity** — dispatched event times never go
+    ///    backwards.
+    /// 2. **Token conservation** — per job, guaranteed-class tasks never
+    ///    exceed the guarantee, and globally `guaranteed + spare +
+    ///    background + idle = capacity` with `idle >= 0` for the spare
+    ///    class (guaranteed admission is bounded separately, so a
+    ///    guarantee above cluster size surfaces here too).
+    /// 3. **Per-stage task accounting** — `pending + ready + running +
+    ///    done == total` per stage, the `Done` count matches
+    ///    `completed`, the running list matches `Running` task states,
+    ///    and `done_tasks` equals the per-stage sum.
+    /// 4. **Monotone stage fractions** — completed counts never
+    ///    decrease except through an explicit data-loss rollback (which
+    ///    lowers the floor).
+    fn check_invariants(&mut self, now: SimTime) {
+        if now < self.last_event_time {
+            self.invariant_violation(
+                now,
+                "event-time monotonicity",
+                format!(
+                    "event dispatched at {:.3}s after the clock reached {:.3}s",
+                    now.as_secs_f64(),
+                    self.last_event_time.as_secs_f64()
+                ),
+            );
+        }
+        self.last_event_time = now;
+
+        // Token conservation.
+        let total = self.cfg.total_tokens;
+        self.background.advance_to(now);
+        let bg_demand = self.background.demand_tokens(now, total);
+        let mut guar_running: u32 = 0;
+        let mut spare_running: u32 = 0;
+        for (j, job) in self.jobs.iter().enumerate() {
+            let g = job.running_in_class(TokenClass::Guaranteed);
+            if g > job.guarantee {
+                self.invariant_violation(
+                    now,
+                    "token conservation",
+                    format!(
+                        "job {j} runs {g} guaranteed tasks above its guarantee {}",
+                        job.guarantee
+                    ),
+                );
+            }
+            guar_running += g;
+            spare_running += job.running_in_class(TokenClass::Spare);
+        }
+        let spare_budget =
+            (i64::from(total) - i64::from(bg_demand) - i64::from(guar_running)).max(0);
+        if i64::from(spare_running) > spare_budget {
+            self.invariant_violation(
+                now,
+                "token conservation",
+                format!(
+                    "{spare_running} spare tasks exceed the spare budget {spare_budget} \
+                     (capacity {total} - background {bg_demand} - guaranteed {guar_running})"
+                ),
+            );
+        }
+
+        // Per-stage task accounting.
+        for (j, job) in self.jobs.iter().enumerate() {
+            let graph = &job.spec.graph;
+            let mut done_total: u64 = 0;
+            let mut running_states: usize = 0;
+            for s in graph.stage_ids() {
+                let mut done: u32 = 0;
+                for st in &job.state[s.index()] {
+                    match st {
+                        TaskState::Done { .. } => done += 1,
+                        TaskState::Running { .. } => running_states += 1,
+                        TaskState::Pending | TaskState::Ready => {}
+                    }
+                }
+                if done != job.completed[s.index()] {
+                    self.invariant_violation(
+                        now,
+                        "per-stage task accounting",
+                        format!(
+                            "job {j} stage {}: {done} Done task states but completed counter is {}",
+                            s.index(),
+                            job.completed[s.index()]
+                        ),
+                    );
+                }
+                done_total += u64::from(done);
+            }
+            if done_total != job.done_tasks {
+                self.invariant_violation(
+                    now,
+                    "per-stage task accounting",
+                    format!(
+                        "job {j}: per-stage completed sum {done_total} != done_tasks {}",
+                        job.done_tasks
+                    ),
+                );
+            }
+            if running_states != job.running.len() {
+                self.invariant_violation(
+                    now,
+                    "per-stage task accounting",
+                    format!(
+                        "job {j}: {running_states} Running task states but {} running-list entries",
+                        job.running.len()
+                    ),
+                );
+            }
+            for r in &job.running {
+                match job.task_state(r.task) {
+                    TaskState::Running { attempt } if attempt == r.attempt => {}
+                    other => self.invariant_violation(
+                        now,
+                        "per-stage task accounting",
+                        format!(
+                            "job {j}: running-list entry s{}/{} attempt {} has task state {other:?}",
+                            r.task.stage.index(),
+                            r.task.index,
+                            r.attempt
+                        ),
+                    ),
+                }
+            }
+        }
+
+        // Monotone stage fractions.
+        for j in 0..self.jobs.len() {
+            for s in 0..self.jobs[j].completed.len() {
+                if self.jobs[j].completed[s] < self.completed_floor[j][s] {
+                    self.invariant_violation(
+                        now,
+                        "monotone stage fractions",
+                        format!(
+                            "job {j} stage {s}: completed fell from {} to {} without a data-loss rollback",
+                            self.completed_floor[j][s], self.jobs[j].completed[s]
+                        ),
+                    );
+                }
+            }
+            self.completed_floor[j].copy_from_slice(&self.jobs[j].completed);
+        }
+    }
+
+    /// Panics with the violation and the tail of the attached journal.
+    fn invariant_violation(&self, now: SimTime, what: &str, detail: String) -> ! {
+        let tail = match self.observer.tail(32) {
+            Some(t) if !t.is_empty() => format!("\nlast journal entries:\n{t}"),
+            _ => {
+                String::from("\n(no journal attached; call ClusterSim::attach_journal for history)")
+            }
+        };
+        panic!(
+            "sim invariant violated at {:.3}s: {what}: {detail}{tail}",
+            now.as_secs_f64()
+        );
     }
 
     // ------------------------------------------------------------------
@@ -414,6 +718,27 @@ impl ClusterSim {
         if let Some(t) = decision.predicted_completion {
             job.trace.predicted_completion.push(now, t);
         }
+        // Record the raw stage-fraction trajectory so progress
+        // indicators can be re-evaluated offline over this exact run.
+        let graph = &job.spec.graph;
+        if job.trace.stage_fractions.is_empty() {
+            job.trace.stage_fractions =
+                vec![jockey_simrt::series::TimeSeries::new(); graph.num_stages()];
+        }
+        for s in graph.stage_ids() {
+            let frac = f64::from(job.completed[s.index()]) / f64::from(graph.tasks_in(s));
+            job.trace.stage_fractions[s.index()].push(now, frac);
+        }
+        let guarantee = job.guarantee;
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Decision,
+            "job {j}: guarantee={guarantee} raw={:?} progress={:?} predicted_completion={:?}",
+            decision.raw,
+            decision.progress,
+            decision.predicted_completion
+        );
     }
 
     fn on_task_done(&mut self, j: usize, task: TaskId, attempt: u32, now: SimTime) {
@@ -424,12 +749,23 @@ impl ClusterSim {
             .unwrap_or(self.jobs[j].spec.task_failure_prob);
 
         let stage_now_complete;
+        let failed;
         {
             let job = &mut self.jobs[j];
             // Stale completion (task was evicted/killed since scheduling)?
             match job.task_state(task) {
                 TaskState::Running { attempt: a } if a == attempt => {}
-                _ => return,
+                _ => {
+                    observe!(
+                        self.observer,
+                        now,
+                        EntryKind::Task,
+                        "job {j}: stale TaskDone for s{}/{} attempt {attempt} ignored",
+                        task.stage.index(),
+                        task.index
+                    );
+                    return;
+                }
             }
             let Some(pos) = job
                 .running
@@ -440,13 +776,9 @@ impl ClusterSim {
             };
             let running = job.running.swap_remove(pos);
 
-            let failed = bernoulli(&mut job.rng_fail, failure_prob);
-            job.profile.record_task(
-                task.stage,
-                running.queue_secs,
-                running.run_secs,
-                failed,
-            );
+            failed = bernoulli(&mut job.rng_fail, failure_prob);
+            job.profile
+                .record_task(task.stage, running.queue_secs, running.run_secs, failed);
             if failed {
                 job.wasted += running.run_secs;
                 job.set_task_state(task, TaskState::Ready);
@@ -454,18 +786,40 @@ impl ClusterSim {
                 stage_now_complete = false;
             } else {
                 job.work_done += running.run_secs;
-                job.set_task_state(task, TaskState::Done { run_secs: running.run_secs });
+                job.set_task_state(
+                    task,
+                    TaskState::Done {
+                        run_secs: running.run_secs,
+                    },
+                );
                 job.completed[task.stage.index()] += 1;
                 job.done_tasks += 1;
                 job.profile.record_stage_window(
                     task.stage,
-                    running.started.saturating_since(job.started.unwrap()).as_secs_f64(),
+                    running
+                        .started
+                        .saturating_since(job.started.unwrap())
+                        .as_secs_f64(),
                     now.saturating_since(job.started.unwrap()).as_secs_f64(),
                 );
-                stage_now_complete = job.completed[task.stage.index()]
-                    == job.spec.graph.tasks_in(task.stage);
+                stage_now_complete =
+                    job.completed[task.stage.index()] == job.spec.graph.tasks_in(task.stage);
             }
         }
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: s{}/{} attempt {attempt} {}{}",
+            task.stage.index(),
+            task.index,
+            if failed { "failed, requeued" } else { "done" },
+            if stage_now_complete {
+                " (stage complete)"
+            } else {
+                ""
+            }
+        );
 
         // Promote newly ready dependents.
         if !matches!(self.jobs[j].task_state(task), TaskState::Ready) {
@@ -476,7 +830,10 @@ impl ClusterSim {
             for c in candidates {
                 if job.task_state(c) == TaskState::Pending
                     && deps.is_ready(c, &job.completed, |t| {
-                        matches!(job.state[t.stage.index()][t.index as usize], TaskState::Done { .. })
+                        matches!(
+                            job.state[t.stage.index()][t.index as usize],
+                            TaskState::Done { .. }
+                        )
                     })
                 {
                     job.set_task_state(c, TaskState::Ready);
@@ -487,6 +844,12 @@ impl ClusterSim {
                 job.finished_at = Some(now);
                 job.trace.guarantee.push(now, f64::from(job.guarantee));
                 job.trace.running.push(now, 0.0);
+                observe!(
+                    self.observer,
+                    now,
+                    EntryKind::Task,
+                    "job {j}: all tasks done"
+                );
             }
         }
 
@@ -501,14 +864,37 @@ impl ClusterSim {
         }
     }
 
+    /// Machines in the simulated slice: explicit under the placement
+    /// model, otherwise implied by token count and machine size.
+    fn machine_count(&self) -> u32 {
+        match &self.cfg.placement {
+            Some(p) => p.machines,
+            None => self
+                .cfg
+                .total_tokens
+                .div_ceil(self.cfg.failures.tasks_per_machine.max(1)),
+        }
+    }
+
+    /// Arms the next machine-failure arrival. The configured rate is a
+    /// per-machine hazard, so the slice's aggregate Poisson rate scales
+    /// with its machine count — a 4-machine slice fails less often than
+    /// a 400-machine one at the same per-machine reliability.
     fn arm_machine_failure(&mut self, now: SimTime) {
-        let rate = self.cfg.failures.machine_failure_rate_per_hour;
+        let rate =
+            self.cfg.failures.machine_failure_rate_per_hour * f64::from(self.machine_count());
         if rate <= 0.0 {
             return;
         }
-        let mean_secs = 3600.0 / rate;
-        let u: f64 = 1.0 - self.rng_machine.gen::<f64>();
-        let delay = SimDuration::from_secs_f64(-mean_secs * u.ln());
+        let exp = Exponential::with_mean(3600.0 / rate);
+        let delay = SimDuration::from_secs_f64(exp.sample(&mut self.rng_machine));
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Decision,
+            "next machine failure armed in {:.3}s",
+            delay.as_secs_f64()
+        );
         self.queue.schedule(now + delay, Event::MachineFailure);
     }
 
@@ -517,7 +903,13 @@ impl ClusterSim {
         let weights: Vec<u32> = self
             .jobs
             .iter()
-            .map(|j| if j.is_active() { j.running.len() as u32 } else { 0 })
+            .map(|j| {
+                if j.is_active() {
+                    j.running.len() as u32
+                } else {
+                    0
+                }
+            })
             .collect();
         let total: u32 = weights.iter().sum();
         if total > 0 {
@@ -544,7 +936,7 @@ impl ClusterSim {
                 }
             }
             if bernoulli(&mut self.rng_machine, self.cfg.failures.data_loss_prob) {
-                self.lose_completed_outputs(victim, self.cfg.failures.tasks_per_machine);
+                self.lose_completed_outputs(victim, self.cfg.failures.tasks_per_machine, now);
             }
         }
         self.arm_machine_failure(now);
@@ -555,6 +947,7 @@ impl ClusterSim {
     /// (placement model's machine-failure semantics).
     fn kill_tasks_on_machine(&mut self, j: usize, machine: u32, now: SimTime) {
         let job = &mut self.jobs[j];
+        let mut killed: u32 = 0;
         let mut i = 0;
         while i < job.running.len() {
             if job.running[i].machine == Some(machine) {
@@ -569,9 +962,18 @@ impl ClusterSim {
                 );
                 job.set_task_state(victim.task, TaskState::Ready);
                 job.ready.push_back(victim.task);
+                killed += 1;
             } else {
                 i += 1;
             }
+        }
+        if killed > 0 {
+            observe!(
+                self.observer,
+                now,
+                EntryKind::Task,
+                "job {j}: machine {machine} died, {killed} resident tasks killed"
+            );
         }
     }
 
@@ -579,6 +981,7 @@ impl ClusterSim {
     /// they re-queue and rerun from scratch.
     fn kill_running_tasks(&mut self, j: usize, count: u32, now: SimTime) {
         let job = &mut self.jobs[j];
+        let mut killed: u32 = 0;
         for _ in 0..count {
             if job.running.is_empty() {
                 break;
@@ -587,18 +990,29 @@ impl ClusterSim {
             let victim = job.running.swap_remove(pos);
             let elapsed = now.saturating_since(victim.started).as_secs_f64();
             job.wasted += elapsed.min(victim.run_secs);
-            job.profile
-                .record_task(victim.task.stage, victim.queue_secs, elapsed.min(victim.run_secs), true);
+            job.profile.record_task(
+                victim.task.stage,
+                victim.queue_secs,
+                elapsed.min(victim.run_secs),
+                true,
+            );
             job.set_task_state(victim.task, TaskState::Ready);
             job.ready.push_back(victim.task);
+            killed += 1;
         }
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: machine failure killed {killed} of up to {count} running tasks"
+        );
     }
 
     /// Destroys the outputs of up to `count` completed tasks in one
     /// randomly chosen *incomplete* stage of job `j`, forcing their
     /// recomputation. One-to-one dependents that were only Ready are
     /// demoted back to Pending.
-    fn lose_completed_outputs(&mut self, j: usize, count: u32) {
+    fn lose_completed_outputs(&mut self, j: usize, count: u32, now: SimTime) {
         let graph = self.jobs[j].spec.graph.clone();
         let deps = TaskDeps::new(&graph);
         let job = &mut self.jobs[j];
@@ -652,7 +1066,10 @@ impl ClusterSim {
             }
             // The undone task reruns; its own inputs may still be intact.
             let ready = deps.is_ready(t, &job.completed, |x| {
-                matches!(job.state[x.stage.index()][x.index as usize], TaskState::Done { .. })
+                matches!(
+                    job.state[x.stage.index()][x.index as usize],
+                    TaskState::Done { .. }
+                )
             });
             if ready {
                 job.set_task_state(t, TaskState::Ready);
@@ -661,6 +1078,18 @@ impl ClusterSim {
                 job.set_task_state(t, TaskState::Pending);
             }
         }
+        let undone = undoable.len().min(count as usize);
+        // Legitimate rollback: lower the monotone-fraction floor so the
+        // invariant checker accepts the reduced completion count.
+        self.completed_floor[j][stage.index()] =
+            self.jobs[j].completed[stage.index()].min(self.completed_floor[j][stage.index()]);
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: data loss undid {undone} completed outputs in stage {}",
+            stage.index()
+        );
     }
 
     // ------------------------------------------------------------------
@@ -753,6 +1182,14 @@ impl ClusterSim {
                 job.wasted += elapsed.min(victim.run_secs);
                 job.set_task_state(victim.task, TaskState::Ready);
                 job.ready.push_back(victim.task);
+                observe!(
+                    self.observer,
+                    now,
+                    EntryKind::Task,
+                    "job {ji}: spare task s{}/{} evicted under capacity pressure",
+                    victim.task.stage.index(),
+                    victim.task.index
+                );
                 to_evict -= 1;
             }
         } else if self.cfg.spare_enabled {
@@ -786,8 +1223,7 @@ impl ClusterSim {
         debug_assert!(
             {
                 let fg: u32 = self.jobs.iter().map(|j| j.running.len() as u32).sum();
-                i64::from(fg) + i64::from(bg_demand)
-                    <= i64::from(total) + i64::from(guar_running)
+                i64::from(fg) + i64::from(bg_demand) <= i64::from(total) + i64::from(guar_running)
             },
             "token over-commit in scheduling pass"
         );
@@ -840,9 +1276,24 @@ impl ClusterSim {
             run_secs,
             machine,
         });
-        let occupancy = SimDuration::from_secs_f64(queue_secs + run_secs).max(SimDuration::from_millis(1));
-        self.queue
-            .schedule(now + occupancy, Event::TaskDone { job: j, task, attempt });
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: start s{}/{} attempt {attempt} class={class:?} queue={queue_secs:.2}s run={run_secs:.2}s machine={machine:?}",
+            task.stage.index(),
+            task.index
+        );
+        let occupancy =
+            SimDuration::from_secs_f64(queue_secs + run_secs).max(SimDuration::from_millis(1));
+        self.queue.schedule(
+            now + occupancy,
+            Event::TaskDone {
+                job: j,
+                task,
+                attempt,
+            },
+        );
     }
 }
 
@@ -1066,7 +1517,10 @@ mod tests {
         );
         let r = sim.run();
         assert_eq!(r[0].started_at, SimTime::from_mins(5));
-        assert_eq!(r[0].completed_at, Some(SimTime::from_mins(5) + SimDuration::from_secs(20)));
+        assert_eq!(
+            r[0].completed_at,
+            Some(SimTime::from_mins(5) + SimDuration::from_secs(20))
+        );
         assert_eq!(r[0].duration(), Some(SimDuration::from_secs(20)));
     }
 
@@ -1128,5 +1582,104 @@ mod tests {
         assert_eq!(r[0].trace.max_guarantee(), 3.0);
         // 9 tasks at 3 tokens = 3 waves of 10 s, plus 10 s reduce.
         assert_eq!(r[0].completed_at, Some(SimTime::from_secs(40)));
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checkers: each must fire on a seeded violation. The
+    // tests corrupt private simulator state directly — no legitimate
+    // event path produces these states (that is the point of the
+    // checks).
+    // ------------------------------------------------------------------
+
+    /// Steps a fresh sim until the first task completes, so tasks are
+    /// both `Done` and `Running` and the clock has advanced.
+    fn stepped_sim(journal: bool) -> (ClusterSim, Option<SharedJournal>, SimTime) {
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
+        let journal = journal.then(|| sim.attach_journal(64));
+        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+        sim.prime();
+        while sim.jobs[0].done_tasks == 0 {
+            let (now, event) = sim
+                .queue
+                .pop()
+                .expect("job cannot finish with no done tasks");
+            sim.step(now, event);
+        }
+        let now = sim.last_event_time;
+        (sim, journal, now)
+    }
+
+    #[test]
+    #[should_panic(expected = "event-time monotonicity")]
+    fn invariant_fires_on_time_regression() {
+        let (mut sim, _, now) = stepped_sim(false);
+        assert!(now > SimTime::ZERO);
+        sim.check_invariants(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "token conservation")]
+    fn invariant_fires_on_guarantee_overcommit() {
+        let (mut sim, _, now) = stepped_sim(false);
+        assert!(sim.jobs[0].running_in_class(TokenClass::Guaranteed) > 0);
+        sim.jobs[0].guarantee = 0;
+        sim.check_invariants(now);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-stage task accounting")]
+    fn invariant_fires_on_completed_counter_drift() {
+        let (mut sim, _, now) = stepped_sim(false);
+        sim.jobs[0].completed[0] += 1;
+        sim.check_invariants(now);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone stage fractions")]
+    fn invariant_fires_on_fraction_regression() {
+        let (mut sim, _, now) = stepped_sim(false);
+        // A floor above the live counter models a completion count that
+        // silently went backwards (without the data-loss path that
+        // legitimately lowers the floor).
+        sim.completed_floor[0][0] = sim.jobs[0].completed[0] + 1;
+        sim.check_invariants(now);
+    }
+
+    #[test]
+    #[should_panic(expected = "no journal attached")]
+    fn invariant_panic_hints_at_journal_when_absent() {
+        let (mut sim, _, now) = stepped_sim(false);
+        sim.jobs[0].guarantee = 0;
+        sim.check_invariants(now);
+    }
+
+    #[test]
+    fn invariant_panic_includes_journal_tail() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (mut sim, journal, now) = stepped_sim(true);
+            assert!(!journal.expect("journal attached").is_empty());
+            sim.jobs[0].guarantee = 0;
+            sim.check_invariants(now);
+        }));
+        let payload = result.expect_err("corrupted sim must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted message");
+        assert!(msg.contains("token conservation"), "{msg}");
+        assert!(msg.contains("last journal entries"), "{msg}");
+        // The tail shows real dispatched events, e.g. TaskDone records.
+        assert!(msg.contains("TaskDone"), "{msg}");
+    }
+
+    #[test]
+    fn invariant_checks_can_be_disabled() {
+        let (mut sim, _, _) = stepped_sim(false);
+        assert!(sim.invariants_enabled, "test builds default to enabled");
+        sim.set_invariant_checks(false);
+        sim.jobs[0].guarantee = 0; // Would trip token conservation.
+        let (now, event) = sim.queue.pop().expect("events remain");
+        sim.step(now, event); // Must not panic with checks off.
+        assert_eq!(sim.last_event_time, now);
     }
 }

@@ -25,6 +25,11 @@ pub struct RunTrace {
     pub predicted_completion: TimeSeries,
     /// Background utilization observed at each control tick.
     pub background_util: TimeSeries,
+    /// Per-stage completed fraction sampled at each control decision.
+    /// Lets alternative progress indicators be evaluated offline over
+    /// the *same* run (Fig. 10 compares indicators on identical
+    /// executions, not one execution per indicator).
+    pub stage_fractions: Vec<TimeSeries>,
 }
 
 impl RunTrace {

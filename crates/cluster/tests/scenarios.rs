@@ -250,6 +250,9 @@ fn machine_failures_with_placement_kill_co_resident_tasks() {
     let mut sim = ClusterSim::new(cfg, 13);
     sim.add_job(spec(40, 4, 8.0), Box::new(FixedAllocation(8)));
     let r = sim.run().remove(0);
-    assert!(r.completed_at.is_some(), "job must survive machine failures");
+    assert!(
+        r.completed_at.is_some(),
+        "job must survive machine failures"
+    );
     assert!(r.wasted_secs > 0.0, "machine failures should waste work");
 }

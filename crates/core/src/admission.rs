@@ -35,7 +35,10 @@ impl fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdmissionError::Infeasible => write!(f, "deadline infeasible at any allocation"),
-            AdmissionError::InsufficientCapacity { required, available } => write!(
+            AdmissionError::InsufficientCapacity {
+                required,
+                available,
+            } => write!(
                 f,
                 "needs {required} guaranteed tokens but only {available} are unreserved"
             ),
@@ -133,7 +136,10 @@ impl AdmissionController {
             .ok_or(AdmissionError::Infeasible)?;
         let available = self.available();
         if required > available {
-            return Err(AdmissionError::InsufficientCapacity { required, available });
+            return Err(AdmissionError::InsufficientCapacity {
+                required,
+                available,
+            });
         }
         self.admitted.push(Reservation {
             name: name.to_string(),
@@ -170,9 +176,14 @@ mod tests {
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
         let profile = sim.run().remove(0).profile;
-        let ctx =
-            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
-        CpaModel::train(&graph, &profile, &ctx, &TrainConfig::fast(vec![2, 4, 8]), 42)
+        let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        CpaModel::train(
+            &graph,
+            &profile,
+            &ctx,
+            &TrainConfig::fast(vec![2, 4, 8]),
+            42,
+        )
     }
 
     #[test]
@@ -188,7 +199,10 @@ mod tests {
             let name = format!("job{i}");
             match ac.try_admit(&name, &m, d, 1.0) {
                 Ok(_) => names.push(name),
-                Err(AdmissionError::InsufficientCapacity { required, available }) => {
+                Err(AdmissionError::InsufficientCapacity {
+                    required,
+                    available,
+                }) => {
                     assert!(required > available);
                     break;
                 }
@@ -231,8 +245,12 @@ mod tests {
     fn tighter_deadlines_reserve_more() {
         let m = model();
         let mut ac = AdmissionController::new(100);
-        let loose = ac.try_admit("loose", &m, SimDuration::from_secs(300), 1.0).unwrap();
-        let tight = ac.try_admit("tight", &m, SimDuration::from_secs(70), 1.0).unwrap();
+        let loose = ac
+            .try_admit("loose", &m, SimDuration::from_secs(300), 1.0)
+            .unwrap();
+        let tight = ac
+            .try_admit("tight", &m, SimDuration::from_secs(70), 1.0)
+            .unwrap();
         assert!(tight > loose, "tight {tight} vs loose {loose}");
     }
 }

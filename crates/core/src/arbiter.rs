@@ -390,14 +390,8 @@ mod shared_tests {
         cluster.max_guarantee = 12;
         cluster.control_period = SimDuration::from_secs(15);
         let mut sim = ClusterSim::new(cluster, 9);
-        let i1 = sim.add_job(
-            JobSpec::from_profile(g1.clone(), &p1),
-            Box::new(c1),
-        );
-        let i2 = sim.add_job(
-            JobSpec::from_profile(g2.clone(), &p2),
-            Box::new(c2),
-        );
+        let i1 = sim.add_job(JobSpec::from_profile(g1.clone(), &p1), Box::new(c1));
+        let i2 = sim.add_job(JobSpec::from_profile(g2.clone(), &p2), Box::new(c2));
         let results = sim.run();
         let l1 = results[i1].duration().expect("job 1 finished");
         let l2 = results[i2].duration().expect("job 2 finished");

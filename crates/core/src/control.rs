@@ -16,6 +16,8 @@
 //!    allowed; and **hysteresis** smooths the move:
 //!    `A^s_t = A^s_{t−1} + α (A^r − A^s_{t−1})`.
 
+use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
 use jockey_cluster::{ControlDecision, JobController, JobStatus};
@@ -51,20 +53,144 @@ impl Default for ControlParams {
     }
 }
 
+/// Why a [`ControlParams`] value was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InvalidControlParams {
+    /// `slack` must be finite and `>= 1` (NaN is rejected explicitly).
+    Slack(f64),
+    /// `hysteresis` must be finite and in `(0, 1]` (NaN is rejected
+    /// explicitly).
+    Hysteresis(f64),
+    /// `min_allocation` must be `>= 1`.
+    MinAllocation(u32),
+}
+
+impl fmt::Display for InvalidControlParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidControlParams::Slack(v) => {
+                write!(f, "slack must be a finite value >= 1, got {v}")
+            }
+            InvalidControlParams::Hysteresis(v) => {
+                write!(f, "hysteresis must be a finite value in (0, 1], got {v}")
+            }
+            InvalidControlParams::MinAllocation(v) => {
+                write!(f, "min_allocation must be >= 1, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidControlParams {}
+
 impl ControlParams {
+    /// Validates parameter ranges, returning the first problem found.
+    /// NaN slack or hysteresis is rejected (comparison chains alone
+    /// would be easy to get wrong around NaN, so finiteness is checked
+    /// explicitly).
+    pub fn check(&self) -> Result<(), InvalidControlParams> {
+        if !self.slack.is_finite() || self.slack < 1.0 {
+            return Err(InvalidControlParams::Slack(self.slack));
+        }
+        if !self.hysteresis.is_finite() || self.hysteresis <= 0.0 || self.hysteresis > 1.0 {
+            return Err(InvalidControlParams::Hysteresis(self.hysteresis));
+        }
+        if self.min_allocation < 1 {
+            return Err(InvalidControlParams::MinAllocation(self.min_allocation));
+        }
+        Ok(())
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range values.
+    /// Panics on out-of-range values; see [`ControlParams::check`] for
+    /// the non-panicking form.
     pub fn validate(&self) {
-        assert!(self.slack >= 1.0, "slack must be >= 1, got {}", self.slack);
-        assert!(
-            self.hysteresis > 0.0 && self.hysteresis <= 1.0,
-            "hysteresis must be in (0, 1], got {}",
-            self.hysteresis
-        );
-        assert!(self.min_allocation >= 1);
+        if let Err(e) = self.check() {
+            panic!("invalid control params: {e}");
+        }
+    }
+}
+
+/// One control decision as the controller saw it: the inputs, the raw
+/// and smoothed allocations, and the dead-zone verdicts that gated the
+/// move. Recorded every tick into a [`ControlTrace`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlTick {
+    /// Elapsed job time `t_r` in seconds.
+    pub elapsed_secs: f64,
+    /// Progress indicator value `p` in `[0, 1]`.
+    pub progress: f64,
+    /// Raw allocation `A^r`.
+    pub raw: f64,
+    /// Smoothed allocation `A^s` after hysteresis.
+    pub smoothed: f64,
+    /// Whether the job was at least `D` behind schedule (the increase
+    /// gate) at the allocation in force.
+    pub behind: bool,
+    /// Whether the job was at least `D` ahead of the shifted schedule
+    /// (a diagnostic margin verdict; decreases are not gated on it).
+    pub ahead: bool,
+    /// The applied guarantee.
+    pub guarantee: u32,
+    /// Predicted completion time in seconds from job start.
+    pub predicted_completion_secs: f64,
+    /// Whether the job had already finished at this tick.
+    pub finished: bool,
+}
+
+/// A bounded journal of [`ControlTick`] records (most recent
+/// `capacity` kept), attached to every [`JockeyController`].
+#[derive(Clone, Debug)]
+pub struct ControlTrace {
+    capacity: usize,
+    ticks: VecDeque<ControlTick>,
+}
+
+impl Default for ControlTrace {
+    fn default() -> Self {
+        ControlTrace::new(4096)
+    }
+}
+
+impl ControlTrace {
+    /// Creates a trace retaining at most `capacity` ticks (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ControlTrace {
+            capacity: capacity.max(1),
+            ticks: VecDeque::new(),
+        }
+    }
+
+    /// Records one tick, evicting the oldest beyond capacity.
+    pub fn record(&mut self, tick: ControlTick) {
+        if self.ticks.len() == self.capacity {
+            self.ticks.pop_front();
+        }
+        self.ticks.push_back(tick);
+    }
+
+    /// Number of retained ticks.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True if no tick has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// The retained ticks, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &ControlTick> {
+        self.ticks.iter()
+    }
+
+    /// The most recent tick.
+    pub fn last(&self) -> Option<&ControlTick> {
+        self.ticks.back()
     }
 }
 
@@ -79,6 +205,8 @@ pub struct JockeyController {
     /// `A^s`, the smoothed allocation; `None` before the first decision
     /// (the first decision jumps straight to the raw allocation).
     smoothed: Option<f64>,
+    /// Tick-by-tick decision journal.
+    trace: ControlTrace,
 }
 
 impl JockeyController {
@@ -102,7 +230,14 @@ impl JockeyController {
             shifted_utility,
             params,
             smoothed: None,
+            trace: ControlTrace::default(),
         }
+    }
+
+    /// The tick-by-tick decision journal: inputs, raw/smoothed
+    /// allocations and dead-zone verdicts for the most recent ticks.
+    pub fn trace(&self) -> &ControlTrace {
+        &self.trace
     }
 
     /// The raw allocation `A^r`: the minimum allocation maximizing
@@ -133,16 +268,22 @@ impl JockeyController {
             return true;
         };
         let remaining = self.params.slack * self.model.remaining_secs(fs, progress, current);
-        elapsed_secs + remaining
-            > deadline.as_secs_f64() - self.params.dead_zone.as_secs_f64()
+        elapsed_secs + remaining > deadline.as_secs_f64() - self.params.dead_zone.as_secs_f64()
     }
 
     /// True when the job is at least `D` *ahead* of the (already
-    /// dead-zone-shifted) schedule at allocation `current` — the
-    /// symmetric half of the dead zone: resources are released only
-    /// with real margin in hand, so a late straggler or overload does
-    /// not turn a release into a miss.
-    fn ahead_of_schedule(&self, fs: &[f64], progress: f64, elapsed_secs: f64, current: u32) -> bool {
+    /// dead-zone-shifted) schedule at allocation `current`. Decreases
+    /// are **not** gated on this (the §4.3 dead zone only suppresses
+    /// increases; releases are always applied and paced by hysteresis
+    /// alone) — the verdict is recorded in each [`ControlTick`] as a
+    /// margin diagnostic.
+    fn ahead_of_schedule(
+        &self,
+        fs: &[f64],
+        progress: f64,
+        elapsed_secs: f64,
+        current: u32,
+    ) -> bool {
         let Some(deadline) = self.utility.deadline_duration() else {
             return true;
         };
@@ -159,37 +300,52 @@ impl JockeyController {
 
 impl JobController for JockeyController {
     fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+        let tr = status.elapsed.as_secs_f64();
         if status.finished {
             let g = self.params.min_allocation;
+            self.trace.record(ControlTick {
+                elapsed_secs: tr,
+                progress: 1.0,
+                raw: f64::from(g),
+                smoothed: self.smoothed.unwrap_or(f64::from(g)),
+                behind: false,
+                ahead: true,
+                guarantee: g,
+                predicted_completion_secs: tr,
+                finished: true,
+            });
             return ControlDecision::simple(g);
         }
         let fs = &status.stage_fraction;
         let p = self.indicator.progress(fs);
-        let tr = status.elapsed.as_secs_f64();
         let raw = self.raw_allocation(fs, p, tr);
+
+        // Diagnostic verdicts, evaluated at the allocation in force
+        // (the raw allocation itself on the first decision).
+        let probe = match self.smoothed {
+            None => raw,
+            Some(cur) => (cur.round() as u32).max(self.params.min_allocation),
+        };
+        let behind = self.behind_schedule(fs, p, tr, probe);
+        let ahead = self.ahead_of_schedule(fs, p, tr, probe);
 
         let next = match self.smoothed {
             // First decision: adopt the raw allocation outright — this
             // is the pessimistic initial sizing of §1.
             None => f64::from(raw),
             Some(cur) => {
-                let cur_alloc = (cur.round() as u32).max(self.params.min_allocation);
                 let target = if f64::from(raw) > cur {
                     // Dead zone: only chase increases when behind.
-                    if self.behind_schedule(fs, p, tr, cur_alloc) {
-                        f64::from(raw)
-                    } else {
-                        cur
-                    }
-                } else if f64::from(raw) < cur {
-                    // Symmetric dead zone: only release when ahead.
-                    if self.ahead_of_schedule(fs, p, tr, cur_alloc) {
+                    if behind {
                         f64::from(raw)
                     } else {
                         cur
                     }
                 } else {
-                    cur
+                    // Decreases (releasing over-provisioned tokens,
+                    // Fig. 6(c)) are always applied; hysteresis alone
+                    // paces the release.
+                    f64::from(raw)
                 };
                 cur + self.params.hysteresis * (target - cur)
             }
@@ -197,8 +353,18 @@ impl JobController for JockeyController {
         self.smoothed = Some(next);
         let guarantee = (next.ceil() as u32).max(self.params.min_allocation);
 
-        let predicted =
-            tr + self.model.remaining_secs(fs, p, guarantee.max(self.params.min_allocation));
+        let predicted = tr + self.model.remaining_secs(fs, p, guarantee);
+        self.trace.record(ControlTick {
+            elapsed_secs: tr,
+            progress: p,
+            raw: f64::from(raw),
+            smoothed: next,
+            behind,
+            ahead,
+            guarantee,
+            predicted_completion_secs: predicted,
+            finished: false,
+        });
         ControlDecision {
             guarantee,
             raw: Some(f64::from(raw)),
@@ -290,7 +456,14 @@ mod tests {
         let c = controller(6_000.0, 60, params);
         assert_eq!(c.raw_allocation(&[0.0], 0.0, 0.0), 2);
         // With slack 1.5: 9000/3600 -> 3.
-        let c = controller(6_000.0, 60, ControlParams { slack: 1.5, ..params });
+        let c = controller(
+            6_000.0,
+            60,
+            ControlParams {
+                slack: 1.5,
+                ..params
+            },
+        );
         assert_eq!(c.raw_allocation(&[0.0], 0.0, 0.0), 3);
     }
 
@@ -319,8 +492,8 @@ mod tests {
         };
         let mut c = controller(6_000.0, 60, params);
         c.tick(&status(0.0, 0.0, 0)); // smoothed = 2.
-        // 30 minutes in, no progress: need 6000/1800 = 4 raw; smoothed
-        // moves halfway from 2 to 4 = 3.
+                                      // 30 minutes in, no progress: need 6000/1800 = 4 raw; smoothed
+                                      // moves halfway from 2 to 4 = 3.
         let d = c.tick(&status(0.0, 30.0, 2));
         assert_eq!(d.raw, Some(4.0));
         assert_eq!(d.guarantee, 3);
@@ -491,5 +664,215 @@ mod tests {
             ..ControlParams::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn check_rejects_nan_and_reports_typed_errors() {
+        // `slack >= 1.0` alone would let NaN through: every comparison
+        // against NaN is false, so `slack < 1.0` never fires for it.
+        let p = ControlParams {
+            slack: f64::NAN,
+            ..ControlParams::default()
+        };
+        assert!(matches!(p.check(), Err(InvalidControlParams::Slack(v)) if v.is_nan()));
+
+        let p = ControlParams {
+            hysteresis: f64::NAN,
+            ..ControlParams::default()
+        };
+        assert!(matches!(p.check(), Err(InvalidControlParams::Hysteresis(v)) if v.is_nan()));
+
+        let p = ControlParams {
+            slack: f64::INFINITY,
+            ..ControlParams::default()
+        };
+        assert!(matches!(p.check(), Err(InvalidControlParams::Slack(_))));
+
+        let p = ControlParams {
+            min_allocation: 0,
+            ..ControlParams::default()
+        };
+        assert_eq!(p.check(), Err(InvalidControlParams::MinAllocation(0)));
+
+        assert_eq!(ControlParams::default().check(), Ok(()));
+    }
+
+    /// Remaining time collapses by 4x from the second token on, then is
+    /// flat — lets the raw allocation drop below the current one while
+    /// the job sits inside the dead zone (neither behind nor far
+    /// ahead).
+    struct TwoTier {
+        work: f64,
+    }
+
+    impl CompletionModel for TwoTier {
+        fn remaining_secs(&self, _fs: &[f64], progress: f64, a: u32) -> f64 {
+            let base = (1.0 - progress) * self.work;
+            if a >= 2 {
+                base / 4.0
+            } else {
+                base
+            }
+        }
+        fn max_allocation(&self) -> u32 {
+            100
+        }
+    }
+
+    #[test]
+    fn releases_are_not_gated_on_ahead_margin() {
+        // Decreases are always applied (module doc, step 4); only
+        // increases are dead-zone gated. Regression test for a bug
+        // where releases waited until the job was 2D *ahead* of
+        // schedule, so a job inside the dead zone never gave back
+        // over-provisioned tokens (and max-allocation runs tied
+        // Jockey's §5.1 impact instead of exceeding it).
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::from_mins(5),
+            min_allocation: 1,
+        };
+        let mut c = JockeyController::new(
+            Arc::new(TwoTier { work: 13_000.0 }),
+            indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            params,
+        );
+        let g0 = c.tick(&status(0.0, 0.0, 0)).guarantee;
+        assert_eq!(g0, 2);
+        // 50 minutes in and nearly done: completion at the current
+        // allocation lands inside the dead zone, and a single token now
+        // suffices.
+        let d = c.tick(&status(0.984, 50.0, g0));
+        let last = *c.trace().last().unwrap();
+        assert!(
+            !last.behind && !last.ahead,
+            "expected the dead-zone middle: {last:?}"
+        );
+        assert_eq!(d.guarantee, 1, "release must not wait for the ahead margin");
+    }
+
+    #[test]
+    fn trace_records_every_tick() {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 0.5,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let mut c = controller(6_000.0, 60, params);
+        assert!(c.trace().is_empty());
+        let d0 = c.tick(&status(0.0, 0.0, 0));
+        let d1 = c.tick(&status(0.0, 30.0, 2));
+        assert_eq!(c.trace().len(), 2);
+        let ticks: Vec<ControlTick> = c.trace().iter().copied().collect();
+        assert_eq!(ticks[0].guarantee, d0.guarantee);
+        assert_eq!(Some(ticks[1].raw), d1.raw);
+        assert_eq!(Some(ticks[1].progress), d1.progress);
+        assert_eq!(
+            Some(ticks[1].predicted_completion_secs),
+            d1.predicted_completion
+        );
+        assert!(ticks[1].behind, "30 min in with zero progress is behind");
+        assert!(!ticks[1].finished);
+        assert_eq!(ticks[1].elapsed_secs, 1800.0);
+    }
+
+    #[test]
+    fn finished_ticks_are_recorded() {
+        let mut c = controller(6_000.0, 60, ControlParams::default());
+        c.tick(&status(0.0, 0.0, 0));
+        c.tick(&status(1.0, 20.0, 5));
+        let last = c.trace().last().unwrap();
+        assert!(last.finished);
+        assert_eq!(last.guarantee, 1);
+        assert_eq!(last.progress, 1.0);
+    }
+
+    #[test]
+    fn finished_status_with_empty_fractions_is_safe() {
+        // The finished path must not consult the indicator: a drained
+        // job may report no per-stage fractions at all.
+        let mut c = controller(6_000.0, 60, ControlParams::default());
+        let mut st = status(1.0, 20.0, 5);
+        st.stage_fraction.clear();
+        assert_eq!(c.tick(&st).guarantee, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fs length mismatch")]
+    fn running_status_with_wrong_stage_count_panics() {
+        // For a *running* job, a stage-fraction/graph mismatch is a
+        // caller bug, surfaced loudly rather than silently mis-read.
+        let mut c = controller(6_000.0, 60, ControlParams::default());
+        let mut st = status(0.5, 20.0, 5);
+        st.stage_fraction.clear();
+        c.tick(&st);
+    }
+
+    #[test]
+    fn progress_extremes_are_handled() {
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::ZERO,
+            min_allocation: 1,
+        };
+        let c = controller(6_000.0, 60, params);
+        // Progress exactly 0: the full-work sizing.
+        assert_eq!(c.raw_allocation(&[0.0], 0.0, 0.0), 2);
+        // Progress exactly 1: nothing remains, the minimum suffices.
+        assert_eq!(c.raw_allocation(&[1.0], 1.0, 100.0), 1);
+    }
+
+    #[test]
+    fn no_deadline_disables_dead_zone_gating() {
+        // A utility with no deadline encoded: both dead-zone verdicts
+        // report `true` (nothing to be behind or ahead of), so the
+        // controller simply chases the raw allocation.
+        let params = ControlParams {
+            slack: 1.0,
+            hysteresis: 1.0,
+            dead_zone: SimDuration::from_mins(3),
+            min_allocation: 1,
+        };
+        let mut c = JockeyController::new(
+            Arc::new(ToyModel {
+                work: 6_000.0,
+                max: 100,
+            }),
+            indicator(),
+            UtilityFunction::from_knots(vec![(0.0, 1.0), (10_000.0, 0.0)]),
+            params,
+        );
+        c.tick(&status(0.0, 0.0, 0));
+        c.tick(&status(0.1, 30.0, 1));
+        for t in c.trace().iter() {
+            assert!(t.behind && t.ahead, "no deadline: both gates open: {t:?}");
+        }
+    }
+
+    #[test]
+    fn trace_capacity_evicts_oldest() {
+        let mut tr = ControlTrace::new(2);
+        let tick = |e: f64| ControlTick {
+            elapsed_secs: e,
+            progress: 0.0,
+            raw: 1.0,
+            smoothed: 1.0,
+            behind: false,
+            ahead: false,
+            guarantee: 1,
+            predicted_completion_secs: 0.0,
+            finished: false,
+        };
+        tr.record(tick(1.0));
+        tr.record(tick(2.0));
+        tr.record(tick(3.0));
+        assert_eq!(tr.len(), 2);
+        let kept: Vec<f64> = tr.iter().map(|t| t.elapsed_secs).collect();
+        assert_eq!(kept, vec![2.0, 3.0]);
+        assert_eq!(tr.last().unwrap().elapsed_secs, 3.0);
     }
 }

@@ -16,9 +16,12 @@
 //! "over-allocate resources at the start to compensate for potential
 //! future failures" (§1).
 
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use jockey_cluster::{ClusterConfig, ClusterSim, ControlDecision, JobController, JobSpec, JobStatus};
+use jockey_cluster::{
+    ClusterConfig, ClusterSim, ControlDecision, JobController, JobSpec, JobStatus,
+};
 use jockey_jobgraph::graph::JobGraph;
 use jockey_jobgraph::profile::JobProfile;
 use jockey_simrt::rng::SeedDeriver;
@@ -79,19 +82,76 @@ impl TrainConfig {
         }
     }
 
+    /// Validates the configuration, returning the first problem found.
+    /// NaN percentiles are rejected (`contains` on a float range is
+    /// already NaN-safe; finiteness is still checked explicitly so the
+    /// intent survives refactoring).
+    pub fn check(&self) -> Result<(), InvalidTrainConfig> {
+        if self.allocations.is_empty()
+            || self.allocations[0] < 1
+            || !self.allocations.windows(2).all(|w| w[0] < w[1])
+        {
+            return Err(InvalidTrainConfig::Allocations);
+        }
+        if self.runs_per_allocation < 1 {
+            return Err(InvalidTrainConfig::Runs);
+        }
+        if self.progress_bins < 2 {
+            return Err(InvalidTrainConfig::Bins(self.progress_bins));
+        }
+        if !self.percentile.is_finite() || !(50.0..=100.0).contains(&self.percentile) {
+            return Err(InvalidTrainConfig::Percentile(self.percentile));
+        }
+        if self.sample_period.is_zero() {
+            return Err(InvalidTrainConfig::SamplePeriod);
+        }
+        Ok(())
+    }
+
     fn validate(&self) {
-        assert!(!self.allocations.is_empty(), "allocation grid empty");
-        assert!(
-            self.allocations.windows(2).all(|w| w[0] < w[1]),
-            "allocation grid must be strictly ascending"
-        );
-        assert!(self.allocations[0] >= 1);
-        assert!(self.runs_per_allocation >= 1);
-        assert!(self.progress_bins >= 2);
-        assert!((50.0..=100.0).contains(&self.percentile));
-        assert!(!self.sample_period.is_zero());
+        if let Err(e) = self.check() {
+            panic!("invalid train config: {e}");
+        }
     }
 }
+
+/// Why a [`TrainConfig`] was rejected by [`TrainConfig::check`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InvalidTrainConfig {
+    /// The allocation grid is empty, starts below 1, or is not strictly
+    /// ascending.
+    Allocations,
+    /// `runs_per_allocation` must be `>= 1`.
+    Runs,
+    /// `progress_bins` must be `>= 2`.
+    Bins(usize),
+    /// `percentile` must be a finite value in `[50, 100]` (NaN is
+    /// rejected explicitly).
+    Percentile(f64),
+    /// `sample_period` must be positive.
+    SamplePeriod,
+}
+
+impl fmt::Display for InvalidTrainConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidTrainConfig::Allocations => {
+                write!(
+                    f,
+                    "allocation grid must be non-empty, >= 1 and strictly ascending"
+                )
+            }
+            InvalidTrainConfig::Runs => write!(f, "runs_per_allocation must be >= 1"),
+            InvalidTrainConfig::Bins(v) => write!(f, "progress_bins must be >= 2, got {v}"),
+            InvalidTrainConfig::Percentile(v) => {
+                write!(f, "percentile must be a finite value in [50, 100], got {v}")
+            }
+            InvalidTrainConfig::SamplePeriod => write!(f, "sample_period must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidTrainConfig {}
 
 /// A controller that applies a fixed allocation and records `(elapsed,
 /// f_s)` snapshots at every control tick — the instrumentation used to
@@ -158,9 +218,7 @@ impl CpaModel {
                 .map(|(ai, &alloc)| {
                     let spec = spec.clone();
                     let seeds = seeds.child_indexed("alloc", ai as u64);
-                    scope.spawn(move || {
-                        train_one_allocation(spec, indicator, alloc, cfg, seeds)
-                    })
+                    scope.spawn(move || train_one_allocation(spec, indicator, alloc, cfg, seeds))
                 })
                 .collect();
             for h in handles {
@@ -193,10 +251,7 @@ impl CpaModel {
 
     /// Total number of stored samples (diagnostics).
     pub fn sample_count(&self) -> usize {
-        self.cells
-            .iter()
-            .flat_map(|a| a.iter().map(Vec::len))
-            .sum()
+        self.cells.iter().flat_map(|a| a.iter().map(Vec::len)).sum()
     }
 
     fn bin_of(&self, p: f64) -> usize {
@@ -210,7 +265,10 @@ impl CpaModel {
         let cells = &self.cells[ai];
         // Search outward: prefer the queried bin, then neighbors.
         for d in 0..self.bins {
-            let candidates = [bin.checked_sub(d), bin.checked_add(d).filter(|&b| b < self.bins)];
+            let candidates = [
+                bin.checked_sub(d),
+                bin.checked_add(d).filter(|&b| b < self.bins),
+            ];
             for b in candidates.into_iter().flatten() {
                 if !cells[b].is_empty() {
                     return jockey_simrt::stats::percentile_sorted(&cells[b], percentile);
@@ -279,7 +337,11 @@ impl CpaModel {
         kv.set_f64("percentile", self.percentile);
         kv.set_f64_list(
             "allocations",
-            &self.allocations.iter().map(|&a| f64::from(a)).collect::<Vec<_>>(),
+            &self
+                .allocations
+                .iter()
+                .map(|&a| f64::from(a))
+                .collect::<Vec<_>>(),
         );
         for (ai, alloc_cells) in self.cells.iter().enumerate() {
             for (bin, cell) in alloc_cells.iter().enumerate() {
@@ -291,32 +353,40 @@ impl CpaModel {
         kv
     }
 
-    /// Deserializes a table written by [`CpaModel::to_kv`]. Returns
-    /// `None` on missing or malformed keys.
-    pub fn from_kv(kv: &jockey_simrt::table::KvStore) -> Option<CpaModel> {
-        let bins = kv.get_u64("bins")? as usize;
-        let percentile = kv.get_f64("percentile")?;
+    /// Deserializes a table written by [`CpaModel::to_kv`].
+    pub fn from_kv(kv: &jockey_simrt::table::KvStore) -> Result<CpaModel, ModelLoadError> {
+        let bins = kv
+            .get_u64("bins")
+            .ok_or(ModelLoadError::MissingKey("bins"))? as usize;
+        let percentile = kv
+            .get_f64("percentile")
+            .ok_or(ModelLoadError::MissingKey("percentile"))?;
         let allocations: Vec<u32> = kv
-            .get_f64_list("allocations")?
+            .get_f64_list("allocations")
+            .ok_or(ModelLoadError::MissingKey("allocations"))?
             .into_iter()
             .map(|a| a as u32)
             .collect();
         if bins == 0 || allocations.is_empty() {
-            return None;
+            return Err(ModelLoadError::EmptyModel);
+        }
+        if !percentile.is_finite() || !(0.0..=100.0).contains(&percentile) {
+            return Err(ModelLoadError::BadPercentile(percentile));
         }
         let mut cells = vec![vec![Vec::new(); bins]; allocations.len()];
         for key in kv.keys() {
             if let Some(rest) = key.strip_prefix("cell.") {
-                let (ai, bin) = rest.split_once('.')?;
-                let ai: usize = ai.parse().ok()?;
-                let bin: usize = bin.parse().ok()?;
+                let bad = || ModelLoadError::BadCell(key.to_string());
+                let (ai, bin) = rest.split_once('.').ok_or_else(bad)?;
+                let ai: usize = ai.parse().map_err(|_| bad())?;
+                let bin: usize = bin.parse().map_err(|_| bad())?;
                 if ai >= allocations.len() || bin >= bins {
-                    return None;
+                    return Err(bad());
                 }
-                cells[ai][bin] = kv.get_f64_list(key)?;
+                cells[ai][bin] = kv.get_f64_list(key).ok_or_else(bad)?;
             }
         }
-        Some(CpaModel {
+        Ok(CpaModel {
             allocations,
             bins,
             percentile,
@@ -324,6 +394,36 @@ impl CpaModel {
         })
     }
 }
+
+/// Why a serialized `C(p, a)` table failed to load
+/// ([`CpaModel::from_kv`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelLoadError {
+    /// A required key is missing or has the wrong type.
+    MissingKey(&'static str),
+    /// `bins` is zero or the allocation grid is empty.
+    EmptyModel,
+    /// The stored `percentile` is not a finite value in `[0, 100]`.
+    BadPercentile(f64),
+    /// A `cell.<alloc>.<bin>` key is malformed, out of range, or not a
+    /// float list.
+    BadCell(String),
+}
+
+impl fmt::Display for ModelLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelLoadError::MissingKey(k) => write!(f, "missing or mistyped key `{k}`"),
+            ModelLoadError::EmptyModel => write!(f, "model has no bins or no allocations"),
+            ModelLoadError::BadPercentile(v) => {
+                write!(f, "percentile must be a finite value in [0, 100], got {v}")
+            }
+            ModelLoadError::BadCell(k) => write!(f, "malformed cell key `{k}`"),
+        }
+    }
+}
+
+impl std::error::Error for ModelLoadError {}
 
 impl CompletionModel for CpaModel {
     fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
@@ -391,7 +491,9 @@ pub fn unconstrained_rel_windows(
     profile: &JobProfile,
     seed: u64,
 ) -> Vec<(f64, f64)> {
-    let tokens = u32::try_from(graph.total_tasks()).unwrap_or(u32::MAX).max(1);
+    let tokens = u32::try_from(graph.total_tasks())
+        .unwrap_or(u32::MAX)
+        .max(1);
     let spec = JobSpec::from_profile(graph.clone(), profile);
     let mut sim = ClusterSim::new(ClusterConfig::dedicated(tokens), seed);
     sim.add_job(spec, Box::new(jockey_cluster::FixedAllocation(tokens)));
@@ -507,8 +609,7 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (graph, profile) = fixture();
-        let ind =
-            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         let cfg = TrainConfig::fast(vec![2, 4]);
         let a = CpaModel::train(&graph, &profile, &ind, &cfg, 7);
         let b = CpaModel::train(&graph, &profile, &ind, &cfg, 7);
@@ -557,8 +658,7 @@ mod persistence_tests {
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 3);
         sim.add_job(spec, Box::new(FixedAllocation(4)));
         let profile = sim.run().remove(0).profile;
-        let ctx =
-            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         let model = CpaModel::train(&graph, &profile, &ctx, &TrainConfig::fast(vec![2, 4]), 1);
 
         let round = CpaModel::from_kv(&model.to_kv()).expect("round-trips");
@@ -574,17 +674,93 @@ mod persistence_tests {
 
     #[test]
     fn from_kv_rejects_malformed() {
+        let kv = jockey_simrt::table::KvStore::new();
+        assert_eq!(
+            CpaModel::from_kv(&kv).unwrap_err(),
+            ModelLoadError::MissingKey("bins")
+        );
+
         let mut kv = jockey_simrt::table::KvStore::new();
         kv.set_u64("bins", 0);
         kv.set_f64("percentile", 95.0);
         kv.set_f64_list("allocations", &[1.0]);
-        assert!(CpaModel::from_kv(&kv).is_none());
+        assert_eq!(
+            CpaModel::from_kv(&kv).unwrap_err(),
+            ModelLoadError::EmptyModel
+        );
+
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set_u64("bins", 10);
+        kv.set_f64("percentile", f64::NAN);
+        kv.set_f64_list("allocations", &[1.0]);
+        assert!(matches!(
+            CpaModel::from_kv(&kv),
+            Err(ModelLoadError::BadPercentile(v)) if v.is_nan()
+        ));
 
         let mut kv = jockey_simrt::table::KvStore::new();
         kv.set_u64("bins", 10);
         kv.set_f64("percentile", 95.0);
         kv.set_f64_list("allocations", &[1.0]);
         kv.set_f64_list("cell.5.0", &[1.0]); // Allocation index out of range.
-        assert!(CpaModel::from_kv(&kv).is_none());
+        assert_eq!(
+            CpaModel::from_kv(&kv).unwrap_err(),
+            ModelLoadError::BadCell("cell.5.0".into())
+        );
+
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set_u64("bins", 10);
+        kv.set_f64("percentile", 95.0);
+        kv.set_f64_list("allocations", &[1.0]);
+        kv.set_f64_list("cell.0.not-a-bin", &[1.0]);
+        assert!(matches!(
+            CpaModel::from_kv(&kv),
+            Err(ModelLoadError::BadCell(_))
+        ));
+    }
+
+    #[test]
+    fn train_config_check_rejects_bad_values() {
+        assert!(TrainConfig::default().check().is_ok());
+
+        let cfg = TrainConfig {
+            allocations: vec![],
+            ..TrainConfig::default()
+        };
+        assert_eq!(cfg.check(), Err(InvalidTrainConfig::Allocations));
+
+        let cfg = TrainConfig {
+            allocations: vec![4, 2],
+            ..TrainConfig::default()
+        };
+        assert_eq!(cfg.check(), Err(InvalidTrainConfig::Allocations));
+
+        let cfg = TrainConfig {
+            runs_per_allocation: 0,
+            ..TrainConfig::default()
+        };
+        assert_eq!(cfg.check(), Err(InvalidTrainConfig::Runs));
+
+        let cfg = TrainConfig {
+            progress_bins: 1,
+            ..TrainConfig::default()
+        };
+        assert_eq!(cfg.check(), Err(InvalidTrainConfig::Bins(1)));
+
+        // NaN must not sneak through the percentile range check.
+        let cfg = TrainConfig {
+            percentile: f64::NAN,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(
+            cfg.check(),
+            Err(InvalidTrainConfig::Percentile(v)) if v.is_nan()
+        ));
+
+        let cfg = TrainConfig {
+            sample_period: SimDuration::ZERO,
+            ..TrainConfig::default()
+        };
+        assert_eq!(cfg.check(), Err(InvalidTrainConfig::SamplePeriod));
     }
 }

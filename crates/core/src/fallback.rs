@@ -212,7 +212,15 @@ mod tests {
                 }
             }
         }
-        let mut g = FallbackGuard::new(Alternating { pred: 0.0, up: false }, 7, 1.5, 3);
+        let mut g = FallbackGuard::new(
+            Alternating {
+                pred: 0.0,
+                up: false,
+            },
+            7,
+            1.5,
+            3,
+        );
         for minute in 0..40 {
             g.tick(&status(minute));
         }
@@ -262,7 +270,10 @@ mod release_tests {
     #[test]
     fn healthy_releases_do_not_trip_the_guard() {
         let mut g = FallbackGuard::new(
-            Releasing { guarantee: 200, pred: 1_000.0 },
+            Releasing {
+                guarantee: 200,
+                pred: 1_000.0,
+            },
             7,
             1.5,
             3,

@@ -51,12 +51,14 @@ pub mod progress;
 pub mod recal;
 pub mod utility;
 
-pub use control::{ControlParams, JockeyController};
+pub use control::{
+    ControlParams, ControlTick, ControlTrace, InvalidControlParams, JockeyController,
+};
+pub use cpa::{CpaModel, InvalidTrainConfig, ModelLoadError, TrainConfig};
 pub use fallback::FallbackGuard;
-pub use recal::RecalibratingController;
-pub use cpa::{CpaModel, TrainConfig};
 pub use oracle::oracle_allocation;
 pub use policy::Policy;
 pub use predict::{AmdahlModel, CompletionModel};
 pub use progress::{IndicatorContext, ProgressIndicator};
+pub use recal::RecalibratingController;
 pub use utility::UtilityFunction;

@@ -27,15 +27,9 @@ mod tests {
     #[test]
     fn matches_formula() {
         // 100 minutes of work, 50-minute deadline: 2 tokens.
-        assert_eq!(
-            oracle_allocation(6_000.0, SimDuration::from_mins(50)),
-            2
-        );
+        assert_eq!(oracle_allocation(6_000.0, SimDuration::from_mins(50)), 2);
         // Non-integral ratios round up.
-        assert_eq!(
-            oracle_allocation(6_100.0, SimDuration::from_mins(50)),
-            3
-        );
+        assert_eq!(oracle_allocation(6_100.0, SimDuration::from_mins(50)), 3);
     }
 
     #[test]

@@ -111,9 +111,7 @@ impl JockeySetup {
         if deadline.as_secs_f64() < cp {
             return false;
         }
-        self.cpa
-            .remaining_percentile(0.0, self.max_tokens, 50.0)
-            <= deadline.as_secs_f64()
+        self.cpa.remaining_percentile(0.0, self.max_tokens, 50.0) <= deadline.as_secs_f64()
     }
 
     /// A fresh indicator context of the configured kind (contexts are
@@ -223,8 +221,11 @@ mod tests {
         let s = setup();
         for policy in Policy::ALL {
             let spec = JobSpec::from_profile(s.graph.clone(), &s.profile);
-            let controller =
-                s.controller(policy, SimDuration::from_secs(120), ControlParams::default());
+            let controller = s.controller(
+                policy,
+                SimDuration::from_secs(120),
+                ControlParams::default(),
+            );
             let mut cfg = ClusterConfig::dedicated(8);
             cfg.control_period = jockey_simrt::time::SimDuration::from_secs(15);
             let mut sim = ClusterSim::new(cfg, 9);

@@ -209,8 +209,7 @@ mod tests {
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
         let profile = sim.run().remove(0).profile;
-        let ctx =
-            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         let model = Arc::new(CpaModel::train(
             &graph,
             &profile,
@@ -272,8 +271,7 @@ mod tests {
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec.clone(), Box::new(FixedAllocation(6)));
         let profile = sim.run().remove(0).profile;
-        let ctx =
-            IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         let model = Arc::new(CpaModel::train(
             &graph,
             &profile,

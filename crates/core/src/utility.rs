@@ -33,7 +33,10 @@ impl UtilityFunction {
             knots.windows(2).all(|w| w[0].0 < w[1].0),
             "knot times must be strictly increasing"
         );
-        UtilityFunction { knots, deadline: None }
+        UtilityFunction {
+            knots,
+            deadline: None,
+        }
     }
 
     /// The paper's standard deadline utility (§5.1): for deadline `d`,

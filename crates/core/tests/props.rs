@@ -3,18 +3,23 @@
 
 use std::sync::Arc;
 
+use jockey_cluster::{ControlDecision, JobController, JobStatus};
 use jockey_core::control::{ControlParams, JockeyController};
 use jockey_core::predict::CompletionModel;
 use jockey_core::progress::{IndicatorContext, ProgressIndicator};
 use jockey_core::utility::UtilityFunction;
-use jockey_cluster::{ControlDecision, JobController, JobStatus};
 use jockey_jobgraph::graph::{EdgeKind, JobGraph, JobGraphBuilder, StageId};
 use jockey_jobgraph::profile::ProfileBuilder;
 use jockey_simrt::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 /// A simple two-stage fixture with parameterized weights.
-fn fixture(map_tasks: u32, reduce_tasks: u32, map_secs: f64, reduce_secs: f64) -> (JobGraph, jockey_jobgraph::profile::JobProfile) {
+fn fixture(
+    map_tasks: u32,
+    reduce_tasks: u32,
+    map_secs: f64,
+    reduce_secs: f64,
+) -> (JobGraph, jockey_jobgraph::profile::JobProfile) {
     let mut b = JobGraphBuilder::new("prop");
     let m = b.stage("map", map_tasks);
     let r = b.stage("reduce", reduce_tasks);

@@ -2,5 +2,9 @@
 fn main() {
     let env = jockey_experiments::bin_env();
     let t = jockey_experiments::figures::appendix::run(&env);
-    jockey_experiments::report::emit("appendix_parallelism", "Appendix: parallelism profiles (3.3)", &t);
+    jockey_experiments::report::emit(
+        "appendix_parallelism",
+        "Appendix: parallelism profiles (3.3)",
+        &t,
+    );
 }

@@ -2,5 +2,9 @@
 fn main() {
     let env = jockey_experiments::bin_env();
     let t = jockey_experiments::figures::fig13::run(&env);
-    jockey_experiments::report::emit("fig13", "Fig. 13: sensitivity of the hysteresis parameter", &t);
+    jockey_experiments::report::emit(
+        "fig13",
+        "Fig. 13: sensitivity of the hysteresis parameter",
+        &t,
+    );
 }

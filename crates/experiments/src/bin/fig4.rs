@@ -2,5 +2,9 @@
 fn main() {
     let env = jockey_experiments::bin_env();
     let t = jockey_experiments::figures::fig4::run(&env);
-    jockey_experiments::report::emit("fig4", "Fig. 4: fraction of deadlines missed vs. allocation above oracle", &t);
+    jockey_experiments::report::emit(
+        "fig4",
+        "Fig. 4: fraction of deadlines missed vs. allocation above oracle",
+        &t,
+    );
 }

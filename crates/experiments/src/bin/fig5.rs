@@ -2,5 +2,9 @@
 fn main() {
     let env = jockey_experiments::bin_env();
     let t = jockey_experiments::figures::fig5::run(&env);
-    jockey_experiments::report::emit("fig5", "Fig. 5: CDFs of completion time relative to deadline", &t);
+    jockey_experiments::report::emit(
+        "fig5",
+        "Fig. 5: CDFs of completion time relative to deadline",
+        &t,
+    );
 }

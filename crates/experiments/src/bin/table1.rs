@@ -2,5 +2,9 @@
 fn main() {
     let env = jockey_experiments::bin_env();
     let t = jockey_experiments::figures::table1::run(&env);
-    jockey_experiments::report::emit("table1", "Table 1: CoV of completion time across runs of recurring jobs", &t);
+    jockey_experiments::report::emit(
+        "table1",
+        "Table 1: CoV of completion time across runs of recurring jobs",
+        &t,
+    );
 }

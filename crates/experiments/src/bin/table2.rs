@@ -2,5 +2,9 @@
 fn main() {
     let env = jockey_experiments::bin_env();
     let t = jockey_experiments::figures::table2::run(&env);
-    jockey_experiments::report::emit("table2", "Table 2: statistics of evaluation jobs, measured (target)", &t);
+    jockey_experiments::report::emit(
+        "table2",
+        "Table 2: statistics of evaluation jobs, measured (target)",
+        &t,
+    );
 }

@@ -1,7 +1,6 @@
 //! The evaluation environment: jobs, training artifacts, and the
 //! shared-cluster configuration used by every §5 experiment.
 
-
 use jockey_cluster::{BackgroundConfig, ClusterConfig, FailureConfig};
 use jockey_core::cpa::TrainConfig;
 use jockey_core::policy::JockeySetup;
@@ -107,7 +106,10 @@ impl Env {
         let train_cfg = scale.train_config();
         let gens: Vec<(GeneratedJob, bool)> = match scale {
             Scale::Smoke => smoke_jobs(seed).into_iter().map(|g| (g, true)).collect(),
-            Scale::Quick => jobs::paper_jobs(seed).into_iter().map(|g| (g, true)).collect(),
+            Scale::Quick => jobs::paper_jobs(seed)
+                .into_iter()
+                .map(|g| (g, true))
+                .collect(),
             Scale::Full => {
                 let mut v: Vec<(GeneratedJob, bool)> = jobs::paper_jobs(seed)
                     .into_iter()
@@ -122,28 +124,30 @@ impl Env {
             }
         };
 
-        let jobs = parallel_map(gens.into_iter().enumerate().collect(), |(i, (gen, detailed))| {
-            let profile = training_profile(&gen.spec, TRAINING_TOKENS, seed ^ ((i as u64) << 8));
-            let setup = JockeySetup::train(
-                gen.graph.clone(),
-                profile.clone(),
-                ProgressIndicator::TotalWorkWithQ,
-                &train_cfg,
-                seed ^ train_seed(i),
-            );
-            let p90_at_max = setup
-                .cpa
-                .remaining_percentile(0.0, setup.max_tokens, 90.0);
-            let deadline_mins = (p90_at_max * DEADLINE_FACTOR / 60.0).ceil().max(5.0);
-            let deadline = SimDuration::from_mins(deadline_mins as u64);
-            EvalJob {
-                gen,
-                profile,
-                setup,
-                deadline,
-                detailed,
-            }
-        });
+        let jobs = parallel_map(
+            gens.into_iter().enumerate().collect(),
+            |(i, (gen, detailed))| {
+                let profile =
+                    training_profile(&gen.spec, TRAINING_TOKENS, seed ^ ((i as u64) << 8));
+                let setup = JockeySetup::train(
+                    gen.graph.clone(),
+                    profile.clone(),
+                    ProgressIndicator::TotalWorkWithQ,
+                    &train_cfg,
+                    seed ^ train_seed(i),
+                );
+                let p90_at_max = setup.cpa.remaining_percentile(0.0, setup.max_tokens, 90.0);
+                let deadline_mins = (p90_at_max * DEADLINE_FACTOR / 60.0).ceil().max(5.0);
+                let deadline = SimDuration::from_mins(deadline_mins as u64);
+                EvalJob {
+                    gen,
+                    profile,
+                    setup,
+                    deadline,
+                    detailed,
+                }
+            },
+        );
 
         Env { scale, seed, jobs }
     }
@@ -178,8 +182,10 @@ impl Env {
                 slowdown_slope: 1.5,
             },
             failures: FailureConfig {
+                // Per-machine hazard; the 150-token / 50-machine slice
+                // aggregates to about one machine failure per hour.
                 task_failure_prob: None,
-                machine_failure_rate_per_hour: 1.0,
+                machine_failure_rate_per_hour: 1.0 / 50.0,
                 tasks_per_machine: 3,
                 data_loss_prob: 0.5,
             },

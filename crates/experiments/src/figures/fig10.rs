@@ -2,9 +2,17 @@
 //! average ΔT (oscillation of the completion estimate) and longest
 //! constant interval (how long the indicator "gets stuck"), both
 //! relative to job duration.
+//!
+//! §5.4 contrasts the *indicators*, not separate executions: every
+//! indicator is evaluated over the **same** runs. We therefore run one
+//! simulation per (job, repetition) and replay the recorded per-stage
+//! completion fractions through each indicator offline, rather than
+//! simulating once per indicator (which would confound indicator
+//! behaviour with run-to-run noise).
 
 use jockey_core::policy::Policy;
 use jockey_core::progress::ProgressIndicator;
+use jockey_simrt::series::TimeSeries;
 use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 use jockey_simrt::time::SimTime;
@@ -13,49 +21,79 @@ use crate::env::Env;
 use crate::par::parallel_map;
 use crate::slo::{run_slo, SloConfig};
 
-/// Runs every indicator over the detailed jobs and aggregates the two
-/// §5.4 metrics.
+/// Runs the detailed jobs once per repetition and aggregates the two
+/// §5.4 metrics for every indicator over those shared executions.
 pub fn run(env: &Env) -> Table {
     let detailed = env.detailed();
     let cluster = env.experiment_cluster();
 
     let mut items = Vec::new();
-    for (ki, kind) in ProgressIndicator::ALL.into_iter().enumerate() {
-        for (ji, _) in detailed.iter().enumerate() {
-            for rep in 0..env.scale.repeats() {
-                items.push((kind, ki, ji, rep));
-            }
+    for (ji, _) in detailed.iter().enumerate() {
+        for rep in 0..env.scale.repeats() {
+            items.push((ji, rep));
         }
     }
-    let results = parallel_map(items, |(kind, ki, ji, rep)| {
+    // Each result: per-indicator (ΔT, stuck) pairs for one execution.
+    let results = parallel_map(items, |(ji, rep)| {
         let job = detailed[ji];
-        let mut cfg = SloConfig::standard(
+        let cfg = SloConfig::standard(
             Policy::Jockey,
             job.deadline,
             cluster.clone(),
-            env.seed ^ ((ki as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1010,
+            env.seed ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1010,
         );
-        cfg.indicator = Some(kind);
         let out = run_slo(job, &cfg);
-        let dur = out.duration.as_secs_f64();
+        let dur = out.duration.as_secs_f64().max(1e-9);
         let end = SimTime::ZERO + out.duration;
-        // ΔT: mean |T_t − T_{t+1}| of the completion estimate,
-        // relative to job duration.
-        let delta_t = out.trace.predicted_completion.mean_abs_delta(dur);
-        // Longest stretch the *indicator value* stayed constant.
-        let stuck = out.trace.progress.longest_constant_interval(end);
-        (kind, delta_t, stuck)
+        let fractions = &out.trace.stage_fractions;
+        let ticks = fractions.iter().map(TimeSeries::len).min().unwrap_or(0);
+
+        ProgressIndicator::ALL.map(|kind| {
+            let ctx = job.setup.indicator_context_of(kind);
+            // Replay the run: indicator value and completion estimate
+            // at every recorded control decision.
+            let mut progress = TimeSeries::new();
+            let mut predicted = TimeSeries::new();
+            for i in 0..ticks {
+                let (at, _) = fractions[0].points()[i];
+                let fs: Vec<f64> = fractions.iter().map(|s| s.points()[i].1).collect();
+                let p = ctx.progress(&fs);
+                // The completion estimate uses the run's *applied*
+                // allocation at that instant, identical across
+                // indicators, so ΔT differences come from `p` alone.
+                let alloc = out
+                    .trace
+                    .guarantee
+                    .value_at(at)
+                    .map_or(1, |g| (g.round() as u32).max(1));
+                let t = at.as_secs_f64() + job.setup.cpa.remaining(p, alloc);
+                progress.push(at, p);
+                predicted.push(at, t);
+            }
+            // ΔT: mean |T_t − T_{t+1}| of the completion estimate,
+            // relative to job duration.
+            let delta_t = predicted.mean_abs_delta(dur);
+            // Longest stretch the indicator value stayed constant.
+            let stuck = progress.longest_constant_interval(end);
+            (kind, delta_t, stuck)
+        })
     });
 
-    let mut t = Table::new(["indicator", "avg_delta_T_pct", "longest_constant_interval_pct"]);
+    let mut t = Table::new([
+        "indicator",
+        "avg_delta_T_pct",
+        "longest_constant_interval_pct",
+    ]);
     for kind in ProgressIndicator::ALL {
         let deltas: Vec<f64> = results
             .iter()
+            .flatten()
             .filter(|(k, _, _)| *k == kind)
             .map(|&(_, d, _)| d)
             .collect();
         let stucks: Vec<f64> = results
             .iter()
+            .flatten()
             .filter(|(k, _, _)| *k == kind)
             .map(|&(_, _, s)| s)
             .collect();
@@ -90,7 +128,8 @@ mod tests {
         let work = stuck_of("totalworkWithQ");
         let minstage = stuck_of("minstage\t");
         // §5.4's headline: minstage-style indicators stall much longer
-        // than work-based ones.
+        // than work-based ones. Both metrics come from the *same*
+        // executions, so the ordering is structural, not noise.
         assert!(
             minstage >= work,
             "minstage {minstage} should be >= totalworkWithQ {work}"

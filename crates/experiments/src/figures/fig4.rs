@@ -42,8 +42,15 @@ pub fn table(outcomes: &[SloOutcome]) -> Table {
 /// to the aggregate so calibration changes can be traced to runs).
 pub fn misses_table(outcomes: &[SloOutcome]) -> Table {
     let mut t = Table::new([
-        "policy", "job", "deadline_min", "rel_deadline", "completed",
-        "oracle", "median_alloc", "max_alloc", "last_alloc",
+        "policy",
+        "job",
+        "deadline_min",
+        "rel_deadline",
+        "completed",
+        "oracle",
+        "median_alloc",
+        "max_alloc",
+        "last_alloc",
     ]);
     for o in outcomes.iter().filter(|o| !o.met) {
         t.row([
@@ -64,7 +71,11 @@ pub fn misses_table(outcomes: &[SloOutcome]) -> Table {
 /// Runs the sweep and aggregates (standalone entry point).
 pub fn run(env: &crate::env::Env) -> Table {
     let outcomes = sweep::run(env);
-    crate::report::emit("fig4_misses", "Fig. 4 diagnostics: missed runs", &misses_table(&outcomes));
+    crate::report::emit(
+        "fig4_misses",
+        "Fig. 4 diagnostics: missed runs",
+        &misses_table(&outcomes),
+    );
     table(&outcomes)
 }
 

@@ -119,12 +119,20 @@ mod tests {
             .map(|l| l.split('\t').map(str::to_string).collect())
             .collect();
         // Row order: 0.5, 2, 3. Parse "NN%" change column.
-        let change = |i: usize| -> f64 {
-            rows[i][3].trim_end_matches('%').parse().unwrap()
-        };
+        let change = |i: usize| -> f64 { rows[i][3].trim_end_matches('%').parse().unwrap() };
         // Halving increases allocation; tripling releases at least as
         // much as doubling.
-        assert!(change(0) > change(1), "halve {} vs double {}", change(0), change(1));
-        assert!(change(2) <= change(1) + 15.0, "triple {} vs double {}", change(2), change(1));
+        assert!(
+            change(0) > change(1),
+            "halve {} vs double {}",
+            change(0),
+            change(1)
+        );
+        assert!(
+            change(2) <= change(1) + 15.0,
+            "triple {} vs double {}",
+            change(2),
+            change(1)
+        );
     }
 }

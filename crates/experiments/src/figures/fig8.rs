@@ -107,6 +107,9 @@ mod tests {
         }
         // Across the grid the simulator should not be dramatically
         // worse than Amdahl (the paper finds it better on average).
-        assert!(sim_total <= amdahl_total * 1.5, "sim {sim_total} vs amdahl {amdahl_total}");
+        assert!(
+            sim_total <= amdahl_total * 1.5,
+            "sim {sim_total} vs amdahl {amdahl_total}"
+        );
     }
 }

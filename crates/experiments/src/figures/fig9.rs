@@ -25,7 +25,10 @@ pub fn run(env: &Env) -> Table {
         "progress_pct",
         "estimated_completion_min",
     ]);
-    for kind in [ProgressIndicator::TotalWorkWithQ, ProgressIndicator::CriticalPath] {
+    for kind in [
+        ProgressIndicator::TotalWorkWithQ,
+        ProgressIndicator::CriticalPath,
+    ] {
         let mut cfg = SloConfig::standard(
             Policy::Jockey,
             job.deadline,

@@ -66,12 +66,15 @@ pub fn run(env: &Env) -> Table {
         let job = &env.jobs[ji];
         // Half the oracle allocation: the paper's users under-sized
         // quotas and leaned on spare capacity (§3.2).
-        let guarantee =
-            (oracle_allocation(job.profile.total_work(), job.deadline) / 2).max(1);
+        let guarantee = (oracle_allocation(job.profile.total_work(), job.deadline) / 2).max(1);
         let mut cfg = SloConfig::standard(
             Policy::JockeyNoAdapt,
             job.deadline,
-            if spare { spare_cluster.clone() } else { guaranteed_only.clone() },
+            if spare {
+                spare_cluster.clone()
+            } else {
+                guaranteed_only.clone()
+            },
             env.seed ^ ((ji as u64) << 24) ^ ((ri as u64) << 4) ^ u64::from(spare) ^ 0xc0,
         );
         cfg.force_allocation = Some(guarantee);
@@ -136,7 +139,11 @@ pub fn run(env: &Env) -> Table {
         ]);
     };
     emit_row(&mut t, "CoV across recurring jobs", &cov_all);
-    emit_row(&mut t, "CoV across runs with inputs within 10%", &cov_similar);
+    emit_row(
+        &mut t,
+        "CoV across runs with inputs within 10%",
+        &cov_similar,
+    );
     emit_row(
         &mut t,
         "CoV with guaranteed capacity only (2.4 ext)",
@@ -156,13 +163,20 @@ mod tests {
         let t = run(&env);
         assert_eq!(t.len(), 3);
         let tsv = t.to_tsv();
-        let rows: Vec<Vec<&str>> = tsv.lines().skip(1).map(|l| l.split('\t').collect()).collect();
+        let rows: Vec<Vec<&str>> = tsv
+            .lines()
+            .skip(1)
+            .map(|l| l.split('\t').collect())
+            .collect();
         let all_p50: f64 = rows[0][2].parse().unwrap();
         let sim_p50: f64 = rows[1][2].parse().unwrap();
         assert!(all_p50 > 0.0, "no variance measured");
         // Same-input runs should vary no more than all runs (they
         // remove the input-size component of variance).
-        assert!(sim_p50 <= all_p50 * 1.5, "similar {sim_p50} vs all {all_p50}");
+        assert!(
+            sim_p50 <= all_p50 * 1.5,
+            "similar {sim_p50} vs all {all_p50}"
+        );
     }
 
     #[test]
@@ -171,7 +185,11 @@ mod tests {
         let env = Env::build(Scale::Smoke, 7);
         let t = run(&env);
         let tsv = t.to_tsv();
-        let rows: Vec<Vec<&str>> = tsv.lines().skip(1).map(|l| l.split('\t').collect()).collect();
+        let rows: Vec<Vec<&str>> = tsv
+            .lines()
+            .skip(1)
+            .map(|l| l.split('\t').collect())
+            .collect();
         let all_p50: f64 = rows[0][2].parse().unwrap();
         let guar_p50: f64 = rows[2][2].parse().unwrap();
         assert!(

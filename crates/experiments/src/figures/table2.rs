@@ -48,11 +48,7 @@ pub fn run(env: &Env) -> Table {
         fmt(j.profile.total_data_gb, j.gen.targets.data_gb)
     });
     row("number of stages", &|j| {
-        format!(
-            "{} ({})",
-            j.gen.graph.num_stages(),
-            j.gen.targets.stages
-        )
+        format!("{} ({})", j.gen.graph.num_stages(), j.gen.targets.stages)
     });
     row("number of barrier stages", &|j| {
         format!(

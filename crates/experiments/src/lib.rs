@@ -38,7 +38,9 @@ pub fn bin_env() -> Env {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    eprintln!("[jockey] building environment: scale={scale:?} seed={seed} (training C(p,a) models...)");
+    eprintln!(
+        "[jockey] building environment: scale={scale:?} seed={seed} (training C(p,a) models...)"
+    );
     let start = std::time::Instant::now();
     let env = Env::build(scale, seed);
     eprintln!(

@@ -158,32 +158,33 @@ pub fn run_slo(job: &EvalJob, cfg: &SloConfig) -> SloOutcome {
     );
 
     let indicator = cfg.indicator.unwrap_or(job.setup.indicator);
-    let controller: Box<dyn jockey_cluster::JobController> = match (cfg.force_allocation, cfg.extension) {
-        (Some(tokens), _) => Box::new(jockey_cluster::FixedAllocation(tokens)),
-        (None, Some(Extension::Recalibrating)) => {
-            Box::new(jockey_core::recal::RecalibratingController::new(
-                job.setup.cpa.clone(),
-                job.setup.indicator_context_of(indicator),
-                jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
-                cfg.params,
-            ))
-        }
-        (None, Some(Extension::FallbackGuard { fair_share })) => {
-            let inner = jockey_core::control::JockeyController::new(
-                job.setup.cpa.clone(),
-                job.setup.indicator_context_of(indicator),
-                jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
-                cfg.params,
-            );
-            Box::new(jockey_core::fallback::FallbackGuard::new(inner, fair_share, 1.5, 3))
-        }
-        (None, None) => job.setup.controller_with_indicator(
-            cfg.policy,
-            cfg.deadline,
-            cfg.params,
-            indicator,
-        ),
-    };
+    let controller: Box<dyn jockey_cluster::JobController> =
+        match (cfg.force_allocation, cfg.extension) {
+            (Some(tokens), _) => Box::new(jockey_cluster::FixedAllocation(tokens)),
+            (None, Some(Extension::Recalibrating)) => {
+                Box::new(jockey_core::recal::RecalibratingController::new(
+                    job.setup.cpa.clone(),
+                    job.setup.indicator_context_of(indicator),
+                    jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
+                    cfg.params,
+                ))
+            }
+            (None, Some(Extension::FallbackGuard { fair_share })) => {
+                let inner = jockey_core::control::JockeyController::new(
+                    job.setup.cpa.clone(),
+                    job.setup.indicator_context_of(indicator),
+                    jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
+                    cfg.params,
+                );
+                Box::new(jockey_core::fallback::FallbackGuard::new(
+                    inner, fair_share, 1.5, 3,
+                ))
+            }
+            (None, None) => {
+                job.setup
+                    .controller_with_indicator(cfg.policy, cfg.deadline, cfg.params, indicator)
+            }
+        };
 
     let mut cluster = cfg.cluster.clone();
     cluster.control_period = cfg.control_period;
@@ -198,9 +199,9 @@ pub fn run_slo(job: &EvalJob, cfg: &SloConfig) -> SloOutcome {
 
     let completed = result.completed_at.is_some();
     // Incomplete runs are censored at the simulation horizon.
-    let end = result.completed_at.unwrap_or(
-        result.started_at + cfg.cluster.max_sim_time.saturating_since(SimTime::ZERO),
-    );
+    let end = result
+        .completed_at
+        .unwrap_or(result.started_at + cfg.cluster.max_sim_time.saturating_since(SimTime::ZERO));
     let duration = end.saturating_since(result.started_at);
     let rel = duration.as_secs_f64() / deadline.as_secs_f64();
     let oracle = oracle_allocation(result.work_done_secs, deadline);
@@ -242,12 +243,7 @@ mod tests {
     fn jockey_meets_smoke_deadlines() {
         let env = env();
         let job = &env.jobs[0];
-        let cfg = SloConfig::standard(
-            Policy::Jockey,
-            job.deadline,
-            env.experiment_cluster(),
-            1,
-        );
+        let cfg = SloConfig::standard(Policy::Jockey, job.deadline, env.experiment_cluster(), 1);
         let out = run_slo(job, &cfg);
         assert!(out.completed, "job did not complete");
         assert!(out.met, "rel={:.2}", out.rel_deadline);
@@ -299,12 +295,8 @@ mod tests {
     fn deadline_change_is_reported() {
         let env = env();
         let job = &env.jobs[0];
-        let mut cfg = SloConfig::standard(
-            Policy::Jockey,
-            job.deadline,
-            env.experiment_cluster(),
-            4,
-        );
+        let mut cfg =
+            SloConfig::standard(Policy::Jockey, job.deadline, env.experiment_cluster(), 4);
         let new_deadline = SimDuration::from_mins(job.deadline.as_minutes_f64() as u64 * 2);
         cfg.deadline_change = Some((SimTime::from_mins(2), new_deadline));
         let out = run_slo(job, &cfg);

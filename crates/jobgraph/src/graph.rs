@@ -405,10 +405,7 @@ impl JobGraph {
 
     /// Looks up a stage id by name (first match).
     pub fn stage_by_name(&self, name: &str) -> Option<StageId> {
-        self.stages
-            .iter()
-            .position(|s| s.name == name)
-            .map(StageId)
+        self.stages.iter().position(|s| s.name == name).map(StageId)
     }
 }
 
@@ -485,7 +482,11 @@ mod tests {
         b.edge(a, c, EdgeKind::OneToOne);
         assert!(matches!(
             b.build().unwrap_err(),
-            GraphError::OneToOneMismatch { from_tasks: 3, to_tasks: 4, .. }
+            GraphError::OneToOneMismatch {
+                from_tasks: 3,
+                to_tasks: 4,
+                ..
+            }
         ));
     }
 
@@ -498,24 +499,36 @@ mod tests {
 
         let mut b = JobGraphBuilder::new("z");
         b.stage("a", 0);
-        assert!(matches!(b.build().unwrap_err(), GraphError::EmptyStage { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::EmptyStage { .. }
+        ));
 
         let mut b = JobGraphBuilder::new("dangling");
         let a = b.stage("a", 1);
         b.edge(a, StageId(7), EdgeKind::AllToAll);
-        assert!(matches!(b.build().unwrap_err(), GraphError::UnknownStage { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::UnknownStage { .. }
+        ));
 
         let mut b = JobGraphBuilder::new("loop");
         let a = b.stage("a", 1);
         b.edge(a, a, EdgeKind::AllToAll);
-        assert!(matches!(b.build().unwrap_err(), GraphError::SelfLoop { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::SelfLoop { .. }
+        ));
 
         let mut b = JobGraphBuilder::new("dup");
         let a = b.stage("a", 1);
         let c = b.stage("b", 1);
         b.edge(a, c, EdgeKind::AllToAll);
         b.edge(a, c, EdgeKind::AllToAll);
-        assert!(matches!(b.build().unwrap_err(), GraphError::DuplicateEdge { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateEdge { .. }
+        ));
     }
 
     #[test]

@@ -129,7 +129,11 @@ impl JobProfile {
     ///
     /// Panics if `graph` has a different stage count than this profile.
     pub fn longest_paths(&self, graph: &JobGraph) -> Vec<f64> {
-        assert_eq!(graph.num_stages(), self.stages.len(), "graph/profile mismatch");
+        assert_eq!(
+            graph.num_stages(),
+            self.stages.len(),
+            "graph/profile mismatch"
+        );
         graph.longest_path_to_end(&self.max_runtimes())
     }
 

@@ -85,10 +85,13 @@ impl<'g> TaskDeps<'g> {
         mut task_done: impl FnMut(TaskId) -> bool,
     ) -> bool {
         assert!(stage_complete.len() >= self.graph.num_stages());
-        self.graph.parents(task.stage).iter().all(|&(p, kind)| match kind {
-            EdgeKind::AllToAll => stage_complete[p.index()] == self.graph.tasks_in(p),
-            EdgeKind::OneToOne => task_done(TaskId::new(p, task.index)),
-        })
+        self.graph
+            .parents(task.stage)
+            .iter()
+            .all(|&(p, kind)| match kind {
+                EdgeKind::AllToAll => stage_complete[p.index()] == self.graph.tasks_in(p),
+                EdgeKind::OneToOne => task_done(TaskId::new(p, task.index)),
+            })
     }
 
     /// Tasks that *may* have become ready because `completed` finished.
@@ -106,9 +109,7 @@ impl<'g> TaskDeps<'g> {
                 EdgeKind::OneToOne => out.push(TaskId::new(child, completed.index)),
                 EdgeKind::AllToAll => {
                     if stage_now_complete {
-                        out.extend(
-                            (0..self.graph.tasks_in(child)).map(|i| TaskId::new(child, i)),
-                        );
+                        out.extend((0..self.graph.tasks_in(child)).map(|i| TaskId::new(child, i)));
                     }
                 }
             }
@@ -128,9 +129,9 @@ impl<'g> TaskDeps<'g> {
     /// Iterates over every task of the job in stage order.
     pub fn all_tasks(&self) -> impl Iterator<Item = TaskId> + 'g {
         let graph = self.graph;
-        graph.stage_ids().flat_map(move |s| {
-            (0..graph.tasks_in(s)).map(move |i| TaskId::new(s, i))
-        })
+        graph
+            .stage_ids()
+            .flat_map(move |s| (0..graph.tasks_in(s)).map(move |i| TaskId::new(s, i)))
     }
 }
 
@@ -168,7 +169,10 @@ mod tests {
         let done_set = [TaskId::new(StageId(0), 1)];
         let counts = [1, 0, 0];
         assert!(deps.is_ready(b1, &counts, |t| done_set.contains(&t)));
-        assert!(!deps.is_ready(TaskId::new(StageId(1), 0), &counts, |t| done_set.contains(&t)));
+        assert!(
+            !deps.is_ready(TaskId::new(StageId(1), 0), &counts, |t| done_set
+                .contains(&t))
+        );
     }
 
     #[test]

@@ -453,7 +453,10 @@ mod tests {
         assert!(matches!(script.statements[2], Statement::Union { .. }));
         assert!(matches!(
             script.statements[3],
-            Statement::Output { mode: OutputMode::Single, .. }
+            Statement::Output {
+                mode: OutputMode::Single,
+                ..
+            }
         ));
     }
 }

@@ -127,10 +127,10 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
     let mut datasets: HashMap<String, (usize, u32)> = HashMap::new();
 
     let add_edge = |edges: &mut Vec<(usize, usize, EdgeKind)>,
-                        edge_set: &mut HashSet<(usize, usize)>,
-                        from: usize,
-                        to: usize,
-                        kind: EdgeKind| {
+                    edge_set: &mut HashSet<(usize, usize)>,
+                    from: usize,
+                    to: usize,
+                    kind: EdgeKind| {
         if edge_set.insert((from, to)) {
             edges.push((from, to, kind));
         }
@@ -140,7 +140,9 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
         // Reject rebinding.
         if let Some(name) = stmt.binds() {
             if datasets.contains_key(name) {
-                return Err(CompileError::DuplicateName { name: name.to_string() });
+                return Err(CompileError::DuplicateName {
+                    name: name.to_string(),
+                });
             }
         }
         // Resolve inputs.
@@ -150,11 +152,18 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
             datasets
                 .get(name)
                 .copied()
-                .ok_or_else(|| CompileError::UnknownDataset { name: name.to_string() })
+                .ok_or_else(|| CompileError::UnknownDataset {
+                    name: name.to_string(),
+                })
         };
 
         match stmt {
-            Statement::Extract { name, partitions, cost, .. } => {
+            Statement::Extract {
+                name,
+                partitions,
+                cost,
+                ..
+            } => {
                 if *partitions == 0 {
                     return Err(CompileError::ZeroPartitions { name: name.clone() });
                 }
@@ -165,7 +174,9 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                 });
                 datasets.insert(name.clone(), (stages.len() - 1, *partitions));
             }
-            Statement::Select { name, src, cost, .. }
+            Statement::Select {
+                name, src, cost, ..
+            }
             | Statement::Project { name, src, cost } => {
                 let (src_stage, parts) = resolve(&datasets, src)?;
                 if consumers.get(src.as_str()).copied().unwrap_or(0) == 1 {
@@ -185,7 +196,13 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                     datasets.insert(name.clone(), (id, parts));
                 }
             }
-            Statement::Reduce { name, src, partitions, cost, .. } => {
+            Statement::Reduce {
+                name,
+                src,
+                partitions,
+                cost,
+                ..
+            } => {
                 if *partitions == 0 {
                     return Err(CompileError::ZeroPartitions { name: name.clone() });
                 }
@@ -199,7 +216,14 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                 add_edge(&mut edges, &mut edge_set, src_stage, id, EdgeKind::AllToAll);
                 datasets.insert(name.clone(), (id, *partitions));
             }
-            Statement::Join { name, left, right, partitions, cost, .. } => {
+            Statement::Join {
+                name,
+                left,
+                right,
+                partitions,
+                cost,
+                ..
+            } => {
                 if *partitions == 0 {
                     return Err(CompileError::ZeroPartitions { name: name.clone() });
                 }
@@ -215,7 +239,13 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                 add_edge(&mut edges, &mut edge_set, rs, id, EdgeKind::AllToAll);
                 datasets.insert(name.clone(), (id, *partitions));
             }
-            Statement::Sort { name, src, partitions, cost, .. } => {
+            Statement::Sort {
+                name,
+                src,
+                partitions,
+                cost,
+                ..
+            } => {
                 if *partitions == 0 {
                     return Err(CompileError::ZeroPartitions { name: name.clone() });
                 }
@@ -227,7 +257,13 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                     cost: cost * 0.4,
                 });
                 let part = stages.len() - 1;
-                add_edge(&mut edges, &mut edge_set, src_stage, part, EdgeKind::AllToAll);
+                add_edge(
+                    &mut edges,
+                    &mut edge_set,
+                    src_stage,
+                    part,
+                    EdgeKind::AllToAll,
+                );
                 // Stage 2: per-partition sort (one-to-one).
                 stages.push(ProtoStage {
                     name: format!("sort_{name}"),
@@ -238,7 +274,13 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                 add_edge(&mut edges, &mut edge_set, part, sort, EdgeKind::OneToOne);
                 datasets.insert(name.clone(), (sort, *partitions));
             }
-            Statement::Distinct { name, src, partitions, cost, .. } => {
+            Statement::Distinct {
+                name,
+                src,
+                partitions,
+                cost,
+                ..
+            } => {
                 if *partitions == 0 {
                     return Err(CompileError::ZeroPartitions { name: name.clone() });
                 }
@@ -252,7 +294,9 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                 add_edge(&mut edges, &mut edge_set, src_stage, id, EdgeKind::AllToAll);
                 datasets.insert(name.clone(), (id, *partitions));
             }
-            Statement::Process { name, src, cost, .. } => {
+            Statement::Process {
+                name, src, cost, ..
+            } => {
                 let (src_stage, parts) = resolve(&datasets, src)?;
                 if consumers.get(src.as_str()).copied().unwrap_or(0) == 1 {
                     stages[src_stage].cost += cost;
@@ -270,7 +314,13 @@ pub fn compile(script: &Script) -> Result<CompiledJob, CompileError> {
                     datasets.insert(name.clone(), (id, parts));
                 }
             }
-            Statement::Union { name, left, right, partitions, cost } => {
+            Statement::Union {
+                name,
+                left,
+                right,
+                partitions,
+                cost,
+            } => {
                 let (ls, lp) = resolve(&datasets, left)?;
                 let (rs, rp) = resolve(&datasets, right)?;
                 let parts = partitions.unwrap_or_else(|| lp.max(rp));
@@ -356,7 +406,11 @@ mod tests {
         assert_eq!(c.graph.num_stages(), 1);
         // 2 + 0.5 + 0.25 + 0.1 (partitioned write).
         assert!((c.stage_costs[0] - 2.85).abs() < 1e-12);
-        assert!(c.graph.stage(jockey_jobgraph::StageId(0)).name.contains("+b"));
+        assert!(c
+            .graph
+            .stage(jockey_jobgraph::StageId(0))
+            .name
+            .contains("+b"));
     }
 
     #[test]
@@ -427,14 +481,12 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CompileError::DuplicateName { .. }));
 
-        let err = compile(
-            &parse("a = EXTRACT FROM \"f\" PARTITIONS 0; OUTPUT a TO \"o\";").unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            compile(&parse("a = EXTRACT FROM \"f\" PARTITIONS 0; OUTPUT a TO \"o\";").unwrap())
+                .unwrap_err();
         assert!(matches!(err, CompileError::ZeroPartitions { .. }));
 
-        let err =
-            compile(&parse("a = EXTRACT FROM \"f\" PARTITIONS 1;").unwrap()).unwrap_err();
+        let err = compile(&parse("a = EXTRACT FROM \"f\" PARTITIONS 1;").unwrap()).unwrap_err();
         assert_eq!(err, CompileError::NoOutput);
 
         let err = compile(&Script::default()).unwrap_err();

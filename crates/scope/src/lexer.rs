@@ -50,8 +50,26 @@ impl fmt::Display for TokenKind {
 /// The reserved words of the language. Matching is case-insensitive;
 /// anything else alphabetic is an identifier.
 pub const KEYWORDS: &[&str] = &[
-    "EXTRACT", "FROM", "PARTITIONS", "COST", "SELECT", "WHERE", "PROJECT", "REDUCE", "AGGREGATE",
-    "ON", "JOIN", "UNION", "OUTPUT", "TO", "SINGLE", "SORT", "BY", "DISTINCT", "PROCESS", "USING",
+    "EXTRACT",
+    "FROM",
+    "PARTITIONS",
+    "COST",
+    "SELECT",
+    "WHERE",
+    "PROJECT",
+    "REDUCE",
+    "AGGREGATE",
+    "ON",
+    "JOIN",
+    "UNION",
+    "OUTPUT",
+    "TO",
+    "SINGLE",
+    "SORT",
+    "BY",
+    "DISTINCT",
+    "PROCESS",
+    "USING",
 ];
 
 /// Errors produced while tokenizing.
@@ -144,15 +162,24 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '=' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Equals, line });
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
             }
             ';' => {
                 chars.next();
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
             }
             '"' => {
                 chars.next();
@@ -167,7 +194,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         Some(c) => s.push(c),
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line: start_line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: start_line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -277,7 +307,10 @@ mod tests {
     #[test]
     fn line_numbers_advance() {
         let toks = tokenize("a\nb\nc").unwrap();
-        assert_eq!(toks.iter().map(|t| t.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { expected, found, line } => {
+            ParseError::Unexpected {
+                expected,
+                found,
+                line,
+            } => {
                 write!(f, "line {line}: expected {expected}, found {found}")
             }
         }
@@ -82,7 +86,10 @@ impl Parser {
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Keyword(k), .. }) if k == kw => {
+            Some(Token {
+                kind: TokenKind::Keyword(k),
+                ..
+            }) if k == kw => {
                 self.pos += 1;
                 Ok(())
             }
@@ -102,8 +109,15 @@ impl Parser {
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Ident(_), .. }) => {
-                let Some(Token { kind: TokenKind::Ident(name), .. }) = self.next() else {
+            Some(Token {
+                kind: TokenKind::Ident(_),
+                ..
+            }) => {
+                let Some(Token {
+                    kind: TokenKind::Ident(name),
+                    ..
+                }) = self.next()
+                else {
                     unreachable!("peeked an identifier")
                 };
                 Ok(name)
@@ -114,8 +128,15 @@ impl Parser {
 
     fn expect_str(&mut self) -> Result<String, ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Str(_), .. }) => {
-                let Some(Token { kind: TokenKind::Str(s), .. }) = self.next() else {
+            Some(Token {
+                kind: TokenKind::Str(_),
+                ..
+            }) => {
+                let Some(Token {
+                    kind: TokenKind::Str(s),
+                    ..
+                }) = self.next()
+                else {
                     unreachable!("peeked a string")
                 };
                 Ok(s)
@@ -126,7 +147,10 @@ impl Parser {
 
     fn expect_int(&mut self) -> Result<u64, ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Int(v), .. }) => {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                ..
+            }) => {
                 let v = *v;
                 self.pos += 1;
                 Ok(v)
@@ -137,12 +161,18 @@ impl Parser {
 
     fn expect_number(&mut self) -> Result<f64, ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Int(v), .. }) => {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                ..
+            }) => {
                 let v = *v as f64;
                 self.pos += 1;
                 Ok(v)
             }
-            Some(Token { kind: TokenKind::Float(v), .. }) => {
+            Some(Token {
+                kind: TokenKind::Float(v),
+                ..
+            }) => {
                 let v = *v;
                 self.pos += 1;
                 Ok(v)
@@ -192,7 +222,12 @@ impl Parser {
             self.expect_keyword("PARTITIONS")?;
             let partitions = self.expect_int()? as u32;
             let cost = self.optional_cost()?;
-            Statement::Extract { name, input, partitions, cost }
+            Statement::Extract {
+                name,
+                input,
+                partitions,
+                cost,
+            }
         } else if self.eat_keyword("SELECT") {
             self.expect_keyword("FROM")?;
             let src = self.expect_ident()?;
@@ -202,7 +237,12 @@ impl Parser {
                 None
             };
             let cost = self.optional_cost()?;
-            Statement::Select { name, src, predicate, cost }
+            Statement::Select {
+                name,
+                src,
+                predicate,
+                cost,
+            }
         } else if self.eat_keyword("PROJECT") {
             let src = self.expect_ident()?;
             let cost = self.optional_cost()?;
@@ -214,7 +254,13 @@ impl Parser {
             self.expect_keyword("PARTITIONS")?;
             let partitions = self.expect_int()? as u32;
             let cost = self.optional_cost()?;
-            Statement::Reduce { name, src, key, partitions, cost }
+            Statement::Reduce {
+                name,
+                src,
+                key,
+                partitions,
+                cost,
+            }
         } else if self.eat_keyword("JOIN") {
             let left = self.expect_ident()?;
             self.expect(&TokenKind::Comma, "','")?;
@@ -224,7 +270,14 @@ impl Parser {
             self.expect_keyword("PARTITIONS")?;
             let partitions = self.expect_int()? as u32;
             let cost = self.optional_cost()?;
-            Statement::Join { name, left, right, key, partitions, cost }
+            Statement::Join {
+                name,
+                left,
+                right,
+                key,
+                partitions,
+                cost,
+            }
         } else if self.eat_keyword("SORT") {
             let src = self.expect_ident()?;
             self.expect_keyword("BY")?;
@@ -232,7 +285,13 @@ impl Parser {
             self.expect_keyword("PARTITIONS")?;
             let partitions = self.expect_int()? as u32;
             let cost = self.optional_cost()?;
-            Statement::Sort { name, src, key, partitions, cost }
+            Statement::Sort {
+                name,
+                src,
+                key,
+                partitions,
+                cost,
+            }
         } else if self.eat_keyword("DISTINCT") {
             let src = self.expect_ident()?;
             self.expect_keyword("ON")?;
@@ -240,13 +299,24 @@ impl Parser {
             self.expect_keyword("PARTITIONS")?;
             let partitions = self.expect_int()? as u32;
             let cost = self.optional_cost()?;
-            Statement::Distinct { name, src, key, partitions, cost }
+            Statement::Distinct {
+                name,
+                src,
+                key,
+                partitions,
+                cost,
+            }
         } else if self.eat_keyword("PROCESS") {
             let src = self.expect_ident()?;
             self.expect_keyword("USING")?;
             let udo = self.expect_str()?;
             let cost = self.optional_cost()?;
-            Statement::Process { name, src, udo, cost }
+            Statement::Process {
+                name,
+                src,
+                udo,
+                cost,
+            }
         } else if self.eat_keyword("UNION") {
             let left = self.expect_ident()?;
             self.expect(&TokenKind::Comma, "','")?;
@@ -257,9 +327,17 @@ impl Parser {
                 None
             };
             let cost = self.optional_cost()?;
-            Statement::Union { name, left, right, partitions, cost }
+            Statement::Union {
+                name,
+                left,
+                right,
+                partitions,
+                cost,
+            }
         } else {
-            return self.err("an operator (EXTRACT/SELECT/PROJECT/PROCESS/REDUCE/DISTINCT/SORT/JOIN/UNION)");
+            return self.err(
+                "an operator (EXTRACT/SELECT/PROJECT/PROCESS/REDUCE/DISTINCT/SORT/JOIN/UNION)",
+            );
         };
         self.expect(&TokenKind::Semi, "';'")?;
         Ok(stmt)
@@ -318,10 +396,16 @@ mod tests {
             &s.statements[1],
             Statement::Select { predicate: Some(p), .. } if p == "spam = false"
         ));
-        assert!(matches!(&s.statements[3], Statement::Join { partitions: 50, .. }));
+        assert!(matches!(
+            &s.statements[3],
+            Statement::Join { partitions: 50, .. }
+        ));
         assert!(matches!(
             &s.statements[5],
-            Statement::Output { mode: OutputMode::Single, .. }
+            Statement::Output {
+                mode: OutputMode::Single,
+                ..
+            }
         ));
     }
 
@@ -345,7 +429,10 @@ mod tests {
         let s = parse("u = UNION a, b;").unwrap();
         assert!(matches!(
             &s.statements[0],
-            Statement::Union { partitions: None, .. }
+            Statement::Union {
+                partitions: None,
+                ..
+            }
         ));
     }
 
@@ -370,7 +457,10 @@ mod tests {
     #[test]
     fn line_numbers_in_errors() {
         let err = parse("a = EXTRACT FROM \"f\"\nPARTITIONS \"oops\";").unwrap_err();
-        assert!(matches!(err, ParseError::Unexpected { line: 2, .. }), "got {err}");
+        assert!(
+            matches!(err, ParseError::Unexpected { line: 2, .. }),
+            "got {err}"
+        );
     }
 
     #[test]

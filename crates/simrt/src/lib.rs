@@ -8,6 +8,10 @@
 //!   [`SimDuration`]) that makes event ordering exact and reproducible.
 //! - [`event`]: a deterministic future-event list ([`EventQueue`]) with
 //!   FIFO tie-breaking at equal timestamps.
+//! - [`observe`]: run diagnostics — the [`SimObserver`] hook simulators
+//!   report event dispatches, clock advances and RNG forks through, and
+//!   the ring-buffer [`observe::RingJournal`] that retains the last `N`
+//!   records for post-mortem inspection.
 //! - [`rng`]: seed-stream derivation ([`SeedDeriver`]) so that every
 //!   stochastic component of an experiment draws from an independent,
 //!   reproducible random stream.
@@ -38,6 +42,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod observe;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -46,5 +51,6 @@ pub mod time;
 
 pub use dist::Sample;
 pub use event::EventQueue;
+pub use observe::{NoopObserver, SharedJournal, SimObserver};
 pub use rng::SeedDeriver;
 pub use time::{SimDuration, SimTime};

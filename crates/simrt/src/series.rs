@@ -220,7 +220,10 @@ mod tests {
     fn constant_series_has_full_interval() {
         let s = series(&[(0, 1.0), (5, 1.0), (9, 1.0)]);
         assert_eq!(s.longest_constant_interval(SimTime::from_mins(10)), 1.0);
-        assert_eq!(series(&[(0, 1.0)]).longest_constant_interval(SimTime::from_mins(10)), 0.0);
+        assert_eq!(
+            series(&[(0, 1.0)]).longest_constant_interval(SimTime::from_mins(10)),
+            0.0
+        );
     }
 
     #[test]

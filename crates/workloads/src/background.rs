@@ -161,10 +161,8 @@ mod tests {
     #[test]
     fn shapes_are_varied() {
         let jobs = BackgroundStream::default().generate(9);
-        let stage_counts: std::collections::HashSet<usize> = jobs
-            .iter()
-            .map(|j| j.spec.graph.num_stages())
-            .collect();
+        let stage_counts: std::collections::HashSet<usize> =
+            jobs.iter().map(|j| j.spec.graph.num_stages()).collect();
         assert!(stage_counts.len() >= 2, "only {stage_counts:?}");
     }
 

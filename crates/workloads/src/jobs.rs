@@ -253,7 +253,14 @@ pub fn generate(targets: JobTargets, seed: u64) -> GeneratedJob {
     // last stage of one or two earlier segments.
     let mut b = JobGraphBuilder::new(format!("job-{}", targets.name));
     let op_names = [
-        "extract", "filter", "map", "partition", "combine", "join", "reduce", "aggregate",
+        "extract",
+        "filter",
+        "map",
+        "partition",
+        "combine",
+        "join",
+        "reduce",
+        "aggregate",
     ];
     let mut seg_stage_ids: Vec<Vec<StageId>> = Vec::with_capacity(n_segments);
     for (si, (&len, &t)) in lengths.iter().zip(&tasks).enumerate() {
@@ -396,7 +403,9 @@ fn random_composition(rng: &mut StdRng, total: usize, parts: usize) -> Vec<usize
         match sum.cmp(&body) {
             std::cmp::Ordering::Equal => break,
             std::cmp::Ordering::Less => {
-                let i = (0..body_parts).max_by_key(|&i| lengths[i]).expect("non-empty");
+                let i = (0..body_parts)
+                    .max_by_key(|&i| lengths[i])
+                    .expect("non-empty");
                 lengths[i] += 1;
             }
             std::cmp::Ordering::Greater => {

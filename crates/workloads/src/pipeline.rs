@@ -209,7 +209,9 @@ impl Closure {
 
     fn iter_set(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
         self.row(i).iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
         })
     }
 }
@@ -249,11 +251,7 @@ pub fn chain_lengths(records: &[JobRecord]) -> Vec<u64> {
         }
     }
     for i in (0..n).rev() {
-        depth[i] = children[i]
-            .iter()
-            .map(|&c| depth[c] + 1)
-            .max()
-            .unwrap_or(0);
+        depth[i] = children[i].iter().map(|&c| depth[c] + 1).max().unwrap_or(0);
     }
     (0..n).filter(|&i| depth[i] > 0).map(|i| depth[i]).collect()
 }
@@ -302,7 +300,10 @@ mod tests {
         // Fig. 1: "the median job's output is used by over ten other
         // jobs – for the top 10% of jobs, there are over a hundred."
         let t = trace();
-        let deps: Vec<f64> = transitive_dependents(&t).iter().map(|&d| d as f64).collect();
+        let deps: Vec<f64> = transitive_dependents(&t)
+            .iter()
+            .map(|&d| d as f64)
+            .collect();
         let median = stats::percentile(&deps, 50.0);
         let p90 = stats::percentile(&deps, 90.0);
         assert!(median >= 2.0, "median {median}");

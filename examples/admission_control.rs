@@ -52,7 +52,10 @@ fn main() {
                 );
                 admitted.push((i, deadline));
             }
-            Err(AdmissionError::InsufficientCapacity { required, available }) => {
+            Err(AdmissionError::InsufficientCapacity {
+                required,
+                available,
+            }) => {
                 println!(
                     "  REJECT {name}: needs {required} guaranteed tokens, only {available} free"
                 );

@@ -35,13 +35,19 @@ fn main() {
         deadline.as_minutes_f64()
     );
 
-    for (label, multiplier) in [("unchanged", None), ("halved", Some(0.5)), ("tripled", Some(3.0))]
-    {
+    for (label, multiplier) in [
+        ("unchanged", None),
+        ("halved", Some(0.5)),
+        ("tripled", Some(3.0)),
+    ] {
         let controller = setup.controller(Policy::Jockey, deadline, ControlParams::default());
         let mut cluster = ClusterConfig::production();
         cluster.background.mean_util = 0.9;
         let mut sim = ClusterSim::new(cluster, 5);
-        let idx = sim.add_job(JobSpec::from_profile(job.graph.clone(), &setup.profile), controller);
+        let idx = sim.add_job(
+            JobSpec::from_profile(job.graph.clone(), &setup.profile),
+            controller,
+        );
 
         let change_at = SimTime::ZERO + deadline.scale(0.25);
         let effective = match multiplier {
@@ -59,7 +65,11 @@ fn main() {
             "\n=== deadline {label}: effective {:.0} min -> finished in {:.1} min ({}) ===",
             effective.as_minutes_f64(),
             latency.as_minutes_f64(),
-            if latency <= effective { "met" } else { "MISSED" },
+            if latency <= effective {
+                "met"
+            } else {
+                "MISSED"
+            },
         );
         // Show the allocation trace around the change point.
         println!("  minute  guarantee");

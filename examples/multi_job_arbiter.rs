@@ -55,7 +55,12 @@ fn main() {
     // Arbitrate an 80-token budget at several points in (virtual)
     // time, with job C stalled at low progress and job E coasting.
     println!("\nbudget: 80 tokens");
-    println!("{:<28}{:>12}{:>12}", "situation", setups[0].graph.name(), setups[1].graph.name());
+    println!(
+        "{:<28}{:>12}{:>12}",
+        "situation",
+        setups[0].graph.name(),
+        setups[1].graph.name()
+    );
     for (label, p0, p1, elapsed_frac) in [
         ("start of both jobs", 0.0, 0.0, 0.0),
         ("C behind, E ahead", 0.2, 0.7, 0.5),

@@ -50,9 +50,7 @@ fn main() {
     let runtimes: Vec<Arc<dyn Sample>> = compiled
         .stage_costs
         .iter()
-        .map(|&c| -> Arc<dyn Sample> {
-            Arc::new(LogNormal::from_median_p90(4.0 * c, 12.0 * c))
-        })
+        .map(|&c| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(4.0 * c, 12.0 * c)) })
         .collect();
     let queues: Vec<Arc<dyn Sample>> = (0..graph.num_stages())
         .map(|_| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(3.0, 8.0)) })
@@ -95,7 +93,11 @@ fn main() {
     println!(
         "shared-cluster run: {:.1} min ({}; {:.0}% of deadline)",
         latency.as_minutes_f64(),
-        if latency <= deadline { "SLO MET" } else { "SLO MISSED" },
+        if latency <= deadline {
+            "SLO MET"
+        } else {
+            "SLO MISSED"
+        },
         100.0 * latency.as_secs_f64() / deadline.as_secs_f64()
     );
     println!(

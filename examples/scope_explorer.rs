@@ -30,7 +30,10 @@ fn main() {
         g.num_barrier_stages(),
         g.total_tasks()
     );
-    println!("  {:<4}{:<26}{:>7}{:>9}  inputs", "id", "stage", "tasks", "cost");
+    println!(
+        "  {:<4}{:<26}{:>7}{:>9}  inputs",
+        "id", "stage", "tasks", "cost"
+    );
     for s in g.stage_ids() {
         let parents: Vec<String> = g
             .parents(s)

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI enforces, runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
+echo "tier1: OK"

@@ -196,7 +196,16 @@ fn cmd_compile(flags: &Flags) -> Result<(), String> {
         let parents: Vec<String> = g
             .parents(s)
             .iter()
-            .map(|&(p, k)| format!("{p}{}", if k == jockey::jobgraph::EdgeKind::AllToAll { "*" } else { "" }))
+            .map(|&(p, k)| {
+                format!(
+                    "{p}{}",
+                    if k == jockey::jobgraph::EdgeKind::AllToAll {
+                        "*"
+                    } else {
+                        ""
+                    }
+                )
+            })
             .collect();
         println!(
             "  [{}] {:<24} {:>6} tasks  cost {:>5.1}  <- {}",
@@ -204,7 +213,11 @@ fn cmd_compile(flags: &Flags) -> Result<(), String> {
             g.stage(s).name,
             g.tasks_in(s),
             compiled.stage_costs[s.index()],
-            if parents.is_empty() { "-".into() } else { parents.join(",") }
+            if parents.is_empty() {
+                "-".into()
+            } else {
+                parents.join(",")
+            }
         );
     }
     println!("\n{}", jockey::jobgraph::dot::to_dot(g));
@@ -213,10 +226,7 @@ fn cmd_compile(flags: &Flags) -> Result<(), String> {
 
 fn cmd_profile(flags: &Flags) -> Result<(), String> {
     let script = flags.positional(0, "script path")?;
-    let out = flags
-        .get("o")
-        .ok_or("missing -o <bundle.job>")?
-        .to_string();
+    let out = flags.get("o").ok_or("missing -o <bundle.job>")?.to_string();
     let tokens: u32 = flags.get_parsed("tokens", 40)?;
     let seed: u64 = flags.get_parsed("seed", 42)?;
 
@@ -278,7 +288,7 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
     let progress: f64 = flags.get_parsed("p", 0.0)?;
     let (bundle, _, _) = load_bundle(path)?;
     let model = CpaModel::from_kv(&section(&bundle, "model"))
-        .ok_or("bundle has no model; run `jockey-cli train` first")?;
+        .map_err(|e| format!("bundle model: {e}; run `jockey-cli train` first"))?;
     let remaining = model.remaining(progress, tokens);
     println!(
         "predicted remaining at progress {:.0}% with {} tokens: {:.1} min (p{:.0})",
@@ -302,7 +312,7 @@ fn cmd_feasible(flags: &Flags) -> Result<(), String> {
     }
     let (bundle, graph, profile) = load_bundle(path)?;
     let model = CpaModel::from_kv(&section(&bundle, "model"))
-        .ok_or("bundle has no model; run `jockey-cli train` first")?;
+        .map_err(|e| format!("bundle model: {e}; run `jockey-cli train` first"))?;
     let deadline = SimDuration::from_mins_f64(deadline_mins);
     let cp = profile.critical_path(&graph);
     let max = model.allocations().last().copied().unwrap_or(100);
@@ -341,7 +351,7 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     let (bundle, graph, profile) = load_bundle(path)?;
     let cpa = Arc::new(
         CpaModel::from_kv(&section(&bundle, "model"))
-            .ok_or("bundle has no model; run `jockey-cli train` first")?,
+            .map_err(|e| format!("bundle model: {e}; run `jockey-cli train` first"))?,
     );
     let max_tokens = cpa.allocations().last().copied().unwrap_or(100);
     let setup = JockeySetup {

@@ -58,7 +58,11 @@ fn jockey_meets_deadline_among_explicit_co_tenants() {
         max_guarantee: 3,
     };
     let tenants = stream.generate(11);
-    assert!(tenants.len() >= 10, "want a busy cluster, got {}", tenants.len());
+    assert!(
+        tenants.len() >= 10,
+        "want a busy cluster, got {}",
+        tenants.len()
+    );
     for t in &tenants {
         sim.add_job_at(
             t.spec.clone(),

@@ -76,10 +76,7 @@ fn jockey_meets_deadline_in_noisy_cluster() {
     let r = sim.run().remove(0);
 
     let latency = r.duration().expect("finished");
-    assert!(
-        latency <= deadline,
-        "missed: {latency:?} vs {deadline:?}"
-    );
+    assert!(latency <= deadline, "missed: {latency:?} vs {deadline:?}");
     // And it should not have simply grabbed the max the whole time.
     assert!(
         r.trace.median_guarantee() < 32.0,
@@ -137,7 +134,10 @@ fn static_tight_allocation_misses_where_jockey_adapts() {
     let jockey_run = sim.run().remove(0);
 
     let jockey_latency = jockey_run.duration().expect("jockey finished");
-    assert!(jockey_latency <= deadline, "jockey missed: {jockey_latency:?}");
+    assert!(
+        jockey_latency <= deadline,
+        "jockey missed: {jockey_latency:?}"
+    );
     // The bare static run has no margin: it must do at least as badly.
     let static_latency = static_run.duration().expect("static finished");
     assert!(
@@ -156,7 +156,11 @@ fn deterministic_across_identical_runs() {
         let mut sim = ClusterSim::new(noisy_cluster(), 8);
         sim.add_job(small_job(), controller);
         let r = sim.run().remove(0);
-        (r.completed_at, r.work_done_secs, r.trace.guarantee.points().to_vec())
+        (
+            r.completed_at,
+            r.work_done_secs,
+            r.trace.guarantee.points().to_vec(),
+        )
     };
     let a = run();
     let b = run();

@@ -1,0 +1,557 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the slice of `proptest` its test suites use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, range / tuple /
+//! [`collection::vec`] / [`any`] strategies, the `prop_assert*` family
+//! and [`prop_assume!`].
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its deterministic case
+//!   index and input seed; re-running reproduces it exactly.
+//! - **Deterministic by default.** Case `i` of test `t` draws from an
+//!   RNG seeded by `hash(module_path::t, i)`, so failures are stable
+//!   across runs and machines without a persistence file.
+//! - `PROPTEST_CASES` overrides the per-test case count, like upstream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Resolves the effective case count, honouring `PROPTEST_CASES`.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// FNV-1a over a label, used to give every test its own seed stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The deterministic RNG for case `case` of the test named `label`.
+pub fn case_rng(label: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(label.as_bytes()) ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// A generator of random test inputs.
+///
+/// Unlike upstream there is no value tree: `generate` draws a value
+/// directly and failures are replayed by case index instead of shrunk.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "whole domain" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values only (upstream's `any::<f64>()` includes NaN and
+    /// infinities behind flags; the workspace only uses finite draws).
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        (rng.gen::<f64>() - 0.5) * 2e9
+    }
+}
+
+/// A compiled regex-subset pattern used by the `&str` strategy.
+///
+/// Supports the constructs the workspace's tests rely on: literals,
+/// `.`, character classes `[a-z_]` (ranges and singletons), and the
+/// postfix repetitions `*`, `+`, `?` and `{m,n}`. Unbounded
+/// repetitions draw lengths from `0..=32` (`*`) or `1..=32` (`+`).
+#[derive(Clone, Debug)]
+struct Pattern {
+    atoms: Vec<(CharSet, u32, u32)>,
+}
+
+#[derive(Clone, Debug)]
+enum CharSet {
+    /// `.`: any printable char plus a few awkward ones (tab, unicode).
+    Dot,
+    /// A literal character.
+    Lit(char),
+    /// Inclusive ranges from a `[...]` class.
+    Ranges(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn draw(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Lit(c) => *c,
+            CharSet::Dot => {
+                // Mostly printable ASCII, with occasional tabs and
+                // non-ASCII to stress lexers.
+                match rng.gen_range(0..20_u32) {
+                    0 => '\t',
+                    1 => 'λ',
+                    2 => '→',
+                    _ => char::from(rng.gen_range(0x20_u8..0x7F)),
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut k = rng.gen_range(0..total);
+                for &(a, b) in ranges {
+                    let n = b as u32 - a as u32 + 1;
+                    if k < n {
+                        return char::from_u32(a as u32 + k).expect("range stays in scalar values");
+                    }
+                    k -= n;
+                }
+                unreachable!("k < total")
+            }
+        }
+    }
+}
+
+impl Pattern {
+    fn parse(pat: &str) -> Pattern {
+        let mut chars = pat.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '.' => CharSet::Dot,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut members = Vec::new();
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == ']' {
+                            chars.next();
+                            break;
+                        }
+                        chars.next();
+                        let lo = if c2 == '\\' {
+                            chars.next().expect("escape inside class")
+                        } else {
+                            c2
+                        };
+                        if chars.peek() == Some(&'-')
+                            && chars.clone().nth(1).is_some_and(|c3| c3 != ']')
+                        {
+                            chars.next();
+                            let hi = chars.next().expect("range upper bound");
+                            ranges.push((lo, hi));
+                        } else {
+                            members.push(lo);
+                        }
+                    }
+                    ranges.extend(members.into_iter().map(|m| (m, m)));
+                    CharSet::Ranges(ranges)
+                }
+                '\\' => CharSet::Lit(chars.next().expect("trailing escape")),
+                other => CharSet::Lit(other),
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    (0, 32)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 32)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c2| c2 != '}').collect();
+                    let (m, n) = match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.parse().expect("repetition lower bound"),
+                            n.parse().expect("repetition upper bound"),
+                        ),
+                        None => {
+                            let k = spec.parse().expect("repetition count");
+                            (k, k)
+                        }
+                    };
+                    (m, n)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((set, lo, hi));
+        }
+        Pattern { atoms }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for (set, lo, hi) in &Pattern::parse(self).atoms {
+            let count = if lo == hi {
+                *lo
+            } else {
+                rng.gen_range(*lo..=*hi)
+            };
+            for _ in 0..count {
+                out.push(set.draw(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for vectors with element strategy `S` and a length
+    /// drawn from `size` (exclusive upper bound, like upstream).
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `Vec`s of `elem` with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+}
+
+/// Everything a test file needs via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", a, b);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                a, b, format!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            panic!("prop_assert_ne failed: both sides are {:?}", a);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            panic!(
+                "prop_assert_ne failed: both sides are {:?}: {}",
+                a, format!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Upstream rejects-and-retries; this shim simply skips the case, which
+/// keeps the runner trivial at a small cost in effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Defines property tests: each `fn` runs `cases` times with inputs
+/// drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($argpat:pat_param in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let cases = $crate::resolve_cases(config.cases);
+                let label = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut rng = $crate::case_rng(label, case);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $(let $argpat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                            $body
+                        }),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (deterministic; rerun reproduces)",
+                            label,
+                            case + 1,
+                            cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let s = collection::vec(0_u32..10, 2..5);
+        let mut rng = crate::case_rng("vec_bounds", 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn map_applies() {
+        let s = (0_u32..5).prop_map(|x| x * 2);
+        let mut rng = crate::case_rng("map", 0);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = (0.0_f64..1.0, any::<u64>());
+        let a = s.generate(&mut crate::case_rng("det", 3));
+        let b = s.generate(&mut crate::case_rng("det", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, tuples, assume and asserts.
+        #[test]
+        fn macro_smoke(mut xs in collection::vec(0_u64..100, 1..10), flip in any::<bool>()) {
+            prop_assume!(!xs.is_empty());
+            xs.sort_unstable();
+            if flip {
+                xs.reverse();
+            }
+            prop_assert!(xs.len() < 10);
+            prop_assert_eq!(xs.len(), xs.capacity().min(xs.len()));
+            prop_assert_ne!(xs.len(), 0, "assume filtered empties");
+        }
+    }
+}
