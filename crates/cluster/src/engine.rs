@@ -1,0 +1,1136 @@
+//! The event-loop core of the cluster simulator.
+//!
+//! [`EngineCore`] owns the mutable simulation state — jobs, the event
+//! queue, the background model, diagnostics — and the *mechanics* every
+//! policy layer composes: starting task attempts, killing or evicting
+//! running tasks, and rolling back lost outputs. The [`Engine`] drives
+//! the discrete-event loop and delegates every policy decision through
+//! two trait seams:
+//!
+//! - [`SchedulerPolicy`](crate::scheduler::SchedulerPolicy) — token and
+//!   spare-capacity arbitration (who runs, in which class, who is
+//!   evicted under pressure);
+//! - [`FailureModel`](crate::failure::FailureModel) — task-attempt
+//!   failures, machine-failure arrivals and their blast radius.
+//!
+//! Implementation notes that matter:
+//!
+//! - **Stale-event filtering**: task completions are scheduled when the
+//!   task starts; if the task is evicted or killed before the event
+//!   fires, the event is recognized as stale by an attempt counter and
+//!   ignored.
+//! - **Token classes**: a task runs as `Guaranteed` (within the job's
+//!   guarantee) or `Spare`. Class changes in flight (upgrades on a
+//!   guarantee increase, demotions on a decrease) alter eviction
+//!   priority but not the already-sampled completion time.
+//! - **Data loss**: machine failures may force recomputation of
+//!   completed tasks, but only in *incomplete* stages — outputs of
+//!   fully completed stages are treated as durably replicated.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use jockey_jobgraph::profile::ProfileBuilder;
+use jockey_jobgraph::task::{TaskDeps, TaskId};
+use jockey_simrt::dist::Sample;
+use jockey_simrt::event::EventQueue;
+use jockey_simrt::observe;
+use jockey_simrt::observe::{EntryKind, NoopObserver, ProgressSink, SimObserver};
+use jockey_simrt::rng::SeedDeriver;
+use jockey_simrt::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::background::BackgroundModel;
+use crate::config::ClusterConfig;
+use crate::controller::{ControlDecision, JobController, JobStatus};
+use crate::failure::{DefaultFailureModel, FailureModel};
+use crate::invariants;
+use crate::job::JobSpec;
+use crate::scheduler::{SchedulerPolicy, WeightedFair};
+use crate::trace::RunTrace;
+use crate::workspace::{JobBuffers, SimWorkspace};
+
+/// Token class a running task occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenClass {
+    /// Within the job's guarantee: never evicted for capacity.
+    Guaranteed,
+    /// Opportunistic spare capacity: evictable and slowed down.
+    Spare,
+}
+
+/// Per-task lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TaskState {
+    /// Dependencies not yet satisfied.
+    Pending,
+    /// Ready to run; present in the ready queue.
+    Ready,
+    /// Occupying a token; the attempt number identifies the scheduled
+    /// completion event.
+    Running {
+        /// Attempt counter at the time the task started.
+        attempt: u32,
+    },
+    /// Completed; remembers the attempt's execution seconds so that
+    /// recomputation can roll back work accounting.
+    Done {
+        /// Execution seconds of the completing attempt.
+        run_secs: f64,
+    },
+}
+
+/// A task currently occupying a token.
+#[derive(Clone, Copy, Debug)]
+pub struct RunningTask {
+    /// The task.
+    pub task: TaskId,
+    /// Attempt number; identifies the scheduled completion event.
+    pub attempt: u32,
+    /// Token class the attempt currently occupies.
+    pub class: TokenClass,
+    /// When the attempt started.
+    pub started: SimTime,
+    /// Sampled queueing seconds of this attempt.
+    pub queue_secs: f64,
+    /// Sampled execution seconds of this attempt.
+    pub run_secs: f64,
+    /// Hosting machine (placement model only).
+    pub machine: Option<u32>,
+}
+
+/// Simulation events.
+pub(crate) enum Event {
+    JobStart {
+        job: usize,
+    },
+    TaskDone {
+        job: usize,
+        task: TaskId,
+        attempt: u32,
+    },
+    ControlTick {
+        job: usize,
+    },
+    BackgroundTick,
+    MachineFailure,
+    DeadlineChange {
+        job: usize,
+        new_deadline: SimDuration,
+    },
+}
+
+/// One job's dynamic state inside the simulator.
+pub struct JobRun {
+    pub(crate) spec: Arc<JobSpec>,
+    pub(crate) controller: Box<dyn JobController>,
+    pub(crate) start_at: SimTime,
+    pub(crate) started: Option<SimTime>,
+    pub(crate) finished_at: Option<SimTime>,
+    pub(crate) state: Vec<Vec<TaskState>>,
+    pub(crate) attempts: Vec<Vec<u32>>,
+    pub(crate) completed: Vec<u32>,
+    pub(crate) done_tasks: u64,
+    pub(crate) ready: VecDeque<TaskId>,
+    pub(crate) running: Vec<RunningTask>,
+    pub(crate) guarantee: u32,
+    pub(crate) work_done: f64,
+    pub(crate) wasted: f64,
+    pub(crate) guaranteed_task_count: u64,
+    pub(crate) spare_task_count: u64,
+    pub(crate) profile: ProfileBuilder,
+    pub(crate) trace: RunTrace,
+    /// Scratch [`JobStatus`] refreshed in place before each controller
+    /// consult, so the hot path never allocates per tick.
+    pub(crate) status: JobStatus,
+    pub(crate) rng_runtime: StdRng,
+    pub(crate) rng_queue: StdRng,
+    pub(crate) rng_fail: StdRng,
+}
+
+impl JobRun {
+    /// The job's spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Total tasks across all stages.
+    pub fn total_tasks(&self) -> u64 {
+        self.spec.graph.total_tasks()
+    }
+
+    /// True once every task has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// True while the job has started but not finished.
+    pub fn is_active(&self) -> bool {
+        self.started.is_some() && self.finished_at.is_none()
+    }
+
+    /// The job's current token guarantee.
+    pub fn guarantee(&self) -> u32 {
+        self.guarantee
+    }
+
+    /// Tasks currently occupying tokens.
+    pub fn running(&self) -> &[RunningTask] {
+        &self.running
+    }
+
+    /// Mutable running list; schedulers may reclassify tasks in place.
+    /// Removal must go through [`EngineCore::evict_spare`] (or the kill
+    /// paths) so requeue bookkeeping stays consistent.
+    pub fn running_mut(&mut self) -> &mut [RunningTask] {
+        &mut self.running
+    }
+
+    /// Running tasks occupying the given token class.
+    pub fn running_in_class(&self, class: TokenClass) -> u32 {
+        self.running.iter().filter(|r| r.class == class).count() as u32
+    }
+
+    /// The lifecycle state of one task.
+    pub fn task_state(&self, t: TaskId) -> TaskState {
+        self.state[t.stage.index()][t.index as usize]
+    }
+
+    pub(crate) fn set_task_state(&mut self, t: TaskId, s: TaskState) {
+        self.state[t.stage.index()][t.index as usize] = s;
+    }
+
+    /// Pops ready tasks, skipping stale queue entries.
+    pub fn pop_ready(&mut self) -> Option<TaskId> {
+        while let Some(t) = self.ready.pop_front() {
+            if self.task_state(t) == TaskState::Ready {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Refreshes the job's scratch [`JobStatus`] in place.
+    pub(crate) fn refresh_status(&mut self, now: SimTime) {
+        let graph = &self.spec.graph;
+        self.status.now = now;
+        self.status.elapsed = now.saturating_since(self.started.unwrap_or(now));
+        self.status.stage_fraction.clear();
+        self.status.stage_fraction.extend(
+            graph
+                .stage_ids()
+                .map(|s| f64::from(self.completed[s.index()]) / f64::from(graph.tasks_in(s))),
+        );
+        self.status.stage_completed.clone_from(&self.completed);
+        self.status.running = self.running.len() as u32;
+        self.status.running_guaranteed = self.running_in_class(TokenClass::Guaranteed);
+        self.status.guarantee = self.guarantee;
+        self.status.work_done = self.work_done;
+        self.status.finished = self.is_finished();
+    }
+}
+
+/// The mutable simulation state plus the mechanics every policy layer
+/// composes.
+///
+/// A [`SchedulerPolicy`](crate::scheduler::SchedulerPolicy) or
+/// [`FailureModel`](crate::failure::FailureModel) receives `&mut
+/// EngineCore` and acts through the mechanics methods ([`start_task`]
+/// [`evict_spare`], [`kill_running_tasks`], ...) — the engine keeps the
+/// event queue, stale-attempt filtering and accounting consistent so
+/// policies cannot corrupt the run.
+///
+/// [`start_task`]: EngineCore::start_task
+/// [`evict_spare`]: EngineCore::evict_spare
+/// [`kill_running_tasks`]: EngineCore::kill_running_tasks
+pub struct EngineCore {
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) jobs: Vec<JobRun>,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) background: BackgroundModel,
+    pub(crate) seeds: SeedDeriver,
+    pub(crate) observer: Box<dyn SimObserver>,
+    pub(crate) invariants_enabled: bool,
+    /// Time of the most recently dispatched event (event-time
+    /// monotonicity invariant).
+    pub(crate) last_event_time: SimTime,
+    /// Per-job, per-stage floor on completed-task counts (monotone
+    /// stage-fraction invariant); lowered explicitly when a data-loss
+    /// event legitimately rolls completions back.
+    pub(crate) completed_floor: Vec<Vec<u32>>,
+    /// When false, skip per-task profile recording (training hot path).
+    pub(crate) record_profile: bool,
+    /// When false, skip control-trace recording (training hot path).
+    pub(crate) record_trace: bool,
+    /// Reusable dependent-candidate buffer for task completions.
+    pub(crate) cand_scratch: Vec<TaskId>,
+    /// Reclaimed per-job buffers available for the next `add_job`.
+    pub(crate) spare_buffers: Vec<JobBuffers>,
+}
+
+impl EngineCore {
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The background-load model.
+    pub fn background(&self) -> &BackgroundModel {
+        &self.background
+    }
+
+    /// Mutable background-load model (schedulers advance it to `now`).
+    pub fn background_mut(&mut self) -> &mut BackgroundModel {
+        &mut self.background
+    }
+
+    /// Number of jobs in the simulation.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// One job's dynamic state.
+    pub fn job(&self, j: usize) -> &JobRun {
+        &self.jobs[j]
+    }
+
+    /// Mutable access to one job's dynamic state.
+    pub fn job_mut(&mut self, j: usize) -> &mut JobRun {
+        &mut self.jobs[j]
+    }
+
+    pub(crate) fn add_job_at(
+        &mut self,
+        spec: Arc<JobSpec>,
+        controller: Box<dyn JobController>,
+        start_at: SimTime,
+    ) -> usize {
+        let idx = self.jobs.len();
+        let graph = spec.graph.clone();
+        let mut buf = self.spare_buffers.pop().unwrap_or_default();
+        buf.reset_for(&graph);
+        let JobBuffers {
+            state,
+            attempts,
+            completed,
+            floor,
+            ready,
+            running,
+            stage_fraction,
+            stage_completed,
+        } = buf;
+        let job = JobRun {
+            controller,
+            start_at,
+            started: None,
+            finished_at: None,
+            state,
+            attempts,
+            completed,
+            done_tasks: 0,
+            ready,
+            running,
+            guarantee: 0,
+            work_done: 0.0,
+            wasted: 0.0,
+            guaranteed_task_count: 0,
+            spare_task_count: 0,
+            profile: ProfileBuilder::new(&graph),
+            trace: RunTrace::new(),
+            status: JobStatus {
+                now: SimTime::ZERO,
+                elapsed: SimDuration::ZERO,
+                stage_fraction,
+                stage_completed,
+                running: 0,
+                running_guaranteed: 0,
+                guarantee: 0,
+                work_done: 0.0,
+                finished: false,
+            },
+            rng_runtime: self.seeds.rng_indexed("job-runtime", idx as u64),
+            rng_queue: self.seeds.rng_indexed("job-queue", idx as u64),
+            rng_fail: self.seeds.rng_indexed("job-fail", idx as u64),
+            spec,
+        };
+        self.jobs.push(job);
+        self.completed_floor.push(floor);
+        observe!(
+            self.observer,
+            start_at,
+            EntryKind::RngFork,
+            "job {idx}: streams \"job-runtime\"/\"job-queue\"/\"job-fail\" forked"
+        );
+        idx
+    }
+
+    /// Machines in the simulated slice: explicit under the placement
+    /// model, otherwise implied by token count and machine size.
+    pub fn machine_count(&self) -> u32 {
+        match &self.cfg.placement {
+            Some(p) => p.machines,
+            None => self
+                .cfg
+                .total_tokens
+                .div_ceil(self.cfg.failures.tasks_per_machine.max(1)),
+        }
+    }
+
+    /// Starts one task attempt of job `j` in the given token class and
+    /// schedules its completion event. `slowdown` is the background
+    /// runtime multiplier at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the task is `Ready`.
+    pub fn start_task(
+        &mut self,
+        j: usize,
+        task: TaskId,
+        class: TokenClass,
+        now: SimTime,
+        slowdown: f64,
+    ) {
+        let job = &mut self.jobs[j];
+        debug_assert_eq!(job.task_state(task), TaskState::Ready);
+        let s = task.stage.index();
+        job.attempts[s][task.index as usize] += 1;
+        let attempt = job.attempts[s][task.index as usize];
+
+        let base_run = job.spec.stage_runtimes[s].sample(&mut job.rng_runtime);
+        let base_queue = job.spec.stage_queues[s].sample(&mut job.rng_queue);
+        let class_mult = match class {
+            TokenClass::Guaranteed => 1.0,
+            TokenClass::Spare => self.cfg.spare_slowdown,
+        };
+        // Machine placement: pick a host and apply the remote-read
+        // penalty when the task loses locality.
+        let (machine, locality_mult) = match &self.cfg.placement {
+            Some(p) => {
+                let (m, mult) = p.place(&mut job.rng_queue);
+                (Some(m), mult)
+            }
+            None => (None, 1.0),
+        };
+        let queue_secs = base_queue * slowdown;
+        let run_secs = base_run * slowdown * class_mult * locality_mult;
+
+        match class {
+            TokenClass::Guaranteed => job.guaranteed_task_count += 1,
+            TokenClass::Spare => job.spare_task_count += 1,
+        }
+        job.set_task_state(task, TaskState::Running { attempt });
+        job.running.push(RunningTask {
+            task,
+            attempt,
+            class,
+            started: now,
+            queue_secs,
+            run_secs,
+            machine,
+        });
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: start s{}/{} attempt {attempt} class={class:?} queue={queue_secs:.2}s run={run_secs:.2}s machine={machine:?}",
+            task.stage.index(),
+            task.index
+        );
+        let occupancy =
+            SimDuration::from_secs_f64(queue_secs + run_secs).max(SimDuration::from_millis(1));
+        self.queue.schedule(
+            now + occupancy,
+            Event::TaskDone {
+                job: j,
+                task,
+                attempt,
+            },
+        );
+    }
+
+    /// Evicts the running task at `pos` in job `j`'s running list under
+    /// capacity pressure: partial work is wasted and the task requeues.
+    /// Unlike the kill paths this records no profile failure — eviction
+    /// is a scheduling decision, not a task fault.
+    pub fn evict_spare(&mut self, j: usize, pos: usize, now: SimTime) {
+        let job = &mut self.jobs[j];
+        let victim = job.running.swap_remove(pos);
+        let elapsed = now.saturating_since(victim.started).as_secs_f64();
+        job.wasted += elapsed.min(victim.run_secs);
+        job.set_task_state(victim.task, TaskState::Ready);
+        job.ready.push_back(victim.task);
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: spare task s{}/{} evicted under capacity pressure",
+            victim.task.stage.index(),
+            victim.task.index
+        );
+    }
+
+    /// Kills every running task of job `j` hosted on `machine`
+    /// (placement model's machine-failure semantics).
+    pub fn kill_tasks_on_machine(&mut self, j: usize, machine: u32, now: SimTime) {
+        let record_profile = self.record_profile;
+        let job = &mut self.jobs[j];
+        let mut killed: u32 = 0;
+        let mut i = 0;
+        while i < job.running.len() {
+            if job.running[i].machine == Some(machine) {
+                let victim = job.running.swap_remove(i);
+                let elapsed = now.saturating_since(victim.started).as_secs_f64();
+                job.wasted += elapsed.min(victim.run_secs);
+                if record_profile {
+                    job.profile.record_task(
+                        victim.task.stage,
+                        victim.queue_secs,
+                        elapsed.min(victim.run_secs),
+                        true,
+                    );
+                }
+                job.set_task_state(victim.task, TaskState::Ready);
+                job.ready.push_back(victim.task);
+                killed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if killed > 0 {
+            observe!(
+                self.observer,
+                now,
+                EntryKind::Task,
+                "job {j}: machine {machine} died, {killed} resident tasks killed"
+            );
+        }
+    }
+
+    /// Kills up to `count` randomly chosen running tasks of job `j`;
+    /// they re-queue and rerun from scratch.
+    pub fn kill_running_tasks(&mut self, j: usize, count: u32, now: SimTime) {
+        let record_profile = self.record_profile;
+        let job = &mut self.jobs[j];
+        let mut killed: u32 = 0;
+        for _ in 0..count {
+            if job.running.is_empty() {
+                break;
+            }
+            let pos = rand::Rng::gen_range(&mut job.rng_fail, 0..job.running.len());
+            let victim = job.running.swap_remove(pos);
+            let elapsed = now.saturating_since(victim.started).as_secs_f64();
+            job.wasted += elapsed.min(victim.run_secs);
+            if record_profile {
+                job.profile.record_task(
+                    victim.task.stage,
+                    victim.queue_secs,
+                    elapsed.min(victim.run_secs),
+                    true,
+                );
+            }
+            job.set_task_state(victim.task, TaskState::Ready);
+            job.ready.push_back(victim.task);
+            killed += 1;
+        }
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: machine failure killed {killed} of up to {count} running tasks"
+        );
+    }
+
+    /// Destroys the outputs of up to `count` completed tasks in one
+    /// randomly chosen *incomplete* stage of job `j`, forcing their
+    /// recomputation. One-to-one dependents that were only Ready are
+    /// demoted back to Pending.
+    pub fn lose_completed_outputs(&mut self, j: usize, count: u32, now: SimTime) {
+        let graph = self.jobs[j].spec.graph.clone();
+        let deps = TaskDeps::new(&graph);
+        let job = &mut self.jobs[j];
+
+        // Candidate stages: incomplete, with at least one done task.
+        let candidates: Vec<_> = graph
+            .stage_ids()
+            .filter(|s| {
+                let done = job.completed[s.index()];
+                done > 0 && done < graph.tasks_in(*s)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let stage = candidates[rand::Rng::gen_range(&mut job.rng_fail, 0..candidates.len())];
+
+        // Collect done tasks of that stage whose one-to-one children
+        // have not started (undoing them is then safe).
+        let undoable: Vec<TaskId> = (0..graph.tasks_in(stage))
+            .map(|i| TaskId::new(stage, i))
+            .filter(|&t| matches!(job.task_state(t), TaskState::Done { .. }))
+            .filter(|&t| {
+                graph.children(stage).iter().all(|&(c, kind)| match kind {
+                    jockey_jobgraph::graph::EdgeKind::OneToOne => matches!(
+                        job.task_state(TaskId::new(c, t.index)),
+                        TaskState::Pending | TaskState::Ready
+                    ),
+                    // Barrier children can't have started: stage is incomplete.
+                    jockey_jobgraph::graph::EdgeKind::AllToAll => true,
+                })
+            })
+            .collect();
+
+        for &t in undoable.iter().take(count as usize) {
+            let TaskState::Done { run_secs } = job.task_state(t) else {
+                continue;
+            };
+            job.work_done -= run_secs;
+            job.wasted += run_secs;
+            job.completed[stage.index()] -= 1;
+            job.done_tasks -= 1;
+            // Demote one-to-one children back to Pending; their queue
+            // entries (if any) become stale.
+            for &(c, kind) in graph.children(stage) {
+                if kind == jockey_jobgraph::graph::EdgeKind::OneToOne
+                    && job.task_state(TaskId::new(c, t.index)) == TaskState::Ready
+                {
+                    job.set_task_state(TaskId::new(c, t.index), TaskState::Pending);
+                }
+            }
+            // The undone task reruns; its own inputs may still be intact.
+            let ready = deps.is_ready(t, &job.completed, |x| {
+                matches!(
+                    job.state[x.stage.index()][x.index as usize],
+                    TaskState::Done { .. }
+                )
+            });
+            if ready {
+                job.set_task_state(t, TaskState::Ready);
+                job.ready.push_back(t);
+            } else {
+                job.set_task_state(t, TaskState::Pending);
+            }
+        }
+        let undone = undoable.len().min(count as usize);
+        // Legitimate rollback: lower the monotone-fraction floor so the
+        // invariant checker accepts the reduced completion count.
+        self.completed_floor[j][stage.index()] =
+            self.jobs[j].completed[stage.index()].min(self.completed_floor[j][stage.index()]);
+        observe!(
+            self.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: data loss undid {undone} completed outputs in stage {}",
+            stage.index()
+        );
+    }
+}
+
+/// The discrete-event loop composed with its policy layers.
+pub(crate) struct Engine {
+    pub(crate) core: EngineCore,
+    pub(crate) scheduler: Box<dyn SchedulerPolicy>,
+    pub(crate) failure: Box<dyn FailureModel>,
+}
+
+impl Engine {
+    pub(crate) fn new(cfg: ClusterConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cluster config: {e}");
+        }
+        let seeds = SeedDeriver::new(seed);
+        let background = BackgroundModel::new(cfg.background.clone(), seeds.rng("background"));
+        let failure = DefaultFailureModel::new(seeds.rng("machine-failures"));
+        Engine {
+            core: EngineCore {
+                cfg,
+                jobs: Vec::new(),
+                queue: EventQueue::new(),
+                background,
+                seeds,
+                observer: Box::new(NoopObserver),
+                invariants_enabled: cfg!(debug_assertions),
+                last_event_time: SimTime::ZERO,
+                completed_floor: Vec::new(),
+                record_profile: true,
+                record_trace: true,
+                cand_scratch: Vec::new(),
+                spare_buffers: Vec::new(),
+            },
+            scheduler: Box::new(WeightedFair),
+            failure: Box::new(failure),
+        }
+    }
+
+    pub(crate) fn with_workspace(cfg: ClusterConfig, seed: u64, ws: &mut SimWorkspace) -> Self {
+        let mut engine = Engine::new(cfg, seed);
+        engine.core.cand_scratch = std::mem::take(&mut ws.candidates);
+        engine.core.spare_buffers = std::mem::take(&mut ws.job_buffers);
+        engine
+    }
+
+    /// Seeds the event queue with job starts, the background tick and
+    /// the first machine failure.
+    pub(crate) fn prime(&mut self) {
+        observe!(
+            self.core.observer,
+            SimTime::ZERO,
+            EntryKind::RngFork,
+            "root streams \"background\" and \"machine-failures\" forked"
+        );
+        for j in 0..self.core.jobs.len() {
+            self.core
+                .queue
+                .schedule(self.core.jobs[j].start_at, Event::JobStart { job: j });
+        }
+        if self.core.cfg.background.enabled {
+            let tick = self.core.background.tick();
+            self.core
+                .queue
+                .schedule(SimTime::ZERO + tick, Event::BackgroundTick);
+        }
+        self.arm_machine_failure(SimTime::ZERO);
+    }
+
+    /// Runs the event loop to completion (all jobs done, queue drained,
+    /// or the configured horizon reached).
+    pub(crate) fn run_loop(&mut self, mut sink: Option<&mut dyn ProgressSink>) {
+        self.prime();
+        while let Some((now, event)) = self.core.queue.pop() {
+            if now > self.core.cfg.max_sim_time {
+                break;
+            }
+            match sink {
+                Some(ref mut s) => self.step(now, event, Some(&mut **s)),
+                None => self.step(now, event, None),
+            }
+            if self.core.jobs.iter().all(JobRun::is_finished) {
+                break;
+            }
+        }
+    }
+
+    /// Dispatches one event, then (in test/debug builds) checks the
+    /// simulator's invariants. Every event path funnels through the
+    /// scheduling pass, so post-step state is always consistent.
+    pub(crate) fn step(&mut self, now: SimTime, event: Event, sink: Option<&mut dyn ProgressSink>) {
+        if now > self.core.last_event_time {
+            observe!(
+                self.core.observer,
+                now,
+                EntryKind::Clock,
+                "clock advances from {:.3}s",
+                self.core.last_event_time.as_secs_f64()
+            );
+        }
+        match &event {
+            Event::JobStart { job } => {
+                observe!(
+                    self.core.observer,
+                    now,
+                    EntryKind::Event,
+                    "JobStart job={job}"
+                );
+            }
+            Event::TaskDone { job, task, attempt } => {
+                observe!(
+                    self.core.observer,
+                    now,
+                    EntryKind::Event,
+                    "TaskDone job={job} task=s{}/{} attempt={attempt}",
+                    task.stage.index(),
+                    task.index
+                );
+            }
+            Event::ControlTick { job } => {
+                observe!(
+                    self.core.observer,
+                    now,
+                    EntryKind::Event,
+                    "ControlTick job={job}"
+                );
+            }
+            Event::BackgroundTick => {
+                observe!(self.core.observer, now, EntryKind::Event, "BackgroundTick");
+            }
+            Event::MachineFailure => {
+                observe!(self.core.observer, now, EntryKind::Event, "MachineFailure");
+            }
+            Event::DeadlineChange { job, new_deadline } => {
+                observe!(
+                    self.core.observer,
+                    now,
+                    EntryKind::Event,
+                    "DeadlineChange job={job} new_deadline={:.1}s",
+                    new_deadline.as_secs_f64()
+                );
+            }
+        }
+        match event {
+            Event::JobStart { job } => self.on_job_start(job, now, sink),
+            Event::TaskDone { job, task, attempt } => self.on_task_done(job, task, attempt, now),
+            Event::ControlTick { job } => self.on_control_tick(job, now, sink),
+            Event::BackgroundTick => self.on_background_tick(now),
+            Event::MachineFailure => self.on_machine_failure(now),
+            Event::DeadlineChange { job, new_deadline } => {
+                self.core.jobs[job]
+                    .controller
+                    .deadline_changed(new_deadline);
+                // Force an immediate control decision at the new
+                // deadline rather than waiting for the next tick.
+                self.consult_controller(job, now, sink, false);
+                self.scheduler.schedule(&mut self.core, now);
+            }
+        }
+        if self.core.invariants_enabled {
+            invariants::check(&mut self.core, now);
+        } else {
+            self.core.last_event_time = now;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers.
+    // ------------------------------------------------------------------
+
+    fn on_job_start(&mut self, j: usize, now: SimTime, sink: Option<&mut dyn ProgressSink>) {
+        {
+            let job = &mut self.core.jobs[j];
+            job.started = Some(now);
+            let graph = job.spec.graph.clone();
+            let deps = TaskDeps::new(&graph);
+            for t in deps.initial_tasks() {
+                job.set_task_state(t, TaskState::Ready);
+                job.ready.push_back(t);
+            }
+        }
+        // Initial control decision.
+        self.consult_controller(j, now, sink, true);
+        self.core.queue.schedule(
+            now + self.core.cfg.control_period,
+            Event::ControlTick { job: j },
+        );
+        self.scheduler.schedule(&mut self.core, now);
+    }
+
+    fn on_control_tick(&mut self, j: usize, now: SimTime, sink: Option<&mut dyn ProgressSink>) {
+        if self.core.jobs[j].is_finished() {
+            return;
+        }
+        self.consult_controller(j, now, sink, false);
+        self.core.queue.schedule(
+            now + self.core.cfg.control_period,
+            Event::ControlTick { job: j },
+        );
+        self.scheduler.schedule(&mut self.core, now);
+    }
+
+    /// Refreshes the job's status, feeds it to the progress sink and the
+    /// controller, and applies the resulting decision.
+    fn consult_controller(
+        &mut self,
+        j: usize,
+        now: SimTime,
+        sink: Option<&mut dyn ProgressSink>,
+        initial: bool,
+    ) {
+        self.core.jobs[j].refresh_status(now);
+        if let Some(sink) = sink {
+            let status = &self.core.jobs[j].status;
+            sink.sample(j, status.elapsed.as_secs_f64(), &status.stage_fraction);
+        }
+        let job = &mut self.core.jobs[j];
+        let decision = if initial {
+            job.controller.initial(&job.status)
+        } else {
+            job.controller.tick(&job.status)
+        };
+        self.apply_decision(j, now, decision);
+    }
+
+    fn apply_decision(&mut self, j: usize, now: SimTime, decision: ControlDecision) {
+        let record_trace = self.core.record_trace;
+        let util = if record_trace {
+            self.core.background.utilization(now)
+        } else {
+            0.0
+        };
+        let job = &mut self.core.jobs[j];
+        job.guarantee = decision.guarantee.min(self.core.cfg.max_guarantee);
+        if record_trace {
+            job.trace.guarantee.push(now, f64::from(job.guarantee));
+            job.trace.running.push(now, job.running.len() as f64);
+            job.trace.background_util.push(now, util);
+            if let Some(raw) = decision.raw {
+                job.trace.raw_allocation.push(now, raw);
+            }
+            if let Some(p) = decision.progress {
+                job.trace.progress.push(now, p);
+            }
+            if let Some(t) = decision.predicted_completion {
+                job.trace.predicted_completion.push(now, t);
+            }
+            // Record the raw stage-fraction trajectory so progress
+            // indicators can be re-evaluated offline over this exact run.
+            let graph = &job.spec.graph;
+            if job.trace.stage_fractions.is_empty() {
+                job.trace.stage_fractions =
+                    vec![jockey_simrt::series::TimeSeries::new(); graph.num_stages()];
+            }
+            for s in graph.stage_ids() {
+                let frac = f64::from(job.completed[s.index()]) / f64::from(graph.tasks_in(s));
+                job.trace.stage_fractions[s.index()].push(now, frac);
+            }
+        }
+        let guarantee = job.guarantee;
+        observe!(
+            self.core.observer,
+            now,
+            EntryKind::Decision,
+            "job {j}: guarantee={guarantee} raw={:?} progress={:?} predicted_completion={:?}",
+            decision.raw,
+            decision.progress,
+            decision.predicted_completion
+        );
+    }
+
+    fn on_task_done(&mut self, j: usize, task: TaskId, attempt: u32, now: SimTime) {
+        let failure_prob = self
+            .core
+            .cfg
+            .failures
+            .task_failure_prob
+            .unwrap_or(self.core.jobs[j].spec.task_failure_prob);
+
+        {
+            let job = &self.core.jobs[j];
+            // Stale completion (task was evicted/killed since scheduling)?
+            match job.task_state(task) {
+                TaskState::Running { attempt: a } if a == attempt => {}
+                _ => {
+                    observe!(
+                        self.core.observer,
+                        now,
+                        EntryKind::Task,
+                        "job {j}: stale TaskDone for s{}/{} attempt {attempt} ignored",
+                        task.stage.index(),
+                        task.index
+                    );
+                    return;
+                }
+            }
+            if !job
+                .running
+                .iter()
+                .any(|r| r.task == task && r.attempt == attempt)
+            {
+                return;
+            }
+        }
+        let failed = self
+            .failure
+            .task_attempt_fails(&mut self.core, j, failure_prob);
+
+        let record_profile = self.core.record_profile;
+        let stage_now_complete;
+        {
+            let job = &mut self.core.jobs[j];
+            let pos = job
+                .running
+                .iter()
+                .position(|r| r.task == task && r.attempt == attempt)
+                .expect("presence checked above");
+            let running = job.running.swap_remove(pos);
+
+            if record_profile {
+                job.profile
+                    .record_task(task.stage, running.queue_secs, running.run_secs, failed);
+            }
+            if failed {
+                job.wasted += running.run_secs;
+                job.set_task_state(task, TaskState::Ready);
+                job.ready.push_back(task);
+                stage_now_complete = false;
+            } else {
+                job.work_done += running.run_secs;
+                job.set_task_state(
+                    task,
+                    TaskState::Done {
+                        run_secs: running.run_secs,
+                    },
+                );
+                job.completed[task.stage.index()] += 1;
+                job.done_tasks += 1;
+                if record_profile {
+                    job.profile.record_stage_window(
+                        task.stage,
+                        running
+                            .started
+                            .saturating_since(job.started.unwrap())
+                            .as_secs_f64(),
+                        now.saturating_since(job.started.unwrap()).as_secs_f64(),
+                    );
+                }
+                stage_now_complete =
+                    job.completed[task.stage.index()] == job.spec.graph.tasks_in(task.stage);
+            }
+        }
+        observe!(
+            self.core.observer,
+            now,
+            EntryKind::Task,
+            "job {j}: s{}/{} attempt {attempt} {}{}",
+            task.stage.index(),
+            task.index,
+            if failed { "failed, requeued" } else { "done" },
+            if stage_now_complete {
+                " (stage complete)"
+            } else {
+                ""
+            }
+        );
+
+        // Promote newly ready dependents.
+        if !matches!(self.core.jobs[j].task_state(task), TaskState::Ready) {
+            let graph = self.core.jobs[j].spec.graph.clone();
+            let deps = TaskDeps::new(&graph);
+            let mut candidates = std::mem::take(&mut self.core.cand_scratch);
+            candidates.clear();
+            deps.push_candidate_dependents(task, stage_now_complete, &mut candidates);
+            let record_trace = self.core.record_trace;
+            {
+                let job = &mut self.core.jobs[j];
+                for &c in &candidates {
+                    if job.task_state(c) == TaskState::Pending
+                        && deps.is_ready(c, &job.completed, |t| {
+                            matches!(
+                                job.state[t.stage.index()][t.index as usize],
+                                TaskState::Done { .. }
+                            )
+                        })
+                    {
+                        job.set_task_state(c, TaskState::Ready);
+                        job.ready.push_back(c);
+                    }
+                }
+                if job.done_tasks == job.total_tasks() {
+                    job.finished_at = Some(now);
+                    if record_trace {
+                        job.trace.guarantee.push(now, f64::from(job.guarantee));
+                        job.trace.running.push(now, 0.0);
+                    }
+                    observe!(
+                        self.core.observer,
+                        now,
+                        EntryKind::Task,
+                        "job {j}: all tasks done"
+                    );
+                }
+            }
+            self.core.cand_scratch = candidates;
+        }
+
+        self.scheduler.schedule(&mut self.core, now);
+    }
+
+    fn on_background_tick(&mut self, now: SimTime) {
+        self.scheduler.schedule(&mut self.core, now);
+        if self.core.jobs.iter().any(|j| !j.is_finished()) {
+            self.core
+                .queue
+                .schedule(now + self.core.background.tick(), Event::BackgroundTick);
+        }
+    }
+
+    /// Asks the failure model for the next machine-failure arrival and
+    /// schedules it (if any).
+    fn arm_machine_failure(&mut self, now: SimTime) {
+        if let Some(delay) = self.failure.next_failure_delay(&self.core) {
+            observe!(
+                self.core.observer,
+                now,
+                EntryKind::Decision,
+                "next machine failure armed in {:.3}s",
+                delay.as_secs_f64()
+            );
+            self.core.queue.schedule(now + delay, Event::MachineFailure);
+        }
+    }
+
+    fn on_machine_failure(&mut self, now: SimTime) {
+        self.failure.on_machine_failure(&mut self.core, now);
+        self.arm_machine_failure(now);
+        self.scheduler.schedule(&mut self.core, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::controller::FixedAllocation;
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+
+    fn one_job_engine(tokens: u32) -> Engine {
+        let mut b = JobGraphBuilder::new("engine-test");
+        let m = b.stage("map", 4);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph, Constant(10.0), Constant(0.0), 0.0);
+        let mut engine = Engine::new(ClusterConfig::dedicated(tokens), 1);
+        engine.core.add_job_at(
+            Arc::new(spec),
+            Box::new(FixedAllocation(tokens)),
+            SimTime::ZERO,
+        );
+        engine
+    }
+
+    #[test]
+    fn pop_ready_skips_stale_queue_entries() {
+        let mut engine = one_job_engine(2);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None); // JobStart: tasks become Ready/Running.
+        let job = &mut engine.core.jobs[0];
+        // Requeue a task that is actually Running: the entry is stale.
+        let running_task = job.running[0].task;
+        job.ready.push_front(running_task);
+        let popped = job.pop_ready();
+        assert_ne!(popped, Some(running_task), "stale entry must be skipped");
+    }
+
+    #[test]
+    fn stale_task_done_is_ignored() {
+        let mut engine = one_job_engine(2);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None);
+        let task = engine.core.jobs[0].running[0].task;
+        let done_before = engine.core.jobs[0].done_tasks;
+        // A completion for a long-gone attempt number must be a no-op.
+        engine.on_task_done(0, task, 999, SimTime::from_secs(1));
+        assert_eq!(engine.core.jobs[0].done_tasks, done_before);
+        assert!(matches!(
+            engine.core.jobs[0].task_state(task),
+            TaskState::Running { .. }
+        ));
+    }
+
+    #[test]
+    fn refresh_status_matches_job_state() {
+        let mut engine = one_job_engine(2);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None);
+        let job = &mut engine.core.jobs[0];
+        job.refresh_status(SimTime::from_secs(5));
+        assert_eq!(job.status.stage_fraction, vec![0.0, 0.0]);
+        assert_eq!(job.status.running, 2);
+        assert_eq!(job.status.guarantee, 2);
+        assert_eq!(job.status.elapsed, SimDuration::from_secs(5));
+        assert!(!job.status.finished);
+    }
+}

@@ -1,0 +1,211 @@
+//! The failure-model seam: task hazards, machine failures, data loss.
+//!
+//! Failures enter the simulation at three points, all routed through
+//! one trait so alternative hazard models (correlated failures,
+//! wear-out curves, fault injection for tests) can replace the default
+//! without touching the event loop:
+//!
+//! 1. every task completion rolls for a per-attempt failure;
+//! 2. a Poisson process arms the next machine-failure arrival;
+//! 3. each machine failure kills resident tasks and may destroy
+//!    completed outputs (forcing recomputation before a barrier).
+
+use jockey_simrt::dist::{bernoulli, Exponential, Sample};
+use jockey_simrt::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::engine::EngineCore;
+
+/// Injects failures into a simulation run.
+///
+/// Installed with
+/// [`ClusterSim::set_failure_model`](crate::ClusterSim::set_failure_model);
+/// the default is [`DefaultFailureModel`]. Implementations own their
+/// RNG streams — the engine only owns *when* each hook is called:
+/// [`task_attempt_fails`](FailureModel::task_attempt_fails) on every
+/// non-stale completion,
+/// [`next_failure_delay`](FailureModel::next_failure_delay) at prime
+/// time and after each machine failure, and
+/// [`on_machine_failure`](FailureModel::on_machine_failure) when the
+/// armed arrival fires.
+pub trait FailureModel: Send {
+    /// Whether this task attempt fails on completion. `prob` is the
+    /// configured (or spec-supplied) per-attempt failure probability
+    /// for job `job`.
+    fn task_attempt_fails(&mut self, core: &mut EngineCore, job: usize, prob: f64) -> bool;
+
+    /// Delay until the next machine failure, or `None` if machine
+    /// failures are disabled under the current configuration.
+    fn next_failure_delay(&mut self, core: &EngineCore) -> Option<SimDuration>;
+
+    /// Applies one machine failure: kill resident/running tasks and
+    /// (possibly) destroy completed outputs via the [`EngineCore`]
+    /// mechanics. The engine re-arms the next arrival afterwards.
+    fn on_machine_failure(&mut self, core: &mut EngineCore, now: SimTime);
+}
+
+/// Jockey's failure model: independent per-attempt task failures, a
+/// per-machine-hazard Poisson machine-failure process whose aggregate
+/// rate scales with the slice's machine count, and Bernoulli data loss
+/// that forces recomputation in incomplete stages.
+pub struct DefaultFailureModel {
+    rng_machine: StdRng,
+}
+
+impl DefaultFailureModel {
+    /// Creates the model over its dedicated machine-failure RNG stream.
+    pub fn new(rng_machine: StdRng) -> Self {
+        DefaultFailureModel { rng_machine }
+    }
+}
+
+impl FailureModel for DefaultFailureModel {
+    fn task_attempt_fails(&mut self, core: &mut EngineCore, job: usize, prob: f64) -> bool {
+        // Drawn from the job's own failure stream so multi-job runs
+        // stay independent of event interleaving across jobs.
+        bernoulli(&mut core.jobs[job].rng_fail, prob)
+    }
+
+    fn next_failure_delay(&mut self, core: &EngineCore) -> Option<SimDuration> {
+        // The configured rate is a per-machine hazard, so the slice's
+        // aggregate Poisson rate scales with its machine count — a
+        // 4-machine slice fails less often than a 400-machine one at
+        // the same per-machine reliability.
+        let rate =
+            core.cfg.failures.machine_failure_rate_per_hour * f64::from(core.machine_count());
+        if rate <= 0.0 {
+            return None;
+        }
+        let exp = Exponential::with_mean(3600.0 / rate);
+        Some(SimDuration::from_secs_f64(
+            exp.sample(&mut self.rng_machine),
+        ))
+    }
+
+    fn on_machine_failure(&mut self, core: &mut EngineCore, now: SimTime) {
+        // Choose a victim job weighted by running-task count.
+        let weights: Vec<u32> = core
+            .jobs
+            .iter()
+            .map(|j| {
+                if j.is_active() {
+                    j.running().len() as u32
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let total: u32 = weights.iter().sum();
+        if total > 0 {
+            let mut pick = self.rng_machine.gen_range(0..total);
+            let mut victim = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    victim = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let tasks_per_machine = core.cfg.failures.tasks_per_machine;
+            match core.cfg.placement.clone() {
+                Some(p) => {
+                    // A concrete machine dies: every resident task (of
+                    // every job) is killed.
+                    let machine = self.rng_machine.gen_range(0..p.machines);
+                    for j in 0..core.jobs.len() {
+                        core.kill_tasks_on_machine(j, machine, now);
+                    }
+                }
+                None => {
+                    core.kill_running_tasks(victim, tasks_per_machine, now);
+                }
+            }
+            if bernoulli(&mut self.rng_machine, core.cfg.failures.data_loss_prob) {
+                core.lose_completed_outputs(victim, tasks_per_machine, now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, FailureConfig};
+    use crate::controller::FixedAllocation;
+    use crate::engine::Engine;
+    use crate::job::JobSpec;
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+    use jockey_simrt::rng::SeedDeriver;
+    use std::sync::Arc;
+
+    fn engine_with(cfg: ClusterConfig) -> Engine {
+        let mut b = JobGraphBuilder::new("fail-test");
+        let m = b.stage("map", 6);
+        let r = b.stage("reduce", 2);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph, Constant(10.0), Constant(0.0), 0.0);
+        let mut engine = Engine::new(cfg, 1);
+        engine
+            .core
+            .add_job_at(Arc::new(spec), Box::new(FixedAllocation(4)), SimTime::ZERO);
+        engine
+    }
+
+    #[test]
+    fn no_delay_when_machine_failures_disabled() {
+        let core = &engine_with(ClusterConfig::dedicated(4)).core;
+        let mut model = DefaultFailureModel::new(SeedDeriver::new(7).rng("machine-failures"));
+        assert_eq!(model.next_failure_delay(core), None);
+    }
+
+    #[test]
+    fn delay_is_deterministic_for_a_fixed_stream() {
+        let mut cfg = ClusterConfig::dedicated(4);
+        cfg.failures = FailureConfig {
+            task_failure_prob: Some(0.0),
+            machine_failure_rate_per_hour: 1.0,
+            tasks_per_machine: 2,
+            data_loss_prob: 0.0,
+        };
+        let core = &engine_with(cfg).core;
+        let delay = |seed| {
+            let mut m = DefaultFailureModel::new(SeedDeriver::new(seed).rng("machine-failures"));
+            m.next_failure_delay(core).expect("rate is positive")
+        };
+        assert_eq!(delay(7), delay(7));
+        assert!(delay(7) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn task_attempt_failure_follows_probability_extremes() {
+        let mut engine = engine_with(ClusterConfig::dedicated(4));
+        let mut model = DefaultFailureModel::new(SeedDeriver::new(7).rng("machine-failures"));
+        assert!(!model.task_attempt_fails(&mut engine.core, 0, 0.0));
+        assert!(model.task_attempt_fails(&mut engine.core, 0, 1.0));
+    }
+
+    #[test]
+    fn machine_failure_kills_running_tasks() {
+        let mut cfg = ClusterConfig::dedicated(4);
+        cfg.failures = FailureConfig {
+            task_failure_prob: Some(0.0),
+            machine_failure_rate_per_hour: 1.0,
+            tasks_per_machine: 2,
+            data_loss_prob: 0.0,
+        };
+        let mut engine = engine_with(cfg);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None); // JobStart: 4 tasks running.
+        let before = engine.core.jobs[0].running().len();
+        assert!(before > 0);
+        let mut model = DefaultFailureModel::new(SeedDeriver::new(7).rng("machine-failures"));
+        model.on_machine_failure(&mut engine.core, SimTime::from_secs(1));
+        let job = &engine.core.jobs[0];
+        assert!(job.running().len() < before, "tasks must be killed");
+        assert!(job.wasted > 0.0 || job.running().len() + job.ready.len() >= before);
+    }
+}

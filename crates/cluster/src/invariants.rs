@@ -1,0 +1,303 @@
+//! Post-step invariant checks over the engine core.
+//!
+//! Enabled by default in debug/test builds (see
+//! [`ClusterSim::set_invariant_checks`](crate::ClusterSim::set_invariant_checks)),
+//! these verify after every dispatched event that no policy layer —
+//! scheduler, failure model, controller — has corrupted the run.
+
+use jockey_simrt::time::SimTime;
+
+use crate::engine::{EngineCore, TaskState, TokenClass};
+
+/// Verifies the simulator's core invariants after an event:
+///
+/// 1. **Event-time monotonicity** — dispatched event times never go
+///    backwards.
+/// 2. **Token conservation** — per job, guaranteed-class tasks never
+///    exceed the guarantee, and globally `guaranteed + spare +
+///    background + idle = capacity` with `idle >= 0` for the spare
+///    class (guaranteed admission is bounded separately, so a
+///    guarantee above cluster size surfaces here too).
+/// 3. **Per-stage task accounting** — `pending + ready + running +
+///    done == total` per stage, the `Done` count matches `completed`,
+///    the running list matches `Running` task states, and `done_tasks`
+///    equals the per-stage sum.
+/// 4. **Monotone stage fractions** — completed counts never decrease
+///    except through an explicit data-loss rollback (which lowers the
+///    floor).
+pub(crate) fn check(core: &mut EngineCore, now: SimTime) {
+    if now < core.last_event_time {
+        violation(
+            core,
+            now,
+            "event-time monotonicity",
+            format!(
+                "event dispatched at {:.3}s after the clock reached {:.3}s",
+                now.as_secs_f64(),
+                core.last_event_time.as_secs_f64()
+            ),
+        );
+    }
+    core.last_event_time = now;
+
+    // Token conservation.
+    let total = core.cfg.total_tokens;
+    core.background.advance_to(now);
+    let bg_demand = core.background.demand_tokens(now, total);
+    let mut guar_running: u32 = 0;
+    let mut spare_running: u32 = 0;
+    for (j, job) in core.jobs.iter().enumerate() {
+        let g = job.running_in_class(TokenClass::Guaranteed);
+        if g > job.guarantee() {
+            violation(
+                core,
+                now,
+                "token conservation",
+                format!(
+                    "job {j} runs {g} guaranteed tasks above its guarantee {}",
+                    job.guarantee()
+                ),
+            );
+        }
+        guar_running += g;
+        spare_running += job.running_in_class(TokenClass::Spare);
+    }
+    let spare_budget = (i64::from(total) - i64::from(bg_demand) - i64::from(guar_running)).max(0);
+    if i64::from(spare_running) > spare_budget {
+        violation(
+            core,
+            now,
+            "token conservation",
+            format!(
+                "{spare_running} spare tasks exceed the spare budget {spare_budget} \
+                 (capacity {total} - background {bg_demand} - guaranteed {guar_running})"
+            ),
+        );
+    }
+
+    // Per-stage task accounting.
+    for (j, job) in core.jobs.iter().enumerate() {
+        let graph = &job.spec().graph;
+        let mut done_total: u64 = 0;
+        let mut running_states: usize = 0;
+        for s in graph.stage_ids() {
+            let mut done: u32 = 0;
+            for st in &job.state[s.index()] {
+                match st {
+                    TaskState::Done { .. } => done += 1,
+                    TaskState::Running { .. } => running_states += 1,
+                    TaskState::Pending | TaskState::Ready => {}
+                }
+            }
+            if done != job.completed[s.index()] {
+                violation(
+                    core,
+                    now,
+                    "per-stage task accounting",
+                    format!(
+                        "job {j} stage {}: {done} Done task states but completed counter is {}",
+                        s.index(),
+                        job.completed[s.index()]
+                    ),
+                );
+            }
+            done_total += u64::from(done);
+        }
+        if done_total != job.done_tasks {
+            violation(
+                core,
+                now,
+                "per-stage task accounting",
+                format!(
+                    "job {j}: per-stage completed sum {done_total} != done_tasks {}",
+                    job.done_tasks
+                ),
+            );
+        }
+        if running_states != job.running().len() {
+            violation(
+                core,
+                now,
+                "per-stage task accounting",
+                format!(
+                    "job {j}: {running_states} Running task states but {} running-list entries",
+                    job.running().len()
+                ),
+            );
+        }
+        for r in job.running() {
+            match job.task_state(r.task) {
+                TaskState::Running { attempt } if attempt == r.attempt => {}
+                other => violation(
+                    core,
+                    now,
+                    "per-stage task accounting",
+                    format!(
+                        "job {j}: running-list entry s{}/{} attempt {} has task state {other:?}",
+                        r.task.stage.index(),
+                        r.task.index,
+                        r.attempt
+                    ),
+                ),
+            }
+        }
+    }
+
+    // Monotone stage fractions.
+    for j in 0..core.jobs.len() {
+        for s in 0..core.jobs[j].completed.len() {
+            if core.jobs[j].completed[s] < core.completed_floor[j][s] {
+                violation(
+                    core,
+                    now,
+                    "monotone stage fractions",
+                    format!(
+                        "job {j} stage {s}: completed fell from {} to {} without a data-loss rollback",
+                        core.completed_floor[j][s], core.jobs[j].completed[s]
+                    ),
+                );
+            }
+        }
+        core.completed_floor[j].copy_from_slice(&core.jobs[j].completed);
+    }
+}
+
+/// Panics with the violation and the tail of the attached journal.
+fn violation(core: &EngineCore, now: SimTime, what: &str, detail: String) -> ! {
+    let tail = match core.observer.tail(32) {
+        Some(t) if !t.is_empty() => format!("\nlast journal entries:\n{t}"),
+        _ => String::from("\n(no journal attached; call ClusterSim::attach_journal for history)"),
+    };
+    panic!(
+        "sim invariant violated at {:.3}s: {what}: {detail}{tail}",
+        now.as_secs_f64()
+    );
+}
+
+// ----------------------------------------------------------------------
+// Invariant checkers: each must fire on a seeded violation. The tests
+// corrupt private simulator state directly — no legitimate event path
+// produces these states (that is the point of the checks).
+// ----------------------------------------------------------------------
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::controller::FixedAllocation;
+    use crate::job::JobSpec;
+    use crate::sim::ClusterSim;
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+    use jockey_simrt::observe::SharedJournal;
+    use std::sync::Arc;
+
+    fn spec(map_tasks: u32, reduce_tasks: u32, secs: f64) -> JobSpec {
+        let mut b = JobGraphBuilder::new("test-job");
+        let m = b.stage("map", map_tasks);
+        let r = b.stage("reduce", reduce_tasks);
+        b.edge(m, r, EdgeKind::AllToAll);
+        JobSpec::uniform(
+            Arc::new(b.build().unwrap()),
+            Constant(secs),
+            Constant(0.0),
+            0.0,
+        )
+    }
+
+    /// Steps a fresh sim until the first task completes, so tasks are
+    /// both `Done` and `Running` and the clock has advanced.
+    fn stepped_sim(journal: bool) -> (ClusterSim, Option<SharedJournal>, SimTime) {
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
+        let journal = journal.then(|| sim.attach_journal(64));
+        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+        sim.engine.prime();
+        while sim.engine.core.jobs[0].done_tasks == 0 {
+            let (now, event) = sim
+                .engine
+                .core
+                .queue
+                .pop()
+                .expect("job cannot finish with no done tasks");
+            sim.engine.step(now, event, None);
+        }
+        let now = sim.engine.core.last_event_time;
+        (sim, journal, now)
+    }
+
+    #[test]
+    #[should_panic(expected = "event-time monotonicity")]
+    fn invariant_fires_on_time_regression() {
+        let (mut sim, _, now) = stepped_sim(false);
+        assert!(now > SimTime::ZERO);
+        check(&mut sim.engine.core, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "token conservation")]
+    fn invariant_fires_on_guarantee_overcommit() {
+        let (mut sim, _, now) = stepped_sim(false);
+        assert!(sim.engine.core.jobs[0].running_in_class(TokenClass::Guaranteed) > 0);
+        sim.engine.core.jobs[0].guarantee = 0;
+        check(&mut sim.engine.core, now);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-stage task accounting")]
+    fn invariant_fires_on_completed_counter_drift() {
+        let (mut sim, _, now) = stepped_sim(false);
+        sim.engine.core.jobs[0].completed[0] += 1;
+        check(&mut sim.engine.core, now);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone stage fractions")]
+    fn invariant_fires_on_fraction_regression() {
+        let (mut sim, _, now) = stepped_sim(false);
+        // A floor above the live counter models a completion count that
+        // silently went backwards (without the data-loss path that
+        // legitimately lowers the floor).
+        sim.engine.core.completed_floor[0][0] = sim.engine.core.jobs[0].completed[0] + 1;
+        check(&mut sim.engine.core, now);
+    }
+
+    #[test]
+    #[should_panic(expected = "no journal attached")]
+    fn invariant_panic_hints_at_journal_when_absent() {
+        let (mut sim, _, now) = stepped_sim(false);
+        sim.engine.core.jobs[0].guarantee = 0;
+        check(&mut sim.engine.core, now);
+    }
+
+    #[test]
+    fn invariant_panic_includes_journal_tail() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (mut sim, journal, now) = stepped_sim(true);
+            assert!(!journal.expect("journal attached").is_empty());
+            sim.engine.core.jobs[0].guarantee = 0;
+            check(&mut sim.engine.core, now);
+        }));
+        let payload = result.expect_err("corrupted sim must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted message");
+        assert!(msg.contains("token conservation"), "{msg}");
+        assert!(msg.contains("last journal entries"), "{msg}");
+        // The tail shows real dispatched events, e.g. TaskDone records.
+        assert!(msg.contains("TaskDone"), "{msg}");
+    }
+
+    #[test]
+    fn invariant_checks_can_be_disabled() {
+        let (mut sim, _, _) = stepped_sim(false);
+        assert!(
+            sim.engine.core.invariants_enabled,
+            "test builds default to enabled"
+        );
+        sim.set_invariant_checks(false);
+        sim.engine.core.jobs[0].guarantee = 0; // Would trip token conservation.
+        let (now, event) = sim.engine.core.queue.pop().expect("events remain");
+        sim.engine.step(now, event, None); // Must not panic with checks off.
+        assert_eq!(sim.engine.core.last_event_time, now);
+    }
+}

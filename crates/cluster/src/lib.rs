@@ -51,15 +51,24 @@
 pub mod background;
 pub mod config;
 pub mod controller;
+pub mod engine;
+pub mod failure;
+mod invariants;
 pub mod job;
 pub mod placement;
+pub mod scheduler;
 pub mod sim;
 pub mod trace;
+pub mod workspace;
 
 pub use background::BackgroundModel;
 pub use config::{BackgroundConfig, ClusterConfig, FailureConfig, InvalidClusterConfig};
 pub use controller::{ControlDecision, FixedAllocation, JobController, JobStatus};
+pub use engine::{EngineCore, JobRun, RunningTask, TaskState, TokenClass};
+pub use failure::{DefaultFailureModel, FailureModel};
 pub use job::JobSpec;
 pub use placement::PlacementConfig;
-pub use sim::{ClusterSim, JobResult};
+pub use scheduler::{SchedulerPolicy, WeightedFair};
+pub use sim::{ClusterSim, JobResult, RunHooks};
 pub use trace::RunTrace;
+pub use workspace::SimWorkspace;

@@ -1,177 +1,43 @@
-//! The discrete-event cluster simulator.
+//! The cluster-simulator facade.
 //!
-//! Executes one or more jobs under token scheduling with spare
-//! capacity, background load, failures and per-job controllers. See the
-//! crate docs for the model; the implementation notes that matter:
+//! [`ClusterSim`] is the public entry point; the machinery lives in the
+//! layered modules it composes:
 //!
-//! - **Stale-event filtering**: task completions are scheduled when the
-//!   task starts; if the task is evicted or killed before the event
-//!   fires, the event is recognized as stale by an attempt counter and
-//!   ignored.
-//! - **Token classes**: a task runs as `Guaranteed` (within the job's
-//!   guarantee) or `Spare`. Class changes in flight (upgrades on a
-//!   guarantee increase, demotions on a decrease) alter eviction
-//!   priority but not the already-sampled completion time.
-//! - **Data loss**: machine failures may force recomputation of
-//!   completed tasks, but only in *incomplete* stages — outputs of
-//!   fully completed stages are treated as durably replicated. This
-//!   keeps barrier bookkeeping consistent while still exercising the
-//!   expensive pre-barrier failure mode.
+//! - [`engine`](crate::engine) — the discrete-event loop and the state
+//!   mechanics (start/kill/evict/rollback);
+//! - [`scheduler`](crate::scheduler) — token and spare-capacity
+//!   arbitration behind [`SchedulerPolicy`];
+//! - [`failure`](crate::failure) — task and machine hazards behind
+//!   [`FailureModel`];
+//! - `invariants` — post-step consistency checks;
+//! - [`workspace`](crate::workspace) — buffer pooling for repeated
+//!   runs.
+//!
+//! # Diagnostics
+//!
+//! Every dispatched event, control decision, task transition and RNG
+//! stream fork is reported through a [`SimObserver`]. The default
+//! observer is a no-op; call [`ClusterSim::attach_journal`] to retain
+//! the last `N` records in a [`SharedJournal`] and dump them from a
+//! failing test. In debug/test builds, after every step the simulator
+//! checks its core invariants (token conservation, event-time
+//! monotonicity, per-stage task accounting, monotone stage fractions)
+//! and panics with the journal tail when one is violated.
 
-use std::collections::VecDeque;
+use std::sync::Arc;
 
-use jockey_jobgraph::profile::{JobProfile, ProfileBuilder};
-use jockey_jobgraph::task::{TaskDeps, TaskId};
-use jockey_simrt::dist::{bernoulli, Exponential, Sample};
-use jockey_simrt::event::EventQueue;
-use jockey_simrt::observe;
-use jockey_simrt::observe::{EntryKind, NoopObserver, SharedJournal, SimObserver};
-use jockey_simrt::rng::SeedDeriver;
+use jockey_jobgraph::profile::JobProfile;
+use jockey_simrt::observe::{ProgressSink, SharedJournal, SimObserver};
 use jockey_simrt::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::Rng;
 
-use crate::background::BackgroundModel;
 use crate::config::ClusterConfig;
-use crate::controller::{ControlDecision, JobController, JobStatus};
+use crate::controller::JobController;
+use crate::engine::{Engine, Event, JobRun};
+use crate::failure::FailureModel;
 use crate::job::JobSpec;
+use crate::scheduler::SchedulerPolicy;
 use crate::trace::RunTrace;
-
-/// Token class a running task occupies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TokenClass {
-    Guaranteed,
-    Spare,
-}
-
-/// Per-task lifecycle state.
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum TaskState {
-    /// Dependencies not yet satisfied.
-    Pending,
-    /// Ready to run; present in the ready queue.
-    Ready,
-    /// Occupying a token; the attempt number identifies the scheduled
-    /// completion event.
-    Running { attempt: u32 },
-    /// Completed; remembers the attempt's execution seconds so that
-    /// recomputation can roll back work accounting.
-    Done { run_secs: f64 },
-}
-
-/// A task currently occupying a token.
-#[derive(Clone, Copy, Debug)]
-struct RunningTask {
-    task: TaskId,
-    attempt: u32,
-    class: TokenClass,
-    started: SimTime,
-    queue_secs: f64,
-    run_secs: f64,
-    /// Hosting machine (placement model only).
-    machine: Option<u32>,
-}
-
-/// Simulation events.
-enum Event {
-    JobStart {
-        job: usize,
-    },
-    TaskDone {
-        job: usize,
-        task: TaskId,
-        attempt: u32,
-    },
-    ControlTick {
-        job: usize,
-    },
-    BackgroundTick,
-    MachineFailure,
-    DeadlineChange {
-        job: usize,
-        new_deadline: SimDuration,
-    },
-}
-
-/// One job's dynamic state inside the simulator.
-struct JobRun {
-    spec: JobSpec,
-    controller: Box<dyn JobController>,
-    start_at: SimTime,
-    started: Option<SimTime>,
-    finished_at: Option<SimTime>,
-    state: Vec<Vec<TaskState>>,
-    attempts: Vec<Vec<u32>>,
-    completed: Vec<u32>,
-    done_tasks: u64,
-    ready: VecDeque<TaskId>,
-    running: Vec<RunningTask>,
-    guarantee: u32,
-    work_done: f64,
-    wasted: f64,
-    guaranteed_task_count: u64,
-    spare_task_count: u64,
-    profile: ProfileBuilder,
-    trace: RunTrace,
-    rng_runtime: StdRng,
-    rng_queue: StdRng,
-    rng_fail: StdRng,
-}
-
-impl JobRun {
-    fn total_tasks(&self) -> u64 {
-        self.spec.graph.total_tasks()
-    }
-
-    fn is_finished(&self) -> bool {
-        self.finished_at.is_some()
-    }
-
-    fn is_active(&self) -> bool {
-        self.started.is_some() && self.finished_at.is_none()
-    }
-
-    fn running_in_class(&self, class: TokenClass) -> u32 {
-        self.running.iter().filter(|r| r.class == class).count() as u32
-    }
-
-    fn task_state(&self, t: TaskId) -> TaskState {
-        self.state[t.stage.index()][t.index as usize]
-    }
-
-    fn set_task_state(&mut self, t: TaskId, s: TaskState) {
-        self.state[t.stage.index()][t.index as usize] = s;
-    }
-
-    /// Pops ready tasks, skipping stale queue entries.
-    fn pop_ready(&mut self) -> Option<TaskId> {
-        while let Some(t) = self.ready.pop_front() {
-            if self.task_state(t) == TaskState::Ready {
-                return Some(t);
-            }
-        }
-        None
-    }
-
-    fn status(&self, now: SimTime) -> JobStatus {
-        let graph = &self.spec.graph;
-        let stage_fraction = graph
-            .stage_ids()
-            .map(|s| f64::from(self.completed[s.index()]) / f64::from(graph.tasks_in(s)))
-            .collect();
-        JobStatus {
-            now,
-            elapsed: now.saturating_since(self.started.unwrap_or(now)),
-            stage_fraction,
-            stage_completed: self.completed.clone(),
-            running: self.running.len() as u32,
-            running_guaranteed: self.running_in_class(TokenClass::Guaranteed),
-            guarantee: self.guarantee,
-            work_done: self.work_done,
-            finished: self.is_finished(),
-        }
-    }
-}
+use crate::workspace::{JobBuffers, SimWorkspace};
 
 /// The outcome of one job's simulated execution.
 #[derive(Debug)]
@@ -215,34 +81,19 @@ impl JobResult {
     }
 }
 
+/// Borrowed hooks threaded through one run.
+#[derive(Default)]
+pub struct RunHooks<'a> {
+    /// Receives a progress sample each time a job's controller is
+    /// consulted (including the initial decision at job start).
+    pub sink: Option<&'a mut dyn ProgressSink>,
+    /// Workspace that reclaims the run's buffers after conversion.
+    pub reclaim: Option<&'a mut SimWorkspace>,
+}
+
 /// The cluster simulator. See the crate docs for an end-to-end example.
-///
-/// # Diagnostics
-///
-/// Every dispatched event, control decision, task transition and RNG
-/// stream fork is reported through a [`SimObserver`]. The default
-/// observer is a no-op; call [`ClusterSim::attach_journal`] to retain
-/// the last `N` records in a [`SharedJournal`] and dump them from a
-/// failing test. In debug/test builds, after every [`ClusterSim::step`]
-/// the simulator checks its core invariants (token conservation,
-/// event-time monotonicity, per-stage task accounting, monotone stage
-/// fractions) and panics with the journal tail when one is violated.
 pub struct ClusterSim {
-    cfg: ClusterConfig,
-    jobs: Vec<JobRun>,
-    queue: EventQueue<Event>,
-    background: BackgroundModel,
-    rng_machine: StdRng,
-    seeds: SeedDeriver,
-    observer: Box<dyn SimObserver>,
-    invariants_enabled: bool,
-    /// Time of the most recently dispatched event (event-time
-    /// monotonicity invariant).
-    last_event_time: SimTime,
-    /// Per-job, per-stage floor on completed-task counts (monotone
-    /// stage-fraction invariant); lowered explicitly when a data-loss
-    /// event legitimately rolls completions back.
-    completed_floor: Vec<Vec<u32>>,
+    pub(crate) engine: Engine,
 }
 
 impl ClusterSim {
@@ -252,28 +103,28 @@ impl ClusterSim {
     ///
     /// Panics if the configuration fails validation.
     pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid cluster config: {e}");
-        }
-        let seeds = SeedDeriver::new(seed);
-        let background = BackgroundModel::new(cfg.background.clone(), seeds.rng("background"));
         ClusterSim {
-            cfg,
-            jobs: Vec::new(),
-            queue: EventQueue::new(),
-            background,
-            rng_machine: seeds.rng("machine-failures"),
-            seeds,
-            observer: Box::new(NoopObserver),
-            invariants_enabled: cfg!(debug_assertions),
-            last_event_time: SimTime::ZERO,
-            completed_floor: Vec::new(),
+            engine: Engine::new(cfg, seed),
+        }
+    }
+
+    /// Like [`ClusterSim::new`], but rents per-job buffers from `ws`
+    /// instead of allocating fresh ones. Pair with
+    /// [`RunHooks::reclaim`] so the run returns them; reuse is
+    /// observably identical to fresh allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn with_workspace(cfg: ClusterConfig, seed: u64, ws: &mut SimWorkspace) -> Self {
+        ClusterSim {
+            engine: Engine::with_workspace(cfg, seed, ws),
         }
     }
 
     /// Replaces the simulator's observer (the default records nothing).
     pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
-        self.observer = observer;
+        self.engine.core.observer = observer;
     }
 
     /// Attaches a fresh ring journal retaining `capacity` entries and
@@ -281,14 +132,41 @@ impl ClusterSim {
     /// run (or from a panic hook) to see what the simulator did last.
     pub fn attach_journal(&mut self, capacity: usize) -> SharedJournal {
         let journal = SharedJournal::new(capacity);
-        self.observer = Box::new(journal.clone());
+        self.engine.core.observer = Box::new(journal.clone());
         journal
     }
 
     /// Enables or disables the per-step invariant checks. They default
     /// to on in debug/test builds and off in release builds.
     pub fn set_invariant_checks(&mut self, enabled: bool) {
-        self.invariants_enabled = enabled;
+        self.engine.core.invariants_enabled = enabled;
+    }
+
+    /// Enables or disables per-task profile recording (default on).
+    /// Training loops that only consume progress samples turn this off
+    /// to keep per-run allocations out of the hot path; the returned
+    /// [`JobResult::profile`] is then empty of task samples.
+    pub fn set_record_profile(&mut self, enabled: bool) {
+        self.engine.core.record_profile = enabled;
+    }
+
+    /// Enables or disables control-trace recording (default on). With
+    /// recording off, [`JobResult::trace`] stays empty.
+    pub fn set_record_trace(&mut self, enabled: bool) {
+        self.engine.core.record_trace = enabled;
+    }
+
+    /// Replaces the scheduling policy (default:
+    /// [`WeightedFair`](crate::scheduler::WeightedFair)).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn SchedulerPolicy>) {
+        self.engine.scheduler = scheduler;
+    }
+
+    /// Replaces the failure model (default:
+    /// [`DefaultFailureModel`](crate::failure::DefaultFailureModel),
+    /// seeded from the root seed's `"machine-failures"` stream).
+    pub fn set_failure_model(&mut self, failure: Box<dyn FailureModel>) {
+        self.engine.failure = failure;
     }
 
     /// Adds a job starting at time zero. Returns its index.
@@ -303,49 +181,20 @@ impl ClusterSim {
         controller: Box<dyn JobController>,
         start_at: SimTime,
     ) -> usize {
-        let idx = self.jobs.len();
-        let graph = spec.graph.clone();
-        let n = graph.num_stages();
-        let state = graph
-            .stage_ids()
-            .map(|s| vec![TaskState::Pending; graph.tasks_in(s) as usize])
-            .collect();
-        let attempts = graph
-            .stage_ids()
-            .map(|s| vec![0_u32; graph.tasks_in(s) as usize])
-            .collect();
-        let job = JobRun {
-            controller,
-            start_at,
-            started: None,
-            finished_at: None,
-            state,
-            attempts,
-            completed: vec![0; n],
-            done_tasks: 0,
-            ready: VecDeque::new(),
-            running: Vec::new(),
-            guarantee: 0,
-            work_done: 0.0,
-            wasted: 0.0,
-            guaranteed_task_count: 0,
-            spare_task_count: 0,
-            profile: ProfileBuilder::new(&graph),
-            trace: RunTrace::new(),
-            rng_runtime: self.seeds.rng_indexed("job-runtime", idx as u64),
-            rng_queue: self.seeds.rng_indexed("job-queue", idx as u64),
-            rng_fail: self.seeds.rng_indexed("job-fail", idx as u64),
-            spec,
-        };
-        self.jobs.push(job);
-        self.completed_floor.push(vec![0; n]);
-        observe!(
-            self.observer,
-            start_at,
-            EntryKind::RngFork,
-            "job {idx}: streams \"job-runtime\"/\"job-queue\"/\"job-fail\" forked"
-        );
-        idx
+        self.engine
+            .core
+            .add_job_at(Arc::new(spec), controller, start_at)
+    }
+
+    /// Adds a job from a shared spec, avoiding the per-run deep clone
+    /// of graphs and distributions in repeated-simulation loops.
+    /// Returns the job's index.
+    pub fn add_job_shared(
+        &mut self,
+        spec: Arc<JobSpec>,
+        controller: Box<dyn JobController>,
+    ) -> usize {
+        self.engine.core.add_job_at(spec, controller, SimTime::ZERO)
     }
 
     /// Schedules a deadline change for `job` at time `at` (§5.2's
@@ -356,1330 +205,104 @@ impl ClusterSim {
     ///
     /// Panics if `job` is out of range.
     pub fn schedule_deadline_change(&mut self, job: usize, at: SimTime, new_deadline: SimDuration) {
-        assert!(job < self.jobs.len());
-        self.queue
+        assert!(job < self.engine.core.jobs.len());
+        self.engine
+            .core
+            .queue
             .schedule(at, Event::DeadlineChange { job, new_deadline });
     }
 
     /// Runs the simulation to completion (all jobs done, queue drained,
     /// or the configured horizon reached) and returns per-job results.
-    pub fn run(mut self) -> Vec<JobResult> {
-        self.prime();
-        while let Some((now, event)) = self.queue.pop() {
-            if now > self.cfg.max_sim_time {
-                break;
-            }
-            self.step(now, event);
-            if self.jobs.iter().all(JobRun::is_finished) {
-                break;
-            }
-        }
-
-        let horizon = self.queue.now();
-        self.jobs
-            .into_iter()
-            .map(|j| {
-                let end = j.finished_at.unwrap_or(horizon.max_of(j.start_at));
-                let duration = end.saturating_since(j.started.unwrap_or(j.start_at));
-                let profile = j
-                    .profile
-                    .finish(duration.as_secs_f64().max(1e-3), j.spec.data_gb);
-                JobResult {
-                    name: j.spec.graph.name().to_string(),
-                    started_at: j.start_at,
-                    completed_at: j.finished_at,
-                    work_done_secs: j.work_done,
-                    wasted_secs: j.wasted,
-                    guaranteed_task_count: j.guaranteed_task_count,
-                    spare_task_count: j.spare_task_count,
-                    trace: j.trace,
-                    profile,
-                }
-            })
-            .collect()
+    pub fn run(self) -> Vec<JobResult> {
+        self.run_hooked(RunHooks::default())
     }
 
-    // ------------------------------------------------------------------
-    // The event loop.
-    // ------------------------------------------------------------------
-
-    /// Seeds the event queue with job starts, the background tick and
-    /// the first machine failure.
-    fn prime(&mut self) {
-        observe!(
-            self.observer,
-            SimTime::ZERO,
-            EntryKind::RngFork,
-            "root streams \"background\" and \"machine-failures\" forked"
-        );
-        for j in 0..self.jobs.len() {
-            self.queue
-                .schedule(self.jobs[j].start_at, Event::JobStart { job: j });
-        }
-        if self.cfg.background.enabled {
-            let tick = self.background.tick();
-            self.queue
-                .schedule(SimTime::ZERO + tick, Event::BackgroundTick);
-        }
-        if self.cfg.failures.machine_failure_rate_per_hour > 0.0 {
-            self.arm_machine_failure(SimTime::ZERO);
-        }
-    }
-
-    /// Dispatches one event, then (in test/debug builds) checks the
-    /// simulator's invariants. Every event path funnels through the
-    /// scheduling pass, so post-step state is always consistent.
-    fn step(&mut self, now: SimTime, event: Event) {
-        if now > self.last_event_time {
-            observe!(
-                self.observer,
-                now,
-                EntryKind::Clock,
-                "clock advances from {:.3}s",
-                self.last_event_time.as_secs_f64()
-            );
-        }
-        match &event {
-            Event::JobStart { job } => {
-                observe!(self.observer, now, EntryKind::Event, "JobStart job={job}");
-            }
-            Event::TaskDone { job, task, attempt } => {
-                observe!(
-                    self.observer,
-                    now,
-                    EntryKind::Event,
-                    "TaskDone job={job} task=s{}/{} attempt={attempt}",
-                    task.stage.index(),
-                    task.index
-                );
-            }
-            Event::ControlTick { job } => {
-                observe!(
-                    self.observer,
-                    now,
-                    EntryKind::Event,
-                    "ControlTick job={job}"
-                );
-            }
-            Event::BackgroundTick => {
-                observe!(self.observer, now, EntryKind::Event, "BackgroundTick");
-            }
-            Event::MachineFailure => {
-                observe!(self.observer, now, EntryKind::Event, "MachineFailure");
-            }
-            Event::DeadlineChange { job, new_deadline } => {
-                observe!(
-                    self.observer,
-                    now,
-                    EntryKind::Event,
-                    "DeadlineChange job={job} new_deadline={:.1}s",
-                    new_deadline.as_secs_f64()
-                );
-            }
-        }
-        match event {
-            Event::JobStart { job } => self.on_job_start(job, now),
-            Event::TaskDone { job, task, attempt } => self.on_task_done(job, task, attempt, now),
-            Event::ControlTick { job } => self.on_control_tick(job, now),
-            Event::BackgroundTick => self.on_background_tick(now),
-            Event::MachineFailure => self.on_machine_failure(now),
-            Event::DeadlineChange { job, new_deadline } => {
-                self.jobs[job].controller.deadline_changed(new_deadline);
-                // Force an immediate control decision at the new
-                // deadline rather than waiting for the next tick.
-                self.control_decision(job, now);
-                self.schedule_tasks(now);
-            }
-        }
-        if self.invariants_enabled {
-            self.check_invariants(now);
-        } else {
-            self.last_event_time = now;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Invariant checks.
-    // ------------------------------------------------------------------
-
-    /// Verifies the simulator's core invariants after an event:
+    /// Runs a single-job simulation and returns its result.
     ///
-    /// 1. **Event-time monotonicity** — dispatched event times never go
-    ///    backwards.
-    /// 2. **Token conservation** — per job, guaranteed-class tasks never
-    ///    exceed the guarantee, and globally `guaranteed + spare +
-    ///    background + idle = capacity` with `idle >= 0` for the spare
-    ///    class (guaranteed admission is bounded separately, so a
-    ///    guarantee above cluster size surfaces here too).
-    /// 3. **Per-stage task accounting** — `pending + ready + running +
-    ///    done == total` per stage, the `Done` count matches
-    ///    `completed`, the running list matches `Running` task states,
-    ///    and `done_tasks` equals the per-stage sum.
-    /// 4. **Monotone stage fractions** — completed counts never
-    ///    decrease except through an explicit data-loss rollback (which
-    ///    lowers the floor).
-    fn check_invariants(&mut self, now: SimTime) {
-        if now < self.last_event_time {
-            self.invariant_violation(
-                now,
-                "event-time monotonicity",
-                format!(
-                    "event dispatched at {:.3}s after the clock reached {:.3}s",
-                    now.as_secs_f64(),
-                    self.last_event_time.as_secs_f64()
-                ),
-            );
-        }
-        self.last_event_time = now;
-
-        // Token conservation.
-        let total = self.cfg.total_tokens;
-        self.background.advance_to(now);
-        let bg_demand = self.background.demand_tokens(now, total);
-        let mut guar_running: u32 = 0;
-        let mut spare_running: u32 = 0;
-        for (j, job) in self.jobs.iter().enumerate() {
-            let g = job.running_in_class(TokenClass::Guaranteed);
-            if g > job.guarantee {
-                self.invariant_violation(
-                    now,
-                    "token conservation",
-                    format!(
-                        "job {j} runs {g} guaranteed tasks above its guarantee {}",
-                        job.guarantee
-                    ),
-                );
-            }
-            guar_running += g;
-            spare_running += job.running_in_class(TokenClass::Spare);
-        }
-        let spare_budget =
-            (i64::from(total) - i64::from(bg_demand) - i64::from(guar_running)).max(0);
-        if i64::from(spare_running) > spare_budget {
-            self.invariant_violation(
-                now,
-                "token conservation",
-                format!(
-                    "{spare_running} spare tasks exceed the spare budget {spare_budget} \
-                     (capacity {total} - background {bg_demand} - guaranteed {guar_running})"
-                ),
-            );
-        }
-
-        // Per-stage task accounting.
-        for (j, job) in self.jobs.iter().enumerate() {
-            let graph = &job.spec.graph;
-            let mut done_total: u64 = 0;
-            let mut running_states: usize = 0;
-            for s in graph.stage_ids() {
-                let mut done: u32 = 0;
-                for st in &job.state[s.index()] {
-                    match st {
-                        TaskState::Done { .. } => done += 1,
-                        TaskState::Running { .. } => running_states += 1,
-                        TaskState::Pending | TaskState::Ready => {}
-                    }
-                }
-                if done != job.completed[s.index()] {
-                    self.invariant_violation(
-                        now,
-                        "per-stage task accounting",
-                        format!(
-                            "job {j} stage {}: {done} Done task states but completed counter is {}",
-                            s.index(),
-                            job.completed[s.index()]
-                        ),
-                    );
-                }
-                done_total += u64::from(done);
-            }
-            if done_total != job.done_tasks {
-                self.invariant_violation(
-                    now,
-                    "per-stage task accounting",
-                    format!(
-                        "job {j}: per-stage completed sum {done_total} != done_tasks {}",
-                        job.done_tasks
-                    ),
-                );
-            }
-            if running_states != job.running.len() {
-                self.invariant_violation(
-                    now,
-                    "per-stage task accounting",
-                    format!(
-                        "job {j}: {running_states} Running task states but {} running-list entries",
-                        job.running.len()
-                    ),
-                );
-            }
-            for r in &job.running {
-                match job.task_state(r.task) {
-                    TaskState::Running { attempt } if attempt == r.attempt => {}
-                    other => self.invariant_violation(
-                        now,
-                        "per-stage task accounting",
-                        format!(
-                            "job {j}: running-list entry s{}/{} attempt {} has task state {other:?}",
-                            r.task.stage.index(),
-                            r.task.index,
-                            r.attempt
-                        ),
-                    ),
-                }
-            }
-        }
-
-        // Monotone stage fractions.
-        for j in 0..self.jobs.len() {
-            for s in 0..self.jobs[j].completed.len() {
-                if self.jobs[j].completed[s] < self.completed_floor[j][s] {
-                    self.invariant_violation(
-                        now,
-                        "monotone stage fractions",
-                        format!(
-                            "job {j} stage {s}: completed fell from {} to {} without a data-loss rollback",
-                            self.completed_floor[j][s], self.jobs[j].completed[s]
-                        ),
-                    );
-                }
-            }
-            self.completed_floor[j].copy_from_slice(&self.jobs[j].completed);
-        }
+    /// # Panics
+    ///
+    /// Panics if the simulation holds more or fewer than one job.
+    pub fn run_single(self) -> JobResult {
+        self.run_single_hooked(RunHooks::default())
     }
 
-    /// Panics with the violation and the tail of the attached journal.
-    fn invariant_violation(&self, now: SimTime, what: &str, detail: String) -> ! {
-        let tail = match self.observer.tail(32) {
-            Some(t) if !t.is_empty() => format!("\nlast journal entries:\n{t}"),
-            _ => {
-                String::from("\n(no journal attached; call ClusterSim::attach_journal for history)")
-            }
-        };
-        panic!(
-            "sim invariant violated at {:.3}s: {what}: {detail}{tail}",
-            now.as_secs_f64()
+    /// [`ClusterSim::run_single`] with borrowed run hooks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation holds more or fewer than one job.
+    pub fn run_single_hooked(self, hooks: RunHooks<'_>) -> JobResult {
+        let mut results = self.run_hooked(hooks);
+        assert_eq!(
+            results.len(),
+            1,
+            "run_single on a simulation with {} jobs",
+            results.len()
         );
+        results.swap_remove(0)
     }
 
-    // ------------------------------------------------------------------
-    // Event handlers.
-    // ------------------------------------------------------------------
+    /// Runs the simulation with borrowed hooks: a [`ProgressSink`]
+    /// sampling every controller consult, and/or a [`SimWorkspace`]
+    /// reclaiming the run's buffers.
+    pub fn run_hooked(mut self, hooks: RunHooks<'_>) -> Vec<JobResult> {
+        let RunHooks { sink, mut reclaim } = hooks;
+        self.engine.run_loop(sink);
 
-    fn on_job_start(&mut self, j: usize, now: SimTime) {
-        {
-            let job = &mut self.jobs[j];
-            job.started = Some(now);
-            let graph = job.spec.graph.clone();
-            let deps = TaskDeps::new(&graph);
-            for t in deps.initial_tasks() {
-                job.set_task_state(t, TaskState::Ready);
-                job.ready.push_back(t);
-            }
-        }
-        // Initial control decision.
-        let status = self.jobs[j].status(now);
-        let decision = self.jobs[j].controller.initial(&status);
-        self.apply_decision(j, now, decision);
-        self.queue
-            .schedule(now + self.cfg.control_period, Event::ControlTick { job: j });
-        self.schedule_tasks(now);
-    }
-
-    fn on_control_tick(&mut self, j: usize, now: SimTime) {
-        if self.jobs[j].is_finished() {
-            return;
-        }
-        self.control_decision(j, now);
-        self.queue
-            .schedule(now + self.cfg.control_period, Event::ControlTick { job: j });
-        self.schedule_tasks(now);
-    }
-
-    fn control_decision(&mut self, j: usize, now: SimTime) {
-        let status = self.jobs[j].status(now);
-        let decision = self.jobs[j].controller.tick(&status);
-        self.apply_decision(j, now, decision);
-    }
-
-    fn apply_decision(&mut self, j: usize, now: SimTime, decision: ControlDecision) {
-        let util = self.background.utilization(now);
-        let job = &mut self.jobs[j];
-        job.guarantee = decision.guarantee.min(self.cfg.max_guarantee);
-        job.trace.guarantee.push(now, f64::from(job.guarantee));
-        job.trace.running.push(now, job.running.len() as f64);
-        job.trace.background_util.push(now, util);
-        if let Some(raw) = decision.raw {
-            job.trace.raw_allocation.push(now, raw);
-        }
-        if let Some(p) = decision.progress {
-            job.trace.progress.push(now, p);
-        }
-        if let Some(t) = decision.predicted_completion {
-            job.trace.predicted_completion.push(now, t);
-        }
-        // Record the raw stage-fraction trajectory so progress
-        // indicators can be re-evaluated offline over this exact run.
-        let graph = &job.spec.graph;
-        if job.trace.stage_fractions.is_empty() {
-            job.trace.stage_fractions =
-                vec![jockey_simrt::series::TimeSeries::new(); graph.num_stages()];
-        }
-        for s in graph.stage_ids() {
-            let frac = f64::from(job.completed[s.index()]) / f64::from(graph.tasks_in(s));
-            job.trace.stage_fractions[s.index()].push(now, frac);
-        }
-        let guarantee = job.guarantee;
-        observe!(
-            self.observer,
-            now,
-            EntryKind::Decision,
-            "job {j}: guarantee={guarantee} raw={:?} progress={:?} predicted_completion={:?}",
-            decision.raw,
-            decision.progress,
-            decision.predicted_completion
-        );
-    }
-
-    fn on_task_done(&mut self, j: usize, task: TaskId, attempt: u32, now: SimTime) {
-        let failure_prob = self
-            .cfg
-            .failures
-            .task_failure_prob
-            .unwrap_or(self.jobs[j].spec.task_failure_prob);
-
-        let stage_now_complete;
-        let failed;
-        {
-            let job = &mut self.jobs[j];
-            // Stale completion (task was evicted/killed since scheduling)?
-            match job.task_state(task) {
-                TaskState::Running { attempt: a } if a == attempt => {}
-                _ => {
-                    observe!(
-                        self.observer,
-                        now,
-                        EntryKind::Task,
-                        "job {j}: stale TaskDone for s{}/{} attempt {attempt} ignored",
-                        task.stage.index(),
-                        task.index
-                    );
-                    return;
-                }
-            }
-            let Some(pos) = job
-                .running
-                .iter()
-                .position(|r| r.task == task && r.attempt == attempt)
-            else {
-                return;
-            };
-            let running = job.running.swap_remove(pos);
-
-            failed = bernoulli(&mut job.rng_fail, failure_prob);
-            job.profile
-                .record_task(task.stage, running.queue_secs, running.run_secs, failed);
-            if failed {
-                job.wasted += running.run_secs;
-                job.set_task_state(task, TaskState::Ready);
-                job.ready.push_back(task);
-                stage_now_complete = false;
-            } else {
-                job.work_done += running.run_secs;
-                job.set_task_state(
-                    task,
-                    TaskState::Done {
-                        run_secs: running.run_secs,
-                    },
-                );
-                job.completed[task.stage.index()] += 1;
-                job.done_tasks += 1;
-                job.profile.record_stage_window(
-                    task.stage,
-                    running
-                        .started
-                        .saturating_since(job.started.unwrap())
-                        .as_secs_f64(),
-                    now.saturating_since(job.started.unwrap()).as_secs_f64(),
-                );
-                stage_now_complete =
-                    job.completed[task.stage.index()] == job.spec.graph.tasks_in(task.stage);
-            }
-        }
-        observe!(
-            self.observer,
-            now,
-            EntryKind::Task,
-            "job {j}: s{}/{} attempt {attempt} {}{}",
-            task.stage.index(),
-            task.index,
-            if failed { "failed, requeued" } else { "done" },
-            if stage_now_complete {
-                " (stage complete)"
-            } else {
-                ""
-            }
-        );
-
-        // Promote newly ready dependents.
-        if !matches!(self.jobs[j].task_state(task), TaskState::Ready) {
-            let graph = self.jobs[j].spec.graph.clone();
-            let deps = TaskDeps::new(&graph);
-            let candidates = deps.candidate_dependents(task, stage_now_complete);
-            let job = &mut self.jobs[j];
-            for c in candidates {
-                if job.task_state(c) == TaskState::Pending
-                    && deps.is_ready(c, &job.completed, |t| {
-                        matches!(
-                            job.state[t.stage.index()][t.index as usize],
-                            TaskState::Done { .. }
-                        )
-                    })
-                {
-                    job.set_task_state(c, TaskState::Ready);
-                    job.ready.push_back(c);
-                }
-            }
-            if job.done_tasks == job.total_tasks() {
-                job.finished_at = Some(now);
-                job.trace.guarantee.push(now, f64::from(job.guarantee));
-                job.trace.running.push(now, 0.0);
-                observe!(
-                    self.observer,
-                    now,
-                    EntryKind::Task,
-                    "job {j}: all tasks done"
-                );
-            }
-        }
-
-        self.schedule_tasks(now);
-    }
-
-    fn on_background_tick(&mut self, now: SimTime) {
-        self.schedule_tasks(now);
-        if self.jobs.iter().any(|j| !j.is_finished()) {
-            self.queue
-                .schedule(now + self.background.tick(), Event::BackgroundTick);
-        }
-    }
-
-    /// Machines in the simulated slice: explicit under the placement
-    /// model, otherwise implied by token count and machine size.
-    fn machine_count(&self) -> u32 {
-        match &self.cfg.placement {
-            Some(p) => p.machines,
-            None => self
-                .cfg
-                .total_tokens
-                .div_ceil(self.cfg.failures.tasks_per_machine.max(1)),
-        }
-    }
-
-    /// Arms the next machine-failure arrival. The configured rate is a
-    /// per-machine hazard, so the slice's aggregate Poisson rate scales
-    /// with its machine count — a 4-machine slice fails less often than
-    /// a 400-machine one at the same per-machine reliability.
-    fn arm_machine_failure(&mut self, now: SimTime) {
-        let rate =
-            self.cfg.failures.machine_failure_rate_per_hour * f64::from(self.machine_count());
-        if rate <= 0.0 {
-            return;
-        }
-        let exp = Exponential::with_mean(3600.0 / rate);
-        let delay = SimDuration::from_secs_f64(exp.sample(&mut self.rng_machine));
-        observe!(
-            self.observer,
-            now,
-            EntryKind::Decision,
-            "next machine failure armed in {:.3}s",
-            delay.as_secs_f64()
-        );
-        self.queue.schedule(now + delay, Event::MachineFailure);
-    }
-
-    fn on_machine_failure(&mut self, now: SimTime) {
-        // Choose a victim job weighted by running-task count.
-        let weights: Vec<u32> = self
-            .jobs
-            .iter()
-            .map(|j| {
-                if j.is_active() {
-                    j.running.len() as u32
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let total: u32 = weights.iter().sum();
-        if total > 0 {
-            let mut pick = self.rng_machine.gen_range(0..total);
-            let mut victim = 0;
-            for (i, w) in weights.iter().enumerate() {
-                if pick < *w {
-                    victim = i;
-                    break;
-                }
-                pick -= w;
-            }
-            match self.cfg.placement.clone() {
-                Some(p) => {
-                    // A concrete machine dies: every resident task (of
-                    // every job) is killed.
-                    let machine = self.rng_machine.gen_range(0..p.machines);
-                    for j in 0..self.jobs.len() {
-                        self.kill_tasks_on_machine(j, machine, now);
-                    }
-                }
-                None => {
-                    self.kill_running_tasks(victim, self.cfg.failures.tasks_per_machine, now);
-                }
-            }
-            if bernoulli(&mut self.rng_machine, self.cfg.failures.data_loss_prob) {
-                self.lose_completed_outputs(victim, self.cfg.failures.tasks_per_machine, now);
-            }
-        }
-        self.arm_machine_failure(now);
-        self.schedule_tasks(now);
-    }
-
-    /// Kills every running task of job `j` hosted on `machine`
-    /// (placement model's machine-failure semantics).
-    fn kill_tasks_on_machine(&mut self, j: usize, machine: u32, now: SimTime) {
-        let job = &mut self.jobs[j];
-        let mut killed: u32 = 0;
-        let mut i = 0;
-        while i < job.running.len() {
-            if job.running[i].machine == Some(machine) {
-                let victim = job.running.swap_remove(i);
-                let elapsed = now.saturating_since(victim.started).as_secs_f64();
-                job.wasted += elapsed.min(victim.run_secs);
-                job.profile.record_task(
-                    victim.task.stage,
-                    victim.queue_secs,
-                    elapsed.min(victim.run_secs),
-                    true,
-                );
-                job.set_task_state(victim.task, TaskState::Ready);
-                job.ready.push_back(victim.task);
-                killed += 1;
-            } else {
-                i += 1;
-            }
-        }
-        if killed > 0 {
-            observe!(
-                self.observer,
-                now,
-                EntryKind::Task,
-                "job {j}: machine {machine} died, {killed} resident tasks killed"
-            );
-        }
-    }
-
-    /// Kills up to `count` randomly chosen running tasks of job `j`;
-    /// they re-queue and rerun from scratch.
-    fn kill_running_tasks(&mut self, j: usize, count: u32, now: SimTime) {
-        let job = &mut self.jobs[j];
-        let mut killed: u32 = 0;
-        for _ in 0..count {
-            if job.running.is_empty() {
-                break;
-            }
-            let pos = job.rng_fail.gen_range(0..job.running.len());
-            let victim = job.running.swap_remove(pos);
-            let elapsed = now.saturating_since(victim.started).as_secs_f64();
-            job.wasted += elapsed.min(victim.run_secs);
-            job.profile.record_task(
-                victim.task.stage,
-                victim.queue_secs,
-                elapsed.min(victim.run_secs),
-                true,
-            );
-            job.set_task_state(victim.task, TaskState::Ready);
-            job.ready.push_back(victim.task);
-            killed += 1;
-        }
-        observe!(
-            self.observer,
-            now,
-            EntryKind::Task,
-            "job {j}: machine failure killed {killed} of up to {count} running tasks"
-        );
-    }
-
-    /// Destroys the outputs of up to `count` completed tasks in one
-    /// randomly chosen *incomplete* stage of job `j`, forcing their
-    /// recomputation. One-to-one dependents that were only Ready are
-    /// demoted back to Pending.
-    fn lose_completed_outputs(&mut self, j: usize, count: u32, now: SimTime) {
-        let graph = self.jobs[j].spec.graph.clone();
-        let deps = TaskDeps::new(&graph);
-        let job = &mut self.jobs[j];
-
-        // Candidate stages: incomplete, with at least one done task.
-        let candidates: Vec<_> = graph
-            .stage_ids()
-            .filter(|s| {
-                let done = job.completed[s.index()];
-                done > 0 && done < graph.tasks_in(*s)
-            })
-            .collect();
-        if candidates.is_empty() {
-            return;
-        }
-        let stage = candidates[job.rng_fail.gen_range(0..candidates.len())];
-
-        // Collect done tasks of that stage whose one-to-one children
-        // have not started (undoing them is then safe).
-        let undoable: Vec<TaskId> = (0..graph.tasks_in(stage))
-            .map(|i| TaskId::new(stage, i))
-            .filter(|&t| matches!(job.task_state(t), TaskState::Done { .. }))
-            .filter(|&t| {
-                graph.children(stage).iter().all(|&(c, kind)| match kind {
-                    jockey_jobgraph::graph::EdgeKind::OneToOne => matches!(
-                        job.task_state(TaskId::new(c, t.index)),
-                        TaskState::Pending | TaskState::Ready
-                    ),
-                    // Barrier children can't have started: stage is incomplete.
-                    jockey_jobgraph::graph::EdgeKind::AllToAll => true,
-                })
-            })
-            .collect();
-
-        for &t in undoable.iter().take(count as usize) {
-            let TaskState::Done { run_secs } = job.task_state(t) else {
-                continue;
-            };
-            job.work_done -= run_secs;
-            job.wasted += run_secs;
-            job.completed[stage.index()] -= 1;
-            job.done_tasks -= 1;
-            // Demote one-to-one children back to Pending; their queue
-            // entries (if any) become stale.
-            for &(c, kind) in graph.children(stage) {
-                if kind == jockey_jobgraph::graph::EdgeKind::OneToOne
-                    && job.task_state(TaskId::new(c, t.index)) == TaskState::Ready
-                {
-                    job.set_task_state(TaskId::new(c, t.index), TaskState::Pending);
-                }
-            }
-            // The undone task reruns; its own inputs may still be intact.
-            let ready = deps.is_ready(t, &job.completed, |x| {
-                matches!(
-                    job.state[x.stage.index()][x.index as usize],
-                    TaskState::Done { .. }
-                )
+        let horizon = self.engine.core.queue.now();
+        let core = self.engine.core;
+        let mut results = Vec::with_capacity(core.jobs.len());
+        for (job, floor) in core.jobs.into_iter().zip(core.completed_floor) {
+            let JobRun {
+                spec,
+                start_at,
+                started,
+                finished_at,
+                state,
+                attempts,
+                completed,
+                ready,
+                running,
+                work_done,
+                wasted,
+                guaranteed_task_count,
+                spare_task_count,
+                profile,
+                trace,
+                status,
+                ..
+            } = job;
+            let end = finished_at.unwrap_or(horizon.max_of(start_at));
+            let duration = end.saturating_since(started.unwrap_or(start_at));
+            let profile = profile.finish(duration.as_secs_f64().max(1e-3), spec.data_gb);
+            results.push(JobResult {
+                name: spec.graph.name().to_string(),
+                started_at: start_at,
+                completed_at: finished_at,
+                work_done_secs: work_done,
+                wasted_secs: wasted,
+                guaranteed_task_count,
+                spare_task_count,
+                trace,
+                profile,
             });
-            if ready {
-                job.set_task_state(t, TaskState::Ready);
-                job.ready.push_back(t);
-            } else {
-                job.set_task_state(t, TaskState::Pending);
+            if let Some(ws) = reclaim.as_mut() {
+                ws.give_back(JobBuffers {
+                    state,
+                    attempts,
+                    completed,
+                    floor,
+                    ready,
+                    running,
+                    stage_fraction: status.stage_fraction,
+                    stage_completed: status.stage_completed,
+                });
             }
         }
-        let undone = undoable.len().min(count as usize);
-        // Legitimate rollback: lower the monotone-fraction floor so the
-        // invariant checker accepts the reduced completion count.
-        self.completed_floor[j][stage.index()] =
-            self.jobs[j].completed[stage.index()].min(self.completed_floor[j][stage.index()]);
-        observe!(
-            self.observer,
-            now,
-            EntryKind::Task,
-            "job {j}: data loss undid {undone} completed outputs in stage {}",
-            stage.index()
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Scheduling.
-    // ------------------------------------------------------------------
-
-    /// The scheduling pass: adjusts token classes, starts guaranteed
-    /// then spare tasks, and evicts spare tasks on capacity pressure.
-    fn schedule_tasks(&mut self, now: SimTime) {
-        self.background.advance_to(now);
-        let total = self.cfg.total_tokens;
-        let bg_demand = self.background.demand_tokens(now, total);
-        let slowdown = self.background.slowdown(now);
-
-        // Phase 1: per-job class balancing and guaranteed starts.
-        for j in 0..self.jobs.len() {
-            if !self.jobs[j].is_active() {
-                continue;
-            }
-            let guarantee = self.jobs[j].guarantee;
-            {
-                let job = &mut self.jobs[j];
-                // Demote newest guaranteed tasks above the guarantee.
-                while job.running_in_class(TokenClass::Guaranteed) > guarantee {
-                    let pos = job
-                        .running
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, r)| r.class == TokenClass::Guaranteed)
-                        .max_by_key(|(_, r)| r.started)
-                        .map(|(i, _)| i)
-                        .expect("counted above");
-                    job.running[pos].class = TokenClass::Spare;
-                }
-                // Upgrade oldest spare tasks into unused guarantee.
-                while job.running_in_class(TokenClass::Guaranteed) < guarantee {
-                    let pos = job
-                        .running
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, r)| r.class == TokenClass::Spare)
-                        .min_by_key(|(_, r)| r.started);
-                    match pos {
-                        Some((i, _)) => job.running[i].class = TokenClass::Guaranteed,
-                        None => break,
-                    }
-                }
-            }
-            // Start new guaranteed tasks.
-            while self.jobs[j].running_in_class(TokenClass::Guaranteed) < guarantee {
-                let Some(task) = self.jobs[j].pop_ready() else {
-                    break;
-                };
-                self.start_task(j, task, TokenClass::Guaranteed, now, slowdown);
-            }
+        if let Some(ws) = reclaim {
+            ws.reclaim_spares(core.spare_buffers, core.cand_scratch);
         }
-
-        // Phase 2: spare capacity accounting.
-        let guar_running: u32 = self
-            .jobs
-            .iter()
-            .map(|j| j.running_in_class(TokenClass::Guaranteed))
-            .sum();
-        let spare_running: u32 = self
-            .jobs
-            .iter()
-            .map(|j| j.running_in_class(TokenClass::Spare))
-            .sum();
-        let spare_budget = i64::from(total) - i64::from(bg_demand) - i64::from(guar_running);
-
-        if i64::from(spare_running) > spare_budget {
-            // Evict newest spare tasks first until within budget.
-            let mut to_evict = i64::from(spare_running) - spare_budget.max(0);
-            while to_evict > 0 {
-                // Find the globally newest spare task.
-                let mut newest: Option<(usize, usize, SimTime)> = None;
-                for (ji, job) in self.jobs.iter().enumerate() {
-                    for (ri, r) in job.running.iter().enumerate() {
-                        if r.class == TokenClass::Spare
-                            && newest.is_none_or(|(_, _, t)| r.started > t)
-                        {
-                            newest = Some((ji, ri, r.started));
-                        }
-                    }
-                }
-                let Some((ji, ri, _)) = newest else { break };
-                let job = &mut self.jobs[ji];
-                let victim = job.running.swap_remove(ri);
-                let elapsed = now.saturating_since(victim.started).as_secs_f64();
-                job.wasted += elapsed.min(victim.run_secs);
-                job.set_task_state(victim.task, TaskState::Ready);
-                job.ready.push_back(victim.task);
-                observe!(
-                    self.observer,
-                    now,
-                    EntryKind::Task,
-                    "job {ji}: spare task s{}/{} evicted under capacity pressure",
-                    victim.task.stage.index(),
-                    victim.task.index
-                );
-                to_evict -= 1;
-            }
-        } else if self.cfg.spare_enabled {
-            // Distribute spare tokens round-robin among jobs with
-            // pending work.
-            let mut avail = spare_budget - i64::from(spare_running);
-            'outer: while avail > 0 {
-                let mut progressed = false;
-                for j in 0..self.jobs.len() {
-                    if avail == 0 {
-                        break 'outer;
-                    }
-                    if !self.jobs[j].is_active() {
-                        continue;
-                    }
-                    if let Some(task) = self.jobs[j].pop_ready() {
-                        self.start_task(j, task, TokenClass::Spare, now, slowdown);
-                        avail -= 1;
-                        progressed = true;
-                    }
-                }
-                if !progressed {
-                    break;
-                }
-            }
-        }
-
-        // Token conservation: foreground tasks plus the background's
-        // demand can never exceed the slice (guaranteed starts are
-        // admission-bounded; spare starts are budgeted above).
-        debug_assert!(
-            {
-                let fg: u32 = self.jobs.iter().map(|j| j.running.len() as u32).sum();
-                i64::from(fg) + i64::from(bg_demand) <= i64::from(total) + i64::from(guar_running)
-            },
-            "token over-commit in scheduling pass"
-        );
-    }
-
-    /// Starts one task attempt and schedules its completion event.
-    fn start_task(
-        &mut self,
-        j: usize,
-        task: TaskId,
-        class: TokenClass,
-        now: SimTime,
-        slowdown: f64,
-    ) {
-        let job = &mut self.jobs[j];
-        debug_assert_eq!(job.task_state(task), TaskState::Ready);
-        let s = task.stage.index();
-        job.attempts[s][task.index as usize] += 1;
-        let attempt = job.attempts[s][task.index as usize];
-
-        let base_run = job.spec.stage_runtimes[s].sample(&mut job.rng_runtime);
-        let base_queue = job.spec.stage_queues[s].sample(&mut job.rng_queue);
-        let class_mult = match class {
-            TokenClass::Guaranteed => 1.0,
-            TokenClass::Spare => self.cfg.spare_slowdown,
-        };
-        // Machine placement: pick a host and apply the remote-read
-        // penalty when the task loses locality.
-        let (machine, locality_mult) = match &self.cfg.placement {
-            Some(p) => {
-                let (m, mult) = p.place(&mut job.rng_queue);
-                (Some(m), mult)
-            }
-            None => (None, 1.0),
-        };
-        let queue_secs = base_queue * slowdown;
-        let run_secs = base_run * slowdown * class_mult * locality_mult;
-
-        match class {
-            TokenClass::Guaranteed => job.guaranteed_task_count += 1,
-            TokenClass::Spare => job.spare_task_count += 1,
-        }
-        job.set_task_state(task, TaskState::Running { attempt });
-        job.running.push(RunningTask {
-            task,
-            attempt,
-            class,
-            started: now,
-            queue_secs,
-            run_secs,
-            machine,
-        });
-        observe!(
-            self.observer,
-            now,
-            EntryKind::Task,
-            "job {j}: start s{}/{} attempt {attempt} class={class:?} queue={queue_secs:.2}s run={run_secs:.2}s machine={machine:?}",
-            task.stage.index(),
-            task.index
-        );
-        let occupancy =
-            SimDuration::from_secs_f64(queue_secs + run_secs).max(SimDuration::from_millis(1));
-        self.queue.schedule(
-            now + occupancy,
-            Event::TaskDone {
-                job: j,
-                task,
-                attempt,
-            },
-        );
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::{BackgroundConfig, FailureConfig};
-    use crate::controller::FixedAllocation;
-    use jockey_jobgraph::graph::{EdgeKind, JobGraph, JobGraphBuilder};
-    use jockey_simrt::dist::Constant;
-    use std::sync::Arc;
-
-    fn two_stage_graph(map_tasks: u32, reduce_tasks: u32) -> Arc<JobGraph> {
-        let mut b = JobGraphBuilder::new("test-job");
-        let m = b.stage("map", map_tasks);
-        let r = b.stage("reduce", reduce_tasks);
-        b.edge(m, r, EdgeKind::AllToAll);
-        Arc::new(b.build().unwrap())
-    }
-
-    fn spec(map_tasks: u32, reduce_tasks: u32, secs: f64) -> JobSpec {
-        JobSpec::uniform(
-            two_stage_graph(map_tasks, reduce_tasks),
-            Constant(secs),
-            Constant(0.0),
-            0.0,
-        )
-    }
-
-    #[test]
-    fn dedicated_run_completes_with_exact_latency() {
-        // 8 map tasks of 10 s on 4 tokens = 2 waves (20 s); then 2
-        // reduce tasks of 10 s in parallel (10 s). Total 30 s.
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
-        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
-        let r = sim.run();
-        assert_eq!(r[0].completed_at, Some(SimTime::from_secs(30)));
-        assert_eq!(r[0].duration(), Some(SimDuration::from_secs(30)));
-        assert_eq!(r[0].work_done_secs, 100.0);
-        assert_eq!(r[0].wasted_secs, 0.0);
-        assert_eq!(r[0].guaranteed_task_count, 10);
-        assert_eq!(r[0].spare_task_count, 0);
-    }
-
-    #[test]
-    fn barrier_serializes_stages() {
-        // 2 map tasks, 10 s each, 10 tokens: reduce cannot overlap map.
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(10), 1);
-        sim.add_job(spec(2, 2, 10.0), Box::new(FixedAllocation(10)));
-        let r = sim.run();
-        assert_eq!(r[0].completed_at, Some(SimTime::from_secs(20)));
-    }
-
-    #[test]
-    fn one_to_one_edges_pipeline() {
-        let mut b = JobGraphBuilder::new("pipe");
-        let a = b.stage("a", 2);
-        let c = b.stage("b", 2);
-        b.edge(a, c, EdgeKind::OneToOne);
-        let graph = Arc::new(b.build().unwrap());
-        let spec = JobSpec::uniform(graph, Constant(10.0), Constant(0.0), 0.0);
-        // 2 tokens: both chains run fully parallel; 20 s total (no barrier).
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(2), 1);
-        sim.add_job(spec, Box::new(FixedAllocation(2)));
-        let r = sim.run();
-        assert_eq!(r[0].completed_at, Some(SimTime::from_secs(20)));
-    }
-
-    #[test]
-    fn fewer_tokens_make_jobs_slower() {
-        let latency = |tokens: u32| {
-            let mut sim = ClusterSim::new(ClusterConfig::dedicated(tokens), 1);
-            sim.add_job(spec(16, 2, 10.0), Box::new(FixedAllocation(tokens)));
-            sim.run()[0].duration().unwrap()
-        };
-        assert!(latency(2) > latency(4));
-        assert!(latency(4) > latency(16));
-    }
-
-    #[test]
-    fn queue_latency_delays_completion() {
-        let graph = two_stage_graph(1, 1);
-        let spec = JobSpec::uniform(graph, Constant(10.0), Constant(3.0), 0.0);
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(2), 1);
-        sim.add_job(spec, Box::new(FixedAllocation(2)));
-        let r = sim.run();
-        // Two serial tasks, each 3 s queue + 10 s run.
-        assert_eq!(r[0].completed_at, Some(SimTime::from_secs(26)));
-    }
-
-    #[test]
-    fn task_failures_cause_retries_and_waste() {
-        let graph = two_stage_graph(20, 2);
-        let spec = JobSpec::uniform(graph, Constant(5.0), Constant(0.0), 0.3);
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated_with_failures(4), 3);
-        sim.add_job(spec, Box::new(FixedAllocation(4)));
-        let r = sim.run();
-        assert!(r[0].completed_at.is_some());
-        assert!(r[0].wasted_secs > 0.0, "failures should waste work");
-        assert_eq!(r[0].work_done_secs, 110.0);
-        // The profile should have recorded failed attempts.
-        assert!(r[0].profile.task_failure_prob > 0.05);
-    }
-
-    #[test]
-    fn spare_capacity_accelerates_beyond_guarantee() {
-        let mut cfg = ClusterConfig::production();
-        cfg.total_tokens = 100;
-        cfg.max_guarantee = 10;
-        cfg.background = BackgroundConfig::none();
-        cfg.failures = FailureConfig::none();
-        // All 100 tokens idle; guarantee only 2 of them.
-        let mut sim = ClusterSim::new(cfg, 5);
-        sim.add_job(spec(40, 2, 10.0), Box::new(FixedAllocation(2)));
-        let r = sim.run();
-        // With only 2 guaranteed tokens this would take 40/2*10 + 10 = 210 s;
-        // spare tokens (even at 1.25x slowdown) must beat that easily.
-        let d = r[0].duration().unwrap();
-        assert!(d < SimDuration::from_secs(60), "took {d:?}");
-        assert!(r[0].spare_task_count > 0);
-    }
-
-    #[test]
-    fn disabled_spare_keeps_job_at_guarantee() {
-        let mut cfg = ClusterConfig::dedicated(100);
-        cfg.max_guarantee = 100;
-        cfg.spare_enabled = false;
-        let mut sim = ClusterSim::new(cfg, 5);
-        sim.add_job(spec(40, 2, 10.0), Box::new(FixedAllocation(2)));
-        let r = sim.run();
-        assert_eq!(r[0].spare_task_count, 0);
-        assert_eq!(
-            r[0].duration().unwrap(),
-            SimDuration::from_secs(40 / 2 * 10 + 10)
-        );
-    }
-
-    #[test]
-    fn background_load_squeezes_spare_and_evicts() {
-        let mut cfg = ClusterConfig::production();
-        cfg.total_tokens = 50;
-        cfg.max_guarantee = 4;
-        cfg.background.mean_util = 0.9;
-        cfg.background.volatility = 0.1;
-        cfg.background.overload_rate_per_hour = 20.0;
-        cfg.background.overload_duration_mins = 3.0;
-        cfg.failures = FailureConfig::none();
-        let mut sim = ClusterSim::new(cfg, 11);
-        sim.add_job(spec(60, 2, 20.0), Box::new(FixedAllocation(4)));
-        let r = sim.run();
-        assert!(r[0].completed_at.is_some());
-        // Evictions show up as wasted seconds without task failures.
-        assert!(r[0].wasted_secs > 0.0, "expected spare evictions");
-    }
-
-    #[test]
-    fn machine_failures_do_not_wedge_the_job() {
-        let mut cfg = ClusterConfig::dedicated(8);
-        cfg.failures = FailureConfig {
-            task_failure_prob: Some(0.0),
-            machine_failure_rate_per_hour: 120.0, // Very frequent.
-            tasks_per_machine: 3,
-            data_loss_prob: 1.0,
-        };
-        let mut sim = ClusterSim::new(cfg, 13);
-        sim.add_job(spec(30, 5, 8.0), Box::new(FixedAllocation(8)));
-        let r = sim.run();
-        assert!(r[0].completed_at.is_some(), "job must still finish");
-        assert!(r[0].wasted_secs > 0.0);
-        assert_eq!(r[0].work_done_secs, 30.0 * 8.0 + 5.0 * 8.0);
-    }
-
-    #[test]
-    fn determinism_same_seed_same_result() {
-        let run = |seed| {
-            let mut cfg = ClusterConfig::production();
-            cfg.total_tokens = 60;
-            cfg.max_guarantee = 10;
-            let mut sim = ClusterSim::new(cfg, seed);
-            sim.add_job(spec(30, 3, 12.0), Box::new(FixedAllocation(6)));
-            sim.run()[0].completed_at
-        };
-        assert_eq!(run(42), run(42));
-        assert!(run(42).is_some());
-    }
-
-    #[test]
-    fn different_seeds_vary_under_noise() {
-        let run = |seed| {
-            let mut cfg = ClusterConfig::production();
-            cfg.total_tokens = 60;
-            cfg.max_guarantee = 10;
-            let mut sim = ClusterSim::new(cfg, seed);
-            sim.add_job(spec(30, 3, 12.0), Box::new(FixedAllocation(6)));
-            sim.run()[0].completed_at.unwrap()
-        };
-        let outcomes: std::collections::HashSet<_> = (0..5).map(run).collect();
-        assert!(outcomes.len() > 1, "noise should differentiate seeds");
-    }
-
-    #[test]
-    fn multiple_jobs_share_the_cluster() {
-        let mut cfg = ClusterConfig::dedicated(8);
-        cfg.max_guarantee = 4;
-        let mut sim = ClusterSim::new(cfg, 7);
-        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
-        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
-        let r = sim.run();
-        assert!(r[0].completed_at.is_some());
-        assert!(r[1].completed_at.is_some());
-        assert_eq!(r[0].completed_at, r[1].completed_at);
-    }
-
-    #[test]
-    fn delayed_submission_starts_later() {
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
-        sim.add_job_at(
-            spec(4, 1, 10.0),
-            Box::new(FixedAllocation(4)),
-            SimTime::from_mins(5),
-        );
-        let r = sim.run();
-        assert_eq!(r[0].started_at, SimTime::from_mins(5));
-        assert_eq!(
-            r[0].completed_at,
-            Some(SimTime::from_mins(5) + SimDuration::from_secs(20))
-        );
-        assert_eq!(r[0].duration(), Some(SimDuration::from_secs(20)));
-    }
-
-    #[test]
-    fn horizon_reports_unfinished_jobs() {
-        let mut cfg = ClusterConfig::dedicated(1);
-        cfg.max_sim_time = SimTime::from_secs(15);
-        let mut sim = ClusterSim::new(cfg, 1);
-        sim.add_job(spec(100, 1, 10.0), Box::new(FixedAllocation(1)));
-        let r = sim.run();
-        assert_eq!(r[0].completed_at, None);
-        assert!(r[0].work_done_secs < 100.0 * 10.0);
-    }
-
-    #[test]
-    fn oracle_allocation_matches_formula() {
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
-        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
-        let r = sim.run();
-        // T = 100 s of work; d = 50 s -> ceil(2) = 2 tokens.
-        assert_eq!(r[0].oracle_allocation(SimDuration::from_secs(50)), 2);
-        assert_eq!(r[0].oracle_allocation(SimDuration::from_secs(30)), 4);
-    }
-
-    #[test]
-    fn run_profile_is_usable_as_training_data() {
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
-        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
-        let r = sim.run();
-        let p = &r[0].profile;
-        assert_eq!(p.stages.len(), 2);
-        assert_eq!(p.stages[0].runtimes.len(), 8);
-        assert_eq!(p.total_work(), 100.0);
-        assert!(p.duration >= 29.0 && p.duration <= 31.0);
-        // Stage windows: map [0, 20], reduce [20, 30] relative to 30 s.
-        assert!(p.stages[1].rel_start > 0.6 && p.stages[1].rel_start < 0.7);
-    }
-
-    #[test]
-    fn trace_records_control_ticks() {
-        let mut cfg = ClusterConfig::dedicated(4);
-        cfg.control_period = SimDuration::from_secs(10);
-        let mut sim = ClusterSim::new(cfg, 1);
-        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
-        let r = sim.run();
-        // Ticks at 0, 10, 20 (+ final sample at 30).
-        assert!(r[0].trace.guarantee.len() >= 3);
-        assert_eq!(r[0].trace.guarantee.points()[0].1, 4.0);
-        assert_eq!(r[0].trace.last_guarantee(), 4.0);
-    }
-
-    #[test]
-    fn guarantee_is_capped_by_config() {
-        let mut cfg = ClusterConfig::dedicated(4);
-        cfg.max_guarantee = 3;
-        let mut sim = ClusterSim::new(cfg, 1);
-        sim.add_job(spec(9, 1, 10.0), Box::new(FixedAllocation(100)));
-        let r = sim.run();
-        assert_eq!(r[0].trace.max_guarantee(), 3.0);
-        // 9 tasks at 3 tokens = 3 waves of 10 s, plus 10 s reduce.
-        assert_eq!(r[0].completed_at, Some(SimTime::from_secs(40)));
-    }
-
-    // ------------------------------------------------------------------
-    // Invariant checkers: each must fire on a seeded violation. The
-    // tests corrupt private simulator state directly — no legitimate
-    // event path produces these states (that is the point of the
-    // checks).
-    // ------------------------------------------------------------------
-
-    /// Steps a fresh sim until the first task completes, so tasks are
-    /// both `Done` and `Running` and the clock has advanced.
-    fn stepped_sim(journal: bool) -> (ClusterSim, Option<SharedJournal>, SimTime) {
-        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
-        let journal = journal.then(|| sim.attach_journal(64));
-        sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
-        sim.prime();
-        while sim.jobs[0].done_tasks == 0 {
-            let (now, event) = sim
-                .queue
-                .pop()
-                .expect("job cannot finish with no done tasks");
-            sim.step(now, event);
-        }
-        let now = sim.last_event_time;
-        (sim, journal, now)
-    }
-
-    #[test]
-    #[should_panic(expected = "event-time monotonicity")]
-    fn invariant_fires_on_time_regression() {
-        let (mut sim, _, now) = stepped_sim(false);
-        assert!(now > SimTime::ZERO);
-        sim.check_invariants(SimTime::ZERO);
-    }
-
-    #[test]
-    #[should_panic(expected = "token conservation")]
-    fn invariant_fires_on_guarantee_overcommit() {
-        let (mut sim, _, now) = stepped_sim(false);
-        assert!(sim.jobs[0].running_in_class(TokenClass::Guaranteed) > 0);
-        sim.jobs[0].guarantee = 0;
-        sim.check_invariants(now);
-    }
-
-    #[test]
-    #[should_panic(expected = "per-stage task accounting")]
-    fn invariant_fires_on_completed_counter_drift() {
-        let (mut sim, _, now) = stepped_sim(false);
-        sim.jobs[0].completed[0] += 1;
-        sim.check_invariants(now);
-    }
-
-    #[test]
-    #[should_panic(expected = "monotone stage fractions")]
-    fn invariant_fires_on_fraction_regression() {
-        let (mut sim, _, now) = stepped_sim(false);
-        // A floor above the live counter models a completion count that
-        // silently went backwards (without the data-loss path that
-        // legitimately lowers the floor).
-        sim.completed_floor[0][0] = sim.jobs[0].completed[0] + 1;
-        sim.check_invariants(now);
-    }
-
-    #[test]
-    #[should_panic(expected = "no journal attached")]
-    fn invariant_panic_hints_at_journal_when_absent() {
-        let (mut sim, _, now) = stepped_sim(false);
-        sim.jobs[0].guarantee = 0;
-        sim.check_invariants(now);
-    }
-
-    #[test]
-    fn invariant_panic_includes_journal_tail() {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let (mut sim, journal, now) = stepped_sim(true);
-            assert!(!journal.expect("journal attached").is_empty());
-            sim.jobs[0].guarantee = 0;
-            sim.check_invariants(now);
-        }));
-        let payload = result.expect_err("corrupted sim must panic");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .expect("panic payload is a formatted message");
-        assert!(msg.contains("token conservation"), "{msg}");
-        assert!(msg.contains("last journal entries"), "{msg}");
-        // The tail shows real dispatched events, e.g. TaskDone records.
-        assert!(msg.contains("TaskDone"), "{msg}");
-    }
-
-    #[test]
-    fn invariant_checks_can_be_disabled() {
-        let (mut sim, _, _) = stepped_sim(false);
-        assert!(sim.invariants_enabled, "test builds default to enabled");
-        sim.set_invariant_checks(false);
-        sim.jobs[0].guarantee = 0; // Would trip token conservation.
-        let (now, event) = sim.queue.pop().expect("events remain");
-        sim.step(now, event); // Must not panic with checks off.
-        assert_eq!(sim.last_event_time, now);
+        results
     }
 }

@@ -1,0 +1,335 @@
+//! Black-box behavioral tests of the simulator through its public API:
+//! exact latencies on dedicated slices, barrier/pipeline semantics,
+//! token/spare/background interactions, failures, determinism, and
+//! result/trace/profile reporting.
+
+use jockey_cluster::{
+    BackgroundConfig, ClusterConfig, ClusterSim, FailureConfig, FixedAllocation, JobSpec,
+};
+use jockey_jobgraph::graph::{EdgeKind, JobGraph, JobGraphBuilder};
+use jockey_simrt::dist::Constant;
+use jockey_simrt::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn two_stage_graph(map_tasks: u32, reduce_tasks: u32) -> Arc<JobGraph> {
+    let mut b = JobGraphBuilder::new("test-job");
+    let m = b.stage("map", map_tasks);
+    let r = b.stage("reduce", reduce_tasks);
+    b.edge(m, r, EdgeKind::AllToAll);
+    Arc::new(b.build().unwrap())
+}
+
+fn spec(map_tasks: u32, reduce_tasks: u32, secs: f64) -> JobSpec {
+    JobSpec::uniform(
+        two_stage_graph(map_tasks, reduce_tasks),
+        Constant(secs),
+        Constant(0.0),
+        0.0,
+    )
+}
+
+#[test]
+fn dedicated_run_completes_with_exact_latency() {
+    // 8 map tasks of 10 s on 4 tokens = 2 waves (20 s); then 2
+    // reduce tasks of 10 s in parallel (10 s). Total 30 s.
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    let r = sim.run();
+    assert_eq!(r[0].completed_at, Some(SimTime::from_secs(30)));
+    assert_eq!(r[0].duration(), Some(SimDuration::from_secs(30)));
+    assert_eq!(r[0].work_done_secs, 100.0);
+    assert_eq!(r[0].wasted_secs, 0.0);
+    assert_eq!(r[0].guaranteed_task_count, 10);
+    assert_eq!(r[0].spare_task_count, 0);
+}
+
+#[test]
+fn barrier_serializes_stages() {
+    // 2 map tasks, 10 s each, 10 tokens: reduce cannot overlap map.
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(10), 1);
+    sim.add_job(spec(2, 2, 10.0), Box::new(FixedAllocation(10)));
+    let r = sim.run();
+    assert_eq!(r[0].completed_at, Some(SimTime::from_secs(20)));
+}
+
+#[test]
+fn one_to_one_edges_pipeline() {
+    let mut b = JobGraphBuilder::new("pipe");
+    let a = b.stage("a", 2);
+    let c = b.stage("b", 2);
+    b.edge(a, c, EdgeKind::OneToOne);
+    let graph = Arc::new(b.build().unwrap());
+    let spec = JobSpec::uniform(graph, Constant(10.0), Constant(0.0), 0.0);
+    // 2 tokens: both chains run fully parallel; 20 s total (no barrier).
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(2), 1);
+    sim.add_job(spec, Box::new(FixedAllocation(2)));
+    let r = sim.run();
+    assert_eq!(r[0].completed_at, Some(SimTime::from_secs(20)));
+}
+
+#[test]
+fn fewer_tokens_make_jobs_slower() {
+    let latency = |tokens: u32| {
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(tokens), 1);
+        sim.add_job(spec(16, 2, 10.0), Box::new(FixedAllocation(tokens)));
+        sim.run()[0].duration().unwrap()
+    };
+    assert!(latency(2) > latency(4));
+    assert!(latency(4) > latency(16));
+}
+
+#[test]
+fn queue_latency_delays_completion() {
+    let graph = two_stage_graph(1, 1);
+    let spec = JobSpec::uniform(graph, Constant(10.0), Constant(3.0), 0.0);
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(2), 1);
+    sim.add_job(spec, Box::new(FixedAllocation(2)));
+    let r = sim.run();
+    // Two serial tasks, each 3 s queue + 10 s run.
+    assert_eq!(r[0].completed_at, Some(SimTime::from_secs(26)));
+}
+
+#[test]
+fn task_failures_cause_retries_and_waste() {
+    let graph = two_stage_graph(20, 2);
+    let spec = JobSpec::uniform(graph, Constant(5.0), Constant(0.0), 0.3);
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated_with_failures(4), 3);
+    sim.add_job(spec, Box::new(FixedAllocation(4)));
+    let r = sim.run();
+    assert!(r[0].completed_at.is_some());
+    assert!(r[0].wasted_secs > 0.0, "failures should waste work");
+    assert_eq!(r[0].work_done_secs, 110.0);
+    // The profile should have recorded failed attempts.
+    assert!(r[0].profile.task_failure_prob > 0.05);
+}
+
+#[test]
+fn spare_capacity_accelerates_beyond_guarantee() {
+    let mut cfg = ClusterConfig::production();
+    cfg.total_tokens = 100;
+    cfg.max_guarantee = 10;
+    cfg.background = BackgroundConfig::none();
+    cfg.failures = FailureConfig::none();
+    // All 100 tokens idle; guarantee only 2 of them.
+    let mut sim = ClusterSim::new(cfg, 5);
+    sim.add_job(spec(40, 2, 10.0), Box::new(FixedAllocation(2)));
+    let r = sim.run();
+    // With only 2 guaranteed tokens this would take 40/2*10 + 10 = 210 s;
+    // spare tokens (even at 1.25x slowdown) must beat that easily.
+    let d = r[0].duration().unwrap();
+    assert!(d < SimDuration::from_secs(60), "took {d:?}");
+    assert!(r[0].spare_task_count > 0);
+}
+
+#[test]
+fn disabled_spare_keeps_job_at_guarantee() {
+    let mut cfg = ClusterConfig::dedicated(100);
+    cfg.max_guarantee = 100;
+    cfg.spare_enabled = false;
+    let mut sim = ClusterSim::new(cfg, 5);
+    sim.add_job(spec(40, 2, 10.0), Box::new(FixedAllocation(2)));
+    let r = sim.run();
+    assert_eq!(r[0].spare_task_count, 0);
+    assert_eq!(
+        r[0].duration().unwrap(),
+        SimDuration::from_secs(40 / 2 * 10 + 10)
+    );
+}
+
+#[test]
+fn background_load_squeezes_spare_and_evicts() {
+    let mut cfg = ClusterConfig::production();
+    cfg.total_tokens = 50;
+    cfg.max_guarantee = 4;
+    cfg.background.mean_util = 0.9;
+    cfg.background.volatility = 0.1;
+    cfg.background.overload_rate_per_hour = 20.0;
+    cfg.background.overload_duration_mins = 3.0;
+    cfg.failures = FailureConfig::none();
+    let mut sim = ClusterSim::new(cfg, 11);
+    sim.add_job(spec(60, 2, 20.0), Box::new(FixedAllocation(4)));
+    let r = sim.run();
+    assert!(r[0].completed_at.is_some());
+    // Evictions show up as wasted seconds without task failures.
+    assert!(r[0].wasted_secs > 0.0, "expected spare evictions");
+}
+
+#[test]
+fn machine_failures_do_not_wedge_the_job() {
+    let mut cfg = ClusterConfig::dedicated(8);
+    cfg.failures = FailureConfig {
+        task_failure_prob: Some(0.0),
+        machine_failure_rate_per_hour: 120.0, // Very frequent.
+        tasks_per_machine: 3,
+        data_loss_prob: 1.0,
+    };
+    let mut sim = ClusterSim::new(cfg, 13);
+    sim.add_job(spec(30, 5, 8.0), Box::new(FixedAllocation(8)));
+    let r = sim.run();
+    assert!(r[0].completed_at.is_some(), "job must still finish");
+    assert!(r[0].wasted_secs > 0.0);
+    assert_eq!(r[0].work_done_secs, 30.0 * 8.0 + 5.0 * 8.0);
+}
+
+#[test]
+fn determinism_same_seed_same_result() {
+    let run = |seed| {
+        let mut cfg = ClusterConfig::production();
+        cfg.total_tokens = 60;
+        cfg.max_guarantee = 10;
+        let mut sim = ClusterSim::new(cfg, seed);
+        sim.add_job(spec(30, 3, 12.0), Box::new(FixedAllocation(6)));
+        sim.run()[0].completed_at
+    };
+    assert_eq!(run(42), run(42));
+    assert!(run(42).is_some());
+}
+
+#[test]
+fn different_seeds_vary_under_noise() {
+    let run = |seed| {
+        let mut cfg = ClusterConfig::production();
+        cfg.total_tokens = 60;
+        cfg.max_guarantee = 10;
+        let mut sim = ClusterSim::new(cfg, seed);
+        sim.add_job(spec(30, 3, 12.0), Box::new(FixedAllocation(6)));
+        sim.run()[0].completed_at.unwrap()
+    };
+    let outcomes: std::collections::HashSet<_> = (0..5).map(run).collect();
+    assert!(outcomes.len() > 1, "noise should differentiate seeds");
+}
+
+#[test]
+fn multiple_jobs_share_the_cluster() {
+    let mut cfg = ClusterConfig::dedicated(8);
+    cfg.max_guarantee = 4;
+    let mut sim = ClusterSim::new(cfg, 7);
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    let r = sim.run();
+    assert!(r[0].completed_at.is_some());
+    assert!(r[1].completed_at.is_some());
+    assert_eq!(r[0].completed_at, r[1].completed_at);
+}
+
+#[test]
+fn delayed_submission_starts_later() {
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
+    sim.add_job_at(
+        spec(4, 1, 10.0),
+        Box::new(FixedAllocation(4)),
+        SimTime::from_mins(5),
+    );
+    let r = sim.run();
+    assert_eq!(r[0].started_at, SimTime::from_mins(5));
+    assert_eq!(
+        r[0].completed_at,
+        Some(SimTime::from_mins(5) + SimDuration::from_secs(20))
+    );
+    assert_eq!(r[0].duration(), Some(SimDuration::from_secs(20)));
+}
+
+#[test]
+fn horizon_reports_unfinished_jobs() {
+    let mut cfg = ClusterConfig::dedicated(1);
+    cfg.max_sim_time = SimTime::from_secs(15);
+    let mut sim = ClusterSim::new(cfg, 1);
+    sim.add_job(spec(100, 1, 10.0), Box::new(FixedAllocation(1)));
+    let r = sim.run();
+    assert_eq!(r[0].completed_at, None);
+    assert!(r[0].work_done_secs < 100.0 * 10.0);
+}
+
+#[test]
+fn oracle_allocation_matches_formula() {
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    let r = sim.run();
+    // T = 100 s of work; d = 50 s -> ceil(2) = 2 tokens.
+    assert_eq!(r[0].oracle_allocation(SimDuration::from_secs(50)), 2);
+    assert_eq!(r[0].oracle_allocation(SimDuration::from_secs(30)), 4);
+}
+
+#[test]
+fn run_single_returns_the_only_job() {
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    let r = sim.run_single();
+    assert_eq!(r.completed_at, Some(SimTime::from_secs(30)));
+    assert_eq!(r.name, "test-job");
+}
+
+#[test]
+#[should_panic(expected = "run_single on a simulation with 2 jobs")]
+fn run_single_rejects_multi_job_sims() {
+    let mut cfg = ClusterConfig::dedicated(8);
+    cfg.max_guarantee = 4;
+    let mut sim = ClusterSim::new(cfg, 7);
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    let _ = sim.run_single();
+}
+
+#[test]
+fn run_profile_is_usable_as_training_data() {
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    let r = sim.run();
+    let p = &r[0].profile;
+    assert_eq!(p.stages.len(), 2);
+    assert_eq!(p.stages[0].runtimes.len(), 8);
+    assert_eq!(p.total_work(), 100.0);
+    assert!(p.duration >= 29.0 && p.duration <= 31.0);
+    // Stage windows: map [0, 20], reduce [20, 30] relative to 30 s.
+    assert!(p.stages[1].rel_start > 0.6 && p.stages[1].rel_start < 0.7);
+}
+
+#[test]
+fn trace_records_control_ticks() {
+    let mut cfg = ClusterConfig::dedicated(4);
+    cfg.control_period = SimDuration::from_secs(10);
+    let mut sim = ClusterSim::new(cfg, 1);
+    sim.add_job(spec(8, 2, 10.0), Box::new(FixedAllocation(4)));
+    let r = sim.run();
+    // Ticks at 0, 10, 20 (+ final sample at 30).
+    assert!(r[0].trace.guarantee.len() >= 3);
+    assert_eq!(r[0].trace.guarantee.points()[0].1, 4.0);
+    assert_eq!(r[0].trace.last_guarantee(), 4.0);
+}
+
+#[test]
+fn disabling_recording_keeps_the_run_identical_but_lean() {
+    let run = |record: bool| {
+        let mut cfg = ClusterConfig::production();
+        cfg.total_tokens = 60;
+        cfg.max_guarantee = 10;
+        let mut sim = ClusterSim::new(cfg, 21);
+        sim.set_record_trace(record);
+        sim.set_record_profile(record);
+        sim.add_job(spec(30, 3, 12.0), Box::new(FixedAllocation(6)));
+        sim.run_single()
+    };
+    let full = run(true);
+    let lean = run(false);
+    // Recording is pure observation: the simulated run is unchanged.
+    assert_eq!(full.completed_at, lean.completed_at);
+    assert_eq!(full.work_done_secs, lean.work_done_secs);
+    assert_eq!(full.wasted_secs, lean.wasted_secs);
+    // But the lean run carries no trace or per-task samples.
+    assert!(!full.trace.guarantee.is_empty());
+    assert_eq!(lean.trace.guarantee.len(), 0);
+    assert!(!full.profile.stages[0].runtimes.is_empty());
+    assert!(lean.profile.stages[0].runtimes.is_empty());
+}
+
+#[test]
+fn guarantee_is_capped_by_config() {
+    let mut cfg = ClusterConfig::dedicated(4);
+    cfg.max_guarantee = 3;
+    let mut sim = ClusterSim::new(cfg, 1);
+    sim.add_job(spec(9, 1, 10.0), Box::new(FixedAllocation(100)));
+    let r = sim.run();
+    assert_eq!(r[0].trace.max_guarantee(), 3.0);
+    // 9 tasks at 3 tokens = 3 waves of 10 s, plus 10 s reduce.
+    assert_eq!(r[0].completed_at, Some(SimTime::from_secs(40)));
+}

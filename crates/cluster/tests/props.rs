@@ -59,7 +59,7 @@ proptest! {
         let spec = JobSpec::uniform(graph.clone(), Constant(4.0), Constant(0.2), fail_prob);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated_with_failures(6), seed);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
-        let r = sim.run().remove(0);
+        let r = sim.run_single();
         prop_assert!(r.completed_at.is_some(), "wedged with fail_prob {}", fail_prob);
         let clean_work = graph.total_tasks() as f64 * 4.0;
         prop_assert!((r.work_done_secs - clean_work).abs() < 1e-6);
@@ -112,7 +112,7 @@ proptest! {
         };
         let mut sim = ClusterSim::new(cfg, seed);
         sim.add_job(spec, Box::new(FixedAllocation(8)));
-        let r = sim.run().remove(0);
+        let r = sim.run_single();
         prop_assert!(r.completed_at.is_some(), "job wedged under noise");
         // All tasks completed exactly once at the end.
         let total_attempt_runtime: f64 = r
@@ -137,7 +137,7 @@ proptest! {
         cfg.max_guarantee = cap;
         let mut sim = ClusterSim::new(cfg, 1);
         sim.add_job(spec, Box::new(FixedAllocation(request)));
-        let r = sim.run().remove(0);
+        let r = sim.run_single();
         prop_assert!(r.trace.max_guarantee() <= f64::from(cap));
         prop_assert!(r.completed_at.is_some());
     }
@@ -158,7 +158,7 @@ proptest! {
             cfg.max_guarantee = 10;
             let mut sim = ClusterSim::new(cfg, seed);
             sim.add_job(spec, Box::new(FixedAllocation(6)));
-            let r = sim.run().remove(0);
+            let r = sim.run_single();
             (r.completed_at, r.work_done_secs, r.wasted_secs, r.spare_task_count)
         };
         prop_assert_eq!(run(), run());

@@ -59,7 +59,7 @@ fn deadline_change_event_reaches_controller_at_the_right_time() {
     let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 1);
     let idx = sim.add_job(spec(20, 2, 30.0), Box::new(controller));
     sim.schedule_deadline_change(idx, SimTime::from_mins(2), SimDuration::from_mins(7));
-    let r = sim.run().remove(idx);
+    let r = sim.run_single();
     assert!(r.completed_at.is_some());
     let changes = changes.lock().unwrap();
     assert_eq!(changes.as_slice(), &[420.0]);
@@ -131,7 +131,7 @@ fn spare_tasks_upgrade_when_guarantee_rises() {
     cfg.spare_enabled = true; // Idle tokens flow to the job as spare.
     let mut sim = ClusterSim::new(cfg, 4);
     sim.add_job(spec(64, 2, 20.0), Box::new(Stepper));
-    let r = sim.run().remove(0);
+    let r = sim.run_single();
     assert!(r.completed_at.is_some());
     // Early tasks ran as spare; after the jump most run guaranteed.
     assert!(r.spare_task_count > 0, "no spare tasks at low guarantee");
@@ -153,7 +153,7 @@ fn work_conservation_across_classes() {
         cfg.spare_enabled = spare;
         let mut sim = ClusterSim::new(cfg, 5);
         sim.add_job(spec(24, 2, 10.0), Box::new(FixedAllocation(4)));
-        sim.run().remove(0)
+        sim.run_single()
     };
     let with_spare = run(true);
     let without = run(false);
@@ -171,7 +171,7 @@ fn zero_guarantee_job_still_finishes_via_spare() {
     cfg.spare_enabled = true;
     let mut sim = ClusterSim::new(cfg, 6);
     sim.add_job(spec(8, 1, 5.0), Box::new(FixedAllocation(0)));
-    let r = sim.run().remove(0);
+    let r = sim.run_single();
     assert!(r.completed_at.is_some(), "spare-only job wedged");
     assert_eq!(r.guaranteed_task_count, 0);
     assert_eq!(r.spare_task_count, 9);
@@ -208,7 +208,7 @@ fn placement_model_slows_remote_tasks() {
         cfg.placement = placement;
         let mut sim = ClusterSim::new(cfg, 11);
         sim.add_job(spec(64, 2, 10.0), Box::new(FixedAllocation(8)));
-        sim.run().remove(0)
+        sim.run_single()
     };
     let local = run(None);
     let remote_heavy = run(Some(PlacementConfig {
@@ -249,7 +249,7 @@ fn machine_failures_with_placement_kill_co_resident_tasks() {
     };
     let mut sim = ClusterSim::new(cfg, 13);
     sim.add_job(spec(40, 4, 8.0), Box::new(FixedAllocation(8)));
-    let r = sim.run().remove(0);
+    let r = sim.run_single();
     assert!(
         r.completed_at.is_some(),
         "job must survive machine failures"

@@ -1,0 +1,55 @@
+//! Prints a digest of a fixed-seed `C(p, a)` training table — a quick
+//! way to confirm training determinism across code changes:
+//!
+//! ```text
+//! cargo run --release -p jockey-core --example train_digest
+//! ```
+
+use std::sync::Arc;
+
+use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+use jockey_core::cpa::{CpaModel, TrainConfig};
+use jockey_core::progress::{IndicatorContext, ProgressIndicator};
+use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+use jockey_simrt::dist::Uniform;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let mut b = JobGraphBuilder::new("digest-job");
+    let m = b.stage("map", 24);
+    let mid = b.stage("mid", 24);
+    let r = b.stage("reduce", 4);
+    b.edge(m, mid, EdgeKind::OneToOne);
+    b.edge(mid, r, EdgeKind::AllToAll);
+    let graph = Arc::new(b.build().unwrap());
+
+    let spec = JobSpec::uniform(
+        graph.clone(),
+        Uniform::new(5.0, 15.0),
+        Uniform::new(0.0, 1.0),
+        0.05,
+    );
+    let mut sim = ClusterSim::new(ClusterConfig::dedicated_with_failures(12), 77);
+    sim.add_job(spec, Box::new(FixedAllocation(12)));
+    let profile = sim.run_single().profile;
+
+    let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+    let cfg = TrainConfig {
+        allocations: vec![2, 4, 8, 16],
+        runs_per_allocation: 6,
+        ..TrainConfig::fast(vec![2])
+    };
+    let model = CpaModel::train(&graph, &profile, &ctx, &cfg, 1234);
+    let text = model.to_kv().to_text();
+    println!("profile_work={:.9}", profile.total_work());
+    println!("samples={}", model.sample_count());
+    println!("digest={:016x}", fnv1a(text.as_bytes()));
+}

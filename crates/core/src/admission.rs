@@ -175,7 +175,7 @@ mod tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
         let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         CpaModel::train(
             &graph,

@@ -355,7 +355,7 @@ mod shared_tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(20.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), seed);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
-        (graph.clone(), sim.run().remove(0).profile)
+        (graph.clone(), sim.run_single().profile)
     }
 
     #[test]

@@ -17,13 +17,12 @@
 //! future failures" (§1).
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use jockey_cluster::{
-    ClusterConfig, ClusterSim, ControlDecision, JobController, JobSpec, JobStatus,
-};
+use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec, RunHooks, SimWorkspace};
 use jockey_jobgraph::graph::JobGraph;
 use jockey_jobgraph::profile::JobProfile;
+use jockey_simrt::observe::ProgressSink;
 use jockey_simrt::rng::SeedDeriver;
 use jockey_simrt::time::{SimDuration, SimTime};
 
@@ -46,6 +45,10 @@ pub struct TrainConfig {
     pub percentile: f64,
     /// Simulation horizon per training run.
     pub max_sim_time: SimTime,
+    /// Worker threads for training; `None` (the default) uses one per
+    /// allocation. The trained model is identical for any value — RNG
+    /// streams derive from grid position, never from thread scheduling.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -64,6 +67,7 @@ impl Default for TrainConfig {
             progress_bins: 100,
             percentile: 95.0,
             max_sim_time: SimTime::from_mins(24 * 60),
+            threads: None,
         }
     }
 }
@@ -79,6 +83,7 @@ impl TrainConfig {
             progress_bins: 50,
             percentile: 90.0,
             max_sim_time: SimTime::from_mins(12 * 60),
+            threads: None,
         }
     }
 
@@ -153,24 +158,26 @@ impl fmt::Display for InvalidTrainConfig {
 
 impl std::error::Error for InvalidTrainConfig {}
 
-/// A controller that applies a fixed allocation and records `(elapsed,
-/// f_s)` snapshots at every control tick — the instrumentation used to
-/// harvest `C(p, a)` samples from training runs.
-/// One harvested snapshot: elapsed seconds plus per-stage fractions.
-type ProgressSample = (f64, Vec<f64>);
-
-struct RecordingController {
-    allocation: u32,
-    samples: Arc<Mutex<Vec<ProgressSample>>>,
+/// Maps progress `p` (clamped to `[0, 1]`) onto one of `bins` buckets.
+/// Shared by model queries and training-time bucketing so the two can
+/// never drift apart.
+fn progress_bin(p: f64, bins: usize) -> usize {
+    (((p.clamp(0.0, 1.0)) * bins as f64) as usize).min(bins - 1)
 }
 
-impl JobController for RecordingController {
-    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+/// A borrowed [`ProgressSink`] that folds each control-tick snapshot
+/// straight into `(elapsed, progress)` pairs — the instrumentation used
+/// to harvest `C(p, a)` samples from training runs, with no per-sample
+/// stage-fraction clone and no lock.
+struct SampleCollector<'a> {
+    indicator: &'a IndicatorContext,
+    samples: &'a mut Vec<(f64, f64)>,
+}
+
+impl ProgressSink for SampleCollector<'_> {
+    fn sample(&mut self, _job: usize, elapsed_secs: f64, stage_fraction: &[f64]) {
         self.samples
-            .lock()
-            .expect("sampler mutex poisoned")
-            .push((status.elapsed.as_secs_f64(), status.stage_fraction.clone()));
-        ControlDecision::simple(self.allocation)
+            .push((elapsed_secs, self.indicator.progress(stage_fraction)));
     }
 }
 
@@ -204,25 +211,35 @@ impl CpaModel {
     ) -> Self {
         cfg.validate();
         let seeds = SeedDeriver::new(seed).child("cpa-train");
-        let spec = JobSpec::from_profile(graph.clone(), profile);
+        let spec = Arc::new(JobSpec::from_profile(graph.clone(), profile));
 
-        // One training shard per allocation, run in parallel. Each
-        // shard's RNG seeds derive from (allocation index, run index),
-        // so results are independent of thread scheduling.
-        let mut cells: Vec<Vec<Vec<f64>>> = Vec::with_capacity(cfg.allocations.len());
+        // The grid is sharded into contiguous chunks, one worker thread
+        // per chunk, each reusing a single SimWorkspace across all its
+        // runs. Every shard's RNG seeds derive from (allocation index,
+        // run index), so the trained cells are byte-identical for any
+        // thread count.
+        let n = cfg.allocations.len();
+        let threads = cfg.threads.unwrap_or(n).clamp(1, n.max(1));
+        let chunk = n.div_ceil(threads);
+        let mut cells: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n];
         std::thread::scope(|scope| {
-            let handles: Vec<_> = cfg
-                .allocations
-                .iter()
-                .enumerate()
-                .map(|(ai, &alloc)| {
-                    let spec = spec.clone();
-                    let seeds = seeds.child_indexed("alloc", ai as u64);
-                    scope.spawn(move || train_one_allocation(spec, indicator, alloc, cfg, seeds))
-                })
-                .collect();
-            for h in handles {
-                cells.push(h.join().expect("training shard panicked"));
+            for (ci, chunk_cells) in cells.chunks_mut(chunk).enumerate() {
+                let spec = &spec;
+                let seeds = &seeds;
+                scope.spawn(move || {
+                    let mut ws = SimWorkspace::new();
+                    for (k, cell) in chunk_cells.iter_mut().enumerate() {
+                        let ai = ci * chunk + k;
+                        *cell = train_one_allocation(
+                            spec,
+                            indicator,
+                            cfg.allocations[ai],
+                            cfg,
+                            seeds.child_indexed("alloc", ai as u64),
+                            &mut ws,
+                        );
+                    }
+                });
             }
         });
 
@@ -255,7 +272,7 @@ impl CpaModel {
     }
 
     fn bin_of(&self, p: f64) -> usize {
-        (((p.clamp(0.0, 1.0)) * self.bins as f64) as usize).min(self.bins - 1)
+        progress_bin(p, self.bins)
     }
 
     /// The remaining-time estimate at a single grid allocation index,
@@ -436,27 +453,40 @@ impl CompletionModel for CpaModel {
 }
 
 /// Simulates every training run for one allocation and buckets the
-/// harvested samples.
+/// harvested samples. The hot path is allocation-lean: the shared spec
+/// is never deep-cloned, per-job state vectors are rented from `ws`,
+/// trace/profile recording is off, and snapshots flow through a
+/// borrowed [`SampleCollector`] into one reused buffer.
 fn train_one_allocation(
-    spec: JobSpec,
+    spec: &Arc<JobSpec>,
     indicator: &IndicatorContext,
     allocation: u32,
     cfg: &TrainConfig,
     seeds: SeedDeriver,
+    ws: &mut SimWorkspace,
 ) -> Vec<Vec<f64>> {
     let mut cells: Vec<Vec<f64>> = vec![Vec::new(); cfg.progress_bins];
+    let mut samples: Vec<(f64, f64)> = Vec::new();
     for run in 0..cfg.runs_per_allocation {
-        let samples = Arc::new(Mutex::new(Vec::new()));
-        let controller = RecordingController {
-            allocation,
-            samples: samples.clone(),
-        };
+        samples.clear();
         let mut sim_cfg = ClusterConfig::dedicated_with_failures(allocation);
         sim_cfg.control_period = cfg.sample_period;
         sim_cfg.max_sim_time = cfg.max_sim_time;
-        let mut sim = ClusterSim::new(sim_cfg, seeds.seed_indexed("run", run as u64));
-        sim.add_job(spec.clone(), Box::new(controller));
-        let result = sim.run().remove(0);
+        let mut sim =
+            ClusterSim::with_workspace(sim_cfg, seeds.seed_indexed("run", run as u64), ws);
+        sim.set_record_trace(false);
+        sim.set_record_profile(false);
+        sim.add_job_shared(spec.clone(), Box::new(FixedAllocation(allocation)));
+        let result = {
+            let mut collector = SampleCollector {
+                indicator,
+                samples: &mut samples,
+            };
+            sim.run_single_hooked(RunHooks {
+                sink: Some(&mut collector),
+                reclaim: Some(ws),
+            })
+        };
         // A run that hit the simulation horizon is censored: its true
         // completion is *at least* the horizon. Using the horizon as
         // the completion time yields pessimistic-but-finite samples, so
@@ -466,12 +496,8 @@ fn train_one_allocation(
             Some(d) => d.as_secs_f64(),
             None => cfg.max_sim_time.as_secs_f64(),
         };
-        let recorded = samples.lock().expect("sampler mutex poisoned");
-        for (t, fs) in recorded.iter() {
-            let p = indicator.progress(fs);
-            let bin = (((p.clamp(0.0, 1.0)) * cfg.progress_bins as f64) as usize)
-                .min(cfg.progress_bins - 1);
-            cells[bin].push((total - t).max(0.0));
+        for &(t, p) in &samples {
+            cells[progress_bin(p, cfg.progress_bins)].push((total - t).max(0.0));
         }
         // Completion itself: zero remaining at full progress (only for
         // runs that actually completed).
@@ -496,8 +522,8 @@ pub fn unconstrained_rel_windows(
         .max(1);
     let spec = JobSpec::from_profile(graph.clone(), profile);
     let mut sim = ClusterSim::new(ClusterConfig::dedicated(tokens), seed);
-    sim.add_job(spec, Box::new(jockey_cluster::FixedAllocation(tokens)));
-    let result = sim.run().remove(0);
+    sim.add_job(spec, Box::new(FixedAllocation(tokens)));
+    let result = sim.run_single();
     result
         .profile
         .stages
@@ -525,7 +551,7 @@ mod tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
         (graph, profile)
     }
 
@@ -617,6 +643,25 @@ mod tests {
         assert_eq!(a.fresh_latency(3), b.fresh_latency(3));
     }
 
+    /// Satellite: the trained cells must be bit-identical whether the
+    /// grid is sharded over one thread or many — seeding is positional,
+    /// never scheduling-dependent.
+    #[test]
+    fn train_is_thread_count_independent() {
+        let (graph, profile) = fixture();
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let with_threads = |threads: Option<usize>| {
+            let mut cfg = TrainConfig::fast(vec![2, 4, 8]);
+            cfg.threads = threads;
+            CpaModel::train(&graph, &profile, &ind, &cfg, 7)
+        };
+        let one = with_threads(Some(1));
+        let three = with_threads(Some(3));
+        let auto = with_threads(None);
+        assert_eq!(one.cells, three.cells, "1 thread vs 3 threads");
+        assert_eq!(one.cells, auto.cells, "1 thread vs one-per-allocation");
+    }
+
     #[test]
     fn unconstrained_windows_cover_unit_interval() {
         let (graph, profile) = fixture();
@@ -657,7 +702,7 @@ mod persistence_tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 3);
         sim.add_job(spec, Box::new(FixedAllocation(4)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
         let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         let model = CpaModel::train(&graph, &profile, &ctx, &TrainConfig::fast(vec![2, 4]), 1);
 

@@ -199,7 +199,7 @@ mod tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(10.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
         JockeySetup::train(
             graph,
             profile,
@@ -230,7 +230,7 @@ mod tests {
             cfg.control_period = jockey_simrt::time::SimDuration::from_secs(15);
             let mut sim = ClusterSim::new(cfg, 9);
             sim.add_job(spec, controller);
-            let r = sim.run().remove(0);
+            let r = sim.run_single();
             assert!(
                 r.completed_at.is_some(),
                 "{} failed to finish",
@@ -308,7 +308,7 @@ mod feasibility_tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(30.0), Constant(0.0), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(8), 1);
         sim.add_job(spec, Box::new(FixedAllocation(8)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
         let setup = JockeySetup::train(
             graph,
             profile,

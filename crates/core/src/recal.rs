@@ -208,7 +208,7 @@ mod tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(30.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec, Box::new(FixedAllocation(6)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
         let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         let model = Arc::new(CpaModel::train(
             &graph,
@@ -270,7 +270,7 @@ mod tests {
         let spec = JobSpec::uniform(graph.clone(), Constant(30.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), 3);
         sim.add_job(spec.clone(), Box::new(FixedAllocation(6)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
         let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
         let model = Arc::new(CpaModel::train(
             &graph,
@@ -293,7 +293,7 @@ mod tests {
         cfg.control_period = SimDuration::from_secs(30);
         let mut sim = ClusterSim::new(cfg, 9);
         sim.add_job(spec, Box::new(controller));
-        let result = sim.run().remove(0);
+        let result = sim.run_single();
         assert!(result.completed_at.is_some());
         let lambda = handle.scale();
         assert!(

@@ -18,8 +18,9 @@ use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, Extension, SloConfig, SloOutcome};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, Extension, SloConfig, SloOutcome};
+use jockey_cluster::SimWorkspace;
 
 /// Runs the comparison; rows are per-variant aggregates.
 pub fn run(env: &Env) -> Table {
@@ -42,18 +43,19 @@ pub fn run(env: &Env) -> Table {
             }
         }
     }
-    let outcomes: Vec<(usize, SloOutcome)> = parallel_map(items, |(vi, ji, rep)| {
-        let job = detailed[ji];
-        let mut cfg = SloConfig::standard(
-            Policy::Jockey,
-            job.deadline,
-            cluster.clone(),
-            env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0xe47,
-        );
-        cfg.extension = variants[vi].1;
-        cfg.work_scale = 1.5;
-        (vi, run_slo(job, &cfg))
-    });
+    let outcomes: Vec<(usize, SloOutcome)> =
+        parallel_map_with(items, SimWorkspace::new, |ws, (vi, ji, rep)| {
+            let job = detailed[ji];
+            let mut cfg = SloConfig::standard(
+                Policy::Jockey,
+                job.deadline,
+                cluster.clone(),
+                env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0xe47,
+            );
+            cfg.extension = variants[vi].1;
+            cfg.work_scale = 1.5;
+            (vi, run_slo_with(job, &cfg, ws))
+        });
 
     let mut t = Table::new([
         "controller",

@@ -18,8 +18,9 @@ use jockey_simrt::table::Table;
 use jockey_simrt::time::SimTime;
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, SloConfig};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, SloConfig};
+use jockey_cluster::SimWorkspace;
 
 /// Runs the detailed jobs once per repetition and aggregates the two
 /// §5.4 metrics for every indicator over those shared executions.
@@ -34,7 +35,7 @@ pub fn run(env: &Env) -> Table {
         }
     }
     // Each result: per-indicator (ΔT, stuck) pairs for one execution.
-    let results = parallel_map(items, |(ji, rep)| {
+    let results = parallel_map_with(items, SimWorkspace::new, |ws, (ji, rep)| {
         let job = detailed[ji];
         let cfg = SloConfig::standard(
             Policy::Jockey,
@@ -42,7 +43,7 @@ pub fn run(env: &Env) -> Table {
             cluster.clone(),
             env.seed ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1010,
         );
-        let out = run_slo(job, &cfg);
+        let out = run_slo_with(job, &cfg, ws);
         let dur = out.duration.as_secs_f64().max(1e-9);
         let end = SimTime::ZERO + out.duration;
         let fractions = &out.trace.stage_fractions;

@@ -10,8 +10,9 @@ use jockey_simrt::table::Table;
 use jockey_simrt::time::SimDuration;
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, SloConfig, SloOutcome};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, SloConfig, SloOutcome};
+use jockey_cluster::SimWorkspace;
 
 /// One ablation variant.
 #[derive(Clone, Copy)]
@@ -100,20 +101,21 @@ pub fn run(env: &Env) -> Table {
             }
         }
     }
-    let outcomes: Vec<(usize, SloOutcome)> = parallel_map(items, |(vi, ji, rep)| {
-        let v = vars[vi];
-        let job = detailed[ji];
-        let mut cfg = SloConfig::standard(
-            Policy::Jockey,
-            job.deadline,
-            cluster.clone(),
-            env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1111,
-        );
-        cfg.params = v.params;
-        cfg.control_period = SimDuration::from_mins(v.period_mins);
-        cfg.indicator = v.indicator;
-        (vi, run_slo(job, &cfg))
-    });
+    let outcomes: Vec<(usize, SloOutcome)> =
+        parallel_map_with(items, SimWorkspace::new, |ws, (vi, ji, rep)| {
+            let v = vars[vi];
+            let job = detailed[ji];
+            let mut cfg = SloConfig::standard(
+                Policy::Jockey,
+                job.deadline,
+                cluster.clone(),
+                env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1111,
+            );
+            cfg.params = v.params;
+            cfg.control_period = SimDuration::from_mins(v.period_mins);
+            cfg.indicator = v.indicator;
+            (vi, run_slo_with(job, &cfg, ws))
+        });
 
     let mut t = Table::new([
         "experiment",

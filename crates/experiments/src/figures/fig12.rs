@@ -9,8 +9,9 @@ use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, SloConfig, SloOutcome};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, SloConfig, SloOutcome};
+use jockey_cluster::SimWorkspace;
 
 /// Slack values swept (the paper's x-axis spans 1.0–1.6).
 pub const SLACKS: [f64; 5] = [1.0, 1.1, 1.2, 1.4, 1.6];
@@ -28,20 +29,21 @@ pub fn run(env: &Env) -> Table {
             }
         }
     }
-    let outcomes: Vec<(usize, SloOutcome)> = parallel_map(items, |(si, ji, rep)| {
-        let job = detailed[ji];
-        let mut cfg = SloConfig::standard(
-            Policy::Jockey,
-            job.deadline,
-            cluster.clone(),
-            env.seed ^ ((si as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1212,
-        );
-        cfg.params = ControlParams {
-            slack: SLACKS[si],
-            ..ControlParams::default()
-        };
-        (si, run_slo(job, &cfg))
-    });
+    let outcomes: Vec<(usize, SloOutcome)> =
+        parallel_map_with(items, SimWorkspace::new, |ws, (si, ji, rep)| {
+            let job = detailed[ji];
+            let mut cfg = SloConfig::standard(
+                Policy::Jockey,
+                job.deadline,
+                cluster.clone(),
+                env.seed ^ ((si as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1212,
+            );
+            cfg.params = ControlParams {
+                slack: SLACKS[si],
+                ..ControlParams::default()
+            };
+            (si, run_slo_with(job, &cfg, ws))
+        });
 
     let mut t = Table::new([
         "slack",

@@ -8,8 +8,9 @@ use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, SloConfig, SloOutcome};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, SloConfig, SloOutcome};
+use jockey_cluster::SimWorkspace;
 
 /// Hysteresis values swept (the paper's x-axis spans 0.05–1.0).
 pub const ALPHAS: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
@@ -27,20 +28,21 @@ pub fn run(env: &Env) -> Table {
             }
         }
     }
-    let outcomes: Vec<(usize, SloOutcome)> = parallel_map(items, |(ai, ji, rep)| {
-        let job = detailed[ji];
-        let mut cfg = SloConfig::standard(
-            Policy::Jockey,
-            job.deadline,
-            cluster.clone(),
-            env.seed ^ ((ai as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1313,
-        );
-        cfg.params = ControlParams {
-            hysteresis: ALPHAS[ai],
-            ..ControlParams::default()
-        };
-        (ai, run_slo(job, &cfg))
-    });
+    let outcomes: Vec<(usize, SloOutcome)> =
+        parallel_map_with(items, SimWorkspace::new, |ws, (ai, ji, rep)| {
+            let job = detailed[ji];
+            let mut cfg = SloConfig::standard(
+                Policy::Jockey,
+                job.deadline,
+                cluster.clone(),
+                env.seed ^ ((ai as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1313,
+            );
+            cfg.params = ControlParams {
+                hysteresis: ALPHAS[ai],
+                ..ControlParams::default()
+            };
+            (ai, run_slo_with(job, &cfg, ws))
+        });
 
     let mut t = Table::new([
         "hysteresis",

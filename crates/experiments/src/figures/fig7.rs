@@ -10,8 +10,9 @@ use jockey_simrt::table::Table;
 use jockey_simrt::time::{SimDuration, SimTime};
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, SloConfig, SloOutcome};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, SloConfig, SloOutcome};
+use jockey_cluster::SimWorkspace;
 
 /// A deadline-change experiment cell.
 struct Cell {
@@ -34,7 +35,7 @@ pub fn run(env: &Env) -> Table {
             }
         }
     }
-    let cells = parallel_map(items, |(ji, mult, mi, rep)| {
+    let cells = parallel_map_with(items, SimWorkspace::new, |ws, (ji, mult, mi, rep)| {
         let job = detailed[ji];
         let change_at = SimTime::ZERO + job.deadline.scale(0.1);
         let new_deadline = job.deadline.scale(mult);
@@ -47,7 +48,7 @@ pub fn run(env: &Env) -> Table {
         cfg.deadline_change = Some((change_at, new_deadline));
         Cell {
             multiplier: mult,
-            outcome: run_slo(job, &cfg),
+            outcome: run_slo_with(job, &cfg, ws),
             change_at,
         }
     });

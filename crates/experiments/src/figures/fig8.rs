@@ -8,13 +8,15 @@
 //! ~11.8% for Amdahl's Law, with Amdahl's error concentrated at low
 //! allocations.
 
-use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+use std::sync::Arc;
+
+use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec, RunHooks, SimWorkspace};
 use jockey_core::predict::{AmdahlModel, CompletionModel};
 use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 
 use crate::env::Env;
-use crate::par::parallel_map;
+use crate::par::parallel_map_with;
 
 /// The allocation grid of the figure's x-axis.
 fn allocations(env: &Env) -> Vec<u32> {
@@ -42,15 +44,23 @@ pub fn run(env: &Env) -> Table {
             }
         }
     }
-    let measured = parallel_map(items, |(ji, a, rep)| {
-        let job = detailed[ji];
-        let spec = JobSpec::from_profile(job.gen.graph.clone(), &job.profile);
-        let mut sim = ClusterSim::new(
+    // One shared spec per job (runs only differ by seed), one rented
+    // buffer set per worker thread.
+    let specs: Vec<Arc<JobSpec>> = detailed
+        .iter()
+        .map(|job| Arc::new(JobSpec::from_profile(job.gen.graph.clone(), &job.profile)))
+        .collect();
+    let measured = parallel_map_with(items, SimWorkspace::new, |ws, (ji, a, rep)| {
+        let mut sim = ClusterSim::with_workspace(
             ClusterConfig::dedicated_with_failures(a),
             env.seed ^ ((ji as u64) << 24) ^ (u64::from(a) << 8) ^ (rep as u64) ^ 0x818,
+            ws,
         );
-        sim.add_job(spec, Box::new(FixedAllocation(a)));
-        let r = sim.run().remove(0);
+        sim.add_job_shared(specs[ji].clone(), Box::new(FixedAllocation(a)));
+        let r = sim.run_single_hooked(RunHooks {
+            sink: None,
+            reclaim: Some(ws),
+        });
         (ji, a, r.duration().map(|d| d.as_secs_f64()))
     });
 

@@ -12,8 +12,9 @@ use jockey_simrt::time::SimDuration;
 use jockey_workloads::recurring::input_size_factors;
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, SloConfig, SloOutcome};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, SloConfig, SloOutcome};
+use jockey_cluster::SimWorkspace;
 
 /// Runs the full policy sweep. Deterministic in the environment seed.
 ///
@@ -43,11 +44,15 @@ pub fn run(env: &Env) -> Vec<SloOutcome> {
         }
     }
     let cluster = env.experiment_cluster();
-    parallel_map(items, |(ji, policy, deadline, factor, seed)| {
-        let mut cfg = SloConfig::standard(policy, deadline, cluster.clone(), seed);
-        cfg.work_scale = factor;
-        run_slo(&env.jobs[ji], &cfg)
-    })
+    parallel_map_with(
+        items,
+        SimWorkspace::new,
+        |ws, (ji, policy, deadline, factor, seed)| {
+            let mut cfg = SloConfig::standard(policy, deadline, cluster.clone(), seed);
+            cfg.work_scale = factor;
+            run_slo_with(&env.jobs[ji], &cfg, ws)
+        },
+    )
 }
 
 fn policy_tag(p: Policy) -> u64 {

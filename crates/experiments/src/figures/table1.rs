@@ -22,8 +22,9 @@ use jockey_simrt::table::Table;
 use jockey_workloads::recurring::input_size_factors;
 
 use crate::env::Env;
-use crate::par::parallel_map;
-use crate::slo::{run_slo, SloConfig};
+use crate::par::parallel_map_with;
+use crate::slo::{run_slo_with, SloConfig};
+use jockey_cluster::SimWorkspace;
 
 /// Runs per job at each scale.
 fn runs_per_job(env: &Env) -> usize {
@@ -62,7 +63,7 @@ pub fn run(env: &Env) -> Table {
         }
     }
 
-    let durations = parallel_map(items, |(ji, ri, factor, spare)| {
+    let durations = parallel_map_with(items, SimWorkspace::new, |ws, (ji, ri, factor, spare)| {
         let job = &env.jobs[ji];
         // Half the oracle allocation: the paper's users under-sized
         // quotas and leaned on spare capacity (§3.2).
@@ -79,7 +80,7 @@ pub fn run(env: &Env) -> Table {
         );
         cfg.force_allocation = Some(guarantee);
         cfg.work_scale = factor;
-        let out = run_slo(job, &cfg);
+        let out = run_slo_with(job, &cfg, ws);
         (ji, factor, out.duration.as_secs_f64(), spare)
     });
 

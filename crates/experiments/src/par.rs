@@ -19,6 +19,24 @@ where
     R: Send,
     F: Fn(T) -> R + Send + Sync,
 {
+    parallel_map_with(items, || (), move |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker scratch state: each worker thread
+/// builds one `S` via `init` and threads it through every item it
+/// steals. Simulation sweeps use this to reuse one
+/// `SimWorkspace` per worker instead of allocating per run.
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `f`.
+pub fn parallel_map_with<T, R, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Send + Sync,
+    F: Fn(&mut S, T) -> R + Send + Sync,
+{
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
@@ -30,18 +48,21 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work mutex poisoned")
+                        .take()
+                        .expect("work item taken twice");
+                    let r = f(&mut state, item);
+                    *results[i].lock().expect("result mutex poisoned") = Some(r);
                 }
-                let item = work[i]
-                    .lock()
-                    .expect("work mutex poisoned")
-                    .take()
-                    .expect("work item taken twice");
-                let r = f(item);
-                *results[i].lock().expect("result mutex poisoned") = Some(r);
             });
         }
     });
@@ -75,5 +96,26 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_state_reuses_one_state_per_worker() {
+        // Each worker counts the items it processed in its own state;
+        // results must still come back complete and ordered.
+        let out = parallel_map_with(
+            (0..64).collect::<Vec<i32>>(),
+            || 0_i32,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            (0..64).collect::<Vec<_>>()
+        );
+        // Every item was processed under some worker-local count >= 1.
+        assert!(out.iter().all(|&(_, seen)| seen >= 1));
     }
 }

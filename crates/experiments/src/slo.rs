@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use jockey_cluster::{ClusterConfig, ClusterSim, JobSpec, RunTrace};
+use jockey_cluster::{ClusterConfig, ClusterSim, JobSpec, RunHooks, RunTrace, SimWorkspace};
 use jockey_core::control::ControlParams;
 use jockey_core::oracle::oracle_allocation;
 use jockey_core::policy::Policy;
@@ -131,6 +131,14 @@ pub struct SloOutcome {
 
 /// Runs one SLO experiment.
 pub fn run_slo(job: &EvalJob, cfg: &SloConfig) -> SloOutcome {
+    run_slo_with(job, cfg, &mut SimWorkspace::new())
+}
+
+/// [`run_slo`] with a caller-owned [`SimWorkspace`]: sweeps hand each
+/// worker thread one workspace so per-job simulation buffers are rented
+/// and returned instead of reallocated every run. The outcome is
+/// identical to [`run_slo`].
+pub fn run_slo_with(job: &EvalJob, cfg: &SloConfig, ws: &mut SimWorkspace) -> SloOutcome {
     // Build the run's spec: input-size scaling plus optional per-stage
     // slowdowns.
     let mut runtimes: Vec<Arc<dyn Sample>> = job
@@ -188,14 +196,17 @@ pub fn run_slo(job: &EvalJob, cfg: &SloConfig) -> SloOutcome {
 
     let mut cluster = cfg.cluster.clone();
     cluster.control_period = cfg.control_period;
-    let mut sim = ClusterSim::new(cluster, cfg.seed);
+    let mut sim = ClusterSim::with_workspace(cluster, cfg.seed, ws);
     let idx = sim.add_job(spec, controller);
     let mut deadline = cfg.deadline;
     if let Some((at, new_deadline)) = cfg.deadline_change {
         sim.schedule_deadline_change(idx, at, new_deadline);
         deadline = new_deadline;
     }
-    let result = sim.run().remove(idx);
+    let result = sim.run_single_hooked(RunHooks {
+        sink: None,
+        reclaim: Some(ws),
+    });
 
     let completed = result.completed_at.is_some();
     // Incomplete runs are censored at the simulation horizon.

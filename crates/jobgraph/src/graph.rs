@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a stage within one [`JobGraph`] (a dense index).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,8 +43,9 @@ pub enum EdgeKind {
 /// A stage: a named group of identical parallel tasks.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Stage {
-    /// Human-readable stage name (e.g. `"SV3_Aggregate"`).
-    pub name: String,
+    /// Human-readable stage name (e.g. `"SV3_Aggregate"`), interned so
+    /// per-task state and profiles share one allocation per stage.
+    pub name: Arc<str>,
     /// Number of parallel tasks (vertices) in the stage.
     pub tasks: u32,
 }
@@ -166,7 +168,7 @@ impl JobGraphBuilder {
     }
 
     /// Adds a stage with `tasks` parallel tasks, returning its id.
-    pub fn stage(&mut self, name: impl Into<String>, tasks: u32) -> StageId {
+    pub fn stage(&mut self, name: impl Into<Arc<str>>, tasks: u32) -> StageId {
         let id = StageId(self.stages.len());
         self.stages.push(Stage {
             name: name.into(),
@@ -405,7 +407,10 @@ impl JobGraph {
 
     /// Looks up a stage id by name (first match).
     pub fn stage_by_name(&self, name: &str) -> Option<StageId> {
-        self.stages.iter().position(|s| s.name == name).map(StageId)
+        self.stages
+            .iter()
+            .position(|s| &*s.name == name)
+            .map(StageId)
     }
 }
 
@@ -631,7 +636,7 @@ mod kv_tests {
         assert_eq!(round.num_stages(), g.num_stages());
         assert_eq!(round.total_tasks(), g.total_tasks());
         assert_eq!(round.edges(), g.edges());
-        assert_eq!(round.stage(c).name, "reduce");
+        assert_eq!(&*round.stage(c).name, "reduce");
     }
 
     #[test]

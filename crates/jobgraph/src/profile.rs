@@ -15,6 +15,8 @@
 //!   ([`StageProfile::rel_start`] / [`StageProfile::rel_end`]), used by the
 //!   `minstage` progress indicators.
 
+use std::sync::Arc;
+
 use crate::graph::{JobGraph, StageId};
 use jockey_simrt::dist::Empirical;
 use jockey_simrt::table::KvStore;
@@ -22,8 +24,8 @@ use jockey_simrt::table::KvStore;
 /// Observed statistics for one stage of a prior run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StageProfile {
-    /// Stage name (copied from the graph for readability).
-    pub name: String,
+    /// Stage name (shared with the graph's interned stage id).
+    pub name: Arc<str>,
     /// Task count of the stage.
     pub tasks: u32,
     /// Observed task execution times in seconds (one entry per attempt).
@@ -196,7 +198,7 @@ impl JobProfile {
         let mut stages = Vec::with_capacity(n);
         for i in 0..n {
             stages.push(StageProfile {
-                name: kv.get(&format!("stage.{i}.name"))?.to_string(),
+                name: kv.get(&format!("stage.{i}.name"))?.into(),
                 tasks: kv.get_u64(&format!("stage.{i}.tasks"))? as u32,
                 rel_start: kv.get_f64(&format!("stage.{i}.rel_start"))?,
                 rel_end: kv.get_f64(&format!("stage.{i}.rel_end"))?,

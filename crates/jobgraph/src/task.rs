@@ -104,6 +104,18 @@ impl<'g> TaskDeps<'g> {
     /// unfinished parents).
     pub fn candidate_dependents(&self, completed: TaskId, stage_now_complete: bool) -> Vec<TaskId> {
         let mut out = Vec::new();
+        self.push_candidate_dependents(completed, stage_now_complete, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`TaskDeps::candidate_dependents`]:
+    /// appends candidates to `out` so hot loops can reuse one buffer.
+    pub fn push_candidate_dependents(
+        &self,
+        completed: TaskId,
+        stage_now_complete: bool,
+        out: &mut Vec<TaskId>,
+    ) {
         for &(child, kind) in self.graph.children(completed.stage) {
             match kind {
                 EdgeKind::OneToOne => out.push(TaskId::new(child, completed.index)),
@@ -114,7 +126,6 @@ impl<'g> TaskDeps<'g> {
                 }
             }
         }
-        out
     }
 
     /// All tasks of root stages (ready at job start).

@@ -124,6 +124,26 @@ impl<O: SimObserver + ?Sized> SimObserver for Box<O> {
     }
 }
 
+/// Receives in-flight progress samples from a simulation run.
+///
+/// This is the borrowed, allocation-free seam for harvesting per-tick
+/// job progress: the simulator calls [`ProgressSink::sample`] each time
+/// it consults a job's controller, lending the per-stage completion
+/// fractions instead of requiring callers to smuggle an
+/// `Arc<Mutex<Vec<_>>>` into a recording controller. Implementations
+/// own whatever accumulation they need; the borrow ends per call.
+pub trait ProgressSink {
+    /// One sample: the job's index within the run, seconds since the
+    /// job started, and the completed fraction of each stage.
+    fn sample(&mut self, job: usize, elapsed_secs: f64, stage_fraction: &[f64]);
+}
+
+impl<S: ProgressSink + ?Sized> ProgressSink for &mut S {
+    fn sample(&mut self, job: usize, elapsed_secs: f64, stage_fraction: &[f64]) {
+        (**self).sample(job, elapsed_secs, stage_fraction);
+    }
+}
+
 /// The zero-cost default observer: records nothing.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NoopObserver;

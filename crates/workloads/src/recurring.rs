@@ -25,7 +25,7 @@ pub fn training_profile(spec: &JobSpec, tokens: u32, seed: u64) -> JobProfile {
     let cfg = ClusterConfig::dedicated_with_failures(tokens);
     let mut sim = ClusterSim::new(cfg, seed);
     sim.add_job(spec.clone(), Box::new(FixedAllocation(tokens)));
-    let result = sim.run().remove(0);
+    let result = sim.run_single();
     assert!(
         result.completed_at.is_some(),
         "training run for {} did not finish",

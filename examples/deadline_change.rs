@@ -59,7 +59,7 @@ fn main() {
             None => deadline,
         };
 
-        let result = sim.run().remove(idx);
+        let result = sim.run_single();
         let latency = result.duration().expect("job finished");
         println!(
             "\n=== deadline {label}: effective {:.0} min -> finished in {:.1} min ({}) ===",

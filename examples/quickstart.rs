@@ -86,7 +86,7 @@ fn main() {
     cluster.background.mean_util = 0.95;
     let mut sim = ClusterSim::new(cluster, 99);
     sim.add_job(spec, controller);
-    let result = sim.run().remove(0);
+    let result = sim.run_single();
 
     let latency = result.duration().expect("job finished");
     let oracle = oracle_allocation(result.work_done_secs, deadline);

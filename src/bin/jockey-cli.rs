@@ -373,7 +373,7 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     cluster.background.mean_util = util.clamp(0.0, 1.0);
     let mut sim = ClusterSim::new(cluster, seed);
     sim.add_job(JobSpec::from_profile(graph, &profile), controller);
-    let result = sim.run().remove(0);
+    let result = sim.run_single();
 
     match result.duration() {
         Some(latency) => {

@@ -89,7 +89,7 @@ proptest! {
         let spec = JobSpec::uniform(graph.clone(), Constant(secs), Constant(0.0), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(tokens), 1);
         sim.add_job(spec, Box::new(FixedAllocation(tokens)));
-        let r = sim.run().remove(0);
+        let r = sim.run_single();
 
         let total_work = graph.total_tasks() as f64 * secs;
         prop_assert!(r.completed_at.is_some());
@@ -112,7 +112,7 @@ proptest! {
             let spec = JobSpec::uniform(graph.clone(), Constant(secs), Constant(0.0), 0.0);
             let mut sim = ClusterSim::new(ClusterConfig::dedicated(tokens), 1);
             sim.add_job(spec, Box::new(FixedAllocation(tokens)));
-            sim.run().remove(0).duration().unwrap()
+            sim.run_single().duration().unwrap()
         };
         let l2 = latency(2);
         let l4 = latency(4);
@@ -128,7 +128,7 @@ proptest! {
         let spec = JobSpec::uniform(graph.clone(), Constant(5.0), Constant(0.5), 0.0);
         let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 2);
         sim.add_job(spec, Box::new(FixedAllocation(4)));
-        let profile = sim.run().remove(0).profile;
+        let profile = sim.run_single().profile;
 
         // Every indicator spans [0, 1].
         let n = graph.num_stages();

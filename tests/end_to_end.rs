@@ -73,7 +73,7 @@ fn jockey_meets_deadline_in_noisy_cluster() {
     let controller = setup.controller(Policy::Jockey, deadline, params);
     let mut sim = ClusterSim::new(noisy_cluster(), 2);
     sim.add_job(spec, controller);
-    let r = sim.run().remove(0);
+    let r = sim.run_single();
 
     let latency = r.duration().expect("finished");
     assert!(latency <= deadline, "missed: {latency:?} vs {deadline:?}");
@@ -95,7 +95,7 @@ fn jockey_uses_fewer_tokens_than_max_allocation() {
         let controller = setup.controller(policy, deadline, ControlParams::default());
         let mut sim = ClusterSim::new(noisy_cluster(), seed);
         sim.add_job(small_job(), controller);
-        sim.run().remove(0)
+        sim.run_single()
     };
     let jockey = run(Policy::Jockey, 4);
     let maxa = run(Policy::MaxAllocation, 4);
@@ -126,12 +126,12 @@ fn static_tight_allocation_misses_where_jockey_adapts() {
 
     let mut sim = ClusterSim::new(noisy_cluster(), 6);
     sim.add_job(small_job(), Box::new(FixedAllocation(bare)));
-    let static_run = sim.run().remove(0);
+    let static_run = sim.run_single();
 
     let controller = setup.controller(Policy::Jockey, deadline, ControlParams::default());
     let mut sim = ClusterSim::new(noisy_cluster(), 6);
     sim.add_job(small_job(), controller);
-    let jockey_run = sim.run().remove(0);
+    let jockey_run = sim.run_single();
 
     let jockey_latency = jockey_run.duration().expect("jockey finished");
     assert!(
@@ -155,7 +155,7 @@ fn deterministic_across_identical_runs() {
         let controller = setup.controller(Policy::Jockey, deadline, ControlParams::default());
         let mut sim = ClusterSim::new(noisy_cluster(), 8);
         sim.add_job(small_job(), controller);
-        let r = sim.run().remove(0);
+        let r = sim.run_single();
         (
             r.completed_at,
             r.work_done_secs,
