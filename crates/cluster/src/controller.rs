@@ -90,6 +90,23 @@ pub trait JobController: Send {
     fn deadline_changed(&mut self, _new_deadline: SimDuration) {}
 }
 
+/// Boxed controllers forward transparently, so middleware generic over
+/// `C: JobController` (e.g. jockey-core's layered stacks) can wrap an
+/// already-erased `Box<dyn JobController>` too.
+impl JobController for Box<dyn JobController> {
+    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+        (**self).tick(status)
+    }
+
+    fn initial(&mut self, status: &JobStatus) -> ControlDecision {
+        (**self).initial(status)
+    }
+
+    fn deadline_changed(&mut self, new_deadline: SimDuration) {
+        (**self).deadline_changed(new_deadline);
+    }
+}
+
 /// The static baseline: a constant guarantee, never adapted ("Jockey
 /// w/o adaptation" uses this with a simulator-chosen constant; "max
 /// allocation" uses it with the full token budget).

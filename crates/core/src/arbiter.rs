@@ -178,10 +178,11 @@ mod tests {
     }
 }
 
-use jockey_cluster::{ControlDecision, JobController, JobStatus};
+use jockey_cluster::{ControlDecision, FixedAllocation, JobStatus};
 use jockey_simrt::time::SimDuration;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use crate::layer::{ControlLayer, Layered};
 use crate::progress::IndicatorContext;
 
 /// Per-job state tracked by a [`SharedArbiter`].
@@ -220,6 +221,15 @@ impl SharedArbiter {
         })
     }
 
+    /// Locks the slot table, recovering it if a previous holder
+    /// panicked. Slot entries are plain state snapshots overwritten on
+    /// every tick (no multi-step invariants span the lock), so the
+    /// table is always usable; propagating the poison would instead
+    /// cascade one job's panic into every other job's control thread.
+    fn lock_slots(&self) -> MutexGuard<'_, Vec<Slot>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers a job, returning its controller. `slack` is the
     /// prediction multiplier applied inside the arbitration.
     pub fn register(
@@ -229,28 +239,40 @@ impl SharedArbiter {
         utility: UtilityFunction,
         slack: f64,
     ) -> ArbitratedController {
-        let mut slots = self.slots.lock().expect("arbiter poisoned");
-        let n = indicator_stage_count(&indicator);
+        let slot = self.register_slot(model, utility, slack, indicator.stage_count());
+        Layered::new(FixedAllocation(1)).with(Box::new(ArbitrationLayer {
+            arbiter: self.clone(),
+            slot,
+            indicator,
+            smoothed: None,
+        }))
+    }
+
+    /// Registers a bare slot (no controller wiring) and returns its
+    /// index.
+    pub(crate) fn register_slot(
+        &self,
+        model: Arc<dyn CompletionModel>,
+        utility: UtilityFunction,
+        slack: f64,
+        stage_count: usize,
+    ) -> usize {
+        let mut slots = self.lock_slots();
         slots.push(Slot {
             model,
             utility,
             slack,
             progress: 0.0,
-            stage_fraction: vec![0.0; n],
+            stage_fraction: vec![0.0; stage_count],
             elapsed_secs: 0.0,
             finished: false,
         });
-        ArbitratedController {
-            arbiter: self.clone(),
-            slot: slots.len() - 1,
-            indicator,
-            smoothed: None,
-        }
+        slots.len() - 1
     }
 
     /// Updates one slot and recomputes the ticking job's share.
     fn tick_slot(&self, slot: usize, progress: f64, status: &JobStatus) -> u32 {
-        let mut slots = self.slots.lock().expect("arbiter poisoned");
+        let mut slots = self.lock_slots();
         {
             let s = &mut slots[slot];
             s.progress = progress;
@@ -284,36 +306,34 @@ impl SharedArbiter {
     }
 
     fn set_deadline(&self, slot: usize, new_deadline: SimDuration) {
-        let mut slots = self.slots.lock().expect("arbiter poisoned");
+        let mut slots = self.lock_slots();
         slots[slot].utility = slots[slot].utility.with_deadline(new_deadline);
     }
 }
 
-/// Number of stages an indicator context expects (derived by probing
-/// with an empty-progress vector would panic; contexts remember their
-/// stage count via the weights vector length).
-fn indicator_stage_count(ctx: &IndicatorContext) -> usize {
-    ctx.stage_count()
-}
+/// A per-job controller backed by a [`SharedArbiter`]: a passive
+/// 1-token inner controller whose decision the [`ArbitrationLayer`]
+/// replaces wholesale every tick.
+pub type ArbitratedController = Layered<FixedAllocation>;
 
-/// A per-job controller backed by a [`SharedArbiter`].
+/// Hysteresis coefficient applied to the arbiter's raw shares.
+const ARBITER_HYSTERESIS: f64 = 0.3;
+
+/// Arbitration as a stackable [`ControlLayer`].
 ///
 /// The raw greedy split is smoothed with the same hysteresis the §4.3
 /// control loop uses (α = 0.3 here): without it, jobs with near-equal
 /// marginal utilities would swap tokens every tick, and each swing
 /// demotes or evicts running tasks in the cluster.
-pub struct ArbitratedController {
+pub struct ArbitrationLayer {
     arbiter: Arc<SharedArbiter>,
     slot: usize,
     indicator: IndicatorContext,
     smoothed: Option<f64>,
 }
 
-/// Hysteresis coefficient applied to the arbiter's raw shares.
-const ARBITER_HYSTERESIS: f64 = 0.3;
-
-impl JobController for ArbitratedController {
-    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+impl ArbitrationLayer {
+    fn arbitrated(&mut self, status: &JobStatus) -> ControlDecision {
         let p = self.indicator.progress(&status.stage_fraction);
         let raw = self.arbiter.tick_slot(self.slot, p, status);
         let next = match self.smoothed {
@@ -328,6 +348,22 @@ impl JobController for ArbitratedController {
             predicted_completion: None,
         }
     }
+}
+
+impl ControlLayer for ArbitrationLayer {
+    fn name(&self) -> &'static str {
+        "arbitration"
+    }
+
+    fn after_tick(&mut self, status: &JobStatus, _decision: ControlDecision) -> ControlDecision {
+        self.arbitrated(status)
+    }
+
+    fn after_initial(&mut self, status: &JobStatus, _decision: ControlDecision) -> ControlDecision {
+        // Admission behaves like any other tick: the arbiter sizes the
+        // job from the budget's current marginal utilities.
+        self.arbitrated(status)
+    }
 
     fn deadline_changed(&mut self, new_deadline: SimDuration) {
         self.arbiter.set_deadline(self.slot, new_deadline);
@@ -341,7 +377,7 @@ mod shared_tests {
     use super::*;
     use crate::cpa::{CpaModel, TrainConfig};
     use crate::progress::{IndicatorContext, ProgressIndicator};
-    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobController, JobSpec};
     use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
     use jockey_simrt::dist::Constant;
     use jockey_simrt::time::SimDuration;

@@ -1,0 +1,473 @@
+//! The §4.3 conditioning pipeline: slack, dead zone, hysteresis and
+//! the min-allocation clamp as individual composable stages.
+//!
+//! The monolithic control loop fused four conditioning mechanisms into
+//! one tick function. Here each is a [`ConditionStage`] that transforms
+//! the proposed allocation (or, for slack, the prediction inflation)
+//! in sequence:
+//!
+//! ```text
+//! raw A^r ──► slack ──► dead-zone gate ──► hysteresis EWMA ──► clamp ──► guarantee
+//!             (S·C)     (increases only    (A^s += α(A^r−A^s))  (⌈·⌉, ≥ min)
+//!                        when ≥ D behind)
+//! ```
+//!
+//! Every run records a per-stage [`StageStep`] (input → output), so a
+//! surprising guarantee can be attributed to the exact stage that
+//! produced it ([`PipelineTrace`]). The stock §4.3 stack is
+//! [`ConditionerPipeline::standard`]; tests and experiments can compose
+//! any subset (e.g. hysteresis-only) and get the same closed-form
+//! behavior each stage has in the paper.
+
+use std::collections::VecDeque;
+
+use jockey_simrt::time::SimDuration;
+
+use crate::control::ControlParams;
+use crate::predict::CompletionModel;
+use crate::utility::UtilityFunction;
+
+/// Read-only inputs every stage sees for one control tick.
+pub struct StageCtx<'a> {
+    /// Per-stage completion fractions `f_s`.
+    pub fs: &'a [f64],
+    /// Scalar progress `p` from the job's indicator.
+    pub progress: f64,
+    /// Elapsed job time `t_r` in seconds.
+    pub elapsed_secs: f64,
+    /// The controller's completion model.
+    pub model: &'a dyn CompletionModel,
+    /// The job's (unshifted) utility function.
+    pub utility: &'a UtilityFunction,
+    /// Total prediction multiplier contributed by the pipeline's
+    /// inflation stages (the slack `S`).
+    pub inflation: f64,
+    /// The smoothed allocation in force before this tick (`A^s_{t−1}`),
+    /// `None` on the first decision.
+    pub in_force: Option<f64>,
+}
+
+/// One composable conditioning mechanism.
+///
+/// Stages run in pipeline order; each receives the previous stage's
+/// output as `proposed`. A stage can also contribute a prediction
+/// inflation factor (consumed *before* the raw argmin — slack
+/// multiplies predictions, not allocations) and report the allocation
+/// it holds in force (hysteresis memory).
+pub trait ConditionStage: Send {
+    /// Short stable name used in trace attribution.
+    fn name(&self) -> &'static str;
+
+    /// Prediction multiplier this stage contributes (default 1).
+    fn inflation(&self) -> f64 {
+        1.0
+    }
+
+    /// Transforms the proposed allocation.
+    fn condition(&mut self, proposed: f64, ctx: &StageCtx<'_>) -> f64;
+
+    /// The smoothed allocation this stage remembers, if any.
+    fn in_force(&self) -> Option<f64> {
+        None
+    }
+
+    /// Drops transient state (called on deadline changes: a new SLO is
+    /// a fresh sizing problem).
+    fn reset(&mut self) {}
+}
+
+/// True when the job is at least `D` behind schedule: predicted, at
+/// allocation `probe`, to finish past the dead-zone-shifted deadline.
+/// With no deadline encoded there is nothing to be behind, and the
+/// verdict is `true` (no gating).
+pub fn behind_schedule(ctx: &StageCtx<'_>, probe: u32, dead_zone: SimDuration) -> bool {
+    let Some(deadline) = ctx.utility.deadline_duration() else {
+        return true;
+    };
+    let remaining = ctx.inflation * ctx.model.remaining_secs(ctx.fs, ctx.progress, probe);
+    ctx.elapsed_secs + remaining > deadline.as_secs_f64() - dead_zone.as_secs_f64()
+}
+
+/// True when the job is at least `D` *ahead* of the (already
+/// dead-zone-shifted) schedule at allocation `probe`. Decreases are
+/// **not** gated on this — the §4.3 dead zone only suppresses
+/// increases — the verdict is recorded per tick as a margin diagnostic.
+pub fn ahead_of_schedule(ctx: &StageCtx<'_>, probe: u32, dead_zone: SimDuration) -> bool {
+    let Some(deadline) = ctx.utility.deadline_duration() else {
+        return true;
+    };
+    let remaining = ctx.inflation * ctx.model.remaining_secs(ctx.fs, ctx.progress, probe);
+    ctx.elapsed_secs + remaining <= deadline.as_secs_f64() - 2.0 * dead_zone.as_secs_f64()
+}
+
+/// Slack stage: inflates predictions by `S` (§4.3's compensation for
+/// model error). Pass-through for allocations.
+#[derive(Clone, Copy, Debug)]
+pub struct SlackStage {
+    /// The prediction multiplier `S ≥ 1`.
+    pub slack: f64,
+}
+
+impl ConditionStage for SlackStage {
+    fn name(&self) -> &'static str {
+        "slack"
+    }
+
+    fn inflation(&self) -> f64 {
+        self.slack
+    }
+
+    fn condition(&mut self, proposed: f64, _ctx: &StageCtx<'_>) -> f64 {
+        proposed
+    }
+}
+
+/// Dead-zone gate: increases are applied only when the job is at least
+/// `D` behind schedule at the allocation in force; decreases (token
+/// releases, Fig. 6(c)) always pass.
+#[derive(Clone, Copy, Debug)]
+pub struct DeadZoneGate {
+    /// The dead zone `D`.
+    pub dead_zone: SimDuration,
+    /// Floor used when rounding the in-force allocation to a probe.
+    pub min_allocation: u32,
+}
+
+impl DeadZoneGate {
+    /// The allocation whose schedule verdict gates this tick: the
+    /// in-force allocation rounded to a token count (the raw proposal
+    /// itself on the first decision).
+    pub fn probe(&self, ctx: &StageCtx<'_>, proposed: f64) -> u32 {
+        match ctx.in_force {
+            None => proposed as u32,
+            Some(cur) => (cur.round() as u32).max(self.min_allocation),
+        }
+    }
+}
+
+impl ConditionStage for DeadZoneGate {
+    fn name(&self) -> &'static str {
+        "dead-zone"
+    }
+
+    fn condition(&mut self, proposed: f64, ctx: &StageCtx<'_>) -> f64 {
+        let Some(cur) = ctx.in_force else {
+            // First decision: adopt the proposal outright — this is the
+            // pessimistic initial sizing of §1.
+            return proposed;
+        };
+        if proposed > cur {
+            let probe = (cur.round() as u32).max(self.min_allocation);
+            if behind_schedule(ctx, probe, self.dead_zone) {
+                proposed
+            } else {
+                cur
+            }
+        } else {
+            proposed
+        }
+    }
+}
+
+/// Hysteresis stage: `A^s_t = A^s_{t−1} + α (target − A^s_{t−1})`.
+/// The first decision jumps straight to the target.
+#[derive(Clone, Copy, Debug)]
+pub struct HysteresisEwma {
+    /// The coefficient `α ∈ (0, 1]`; 1.0 disables smoothing.
+    pub alpha: f64,
+    smoothed: Option<f64>,
+}
+
+impl HysteresisEwma {
+    /// A fresh filter with no smoothed state.
+    pub fn new(alpha: f64) -> Self {
+        HysteresisEwma {
+            alpha,
+            smoothed: None,
+        }
+    }
+}
+
+impl ConditionStage for HysteresisEwma {
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+
+    fn condition(&mut self, proposed: f64, _ctx: &StageCtx<'_>) -> f64 {
+        let next = match self.smoothed {
+            None => proposed,
+            Some(cur) => cur + self.alpha * (proposed - cur),
+        };
+        self.smoothed = Some(next);
+        next
+    }
+
+    fn in_force(&self) -> Option<f64> {
+        self.smoothed
+    }
+
+    fn reset(&mut self) {
+        self.smoothed = None;
+    }
+}
+
+/// Final clamp: the applied guarantee is `⌈A^s⌉`, at least
+/// `min_allocation`.
+#[derive(Clone, Copy, Debug)]
+pub struct MinClamp {
+    /// Lower bound on the applied guarantee.
+    pub min_allocation: u32,
+}
+
+impl ConditionStage for MinClamp {
+    fn name(&self) -> &'static str {
+        "min-clamp"
+    }
+
+    fn condition(&mut self, proposed: f64, _ctx: &StageCtx<'_>) -> f64 {
+        proposed.ceil().max(f64::from(self.min_allocation))
+    }
+}
+
+/// One stage's contribution to a tick: what came in, what went out.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageStep {
+    /// The stage's [`ConditionStage::name`].
+    pub stage: &'static str,
+    /// Allocation proposed to the stage.
+    pub input: f64,
+    /// Allocation the stage produced.
+    pub output: f64,
+}
+
+/// Per-stage attribution of one conditioned tick.
+#[derive(Clone, Debug)]
+pub struct TickAttribution {
+    /// Elapsed job time `t_r` at the tick.
+    pub elapsed_secs: f64,
+    /// Total prediction inflation in force.
+    pub inflation: f64,
+    /// Stage-by-stage transformations, pipeline order.
+    pub steps: Vec<StageStep>,
+}
+
+/// A bounded journal of [`TickAttribution`]s (most recent kept).
+#[derive(Clone, Debug)]
+pub struct PipelineTrace {
+    capacity: usize,
+    ticks: VecDeque<TickAttribution>,
+}
+
+impl Default for PipelineTrace {
+    fn default() -> Self {
+        PipelineTrace::new(1024)
+    }
+}
+
+impl PipelineTrace {
+    /// Creates a trace retaining at most `capacity` ticks (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        PipelineTrace {
+            capacity: capacity.max(1),
+            ticks: VecDeque::new(),
+        }
+    }
+
+    fn record(&mut self, tick: TickAttribution) {
+        if self.ticks.len() == self.capacity {
+            self.ticks.pop_front();
+        }
+        self.ticks.push_back(tick);
+    }
+
+    /// Retained ticks, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TickAttribution> {
+        self.ticks.iter()
+    }
+
+    /// The most recent tick's attribution.
+    pub fn last(&self) -> Option<&TickAttribution> {
+        self.ticks.back()
+    }
+
+    /// Number of retained ticks.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+}
+
+/// An ordered stack of [`ConditionStage`]s with per-tick attribution.
+pub struct ConditionerPipeline {
+    stages: Vec<Box<dyn ConditionStage>>,
+    trace: PipelineTrace,
+}
+
+impl ConditionerPipeline {
+    /// A pipeline from explicit stages (run in the given order).
+    pub fn new(stages: Vec<Box<dyn ConditionStage>>) -> Self {
+        ConditionerPipeline {
+            stages,
+            trace: PipelineTrace::default(),
+        }
+    }
+
+    /// The stock §4.3 stack: slack → dead-zone gate → hysteresis →
+    /// min clamp, parameterized by `params`.
+    pub fn standard(params: &ControlParams) -> Self {
+        ConditionerPipeline::new(vec![
+            Box::new(SlackStage {
+                slack: params.slack,
+            }),
+            Box::new(DeadZoneGate {
+                dead_zone: params.dead_zone,
+                min_allocation: params.min_allocation,
+            }),
+            Box::new(HysteresisEwma::new(params.hysteresis)),
+            Box::new(MinClamp {
+                min_allocation: params.min_allocation,
+            }),
+        ])
+    }
+
+    /// Total prediction multiplier (product over stages) — the slack
+    /// `S` the argmin core must apply.
+    pub fn inflation(&self) -> f64 {
+        self.stages.iter().map(|s| s.inflation()).product()
+    }
+
+    /// The smoothed allocation currently in force, from the last stage
+    /// holding one (hysteresis memory); `None` before the first run.
+    pub fn in_force(&self) -> Option<f64> {
+        self.stages.iter().rev().find_map(|s| s.in_force())
+    }
+
+    /// Runs the raw allocation through every stage, recording per-stage
+    /// attribution, and returns the conditioned value.
+    pub fn run(&mut self, raw: f64, ctx: &StageCtx<'_>) -> f64 {
+        let mut steps = Vec::with_capacity(self.stages.len());
+        let mut value = raw;
+        for stage in &mut self.stages {
+            let out = stage.condition(value, ctx);
+            steps.push(StageStep {
+                stage: stage.name(),
+                input: value,
+                output: out,
+            });
+            value = out;
+        }
+        self.trace.record(TickAttribution {
+            elapsed_secs: ctx.elapsed_secs,
+            inflation: ctx.inflation,
+            steps,
+        });
+        value
+    }
+
+    /// Resets every stage's transient state (deadline changes).
+    pub fn reset(&mut self) {
+        for stage in &mut self.stages {
+            stage.reset();
+        }
+    }
+
+    /// The per-stage attribution journal.
+    pub fn trace(&self) -> &PipelineTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        work: f64,
+    }
+
+    impl CompletionModel for Toy {
+        fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+            (1.0 - progress) * self.work / f64::from(allocation.max(1))
+        }
+        fn max_allocation(&self) -> u32 {
+            100
+        }
+    }
+
+    fn ctx<'a>(
+        model: &'a dyn CompletionModel,
+        utility: &'a UtilityFunction,
+        elapsed_secs: f64,
+        inflation: f64,
+        in_force: Option<f64>,
+    ) -> StageCtx<'a> {
+        StageCtx {
+            fs: &[],
+            progress: 0.0,
+            elapsed_secs,
+            model,
+            utility,
+            inflation,
+            in_force,
+        }
+    }
+
+    #[test]
+    fn pipeline_inflation_is_the_product_of_stages() {
+        let p = ConditionerPipeline::new(vec![
+            Box::new(SlackStage { slack: 1.2 }),
+            Box::new(SlackStage { slack: 1.5 }),
+        ]);
+        assert!((p.inflation() - 1.8).abs() < 1e-12);
+        // The stock pipeline's inflation is exactly the slack.
+        let std = ConditionerPipeline::standard(&ControlParams::default());
+        assert!((std.inflation() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribution_records_every_stage() {
+        let params = ControlParams::default();
+        let mut p = ConditionerPipeline::standard(&params);
+        let model = Toy { work: 6_000.0 };
+        let utility = UtilityFunction::deadline(SimDuration::from_mins(60));
+        let c = ctx(&model, &utility, 0.0, params.slack, None);
+        let v = p.run(3.0, &c);
+        assert_eq!(v, 3.0);
+        let tick = p.trace().last().unwrap();
+        let names: Vec<&str> = tick.steps.iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["slack", "dead-zone", "hysteresis", "min-clamp"]);
+        assert_eq!(tick.steps[0].input, 3.0);
+        assert_eq!(tick.steps[3].output, 3.0);
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let mut t = PipelineTrace::new(2);
+        for i in 0..5 {
+            t.record(TickAttribution {
+                elapsed_secs: f64::from(i),
+                inflation: 1.0,
+                steps: vec![],
+            });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last().unwrap().elapsed_secs, 4.0);
+        assert_eq!(t.iter().next().unwrap().elapsed_secs, 3.0);
+    }
+
+    #[test]
+    fn reset_clears_hysteresis_memory() {
+        let mut p = ConditionerPipeline::standard(&ControlParams::default());
+        let model = Toy { work: 6_000.0 };
+        let utility = UtilityFunction::deadline(SimDuration::from_mins(60));
+        let c = ctx(&model, &utility, 0.0, 1.2, None);
+        p.run(4.0, &c);
+        assert_eq!(p.in_force(), Some(4.0));
+        p.reset();
+        assert_eq!(p.in_force(), None);
+    }
+}

@@ -15,6 +15,13 @@
 //!    (releasing over-provisioned tokens, Fig. 6(c)) are always
 //!    allowed; and **hysteresis** smooths the move:
 //!    `A^s_t = A^s_{t−1} + α (A^r − A^s_{t−1})`.
+//!
+//! Steps 2–3 are the pure [`ArgminPolicy`](crate::alloc::ArgminPolicy)
+//! core; step 4 is the [`ConditionerPipeline`] of composable stages
+//! (slack → dead-zone gate → hysteresis → min clamp).
+//! [`JockeyController`] composes the two behind the `JobController`
+//! seam and journals every decision into a [`ControlTrace`] (plus a
+//! per-stage [`PipelineTrace`](crate::conditioner::PipelineTrace)).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -23,6 +30,8 @@ use std::sync::Arc;
 use jockey_cluster::{ControlDecision, JobController, JobStatus};
 use jockey_simrt::time::SimDuration;
 
+use crate::alloc::{AllocationPolicy, ArgminPolicy};
+use crate::conditioner::{ahead_of_schedule, behind_schedule, ConditionerPipeline, StageCtx};
 use crate::predict::CompletionModel;
 use crate::progress::IndicatorContext;
 use crate::utility::UtilityFunction;
@@ -196,21 +205,24 @@ impl ControlTrace {
 
 /// Jockey's adaptive controller: a completion model (simulator-trained
 /// `C(p, a)` or Amdahl) driven through the §4.3 control policy.
+///
+/// Internally this is thin composition: the pure
+/// [`ArgminPolicy`] picks the raw allocation, the
+/// [`ConditionerPipeline`] conditions it (slack, dead zone,
+/// hysteresis, clamp), and the controller wires job status in and
+/// journals decisions out.
 pub struct JockeyController {
-    model: Arc<dyn CompletionModel>,
+    policy: ArgminPolicy,
     indicator: IndicatorContext,
     utility: UtilityFunction,
-    shifted_utility: UtilityFunction,
+    pipeline: ConditionerPipeline,
     params: ControlParams,
-    /// `A^s`, the smoothed allocation; `None` before the first decision
-    /// (the first decision jumps straight to the raw allocation).
-    smoothed: Option<f64>,
     /// Tick-by-tick decision journal.
     trace: ControlTrace,
 }
 
 impl JockeyController {
-    /// Creates a controller.
+    /// Creates a controller with the stock §4.3 conditioning stack.
     ///
     /// # Panics
     ///
@@ -221,15 +233,36 @@ impl JockeyController {
         utility: UtilityFunction,
         params: ControlParams,
     ) -> Self {
+        let pipeline = {
+            params.validate();
+            ConditionerPipeline::standard(&params)
+        };
+        JockeyController::with_pipeline(model, indicator, utility, params, pipeline)
+    }
+
+    /// Creates a controller with a custom conditioning pipeline.
+    /// `params` still supplies the dead-zone utility shift, the
+    /// min-allocation floor for the finished path, and the raw-argmin
+    /// scan bounds; the pipeline owns everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid [`ControlParams`].
+    pub fn with_pipeline(
+        model: Arc<dyn CompletionModel>,
+        indicator: IndicatorContext,
+        utility: UtilityFunction,
+        params: ControlParams,
+        pipeline: ConditionerPipeline,
+    ) -> Self {
         params.validate();
         let shifted_utility = utility.shifted_left(params.dead_zone);
         JockeyController {
-            model,
+            policy: ArgminPolicy::new(model, shifted_utility, params.min_allocation),
             indicator,
             utility,
-            shifted_utility,
+            pipeline,
             params,
-            smoothed: None,
             trace: ControlTrace::default(),
         }
     }
@@ -240,56 +273,22 @@ impl JockeyController {
         &self.trace
     }
 
+    /// The per-stage conditioning journal: how each pipeline stage
+    /// transformed the raw allocation, tick by tick.
+    pub fn pipeline_trace(&self) -> &crate::conditioner::PipelineTrace {
+        self.pipeline.trace()
+    }
+
+    /// The pure argmin decision core.
+    pub fn policy(&self) -> &ArgminPolicy {
+        &self.policy
+    }
+
     /// The raw allocation `A^r`: the minimum allocation maximizing
     /// expected utility at progress `p` and elapsed time `t_r`.
     pub fn raw_allocation(&self, fs: &[f64], progress: f64, elapsed_secs: f64) -> u32 {
-        let max = self.model.max_allocation();
-        let mut best_u = f64::NEG_INFINITY;
-        let mut best_a = max;
-        // Ascending scan: the *first* allocation achieving the maximum
-        // utility (within epsilon) is the minimal one.
-        for a in self.params.min_allocation..=max {
-            let remaining = self.params.slack * self.model.remaining_secs(fs, progress, a);
-            let u = self.shifted_utility.eval(elapsed_secs + remaining);
-            if u > best_u + 1e-9 {
-                best_u = u;
-                best_a = a;
-            }
-        }
-        best_a
-    }
-
-    /// True when the job is at least `D` behind schedule: predicted, at
-    /// allocation `current`, to finish past the dead-zone-shifted
-    /// deadline.
-    fn behind_schedule(&self, fs: &[f64], progress: f64, elapsed_secs: f64, current: u32) -> bool {
-        let Some(deadline) = self.utility.deadline_duration() else {
-            // No deadline encoded: no dead-zone gating.
-            return true;
-        };
-        let remaining = self.params.slack * self.model.remaining_secs(fs, progress, current);
-        elapsed_secs + remaining > deadline.as_secs_f64() - self.params.dead_zone.as_secs_f64()
-    }
-
-    /// True when the job is at least `D` *ahead* of the (already
-    /// dead-zone-shifted) schedule at allocation `current`. Decreases
-    /// are **not** gated on this (the §4.3 dead zone only suppresses
-    /// increases; releases are always applied and paced by hysteresis
-    /// alone) — the verdict is recorded in each [`ControlTick`] as a
-    /// margin diagnostic.
-    fn ahead_of_schedule(
-        &self,
-        fs: &[f64],
-        progress: f64,
-        elapsed_secs: f64,
-        current: u32,
-    ) -> bool {
-        let Some(deadline) = self.utility.deadline_duration() else {
-            return true;
-        };
-        let remaining = self.params.slack * self.model.remaining_secs(fs, progress, current);
-        elapsed_secs + remaining
-            <= deadline.as_secs_f64() - 2.0 * self.params.dead_zone.as_secs_f64()
+        self.policy
+            .raw_allocation(fs, progress, elapsed_secs, self.pipeline.inflation())
     }
 
     /// The slack factor currently in force.
@@ -307,7 +306,7 @@ impl JobController for JockeyController {
                 elapsed_secs: tr,
                 progress: 1.0,
                 raw: f64::from(g),
-                smoothed: self.smoothed.unwrap_or(f64::from(g)),
+                smoothed: self.pipeline.in_force().unwrap_or(f64::from(g)),
                 behind: false,
                 ahead: true,
                 guarantee: g,
@@ -318,42 +317,36 @@ impl JobController for JockeyController {
         }
         let fs = &status.stage_fraction;
         let p = self.indicator.progress(fs);
-        let raw = self.raw_allocation(fs, p, tr);
+        let inflation = self.pipeline.inflation();
+        let raw = self.policy.raw_allocation(fs, p, tr, inflation);
+
+        let in_force = self.pipeline.in_force();
+        let ctx = StageCtx {
+            fs,
+            progress: p,
+            elapsed_secs: tr,
+            model: &**self.policy.model(),
+            utility: &self.utility,
+            inflation,
+            in_force,
+        };
 
         // Diagnostic verdicts, evaluated at the allocation in force
         // (the raw allocation itself on the first decision).
-        let probe = match self.smoothed {
+        let probe = match in_force {
             None => raw,
             Some(cur) => (cur.round() as u32).max(self.params.min_allocation),
         };
-        let behind = self.behind_schedule(fs, p, tr, probe);
-        let ahead = self.ahead_of_schedule(fs, p, tr, probe);
+        let behind = behind_schedule(&ctx, probe, self.params.dead_zone);
+        let ahead = ahead_of_schedule(&ctx, probe, self.params.dead_zone);
 
-        let next = match self.smoothed {
-            // First decision: adopt the raw allocation outright — this
-            // is the pessimistic initial sizing of §1.
-            None => f64::from(raw),
-            Some(cur) => {
-                let target = if f64::from(raw) > cur {
-                    // Dead zone: only chase increases when behind.
-                    if behind {
-                        f64::from(raw)
-                    } else {
-                        cur
-                    }
-                } else {
-                    // Decreases (releasing over-provisioned tokens,
-                    // Fig. 6(c)) are always applied; hysteresis alone
-                    // paces the release.
-                    f64::from(raw)
-                };
-                cur + self.params.hysteresis * (target - cur)
-            }
-        };
-        self.smoothed = Some(next);
-        let guarantee = (next.ceil() as u32).max(self.params.min_allocation);
+        let conditioned = self.pipeline.run(f64::from(raw), &ctx);
+        // The smoothed allocation the pipeline now holds in force (the
+        // hysteresis output); the clamp output when no stage smooths.
+        let next = self.pipeline.in_force().unwrap_or(conditioned);
+        let guarantee = (conditioned as u32).max(self.params.min_allocation);
 
-        let predicted = tr + self.model.remaining_secs(fs, p, guarantee);
+        let predicted = tr + self.policy.model().remaining_secs(fs, p, guarantee);
         self.trace.record(ControlTick {
             elapsed_secs: tr,
             progress: p,
@@ -375,14 +368,15 @@ impl JobController for JockeyController {
 
     fn deadline_changed(&mut self, new_deadline: SimDuration) {
         self.utility = self.utility.with_deadline(new_deadline);
-        self.shifted_utility = self.utility.shifted_left(self.params.dead_zone);
+        self.policy
+            .set_shifted_utility(self.utility.shifted_left(self.params.dead_zone));
         // A new SLO is a fresh sizing problem: the next decision jumps
         // straight to the raw allocation (as at job admission) instead
         // of chasing it through the hysteresis filter — a halved
         // deadline cannot afford a multi-period ramp, and a relaxed one
         // should release its over-provision immediately (§5.2 reports
         // 63–83% released on doubling/tripling).
-        self.smoothed = None;
+        self.pipeline.reset();
     }
 }
 

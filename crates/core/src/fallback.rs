@@ -3,20 +3,22 @@
 //! "In certain cases, the job execution can significantly diverge from
 //! the model … In these cases, we could … simply fall back on weighted
 //! fair-sharing once the control loop detects large errors in model
-//! predictions." [`FallbackGuard`] wraps any controller and watches its
-//! reported completion estimate `T̂_t`: for a well-calibrated model the
-//! estimate is stable, while a model that keeps *slipping* (each tick
-//! pushing completion later by nearly the whole control period or more)
-//! has lost predictive power. After `trigger_ticks` consecutive large
-//! slips, the guard abandons the model and pins a configured fair-share
-//! guarantee for the rest of the job.
+//! predictions." [`FallbackLayer`] is a [`ControlLayer`] stacked over
+//! any controller; it watches the reported completion estimate `T̂_t`:
+//! for a well-calibrated model the estimate is stable, while a model
+//! that keeps *slipping* (each tick pushing completion later by nearly
+//! the whole control period or more) has lost predictive power. After
+//! `trigger_ticks` consecutive large slips, the layer abandons the
+//! model and pins a configured fair-share guarantee for the rest of the
+//! job.
 
 use jockey_cluster::{ControlDecision, JobController, JobStatus};
-use jockey_simrt::time::SimDuration;
 
-/// Wraps a controller with the §5.6 fallback policy.
-pub struct FallbackGuard<C> {
-    inner: C,
+use crate::control::JockeyController;
+use crate::layer::{ControlLayer, Layered};
+
+/// The §5.6 fallback policy as a stackable [`ControlLayer`].
+pub struct FallbackLayer {
     /// Guarantee applied after falling back (the job's weighted fair
     /// share).
     fair_share: u32,
@@ -32,8 +34,8 @@ pub struct FallbackGuard<C> {
     fallen_back: bool,
 }
 
-impl<C: JobController> FallbackGuard<C> {
-    /// Wraps `inner`, falling back to `fair_share` tokens after
+impl FallbackLayer {
+    /// A layer falling back to `fair_share` tokens after
     /// `trigger_ticks` consecutive prediction slips beyond
     /// `slip_tolerance`.
     ///
@@ -41,11 +43,10 @@ impl<C: JobController> FallbackGuard<C> {
     ///
     /// Panics if `trigger_ticks` is zero or `slip_tolerance` is not
     /// positive.
-    pub fn new(inner: C, fair_share: u32, slip_tolerance: f64, trigger_ticks: u32) -> Self {
+    pub fn new(fair_share: u32, slip_tolerance: f64, trigger_ticks: u32) -> Self {
         assert!(trigger_ticks > 0);
         assert!(slip_tolerance > 0.0);
-        FallbackGuard {
-            inner,
+        FallbackLayer {
             fair_share,
             slip_tolerance,
             trigger_ticks,
@@ -55,27 +56,25 @@ impl<C: JobController> FallbackGuard<C> {
         }
     }
 
-    /// True once the guard has abandoned the model.
+    /// True once the layer has abandoned the model.
     pub fn fallen_back(&self) -> bool {
         self.fallen_back
     }
-
-    /// The wrapped controller.
-    pub fn inner(&self) -> &C {
-        &self.inner
-    }
 }
 
-impl<C: JobController> JobController for FallbackGuard<C> {
-    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+impl ControlLayer for FallbackLayer {
+    fn name(&self) -> &'static str {
+        "fallback"
+    }
+
+    fn after_tick(&mut self, status: &JobStatus, d: ControlDecision) -> ControlDecision {
         if self.fallen_back {
-            // Keep driving the inner controller's bookkeeping but pin
-            // the fair share.
-            let mut d = self.inner.tick(status);
+            // The inner controller keeps its bookkeeping running, but
+            // the fair share is pinned.
+            let mut d = d;
             d.guarantee = self.fair_share;
             return d;
         }
-        let d = self.inner.tick(status);
         let elapsed = status.elapsed.as_secs_f64();
         if let (Some((prev_elapsed, prev_pred, prev_guarantee)), Some(pred)) =
             (self.last, d.predicted_completion)
@@ -104,20 +103,31 @@ impl<C: JobController> JobController for FallbackGuard<C> {
         }
         d
     }
-
-    fn initial(&mut self, status: &JobStatus) -> ControlDecision {
-        self.inner.initial(status)
-    }
-
-    fn deadline_changed(&mut self, new_deadline: SimDuration) {
-        self.inner.deadline_changed(new_deadline);
-    }
 }
+
+/// Wraps a controller with the §5.6 fallback policy (kept as a named
+/// convenience; any stack order via [`Layered::with`] works too).
+pub fn with_fallback<C: JobController>(
+    inner: C,
+    fair_share: u32,
+    slip_tolerance: f64,
+    trigger_ticks: u32,
+) -> Layered<C> {
+    Layered::new(inner).with(Box::new(FallbackLayer::new(
+        fair_share,
+        slip_tolerance,
+        trigger_ticks,
+    )))
+}
+
+/// The historical guarded-Jockey shape: a [`JockeyController`] under a
+/// [`FallbackLayer`].
+pub type GuardedController = Layered<JockeyController>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jockey_simrt::time::SimTime;
+    use jockey_simrt::time::{SimDuration, SimTime};
 
     /// A controller whose completion estimate recedes forever (a
     /// maximally wrong model).
@@ -165,9 +175,13 @@ mod tests {
         }
     }
 
+    fn fallen_back<C: JobController>(c: &Layered<C>) -> bool {
+        c.layer::<FallbackLayer>().unwrap().fallen_back()
+    }
+
     #[test]
     fn persistent_slips_trigger_fallback() {
-        let mut g = FallbackGuard::new(Slipping { pred: 0.0 }, 7, 1.5, 3);
+        let mut g = with_fallback(Slipping { pred: 0.0 }, 7, 1.5, 3);
         for minute in 0..3 {
             let d = g.tick(&status(minute));
             assert_eq!(d.guarantee, 50, "minute {minute} fell back early");
@@ -175,7 +189,7 @@ mod tests {
         // Third consecutive slip (minute 3) trips the guard.
         let d = g.tick(&status(3));
         assert_eq!(d.guarantee, 7);
-        assert!(g.fallen_back());
+        assert!(fallen_back(&g));
         // And it stays fallen back.
         let d = g.tick(&status(4));
         assert_eq!(d.guarantee, 7);
@@ -183,12 +197,22 @@ mod tests {
 
     #[test]
     fn stable_predictions_never_fall_back() {
-        let mut g = FallbackGuard::new(Stable, 7, 1.5, 3);
+        let mut g = with_fallback(Stable, 7, 1.5, 3);
         for minute in 0..50 {
             let d = g.tick(&status(minute));
             assert_eq!(d.guarantee, 50);
         }
-        assert!(!g.fallen_back());
+        assert!(!fallen_back(&g));
+    }
+
+    #[test]
+    fn initial_decision_bypasses_the_guard() {
+        // Admission-time sizing carries no slip signal; the layer's
+        // after_initial hook is a pass-through and records nothing.
+        let mut g = with_fallback(Slipping { pred: 0.0 }, 7, 1.5, 1);
+        let d = g.initial(&status(0));
+        assert_eq!(d.guarantee, 50);
+        assert!(!fallen_back(&g));
     }
 
     #[test]
@@ -212,7 +236,7 @@ mod tests {
                 }
             }
         }
-        let mut g = FallbackGuard::new(
+        let mut g = with_fallback(
             Alternating {
                 pred: 0.0,
                 up: false,
@@ -224,14 +248,14 @@ mod tests {
         for minute in 0..40 {
             g.tick(&status(minute));
         }
-        assert!(!g.fallen_back());
+        assert!(!fallen_back(&g));
     }
 }
 
 #[cfg(test)]
 mod release_tests {
     use super::*;
-    use jockey_simrt::time::SimTime;
+    use jockey_simrt::time::{SimDuration, SimTime};
 
     /// A healthy controller releasing tokens: each tick the guarantee
     /// drops and the (still-met) completion estimate moves later.
@@ -256,7 +280,7 @@ mod release_tests {
     fn status(minute: u64) -> JobStatus {
         JobStatus {
             now: SimTime::from_mins(minute),
-            elapsed: jockey_simrt::time::SimDuration::from_mins(minute),
+            elapsed: SimDuration::from_mins(minute),
             stage_fraction: vec![0.5],
             stage_completed: vec![5],
             running: 10,
@@ -269,7 +293,7 @@ mod release_tests {
 
     #[test]
     fn healthy_releases_do_not_trip_the_guard() {
-        let mut g = FallbackGuard::new(
+        let mut g = with_fallback(
             Releasing {
                 guarantee: 200,
                 pred: 1_000.0,
@@ -283,6 +307,9 @@ mod release_tests {
         for minute in 0..30 {
             g.tick(&status(minute));
         }
-        assert!(!g.fallen_back(), "guard tripped on healthy releases");
+        assert!(
+            !g.layer::<FallbackLayer>().unwrap().fallen_back(),
+            "guard tripped on healthy releases"
+        );
     }
 }

@@ -17,7 +17,20 @@
 //!   (`totalworkWithQ`, `totalwork`, `vertexfrac`, `cp`, `minstage`,
 //!   `minstage-inf`).
 //! - [`control`]: the **resource-allocation control loop** (§4.3) with
-//!   slack, hysteresis and dead zone.
+//!   slack, hysteresis and dead zone — composed from the pure
+//!   [`alloc::ArgminPolicy`] decision core and the
+//!   [`conditioner`] stage pipeline.
+//! - [`alloc`]: the side-effect-free **allocation policy** seam
+//!   (progress → candidate utilities → raw argmin).
+//! - [`conditioner`]: §4.3's conditioning mechanisms (slack, dead-zone
+//!   gate, hysteresis EWMA, min clamp) as **composable stages** with
+//!   per-stage trace attribution.
+//! - [`layer`]: the **control-layer middleware** seam — fallback,
+//!   recalibration and arbitration stack as decorators over any
+//!   controller.
+//! - [`plane`]: the **multi-job control plane**: N concurrent SLO jobs
+//!   against one shared budget with sharded slots and an atomic
+//!   snapshot instead of a global lock.
 //! - [`utility`]: piecewise-linear job utility functions.
 //! - [`policy`]: ready-made policies — Jockey, Jockey w/o adaptation,
 //!   Jockey w/o simulator, and max-allocation — as used in §5.2.
@@ -40,25 +53,37 @@
 //! loop against a noisy shared cluster.
 
 pub mod admission;
+pub mod alloc;
 pub mod arbiter;
+pub mod conditioner;
 pub mod control;
 pub mod cpa;
 pub mod fallback;
+pub mod layer;
 pub mod oracle;
+pub mod plane;
 pub mod policy;
 pub mod predict;
 pub mod progress;
 pub mod recal;
 pub mod utility;
 
+pub use alloc::{AllocationPolicy, ArgminPolicy};
+pub use arbiter::{ArbitratedController, ArbitrationLayer, SharedArbiter};
+pub use conditioner::{
+    ConditionStage, ConditionerPipeline, DeadZoneGate, HysteresisEwma, MinClamp, PipelineTrace,
+    SlackStage, StageCtx, StageStep, TickAttribution,
+};
 pub use control::{
     ControlParams, ControlTick, ControlTrace, InvalidControlParams, JockeyController,
 };
 pub use cpa::{CpaModel, InvalidTrainConfig, ModelLoadError, TrainConfig};
-pub use fallback::FallbackGuard;
+pub use fallback::{with_fallback, FallbackLayer, GuardedController};
+pub use layer::{ControlLayer, Layered};
 pub use oracle::oracle_allocation;
+pub use plane::{ControlPlane, JobHandle, PlaneStats};
 pub use policy::Policy;
 pub use predict::{AmdahlModel, CompletionModel};
 pub use progress::{IndicatorContext, ProgressIndicator};
-pub use recal::RecalibratingController;
+pub use recal::{recalibrated, RecalibratingController, RecalibrationLayer, ScaledModel};
 pub use utility::UtilityFunction;

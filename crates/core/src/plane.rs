@@ -1,0 +1,537 @@
+//! A multi-job control plane: N concurrent SLO jobs against one shared
+//! token budget, without a global lock.
+//!
+//! The live [`SharedArbiter`](crate::arbiter::SharedArbiter) keeps all
+//! job state behind one `Mutex<Vec<Slot>>` and re-runs the greedy
+//! marginal-utility split *inside that lock on every tick* — at N jobs
+//! that is O(N · budget) model evaluations serialized N times per
+//! control period. [`ControlPlane`] restructures the same decision
+//! into a scalable runtime:
+//!
+//! - **Sharded per-job slots.** Each job's state snapshot lives behind
+//!   its own small `Mutex`; a tick touches only its own slot, so jobs
+//!   never contend with each other on the hot path.
+//! - **Atomic budget snapshot.** The per-job allocation vector is an
+//!   immutable [`Arc`] swapped behind an `RwLock`; readers clone the
+//!   `Arc` (no waiting on the arbitration computation).
+//! - **Batched tick scheduling.** The expensive greedy split runs once
+//!   per *refresh epoch* (about once per control period across the
+//!   whole fleet, i.e. every ~N ticks) instead of once per tick. A
+//!   single ticking job wins a `try_lock` election, gathers the slot
+//!   snapshots, computes the split off every job lock, and publishes a
+//!   new snapshot; everyone else reads the current snapshot and moves
+//!   on.
+//!
+//! Each job still observes the same cadence as under the per-tick
+//! arbiter: its share is recomputed from a fleet-wide view about once
+//! per control period. [`JobHandle`] implements `JobController` (with
+//! the same hysteresis smoothing as the arbitrated controller), so
+//! plane-managed jobs drop into `ClusterSim` or a real scheduler
+//! unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+use jockey_cluster::{ControlDecision, JobController, JobStatus};
+use jockey_simrt::time::SimDuration;
+
+use crate::arbiter::{arbitrate, ArbiterJob};
+use crate::predict::CompletionModel;
+use crate::progress::IndicatorContext;
+use crate::utility::UtilityFunction;
+
+/// One job's latest state snapshot, sharded behind its own lock.
+struct SlotState {
+    progress: f64,
+    stage_fraction: Vec<f64>,
+    elapsed_secs: f64,
+    finished: bool,
+    utility: UtilityFunction,
+}
+
+struct JobSlot {
+    model: Arc<dyn CompletionModel>,
+    slack: f64,
+    state: Mutex<SlotState>,
+}
+
+impl JobSlot {
+    /// Per-slot poison recovery: a snapshot is overwritten wholesale on
+    /// every tick, so a panicking holder cannot leave it half-updated.
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// An immutable per-epoch allocation snapshot, swapped atomically.
+struct Snapshot {
+    /// Guaranteed tokens per job id; jobs admitted after this snapshot
+    /// was computed fall back to 1 until the next refresh.
+    alloc: Vec<u32>,
+}
+
+/// Counters describing how much arbitration work the plane performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// Total job ticks served.
+    pub ticks: u64,
+    /// Budget-split recomputations (refresh epochs).
+    pub refreshes: u64,
+}
+
+/// The sharded multi-job control runtime.
+pub struct ControlPlane {
+    budget: u32,
+    /// Slot list: grows on admission, never shrinks. The outer lock is
+    /// held only to push or to iterate shared references — never while
+    /// evaluating models.
+    slots: RwLock<Vec<Arc<JobSlot>>>,
+    /// The published allocation snapshot.
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Refresh election: the ticking job that wins this `try_lock`
+    /// recomputes the split; losers use the current snapshot.
+    refresh_gate: Mutex<()>,
+    /// Ticks since the last completed refresh.
+    ticks_since_refresh: AtomicU64,
+    ticks: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+impl ControlPlane {
+    /// Creates a plane managing `budget` guaranteed tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new(budget: u32) -> Arc<Self> {
+        assert!(budget > 0);
+        Arc::new(ControlPlane {
+            budget,
+            slots: RwLock::new(Vec::new()),
+            snapshot: RwLock::new(Arc::new(Snapshot { alloc: Vec::new() })),
+            refresh_gate: Mutex::new(()),
+            ticks_since_refresh: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+        })
+    }
+
+    /// Admits a job, returning its [`JobHandle`] controller. `slack`
+    /// is the prediction multiplier applied inside the arbitration.
+    pub fn add_job(
+        self: &Arc<Self>,
+        model: Arc<dyn CompletionModel>,
+        indicator: IndicatorContext,
+        utility: UtilityFunction,
+        slack: f64,
+    ) -> JobHandle {
+        let slot = Arc::new(JobSlot {
+            model,
+            slack,
+            state: Mutex::new(SlotState {
+                progress: 0.0,
+                stage_fraction: vec![0.0; indicator.stage_count()],
+                elapsed_secs: 0.0,
+                finished: false,
+                utility,
+            }),
+        });
+        let id = {
+            let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
+            slots.push(slot);
+            slots.len() - 1
+        };
+        // A fresh fleet view: admission changes every job's marginal
+        // standing, so the next tick recomputes immediately.
+        self.ticks_since_refresh.store(u64::MAX, Ordering::Relaxed);
+        JobHandle {
+            plane: self.clone(),
+            id,
+            indicator,
+            smoothed: None,
+        }
+    }
+
+    /// The plane's work counters.
+    pub fn stats(&self) -> PlaneStats {
+        PlaneStats {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serves one job tick: updates the job's own slot, opportunistically
+    /// refreshes the fleet snapshot when an epoch has elapsed, and
+    /// returns the job's share from the published snapshot.
+    fn tick_job(&self, id: usize, progress: f64, status: &JobStatus) -> u32 {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+        {
+            let mut s = slots[id].lock();
+            s.progress = progress;
+            s.stage_fraction.clear();
+            s.stage_fraction.extend_from_slice(&status.stage_fraction);
+            s.elapsed_secs = status.elapsed.as_secs_f64();
+            s.finished = status.finished;
+        }
+
+        // One refresh per epoch: an epoch is one tick per admitted job,
+        // so each job sees a fleet-fresh split about once per control
+        // period — the same cadence the per-tick arbiter provides, at
+        // 1/N of the arbitration cost.
+        let epoch = slots.len() as u64;
+        if self.ticks_since_refresh.fetch_add(1, Ordering::AcqRel) >= epoch.saturating_sub(1) {
+            if let Ok(_gate) = self.refresh_gate.try_lock() {
+                self.ticks_since_refresh.store(0, Ordering::Release);
+                self.refresh(&slots);
+            }
+        }
+
+        if status.finished {
+            return 1;
+        }
+        let snapshot = {
+            let guard = self.snapshot.read().unwrap_or_else(PoisonError::into_inner);
+            guard.clone()
+        };
+        snapshot.alloc.get(id).copied().unwrap_or(1).max(1)
+    }
+
+    /// Recomputes the greedy split from the current slot snapshots and
+    /// publishes it. Runs while holding only the refresh gate: slot
+    /// locks are taken one at a time to copy state out, and the
+    /// expensive marginal-utility scan touches no lock at all.
+    fn refresh(&self, slots: &[Arc<JobSlot>]) {
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        let mut active = Vec::with_capacity(slots.len());
+        let mut jobs = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
+            let s = slot.lock();
+            if s.finished {
+                continue;
+            }
+            active.push(i);
+            jobs.push(ArbiterJob {
+                model: slot.model.clone(),
+                utility: s.utility.clone(),
+                progress: s.progress,
+                stage_fraction: s.stage_fraction.clone(),
+                elapsed_secs: s.elapsed_secs,
+                slack: slot.slack,
+            });
+        }
+        let mut alloc = vec![1_u32; slots.len()];
+        if !jobs.is_empty() {
+            let budget = self.budget.max(jobs.len() as u32);
+            for (pos, share) in arbitrate(&jobs, budget).into_iter().enumerate() {
+                alloc[active[pos]] = share;
+            }
+        }
+        let mut guard = self
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *guard = Arc::new(Snapshot { alloc });
+    }
+
+    fn set_deadline(&self, id: usize, new_deadline: SimDuration) {
+        let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+        let mut s = slots[id].lock();
+        s.utility = s.utility.with_deadline(new_deadline);
+        drop(s);
+        drop(slots);
+        // Force a fleet-wide recomputation on the next tick.
+        self.ticks_since_refresh.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// Hysteresis coefficient applied to the plane's raw shares (same as
+/// the per-tick arbitrated controller).
+const PLANE_HYSTERESIS: f64 = 0.3;
+
+/// A per-job `JobController` served by a [`ControlPlane`].
+pub struct JobHandle {
+    plane: Arc<ControlPlane>,
+    id: usize,
+    indicator: IndicatorContext,
+    smoothed: Option<f64>,
+}
+
+impl JobHandle {
+    /// The plane this handle belongs to.
+    pub fn plane(&self) -> &Arc<ControlPlane> {
+        &self.plane
+    }
+
+    /// The job's slot id within the plane.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+impl JobController for JobHandle {
+    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+        let p = self.indicator.progress(&status.stage_fraction);
+        let raw = self.plane.tick_job(self.id, p, status);
+        if status.finished {
+            // Release immediately: pacing a finished job's give-back
+            // through hysteresis would hold budget nobody can use.
+            self.smoothed = Some(1.0);
+            return ControlDecision {
+                guarantee: 1,
+                raw: Some(f64::from(raw)),
+                progress: Some(p),
+                predicted_completion: None,
+            };
+        }
+        let next = match self.smoothed {
+            None => f64::from(raw),
+            Some(cur) => cur + PLANE_HYSTERESIS * (f64::from(raw) - cur),
+        };
+        self.smoothed = Some(next);
+        ControlDecision {
+            guarantee: (next.ceil() as u32).max(1),
+            raw: Some(f64::from(raw)),
+            progress: Some(p),
+            predicted_completion: None,
+        }
+    }
+
+    fn deadline_changed(&mut self, new_deadline: SimDuration) {
+        self.plane.set_deadline(self.id, new_deadline);
+        // A new SLO is a fresh sizing problem (same as JockeyController).
+        self.smoothed = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpa::{CpaModel, TrainConfig};
+    use crate::progress::ProgressIndicator;
+    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_simrt::dist::Constant;
+    use jockey_simrt::time::SimTime;
+
+    /// remaining = work * (1 - progress) / a.
+    struct Toy {
+        work: f64,
+    }
+
+    impl CompletionModel for Toy {
+        fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+            self.work * (1.0 - progress) / f64::from(allocation.max(1))
+        }
+        fn max_allocation(&self) -> u32 {
+            100
+        }
+    }
+
+    fn toy_indicator() -> IndicatorContext {
+        let mut b = JobGraphBuilder::new("plane-toy");
+        b.stage("only", 10);
+        let g = b.build().unwrap();
+        let mut pb = jockey_jobgraph::profile::ProfileBuilder::new(&g);
+        for _ in 0..10 {
+            pb.record_task(jockey_jobgraph::StageId(0), 1.0, 10.0, false);
+        }
+        let p = pb.finish(100.0, 1.0);
+        IndicatorContext::new(ProgressIndicator::VertexFrac, &g, &p, None)
+    }
+
+    fn status(minute: u64, frac: f64, guarantee: u32) -> JobStatus {
+        JobStatus {
+            now: SimTime::from_mins(minute),
+            elapsed: SimDuration::from_mins(minute),
+            stage_fraction: vec![frac],
+            stage_completed: vec![(frac * 10.0) as u32],
+            running: guarantee,
+            running_guaranteed: guarantee,
+            guarantee,
+            work_done: frac * 100.0,
+            finished: frac >= 1.0,
+        }
+    }
+
+    #[test]
+    fn tight_deadline_wins_the_budget() {
+        let plane = ControlPlane::new(20);
+        let mut tight = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            1.0,
+        );
+        let mut loose = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(120)),
+            1.0,
+        );
+        let dt = tight.tick(&status(0, 0.0, 0));
+        let dl = loose.tick(&status(0, 0.0, 0));
+        assert!(dt.guarantee > dl.guarantee, "tight {dt:?} vs loose {dl:?}");
+        // The tight job needs 10 tokens (36000/3600) to be on time.
+        assert!(dt.guarantee >= 10, "{dt:?}");
+    }
+
+    #[test]
+    fn refreshes_are_amortized_across_ticks() {
+        let plane = ControlPlane::new(64);
+        let n = 16;
+        let mut handles: Vec<JobHandle> = (0..n)
+            .map(|_| {
+                plane.add_job(
+                    Arc::new(Toy { work: 36_000.0 }),
+                    toy_indicator(),
+                    UtilityFunction::deadline(SimDuration::from_mins(60)),
+                    1.0,
+                )
+            })
+            .collect();
+        // Drive 20 whole control rounds.
+        for minute in 0..20 {
+            for h in &mut handles {
+                h.tick(&status(minute, 0.02 * minute as f64, 4));
+            }
+        }
+        let stats = plane.stats();
+        assert_eq!(stats.ticks, 20 * n as u64);
+        // Roughly one refresh per round — far fewer than one per tick.
+        assert!(stats.refreshes <= 25 && stats.refreshes >= 10, "{stats:?}");
+    }
+
+    #[test]
+    fn finished_jobs_release_their_share() {
+        let plane = ControlPlane::new(8);
+        let mut a = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(10)),
+            1.0,
+        );
+        let mut b = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(10)),
+            1.0,
+        );
+        a.tick(&status(0, 0.0, 0));
+        b.tick(&status(0, 0.0, 0));
+        // Job A finishes; its share collapses and B inherits the budget
+        // at the next refresh.
+        let d = a.tick(&status(5, 1.0, 4));
+        assert_eq!(d.guarantee, 1, "finished job should hold no budget");
+        let before = b.tick(&status(5, 0.1, 4)).guarantee;
+        let after = b.tick(&status(6, 0.1, before)).guarantee;
+        assert!(after >= before, "survivor kept {after} vs {before}");
+    }
+
+    #[test]
+    fn deadline_change_forces_a_fresh_split() {
+        let plane = ControlPlane::new(20);
+        let mut a = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(120)),
+            1.0,
+        );
+        let mut b = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(120)),
+            1.0,
+        );
+        let g0 = a.tick(&status(0, 0.0, 0)).guarantee;
+        b.tick(&status(0, 0.0, 0));
+        // Halve A's deadline: its share must grow at the next ticks.
+        a.deadline_changed(SimDuration::from_mins(30));
+        let mut g = g0;
+        for minute in 1..=6 {
+            g = a.tick(&status(minute, 0.01 * minute as f64, g)).guarantee;
+        }
+        assert!(g > g0, "tightened job stayed at {g} (was {g0})");
+    }
+
+    #[test]
+    fn snapshot_is_recovered_after_a_panicking_reader() {
+        // Poison one slot lock by panicking while holding it; the
+        // plane must keep serving every job.
+        let plane = ControlPlane::new(8);
+        let mut a = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            1.0,
+        );
+        a.tick(&status(0, 0.0, 0));
+        {
+            let plane = plane.clone();
+            let _ = std::thread::spawn(move || {
+                let slots = plane.slots.read().unwrap();
+                let _guard = slots[0].state.lock().unwrap();
+                panic!("poison the slot");
+            })
+            .join();
+        }
+        let d = a.tick(&status(1, 0.05, 4));
+        assert!(d.guarantee >= 1, "plane stopped serving after poison");
+    }
+
+    #[test]
+    fn plane_managed_jobs_share_a_cluster_budget() {
+        // End-to-end: two trained jobs run concurrently in ClusterSim
+        // under one plane, as in the SharedArbiter test.
+        let trained_job = |seed: u64| {
+            let mut b = JobGraphBuilder::new(format!("plane-{seed}"));
+            let m = b.stage("map", 24);
+            let r = b.stage("reduce", 2);
+            b.edge(m, r, EdgeKind::AllToAll);
+            let graph = Arc::new(b.build().unwrap());
+            let spec = JobSpec::uniform(graph.clone(), Constant(20.0), Constant(0.5), 0.0);
+            let mut sim = ClusterSim::new(ClusterConfig::dedicated(6), seed);
+            sim.add_job(spec, Box::new(FixedAllocation(6)));
+            (graph.clone(), sim.run_single().profile)
+        };
+        let (g1, p1) = trained_job(1);
+        let (g2, p2) = trained_job(2);
+        let ctx1 = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &g1, &p1, None);
+        let ctx2 = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &g2, &p2, None);
+        let cfg = TrainConfig::fast(vec![1, 2, 4, 8, 12]);
+        let m1 = Arc::new(CpaModel::train(&g1, &p1, &ctx1, &cfg, 3));
+        let m2 = Arc::new(CpaModel::train(&g2, &p2, &ctx2, &cfg, 4));
+        let d1 = SimDuration::from_secs_f64(m1.fresh_latency(12) * 1.6);
+        let d2 = SimDuration::from_secs_f64(m2.fresh_latency(12) * 5.0);
+
+        let plane = ControlPlane::new(12);
+        let c1 = plane.add_job(
+            m1.clone() as Arc<dyn CompletionModel>,
+            ctx1,
+            UtilityFunction::deadline(d1),
+            1.2,
+        );
+        let c2 = plane.add_job(
+            m2.clone() as Arc<dyn CompletionModel>,
+            ctx2,
+            UtilityFunction::deadline(d2),
+            1.2,
+        );
+        let mut cluster = ClusterConfig::dedicated(12);
+        cluster.max_guarantee = 12;
+        cluster.control_period = SimDuration::from_secs(15);
+        let mut sim = ClusterSim::new(cluster, 9);
+        let i1 = sim.add_job(JobSpec::from_profile(g1.clone(), &p1), Box::new(c1));
+        let i2 = sim.add_job(JobSpec::from_profile(g2.clone(), &p2), Box::new(c2));
+        let results = sim.run();
+        let l1 = results[i1].duration().expect("job 1 finished");
+        let l2 = results[i2].duration().expect("job 2 finished");
+        assert!(l1 <= d1, "tight job missed: {l1:?} vs {d1:?}");
+        assert!(l2 <= d2, "loose job missed: {l2:?} vs {d2:?}");
+        // Combined medians stay within the plane's budget.
+        assert!(
+            results[i1].trace.median_guarantee() + results[i2].trace.median_guarantee()
+                <= 12.0 + 1e-9
+        );
+    }
+}

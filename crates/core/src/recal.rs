@@ -22,15 +22,19 @@
 //! pessimistic predictions — and therefore more tokens, sooner — while
 //! the untouched base model keeps its structure (barriers, tails,
 //! allocation sensitivity).
+//!
+//! [`RecalibrationLayer`] is a [`ControlLayer`]: it updates λ *before*
+//! the inner controller's tick (so the tick already sees the rescaled
+//! model) and never touches the decision itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use jockey_cluster::{ControlDecision, JobController, JobStatus};
-use jockey_simrt::time::SimDuration;
+use jockey_cluster::JobStatus;
 
 use crate::control::{ControlParams, JockeyController};
 use crate::cpa::CpaModel;
+use crate::layer::{ControlLayer, Layered};
 use crate::predict::CompletionModel;
 use crate::progress::IndicatorContext;
 use crate::utility::UtilityFunction;
@@ -57,7 +61,10 @@ impl ScaledModel {
         f64::from_bits(self.scale_bits.load(Ordering::Relaxed))
     }
 
-    fn set_scale(&self, scale: f64) {
+    /// Overwrites the inflation factor. External recalibrators (or
+    /// tests reproducing one) can drive λ directly; the built-in
+    /// [`RecalibrationLayer`] is the usual writer.
+    pub fn set_scale(&self, scale: f64) {
         self.scale_bits.store(scale.to_bits(), Ordering::Relaxed);
     }
 
@@ -77,9 +84,14 @@ impl CompletionModel for ScaledModel {
     }
 }
 
-/// Jockey's controller plus online recalibration.
-pub struct RecalibratingController {
-    jockey: JockeyController,
+/// Online λ recalibration as a stackable [`ControlLayer`].
+///
+/// The layer owns the slip-estimation state and a handle onto the
+/// [`ScaledModel`] the inner controller predicts from; each periodic
+/// tick it refreshes λ before the controller runs. Admission-time
+/// initial decisions skip the update (there is no previous tick to
+/// compare against).
+pub struct RecalibrationLayer {
     scaled: Arc<ScaledModel>,
     indicator: IndicatorContext,
     /// EWMA coefficient for λ updates.
@@ -92,24 +104,12 @@ pub struct RecalibratingController {
     pending_advance: f64,
 }
 
-impl RecalibratingController {
-    /// Builds a recalibrating controller from the same ingredients as
-    /// a plain [`JockeyController`].
-    pub fn new(
-        model: Arc<CpaModel>,
-        indicator: IndicatorContext,
-        utility: UtilityFunction,
-        params: ControlParams,
-    ) -> Self {
-        let scaled = ScaledModel::new(model);
-        let jockey = JockeyController::new(
-            scaled.clone() as Arc<dyn CompletionModel>,
-            indicator.clone(),
-            utility,
-            params,
-        );
-        RecalibratingController {
-            jockey,
+impl RecalibrationLayer {
+    /// A layer recalibrating `scaled` using `indicator` for progress.
+    /// The inner controller must predict from the *same* [`ScaledModel`]
+    /// for the rescaling to take effect (see [`recalibrated`]).
+    pub fn new(scaled: Arc<ScaledModel>, indicator: IndicatorContext) -> Self {
+        RecalibrationLayer {
             scaled,
             indicator,
             ema: 0.2,
@@ -174,19 +174,40 @@ impl RecalibratingController {
     }
 }
 
-impl JobController for RecalibratingController {
-    fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+impl ControlLayer for RecalibrationLayer {
+    fn name(&self) -> &'static str {
+        "recalibration"
+    }
+
+    fn before_tick(&mut self, status: &JobStatus) {
         self.update_lambda(status);
-        self.jockey.tick(status)
     }
+}
 
-    fn initial(&mut self, status: &JobStatus) -> ControlDecision {
-        self.jockey.initial(status)
-    }
+/// The historical recalibrating-Jockey shape: a [`JockeyController`]
+/// predicting from a λ-scaled model, under a [`RecalibrationLayer`].
+pub type RecalibratingController = Layered<JockeyController>;
 
-    fn deadline_changed(&mut self, new_deadline: SimDuration) {
-        self.jockey.deadline_changed(new_deadline);
-    }
+/// Builds a recalibrating controller from the same ingredients as a
+/// plain [`JockeyController`]: the trained model is wrapped in a
+/// [`ScaledModel`] shared between the controller and the layer. Read λ
+/// afterwards via `controller.layer::<RecalibrationLayer>()` or a
+/// [`RecalibrationLayer::scaled_handle`] taken before handing the
+/// controller off.
+pub fn recalibrated(
+    model: Arc<CpaModel>,
+    indicator: IndicatorContext,
+    utility: UtilityFunction,
+    params: ControlParams,
+) -> RecalibratingController {
+    let scaled = ScaledModel::new(model);
+    let jockey = JockeyController::new(
+        scaled.clone() as Arc<dyn CompletionModel>,
+        indicator.clone(),
+        utility,
+        params,
+    );
+    Layered::new(jockey).with(Box::new(RecalibrationLayer::new(scaled, indicator)))
 }
 
 #[cfg(test)]
@@ -194,10 +215,12 @@ mod tests {
     use super::*;
     use crate::cpa::TrainConfig;
     use crate::progress::ProgressIndicator;
-    use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+    use jockey_cluster::{
+        ClusterConfig, ClusterSim, FixedAllocation, JobController, JobSpec, JobStatus,
+    };
     use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
     use jockey_simrt::dist::Constant;
-    use jockey_simrt::time::SimTime;
+    use jockey_simrt::time::{SimDuration, SimTime};
 
     fn trained() -> (Arc<CpaModel>, IndicatorContext) {
         let mut b = JobGraphBuilder::new("recal");
@@ -234,10 +257,14 @@ mod tests {
         }
     }
 
+    fn inflation(c: &RecalibratingController) -> f64 {
+        c.layer::<RecalibrationLayer>().unwrap().inflation()
+    }
+
     #[test]
     fn slow_progress_raises_inflation() {
         let (model, ctx) = trained();
-        let mut c = RecalibratingController::new(
+        let mut c = recalibrated(
             model,
             ctx,
             UtilityFunction::deadline(SimDuration::from_mins(60)),
@@ -251,9 +278,9 @@ mod tests {
             c.tick(&status(minute, frac, 4));
         }
         assert!(
-            c.inflation() > 1.3,
+            inflation(&c) > 1.3,
             "inflation {} did not rise for a crawling job",
-            c.inflation()
+            inflation(&c)
         );
     }
 
@@ -279,7 +306,7 @@ mod tests {
             &TrainConfig::fast(vec![1, 2, 4, 8]),
             7,
         ));
-        let controller = RecalibratingController::new(
+        let controller = recalibrated(
             model,
             ctx,
             UtilityFunction::deadline(SimDuration::from_mins(30)),
@@ -288,7 +315,10 @@ mod tests {
                 ..ControlParams::default()
             },
         );
-        let handle = controller.scaled_handle();
+        let handle = controller
+            .layer::<RecalibrationLayer>()
+            .unwrap()
+            .scaled_handle();
         let mut cfg = ClusterConfig::dedicated(8);
         cfg.control_period = SimDuration::from_secs(30);
         let mut sim = ClusterSim::new(cfg, 9);
@@ -310,7 +340,7 @@ mod tests {
             ..ControlParams::default()
         };
         let mk = || {
-            RecalibratingController::new(
+            recalibrated(
                 model.clone(),
                 ctx.clone(),
                 UtilityFunction::deadline(SimDuration::from_mins(30)),

@@ -13,19 +13,15 @@
 //! similar allocation); the fallback guard should behave like plain
 //! Jockey except in runs where the model diverges persistently.
 
-use jockey_core::policy::Policy;
 use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 
+use super::sweep::variant_sweep;
 use crate::env::Env;
-use crate::par::parallel_map_with;
-use crate::slo::{run_slo_with, Extension, SloConfig, SloOutcome};
-use jockey_cluster::SimWorkspace;
+use crate::slo::Extension;
 
 /// Runs the comparison; rows are per-variant aggregates.
 pub fn run(env: &Env) -> Table {
-    let detailed = env.detailed();
-    let cluster = env.experiment_cluster();
     let variants: [(&str, Option<Extension>); 3] = [
         ("Jockey", None),
         ("Jockey + recalibration", Some(Extension::Recalibrating)),
@@ -35,27 +31,13 @@ pub fn run(env: &Env) -> Table {
         ),
     ];
 
-    let mut items = Vec::new();
-    for (vi, _) in variants.iter().enumerate() {
-        for (ji, _) in detailed.iter().enumerate() {
-            for rep in 0..env.scale.repeats().max(2) {
-                items.push((vi, ji, rep));
-            }
-        }
-    }
-    let outcomes: Vec<(usize, SloOutcome)> =
-        parallel_map_with(items, SimWorkspace::new, |ws, (vi, ji, rep)| {
-            let job = detailed[ji];
-            let mut cfg = SloConfig::standard(
-                Policy::Jockey,
-                job.deadline,
-                cluster.clone(),
-                env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0xe47,
-            );
-            cfg.extension = variants[vi].1;
-            cfg.work_scale = 1.5;
-            (vi, run_slo_with(job, &cfg, ws))
-        });
+    // At least two repeats, so the aggregates see more than one seed
+    // per variant even at smoke scale.
+    let repeats = env.scale.repeats().max(2);
+    let groups = variant_sweep(env, variants.len(), 0xe47, repeats, |vi, cfg| {
+        cfg.extension = variants[vi].1;
+        cfg.work_scale = 1.5;
+    });
 
     let mut t = Table::new([
         "controller",
@@ -65,12 +47,7 @@ pub fn run(env: &Env) -> Table {
         "allocation_above_oracle",
         "median_allocation",
     ]);
-    for (vi, (label, _)) in variants.iter().enumerate() {
-        let group: Vec<&SloOutcome> = outcomes
-            .iter()
-            .filter(|(i, _)| *i == vi)
-            .map(|(_, o)| o)
-            .collect();
+    for ((label, _), group) in variants.iter().zip(&groups) {
         let met = group.iter().filter(|o| o.met).count() as f64 / group.len() as f64;
         let rel: Vec<f64> = group.iter().map(|o| o.rel_deadline).collect();
         let above: Vec<f64> = group.iter().map(|o| o.frac_above_oracle).collect();

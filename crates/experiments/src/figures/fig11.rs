@@ -3,16 +3,13 @@
 //! control period, and the `minstage`/`CP` indicators.
 
 use jockey_core::control::ControlParams;
-use jockey_core::policy::Policy;
 use jockey_core::progress::ProgressIndicator;
 use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 use jockey_simrt::time::SimDuration;
 
+use super::sweep::variant_sweep;
 use crate::env::Env;
-use crate::par::parallel_map_with;
-use crate::slo::{run_slo_with, SloConfig, SloOutcome};
-use jockey_cluster::SimWorkspace;
 
 /// One ablation variant.
 #[derive(Clone, Copy)]
@@ -89,33 +86,13 @@ pub fn variants() -> Vec<Variant> {
 
 /// Runs all variants over the detailed jobs.
 pub fn run(env: &Env) -> Table {
-    let detailed = env.detailed();
-    let cluster = env.experiment_cluster();
     let vars = variants();
-
-    let mut items = Vec::new();
-    for (vi, _) in vars.iter().enumerate() {
-        for (ji, _) in detailed.iter().enumerate() {
-            for rep in 0..env.scale.repeats() {
-                items.push((vi, ji, rep));
-            }
-        }
-    }
-    let outcomes: Vec<(usize, SloOutcome)> =
-        parallel_map_with(items, SimWorkspace::new, |ws, (vi, ji, rep)| {
-            let v = vars[vi];
-            let job = detailed[ji];
-            let mut cfg = SloConfig::standard(
-                Policy::Jockey,
-                job.deadline,
-                cluster.clone(),
-                env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1111,
-            );
-            cfg.params = v.params;
-            cfg.control_period = SimDuration::from_mins(v.period_mins);
-            cfg.indicator = v.indicator;
-            (vi, run_slo_with(job, &cfg, ws))
-        });
+    let groups = variant_sweep(env, vars.len(), 0x1111, env.scale.repeats(), |vi, cfg| {
+        let v = vars[vi];
+        cfg.params = v.params;
+        cfg.control_period = SimDuration::from_mins(v.period_mins);
+        cfg.indicator = v.indicator;
+    });
 
     let mut t = Table::new([
         "experiment",
@@ -124,12 +101,7 @@ pub fn run(env: &Env) -> Table {
         "allocation_above_oracle",
         "median_allocation",
     ]);
-    for (vi, v) in vars.iter().enumerate() {
-        let group: Vec<&SloOutcome> = outcomes
-            .iter()
-            .filter(|(i, _)| *i == vi)
-            .map(|(_, o)| o)
-            .collect();
+    for (v, group) in vars.iter().zip(&groups) {
         let met = group.iter().filter(|o| o.met).count() as f64 / group.len() as f64;
         let lat: Vec<f64> = group.iter().map(|o| o.rel_deadline - 1.0).collect();
         let above: Vec<f64> = group.iter().map(|o| o.frac_above_oracle).collect();

@@ -4,46 +4,23 @@
 //! value.
 
 use jockey_core::control::ControlParams;
-use jockey_core::policy::Policy;
 use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 
+use super::sweep::variant_sweep;
 use crate::env::Env;
-use crate::par::parallel_map_with;
-use crate::slo::{run_slo_with, SloConfig, SloOutcome};
-use jockey_cluster::SimWorkspace;
 
 /// Slack values swept (the paper's x-axis spans 1.0–1.6).
 pub const SLACKS: [f64; 5] = [1.0, 1.1, 1.2, 1.4, 1.6];
 
 /// Runs the sweep.
 pub fn run(env: &Env) -> Table {
-    let detailed = env.detailed();
-    let cluster = env.experiment_cluster();
-
-    let mut items = Vec::new();
-    for (si, _) in SLACKS.iter().enumerate() {
-        for (ji, _) in detailed.iter().enumerate() {
-            for rep in 0..env.scale.repeats() {
-                items.push((si, ji, rep));
-            }
-        }
-    }
-    let outcomes: Vec<(usize, SloOutcome)> =
-        parallel_map_with(items, SimWorkspace::new, |ws, (si, ji, rep)| {
-            let job = detailed[ji];
-            let mut cfg = SloConfig::standard(
-                Policy::Jockey,
-                job.deadline,
-                cluster.clone(),
-                env.seed ^ ((si as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1212,
-            );
-            cfg.params = ControlParams {
-                slack: SLACKS[si],
-                ..ControlParams::default()
-            };
-            (si, run_slo_with(job, &cfg, ws))
-        });
+    let groups = variant_sweep(env, SLACKS.len(), 0x1212, env.scale.repeats(), |si, cfg| {
+        cfg.params = ControlParams {
+            slack: SLACKS[si],
+            ..ControlParams::default()
+        };
+    });
 
     let mut t = Table::new([
         "slack",
@@ -55,12 +32,7 @@ pub fn run(env: &Env) -> Table {
         "last_allocation",
         "machine_hours",
     ]);
-    for (si, &slack) in SLACKS.iter().enumerate() {
-        let group: Vec<&SloOutcome> = outcomes
-            .iter()
-            .filter(|(i, _)| *i == si)
-            .map(|(_, o)| o)
-            .collect();
+    for (&slack, group) in SLACKS.iter().zip(&groups) {
         let met = group.iter().filter(|o| o.met).count() as f64 / group.len() as f64;
         let lat: Vec<f64> = group.iter().map(|o| o.rel_deadline - 1.0).collect();
         let above: Vec<f64> = group.iter().map(|o| o.frac_above_oracle).collect();

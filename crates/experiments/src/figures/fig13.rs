@@ -3,46 +3,23 @@
 //! median / max / last allocations plus machine-hours, per α.
 
 use jockey_core::control::ControlParams;
-use jockey_core::policy::Policy;
 use jockey_simrt::stats;
 use jockey_simrt::table::Table;
 
+use super::sweep::variant_sweep;
 use crate::env::Env;
-use crate::par::parallel_map_with;
-use crate::slo::{run_slo_with, SloConfig, SloOutcome};
-use jockey_cluster::SimWorkspace;
 
 /// Hysteresis values swept (the paper's x-axis spans 0.05–1.0).
 pub const ALPHAS: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0];
 
 /// Runs the sweep.
 pub fn run(env: &Env) -> Table {
-    let detailed = env.detailed();
-    let cluster = env.experiment_cluster();
-
-    let mut items = Vec::new();
-    for (ai, _) in ALPHAS.iter().enumerate() {
-        for (ji, _) in detailed.iter().enumerate() {
-            for rep in 0..env.scale.repeats() {
-                items.push((ai, ji, rep));
-            }
-        }
-    }
-    let outcomes: Vec<(usize, SloOutcome)> =
-        parallel_map_with(items, SimWorkspace::new, |ws, (ai, ji, rep)| {
-            let job = detailed[ji];
-            let mut cfg = SloConfig::standard(
-                Policy::Jockey,
-                job.deadline,
-                cluster.clone(),
-                env.seed ^ ((ai as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ 0x1313,
-            );
-            cfg.params = ControlParams {
-                hysteresis: ALPHAS[ai],
-                ..ControlParams::default()
-            };
-            (ai, run_slo_with(job, &cfg, ws))
-        });
+    let groups = variant_sweep(env, ALPHAS.len(), 0x1313, env.scale.repeats(), |ai, cfg| {
+        cfg.params = ControlParams {
+            hysteresis: ALPHAS[ai],
+            ..ControlParams::default()
+        };
+    });
 
     let mut t = Table::new([
         "hysteresis",
@@ -54,12 +31,7 @@ pub fn run(env: &Env) -> Table {
         "last_allocation",
         "machine_hours",
     ]);
-    for (ai, &alpha) in ALPHAS.iter().enumerate() {
-        let group: Vec<&SloOutcome> = outcomes
-            .iter()
-            .filter(|(i, _)| *i == ai)
-            .map(|(_, o)| o)
-            .collect();
+    for (&alpha, group) in ALPHAS.iter().zip(&groups) {
         let met = group.iter().filter(|o| o.met).count() as f64 / group.len() as f64;
         let lat: Vec<f64> = group.iter().map(|o| o.rel_deadline - 1.0).collect();
         let above: Vec<f64> = group.iter().map(|o| o.frac_above_oracle).collect();

@@ -1,4 +1,5 @@
-//! The shared §5.2 policy sweep backing Figs. 4 and 5.
+//! The shared §5.2 policy sweep backing Figs. 4 and 5, and the
+//! variant-sweep runner behind the sensitivity figures.
 //!
 //! Every evaluation job runs under each of the four policies, at its
 //! base deadline (and, for the detailed jobs, a second deadline twice
@@ -15,6 +16,62 @@ use crate::env::Env;
 use crate::par::parallel_map_with;
 use crate::slo::{run_slo_with, SloConfig, SloOutcome};
 use jockey_cluster::SimWorkspace;
+
+/// Runs a variant sweep over the detailed jobs: every
+/// `(variant, job, repeat)` cell executes the Jockey policy at the
+/// job's base deadline, with `configure` mutating the run config per
+/// variant. Backs the sensitivity experiments (Figs. 11–13 and the
+/// extensions table), which differ only in their variant grids and row
+/// formatting.
+///
+/// Seeds derive from `env.seed ^ (vi << 28) ^ (ji << 12) ^ rep ^ salt`,
+/// so each figure's `salt` keeps its runs decorrelated from the others
+/// while staying deterministic in the environment seed.
+///
+/// Outcomes come back grouped by variant, in variant order; within a
+/// group, runs keep (job, repeat) iteration order.
+pub fn variant_sweep<F>(
+    env: &Env,
+    n_variants: usize,
+    salt: u64,
+    repeats: usize,
+    configure: F,
+) -> Vec<Vec<SloOutcome>>
+where
+    F: Fn(usize, &mut SloConfig) + Send + Sync,
+{
+    let detailed = env.detailed();
+    let cluster = env.experiment_cluster();
+
+    let mut items = Vec::new();
+    for vi in 0..n_variants {
+        for ji in 0..detailed.len() {
+            for rep in 0..repeats {
+                items.push((vi, ji, rep));
+            }
+        }
+    }
+    let outcomes: Vec<(usize, SloOutcome)> =
+        parallel_map_with(items, SimWorkspace::new, |ws, (vi, ji, rep)| {
+            let job = detailed[ji];
+            let mut cfg = SloConfig::standard(
+                Policy::Jockey,
+                job.deadline,
+                cluster.clone(),
+                env.seed ^ ((vi as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ salt,
+            );
+            configure(vi, &mut cfg);
+            (vi, run_slo_with(job, &cfg, ws))
+        });
+
+    // `outcomes` is in item order (variant-major), so pushing in order
+    // reproduces each variant's (job, repeat) sequence.
+    let mut groups: Vec<Vec<SloOutcome>> = (0..n_variants).map(|_| Vec::new()).collect();
+    for (vi, o) in outcomes {
+        groups[vi].push(o);
+    }
+    groups
+}
 
 /// Runs the full policy sweep. Deterministic in the environment seed.
 ///

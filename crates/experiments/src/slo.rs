@@ -169,14 +169,12 @@ pub fn run_slo_with(job: &EvalJob, cfg: &SloConfig, ws: &mut SimWorkspace) -> Sl
     let controller: Box<dyn jockey_cluster::JobController> =
         match (cfg.force_allocation, cfg.extension) {
             (Some(tokens), _) => Box::new(jockey_cluster::FixedAllocation(tokens)),
-            (None, Some(Extension::Recalibrating)) => {
-                Box::new(jockey_core::recal::RecalibratingController::new(
-                    job.setup.cpa.clone(),
-                    job.setup.indicator_context_of(indicator),
-                    jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
-                    cfg.params,
-                ))
-            }
+            (None, Some(Extension::Recalibrating)) => Box::new(jockey_core::recal::recalibrated(
+                job.setup.cpa.clone(),
+                job.setup.indicator_context_of(indicator),
+                jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
+                cfg.params,
+            )),
             (None, Some(Extension::FallbackGuard { fair_share })) => {
                 let inner = jockey_core::control::JockeyController::new(
                     job.setup.cpa.clone(),
@@ -184,7 +182,7 @@ pub fn run_slo_with(job: &EvalJob, cfg: &SloConfig, ws: &mut SimWorkspace) -> Sl
                     jockey_core::utility::UtilityFunction::deadline(cfg.deadline),
                     cfg.params,
                 );
-                Box::new(jockey_core::fallback::FallbackGuard::new(
+                Box::new(jockey_core::fallback::with_fallback(
                     inner, fair_share, 1.5, 3,
                 ))
             }

@@ -7,4 +7,11 @@ cargo build --workspace --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+# Benches must keep compiling (full runs stay manual; see
+# BENCH_control_plane.json for the recorded numbers).
+cargo bench --workspace --no-run
+# Smoke-run the multi-job control-plane bench (small fleets, minimal
+# sampling) so the sharded path is exercised end to end, not just
+# compiled.
+JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench control_plane
 echo "tier1: OK"
