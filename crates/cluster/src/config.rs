@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use jockey_simrt::event::QueueBackend;
 use jockey_simrt::time::{SimDuration, SimTime};
 
 /// Background-load process parameters (see [`crate::background`]).
@@ -141,6 +142,11 @@ pub struct ClusterConfig {
     pub failures: FailureConfig,
     /// Hard stop: jobs not finished by then are reported incomplete.
     pub max_sim_time: SimTime,
+    /// Event-queue data structure. Both backends produce identical
+    /// event streams; the bucketed default is faster at production
+    /// event density and `BinaryHeap` is the reference the benches
+    /// A/B against.
+    pub queue_backend: QueueBackend,
 }
 
 impl ClusterConfig {
@@ -158,6 +164,7 @@ impl ClusterConfig {
             background: BackgroundConfig::none(),
             failures: FailureConfig::none(),
             max_sim_time: SimTime::from_mins(24 * 60),
+            queue_backend: QueueBackend::Bucketed,
         }
     }
 
@@ -189,6 +196,7 @@ impl ClusterConfig {
             background: BackgroundConfig::production(),
             failures: FailureConfig::production(),
             max_sim_time: SimTime::from_mins(24 * 60),
+            queue_backend: QueueBackend::Bucketed,
         }
     }
 

@@ -32,7 +32,6 @@ use std::sync::Arc;
 
 use jockey_jobgraph::profile::ProfileBuilder;
 use jockey_jobgraph::task::{TaskDeps, TaskId};
-use jockey_simrt::dist::Sample;
 use jockey_simrt::event::EventQueue;
 use jockey_simrt::observe;
 use jockey_simrt::observe::{EntryKind, NoopObserver, ProgressSink, SimObserver};
@@ -397,8 +396,10 @@ impl EngineCore {
         job.attempts[s][task.index as usize] += 1;
         let attempt = job.attempts[s][task.index as usize];
 
-        let base_run = job.spec.stage_runtimes[s].sample(&mut job.rng_runtime);
-        let base_queue = job.spec.stage_queues[s].sample(&mut job.rng_queue);
+        // Statically-dispatched draws: `Dist::sample_with` monomorphizes
+        // over `StdRng`, the simulator's hottest call.
+        let base_run = job.spec.stage_runtimes[s].sample_with(&mut job.rng_runtime);
+        let base_queue = job.spec.stage_queues[s].sample_with(&mut job.rng_queue);
         let class_mult = match class {
             TokenClass::Guaranteed => 1.0,
             TokenClass::Spare => self.cfg.spare_slowdown,
@@ -641,11 +642,12 @@ impl Engine {
         let seeds = SeedDeriver::new(seed);
         let background = BackgroundModel::new(cfg.background.clone(), seeds.rng("background"));
         let failure = DefaultFailureModel::new(seeds.rng("machine-failures"));
+        let queue = EventQueue::with_backend(cfg.queue_backend);
         Engine {
             core: EngineCore {
                 cfg,
                 jobs: Vec::new(),
-                queue: EventQueue::new(),
+                queue,
                 background,
                 seeds,
                 observer: Box::new(NoopObserver),
@@ -666,6 +668,16 @@ impl Engine {
         let mut engine = Engine::new(cfg, seed);
         engine.core.cand_scratch = std::mem::take(&mut ws.candidates);
         engine.core.spare_buffers = std::mem::take(&mut ws.job_buffers);
+        if let Some(mut queue) = ws.event_queue.take() {
+            // Reset rewinds time and the sequence counter to a fresh
+            // queue's state while keeping the allocated bucket storage.
+            // A pooled queue on a different backend than this config
+            // asks for is dropped instead.
+            if queue.backend() == engine.core.cfg.queue_backend {
+                queue.reset();
+                engine.core.queue = queue;
+            }
+        }
         engine
     }
 

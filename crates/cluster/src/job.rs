@@ -2,12 +2,18 @@
 
 use jockey_jobgraph::graph::JobGraph;
 use jockey_jobgraph::profile::JobProfile;
-use jockey_simrt::dist::Sample;
+use jockey_simrt::dist::Dist;
 use std::sync::Arc;
 
 /// Everything needed to execute one job in the simulator: the plan
 /// graph plus per-stage task runtime and queueing distributions and a
 /// task-failure probability.
+///
+/// Distributions are stored as the concrete [`Dist`] enum so the
+/// engine's per-task-attempt draws dispatch by `match` over a
+/// statically-typed RNG instead of through `Arc<dyn Sample>` vtables —
+/// this is the simulator's hottest call. Custom `Sample`
+/// implementations still fit via [`Dist::custom`].
 ///
 /// Two construction paths exist:
 ///
@@ -21,9 +27,9 @@ pub struct JobSpec {
     /// The execution-plan graph.
     pub graph: Arc<JobGraph>,
     /// Per-stage task runtime distributions (seconds), indexed by stage.
-    pub stage_runtimes: Vec<Arc<dyn Sample>>,
+    pub stage_runtimes: Vec<Dist>,
     /// Per-stage task queueing/initialization distributions (seconds).
-    pub stage_queues: Vec<Arc<dyn Sample>>,
+    pub stage_queues: Vec<Dist>,
     /// Probability that a task attempt fails and must rerun.
     pub task_failure_prob: f64,
     /// Total input data in gigabytes (informational; reported in
@@ -52,13 +58,13 @@ impl JobSpec {
     /// Panics if `task_failure_prob` is outside `[0, 1]`.
     pub fn uniform(
         graph: Arc<JobGraph>,
-        runtime: impl Sample + 'static,
-        queue: impl Sample + 'static,
+        runtime: impl Into<Dist>,
+        queue: impl Into<Dist>,
         task_failure_prob: f64,
     ) -> Self {
         assert!((0.0..=1.0).contains(&task_failure_prob));
-        let runtime: Arc<dyn Sample> = Arc::new(runtime);
-        let queue: Arc<dyn Sample> = Arc::new(queue);
+        let runtime = runtime.into();
+        let queue = queue.into();
         let n = graph.num_stages();
         JobSpec {
             graph,
@@ -77,8 +83,8 @@ impl JobSpec {
     /// or the failure probability is out of range.
     pub fn new(
         graph: Arc<JobGraph>,
-        stage_runtimes: Vec<Arc<dyn Sample>>,
-        stage_queues: Vec<Arc<dyn Sample>>,
+        stage_runtimes: Vec<Dist>,
+        stage_queues: Vec<Dist>,
         task_failure_prob: f64,
         data_gb: f64,
     ) -> Self {
@@ -106,25 +112,25 @@ impl JobSpec {
     /// Panics if the profile's stage count differs from the graph's.
     pub fn from_profile(graph: Arc<JobGraph>, profile: &JobProfile) -> Self {
         assert_eq!(graph.num_stages(), profile.stages.len());
-        let stage_runtimes: Vec<Arc<dyn Sample>> = profile
+        let stage_runtimes: Vec<Dist> = profile
             .stages
             .iter()
-            .map(|s| -> Arc<dyn Sample> {
+            .map(|s| {
                 if s.runtimes.is_empty() {
-                    Arc::new(jockey_simrt::dist::Constant(1.0))
+                    Dist::from(jockey_simrt::dist::Constant(1.0))
                 } else {
-                    Arc::new(s.runtime_dist())
+                    Dist::from(s.runtime_dist())
                 }
             })
             .collect();
-        let stage_queues: Vec<Arc<dyn Sample>> = profile
+        let stage_queues: Vec<Dist> = profile
             .stages
             .iter()
-            .map(|s| -> Arc<dyn Sample> {
+            .map(|s| {
                 if s.queue_times.is_empty() {
-                    Arc::new(jockey_simrt::dist::Constant(0.0))
+                    Dist::from(jockey_simrt::dist::Constant(0.0))
                 } else {
-                    Arc::new(s.queue_dist())
+                    Dist::from(s.queue_dist())
                 }
             })
             .collect();
@@ -182,7 +188,7 @@ mod tests {
         assert_eq!(spec.task_failure_prob, 0.0);
         // Stage 0 empirical has a single value 4.0.
         let mut rng = jockey_simrt::rng::SeedDeriver::new(0).rng("t");
-        assert_eq!(spec.stage_runtimes[0].sample(&mut rng), 4.0);
+        assert_eq!(spec.stage_runtimes[0].sample_with(&mut rng), 4.0);
     }
 
     #[test]
@@ -191,8 +197,8 @@ mod tests {
         let profile = ProfileBuilder::new(&g).finish(1.0, 0.0);
         let spec = JobSpec::from_profile(g, &profile);
         let mut rng = jockey_simrt::rng::SeedDeriver::new(0).rng("t");
-        assert_eq!(spec.stage_runtimes[0].sample(&mut rng), 1.0);
-        assert_eq!(spec.stage_queues[0].sample(&mut rng), 0.0);
+        assert_eq!(spec.stage_runtimes[0].sample_with(&mut rng), 1.0);
+        assert_eq!(spec.stage_queues[0].sample_with(&mut rng), 0.0);
     }
 
     #[test]

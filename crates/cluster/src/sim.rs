@@ -302,6 +302,7 @@ impl ClusterSim {
         }
         if let Some(ws) = reclaim {
             ws.reclaim_spares(core.spare_buffers, core.cand_scratch);
+            ws.event_queue = Some(core.queue);
         }
         results
     }

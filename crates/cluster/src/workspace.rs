@@ -15,8 +15,9 @@ use std::collections::VecDeque;
 
 use jockey_jobgraph::graph::JobGraph;
 use jockey_jobgraph::task::TaskId;
+use jockey_simrt::event::EventQueue;
 
-use crate::engine::{RunningTask, TaskState};
+use crate::engine::{Event, RunningTask, TaskState};
 
 /// Per-job state vectors pooled between runs.
 #[derive(Default)]
@@ -71,6 +72,10 @@ impl JobBuffers {
 pub struct SimWorkspace {
     pub(crate) job_buffers: Vec<JobBuffers>,
     pub(crate) candidates: Vec<TaskId>,
+    /// Pooled event queue: rented by the next run (after a reset that
+    /// rewinds it to a fresh state) so repeated simulations keep the
+    /// bucket ring and heap storage instead of reallocating per run.
+    pub(crate) event_queue: Option<EventQueue<Event>>,
 }
 
 impl SimWorkspace {

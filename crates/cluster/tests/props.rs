@@ -109,6 +109,7 @@ proptest! {
                 data_loss_prob: 0.5,
             },
             max_sim_time: jockey_simrt::time::SimTime::from_mins(24 * 60),
+            queue_backend: Default::default(),
         };
         let mut sim = ClusterSim::new(cfg, seed);
         sim.add_job(spec, Box::new(FixedAllocation(8)));

@@ -189,6 +189,13 @@ pub struct CpaModel {
     percentile: f64,
     /// `cells[alloc_idx][bin]`: ascending-sorted remaining-time samples.
     cells: Vec<Vec<Vec<f64>>>,
+    /// Dense `allocations.len() x bins` lookup table: the configured
+    /// percentile of each `(allocation, bin)` cell, with the outward
+    /// empty-cell fallback already resolved. [`CpaModel::remaining`] —
+    /// the per-controller-tick query — reads this instead of
+    /// recomputing `percentile_sorted` over raw samples. Raw `cells`
+    /// are retained for explicit-percentile queries and serialization.
+    table: Vec<f64>,
 }
 
 impl CpaModel {
@@ -248,12 +255,30 @@ impl CpaModel {
                 cell.sort_by(f64::total_cmp);
             }
         }
-        CpaModel {
+        let mut model = CpaModel {
             allocations: cfg.allocations.clone(),
             bins: cfg.progress_bins,
             percentile: cfg.percentile,
             cells,
+            table: Vec::new(),
+        };
+        model.build_table();
+        model
+    }
+
+    /// Precomputes the dense query table from the raw cells: one
+    /// configured-percentile value per `(allocation, bin)`, identical to
+    /// what the outward-scanning [`CpaModel::remaining_at_grid`] path
+    /// returns (including the all-empty-allocation `INFINITY` case), so
+    /// `remaining()` is a load + interpolation per tick.
+    fn build_table(&mut self) {
+        let mut table = Vec::with_capacity(self.allocations.len() * self.bins);
+        for ai in 0..self.allocations.len() {
+            for bin in 0..self.bins {
+                table.push(self.remaining_at_grid(ai, bin, self.percentile));
+            }
         }
+        self.table = table;
     }
 
     /// The allocation grid the model was trained on.
@@ -300,8 +325,32 @@ impl CpaModel {
     /// `C(p, a)` at the model's configured percentile, linearly
     /// interpolated between grid allocations and clamped to the grid's
     /// endpoints outside it.
+    ///
+    /// This is the control loop's per-tick query: it reads the
+    /// precomputed percentile table (one value per grid cell, empty-cell
+    /// fallback already folded in) instead of re-running the percentile
+    /// computation over raw samples. Answers are bit-identical to
+    /// [`CpaModel::remaining_percentile`] at the configured percentile.
     pub fn remaining(&self, progress: f64, allocation: u32) -> f64 {
-        self.remaining_percentile(progress, allocation, self.percentile)
+        let bin = self.bin_of(progress);
+        let at = |ai: usize| self.table[ai * self.bins + bin];
+        let grid = &self.allocations;
+        if allocation <= grid[0] {
+            return at(0);
+        }
+        if allocation >= *grid.last().expect("non-empty grid") {
+            return at(grid.len() - 1);
+        }
+        // Find surrounding grid points.
+        let hi = grid.partition_point(|&g| g < allocation);
+        let lo = hi - 1;
+        let (ga, gb) = (grid[lo], grid[hi]);
+        if ga == allocation {
+            return at(lo);
+        }
+        let (va, vb) = (at(lo), at(hi));
+        let w = f64::from(allocation - ga) / f64::from(gb - ga);
+        va + (vb - va) * w
     }
 
     /// `C(p, a)` at an explicit percentile.
@@ -403,12 +452,15 @@ impl CpaModel {
                 cells[ai][bin] = kv.get_f64_list(key).ok_or_else(bad)?;
             }
         }
-        Ok(CpaModel {
+        let mut model = CpaModel {
             allocations,
             bins,
             percentile,
             cells,
-        })
+            table: Vec::new(),
+        };
+        model.build_table();
+        Ok(model)
     }
 }
 
@@ -672,6 +724,77 @@ mod tests {
         assert!(rel[1].1 > 0.9);
         // Reduce starts after map in an unconstrained run too (barrier).
         assert!(rel[1].0 >= rel[0].1 - 0.3);
+    }
+
+    /// Satellite: `remaining()` answers from the precomputed table must
+    /// be bit-identical to the raw `percentile_sorted` scan path
+    /// (exposed via `remaining_percentile` at the configured percentile)
+    /// across the whole trained grid — on-grid, between grid points, and
+    /// clamped outside it, at every progress bin.
+    #[test]
+    fn table_queries_match_percentile_scan_bit_for_bit() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        let max = *m.allocations().last().unwrap();
+        for bin in 0..m.bins {
+            // Probe a progress value inside each bin.
+            let p = (bin as f64 + 0.5) / m.bins as f64;
+            for a in 1..=(max + 4) {
+                let fast = m.remaining(p, a);
+                let slow = m.remaining_percentile(p, a, m.percentile());
+                assert_eq!(
+                    fast.to_bits(),
+                    slow.to_bits(),
+                    "p={p} a={a}: table {fast} vs scan {slow}"
+                );
+            }
+        }
+    }
+
+    /// Satellite: the precomputed table folds in the outward empty-cell
+    /// fallback scan exactly — sparse models answer from the nearest
+    /// non-empty bin, and allocations with no samples at all read as
+    /// `INFINITY`, matching `remaining_at_grid`.
+    #[test]
+    fn table_matches_scan_on_sparse_and_empty_cells() {
+        // Hand-build a sparse model through the kv path: allocation 0
+        // has samples only in bins 2 and 7; allocation 1 has none.
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set_u64("bins", 10);
+        kv.set_f64("percentile", 90.0);
+        kv.set_f64_list("allocations", &[2.0, 8.0]);
+        kv.set_f64_list("cell.0.2", &[5.0, 7.0, 11.0]);
+        kv.set_f64_list("cell.0.7", &[1.0, 2.0]);
+        let m = CpaModel::from_kv(&kv).expect("loads");
+        for bin in 0..10 {
+            let p = (bin as f64 + 0.5) / 10.0;
+            // Allocation on-grid at 2: nearest non-empty cell answers.
+            let fast = m.remaining(p, 2);
+            let slow = m.remaining_at_grid(0, bin, 90.0);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "bin {bin}");
+            assert!(fast.is_finite());
+            // Allocation 8 has no samples anywhere: INFINITY, exactly as
+            // the scan reports it.
+            assert_eq!(m.remaining(p, 8), f64::INFINITY);
+            assert_eq!(m.remaining_at_grid(1, bin, 90.0), f64::INFINITY);
+            // Interpolating toward an empty allocation stays INFINITY
+            // on both paths (finite + w * (inf - finite)).
+            assert_eq!(
+                m.remaining(p, 5).to_bits(),
+                m.remaining_percentile(p, 5, 90.0).to_bits()
+            );
+        }
+        // The queried bin itself wins when non-empty; ties between
+        // equidistant neighbors prefer the lower bin — both inherited
+        // from the scan, bit-for-bit.
+        assert_eq!(
+            m.remaining(0.25, 2),
+            jockey_simrt::stats::percentile_sorted(&[5.0, 7.0, 11.0], 90.0)
+        );
+        assert_eq!(
+            m.remaining(0.45, 2), // bin 4: closest non-empty are 2 and 7 -> bin 2 wins at d=2.
+            jockey_simrt::stats::percentile_sorted(&[5.0, 7.0, 11.0], 90.0)
+        );
     }
 
     #[test]

@@ -190,6 +190,7 @@ impl Env {
                 data_loss_prob: 0.5,
             },
             max_sim_time: SimTime::from_mins(12 * 60),
+            queue_backend: Default::default(),
         }
     }
 }

@@ -1,14 +1,12 @@
 //! Running one SLO-controlled job execution and extracting the §5.1
 //! metrics.
 
-use std::sync::Arc;
-
 use jockey_cluster::{ClusterConfig, ClusterSim, JobSpec, RunHooks, RunTrace, SimWorkspace};
 use jockey_core::control::ControlParams;
 use jockey_core::oracle::oracle_allocation;
 use jockey_core::policy::Policy;
 use jockey_core::progress::ProgressIndicator;
-use jockey_simrt::dist::{Sample, Scaled};
+use jockey_simrt::dist::Dist;
 use jockey_simrt::time::{SimDuration, SimTime};
 
 use crate::env::EvalJob;
@@ -141,21 +139,21 @@ pub fn run_slo(job: &EvalJob, cfg: &SloConfig) -> SloOutcome {
 pub fn run_slo_with(job: &EvalJob, cfg: &SloConfig, ws: &mut SimWorkspace) -> SloOutcome {
     // Build the run's spec: input-size scaling plus optional per-stage
     // slowdowns.
-    let mut runtimes: Vec<Arc<dyn Sample>> = job
+    let mut runtimes: Vec<Dist> = job
         .gen
         .spec
         .stage_runtimes
         .iter()
-        .map(|d| -> Arc<dyn Sample> {
+        .map(|d| {
             if cfg.work_scale == 1.0 {
                 d.clone()
             } else {
-                Arc::new(Scaled::new(d.clone(), cfg.work_scale))
+                Dist::scaled(d.clone(), cfg.work_scale)
             }
         })
         .collect();
     if let Some((stage, factor)) = cfg.stage_slow {
-        runtimes[stage] = Arc::new(Scaled::new(runtimes[stage].clone(), factor));
+        runtimes[stage] = Dist::scaled(runtimes[stage].clone(), factor);
     }
     let spec = JobSpec::new(
         job.gen.spec.graph.clone(),

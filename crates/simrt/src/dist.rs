@@ -17,6 +17,16 @@
 //!
 //! All samples are non-negative `f64` values; callers interpret the unit
 //! (this workspace uses seconds).
+//!
+//! Hot paths that sample millions of times per run (the cluster
+//! simulator's per-task-attempt draws) use the concrete [`Dist`] enum:
+//! a closed universe of the families above that dispatches by `match`
+//! and samples through a statically-typed RNG (`sample_with`), avoiding
+//! the vtable call and pointer chase of `Arc<dyn Sample>` per draw. The
+//! [`Sample`] trait remains the open extension seam: any custom
+//! implementation still fits a [`Dist`] via [`Dist::custom`].
+
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -65,9 +75,17 @@ impl Uniform {
     }
 }
 
+impl Uniform {
+    /// Draws one value through a statically-dispatched RNG.
+    #[inline]
+    pub fn sample_with<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + rng.gen::<f64>() * (self.hi - self.lo)
+    }
+}
+
 impl Sample for Uniform {
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
-        self.lo + rng.gen::<f64>() * (self.hi - self.lo)
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> Option<f64> {
@@ -93,11 +111,19 @@ impl Exponential {
     }
 }
 
-impl Sample for Exponential {
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+impl Exponential {
+    /// Draws one value through a statically-dispatched RNG.
+    #[inline]
+    pub fn sample_with<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         // Inverse-CDF sampling; `1 - u` avoids ln(0).
         let u: f64 = rng.gen();
         -self.mean * (1.0 - u).ln()
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> Option<f64> {
@@ -166,17 +192,23 @@ impl LogNormal {
     }
 
     /// Draws a standard normal via Box–Muller (one of the pair).
-    fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+    fn standard_normal<R: rand::RngCore + ?Sized>(rng: &mut R) -> f64 {
         // `1 - u` keeps the argument of ln strictly positive.
         let u1: f64 = 1.0 - rng.gen::<f64>();
         let u2: f64 = rng.gen();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
+
+    /// Draws one value through a statically-dispatched RNG.
+    #[inline]
+    pub fn sample_with<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
 }
 
 impl Sample for LogNormal {
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
-        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> Option<f64> {
@@ -206,10 +238,18 @@ impl Pareto {
     }
 }
 
-impl Sample for Pareto {
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+impl Pareto {
+    /// Draws one value through a statically-dispatched RNG.
+    #[inline]
+    pub fn sample_with<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = 1.0 - rng.gen::<f64>();
         self.scale / u.powf(1.0 / self.alpha)
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> Option<f64> {
@@ -224,7 +264,9 @@ impl Sample for Pareto {
 /// without assuming a parametric family.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Empirical {
-    values: Vec<f64>,
+    // Shared so cloning a job spec (or a `Dist`) holding thousands of
+    // recorded runtimes costs a refcount bump, not a vector copy.
+    values: Arc<[f64]>,
 }
 
 impl Empirical {
@@ -240,19 +282,27 @@ impl Empirical {
             values.iter().all(|v| v.is_finite() && *v >= 0.0),
             "empirical samples must be finite and non-negative"
         );
-        Empirical { values }
+        Empirical {
+            values: values.into(),
+        }
     }
 
     /// The recorded values backing this distribution.
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Draws one value through a statically-dispatched RNG.
+    #[inline]
+    pub fn sample_with<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let i = (rng.gen::<u64>() % self.values.len() as u64) as usize;
+        self.values[i]
+    }
 }
 
 impl Sample for Empirical {
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
-        let i = (rng.gen::<u64>() % self.values.len() as u64) as usize;
-        self.values[i]
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> Option<f64> {
@@ -351,6 +401,280 @@ impl<D: Sample> Sample for Scaled<D> {
 
     fn mean(&self) -> Option<f64> {
         self.inner.mean().map(|m| m * self.factor)
+    }
+}
+
+/// A concrete, closed-universe distribution: every family this
+/// workspace samples in simulator hot paths, dispatched by `match`
+/// instead of through a vtable.
+///
+/// `JobSpec` stores stage runtime/queue models as `Dist` so the
+/// per-task-attempt draw in the cluster engine is a direct call
+/// monomorphized over the engine's `StdRng` ([`Dist::sample_with`]) —
+/// no `Arc<dyn Sample>` pointer chase per attempt. The open [`Sample`]
+/// trait is still the extension seam: anything outside this universe
+/// rides along as [`Dist::Custom`].
+///
+/// Construct variants from the concrete family types via `From`/`Into`
+/// (`Dist::from(Uniform::new(1.0, 2.0))`) and combinators via
+/// [`Dist::mixture`], [`Dist::clamped`] and [`Dist::scaled`].
+#[derive(Clone)]
+pub enum Dist {
+    /// A fixed value.
+    Constant(Constant),
+    /// Uniform on `[lo, hi)`.
+    Uniform(Uniform),
+    /// Exponential by mean.
+    Exponential(Exponential),
+    /// Log-normal task-runtime body.
+    LogNormal(LogNormal),
+    /// Pareto straggler tail.
+    Pareto(Pareto),
+    /// Resampling of recorded values.
+    Empirical(Empirical),
+    /// Two-component mixture drawing `second` with probability
+    /// `p_second`.
+    Mixture {
+        /// Component drawn with probability `1 - p_second`.
+        first: Box<Dist>,
+        /// Component drawn with probability `p_second`.
+        second: Box<Dist>,
+        /// Probability of drawing `second`.
+        p_second: f64,
+    },
+    /// Inner distribution clamped to `[lo, hi]`.
+    Clamped {
+        /// The distribution being clamped.
+        inner: Box<Dist>,
+        /// Lower clamp bound.
+        lo: f64,
+        /// Upper clamp bound.
+        hi: f64,
+    },
+    /// Inner distribution scaled by a constant factor.
+    Scaled {
+        /// The distribution being scaled.
+        inner: Box<Dist>,
+        /// Multiplier applied to every sample.
+        factor: f64,
+    },
+    /// Escape hatch for [`Sample`] implementations outside the closed
+    /// universe (samples through dynamic dispatch).
+    Custom(Arc<dyn Sample>),
+}
+
+impl Dist {
+    /// A two-component mixture drawing `second` with probability
+    /// `p_second`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_second` is in `[0, 1]`.
+    pub fn mixture(first: impl Into<Dist>, second: impl Into<Dist>, p_second: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_second));
+        Dist::Mixture {
+            first: Box::new(first.into()),
+            second: Box::new(second.into()),
+            p_second,
+        }
+    }
+
+    /// Clamps `inner` to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamped(inner: impl Into<Dist>, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi);
+        Dist::Clamped {
+            inner: Box::new(inner.into()),
+            lo,
+            hi,
+        }
+    }
+
+    /// Multiplies every sample of `inner` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(inner: impl Into<Dist>, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0);
+        Dist::Scaled {
+            inner: Box::new(inner.into()),
+            factor,
+        }
+    }
+
+    /// Wraps an arbitrary [`Sample`] implementation.
+    pub fn custom(inner: Arc<dyn Sample>) -> Self {
+        Dist::Custom(inner)
+    }
+
+    /// Draws one value through a statically-dispatched RNG.
+    ///
+    /// Monomorphizes over the caller's concrete RNG type; for the same
+    /// RNG state this produces bit-identical draws to the [`Sample`]
+    /// impl (the underlying `next_u64` stream and arithmetic are
+    /// identical).
+    #[inline]
+    pub fn sample_with<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Constant(d) => d.0,
+            Dist::Uniform(d) => d.sample_with(rng),
+            Dist::Exponential(d) => d.sample_with(rng),
+            Dist::LogNormal(d) => d.sample_with(rng),
+            Dist::Pareto(d) => d.sample_with(rng),
+            Dist::Empirical(d) => d.sample_with(rng),
+            Dist::Mixture {
+                first,
+                second,
+                p_second,
+            } => {
+                if rng.gen::<f64>() < *p_second {
+                    second.sample_with(rng)
+                } else {
+                    first.sample_with(rng)
+                }
+            }
+            Dist::Clamped { inner, lo, hi } => inner.sample_with(rng).clamp(*lo, *hi),
+            Dist::Scaled { inner, factor } => inner.sample_with(rng) * factor,
+            Dist::Custom(d) => {
+                // `&mut R: RngCore` (blanket impl), so a reborrow
+                // coerces to the trait object the open seam expects.
+                let mut reborrow: &mut R = rng;
+                d.sample(&mut reborrow)
+            }
+        }
+    }
+
+    /// The distribution mean, if known in closed form.
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            Dist::Constant(d) => d.mean(),
+            Dist::Uniform(d) => d.mean(),
+            Dist::Exponential(d) => Sample::mean(d),
+            Dist::LogNormal(d) => d.mean(),
+            Dist::Pareto(d) => d.mean(),
+            Dist::Empirical(d) => d.mean(),
+            Dist::Mixture {
+                first,
+                second,
+                p_second,
+            } => {
+                let a = first.mean()?;
+                let b = second.mean()?;
+                Some(a * (1.0 - p_second) + b * p_second)
+            }
+            Dist::Clamped { .. } => None,
+            Dist::Scaled { inner, factor } => inner.mean().map(|m| m * factor),
+            Dist::Custom(d) => d.mean(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Dist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dist::Constant(d) => f.debug_tuple("Constant").field(&d.0).finish(),
+            Dist::Uniform(d) => d.fmt(f),
+            Dist::Exponential(d) => d.fmt(f),
+            Dist::LogNormal(d) => d.fmt(f),
+            Dist::Pareto(d) => d.fmt(f),
+            Dist::Empirical(d) => d.fmt(f),
+            Dist::Mixture {
+                first,
+                second,
+                p_second,
+            } => f
+                .debug_struct("Mixture")
+                .field("first", first)
+                .field("second", second)
+                .field("p_second", p_second)
+                .finish(),
+            Dist::Clamped { inner, lo, hi } => f
+                .debug_struct("Clamped")
+                .field("inner", inner)
+                .field("lo", lo)
+                .field("hi", hi)
+                .finish(),
+            Dist::Scaled { inner, factor } => f
+                .debug_struct("Scaled")
+                .field("inner", inner)
+                .field("factor", factor)
+                .finish(),
+            Dist::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl Sample for Dist {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.sample_with(rng)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Dist::mean(self)
+    }
+}
+
+impl From<Constant> for Dist {
+    fn from(d: Constant) -> Dist {
+        Dist::Constant(d)
+    }
+}
+
+impl From<Uniform> for Dist {
+    fn from(d: Uniform) -> Dist {
+        Dist::Uniform(d)
+    }
+}
+
+impl From<Exponential> for Dist {
+    fn from(d: Exponential) -> Dist {
+        Dist::Exponential(d)
+    }
+}
+
+impl From<LogNormal> for Dist {
+    fn from(d: LogNormal) -> Dist {
+        Dist::LogNormal(d)
+    }
+}
+
+impl From<Pareto> for Dist {
+    fn from(d: Pareto) -> Dist {
+        Dist::Pareto(d)
+    }
+}
+
+impl From<Empirical> for Dist {
+    fn from(d: Empirical) -> Dist {
+        Dist::Empirical(d)
+    }
+}
+
+impl<A: Into<Dist>, B: Into<Dist>> From<Mixture<A, B>> for Dist {
+    fn from(m: Mixture<A, B>) -> Dist {
+        Dist::mixture(m.first, m.second, m.p_second)
+    }
+}
+
+impl<D: Into<Dist>> From<Clamped<D>> for Dist {
+    fn from(c: Clamped<D>) -> Dist {
+        Dist::clamped(c.inner, c.lo, c.hi)
+    }
+}
+
+impl<D: Into<Dist>> From<Scaled<D>> for Dist {
+    fn from(s: Scaled<D>) -> Dist {
+        Dist::scaled(s.inner, s.factor)
+    }
+}
+
+impl From<Arc<dyn Sample>> for Dist {
+    fn from(d: Arc<dyn Sample>) -> Dist {
+        Dist::Custom(d)
     }
 }
 
@@ -502,5 +826,111 @@ mod tests {
         let d: Box<dyn Sample> = Box::new(Constant(2.0));
         assert_eq!(d.sample(&mut SeedDeriver::new(0).rng("x")), 2.0);
         assert_eq!(d.mean(), Some(2.0));
+    }
+
+    /// The `Dist` enum must draw the exact same stream as the trait
+    /// objects it replaces: same RNG state in, bit-identical samples
+    /// out, for every family and nested combinator.
+    #[test]
+    fn dist_enum_matches_trait_objects_bit_for_bit() {
+        let cases: Vec<(Dist, Box<dyn Sample>)> = vec![
+            (Constant(3.5).into(), Box::new(Constant(3.5))),
+            (
+                Uniform::new(2.0, 9.0).into(),
+                Box::new(Uniform::new(2.0, 9.0)),
+            ),
+            (
+                Exponential::with_mean(4.0).into(),
+                Box::new(Exponential::with_mean(4.0)),
+            ),
+            (
+                LogNormal::from_median_p90(3.0, 20.0).into(),
+                Box::new(LogNormal::from_median_p90(3.0, 20.0)),
+            ),
+            (
+                Pareto::new(1.0, 1.5).into(),
+                Box::new(Pareto::new(1.0, 1.5)),
+            ),
+            (
+                Empirical::new(vec![1.0, 2.0, 4.0, 8.0, 16.0]).into(),
+                Box::new(Empirical::new(vec![1.0, 2.0, 4.0, 8.0, 16.0])),
+            ),
+            (
+                Mixture::new(
+                    LogNormal::from_median_p90(2.0, 8.0),
+                    Pareto::new(5.0, 1.2),
+                    0.03,
+                )
+                .into(),
+                Box::new(Mixture::new(
+                    LogNormal::from_median_p90(2.0, 8.0),
+                    Pareto::new(5.0, 1.2),
+                    0.03,
+                )),
+            ),
+            (
+                Clamped::new(Pareto::new(1.0, 0.5), 0.0, 100.0).into(),
+                Box::new(Clamped::new(Pareto::new(1.0, 0.5), 0.0, 100.0)),
+            ),
+            (
+                Scaled::new(Uniform::new(1.0, 2.0), 2.5).into(),
+                Box::new(Scaled::new(Uniform::new(1.0, 2.0), 2.5)),
+            ),
+            (
+                Dist::clamped(
+                    Dist::mixture(LogNormal::new(1.0, 0.8), Pareto::new(3.0, 1.1), 0.1),
+                    0.5,
+                    50.0,
+                ),
+                Box::new(Clamped::new(
+                    Mixture::new(LogNormal::new(1.0, 0.8), Pareto::new(3.0, 1.1), 0.1),
+                    0.5,
+                    50.0,
+                )),
+            ),
+        ];
+        for (i, (dist, dynd)) in cases.iter().enumerate() {
+            // Static dispatch (the engine hot path) vs dynamic dispatch
+            // (the old seam) from identical seeds.
+            let mut r1 = SeedDeriver::new(99).rng_indexed("equiv", i as u64);
+            let mut r2 = SeedDeriver::new(99).rng_indexed("equiv", i as u64);
+            for _ in 0..500 {
+                let a = dist.sample_with(&mut r1);
+                let b = dynd.sample(&mut r2);
+                assert!(a.to_bits() == b.to_bits(), "case {i}: {a} != {b}");
+            }
+            match (dist.mean(), dynd.mean()) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "case {i} mean"),
+                (a, b) => assert_eq!(a, b, "case {i} mean"),
+            }
+        }
+    }
+
+    /// `Dist::Custom` keeps arbitrary `Sample` impls usable behind the
+    /// concrete seam.
+    #[test]
+    fn dist_custom_escape_hatch() {
+        struct AlwaysSeven;
+        impl Sample for AlwaysSeven {
+            fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+                7.0
+            }
+            fn mean(&self) -> Option<f64> {
+                Some(7.0)
+            }
+        }
+        let d = Dist::custom(std::sync::Arc::new(AlwaysSeven));
+        assert_eq!(d.sample_with(&mut SeedDeriver::new(0).rng("x")), 7.0);
+        assert_eq!(d.mean(), Some(7.0));
+        assert_eq!(format!("{d:?}"), "Custom(..)");
+    }
+
+    /// Cloning a `Dist::Empirical` shares the recorded values.
+    #[test]
+    fn empirical_clone_is_shallow() {
+        let d = Empirical::new(vec![1.0; 10_000]);
+        let e = d.clone();
+        assert!(std::ptr::eq(d.values().as_ptr(), e.values().as_ptr()));
+        assert_eq!(d, e);
     }
 }

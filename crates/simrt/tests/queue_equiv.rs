@@ -1,0 +1,130 @@
+//! Property proof that the bucketed event-queue backend is
+//! observationally identical to the `BinaryHeap` reference.
+//!
+//! Every simulator in this workspace depends on the queue's exact
+//! `(time, payload)` stream — same-instant events must pop in schedule
+//! order — so the bucketed backend is exercised here against the heap
+//! on randomized interleavings of schedules and pops, including heavy
+//! ties, far-future overflow events, and scheduling-at-now edge cases.
+
+use jockey_simrt::event::{EventQueue, QueueBackend};
+use jockey_simrt::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One step of an interleaved workload. Schedule offsets are relative
+/// to the queue's current "now" so generated programs never violate the
+/// no-scheduling-into-the-past contract.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule an event `offset_ms` after the last popped time.
+    Schedule { offset_ms: u64 },
+    /// Pop the next event (a no-op on an empty queue).
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted mix decoded from a selector: mostly short offsets
+    // (bucket window), some zero (same-instant ties), a few far-future
+    // ones (overflow path, > 262 s window), and pops.
+    (0_u8..9, 0_u64..5_000, 300_000_u64..3_000_000).prop_map(|(sel, short, far)| match sel {
+        0..=3 => Op::Schedule { offset_ms: short },
+        4 => Op::Schedule { offset_ms: 0 },
+        5 => Op::Schedule { offset_ms: far },
+        _ => Op::Pop,
+    })
+}
+
+proptest! {
+    /// Interleaved schedule/pop programs produce identical
+    /// `(time, payload)` streams on both backends, and draining the
+    /// remainder at the end agrees too.
+    #[test]
+    fn bucketed_matches_heap_on_interleaved_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut bucketed = EventQueue::with_backend(QueueBackend::Bucketed);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut next_id: u32 = 0;
+        for op in &ops {
+            match *op {
+                Op::Schedule { offset_ms } => {
+                    let at = bucketed.now() + SimDuration::from_millis(offset_ms);
+                    bucketed.schedule(at, next_id);
+                    heap.schedule(at, next_id);
+                    next_id += 1;
+                }
+                Op::Pop => {
+                    let a = bucketed.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(bucketed.len(), heap.len());
+            prop_assert_eq!(bucketed.peek_time(), heap.peek_time());
+            prop_assert_eq!(bucketed.now(), heap.now());
+        }
+        // Drain whatever is left: the tails must agree element-for-element.
+        loop {
+            let a = bucketed.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Bursts of same-instant events pop FIFO on the bucketed backend,
+    /// even when interleaved with pops and re-schedules at the popped
+    /// time.
+    #[test]
+    fn same_instant_bursts_pop_fifo(
+        burst_sizes in proptest::collection::vec(1_usize..20, 1..20),
+        gap_ms in 0_u64..2_000,
+    ) {
+        let mut q = EventQueue::with_backend(QueueBackend::Bucketed);
+        let mut reference = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut id: u32 = 0;
+        let mut t = SimTime::ZERO;
+        for &n in &burst_sizes {
+            for _ in 0..n {
+                q.schedule(t, id);
+                reference.schedule(t, id);
+                id += 1;
+            }
+            t += SimDuration::from_millis(gap_ms);
+        }
+        let mut popped = 0_usize;
+        while let Some((at, e)) = q.pop() {
+            prop_assert_eq!(Some((at, e)), reference.pop());
+            // FIFO across the whole program: ids were assigned in
+            // nondecreasing time order, so the stream is exactly 0..id.
+            prop_assert_eq!(e, popped as u32);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, id as usize);
+    }
+
+    /// Both backends reject scheduling before the last popped time, and
+    /// accept scheduling exactly at it.
+    #[test]
+    fn past_rejection_matches_on_both_backends(
+        first_ms in 1_u64..1_000_000,
+        behind_ms in 1_u64..1_000,
+    ) {
+        for backend in [QueueBackend::Bucketed, QueueBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(SimTime::from_millis(first_ms), 0_u8);
+            q.pop();
+            // Exactly at now: allowed.
+            q.schedule(q.now(), 1);
+            prop_assert_eq!(q.pop(), Some((SimTime::from_millis(first_ms), 1)));
+            // Strictly before now: rejected by panic.
+            let at = SimTime::from_millis(first_ms.saturating_sub(behind_ms));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                q.schedule(at, 2);
+            }));
+            prop_assert!(result.is_err(), "backend {backend:?} accepted a past event");
+        }
+    }
+}

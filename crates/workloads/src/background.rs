@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use jockey_cluster::JobSpec;
 use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
-use jockey_simrt::dist::{LogNormal, Sample};
+use jockey_simrt::dist::{Dist, LogNormal};
 use jockey_simrt::rng::SeedDeriver;
 use jockey_simrt::time::{SimDuration, SimTime};
 use rand::Rng;
@@ -112,11 +112,11 @@ impl BackgroundStream {
             }
         }
         let graph = Arc::new(b.build().expect("background shapes are valid"));
-        let runtime: Arc<dyn Sample> = Arc::new(LogNormal::from_median_p90(
+        let runtime = Dist::from(LogNormal::from_median_p90(
             self.task_median_secs * (0.5 + rng.gen::<f64>()),
             self.task_median_secs * 3.0,
         ));
-        let queue: Arc<dyn Sample> = Arc::new(LogNormal::from_median_p90(2.0, 6.0));
+        let queue = Dist::from(LogNormal::from_median_p90(2.0, 6.0));
         let n = graph.num_stages();
         let spec = JobSpec::new(
             graph,

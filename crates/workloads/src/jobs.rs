@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use jockey_cluster::JobSpec;
 use jockey_jobgraph::graph::{EdgeKind, JobGraph, JobGraphBuilder, StageId};
-use jockey_simrt::dist::{LogNormal, Sample};
+use jockey_simrt::dist::{Dist, LogNormal};
 use jockey_simrt::rng::SeedDeriver;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -342,16 +342,12 @@ pub fn generate(targets: JobTargets, seed: u64) -> GeneratedJob {
     // and unbounded log-normal maxima would distort `l_s` — the
     // longest-task statistic the Amdahl model builds its critical path
     // from.
-    let clamped = |median: f64, p90: f64| -> Arc<dyn Sample> {
+    let clamped = |median: f64, p90: f64| -> Dist {
         let m = median.max(0.05);
         let p = p90.max(m * 1.2);
-        Arc::new(jockey_simrt::dist::Clamped::new(
-            LogNormal::from_median_p90(m, p),
-            0.0,
-            p * 2.5,
-        ))
+        Dist::clamped(LogNormal::from_median_p90(m, p), 0.0, p * 2.5)
     };
-    let mut dists: Vec<Arc<dyn Sample>> = medians
+    let mut dists: Vec<Dist> = medians
         .iter()
         .zip(&ratios)
         .map(|(&m, &r)| clamped(m, m * r))
@@ -363,9 +359,7 @@ pub fn generate(targets: JobTargets, seed: u64) -> GeneratedJob {
         medians[fast_idx] = targets.p90_fastest / 1.8;
     }
 
-    let queues: Vec<Arc<dyn Sample>> = (0..targets.stages)
-        .map(|_| -> Arc<dyn Sample> { Arc::new(queue_dist()) })
-        .collect();
+    let queues: Vec<Dist> = (0..targets.stages).map(|_| queue_dist().into()).collect();
     let spec = JobSpec::new(
         graph.clone(),
         dists,
@@ -499,7 +493,7 @@ fn mixture_median(medians: &[f64], ratios: &[f64], weights: &[f64], rng: &mut St
             }
             pick -= w;
         }
-        samples.push(dists[idx].sample(rng));
+        samples.push(dists[idx].sample_with(rng));
     }
     jockey_simrt::stats::percentile(&samples, 50.0)
 }
@@ -529,7 +523,7 @@ mod tests {
             let mut samples = Vec::new();
             for s in j.graph.stage_ids() {
                 for _ in 0..j.graph.tasks_in(s).min(200) {
-                    samples.push(j.spec.stage_runtimes[s.index()].sample(&mut rng));
+                    samples.push(j.spec.stage_runtimes[s.index()].sample_with(&mut rng));
                 }
             }
             let med = stats::percentile(&samples, 50.0);
@@ -551,7 +545,7 @@ mod tests {
             .stage_ids()
             .map(|s| {
                 let d = &j.spec.stage_runtimes[s.index()];
-                let samples: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+                let samples: Vec<f64> = (0..500).map(|_| d.sample_with(&mut rng)).collect();
                 stats::percentile(&samples, 90.0)
             })
             .fold(0.0, f64::max);

@@ -66,9 +66,7 @@ pub fn scaled_spec(spec: &JobSpec, factor: f64) -> JobSpec {
     let runtimes = spec
         .stage_runtimes
         .iter()
-        .map(|d| -> std::sync::Arc<dyn jockey_simrt::dist::Sample> {
-            std::sync::Arc::new(jockey_simrt::dist::Scaled::new(d.clone(), factor))
-        })
+        .map(|d| jockey_simrt::dist::Dist::scaled(d.clone(), factor))
         .collect();
     JobSpec::new(
         spec.graph.clone(),

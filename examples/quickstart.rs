@@ -22,7 +22,7 @@ use jockey::core::oracle::oracle_allocation;
 use jockey::core::policy::{JockeySetup, Policy};
 use jockey::core::progress::ProgressIndicator;
 use jockey::scope::compile_script;
-use jockey::simrt::dist::{LogNormal, Sample};
+use jockey::simrt::dist::{Dist, LogNormal};
 use jockey::simrt::time::SimDuration;
 use jockey::workloads::recurring::training_profile;
 
@@ -47,13 +47,13 @@ fn main() {
     );
 
     // Task runtimes follow the compiler's per-stage cost hints.
-    let runtimes: Vec<Arc<dyn Sample>> = compiled
+    let runtimes: Vec<Dist> = compiled
         .stage_costs
         .iter()
-        .map(|&c| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(4.0 * c, 12.0 * c)) })
+        .map(|&c| LogNormal::from_median_p90(4.0 * c, 12.0 * c).into())
         .collect();
-    let queues: Vec<Arc<dyn Sample>> = (0..graph.num_stages())
-        .map(|_| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(3.0, 8.0)) })
+    let queues: Vec<Dist> = (0..graph.num_stages())
+        .map(|_| LogNormal::from_median_p90(3.0, 8.0).into())
         .collect();
     let spec = JobSpec::new(graph.clone(), runtimes, queues, 0.01, 42.0);
 

@@ -14,4 +14,7 @@ cargo bench --workspace --no-run
 # sampling) so the sharded path is exercised end to end, not just
 # compiled.
 JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench control_plane
+# Smoke-run the simulation-kernel bench so both queue backends, the
+# dyn/enum sampling pair and the C(p, a) table path all execute.
+JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench simrt_kernel
 echo "tier1: OK"

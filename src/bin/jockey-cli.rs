@@ -27,7 +27,7 @@ use jockey::core::progress::ProgressIndicator;
 use jockey::jobgraph::graph::JobGraph;
 use jockey::jobgraph::profile::JobProfile;
 use jockey::scope::compile_script;
-use jockey::simrt::dist::{LogNormal, Sample};
+use jockey::simrt::dist::{Dist, LogNormal};
 use jockey::simrt::table::KvStore;
 use jockey::simrt::time::SimDuration;
 use jockey::workloads::recurring::training_profile;
@@ -166,13 +166,13 @@ fn compile_file(path: &str) -> Result<jockey::scope::CompiledJob, String> {
 /// the quickstart: per-task medians of 4 s scaled by stage cost.
 fn spec_from_compiled(compiled: &jockey::scope::CompiledJob) -> JobSpec {
     let graph = Arc::new(compiled.graph.clone());
-    let runtimes: Vec<Arc<dyn Sample>> = compiled
+    let runtimes: Vec<Dist> = compiled
         .stage_costs
         .iter()
-        .map(|&c| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(4.0 * c, 12.0 * c)) })
+        .map(|&c| LogNormal::from_median_p90(4.0 * c, 12.0 * c).into())
         .collect();
-    let queues: Vec<Arc<dyn Sample>> = (0..graph.num_stages())
-        .map(|_| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(3.0, 8.0)) })
+    let queues: Vec<Dist> = (0..graph.num_stages())
+        .map(|_| LogNormal::from_median_p90(3.0, 8.0).into())
         .collect();
     JobSpec::new(graph, runtimes, queues, 0.01, 0.0)
 }

@@ -10,7 +10,7 @@ use jockey::core::oracle::oracle_allocation;
 use jockey::core::policy::{JockeySetup, Policy};
 use jockey::core::progress::ProgressIndicator;
 use jockey::scope::compile_script;
-use jockey::simrt::dist::{Constant, LogNormal, Sample};
+use jockey::simrt::dist::{Constant, Dist, LogNormal};
 use jockey::simrt::time::SimDuration;
 use jockey::workloads::recurring::training_profile;
 
@@ -28,13 +28,13 @@ fn small_job() -> JobSpec {
     )
     .expect("script compiles");
     let graph = Arc::new(compiled.graph);
-    let runtimes: Vec<Arc<dyn Sample>> = compiled
+    let runtimes: Vec<Dist> = compiled
         .stage_costs
         .iter()
-        .map(|&c| -> Arc<dyn Sample> { Arc::new(LogNormal::from_median_p90(3.0 * c, 7.0 * c)) })
+        .map(|&c| LogNormal::from_median_p90(3.0 * c, 7.0 * c).into())
         .collect();
-    let queues: Vec<Arc<dyn Sample>> = (0..graph.num_stages())
-        .map(|_| -> Arc<dyn Sample> { Arc::new(Constant(0.5)) })
+    let queues: Vec<Dist> = (0..graph.num_stages())
+        .map(|_| Constant(0.5).into())
         .collect();
     JobSpec::new(graph, runtimes, queues, 0.01, 5.0)
 }
