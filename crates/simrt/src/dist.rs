@@ -295,7 +295,7 @@ impl Empirical {
     /// Draws one value through a statically-dispatched RNG.
     #[inline]
     pub fn sample_with<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
-        let i = (rng.gen::<u64>() % self.values.len() as u64) as usize;
+        let i = rng.gen_range(0..self.values.len() as u64) as usize;
         self.values[i]
     }
 }
