@@ -840,6 +840,52 @@ mod persistence_tests {
         }
     }
 
+    /// The on-disk artifact cache persists trained models through the
+    /// `to_kv` → `to_text` → `from_text` → `from_kv` path, so a warm
+    /// cache is only byte-equivalent to retraining if that full text
+    /// round-trip is *bit*-identical — Rust's `{}` float formatting is
+    /// shortest-round-trip, and this test is the proof.
+    #[test]
+    fn kv_text_round_trip_is_bit_identical() {
+        let mut b = JobGraphBuilder::new("persist-text");
+        let m = b.stage("map", 9);
+        let r = b.stage("reduce", 3);
+        b.edge(m, r, EdgeKind::AllToAll);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph.clone(), Constant(7.0), Constant(0.5), 0.0);
+        let mut sim = ClusterSim::new(ClusterConfig::dedicated(4), 11);
+        sim.add_job(spec, Box::new(FixedAllocation(4)));
+        let profile = sim.run_single().profile;
+        let ctx = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let model = CpaModel::train(&graph, &profile, &ctx, &TrainConfig::fast(vec![2, 4, 6]), 5);
+
+        let text = model.to_kv().to_text();
+        let kv = jockey_simrt::table::KvStore::from_text(&text).expect("parses");
+        let round = CpaModel::from_kv(&kv).expect("text round-trips");
+
+        // Fixed point: re-serializing reproduces the exact same text,
+        // which covers every stored sample bit-for-bit (any mantissa
+        // drift would change the shortest-round-trip rendering).
+        assert_eq!(round.to_kv().to_text(), text);
+
+        // And the query surface agrees bitwise, at the configured and
+        // at explicit percentiles.
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for a in [1, 2, 3, 4, 5, 6, 9] {
+                assert_eq!(
+                    round.remaining(p, a).to_bits(),
+                    model.remaining(p, a).to_bits(),
+                    "remaining(p={p}, a={a})"
+                );
+                assert_eq!(
+                    round.remaining_percentile(p, a, 90.0).to_bits(),
+                    model.remaining_percentile(p, a, 90.0).to_bits(),
+                    "remaining_percentile(p={p}, a={a})"
+                );
+            }
+        }
+    }
+
     #[test]
     fn from_kv_rejects_malformed() {
         let kv = jockey_simrt::table::KvStore::new();

@@ -1,0 +1,8 @@
+//! `jockey-repro`: the single pipeline CLI reproducing any subset of
+//! the paper's figures and tables (`--list` shows the registry).
+
+fn main() {
+    std::process::exit(jockey_experiments::cli::main_with_args(
+        std::env::args().skip(1),
+    ));
+}

@@ -1,101 +1,9 @@
-//! Regenerates every table and figure of the paper in one run,
-//! sharing the trained environment and the §5.2 policy sweep.
-use jockey_experiments::{figures, report};
+//! Regenerates every table and figure of the paper in one run — an
+//! alias for `jockey-repro` with no selection, kept for muscle memory
+//! and existing scripts. Flags are passed through to the CLI.
 
 fn main() {
-    let env = jockey_experiments::bin_env();
-
-    report::emit(
-        "table1",
-        "Table 1: CoV of completion time across runs of recurring jobs",
-        &figures::table1::run(&env),
-    );
-    report::emit(
-        "fig1",
-        "Fig. 1: dependence between jobs (CDFs)",
-        &figures::fig1::run(&env),
-    );
-    report::emit(
-        "table2",
-        "Table 2: statistics of evaluation jobs, measured (target)",
-        &figures::table2::run(&env),
-    );
-    for (name, dot) in figures::fig3::run(&env) {
-        report::emit_text(&name, &dot);
-    }
-
-    eprintln!("[jockey] running §5.2 policy sweep...");
-    let outcomes = figures::sweep::run(&env);
-    report::emit(
-        "fig4",
-        "Fig. 4: fraction of deadlines missed vs. allocation above oracle",
-        &figures::fig4::table(&outcomes),
-    );
-    report::emit(
-        "fig5",
-        "Fig. 5: CDFs of completion time relative to deadline",
-        &figures::fig5::table(&outcomes),
-    );
-
-    let scenarios = figures::fig6::run(&env);
-    report::emit(
-        "fig6_summary",
-        "Fig. 6: adaptive run scenarios",
-        &figures::fig6::summary(&scenarios),
-    );
-    for s in &scenarios {
-        report::emit(
-            &format!("fig6{}", s.label),
-            &format!("Fig. 6({}): {}", s.label, s.description),
-            &figures::fig6::series_table(s),
-        );
-    }
-    let (t3, _) = figures::table3::run(&env);
-    report::emit("table3", "Table 3: training vs. actual runs of job F", &t3);
-    report::emit(
-        "fig7",
-        "Fig. 7 / §5.2: adapting to deadline changes",
-        &figures::fig7::run(&env),
-    );
-    report::emit(
-        "fig8",
-        "Fig. 8: average prediction error by allocation",
-        &figures::fig8::run(&env),
-    );
-    report::emit(
-        "fig9",
-        "Fig. 9: totalworkWithQ vs CP indicator traces",
-        &figures::fig9::run(&env),
-    );
-    report::emit(
-        "fig10",
-        "Fig. 10: comparison of progress indicators",
-        &figures::fig10::run(&env),
-    );
-    report::emit(
-        "fig11",
-        "Fig. 11: sensitivity analysis",
-        &figures::fig11::run(&env),
-    );
-    report::emit(
-        "fig12",
-        "Fig. 12: sensitivity of the slack parameter",
-        &figures::fig12::run(&env),
-    );
-    report::emit(
-        "fig13",
-        "Fig. 13: sensitivity of the hysteresis parameter",
-        &figures::fig13::run(&env),
-    );
-    report::emit(
-        "ext",
-        "Extensions: controller variants under 1.5x work",
-        &figures::ext::run(&env),
-    );
-    report::emit(
-        "appendix_parallelism",
-        "Appendix: parallelism profiles (3.3)",
-        &figures::appendix::run(&env),
-    );
-    eprintln!("[jockey] all experiments complete.");
+    std::process::exit(jockey_experiments::cli::main_with_args(
+        std::env::args().skip(1),
+    ));
 }

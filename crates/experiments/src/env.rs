@@ -87,6 +87,9 @@ pub struct Env {
     pub seed: u64,
     /// All evaluation jobs (detailed ones first).
     pub jobs: Vec<EvalJob>,
+    /// How many jobs' trained artifacts were loaded from the on-disk
+    /// artifact cache rather than retrained (0 without a cache).
+    pub cache_hits: usize,
 }
 
 /// Tokens used for the training ("production") run of each job.
@@ -103,6 +106,31 @@ impl Env {
     /// executions, trains `C(p, a)` tables, and derives deadlines.
     /// Parallelized across jobs; deterministic in `seed`.
     pub fn build(scale: Scale, seed: u64) -> Env {
+        Env::build_cached(scale, seed, None)
+    }
+
+    /// [`Env::build`] with an optional on-disk artifact cache: when
+    /// `cache` is set, each job's expensive trained parts (the
+    /// `C(p, a)` table and unconstrained stage windows) are loaded
+    /// from `cache` when a content-keyed entry exists and stored there
+    /// after training otherwise. The cache key covers the scale's
+    /// training configuration, the training seed, and the job's graph
+    /// and training profile (see
+    /// [`train_cache_key`](crate::artifact::train_cache_key)), and the
+    /// `C(p, a)` text round-trip is bit-identical, so a warm build is
+    /// byte-equivalent to a cold one — only faster. Corrupted or
+    /// mismatched entries fall back to retraining.
+    pub fn build_cached(scale: Scale, seed: u64, cache: Option<&std::path::Path>) -> Env {
+        use crate::artifact::{load_trained, store_trained, train_cache_key, TrainedParts};
+
+        if let Some(dir) = cache {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "[jockey] warning: cannot create artifact cache {}: {e}",
+                    dir.display()
+                );
+            }
+        }
         let train_cfg = scale.train_config();
         let gens: Vec<(GeneratedJob, bool)> = match scale {
             Scale::Smoke => smoke_jobs(seed).into_iter().map(|g| (g, true)).collect(),
@@ -124,32 +152,83 @@ impl Env {
             }
         };
 
-        let jobs = parallel_map(
+        let built = parallel_map(
             gens.into_iter().enumerate().collect(),
             |(i, (gen, detailed))| {
                 let profile =
                     training_profile(&gen.spec, TRAINING_TOKENS, seed ^ ((i as u64) << 8));
-                let setup = JockeySetup::train(
-                    gen.graph.clone(),
-                    profile.clone(),
-                    ProgressIndicator::TotalWorkWithQ,
-                    &train_cfg,
-                    seed ^ train_seed(i),
-                );
+                let key = cache.map(|_| {
+                    train_cache_key(
+                        scale,
+                        &train_cfg,
+                        seed ^ train_seed(i),
+                        gen.graph.name(),
+                        &gen.graph,
+                        &profile,
+                    )
+                });
+                let cached: Option<TrainedParts> = match (cache, key) {
+                    (Some(dir), Some(key)) => load_trained(dir, key),
+                    _ => None,
+                };
+                let hit = cached.is_some();
+                let setup = match cached {
+                    Some(parts) => JockeySetup {
+                        graph: gen.graph.clone(),
+                        profile: profile.clone(),
+                        cpa: std::sync::Arc::new(parts.cpa),
+                        indicator: ProgressIndicator::TotalWorkWithQ,
+                        rel_inf: parts.rel_inf,
+                        max_tokens: *train_cfg
+                            .allocations
+                            .last()
+                            .expect("non-empty allocation grid"),
+                    },
+                    None => {
+                        let setup = JockeySetup::train(
+                            gen.graph.clone(),
+                            profile.clone(),
+                            ProgressIndicator::TotalWorkWithQ,
+                            &train_cfg,
+                            seed ^ train_seed(i),
+                        );
+                        if let (Some(dir), Some(key)) = (cache, key) {
+                            store_trained(
+                                dir,
+                                key,
+                                &TrainedParts {
+                                    cpa: (*setup.cpa).clone(),
+                                    rel_inf: setup.rel_inf.clone(),
+                                },
+                            );
+                        }
+                        setup
+                    }
+                };
                 let p90_at_max = setup.cpa.remaining_percentile(0.0, setup.max_tokens, 90.0);
                 let deadline_mins = (p90_at_max * DEADLINE_FACTOR / 60.0).ceil().max(5.0);
                 let deadline = SimDuration::from_mins(deadline_mins as u64);
-                EvalJob {
-                    gen,
-                    profile,
-                    setup,
-                    deadline,
-                    detailed,
-                }
+                (
+                    EvalJob {
+                        gen,
+                        profile,
+                        setup,
+                        deadline,
+                        detailed,
+                    },
+                    hit,
+                )
             },
         );
 
-        Env { scale, seed, jobs }
+        let cache_hits = built.iter().filter(|(_, hit)| *hit).count();
+        let jobs = built.into_iter().map(|(job, _)| job).collect();
+        Env {
+            scale,
+            seed,
+            jobs,
+            cache_hits,
+        }
     }
 
     /// The detailed jobs (A–G at Quick/Full, all jobs at Smoke).

@@ -40,6 +40,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for the appendix parallelism profiles.
+pub struct AppendixExperiment;
+
+impl crate::experiment::Experiment for AppendixExperiment {
+    fn name(&self) -> &'static str {
+        "appendix"
+    }
+    fn title(&self) -> &'static str {
+        "Appendix: parallelism profiles (3.3)"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "appendix_parallelism".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,14 +73,14 @@ mod tests {
         let env = Env::build(Scale::Smoke, 37);
         let t = run(&env);
         assert_eq!(t.len(), env.detailed().len());
-        for line in t.to_tsv().lines().skip(1) {
-            let cells: Vec<&str> = line.split('\t').collect();
-            let widest: u64 = cells[2].parse().unwrap();
-            let narrowest: u64 = cells[3].parse().unwrap();
-            let useful: u64 = cells[4].parse().unwrap();
+        let tsv = t.to_tsv();
+        for row in 0..t.len() {
+            let widest: u64 = crate::report::parse_cell("appendix", &tsv, row, 2);
+            let narrowest: u64 = crate::report::parse_cell("appendix", &tsv, row, 3);
+            let useful: u64 = crate::report::parse_cell("appendix", &tsv, row, 4);
             assert!(widest >= narrowest);
             assert_eq!(useful, widest);
-            let speedup: f64 = cells[5].parse().unwrap();
+            let speedup: f64 = crate::report::parse_cell("appendix", &tsv, row, 5);
             assert!(speedup >= 1.0);
         }
     }

@@ -64,6 +64,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for the extensions table.
+pub struct ExtExperiment;
+
+impl crate::experiment::Experiment for ExtExperiment {
+    fn name(&self) -> &'static str {
+        "ext"
+    }
+    fn title(&self) -> &'static str {
+        "Extensions: controller variants under 1.5x work"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "ext".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,14 +101,8 @@ mod tests {
         assert!(tsv.contains("recalibration"));
         assert!(tsv.contains("fallback guard"));
         // All variants parse and report sane met-rates.
-        for line in tsv.lines().skip(1) {
-            let met: f64 = line
-                .split('\t')
-                .nth(2)
-                .unwrap()
-                .trim_end_matches('%')
-                .parse()
-                .unwrap();
+        for row in 0..t.len() {
+            let met = crate::report::parse_pct_cell("ext", &tsv, row, 2);
             assert!((0.0..=100.0).contains(&met));
         }
     }

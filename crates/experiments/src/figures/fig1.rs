@@ -58,6 +58,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Fig. 1.
+pub struct Fig1Experiment;
+
+impl crate::experiment::Experiment for Fig1Experiment {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 1: dependence between jobs (CDFs)"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig1".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -107,6 +107,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Fig. 10.
+pub struct Fig10Experiment;
+
+impl crate::experiment::Experiment for Fig10Experiment {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 10: comparison of progress indicators"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig10".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,12 +142,8 @@ mod tests {
         assert_eq!(t.len(), 6);
         let tsv = t.to_tsv();
         let stuck_of = |name: &str| -> f64 {
-            tsv.lines()
-                .find(|l| l.starts_with(name))
-                .and_then(|l| l.split('\t').nth(2))
-                .unwrap()
-                .parse()
-                .unwrap()
+            let row = crate::report::find_row("fig10", &tsv, name);
+            crate::report::parse_cell("fig10", &tsv, row, 2)
         };
         let work = stuck_of("totalworkWithQ");
         let minstage = stuck_of("minstage\t");

@@ -117,6 +117,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Fig. 11.
+pub struct Fig11Experiment;
+
+impl crate::experiment::Experiment for Fig11Experiment {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 11: sensitivity analysis"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig11".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,14 +155,8 @@ mod tests {
         assert!(tsv.contains("no hysteresis, no deadzone"));
         assert!(tsv.contains("CP progress"));
         // Baseline met-rate parses as a percentage.
-        let met: f64 = tsv
-            .lines()
-            .find(|l| l.starts_with("baseline"))
-            .and_then(|l| l.split('\t').nth(1))
-            .unwrap()
-            .trim_end_matches('%')
-            .parse()
-            .unwrap();
+        let row = crate::report::find_row("fig11", &tsv, "baseline");
+        let met: f64 = crate::report::parse_pct_cell("fig11", &tsv, row, 1);
         assert!((0.0..=100.0).contains(&met));
     }
 }

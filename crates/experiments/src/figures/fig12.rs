@@ -54,6 +54,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Fig. 12.
+pub struct Fig12Experiment;
+
+impl crate::experiment::Experiment for Fig12Experiment {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 12: sensitivity of the slack parameter"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig12".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,11 +87,9 @@ mod tests {
         let env = Env::build(Scale::Smoke, 29);
         let t = run(&env);
         assert_eq!(t.len(), SLACKS.len());
-        let firsts: Vec<f64> = t
-            .to_tsv()
-            .lines()
-            .skip(1)
-            .map(|l| l.split('\t').nth(4).unwrap().parse().unwrap())
+        let tsv = t.to_tsv();
+        let firsts: Vec<f64> = (0..t.len())
+            .map(|row| crate::report::parse_cell("fig12", &tsv, row, 4))
             .collect();
         // Fig. 12: initial allocation grows with slack.
         assert!(

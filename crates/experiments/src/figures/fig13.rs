@@ -53,6 +53,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Fig. 13.
+pub struct Fig13Experiment;
+
+impl crate::experiment::Experiment for Fig13Experiment {
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 13: sensitivity of the hysteresis parameter"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig13".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,11 +88,9 @@ mod tests {
         assert_eq!(t.len(), ALPHAS.len());
         // Max allocation should not shrink as smoothing is removed
         // (the paper finds higher α ⇒ much higher max allocations).
-        let maxes: Vec<f64> = t
-            .to_tsv()
-            .lines()
-            .skip(1)
-            .map(|l| l.split('\t').nth(5).unwrap().parse().unwrap())
+        let tsv = t.to_tsv();
+        let maxes: Vec<f64> = (0..t.len())
+            .map(|row| crate::report::parse_cell("fig13", &tsv, row, 5))
             .collect();
         assert!(maxes.iter().all(|&m| m >= 1.0), "{maxes:?}");
     }

@@ -19,6 +19,29 @@ pub fn run(env: &Env) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Pipeline registration for Fig. 3 (one Graphviz file per detailed
+/// job).
+pub struct Fig3Experiment;
+
+impl crate::experiment::Experiment for Fig3Experiment {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 3: stage dependency graphs (Graphviz)"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        run(env)
+            .into_iter()
+            .map(|(filename, text)| crate::experiment::Emission::Text { filename, text })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,29 +68,50 @@ pub fn misses_table(outcomes: &[SloOutcome]) -> Table {
     t
 }
 
-/// Runs the sweep and aggregates (standalone entry point).
-pub fn run(env: &crate::env::Env) -> Table {
-    let outcomes = sweep::run(env);
-    crate::report::emit(
-        "fig4_misses",
-        "Fig. 4 diagnostics: missed runs",
-        &misses_table(&outcomes),
-    );
-    table(&outcomes)
+/// Pipeline registration for Fig. 4 (consumes the shared §5.2 sweep).
+pub struct Fig4Experiment;
+
+impl crate::experiment::Experiment for Fig4Experiment {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 4: fraction of deadlines missed vs. allocation above oracle"
+    }
+    fn needs(&self) -> &'static [crate::artifact::ArtifactId] {
+        &[crate::artifact::ArtifactId::Sweep]
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        let outcomes = store.sweep(env);
+        vec![crate::experiment::Emission::Table {
+            name: "fig4".into(),
+            title: self.title().into(),
+            table: table(&outcomes),
+        }]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::artifact::ArtifactStore;
     use crate::env::{Env, Scale};
 
     #[test]
     fn aggregates_have_one_row_per_policy() {
         let env = Env::build(Scale::Smoke, 3);
-        let t = run(&env);
+        let outcomes = ArtifactStore::new().sweep(&env);
+        let t = table(&outcomes);
         assert_eq!(t.len(), 4);
         let tsv = t.to_tsv();
         assert!(tsv.contains("Jockey"));
         assert!(tsv.contains("max allocation"));
+        // Diagnostics table lists exactly the missed runs.
+        let missed = outcomes.iter().filter(|o| !o.met).count();
+        assert_eq!(misses_table(&outcomes).len(), missed);
     }
 }

@@ -31,29 +31,53 @@ pub fn table(outcomes: &[SloOutcome]) -> Table {
     t
 }
 
-/// Runs the sweep and emits the CDFs (standalone entry point).
-pub fn run(env: &crate::env::Env) -> Table {
-    table(&sweep::run(env))
+/// Pipeline registration for Fig. 5 (consumes the shared §5.2 sweep).
+pub struct Fig5Experiment;
+
+impl crate::experiment::Experiment for Fig5Experiment {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 5: CDFs of completion time relative to deadline"
+    }
+    fn needs(&self) -> &'static [crate::artifact::ArtifactId] {
+        &[crate::artifact::ArtifactId::Sweep]
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        let outcomes = store.sweep(env);
+        vec![crate::experiment::Emission::Table {
+            name: "fig5".into(),
+            title: self.title().into(),
+            table: table(&outcomes),
+        }]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::artifact::ArtifactStore;
     use crate::env::{Env, Scale};
+    use crate::report::parse_cell;
 
     #[test]
     fn cdf_rows_are_monotone_per_policy() {
         let env = Env::build(Scale::Smoke, 3);
-        let t = run(&env);
+        let t = table(&ArtifactStore::new().sweep(&env));
         assert!(t.len() >= 4);
         // Parse back and verify monotone CDF values per policy.
         let tsv = t.to_tsv();
         let mut last: std::collections::HashMap<String, f64> = Default::default();
-        for line in tsv.lines().skip(1) {
-            let cells: Vec<&str> = line.split('\t').collect();
-            let cdf: f64 = cells[2].parse().unwrap();
-            let prev = last.insert(cells[0].to_string(), cdf).unwrap_or(0.0);
-            assert!(cdf >= prev, "CDF decreased for {}", cells[0]);
+        for row in 0..t.len() {
+            let policy = crate::report::cell("fig5", &tsv, row, 0).to_string();
+            let cdf: f64 = parse_cell("fig5", &tsv, row, 2);
+            let prev = last.insert(policy.clone(), cdf).unwrap_or(0.0);
+            assert!(cdf >= prev, "CDF decreased for {policy}");
         }
     }
 }

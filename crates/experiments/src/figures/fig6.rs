@@ -154,6 +154,42 @@ pub fn end_of(s: &Scenario) -> SimTime {
         .unwrap_or(SimTime::ZERO)
 }
 
+/// Pipeline registration for Fig. 6 (consumes the shared scenario
+/// traces; emits the summary plus one series table per scenario).
+pub struct Fig6Experiment;
+
+impl crate::experiment::Experiment for Fig6Experiment {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 6: adaptive run scenarios"
+    }
+    fn needs(&self) -> &'static [crate::artifact::ArtifactId] {
+        &[crate::artifact::ArtifactId::Fig6Scenarios]
+    }
+    fn run(
+        &self,
+        env: &Env,
+        store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        let scenarios = store.fig6_scenarios(env);
+        let mut out = vec![crate::experiment::Emission::Table {
+            name: "fig6_summary".into(),
+            title: self.title().into(),
+            table: summary(&scenarios),
+        }];
+        for s in scenarios.iter() {
+            out.push(crate::experiment::Emission::Table {
+                name: format!("fig6{}", s.label),
+                title: format!("Fig. 6({}): {}", s.label, s.description),
+                table: series_table(s),
+            });
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,29 @@ fn allocation_change(o: &SloOutcome, change_at: SimTime) -> Option<f64> {
     Some((stats::mean(&after) - b) / b)
 }
 
+/// Pipeline registration for Fig. 7.
+pub struct Fig7Experiment;
+
+impl crate::experiment::Experiment for Fig7Experiment {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 7 / §5.2: adapting to deadline changes"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig7".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,13 +137,8 @@ mod tests {
         let t = run(&env);
         assert_eq!(t.len(), 3);
         let tsv = t.to_tsv();
-        let rows: Vec<Vec<String>> = tsv
-            .lines()
-            .skip(1)
-            .map(|l| l.split('\t').map(str::to_string).collect())
-            .collect();
         // Row order: 0.5, 2, 3. Parse "NN%" change column.
-        let change = |i: usize| -> f64 { rows[i][3].trim_end_matches('%').parse().unwrap() };
+        let change = |i: usize| -> f64 { crate::report::parse_pct_cell("fig7", &tsv, i, 3) };
         // Halving increases allocation; tripling releases at least as
         // much as doubling.
         assert!(

@@ -95,6 +95,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Fig. 8.
+pub struct Fig8Experiment;
+
+impl crate::experiment::Experiment for Fig8Experiment {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 8: average prediction error by allocation"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig8".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,12 +128,12 @@ mod tests {
         let env = Env::build(Scale::Smoke, 21);
         let t = run(&env);
         assert_eq!(t.len(), 4);
+        let tsv = t.to_tsv();
         let mut sim_total = 0.0;
         let mut amdahl_total = 0.0;
-        for line in t.to_tsv().lines().skip(1) {
-            let cells: Vec<&str> = line.split('\t').collect();
-            let sim: f64 = cells[1].parse().unwrap();
-            let amdahl: f64 = cells[2].parse().unwrap();
+        for row in 0..t.len() {
+            let sim: f64 = crate::report::parse_cell("fig8", &tsv, row, 1);
+            let amdahl: f64 = crate::report::parse_cell("fig8", &tsv, row, 2);
             assert!(sim < 100.0, "simulator error implausible: {sim}");
             sim_total += sim;
             amdahl_total += amdahl;

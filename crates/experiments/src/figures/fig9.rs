@@ -54,6 +54,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Fig. 9.
+pub struct Fig9Experiment;
+
+impl crate::experiment::Experiment for Fig9Experiment {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+    fn title(&self) -> &'static str {
+        "Fig. 9: totalworkWithQ vs CP indicator traces"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "fig9".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,8 +90,8 @@ mod tests {
         assert!(tsv.contains("totalworkWithQ"));
         assert!(tsv.contains("CP"));
         // Progress values stay within [0, 100].
-        for line in tsv.lines().skip(1) {
-            let p: f64 = line.split('\t').nth(2).unwrap().parse().unwrap();
+        for row in 0..t.len() {
+            let p: f64 = crate::report::parse_cell("fig9", &tsv, row, 2);
             assert!((0.0..=100.0).contains(&p), "progress {p}");
         }
     }

@@ -153,6 +153,29 @@ pub fn run(env: &Env) -> Table {
     t
 }
 
+/// Pipeline registration for Table 1.
+pub struct Table1Experiment;
+
+impl crate::experiment::Experiment for Table1Experiment {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn title(&self) -> &'static str {
+        "Table 1: CoV of completion time across runs of recurring jobs"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "table1".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,13 +187,8 @@ mod tests {
         let t = run(&env);
         assert_eq!(t.len(), 3);
         let tsv = t.to_tsv();
-        let rows: Vec<Vec<&str>> = tsv
-            .lines()
-            .skip(1)
-            .map(|l| l.split('\t').collect())
-            .collect();
-        let all_p50: f64 = rows[0][2].parse().unwrap();
-        let sim_p50: f64 = rows[1][2].parse().unwrap();
+        let all_p50: f64 = crate::report::parse_cell("table1", &tsv, 0, 2);
+        let sim_p50: f64 = crate::report::parse_cell("table1", &tsv, 1, 2);
         assert!(all_p50 > 0.0, "no variance measured");
         // Same-input runs should vary no more than all runs (they
         // remove the input-size component of variance).
@@ -186,13 +204,8 @@ mod tests {
         let env = Env::build(Scale::Smoke, 7);
         let t = run(&env);
         let tsv = t.to_tsv();
-        let rows: Vec<Vec<&str>> = tsv
-            .lines()
-            .skip(1)
-            .map(|l| l.split('\t').collect())
-            .collect();
-        let all_p50: f64 = rows[0][2].parse().unwrap();
-        let guar_p50: f64 = rows[2][2].parse().unwrap();
+        let all_p50: f64 = crate::report::parse_cell("table1", &tsv, 0, 2);
+        let guar_p50: f64 = crate::report::parse_cell("table1", &tsv, 2, 2);
         assert!(
             guar_p50 <= all_p50,
             "guaranteed-only {guar_p50} above spare-using {all_p50}"

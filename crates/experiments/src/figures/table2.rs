@@ -83,6 +83,29 @@ fn stage_p90s(j: &crate::env::EvalJob) -> Vec<f64> {
         .collect()
 }
 
+/// Pipeline registration for Table 2.
+pub struct Table2Experiment;
+
+impl crate::experiment::Experiment for Table2Experiment {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+    fn title(&self) -> &'static str {
+        "Table 2: statistics of evaluation jobs, measured (target)"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "table2".into(),
+            title: self.title().into(),
+            table: run(env),
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

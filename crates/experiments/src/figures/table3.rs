@@ -81,6 +81,30 @@ fn pooled_percentile(p: &JobProfile, q: f64, queues: bool) -> f64 {
     }
 }
 
+/// Pipeline registration for Table 3.
+pub struct Table3Experiment;
+
+impl crate::experiment::Experiment for Table3Experiment {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+    fn title(&self) -> &'static str {
+        "Table 3: training vs. actual runs of job F"
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        _store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        let (table, _) = run(env);
+        vec![crate::experiment::Emission::Table {
+            name: "table3".into(),
+            title: self.title().into(),
+            table,
+        }]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

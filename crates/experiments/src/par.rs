@@ -37,9 +37,37 @@ where
     I: Fn() -> S + Send + Sync,
     F: Fn(&mut S, T) -> R + Send + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
+    parallel_map_threads(items, None, init, f)
+}
+
+/// [`parallel_map_with`] with an explicit worker count: `threads` of
+/// `None` uses the machine's available parallelism, `Some(n)` pins
+/// exactly `n` workers (the pipeline runner's `--jobs` knob). Results
+/// are returned in input order regardless of the worker count, so any
+/// two thread counts produce identical output for deterministic `f`.
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `f`.
+pub fn parallel_map_threads<T, R, S, I, F>(
+    items: Vec<T>,
+    threads: Option<usize>,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Send + Sync,
+    F: Fn(&mut S, T) -> R + Send + Sync,
+{
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+        .max(1)
         .min(items.len().max(1));
     let n = items.len();
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -96,6 +124,15 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let serial =
+            parallel_map_threads((0..50).collect::<Vec<i32>>(), Some(1), || (), |(), i| i * 3);
+        let four =
+            parallel_map_threads((0..50).collect::<Vec<i32>>(), Some(4), || (), |(), i| i * 3);
+        assert_eq!(serial, four);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! The DAG-aware pipeline runner.
+//!
+//! Takes a selection of registered [`Experiment`]s, topologically
+//! orders them together with the shared [`ArtifactId`]s they need, and
+//! executes each dependency level on the [`par`](crate::par) worker
+//! pool (`--jobs` pins the worker count). Computation is parallel;
+//! emission is serialized in registry order, so the console output and
+//! every results file are byte-identical at any worker count.
+//!
+//! Per-experiment panics and output-write failures are caught and
+//! collected in the [`RunReport`] instead of aborting the whole
+//! reproduction; the CLI exits nonzero at the end when any experiment
+//! failed.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::artifact::{fnv1a, ArtifactId, ArtifactStore};
+use crate::env::Env;
+use crate::experiment::{registry, Emission, Experiment};
+use crate::par::parallel_map_threads;
+use crate::report;
+
+/// What to run and how.
+pub struct RunnerConfig {
+    /// Restrict to these experiment names (registry order is kept);
+    /// `None` runs everything.
+    pub only: Option<Vec<String>>,
+    /// Worker threads per dependency level (`None`: available
+    /// parallelism).
+    pub jobs: Option<usize>,
+    /// Directory results are written to.
+    pub out_dir: PathBuf,
+}
+
+impl RunnerConfig {
+    /// Runs everything into the default results directory.
+    pub fn all() -> RunnerConfig {
+        RunnerConfig {
+            only: None,
+            jobs: None,
+            out_dir: report::results_dir(),
+        }
+    }
+}
+
+/// One experiment's fate in a pipeline run.
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// Experiment name.
+    pub name: &'static str,
+    /// Wall-clock milliseconds spent computing (not emitting).
+    pub millis: u128,
+    /// Emitted files as `(relative path, fnv1a of contents)`.
+    pub emissions: Vec<(String, u64)>,
+    /// Why the experiment failed (panic message or write error), if it
+    /// did.
+    pub error: Option<String>,
+}
+
+/// The full run's report.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-experiment outcomes, in registry (emission) order.
+    pub outcomes: Vec<ExperimentOutcome>,
+}
+
+impl RunReport {
+    /// Whether any experiment failed.
+    pub fn failed(&self) -> bool {
+        self.outcomes.iter().any(|o| o.error.is_some())
+    }
+}
+
+/// Resolves `only` names against the registry, preserving registry
+/// order; errors on unknown names.
+pub fn select(only: Option<&[String]>) -> Result<Vec<&'static dyn Experiment>, String> {
+    match only {
+        None => Ok(registry().to_vec()),
+        Some(names) => {
+            let unknown: Vec<&String> = names
+                .iter()
+                .filter(|n| crate::experiment::find(n).is_none())
+                .collect();
+            if !unknown.is_empty() {
+                let known: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+                return Err(format!(
+                    "unknown experiment(s) {unknown:?}; known: {}",
+                    known.join(", ")
+                ));
+            }
+            Ok(registry()
+                .iter()
+                .copied()
+                .filter(|e| names.iter().any(|n| n == e.name()))
+                .collect())
+        }
+    }
+}
+
+/// A computed experiment slot: the emissions (or panic message) plus
+/// compute wall-clock millis.
+type Computed = Option<(Result<Vec<Emission>, String>, u128)>;
+
+/// One schedulable DAG node: produce a shared artifact or compute an
+/// experiment's emissions.
+enum Task {
+    Artifact(ArtifactId),
+    Experiment(usize),
+}
+
+/// Kahn-style level assignment over the artifact/experiment DAG:
+/// artifact level = 1 + max(level of needed artifacts) (0 when
+/// independent); experiment level = 1 + max(level of needed
+/// artifacts) (0 when independent). Tasks within one level are
+/// mutually independent and safe to run concurrently.
+fn levels(selected: &[&'static dyn Experiment]) -> Vec<Vec<Task>> {
+    // Artifacts needed by the selection, transitively.
+    let mut needed: Vec<ArtifactId> = Vec::new();
+    let mut frontier: Vec<ArtifactId> = selected
+        .iter()
+        .flat_map(|e| e.needs().iter().copied())
+        .collect();
+    while let Some(a) = frontier.pop() {
+        if !needed.contains(&a) {
+            needed.push(a);
+            frontier.extend(a.needs().iter().copied());
+        }
+    }
+    // Deterministic order regardless of selection order.
+    needed.sort_by_key(|a| ArtifactId::ALL.iter().position(|b| b == a));
+
+    let mut artifact_level: HashMap<ArtifactId, usize> = HashMap::new();
+    // needs() forms a DAG; iterate until fixed point (tiny N).
+    while artifact_level.len() < needed.len() {
+        let before = artifact_level.len();
+        for &a in &needed {
+            if artifact_level.contains_key(&a) {
+                continue;
+            }
+            if let Some(lvl) = a
+                .needs()
+                .iter()
+                .map(|d| artifact_level.get(d).map(|l| l + 1))
+                .try_fold(0usize, |acc, l| l.map(|l| acc.max(l)))
+            {
+                artifact_level.insert(a, lvl);
+            }
+        }
+        assert!(
+            artifact_level.len() > before || needed.is_empty(),
+            "artifact dependency cycle"
+        );
+    }
+
+    let mut out: Vec<Vec<Task>> = Vec::new();
+    let mut push = |level: usize, task: Task| {
+        while out.len() <= level {
+            out.push(Vec::new());
+        }
+        out[level].push(task);
+    };
+    for &a in &needed {
+        push(artifact_level[&a], Task::Artifact(a));
+    }
+    for (i, e) in selected.iter().enumerate() {
+        let level = e
+            .needs()
+            .iter()
+            .map(|d| artifact_level[d] + 1)
+            .max()
+            .unwrap_or(0);
+        push(level, Task::Experiment(i));
+    }
+    out
+}
+
+/// Executes the pipeline: schedules artifacts and experiments level by
+/// level on the worker pool, then emits all outputs serially in
+/// registry order.
+pub fn run(env: &Env, store: &ArtifactStore, cfg: &RunnerConfig) -> Result<RunReport, String> {
+    let selected = select(cfg.only.as_deref())?;
+    let plan = levels(&selected);
+
+    // Computed emissions (or the panic message), indexed like
+    // `selected`.
+    let mut computed: Vec<Computed> = (0..selected.len()).map(|_| None).collect();
+
+    for level in plan {
+        let results = parallel_map_threads(
+            level,
+            cfg.jobs,
+            || (),
+            |(), task| match task {
+                Task::Artifact(a) => {
+                    store.materialize(a, env);
+                    None
+                }
+                Task::Experiment(i) => {
+                    let exp = selected[i];
+                    let start = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| exp.run(env, store)))
+                        .map_err(|payload| panic_message(&payload));
+                    Some((i, result, start.elapsed().as_millis()))
+                }
+            },
+        );
+        for (i, result, millis) in results.into_iter().flatten() {
+            computed[i] = Some((result, millis));
+        }
+    }
+
+    // Serial emission in registry order: stdout and the results tree
+    // are identical at any worker count.
+    let mut outcomes = Vec::with_capacity(selected.len());
+    for (exp, slot) in selected.iter().zip(computed) {
+        let (result, millis) = slot.expect("scheduled experiment never ran");
+        let mut outcome = ExperimentOutcome {
+            name: exp.name(),
+            millis,
+            emissions: Vec::new(),
+            error: None,
+        };
+        match result {
+            Err(panic) => outcome.error = Some(format!("panicked: {panic}")),
+            Ok(emissions) => {
+                for emission in emissions {
+                    let digest = fnv1a(emission.bytes().as_bytes());
+                    let written = match &emission {
+                        Emission::Table { name, title, table } => {
+                            report::try_emit_in(&cfg.out_dir, name, title, table)
+                        }
+                        Emission::Text { filename, text } => {
+                            report::try_emit_text_in(&cfg.out_dir, filename, text)
+                        }
+                    };
+                    match written {
+                        Ok(_) => outcome.emissions.push((emission.filename(), digest)),
+                        Err(e) => {
+                            outcome.error = Some(e.to_string());
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(err) = &outcome.error {
+            eprintln!("[jockey] experiment {} FAILED: {err}", outcome.name);
+        }
+        outcomes.push(outcome);
+    }
+
+    Ok(RunReport { outcomes })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_rejects_unknown_names() {
+        let err = match select(Some(&["fig4".to_string(), "nope".to_string()])) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown name accepted"),
+        };
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("known:"), "{err}");
+    }
+
+    #[test]
+    fn select_keeps_registry_order() {
+        let sel = select(Some(&["fig5".to_string(), "table1".to_string()])).unwrap();
+        let names: Vec<&str> = sel.iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["table1", "fig5"]);
+    }
+
+    #[test]
+    fn levels_put_artifacts_before_dependents() {
+        let sel = select(Some(&[
+            "fig4".to_string(),
+            "fig6".to_string(),
+            "table1".to_string(),
+        ]))
+        .unwrap();
+        let plan = levels(&sel);
+        assert_eq!(plan.len(), 2);
+        // Level 0: both artifacts plus the independent table1.
+        let l0_artifacts = plan[0]
+            .iter()
+            .filter(|t| matches!(t, Task::Artifact(_)))
+            .count();
+        assert_eq!(l0_artifacts, 2);
+        assert_eq!(plan[0].len(), 3);
+        // Level 1: the two artifact consumers.
+        assert_eq!(plan[1].len(), 2);
+        assert!(plan[1].iter().all(|t| matches!(t, Task::Experiment(_))));
+    }
+
+    #[test]
+    fn levels_with_no_artifacts_is_flat() {
+        let sel = select(Some(&["table1".to_string(), "fig7".to_string()])).unwrap();
+        let plan = levels(&sel);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].len(), 2);
+    }
+}

@@ -17,4 +17,16 @@ JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench control_plane
 # Smoke-run the simulation-kernel bench so both queue backends, the
 # dyn/enum sampling pair and the C(p, a) table path all execute.
 JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench simrt_kernel
+# Golden-digest gate: run two cheap figures through the pipeline CLI
+# at smoke scale (parallel) and diff their emitted-TSV digests against
+# the committed goldens, making "byte-identical to baseline" a
+# regression gate instead of a manual check.
+golden_out="$(mktemp -d)"
+trap 'rm -rf "$golden_out"' EXIT
+JOCKEY_SCALE=smoke JOCKEY_SEED=42 \
+  ./target/release/jockey-repro --only table2,fig1 --jobs 2 \
+  --out "$golden_out" --digests \
+  | grep '^digest' | cut -f2,3 \
+  | diff <(grep -v '^#' crates/experiments/tests/golden_smoke_digests.tsv) - \
+  || { echo "tier1: smoke digests drifted from golden_smoke_digests.tsv" >&2; exit 1; }
 echo "tier1: OK"
