@@ -11,6 +11,7 @@
 
 use crate::cpa::CpaModel;
 use jockey_simrt::time::SimDuration;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Why a job was rejected.
@@ -79,7 +80,14 @@ pub struct Reservation {
 #[derive(Clone, Debug, Default)]
 pub struct AdmissionController {
     capacity: u32,
+    /// Reservations in no particular order (releases swap-remove).
     admitted: Vec<Reservation>,
+    /// Name → position in `admitted`, so duplicate checks and releases
+    /// are O(1) instead of scanning the ledger — over a churn run the
+    /// scan costs O(N²) total.
+    index: HashMap<String, usize>,
+    /// Running total of reserved tokens, maintained on admit/release.
+    reserved: u32,
 }
 
 impl AdmissionController {
@@ -88,6 +96,8 @@ impl AdmissionController {
         AdmissionController {
             capacity,
             admitted: Vec::new(),
+            index: HashMap::new(),
+            reserved: 0,
         }
     }
 
@@ -98,7 +108,7 @@ impl AdmissionController {
 
     /// Tokens currently reserved by admitted jobs.
     pub fn reserved(&self) -> u32 {
-        self.admitted.iter().map(|r| r.tokens).sum()
+        self.reserved
     }
 
     /// Tokens still unreserved.
@@ -106,9 +116,44 @@ impl AdmissionController {
         self.capacity.saturating_sub(self.reserved())
     }
 
-    /// The current reservations.
+    /// The current reservations (in no particular order — releases
+    /// compact the ledger by swapping the last entry into the hole).
     pub fn admitted(&self) -> &[Reservation] {
         &self.admitted
+    }
+
+    /// Whether a job with this name holds a reservation.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Reserves a pre-sized token count, the primitive under
+    /// [`AdmissionController::try_admit`] — used when the caller has
+    /// already sized the job (e.g. against a [`crate::predict::CompletionModel`]
+    /// that is not a `CpaModel`).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::InsufficientCapacity`] when the reservation
+    /// does not fit, [`AdmissionError::DuplicateName`] on name reuse.
+    pub fn try_reserve(&mut self, name: &str, tokens: u32) -> Result<u32, AdmissionError> {
+        if self.index.contains_key(name) {
+            return Err(AdmissionError::DuplicateName);
+        }
+        let available = self.available();
+        if tokens > available {
+            return Err(AdmissionError::InsufficientCapacity {
+                required: tokens,
+                available,
+            });
+        }
+        self.index.insert(name.to_string(), self.admitted.len());
+        self.admitted.push(Reservation {
+            name: name.to_string(),
+            tokens,
+        });
+        self.reserved += tokens;
+        Ok(tokens)
     }
 
     /// Attempts to admit a job: sizes its reservation from the model
@@ -128,31 +173,25 @@ impl AdmissionController {
         deadline: SimDuration,
         slack: f64,
     ) -> Result<u32, AdmissionError> {
-        if self.admitted.iter().any(|r| r.name == name) {
+        if self.index.contains_key(name) {
             return Err(AdmissionError::DuplicateName);
         }
         let required = model
             .min_allocation_for_deadline(deadline, slack)
             .ok_or(AdmissionError::Infeasible)?;
-        let available = self.available();
-        if required > available {
-            return Err(AdmissionError::InsufficientCapacity {
-                required,
-                available,
-            });
-        }
-        self.admitted.push(Reservation {
-            name: name.to_string(),
-            tokens: required,
-        });
-        Ok(required)
+        self.try_reserve(name, required)
     }
 
     /// Releases a job's reservation (at completion). Returns the freed
     /// tokens, or `None` if the job was not admitted.
     pub fn release(&mut self, name: &str) -> Option<u32> {
-        let idx = self.admitted.iter().position(|r| r.name == name)?;
-        Some(self.admitted.remove(idx).tokens)
+        let idx = self.index.remove(name)?;
+        let freed = self.admitted.swap_remove(idx);
+        if let Some(moved) = self.admitted.get(idx) {
+            self.index.insert(moved.name.clone(), idx);
+        }
+        self.reserved -= freed.tokens;
+        Some(freed.tokens)
     }
 }
 
@@ -239,6 +278,35 @@ mod tests {
         assert_eq!(ac.reserved(), 0);
         // Re-admission after release succeeds.
         assert!(ac.try_admit("a", &m, d, 1.0).is_ok());
+    }
+
+    #[test]
+    fn running_total_and_index_survive_churn() {
+        // Interleaved reserve/release churn: the O(1) running total and
+        // name index must always agree with a from-scratch recount.
+        let mut ac = AdmissionController::new(1000);
+        for round in 0_u32..50 {
+            for i in 0..20 {
+                let tokens = 1 + (round + i) % 7;
+                ac.try_reserve(&format!("job-{i}"), tokens).unwrap();
+            }
+            // Release a varying subset, out of admission order.
+            for i in (0..20).filter(|i| (i + round) % 3 != 0) {
+                assert!(ac.release(&format!("job-{i}")).is_some());
+            }
+            let recount: u32 = ac.admitted().iter().map(|r| r.tokens).sum();
+            assert_eq!(ac.reserved(), recount, "round {round}");
+            for r in ac.admitted() {
+                assert!(ac.contains(&r.name));
+            }
+            assert_eq!(ac.available(), ac.capacity() - recount);
+            // Drain completely for the next round.
+            let names: Vec<String> = ac.admitted().iter().map(|r| r.name.clone()).collect();
+            for n in names {
+                ac.release(&n);
+            }
+            assert_eq!(ac.reserved(), 0);
+        }
     }
 
     #[test]

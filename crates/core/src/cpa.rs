@@ -196,6 +196,12 @@ pub struct CpaModel {
     /// recomputing `percentile_sorted` over raw samples. Raw `cells`
     /// are retained for explicit-percentile queries and serialization.
     table: Vec<f64>,
+    /// Whether the fresh-latency column (`table[·][bin_of(0)]`) is
+    /// non-increasing in allocation. When it is — the overwhelmingly
+    /// common case, since more tokens never slow a job — feasibility
+    /// sizing binary-searches the allocation range; a noisy
+    /// non-monotone table falls back to the exhaustive scan.
+    fresh_monotone: bool,
 }
 
 impl CpaModel {
@@ -261,6 +267,7 @@ impl CpaModel {
             percentile: cfg.percentile,
             cells,
             table: Vec::new(),
+            fresh_monotone: false,
         };
         model.build_table();
         model
@@ -279,6 +286,20 @@ impl CpaModel {
             }
         }
         self.table = table;
+        self.check_fresh_monotone();
+    }
+
+    /// Re-derives [`CpaModel::fresh_monotone`] from the dense table.
+    fn check_fresh_monotone(&mut self) {
+        let bin0 = self.bin_of(0.0);
+        self.fresh_monotone = (1..self.allocations.len()).all(|ai| {
+            let (prev, cur) = (
+                self.table[(ai - 1) * self.bins + bin0],
+                self.table[ai * self.bins + bin0],
+            );
+            // NaN anywhere in the column disqualifies the fast path.
+            prev >= cur
+        });
     }
 
     /// The allocation grid the model was trained on.
@@ -389,10 +410,35 @@ impl CpaModel {
 
     /// The smallest allocation whose (pessimistic) fresh latency with
     /// multiplier `slack` meets `deadline`, if any does.
+    ///
+    /// When the fresh-latency grid is monotone (checked once at build
+    /// time), this is a binary search over the allocation range —
+    /// `fresh_latency` is a piecewise-linear interpolation of the grid
+    /// column, so a non-increasing column makes the feasibility
+    /// predicate monotone in `a`. Otherwise it falls back to the
+    /// exhaustive ascending scan; both paths return identical answers
+    /// on monotone tables.
     pub fn min_allocation_for_deadline(&self, deadline: SimDuration, slack: f64) -> Option<u32> {
         let d = deadline.as_secs_f64();
         let max = *self.allocations.last().expect("non-empty grid");
-        (1..=max).find(|&a| self.fresh_latency(a) * slack <= d)
+        let fits = |a: u32| self.fresh_latency(a) * slack <= d;
+        if !self.fresh_monotone {
+            return (1..=max).find(|&a| fits(a));
+        }
+        if !fits(max) {
+            return None;
+        }
+        // Invariant: fits(hi); find the first fitting allocation.
+        let (mut lo, mut hi) = (1_u32, max);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(hi)
     }
 
     /// Serializes the trained table to a [`jockey_simrt::table::KvStore`],
@@ -458,6 +504,7 @@ impl CpaModel {
             percentile,
             cells,
             table: Vec::new(),
+            fresh_monotone: false,
         };
         model.build_table();
         Ok(model)
@@ -501,6 +548,10 @@ impl CompletionModel for CpaModel {
 
     fn max_allocation(&self) -> u32 {
         *self.allocations.last().expect("non-empty grid")
+    }
+
+    fn size_for_deadline(&self, _fs: &[f64], deadline: SimDuration, slack: f64) -> Option<u32> {
+        self.min_allocation_for_deadline(deadline, slack)
     }
 }
 
@@ -656,6 +707,47 @@ mod tests {
         // Outside the grid: clamped.
         assert_eq!(m.fresh_latency(1), v2);
         assert_eq!(m.fresh_latency(100), m.fresh_latency(8));
+    }
+
+    #[test]
+    fn min_allocation_binary_search_matches_exhaustive_scan() {
+        let (graph, profile) = fixture();
+        let (m, _) = model(&graph, &profile);
+        assert!(m.fresh_monotone, "trained fixture should be monotone");
+        let max = *m.allocations.last().unwrap();
+        // Sweep deadlines from far-infeasible to trivially-feasible,
+        // including exact grid latencies, for several slacks.
+        let mut deadlines: Vec<f64> = (0..200).map(|i| 0.5 + 1.1 * f64::from(i)).collect();
+        deadlines.extend((1..=max).map(|a| m.fresh_latency(a)));
+        for slack in [0.8, 1.0, 1.2, 2.0] {
+            for &d in &deadlines {
+                let deadline = SimDuration::from_secs_f64(d);
+                let fast = m.min_allocation_for_deadline(deadline, slack);
+                // Reference: the pre-optimization exhaustive ascending
+                // scan, over the same tick-quantized deadline.
+                let dq = deadline.as_secs_f64();
+                let slow = (1..=max).find(|&a| m.fresh_latency(a) * slack <= dq);
+                assert_eq!(fast, slow, "deadline {d}s slack {slack}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_monotone_tables_fall_back_to_the_scan() {
+        let (graph, profile) = fixture();
+        let (mut m, _) = model(&graph, &profile);
+        // Corrupt the fresh column so latency *rises* with allocation.
+        let bin0 = m.bin_of(0.0);
+        m.table[m.bins + bin0] = m.table[bin0] + 100.0;
+        m.check_fresh_monotone();
+        assert!(!m.fresh_monotone);
+        let max = *m.allocations.last().unwrap();
+        for d in [10.0, 50.0, 120.0, 500.0] {
+            let deadline = SimDuration::from_secs_f64(d);
+            let fast = m.min_allocation_for_deadline(deadline, 1.0);
+            let slow = (1..=max).find(|&a| m.fresh_latency(a) <= d);
+            assert_eq!(fast, slow, "deadline {d}s");
+        }
     }
 
     #[test]

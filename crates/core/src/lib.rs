@@ -68,6 +68,7 @@ pub mod progress;
 pub mod recal;
 pub mod utility;
 
+pub use admission::{AdmissionController, AdmissionError, Reservation};
 pub use alloc::{AllocationPolicy, ArgminPolicy};
 pub use arbiter::{ArbitratedController, ArbitrationLayer, SharedArbiter};
 pub use conditioner::{

@@ -28,6 +28,40 @@
 //! the same hysteresis smoothing as the arbitrated controller), so
 //! plane-managed jobs drop into `ClusterSim` or a real scheduler
 //! unchanged.
+//!
+//! # Service lifecycle
+//!
+//! The plane is built to run *indefinitely* under churn:
+//!
+//! - **Slot recycling.** A job that finishes (or whose handle is
+//!   dropped) releases its slot; released ids go through a free list
+//!   and are reissued to later admissions, so a plane that has served
+//!   100k recurring jobs costs the same per refresh as one serving its
+//!   current live fleet. The refresh epoch counts *active* jobs, not
+//!   the slot table's high-water mark.
+//! - **Deadline-aware admission.** [`ControlPlane::try_add_job`] sizes
+//!   a reservation from the job's completion model
+//!   ([`CompletionModel::size_for_deadline`]) against a live
+//!   [`AdmissionController`] ledger and rejects jobs whose SLO cannot
+//!   fit the configured budget, instead of letting the arbitration's
+//!   1-token floor silently over-commit it. Until the next periodic
+//!   refresh folds a new SLO job into the fleet split, its ticks serve
+//!   the *reservation* as the default share — safe (reservations sum
+//!   within the budget) and refresh-free, so sustained admission churn
+//!   cannot degenerate into per-tick re-arbitration.
+//!   [`ControlPlane::add_job`] remains the unconditional path; jobs
+//!   admitted that way bypass the ledger and request an opportunistic
+//!   refresh (they have no reservation to fall back on).
+//! - **Strict deadline-change visibility.** Deadline changes bump a
+//!   *strict* generation counter after updating the slot; a tick that
+//!   observes an unapplied strict generation refuses to serve the
+//!   current snapshot and instead waits out (or performs) a refresh
+//!   that includes the change. This closes the lost-force-refresh race
+//!   where an in-flight refresher's counter reset could swallow a
+//!   concurrent deadline change for a full epoch.
+//! - **Serial-guarded snapshots.** Snapshot entries carry the slot
+//!   occupant's serial; a recycled slot id never inherits the previous
+//!   occupant's allocation from a stale snapshot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
@@ -35,6 +69,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 use jockey_cluster::{ControlDecision, JobController, JobStatus};
 use jockey_simrt::time::SimDuration;
 
+use crate::admission::{AdmissionController, AdmissionError};
 use crate::arbiter::{arbitrate, ArbiterJob};
 use crate::predict::CompletionModel;
 use crate::progress::IndicatorContext;
@@ -52,6 +87,12 @@ struct SlotState {
 struct JobSlot {
     model: Arc<dyn CompletionModel>,
     slack: f64,
+    /// Unique occupant serial (never reused): distinguishes this job
+    /// from earlier occupants of the same recycled slot id.
+    serial: u64,
+    /// Default share served before the first refresh that includes this
+    /// job: the ledger reservation for SLO jobs, 1 otherwise.
+    reserved: u32,
     state: Mutex<SlotState>,
 }
 
@@ -65,9 +106,23 @@ impl JobSlot {
 
 /// An immutable per-epoch allocation snapshot, swapped atomically.
 struct Snapshot {
-    /// Guaranteed tokens per job id; jobs admitted after this snapshot
-    /// was computed fall back to 1 until the next refresh.
+    /// Guaranteed tokens per slot id.
     alloc: Vec<u32>,
+    /// The occupant serial each entry was computed for (0 = vacant).
+    /// A job admitted after this snapshot was gathered — including one
+    /// reusing a recycled slot id — misses here and falls back to its
+    /// reservation until the next refresh.
+    serial: Vec<u64>,
+}
+
+impl Snapshot {
+    fn share_for(&self, id: usize, serial: u64) -> Option<u32> {
+        if self.serial.get(id).copied() == Some(serial) {
+            Some(self.alloc[id])
+        } else {
+            None
+        }
+    }
 }
 
 /// Counters describing how much arbitration work the plane performed.
@@ -77,15 +132,26 @@ pub struct PlaneStats {
     pub ticks: u64,
     /// Budget-split recomputations (refresh epochs).
     pub refreshes: u64,
+    /// Refreshes in which the active fleet outnumbered the budget, so
+    /// the 1-token-per-job floor handed out more tokens than the plane
+    /// owns. Zero whenever every job enters through
+    /// [`ControlPlane::try_add_job`].
+    pub over_committed_rounds: u64,
 }
 
 /// The sharded multi-job control runtime.
 pub struct ControlPlane {
     budget: u32,
-    /// Slot list: grows on admission, never shrinks. The outer lock is
-    /// held only to push or to iterate shared references — never while
-    /// evaluating models.
-    slots: RwLock<Vec<Arc<JobSlot>>>,
+    /// Slot table: `None` entries are released slots awaiting reuse.
+    /// The outer lock is held only to push/recycle or to iterate shared
+    /// references — never while evaluating models.
+    slots: RwLock<Vec<Option<Arc<JobSlot>>>>,
+    /// Released slot ids, reissued to later admissions.
+    free: Mutex<Vec<usize>>,
+    /// Admitted-and-unreleased job count: the refresh epoch length.
+    active: AtomicU64,
+    /// SLO reservation ledger backing [`ControlPlane::try_add_job`].
+    ledger: Mutex<AdmissionController>,
     /// The published allocation snapshot.
     snapshot: RwLock<Arc<Snapshot>>,
     /// Refresh election: the ticking job that wins this `try_lock`
@@ -93,8 +159,27 @@ pub struct ControlPlane {
     refresh_gate: Mutex<()>,
     /// Ticks since the last completed refresh.
     ticks_since_refresh: AtomicU64,
+    /// Bumped by every deadline change, *after* the slot update. A tick
+    /// observing `applied_strict < strict_gen` refuses to serve the
+    /// published snapshot (it may predate the change) and blocks on the
+    /// gate until a post-change refresh publishes.
+    strict_gen: AtomicU64,
+    /// The `strict_gen` the last refresher loaded *before* gathering.
+    applied_strict: AtomicU64,
+    /// Bumped by unconditional [`ControlPlane::add_job`] admissions,
+    /// which have no reservation to fall back on. The next tick
+    /// opportunistically refreshes (try-lock, never blocking) even if
+    /// the epoch has not elapsed. SLO admissions and releases do *not*
+    /// bump this: under sustained churn they ride the periodic epoch
+    /// refresh, keeping the arbitration cadence flat.
+    forced_gen: AtomicU64,
+    /// The `forced_gen` the last refresher loaded *before* gathering.
+    applied_forced: AtomicU64,
+    /// Occupant serial source; starts at 1 (0 marks vacancy).
+    next_serial: AtomicU64,
     ticks: AtomicU64,
     refreshes: AtomicU64,
+    over_committed_rounds: AtomicU64,
 }
 
 impl ControlPlane {
@@ -108,16 +193,35 @@ impl ControlPlane {
         Arc::new(ControlPlane {
             budget,
             slots: RwLock::new(Vec::new()),
-            snapshot: RwLock::new(Arc::new(Snapshot { alloc: Vec::new() })),
+            free: Mutex::new(Vec::new()),
+            active: AtomicU64::new(0),
+            ledger: Mutex::new(AdmissionController::new(budget)),
+            snapshot: RwLock::new(Arc::new(Snapshot {
+                alloc: Vec::new(),
+                serial: Vec::new(),
+            })),
             refresh_gate: Mutex::new(()),
             ticks_since_refresh: AtomicU64::new(0),
+            strict_gen: AtomicU64::new(0),
+            applied_strict: AtomicU64::new(0),
+            forced_gen: AtomicU64::new(0),
+            applied_forced: AtomicU64::new(0),
+            next_serial: AtomicU64::new(1),
             ticks: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
+            over_committed_rounds: AtomicU64::new(0),
         })
     }
 
-    /// Admits a job, returning its [`JobHandle`] controller. `slack`
-    /// is the prediction multiplier applied inside the arbitration.
+    /// Admits a job unconditionally, returning its [`JobHandle`]
+    /// controller. `slack` is the prediction multiplier applied inside
+    /// the arbitration.
+    ///
+    /// No SLO reservation is made: enough unconditional admissions can
+    /// push the active fleet past the budget, at which point refreshes
+    /// fall back to the 1-token floor and count as over-committed in
+    /// [`ControlPlane::stats`]. Use [`ControlPlane::try_add_job`] for
+    /// the guarded path.
     pub fn add_job(
         self: &Arc<Self>,
         model: Arc<dyn CompletionModel>,
@@ -125,31 +229,139 @@ impl ControlPlane {
         utility: UtilityFunction,
         slack: f64,
     ) -> JobHandle {
-        let slot = Arc::new(JobSlot {
+        let stage_count = indicator.stage_count();
+        let slot = self.new_slot(model, slack, stage_count, utility, 1);
+        let handle = self.admit_slot(slot, indicator, None);
+        // No reservation to serve before the first fleet refresh that
+        // includes this job: request an opportunistic refresh instead.
+        self.forced_gen.fetch_add(1, Ordering::Release);
+        handle
+    }
+
+    /// Admits a job only if its SLO fits: sizes the minimum reservation
+    /// meeting `deadline` from the model's fresh predictions, reserves
+    /// it in the plane's ledger, and registers the job. The reservation
+    /// is freed when the job finishes or its handle is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Infeasible`] when no allocation meets the
+    /// deadline, [`AdmissionError::InsufficientCapacity`] when the
+    /// unreserved budget cannot hold the reservation, and
+    /// [`AdmissionError::DuplicateName`] while a live job already holds
+    /// a reservation under `name`.
+    pub fn try_add_job(
+        self: &Arc<Self>,
+        name: &str,
+        model: Arc<dyn CompletionModel>,
+        indicator: IndicatorContext,
+        deadline: SimDuration,
+        slack: f64,
+    ) -> Result<JobHandle, AdmissionError> {
+        let stage_count = indicator.stage_count();
+        let fresh = vec![0.0; stage_count];
+        let required = model
+            .size_for_deadline(&fresh, deadline, slack)
+            .ok_or(AdmissionError::Infeasible)?;
+        self.ledger
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .try_reserve(name, required)?;
+        let slot = self.new_slot(
             model,
             slack,
+            stage_count,
+            UtilityFunction::deadline(deadline),
+            required,
+        );
+        Ok(self.admit_slot(slot, indicator, Some(name.to_string())))
+    }
+
+    fn new_slot(
+        &self,
+        model: Arc<dyn CompletionModel>,
+        slack: f64,
+        stage_count: usize,
+        utility: UtilityFunction,
+        reserved: u32,
+    ) -> Arc<JobSlot> {
+        Arc::new(JobSlot {
+            model,
+            slack,
+            serial: self.next_serial.fetch_add(1, Ordering::Relaxed),
+            reserved,
             state: Mutex::new(SlotState {
                 progress: 0.0,
-                stage_fraction: vec![0.0; indicator.stage_count()],
+                stage_fraction: vec![0.0; stage_count],
                 elapsed_secs: 0.0,
                 finished: false,
                 utility,
             }),
-        });
+        })
+    }
+
+    /// Installs a slot, recycling a released id when one is free. The
+    /// published snapshot cannot cover the newcomer (its serial is
+    /// fresh), so its ticks serve the slot's reservation until the next
+    /// refresh folds it in.
+    fn admit_slot(
+        self: &Arc<Self>,
+        slot: Arc<JobSlot>,
+        indicator: IndicatorContext,
+        name: Option<String>,
+    ) -> JobHandle {
         let id = {
             let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
-            slots.push(slot);
-            slots.len() - 1
+            let recycled = self
+                .free
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop();
+            match recycled {
+                Some(id) => {
+                    slots[id] = Some(slot);
+                    id
+                }
+                None => {
+                    slots.push(Some(slot));
+                    slots.len() - 1
+                }
+            }
         };
-        // A fresh fleet view: admission changes every job's marginal
-        // standing, so the next tick recomputes immediately.
-        self.ticks_since_refresh.store(u64::MAX, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
         JobHandle {
             plane: self.clone(),
             id,
             indicator,
             smoothed: None,
+            name,
+            released: false,
         }
+    }
+
+    /// Returns a released job's slot to the free list and frees its
+    /// ledger reservation, if it held one.
+    fn release_job(&self, id: usize, name: Option<&str>) {
+        {
+            let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
+            if slots.get_mut(id).and_then(Option::take).is_some() {
+                self.free
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(id);
+                self.active.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(name) = name {
+            self.ledger
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .release(name);
+        }
+        // No generation bump: survivors converge on the freed tokens at
+        // the next periodic refresh (bounded by one control period),
+        // and the serial guard keeps the freed id's stale snapshot
+        // entry from leaking to its next occupant.
     }
 
     /// The plane's work counters.
@@ -157,7 +369,44 @@ impl ControlPlane {
         PlaneStats {
             ticks: self.ticks.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
+            over_committed_rounds: self.over_committed_rounds.load(Ordering::Relaxed),
         }
+    }
+
+    /// Guaranteed tokens under management.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Live (admitted, unreleased) jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.active.load(Ordering::Relaxed) as usize
+    }
+
+    /// Slot-table length including free entries — the high-water mark
+    /// of *concurrent* jobs, bounded under churn by slot recycling.
+    pub fn slot_count(&self) -> usize {
+        self.slots
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Tokens reserved by SLO jobs admitted via
+    /// [`ControlPlane::try_add_job`].
+    pub fn reserved(&self) -> u32 {
+        self.ledger
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .reserved()
+    }
+
+    /// Tokens still unreserved for new SLO admissions.
+    pub fn available(&self) -> u32 {
+        self.ledger
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .available()
     }
 
     /// Serves one job tick: updates the job's own slot, opportunistically
@@ -166,8 +415,11 @@ impl ControlPlane {
     fn tick_job(&self, id: usize, progress: f64, status: &JobStatus) -> u32 {
         self.ticks.fetch_add(1, Ordering::Relaxed);
         let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+        let Some(slot) = slots.get(id).and_then(Option::as_ref) else {
+            return 1; // Released slot: nothing to arbitrate.
+        };
         {
-            let mut s = slots[id].lock();
+            let mut s = slot.lock();
             s.progress = progress;
             s.stage_fraction.clear();
             s.stage_fraction.extend_from_slice(&status.stage_fraction);
@@ -175,15 +427,37 @@ impl ControlPlane {
             s.finished = status.finished;
         }
 
-        // One refresh per epoch: an epoch is one tick per admitted job,
+        // One refresh per epoch: an epoch is one tick per *active* job,
         // so each job sees a fleet-fresh split about once per control
         // period — the same cadence the per-tick arbiter provides, at
         // 1/N of the arbitration cost.
-        let epoch = slots.len() as u64;
-        if self.ticks_since_refresh.fetch_add(1, Ordering::AcqRel) >= epoch.saturating_sub(1) {
+        let epoch = self.active.load(Ordering::Relaxed).max(1);
+        let due = self.ticks_since_refresh.fetch_add(1, Ordering::AcqRel) >= epoch - 1;
+        // `goal` is the newest deadline change this tick has observed;
+        // a snapshot older than it must never be served.
+        let goal = self.strict_gen.load(Ordering::Acquire);
+        if self.applied_strict.load(Ordering::Acquire) < goal {
+            // Unapplied deadline change: wait out (or perform) a
+            // refresh at least as fresh as `goal`. The blocking lock —
+            // rather than the opportunistic `try_lock` — is what closes
+            // the lost-force-refresh race: an in-flight refresher may
+            // have gathered pre-change state, but it cannot advance
+            // `applied_strict` past `goal`, so we refresh again behind
+            // it.
+            while self.applied_strict.load(Ordering::Acquire) < goal {
+                let _gate = self
+                    .refresh_gate
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if self.applied_strict.load(Ordering::Acquire) < goal {
+                    self.refresh_locked(&slots);
+                }
+            }
+        } else if due
+            || self.applied_forced.load(Ordering::Acquire) < self.forced_gen.load(Ordering::Acquire)
+        {
             if let Ok(_gate) = self.refresh_gate.try_lock() {
-                self.ticks_since_refresh.store(0, Ordering::Release);
-                self.refresh(&slots);
+                self.refresh_locked(&slots);
             }
         }
 
@@ -194,18 +468,37 @@ impl ControlPlane {
             let guard = self.snapshot.read().unwrap_or_else(PoisonError::into_inner);
             guard.clone()
         };
-        snapshot.alloc.get(id).copied().unwrap_or(1).max(1)
+        snapshot
+            .share_for(id, slot.serial)
+            .unwrap_or(slot.reserved)
+            .max(1)
+    }
+
+    /// Runs one refresh while the caller holds the refresh gate,
+    /// recording the generations observed *before* gathering so a
+    /// change landing mid-refresh leaves `applied_* < *_gen` and forces
+    /// a follow-up.
+    fn refresh_locked(&self, slots: &[Option<Arc<JobSlot>>]) {
+        let strict = self.strict_gen.load(Ordering::Acquire);
+        let forced = self.forced_gen.load(Ordering::Acquire);
+        self.ticks_since_refresh.store(0, Ordering::Release);
+        self.refresh(slots);
+        self.applied_strict.store(strict, Ordering::Release);
+        self.applied_forced.store(forced, Ordering::Release);
     }
 
     /// Recomputes the greedy split from the current slot snapshots and
     /// publishes it. Runs while holding only the refresh gate: slot
     /// locks are taken one at a time to copy state out, and the
     /// expensive marginal-utility scan touches no lock at all.
-    fn refresh(&self, slots: &[Arc<JobSlot>]) {
+    fn refresh(&self, slots: &[Option<Arc<JobSlot>>]) {
         self.refreshes.fetch_add(1, Ordering::Relaxed);
         let mut active = Vec::with_capacity(slots.len());
         let mut jobs = Vec::with_capacity(slots.len());
+        let mut serial = vec![0_u64; slots.len()];
         for (i, slot) in slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            serial[i] = slot.serial;
             let s = slot.lock();
             if s.finished {
                 continue;
@@ -222,6 +515,13 @@ impl ControlPlane {
         }
         let mut alloc = vec![1_u32; slots.len()];
         if !jobs.is_empty() {
+            // `arbitrate` needs at least one token per job; when the
+            // active fleet outgrows the budget (possible only through
+            // unconditional `add_job`), the floor over-commits — count
+            // it instead of absorbing it silently.
+            if jobs.len() as u32 > self.budget {
+                self.over_committed_rounds.fetch_add(1, Ordering::Relaxed);
+            }
             let budget = self.budget.max(jobs.len() as u32);
             for (pos, share) in arbitrate(&jobs, budget).into_iter().enumerate() {
                 alloc[active[pos]] = share;
@@ -231,17 +531,22 @@ impl ControlPlane {
             .snapshot
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        *guard = Arc::new(Snapshot { alloc });
+        *guard = Arc::new(Snapshot { alloc, serial });
     }
 
     fn set_deadline(&self, id: usize, new_deadline: SimDuration) {
-        let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
-        let mut s = slots[id].lock();
-        s.utility = s.utility.with_deadline(new_deadline);
-        drop(s);
-        drop(slots);
-        // Force a fleet-wide recomputation on the next tick.
-        self.ticks_since_refresh.store(u64::MAX, Ordering::Relaxed);
+        {
+            let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+            let Some(slot) = slots.get(id).and_then(Option::as_ref) else {
+                return; // Released slot: nothing to retarget.
+            };
+            let mut s = slot.lock();
+            s.utility = s.utility.with_deadline(new_deadline);
+        }
+        // Publish the change *after* the slot update: any tick that
+        // observes the new generation is guaranteed a post-change
+        // gather (the slot mutex orders the two writes).
+        self.strict_gen.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -250,11 +555,19 @@ impl ControlPlane {
 const PLANE_HYSTERESIS: f64 = 0.3;
 
 /// A per-job `JobController` served by a [`ControlPlane`].
+///
+/// The handle owns the job's slot: when the job finishes (first tick
+/// with `finished`) or the handle is dropped, the slot is released back
+/// to the plane's free list and any SLO reservation is freed.
 pub struct JobHandle {
     plane: Arc<ControlPlane>,
     id: usize,
     indicator: IndicatorContext,
     smoothed: Option<f64>,
+    /// Ledger reservation name, for jobs admitted via
+    /// [`ControlPlane::try_add_job`].
+    name: Option<String>,
+    released: bool,
 }
 
 impl JobHandle {
@@ -263,20 +576,53 @@ impl JobHandle {
         &self.plane
     }
 
-    /// The job's slot id within the plane.
+    /// The job's slot id within the plane. Slot ids are recycled: a
+    /// released id may be reissued to a later admission.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Whether the job's slot has been released (on finish or by
+    /// [`JobHandle::release`]).
+    pub fn is_released(&self) -> bool {
+        self.released
+    }
+
+    /// Releases the job's slot and reservation early (cancellation).
+    /// Subsequent ticks return the 1-token floor without touching the
+    /// plane. Idempotent.
+    pub fn release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.plane.release_job(self.id, self.name.as_deref());
+        }
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        self.release();
     }
 }
 
 impl JobController for JobHandle {
     fn tick(&mut self, status: &JobStatus) -> ControlDecision {
+        if self.released {
+            return ControlDecision {
+                guarantee: 1,
+                raw: Some(1.0),
+                progress: None,
+                predicted_completion: None,
+            };
+        }
         let p = self.indicator.progress(&status.stage_fraction);
         let raw = self.plane.tick_job(self.id, p, status);
         if status.finished {
             // Release immediately: pacing a finished job's give-back
-            // through hysteresis would hold budget nobody can use.
+            // through hysteresis would hold budget nobody can use, and
+            // a finished slot scanned forever would leak refresh work.
             self.smoothed = Some(1.0);
+            self.release();
             return ControlDecision {
                 guarantee: 1,
                 raw: Some(f64::from(raw)),
@@ -298,6 +644,9 @@ impl JobController for JobHandle {
     }
 
     fn deadline_changed(&mut self, new_deadline: SimDuration) {
+        if self.released {
+            return;
+        }
         self.plane.set_deadline(self.id, new_deadline);
         // A new SLO is a fresh sizing problem (same as JockeyController).
         self.smoothed = None;
@@ -470,13 +819,300 @@ mod tests {
             let plane = plane.clone();
             let _ = std::thread::spawn(move || {
                 let slots = plane.slots.read().unwrap();
-                let _guard = slots[0].state.lock().unwrap();
+                let _guard = slots[0].as_ref().unwrap().state.lock().unwrap();
                 panic!("poison the slot");
             })
             .join();
         }
         let d = a.tick(&status(1, 0.05, 4));
         assert!(d.guarantee >= 1, "plane stopped serving after poison");
+    }
+
+    #[test]
+    fn slot_count_stays_bounded_across_churn() {
+        // Regression: slots used to grow on admission and never shrink,
+        // so every finished job was locked, scanned and counted in the
+        // refresh epoch forever. 10k admit→finish cycles must leave the
+        // table no larger than the peak concurrency.
+        let plane = ControlPlane::new(8);
+        let mut anchor = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            1.0,
+        );
+        for cycle in 0..10_000_u64 {
+            let mut h = plane.add_job(
+                Arc::new(Toy { work: 3_600.0 }),
+                toy_indicator(),
+                UtilityFunction::deadline(SimDuration::from_mins(30)),
+                1.0,
+            );
+            h.tick(&status(0, 0.0, 0));
+            let d = h.tick(&status(1, 1.0, 2));
+            assert_eq!(d.guarantee, 1);
+            assert!(h.is_released(), "finished job must release its slot");
+            if cycle % 1000 == 0 {
+                anchor.tick(&status(cycle, 0.0, 2));
+            }
+            assert!(
+                plane.slot_count() <= 2,
+                "cycle {cycle}: slot table grew to {}",
+                plane.slot_count()
+            );
+            assert_eq!(plane.active_jobs(), 1);
+        }
+        drop(anchor);
+        assert_eq!(plane.active_jobs(), 0);
+    }
+
+    #[test]
+    fn released_ids_are_recycled() {
+        let plane = ControlPlane::new(8);
+        let _keep = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            1.0,
+        );
+        let mut a = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            1.0,
+        );
+        let freed = a.id();
+        a.release();
+        let b = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(60)),
+            1.0,
+        );
+        assert_eq!(b.id(), freed, "released id should be reissued");
+        assert_eq!(plane.slot_count(), 2);
+    }
+
+    #[test]
+    fn deadline_change_survives_a_concurrent_refresh_election() {
+        // Regression for the lost-force-refresh race: a refresher that
+        // was elected *before* a deadline change used to reset the
+        // force flag while publishing pre-change state, delaying the
+        // resplit by up to a full epoch. Simulate the in-flight
+        // election by holding the refresh gate while the deadline
+        // changes; the next tick must still observe the new split.
+        let plane = ControlPlane::new(20);
+        let mut a = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(120)),
+            1.0,
+        );
+        let mut b = plane.add_job(
+            Arc::new(Toy { work: 36_000.0 }),
+            toy_indicator(),
+            UtilityFunction::deadline(SimDuration::from_mins(120)),
+            1.0,
+        );
+        let g0 = a.tick(&status(0, 0.0, 0)).guarantee;
+        b.tick(&status(0, 0.0, 0));
+
+        let gate = plane.refresh_gate.lock().unwrap();
+        a.deadline_changed(SimDuration::from_mins(30));
+        // While the gate is held, the change cannot have been applied.
+        assert!(
+            plane.applied_strict.load(Ordering::Acquire) < plane.strict_gen.load(Ordering::Acquire)
+        );
+        let ticker = std::thread::spawn(move || {
+            // This tick blocks until the stale election clears, then
+            // refreshes with post-change state.
+            b.tick(&status(1, 0.01, 4)).raw.unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(gate);
+        let b_raw = ticker.join().unwrap();
+        let a_raw = a.tick(&status(1, 0.01, g0)).raw.unwrap();
+        // 36 000 s of work in 30 min needs ~20 tokens: the tightened
+        // job takes essentially the whole budget in the very next
+        // published snapshot.
+        assert!(a_raw >= 15.0, "tightened job got raw {a_raw}");
+        assert!(b_raw < a_raw, "loose job got raw {b_raw} vs {a_raw}");
+    }
+
+    #[test]
+    fn try_add_job_rejects_what_does_not_fit() {
+        let plane = ControlPlane::new(10);
+        // 36 000 s of work in 60 min ⇒ 10 tokens: fills the ledger.
+        let first = plane
+            .try_add_job(
+                "big",
+                Arc::new(Toy { work: 36_000.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(60),
+                1.0,
+            )
+            .expect("fits exactly");
+        assert_eq!(plane.reserved(), 10);
+        assert_eq!(plane.available(), 0);
+        // A second SLO job cannot fit, even a tiny one.
+        match plane.try_add_job(
+            "small",
+            Arc::new(Toy { work: 3_600.0 }),
+            toy_indicator(),
+            SimDuration::from_mins(60),
+            1.0,
+        ) {
+            Err(AdmissionError::InsufficientCapacity {
+                required,
+                available,
+            }) => {
+                assert_eq!((required, available), (1, 0));
+            }
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("expected capacity rejection"),
+        }
+        // Duplicate names are refused while the job is live.
+        assert!(matches!(
+            plane.try_add_job(
+                "big",
+                Arc::new(Toy { work: 3_600.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(60),
+                1.0,
+            ),
+            Err(AdmissionError::DuplicateName)
+        ));
+        // An impossible deadline is rejected without reserving.
+        assert!(matches!(
+            plane.try_add_job(
+                "impossible",
+                Arc::new(Toy { work: 1.0e9 }),
+                toy_indicator(),
+                SimDuration::from_mins(1),
+                1.0,
+            ),
+            Err(AdmissionError::Infeasible)
+        ));
+        drop(first);
+        // Dropping the admitted handle frees the reservation.
+        assert_eq!(plane.reserved(), 0);
+        assert!(plane
+            .try_add_job(
+                "small",
+                Arc::new(Toy { work: 3_600.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(60),
+                1.0,
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn slo_jobs_serve_their_reservation_before_the_first_refresh() {
+        // SLO admissions do not force a refresh (under churn that would
+        // degenerate into per-tick arbitration); until the periodic
+        // refresh folds them in, their ticks serve the ledger
+        // reservation — not the 1-token floor, and not a stale snapshot
+        // entry left by a previous occupant of a recycled slot id.
+        let plane = ControlPlane::new(20);
+        let mut big = plane
+            .try_add_job(
+                "big",
+                Arc::new(Toy { work: 36_000.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(60), // needs 10 tokens
+                1.0,
+            )
+            .unwrap();
+        let mut side = plane
+            .try_add_job(
+                "side",
+                Arc::new(Toy { work: 36_000.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(120), // needs 5 tokens
+                1.0,
+            )
+            .unwrap();
+        // Epoch is 2 ticks: the fleet's first tick precedes any refresh
+        // and must serve the new job's reservation as the raw share.
+        assert_eq!(big.tick(&status(0, 0.0, 0)).raw, Some(10.0));
+        // side's first tick lands on the epoch boundary: it refreshes
+        // and reads an arbitrated share instead.
+        side.tick(&status(0, 0.0, 0));
+        // "big" finishes; its recycled slot id goes to a small job whose
+        // first tick must see its own 2-token reservation, not the dead
+        // job's snapshot entry.
+        big.tick(&status(10, 1.0, 10));
+        assert!(big.is_released());
+        let freed = big.id();
+        side.tick(&status(10, 0.3, 5)); // epoch boundary: refreshes
+        let mut next = plane
+            .try_add_job(
+                "next",
+                Arc::new(Toy { work: 7_200.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(60), // needs 2 tokens
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(next.id(), freed, "slot id should be recycled");
+        assert_eq!(next.tick(&status(11, 0.0, 0)).raw, Some(2.0));
+    }
+
+    #[test]
+    fn finished_slo_jobs_free_their_reservation() {
+        let plane = ControlPlane::new(12);
+        let mut h = plane
+            .try_add_job(
+                "recurring",
+                Arc::new(Toy { work: 7_200.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(60),
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(plane.reserved(), 2);
+        h.tick(&status(0, 0.0, 0));
+        h.tick(&status(30, 1.0, 2));
+        assert!(h.is_released());
+        assert_eq!(plane.reserved(), 0);
+        assert_eq!(plane.active_jobs(), 0);
+        // The name is reusable for the next recurrence.
+        assert!(plane
+            .try_add_job(
+                "recurring",
+                Arc::new(Toy { work: 7_200.0 }),
+                toy_indicator(),
+                SimDuration::from_mins(60),
+                1.0,
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn over_commit_is_counted_not_silent() {
+        // Five unconditional jobs on a 2-token plane: every refresh
+        // must hand out 5 ≥ budget tokens via the 1-token floor, and
+        // say so in the stats.
+        let plane = ControlPlane::new(2);
+        let mut handles: Vec<JobHandle> = (0..5)
+            .map(|_| {
+                plane.add_job(
+                    Arc::new(Toy { work: 36_000.0 }),
+                    toy_indicator(),
+                    UtilityFunction::deadline(SimDuration::from_mins(60)),
+                    1.0,
+                )
+            })
+            .collect();
+        for minute in 0..4 {
+            for h in &mut handles {
+                h.tick(&status(minute, 0.01 * minute as f64, 1));
+            }
+        }
+        let stats = plane.stats();
+        assert!(stats.over_committed_rounds > 0, "{stats:?}");
+        assert_eq!(stats.over_committed_rounds, stats.refreshes, "{stats:?}");
     }
 
     #[test]

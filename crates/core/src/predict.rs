@@ -18,6 +18,7 @@
 
 use jockey_jobgraph::graph::JobGraph;
 use jockey_jobgraph::profile::JobProfile;
+use jockey_simrt::time::SimDuration;
 
 /// Predicts the remaining completion time of a job.
 ///
@@ -33,6 +34,18 @@ pub trait CompletionModel: Send + Sync {
     /// The largest allocation worth considering (the search upper
     /// bound for the control loop).
     fn max_allocation(&self) -> u32;
+
+    /// The smallest allocation whose slack-inflated fresh prediction
+    /// (progress 0, per-stage fractions `fs`) meets `deadline`, if any
+    /// does — the a-priori sizing used by admission control.
+    ///
+    /// The default scans the allocation range; models with structure to
+    /// exploit (e.g. [`crate::cpa::CpaModel`]'s monotone fresh-latency
+    /// grid) override with something faster.
+    fn size_for_deadline(&self, fs: &[f64], deadline: SimDuration, slack: f64) -> Option<u32> {
+        let d = deadline.as_secs_f64();
+        (1..=self.max_allocation()).find(|&a| self.remaining_secs(fs, 0.0, a) * slack <= d)
+    }
 }
 
 /// The modified Amdahl's-Law model, used by "Jockey w/o simulator".

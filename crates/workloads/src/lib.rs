@@ -18,11 +18,17 @@
 //! - [`background`]: explicit co-tenant job streams, the heavyweight
 //!   alternative to the cluster simulator's aggregate background-load
 //!   process.
+//! - [`service`]: the open-loop SLO service driver — many submitter
+//!   threads sustaining recurring deadline jobs against one long-lived
+//!   control plane, measuring admission throughput, tick latency and
+//!   SLO attainment.
 
 pub mod background;
 pub mod jobs;
 pub mod pipeline;
 pub mod recurring;
+pub mod service;
 
 pub use jobs::{paper_job, paper_jobs, synthetic_recurring_jobs, GeneratedJob, JobTargets, TABLE2};
 pub use recurring::{input_size_factors, training_profile};
+pub use service::{run_service, LinearWork, ServiceConfig, ServiceReport};

@@ -1,0 +1,441 @@
+//! An open-loop service driver for the multi-job control plane.
+//!
+//! The paper's setting is a *service*: recurring jobs arrive on their
+//! own schedules ("hourly", "daily" — §2.1), each with an SLO deadline,
+//! and the cluster either admits them with a latency guarantee or
+//! rejects them up front (§1's "does this job fit?"). This module
+//! drives one long-lived [`ControlPlane`] the way that service would be
+//! driven: many submitter threads, each sustaining a pool of concurrent
+//! SLO jobs — admitting through [`ControlPlane::try_add_job`], ticking
+//! each live job once per simulated control period, occasionally
+//! tightening a deadline mid-flight (§4.3's changing deadlines), and
+//! releasing on completion so the next recurrence can take the slot.
+//!
+//! The driver is *open-loop* in the admission sense: arrivals are not
+//! gated on completions — when the ledger is full the submission is
+//! **rejected and counted**, not queued, exactly as the paper's
+//! admission check behaves. Job execution is simulated in virtual time
+//! (a job accumulates `guarantee × tick_secs` seconds of work per
+//! tick), which makes SLO attainment exact and deterministic while the
+//! control-plane *overhead* — tick latency, refresh cadence, admission
+//! throughput — is measured in real wall-clock time on real threads.
+//!
+//! [`run_service`] returns a [`ServiceReport`] with the NFR numbers the
+//! service bench publishes: sustained submissions/sec, p50/p99/max
+//! control-tick latency, SLO attainment, and admission rates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use jockey_cluster::{JobController, JobStatus};
+use jockey_core::admission::AdmissionError;
+use jockey_core::plane::{ControlPlane, JobHandle, PlaneStats};
+use jockey_core::predict::CompletionModel;
+use jockey_core::progress::{IndicatorContext, ProgressIndicator};
+use jockey_jobgraph::graph::JobGraphBuilder;
+use jockey_jobgraph::profile::ProfileBuilder;
+use jockey_jobgraph::StageId;
+use jockey_simrt::rng::SeedDeriver;
+use jockey_simrt::time::{SimDuration, SimTime};
+
+/// Closed-form completion model for driver jobs: a perfectly divisible
+/// job of `work` execution-seconds, `remaining = work · (1 − p) / a`.
+///
+/// Driver jobs are synthetic, so the model is exact by construction —
+/// the run measures the *control plane*, not prediction error (the
+/// simulator-accuracy experiments cover that).
+#[derive(Clone, Debug)]
+pub struct LinearWork {
+    /// Total execution seconds.
+    pub work: f64,
+    /// Largest allocation the model will size (the admission cap).
+    pub max_tokens: u32,
+}
+
+impl CompletionModel for LinearWork {
+    fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+        self.work * (1.0 - progress).max(0.0) / f64::from(allocation.max(1))
+    }
+
+    fn max_allocation(&self) -> u32 {
+        self.max_tokens
+    }
+}
+
+/// Configuration for one [`run_service`] run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Guaranteed tokens under the plane's management.
+    pub budget: u32,
+    /// Submitter threads.
+    pub workers: usize,
+    /// Live-job pool each worker sustains (total concurrency target is
+    /// `workers × concurrent_per_worker`).
+    pub concurrent_per_worker: usize,
+    /// Jobs each worker submits over the run.
+    pub submissions_per_worker: usize,
+    /// Simulated seconds per control tick.
+    pub tick_secs: f64,
+    /// Sampled job deadline range, in simulated seconds.
+    pub deadline_secs: (f64, f64),
+    /// Sampled per-job token requirement range (inclusive); job work is
+    /// sized so the admission check reserves exactly this many tokens.
+    pub tokens_needed: (u32, u32),
+    /// Slack multiplier passed to admission and arbitration.
+    pub slack: f64,
+    /// Every Nth admitted job (per worker) gets its deadline tightened
+    /// by 15% mid-flight, exercising the strict-visibility path.
+    /// Zero disables deadline churn.
+    pub deadline_change_every: u64,
+    /// Root seed; every worker derives an independent stream.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            budget: 64,
+            workers: 4,
+            concurrent_per_worker: 8,
+            submissions_per_worker: 200,
+            tick_secs: 60.0,
+            deadline_secs: (1_800.0, 7_200.0),
+            tokens_needed: (1, 4),
+            slack: 1.2,
+            deadline_change_every: 7,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregate outcome of a [`run_service`] run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Jobs submitted across all workers.
+    pub submitted: u64,
+    /// Jobs admitted with a reservation.
+    pub admitted: u64,
+    /// Rejections because the ledger had no room.
+    pub rejected_capacity: u64,
+    /// Rejections because no allocation meets the deadline.
+    pub rejected_infeasible: u64,
+    /// Admitted jobs driven to completion.
+    pub completed: u64,
+    /// Completed jobs that finished within their (final) deadline.
+    pub slo_met: u64,
+    /// Mid-flight deadline tightenings applied.
+    pub deadline_changes: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Submissions per wall-clock second (admission throughput).
+    pub submissions_per_sec: f64,
+    /// Control ticks per wall-clock second.
+    pub ticks_per_sec: f64,
+    /// Median wall-clock latency of one `JobHandle::tick`, microseconds.
+    pub tick_p50_us: f64,
+    /// 99th-percentile tick latency, microseconds.
+    pub tick_p99_us: f64,
+    /// Worst observed tick latency, microseconds.
+    pub tick_max_us: f64,
+    /// High-water mark of the plane's slot table.
+    pub max_slot_count: usize,
+    /// Ledger reservation after all handles dropped (leak check: 0).
+    pub final_reserved: u32,
+    /// Live jobs after all handles dropped (leak check: 0).
+    pub final_active: usize,
+    /// The plane's own work counters.
+    pub stats: PlaneStats,
+}
+
+impl ServiceReport {
+    /// Fraction of completed jobs that met their deadline.
+    pub fn slo_attainment(&self) -> f64 {
+        if self.completed == 0 {
+            return 1.0;
+        }
+        self.slo_met as f64 / self.completed as f64
+    }
+
+    /// Fraction of submissions that were admitted.
+    pub fn admission_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 1.0;
+        }
+        self.admitted as f64 / self.submitted as f64
+    }
+
+    /// Average ticks between budget-split refreshes — the measured
+    /// refresh cadence (≈ mean live fleet size when the plane is
+    /// amortizing correctly).
+    pub fn ticks_per_refresh(&self) -> f64 {
+        if self.stats.refreshes == 0 {
+            return 0.0;
+        }
+        self.stats.ticks as f64 / self.stats.refreshes as f64
+    }
+}
+
+/// One worker's contribution, merged into the [`ServiceReport`].
+#[derive(Default)]
+struct WorkerStats {
+    submitted: u64,
+    admitted: u64,
+    rejected_capacity: u64,
+    rejected_infeasible: u64,
+    completed: u64,
+    slo_met: u64,
+    deadline_changes: u64,
+    tick_nanos: Vec<u64>,
+    max_slots: usize,
+}
+
+/// A live synthetic job owned by one worker.
+struct LiveJob {
+    handle: JobHandle,
+    /// Per-worker admission sequence number (drives deadline churn).
+    seq: u64,
+    work: f64,
+    deadline: f64,
+    work_done: f64,
+    elapsed: f64,
+    guarantee: u32,
+    changed: bool,
+}
+
+/// The single-stage indicator context all driver jobs share: job
+/// progress is the completed-vertex fraction of one 16-task stage.
+fn driver_indicator() -> IndicatorContext {
+    let mut b = JobGraphBuilder::new("service-driver");
+    b.stage("body", 16);
+    let g = b.build().expect("one-stage graph is valid");
+    let mut pb = ProfileBuilder::new(&g);
+    for _ in 0..16 {
+        pb.record_task(StageId(0), 1.0, 10.0, false);
+    }
+    let p = pb.finish(160.0, 1.0);
+    IndicatorContext::new(ProgressIndicator::VertexFrac, &g, &p, None)
+}
+
+/// Samples one job: a deadline, the token count its SLO needs, and a
+/// work size calibrated so admission reserves exactly that count.
+fn sample_job(rng: &mut StdRng, cfg: &ServiceConfig) -> (f64, f64, u32) {
+    let deadline = rng.gen_range(cfg.deadline_secs.0..=cfg.deadline_secs.1);
+    let (lo, hi) = cfg.tokens_needed;
+    let tokens = rng.gen_range(lo..=hi.max(lo));
+    // work = d·tokens·u / slack with u ∈ (tokens-1, tokens]/tokens ⇒
+    // ceil(work·slack/d) = tokens: the reservation is exactly `tokens`.
+    let u = (f64::from(tokens) - rng.gen_range(0.05..=0.9)) / f64::from(tokens);
+    let work = deadline * f64::from(tokens) * u / cfg.slack;
+    (work, deadline, tokens)
+}
+
+fn status_for(job: &LiveJob, frac: f64, finished: bool) -> JobStatus {
+    JobStatus {
+        now: SimTime::from_secs_f64(job.elapsed),
+        elapsed: SimDuration::from_secs_f64(job.elapsed),
+        stage_fraction: vec![frac],
+        stage_completed: vec![(frac * 16.0) as u32],
+        running: job.guarantee,
+        running_guaranteed: job.guarantee,
+        guarantee: job.guarantee,
+        work_done: job.work_done,
+        finished,
+    }
+}
+
+/// Runs one worker's submission loop against the shared plane.
+fn run_worker(
+    plane: &Arc<ControlPlane>,
+    cfg: &ServiceConfig,
+    worker: usize,
+    max_tokens: u32,
+) -> WorkerStats {
+    let mut rng = SeedDeriver::new(cfg.seed)
+        .child("service")
+        .rng_indexed("worker", worker as u64);
+    let indicator = driver_indicator();
+    let mut stats = WorkerStats::default();
+    let mut live: Vec<LiveJob> = Vec::new();
+    let mut seq: u64 = 0;
+
+    loop {
+        // Top the pool up to the concurrency target. Rejected
+        // submissions are final (open-loop): the recurrence was refused
+        // service, not queued.
+        while live.len() < cfg.concurrent_per_worker && (seq as usize) < cfg.submissions_per_worker
+        {
+            let (work, deadline, _tokens) = sample_job(&mut rng, cfg);
+            let name = format!("w{worker}-j{seq}");
+            seq += 1;
+            stats.submitted += 1;
+            let model = Arc::new(LinearWork { work, max_tokens });
+            match plane.try_add_job(
+                &name,
+                model,
+                indicator.clone(),
+                SimDuration::from_secs_f64(deadline),
+                cfg.slack,
+            ) {
+                Ok(handle) => {
+                    stats.admitted += 1;
+                    live.push(LiveJob {
+                        handle,
+                        seq,
+                        work,
+                        deadline,
+                        work_done: 0.0,
+                        elapsed: 0.0,
+                        guarantee: 0,
+                        changed: false,
+                    });
+                }
+                Err(AdmissionError::Infeasible) => stats.rejected_infeasible += 1,
+                Err(_) => stats.rejected_capacity += 1,
+            }
+        }
+        if live.is_empty() {
+            break; // Quota exhausted and every job drained.
+        }
+
+        // One control period: tick every live job once in virtual
+        // lockstep, measuring each tick's wall-clock latency.
+        let mut i = 0;
+        while i < live.len() {
+            let job = &mut live[i];
+            job.elapsed += cfg.tick_secs;
+            let frac = (job.work_done / job.work).min(1.0);
+            let finished = job.work_done >= job.work;
+            let st = status_for(job, frac, finished);
+            let t0 = Instant::now();
+            let decision = job.handle.tick(&st);
+            stats.tick_nanos.push(t0.elapsed().as_nanos() as u64);
+            if finished {
+                stats.completed += 1;
+                if job.elapsed <= job.deadline + 1e-9 {
+                    stats.slo_met += 1;
+                }
+                live.swap_remove(i);
+                continue;
+            }
+            job.guarantee = decision.guarantee;
+            job.work_done += f64::from(decision.guarantee) * cfg.tick_secs;
+            if cfg.deadline_change_every > 0
+                && !job.changed
+                && frac > 0.4
+                && job.seq.is_multiple_of(cfg.deadline_change_every)
+            {
+                // Tighten the SLO mid-flight; attainment is judged
+                // against the new, harder deadline.
+                job.changed = true;
+                job.deadline *= 0.85;
+                job.handle
+                    .deadline_changed(SimDuration::from_secs_f64(job.deadline));
+                stats.deadline_changes += 1;
+            }
+            i += 1;
+        }
+        stats.max_slots = stats.max_slots.max(plane.slot_count());
+    }
+    stats
+}
+
+/// Drives one long-lived [`ControlPlane`] from `cfg.workers` threads
+/// and reports the service-level numbers.
+pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
+    let plane = ControlPlane::new(cfg.budget);
+    // Cap the per-job sizing scan well above the largest requirement so
+    // infeasible deadlines are detected without walking the budget.
+    let max_tokens = cfg.tokens_needed.1.saturating_mul(4).max(8);
+    let max_slots = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut merged: Vec<WorkerStats> = Vec::with_capacity(cfg.workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|w| {
+                let plane = plane.clone();
+                let max_slots = &max_slots;
+                scope.spawn(move || {
+                    let stats = run_worker(&plane, cfg, w, max_tokens);
+                    max_slots.fetch_max(stats.max_slots, Ordering::Relaxed);
+                    stats
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.push(h.join().expect("worker panicked"));
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut tick_nanos: Vec<u64> = Vec::new();
+    let mut report = ServiceReport {
+        submitted: 0,
+        admitted: 0,
+        rejected_capacity: 0,
+        rejected_infeasible: 0,
+        completed: 0,
+        slo_met: 0,
+        deadline_changes: 0,
+        wall,
+        submissions_per_sec: 0.0,
+        ticks_per_sec: 0.0,
+        tick_p50_us: 0.0,
+        tick_p99_us: 0.0,
+        tick_max_us: 0.0,
+        max_slot_count: max_slots.load(Ordering::Relaxed),
+        final_reserved: plane.reserved(),
+        final_active: plane.active_jobs(),
+        stats: plane.stats(),
+    };
+    for w in merged {
+        report.submitted += w.submitted;
+        report.admitted += w.admitted;
+        report.rejected_capacity += w.rejected_capacity;
+        report.rejected_infeasible += w.rejected_infeasible;
+        report.completed += w.completed;
+        report.slo_met += w.slo_met;
+        report.deadline_changes += w.deadline_changes;
+        tick_nanos.extend(w.tick_nanos);
+    }
+    tick_nanos.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        if tick_nanos.is_empty() {
+            return 0.0;
+        }
+        let idx = ((tick_nanos.len() - 1) as f64 * q).round() as usize;
+        tick_nanos[idx] as f64 / 1_000.0
+    };
+    report.tick_p50_us = quantile(0.5);
+    report.tick_p99_us = quantile(0.99);
+    report.tick_max_us = tick_nanos.last().map_or(0.0, |&n| n as f64 / 1_000.0);
+    let secs = wall.as_secs_f64().max(1e-9);
+    report.submissions_per_sec = report.submitted as f64 / secs;
+    report.ticks_per_sec = report.stats.ticks as f64 / secs;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_jobs_reserve_exactly_their_token_target() {
+        let cfg = ServiceConfig::default();
+        let mut rng = SeedDeriver::new(7).rng("sample");
+        for _ in 0..500 {
+            let (work, deadline, tokens) = sample_job(&mut rng, &cfg);
+            let model = LinearWork {
+                work,
+                max_tokens: 64,
+            };
+            let sized = model
+                .size_for_deadline(&[0.0], SimDuration::from_secs_f64(deadline), cfg.slack)
+                .expect("sampled job must be feasible");
+            assert_eq!(sized, tokens, "work {work} deadline {deadline}");
+        }
+    }
+}

@@ -17,6 +17,10 @@ JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench control_plane
 # Smoke-run the simulation-kernel bench so both queue backends, the
 # dyn/enum sampling pair and the C(p, a) table path all execute.
 JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench simrt_kernel
+# Smoke-run the service NFR bench: the open-loop driver end to end
+# (multi-threaded admission, churn, drain; recorded numbers live in
+# BENCH_service.json). The bench asserts zero leaked reservations.
+JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench service
 # Golden-digest gate: run two cheap figures through the pipeline CLI
 # at smoke scale (parallel) and diff their emitted-TSV digests against
 # the committed goldens, making "byte-identical to baseline" a

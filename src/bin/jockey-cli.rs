@@ -43,9 +43,12 @@ USAGE:
   jockey-cli feasible <bundle.job> --deadline <minutes>
   jockey-cli run     <bundle.job> --deadline <minutes> [--policy jockey|no-adapt|no-sim|max]
                      [--seed S] [--util U]
+  jockey-cli service [--budget N] [--workers N] [--concurrent N] [--jobs N] [--seed S]
 
 A .job bundle is a key=value text file holding the compiled plan graph,
-the training profile, and (after `train`) the fitted C(p,a) model.";
+the training profile, and (after `train`) the fitted C(p,a) model.
+`service` runs the open-loop SLO admission service driver against one
+long-lived control plane and prints the service-level numbers.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("predict") => cmd_predict(&parse_flags(it)?),
         Some("feasible") => cmd_feasible(&parse_flags(it)?),
         Some("run") => cmd_run(&parse_flags(it)?),
+        Some("service") => cmd_service(&parse_flags(it)?),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -405,6 +409,63 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         }
         None => println!("job did not finish within the simulation horizon"),
     }
+    Ok(())
+}
+
+fn cmd_service(flags: &Flags) -> Result<(), String> {
+    let budget: u32 = flags.get_parsed("budget", 192)?;
+    let workers: usize = flags.get_parsed("workers", 4)?;
+    let concurrent: usize = flags.get_parsed("concurrent", 128)?;
+    let jobs: usize = flags.get_parsed("jobs", 512)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    if budget == 0 || workers == 0 || concurrent == 0 || jobs == 0 {
+        return Err("--budget, --workers, --concurrent and --jobs must be positive".into());
+    }
+
+    let cfg = jockey::workloads::service::ServiceConfig {
+        budget,
+        workers,
+        concurrent_per_worker: concurrent.div_ceil(workers),
+        submissions_per_worker: jobs.div_ceil(workers),
+        seed,
+        ..jockey::workloads::service::ServiceConfig::default()
+    };
+    let r = jockey::workloads::service::run_service(&cfg);
+    println!(
+        "service: {} submitted, {} admitted ({:.1}%), {} capacity-rejected, {} infeasible",
+        r.submitted,
+        r.admitted,
+        100.0 * r.admission_rate(),
+        r.rejected_capacity,
+        r.rejected_infeasible
+    );
+    println!(
+        "SLO: {}/{} met ({:.1}%), {} mid-flight deadline changes",
+        r.slo_met,
+        r.completed,
+        100.0 * r.slo_attainment(),
+        r.deadline_changes
+    );
+    println!(
+        "throughput: {:.0} submissions/s, {:.0} ticks/s over {:.2?} wall",
+        r.submissions_per_sec, r.ticks_per_sec, r.wall
+    );
+    println!(
+        "tick latency: p50 {:.2} us, p99 {:.2} us, max {:.1} us",
+        r.tick_p50_us, r.tick_p99_us, r.tick_max_us
+    );
+    println!(
+        "plane: {} ticks, {} refreshes ({:.0} ticks/refresh), {} over-committed rounds, peak {} slots",
+        r.stats.ticks,
+        r.stats.refreshes,
+        r.ticks_per_refresh(),
+        r.stats.over_committed_rounds,
+        r.max_slot_count
+    );
+    println!(
+        "drain: {} tokens reserved, {} jobs active after shutdown",
+        r.final_reserved, r.final_active
+    );
     Ok(())
 }
 
