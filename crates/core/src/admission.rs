@@ -9,7 +9,7 @@
 //! a new job is admitted only if the total reservation stays within the
 //! SLO capacity.
 
-use crate::cpa::CpaModel;
+use crate::predict::CompletionModel;
 use jockey_simrt::time::SimDuration;
 use std::collections::HashMap;
 use std::fmt;
@@ -65,13 +65,14 @@ pub struct Reservation {
 ///
 /// ```no_run
 /// use jockey_core::admission::AdmissionController;
-/// use jockey_core::cpa::CpaModel;
+/// use jockey_core::predict::CompletionModel;
 /// use jockey_simrt::time::SimDuration;
 ///
-/// fn demo(model: &CpaModel) {
+/// fn demo(model: &dyn CompletionModel, stage_count: usize) {
 ///     let mut ac = AdmissionController::new(100);
+///     let fresh = vec![0.0; stage_count];
 ///     let tokens = ac
-///         .try_admit("hourly-report", model, SimDuration::from_mins(60), 1.2)
+///         .try_admit("hourly-report", model, &fresh, SimDuration::from_mins(60), 1.2)
 ///         .unwrap();
 ///     assert!(tokens <= 100);
 ///     ac.release("hourly-report");
@@ -129,8 +130,7 @@ impl AdmissionController {
 
     /// Reserves a pre-sized token count, the primitive under
     /// [`AdmissionController::try_admit`] — used when the caller has
-    /// already sized the job (e.g. against a [`crate::predict::CompletionModel`]
-    /// that is not a `CpaModel`).
+    /// already sized the job by other means.
     ///
     /// # Errors
     ///
@@ -156,9 +156,15 @@ impl AdmissionController {
         Ok(tokens)
     }
 
-    /// Attempts to admit a job: sizes its reservation from the model
-    /// and deadline, and reserves it if it fits. Returns the reserved
-    /// token count.
+    /// Attempts to admit a job: sizes its reservation from the model's
+    /// fresh prediction (per-stage fractions `fs`, usually all zero)
+    /// against the deadline, and reserves it if it fits. Returns the
+    /// reserved token count.
+    ///
+    /// Takes any [`CompletionModel`], so the ledger works unchanged
+    /// whether the sizing comes from a frozen `CpaModel`, a live
+    /// [`crate::online::ModelHandle`] that re-resolves the newest
+    /// generation on every admission, or the Amdahl fallback.
     ///
     /// # Errors
     ///
@@ -169,7 +175,8 @@ impl AdmissionController {
     pub fn try_admit(
         &mut self,
         name: &str,
-        model: &CpaModel,
+        model: &dyn CompletionModel,
+        fs: &[f64],
         deadline: SimDuration,
         slack: f64,
     ) -> Result<u32, AdmissionError> {
@@ -177,7 +184,7 @@ impl AdmissionController {
             return Err(AdmissionError::DuplicateName);
         }
         let required = model
-            .min_allocation_for_deadline(deadline, slack)
+            .size_for_deadline(fs, deadline, slack)
             .ok_or(AdmissionError::Infeasible)?;
         self.try_reserve(name, required)
     }
@@ -198,12 +205,16 @@ impl AdmissionController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpa::CpaModel;
     use crate::progress::{IndicatorContext, ProgressIndicator};
     use crate::TrainConfig;
     use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
     use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
     use jockey_simrt::dist::Constant;
     use std::sync::Arc;
+
+    /// Fresh per-stage fractions for the two-stage test model.
+    const FS: &[f64] = &[0.0, 0.0];
 
     fn model() -> CpaModel {
         let mut b = JobGraphBuilder::new("adm");
@@ -230,13 +241,13 @@ mod tests {
         let m = model();
         let d = SimDuration::from_secs(120);
         let mut ac = AdmissionController::new(8);
-        let first = ac.try_admit("a", &m, d, 1.0).unwrap();
+        let first = ac.try_admit("a", &m, FS, d, 1.0).unwrap();
         assert!(first >= 1);
         // Keep admitting identical jobs until capacity runs out.
         let mut names = Vec::new();
         for i in 0.. {
             let name = format!("job{i}");
-            match ac.try_admit(&name, &m, d, 1.0) {
+            match ac.try_admit(&name, &m, FS, d, 1.0) {
                 Ok(_) => names.push(name),
                 Err(AdmissionError::InsufficientCapacity {
                     required,
@@ -257,7 +268,7 @@ mod tests {
         let m = model();
         let mut ac = AdmissionController::new(100);
         assert_eq!(
-            ac.try_admit("x", &m, SimDuration::from_secs(1), 1.0),
+            ac.try_admit("x", &m, FS, SimDuration::from_secs(1), 1.0),
             Err(AdmissionError::Infeasible)
         );
         assert_eq!(ac.reserved(), 0);
@@ -268,16 +279,16 @@ mod tests {
         let m = model();
         let d = SimDuration::from_secs(120);
         let mut ac = AdmissionController::new(16);
-        let t = ac.try_admit("a", &m, d, 1.0).unwrap();
+        let t = ac.try_admit("a", &m, FS, d, 1.0).unwrap();
         assert_eq!(
-            ac.try_admit("a", &m, d, 1.0),
+            ac.try_admit("a", &m, FS, d, 1.0),
             Err(AdmissionError::DuplicateName)
         );
         assert_eq!(ac.release("a"), Some(t));
         assert_eq!(ac.release("a"), None);
         assert_eq!(ac.reserved(), 0);
         // Re-admission after release succeeds.
-        assert!(ac.try_admit("a", &m, d, 1.0).is_ok());
+        assert!(ac.try_admit("a", &m, FS, d, 1.0).is_ok());
     }
 
     #[test]
@@ -314,10 +325,10 @@ mod tests {
         let m = model();
         let mut ac = AdmissionController::new(100);
         let loose = ac
-            .try_admit("loose", &m, SimDuration::from_secs(300), 1.0)
+            .try_admit("loose", &m, FS, SimDuration::from_secs(300), 1.0)
             .unwrap();
         let tight = ac
-            .try_admit("tight", &m, SimDuration::from_secs(70), 1.0)
+            .try_admit("tight", &m, FS, SimDuration::from_secs(70), 1.0)
             .unwrap();
         assert!(tight > loose, "tight {tight} vs loose {loose}");
     }

@@ -60,12 +60,29 @@ impl ArbiterJob {
 ///
 /// Returns the per-job allocations, in input order.
 ///
-/// A job's marginal gain changes only when *it* is granted a token, so
-/// the grant loop keeps candidates in a max-heap and re-inserts only
-/// the winner's next gain: O((jobs + budget) log jobs) per split
-/// instead of the naive O(budget × jobs) full rescan — the difference
-/// between milliseconds and seconds per refresh at a 10k-job fleet.
-/// Ties are broken by the lowest job index, matching the rescan.
+/// Tokens are granted in **jumps** along each job's concave utility
+/// envelope: a job's candidate is the jump size maximizing average
+/// utility gain per token, not just the next single token. On concave
+/// curves (closed-form models) the best jump is always one token and
+/// the loop matches the classic single-token greedy exactly. The jump
+/// matters for *learned* models ([`crate::online::ModelHandle`]): a
+/// pessimistic learned row sitting below optimistic unexplored rows
+/// makes utility non-concave in allocation, and a single-token scan
+/// stalls in the zero-or-negative-gain valley right below a large
+/// improvement — exactly the shape a drifted `C(p, a)` produces, where
+/// it starves jobs below the allocation admission reserved for them.
+///
+/// A job's candidate jump changes only when *it* is granted tokens, so
+/// the grant loop keeps one candidate per job in a max-heap and
+/// re-inserts only the winner's next jump: O((jobs + budget) × (log
+/// jobs + cap)) per split, where cap is the model allocation grid —
+/// still far below the naive O(budget × jobs × cap) full rescan at a
+/// 10k-job fleet. Ties are broken by the lowest job index, then the
+/// smallest jump, matching the single-token rescan on concave inputs.
+/// Allocation stops early when no job's average gain per token exceeds
+/// `1e-12` (granting tokens that help nobody would only hurt the rest
+/// of the cluster). Each job is capped at its model's
+/// [`CompletionModel::max_allocation`].
 ///
 /// # Panics
 ///
@@ -83,34 +100,62 @@ pub fn arbitrate(jobs: &[ArbiterJob], budget: u32) -> Vec<u32> {
     let mut alloc: Vec<u32> = vec![1; jobs.len()];
     let mut remaining = budget - jobs.len() as u32;
 
-    // (gain, Reverse(job)): pops the highest gain, lowest index first.
-    // Non-finite gains are floored to -inf so a NaN utility can never
-    // win a token. One live entry per job; granting pushes the job's
-    // next gain, so no entry ever goes stale.
-    let mut heap: BinaryHeap<(OrderedGain, Reverse<usize>)> = BinaryHeap::with_capacity(jobs.len());
-    let gain_at = |job: &ArbiterJob, a: u32| -> Option<f64> {
-        if a >= job.model.max_allocation() {
-            return None; // At cap: no further candidate.
+    // Best jump from allocation `a`, scanning at most `limit` tokens
+    // ahead: the (average gain per token, jump size) pair with the
+    // highest rate. Non-finite gains are floored to -inf so a NaN
+    // utility can never win tokens. Ties keep the smallest jump so
+    // concave curves degrade to the single-token greedy.
+    let best_jump = |job: &ArbiterJob, a: u32, limit: u32| -> Option<(f64, u32)> {
+        let cap = job.model.max_allocation();
+        if a >= cap || limit == 0 {
+            return None; // At cap (or dry pool): no further candidate.
         }
-        let g = job.utility_at(a + 1) - job.utility_at(a);
-        Some(if g.is_finite() { g } else { f64::NEG_INFINITY })
+        let base = job.utility_at(a);
+        let mut best: Option<(f64, u32)> = None;
+        for k in 1..=limit.min(cap - a) {
+            let g = job.utility_at(a + k) - base;
+            let rate = if g.is_finite() {
+                g / f64::from(k)
+            } else {
+                f64::NEG_INFINITY
+            };
+            if best.is_none_or(|(r, _)| rate > r) {
+                best = Some((rate, k));
+            }
+        }
+        best
     };
+
+    // (rate, Reverse(job), jump): pops the highest average gain, lowest
+    // index first. One live entry per job; granting pushes the job's
+    // next jump, so no entry ever goes stale — though a jump sized
+    // before other grants shrank the pool may no longer fit and is
+    // re-scanned under the tighter limit when popped.
+    let mut heap: BinaryHeap<(OrderedGain, Reverse<usize>, u32)> =
+        BinaryHeap::with_capacity(jobs.len());
     for (i, job) in jobs.iter().enumerate() {
-        if let Some(g) = gain_at(job, 1) {
-            heap.push((OrderedGain(g), Reverse(i)));
+        if let Some((rate, k)) = best_jump(job, 1, remaining) {
+            heap.push((OrderedGain(rate), Reverse(i), k));
         }
     }
     while remaining > 0 {
-        let Some((OrderedGain(gain), Reverse(i))) = heap.pop() else {
+        let Some((OrderedGain(rate), Reverse(i), k)) = heap.pop() else {
             break; // Every job is at its cap.
         };
-        if gain <= 1e-12 {
+        if rate <= 1e-12 {
             break; // Granting tokens that help nobody hurts the cluster.
         }
-        alloc[i] += 1;
-        remaining -= 1;
-        if let Some(g) = gain_at(&jobs[i], alloc[i]) {
-            heap.push((OrderedGain(g), Reverse(i)));
+        if k > remaining {
+            // Sized against a larger pool: re-scan within what's left.
+            if let Some((r, k2)) = best_jump(&jobs[i], alloc[i], remaining) {
+                heap.push((OrderedGain(r), Reverse(i), k2));
+            }
+            continue;
+        }
+        alloc[i] += k;
+        remaining -= k;
+        if let Some((r, k2)) = best_jump(&jobs[i], alloc[i], remaining) {
+            heap.push((OrderedGain(r), Reverse(i), k2));
         }
     }
     alloc
@@ -205,6 +250,67 @@ mod tests {
     #[test]
     fn empty_input_is_empty_output() {
         assert!(arbitrate(&[], 10).is_empty());
+    }
+
+    /// remaining = table[a - 1]: arbitrary per-allocation curves, the
+    /// shape a learned-with-floor model produces.
+    struct Table {
+        remaining: Vec<f64>,
+    }
+
+    impl CompletionModel for Table {
+        fn remaining_secs(&self, _fs: &[f64], _progress: f64, allocation: u32) -> f64 {
+            self.remaining[(allocation as usize - 1).min(self.remaining.len() - 1)]
+        }
+        fn max_allocation(&self) -> u32 {
+            self.remaining.len() as u32
+        }
+    }
+
+    #[test]
+    fn jump_grants_escape_a_non_concave_valley() {
+        // A drifted learned model blended with an optimistic floor: the
+        // learned row at 2 tokens is *slower* than the floor's answer at
+        // 1, so the single-token marginal gain at the floor is negative
+        // — but three tokens meet the deadline outright. The jump grant
+        // must climb out of the valley instead of stranding the job at
+        // its 1-token floor.
+        let jobs = [ArbiterJob {
+            model: Arc::new(Table {
+                remaining: vec![3_600.0, 5_460.0, 1_200.0, 900.0, 720.0],
+            }),
+            utility: UtilityFunction::deadline(SimDuration::from_secs_f64(3_000.0)),
+            progress: 0.0,
+            stage_fraction: vec![],
+            elapsed_secs: 0.0,
+            slack: 1.0,
+        }];
+        let alloc = arbitrate(&jobs, 12);
+        assert_eq!(alloc, vec![3], "stranded below the valley");
+    }
+
+    #[test]
+    fn oversized_jumps_rescan_within_the_shrunken_pool() {
+        // Accelerating gains: both jobs' best jump is 2 tokens straight
+        // to the 600-second rung, but after the first job takes it only
+        // one token is left. The second job's stale 2-token candidate
+        // must be re-scanned under the tighter limit and settle for the
+        // single useful step to 8 000 s instead of stalling at the
+        // floor.
+        let table = || Table {
+            remaining: vec![9_000.0, 8_000.0, 600.0, 300.0],
+        };
+        let mk = || ArbiterJob {
+            model: Arc::new(table()),
+            utility: UtilityFunction::deadline(SimDuration::from_secs_f64(1_000.0)),
+            progress: 0.0,
+            stage_fraction: vec![],
+            elapsed_secs: 0.0,
+            slack: 1.0,
+        };
+        let jobs = [mk(), mk()];
+        let alloc = arbitrate(&jobs, 5);
+        assert_eq!(alloc, vec![3, 2], "jump then clamped rescan");
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The `C(p, a)` completion-time model and its offline training
-//! pipeline (§4.1).
+//! The `C(p, a)` completion-time model, its offline training pipeline
+//! (§4.1), and the online absorb path that keeps trained models alive.
 //!
 //! `C(p, a)` is a random variable: the remaining time to complete the
 //! job when it has made progress `p` and holds `a` tokens. The paper
@@ -15,19 +15,35 @@
 //! allocations. This built-in pessimism is what lets Jockey
 //! "over-allocate resources at the start to compensate for potential
 //! future failures" (§1).
+//!
+//! # Living models
+//!
+//! Each `(allocation, bin)` cell is a mergeable
+//! [`CellSketch`](crate::sketch::CellSketch), so a completed run folds
+//! into the model with [`CpaModel::absorb`] in `O(cells)` — no
+//! retraining. With the default `sketch_capacity: None` the sketches
+//! are *exact* (plain sorted sample lists) and the model is
+//! byte-identical to the pre-sketch format; a bounded capacity trades
+//! memory for the sketch's documented rank-error bound.
+//! [`CpaModel::train`] itself is a thin wrapper that harvests
+//! simulation runs and absorbs them into an empty model.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec, RunHooks, SimWorkspace};
+use jockey_cluster::{
+    ClusterConfig, ClusterSim, FixedAllocation, JobSpec, RunHooks, RunTrace, SimWorkspace,
+};
 use jockey_jobgraph::graph::JobGraph;
 use jockey_jobgraph::profile::JobProfile;
 use jockey_simrt::observe::ProgressSink;
 use jockey_simrt::rng::SeedDeriver;
 use jockey_simrt::time::{SimDuration, SimTime};
 
-use crate::predict::CompletionModel;
+use crate::predict::{min_feasible_allocation, CompletionModel};
 use crate::progress::IndicatorContext;
+use crate::sketch::{CellSketch, MIN_SKETCH_CAPACITY};
 
 /// Offline training configuration.
 #[derive(Clone, Debug)]
@@ -49,6 +65,13 @@ pub struct TrainConfig {
     /// allocation. The trained model is identical for any value — RNG
     /// streams derive from grid position, never from thread scheduling.
     pub threads: Option<usize>,
+    /// Per-cell quantile-sketch capacity. `None` (the default) keeps
+    /// every sample — cells are exact sorted lists and the model is
+    /// byte-identical to the pre-sketch format. `Some(k)` bounds each
+    /// sketch level at `k` items, trading memory for the tracked
+    /// rank-error bound documented on
+    /// [`CellSketch`](crate::sketch::CellSketch).
+    pub sketch_capacity: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -68,6 +91,7 @@ impl Default for TrainConfig {
             percentile: 95.0,
             max_sim_time: SimTime::from_mins(24 * 60),
             threads: None,
+            sketch_capacity: None,
         }
     }
 }
@@ -84,6 +108,7 @@ impl TrainConfig {
             percentile: 90.0,
             max_sim_time: SimTime::from_mins(12 * 60),
             threads: None,
+            sketch_capacity: None,
         }
     }
 
@@ -110,6 +135,11 @@ impl TrainConfig {
         if self.sample_period.is_zero() {
             return Err(InvalidTrainConfig::SamplePeriod);
         }
+        if let Some(k) = self.sketch_capacity {
+            if k < MIN_SKETCH_CAPACITY {
+                return Err(InvalidTrainConfig::SketchCapacity(k));
+            }
+        }
         Ok(())
     }
 
@@ -135,6 +165,9 @@ pub enum InvalidTrainConfig {
     Percentile(f64),
     /// `sample_period` must be positive.
     SamplePeriod,
+    /// `sketch_capacity` must be at least
+    /// [`MIN_SKETCH_CAPACITY`](crate::sketch::MIN_SKETCH_CAPACITY).
+    SketchCapacity(usize),
 }
 
 impl fmt::Display for InvalidTrainConfig {
@@ -152,6 +185,12 @@ impl fmt::Display for InvalidTrainConfig {
                 write!(f, "percentile must be a finite value in [50, 100], got {v}")
             }
             InvalidTrainConfig::SamplePeriod => write!(f, "sample_period must be positive"),
+            InvalidTrainConfig::SketchCapacity(v) => {
+                write!(
+                    f,
+                    "sketch_capacity must be >= {MIN_SKETCH_CAPACITY}, got {v}"
+                )
+            }
         }
     }
 }
@@ -163,6 +202,42 @@ impl std::error::Error for InvalidTrainConfig {}
 /// never drift apart.
 fn progress_bin(p: f64, bins: usize) -> usize {
     (((p.clamp(0.0, 1.0)) * bins as f64) as usize).min(bins - 1)
+}
+
+/// Linear interpolation between two grid values, repairing the
+/// `inf − inf` case that arises when vacant (sample-free) rows sit
+/// next to the query. Finite inputs keep the exact historical
+/// expression `va + (vb − va) * w`, bit for bit; only answers the
+/// straight-line formula turns into NaN are resolved — by the weight's
+/// endpoint when it lands on one, and pessimistically (`INFINITY`)
+/// strictly between.
+fn lerp_grid(va: f64, vb: f64, w: f64) -> f64 {
+    let v = va + (vb - va) * w;
+    if !v.is_nan() || va.is_nan() || vb.is_nan() {
+        return v;
+    }
+    if w >= 1.0 {
+        vb
+    } else if w <= 0.0 {
+        va
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// One runtime observation fed back into the model: at `elapsed_secs`
+/// since job start the job had made `progress` while holding
+/// `allocation` tokens. A completed run's observations become
+/// remaining-time samples `(total − elapsed).max(0)` exactly as
+/// training-time harvesting does.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunObservation {
+    /// Seconds since the job started.
+    pub elapsed_secs: f64,
+    /// Progress-indicator value in `[0, 1]` at that instant.
+    pub progress: f64,
+    /// Tokens held at that instant (snapped to the nearest grid point).
+    pub allocation: u32,
 }
 
 /// A borrowed [`ProgressSink`] that folds each control-tick snapshot
@@ -181,20 +256,35 @@ impl ProgressSink for SampleCollector<'_> {
     }
 }
 
+/// The samples harvested from one simulated training run.
+struct RunHarvest {
+    /// `(elapsed_secs, progress)` pairs at each control tick.
+    samples: Vec<(f64, f64)>,
+    /// Completion time, horizon-censored for runs that never finished.
+    total_secs: f64,
+    /// Whether the run actually completed within the horizon.
+    completed: bool,
+}
+
 /// The trained `C(p, a)` table.
 #[derive(Clone, Debug)]
 pub struct CpaModel {
     allocations: Vec<u32>,
     bins: usize,
     percentile: f64,
-    /// `cells[alloc_idx][bin]`: ascending-sorted remaining-time samples.
-    cells: Vec<Vec<Vec<f64>>>,
+    /// Per-level sketch capacity shared by every cell (`None` = exact).
+    sketch_k: Option<usize>,
+    /// `cells[alloc_idx][bin]`: a mergeable quantile sketch over the
+    /// remaining-time samples. Exact (a plain sorted list) unless a
+    /// `sketch_capacity` was configured.
+    cells: Vec<Vec<CellSketch>>,
     /// Dense `allocations.len() x bins` lookup table: the configured
     /// percentile of each `(allocation, bin)` cell, with the outward
     /// empty-cell fallback already resolved. [`CpaModel::remaining`] —
     /// the per-controller-tick query — reads this instead of
-    /// recomputing `percentile_sorted` over raw samples. Raw `cells`
-    /// are retained for explicit-percentile queries and serialization.
+    /// recomputing the percentile over raw samples. Raw `cells` are
+    /// retained for explicit-percentile queries, absorption, and
+    /// serialization.
     table: Vec<f64>,
     /// Whether the fresh-latency column (`table[·][bin_of(0)]`) is
     /// non-increasing in allocation. When it is — the overwhelmingly
@@ -205,12 +295,58 @@ pub struct CpaModel {
 }
 
 impl CpaModel {
+    /// An empty (sample-free) model with `cfg`'s shape: the starting
+    /// point for purely online accumulation via [`CpaModel::absorb`].
+    /// Every query on it answers `INFINITY` until samples arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`TrainConfig`].
+    pub fn empty(cfg: &TrainConfig) -> Self {
+        cfg.validate();
+        let mut model = CpaModel {
+            allocations: cfg.allocations.clone(),
+            bins: cfg.progress_bins,
+            percentile: cfg.percentile,
+            sketch_k: cfg.sketch_capacity,
+            cells: vec![
+                vec![CellSketch::new(cfg.sketch_capacity); cfg.progress_bins];
+                cfg.allocations.len()
+            ],
+            table: Vec::new(),
+            fresh_monotone: false,
+        };
+        model.build_table();
+        model
+    }
+
+    /// A sample-free model with the same shape (grid, bins, percentile,
+    /// sketch capacity) as `self` — the seed for drift-triggered
+    /// retraining from a retained run window.
+    pub fn vacant_copy(&self) -> Self {
+        let mut model = CpaModel {
+            allocations: self.allocations.clone(),
+            bins: self.bins,
+            percentile: self.percentile,
+            sketch_k: self.sketch_k,
+            cells: vec![vec![CellSketch::new(self.sketch_k); self.bins]; self.allocations.len()],
+            table: Vec::new(),
+            fresh_monotone: false,
+        };
+        model.build_table();
+        model
+    }
+
     /// Trains the model by simulating `profile` (replayed through
     /// `spec`'s graph) at every allocation in the grid, indexing
     /// progress with `indicator`.
     ///
     /// Training is deterministic in `seed` and parallelized across the
-    /// allocation grid.
+    /// allocation grid. It is a thin wrapper over the online path: the
+    /// harvested runs are absorbed, one by one, into an empty model —
+    /// with the default exact sketches this reproduces the historical
+    /// trained bytes bit-for-bit, and with a bounded `sketch_capacity`
+    /// it matches within the sketch's documented rank-error bound.
     ///
     /// # Panics
     ///
@@ -234,16 +370,17 @@ impl CpaModel {
         let n = cfg.allocations.len();
         let threads = cfg.threads.unwrap_or(n).clamp(1, n.max(1));
         let chunk = n.div_ceil(threads);
-        let mut cells: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n];
+        let mut harvests: Vec<Vec<RunHarvest>> = Vec::new();
+        harvests.resize_with(n, Vec::new);
         std::thread::scope(|scope| {
-            for (ci, chunk_cells) in cells.chunks_mut(chunk).enumerate() {
+            for (ci, chunk_harvests) in harvests.chunks_mut(chunk).enumerate() {
                 let spec = &spec;
                 let seeds = &seeds;
                 scope.spawn(move || {
                     let mut ws = SimWorkspace::new();
-                    for (k, cell) in chunk_cells.iter_mut().enumerate() {
+                    for (k, harvest) in chunk_harvests.iter_mut().enumerate() {
                         let ai = ci * chunk + k;
-                        *cell = train_one_allocation(
+                        *harvest = train_one_allocation(
                             spec,
                             indicator,
                             cfg.allocations[ai],
@@ -256,21 +393,138 @@ impl CpaModel {
             }
         });
 
-        for alloc_cells in &mut cells {
-            for cell in alloc_cells.iter_mut() {
-                cell.sort_by(f64::total_cmp);
+        // Absorb every harvested run, in grid-then-run order, into an
+        // empty model. Deterministic and thread-count independent: the
+        // per-cell sample multiset does not depend on absorb order, and
+        // sorted merges keep each exact cell identical to a one-shot
+        // concat-then-sort of the same samples.
+        let mut model = CpaModel::empty(cfg);
+        let mut obs: Vec<RunObservation> = Vec::new();
+        for (ai, runs) in harvests.iter().enumerate() {
+            let allocation = cfg.allocations[ai];
+            for run in runs {
+                obs.clear();
+                obs.extend(run.samples.iter().map(|&(t, p)| RunObservation {
+                    elapsed_secs: t,
+                    progress: p,
+                    allocation,
+                }));
+                let completed_alloc = run.completed.then_some(allocation);
+                model.fold_run(&obs, run.total_secs, completed_alloc, None);
             }
         }
-        let mut model = CpaModel {
-            allocations: cfg.allocations.clone(),
-            bins: cfg.progress_bins,
-            percentile: cfg.percentile,
-            cells,
-            table: Vec::new(),
-            fresh_monotone: false,
-        };
         model.build_table();
         model
+    }
+
+    /// Folds one completed (or horizon-censored) run's observations
+    /// into the model's sketches in `O(cells)` and incrementally
+    /// rebuilds the affected query-table rows. Returns the number of
+    /// samples added.
+    ///
+    /// This is the online counterpart of one training run: each
+    /// observation contributes `(total_secs − elapsed).max(0)` to the
+    /// cell at its progress bin and nearest grid allocation, and a
+    /// completed run additionally contributes a zero-remaining sample
+    /// at full progress.
+    pub fn absorb_observations(
+        &mut self,
+        obs: &[RunObservation],
+        total_secs: f64,
+        completed: bool,
+    ) -> usize {
+        let completed_alloc = if completed {
+            obs.last().map(|o| o.allocation)
+        } else {
+            None
+        };
+        let mut dirty = vec![false; self.allocations.len()];
+        let added = self.fold_run(obs, total_secs, completed_alloc, Some(&mut dirty));
+        self.rebuild_rows(&dirty);
+        added
+    }
+
+    /// Folds one recorded run trace into the model (see
+    /// [`CpaModel::absorb_observations`]). Elapsed times are measured
+    /// from the trace's first guarantee point (the admission tick);
+    /// the allocation paired with each progress point is the applied
+    /// guarantee at that instant. Returns the number of samples added
+    /// (0 for traces with no progress points).
+    pub fn absorb(&mut self, trace: &RunTrace, total_secs: f64, completed: bool) -> usize {
+        let start = trace
+            .guarantee
+            .points()
+            .first()
+            .map_or(SimTime::ZERO, |&(at, _)| at);
+        let obs: Vec<RunObservation> = trace
+            .progress
+            .points()
+            .iter()
+            .filter_map(|&(at, p)| {
+                let tokens = trace.guarantee.value_at(at)?;
+                Some(RunObservation {
+                    elapsed_secs: at.saturating_since(start).as_secs_f64(),
+                    progress: p,
+                    allocation: tokens as u32,
+                })
+            })
+            .collect();
+        self.absorb_observations(&obs, total_secs, completed)
+    }
+
+    /// Shared absorb core: stages samples per cell, merges each staged
+    /// batch into its sketch, and marks touched allocations dirty.
+    /// Does *not* rebuild the query table — callers either rebuild the
+    /// dirty rows (online absorb) or the whole table once (training).
+    fn fold_run(
+        &mut self,
+        obs: &[RunObservation],
+        total_secs: f64,
+        completed_alloc: Option<u32>,
+        mut dirty: Option<&mut Vec<bool>>,
+    ) -> usize {
+        let mut staged: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
+        for o in obs {
+            let ai = self.grid_index_nearest(o.allocation);
+            let bin = progress_bin(o.progress, self.bins);
+            staged
+                .entry((ai, bin))
+                .or_default()
+                .push((total_secs - o.elapsed_secs).max(0.0));
+        }
+        // Completion itself: zero remaining at full progress (only for
+        // runs that actually completed).
+        if let Some(a) = completed_alloc {
+            let ai = self.grid_index_nearest(a);
+            staged.entry((ai, self.bins - 1)).or_default().push(0.0);
+        }
+        let mut added = 0;
+        for ((ai, bin), mut batch) in staged {
+            batch.sort_by(f64::total_cmp);
+            added += batch.len();
+            self.cells[ai][bin].extend_sorted(&batch);
+            if let Some(d) = dirty.as_deref_mut() {
+                d[ai] = true;
+            }
+        }
+        added
+    }
+
+    /// The grid index nearest to `allocation` (lower index wins ties).
+    fn grid_index_nearest(&self, allocation: u32) -> usize {
+        let grid = &self.allocations;
+        let hi = grid.partition_point(|&g| g < allocation);
+        if hi == 0 {
+            return 0;
+        }
+        if hi == grid.len() {
+            return grid.len() - 1;
+        }
+        if allocation - grid[hi - 1] <= grid[hi] - allocation {
+            hi - 1
+        } else {
+            hi
+        }
     }
 
     /// Precomputes the dense query table from the raw cells: one
@@ -286,6 +540,26 @@ impl CpaModel {
             }
         }
         self.table = table;
+        self.check_fresh_monotone();
+    }
+
+    /// Recomputes the table rows of the dirty allocations and
+    /// re-derives the monotone flag. One new sample can change *every*
+    /// bin of its allocation's row — the outward empty-cell fallback
+    /// scans the whole row — so the incremental unit is a row, never a
+    /// single cell; rows never read other allocations' cells, so clean
+    /// rows keep their exact bytes.
+    fn rebuild_rows(&mut self, dirty: &[bool]) {
+        debug_assert_eq!(dirty.len(), self.allocations.len());
+        let mut row = Vec::with_capacity(self.bins);
+        for (ai, &is_dirty) in dirty.iter().enumerate() {
+            if !is_dirty {
+                continue;
+            }
+            row.clear();
+            row.extend((0..self.bins).map(|bin| self.remaining_at_grid(ai, bin, self.percentile)));
+            self.table[ai * self.bins..(ai + 1) * self.bins].copy_from_slice(&row);
+        }
         self.check_fresh_monotone();
     }
 
@@ -312,9 +586,38 @@ impl CpaModel {
         self.percentile
     }
 
-    /// Total number of stored samples (diagnostics).
+    /// The per-cell sketch capacity (`None` = exact cells).
+    pub fn sketch_capacity(&self) -> Option<usize> {
+        self.sketch_k
+    }
+
+    /// Total number of represented samples (diagnostics). Bounded
+    /// sketches represent more samples than they store — see
+    /// [`CpaModel::stored_item_count`].
     pub fn sample_count(&self) -> usize {
-        self.cells.iter().flat_map(|a| a.iter().map(Vec::len)).sum()
+        self.cells
+            .iter()
+            .flat_map(|a| a.iter().map(|c| c.count() as usize))
+            .sum()
+    }
+
+    /// Number of items physically stored across all sketches — the
+    /// model's memory footprint, which a bounded `sketch_capacity`
+    /// keeps from growing linearly with absorbed runs.
+    pub fn stored_item_count(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|a| a.iter().map(CellSketch::item_count))
+            .sum()
+    }
+
+    /// The summed worst-case rank error across all cells (diagnostics);
+    /// zero for exact models.
+    pub fn rank_error_bound(&self) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|a| a.iter().map(CellSketch::rank_error_bound))
+            .sum()
     }
 
     fn bin_of(&self, p: f64) -> usize {
@@ -334,7 +637,7 @@ impl CpaModel {
             ];
             for b in candidates.into_iter().flatten() {
                 if !cells[b].is_empty() {
-                    return jockey_simrt::stats::percentile_sorted(&cells[b], percentile);
+                    return cells[b].quantile(percentile);
                 }
             }
         }
@@ -371,7 +674,7 @@ impl CpaModel {
         }
         let (va, vb) = (at(lo), at(hi));
         let w = f64::from(allocation - ga) / f64::from(gb - ga);
-        va + (vb - va) * w
+        lerp_grid(va, vb, w)
     }
 
     /// `C(p, a)` at an explicit percentile.
@@ -399,7 +702,7 @@ impl CpaModel {
         let va = self.remaining_at_grid(lo, bin, percentile);
         let vb = self.remaining_at_grid(hi, bin, percentile);
         let w = f64::from(allocation - ga) / f64::from(gb - ga);
-        va + (vb - va) * w
+        lerp_grid(va, vb, w)
     }
 
     /// Estimated full-job latency at allocation `a` (progress 0) — the
@@ -417,32 +720,26 @@ impl CpaModel {
     /// column, so a non-increasing column makes the feasibility
     /// predicate monotone in `a`. Otherwise it falls back to the
     /// exhaustive ascending scan; both paths return identical answers
-    /// on monotone tables.
+    /// on monotone tables. Shared with the generic trait default via
+    /// [`min_feasible_allocation`].
     pub fn min_allocation_for_deadline(&self, deadline: SimDuration, slack: f64) -> Option<u32> {
         let d = deadline.as_secs_f64();
         let max = *self.allocations.last().expect("non-empty grid");
-        let fits = |a: u32| self.fresh_latency(a) * slack <= d;
-        if !self.fresh_monotone {
-            return (1..=max).find(|&a| fits(a));
-        }
-        if !fits(max) {
-            return None;
-        }
-        // Invariant: fits(hi); find the first fitting allocation.
-        let (mut lo, mut hi) = (1_u32, max);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if fits(mid) {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        Some(hi)
+        min_feasible_allocation(max, self.fresh_monotone, |a| {
+            self.fresh_latency(a) * slack <= d
+        })
     }
 
     /// Serializes the trained table to a [`jockey_simrt::table::KvStore`],
     /// so models can be trained once and shipped alongside job profiles.
+    ///
+    /// Exact cells (the default) serialize precisely as the pre-sketch
+    /// format did — one `cell.<alloc>.<bin>` sample list per non-empty
+    /// cell — so frozen offline-trained models stay byte-identical.
+    /// Bounded sketches additionally emit a top-level `sketch_k`, one
+    /// `cell.<alloc>.<bin>.l<i>` list per non-empty upper level, and a
+    /// `cell.<alloc>.<bin>.c` compaction-counter list per compacted
+    /// cell, which is everything needed to resume absorbing.
     pub fn to_kv(&self) -> jockey_simrt::table::KvStore {
         let mut kv = jockey_simrt::table::KvStore::new();
         kv.set_u64("bins", self.bins as u64);
@@ -455,10 +752,23 @@ impl CpaModel {
                 .map(|&a| f64::from(a))
                 .collect::<Vec<_>>(),
         );
+        if let Some(k) = self.sketch_k {
+            kv.set_u64("sketch_k", k as u64);
+        }
         for (ai, alloc_cells) in self.cells.iter().enumerate() {
             for (bin, cell) in alloc_cells.iter().enumerate() {
-                if !cell.is_empty() {
-                    kv.set_f64_list(&format!("cell.{ai}.{bin}"), cell);
+                let levels = cell.levels();
+                if !levels[0].is_empty() {
+                    kv.set_f64_list(&format!("cell.{ai}.{bin}"), &levels[0]);
+                }
+                for (li, level) in levels.iter().enumerate().skip(1) {
+                    if !level.is_empty() {
+                        kv.set_f64_list(&format!("cell.{ai}.{bin}.l{li}"), level);
+                    }
+                }
+                if cell.compactions().iter().any(|&c| c > 0) {
+                    let comps: Vec<f64> = cell.compactions().iter().map(|&c| c as f64).collect();
+                    kv.set_f64_list(&format!("cell.{ai}.{bin}.c"), &comps);
                 }
             }
         }
@@ -485,23 +795,76 @@ impl CpaModel {
         if !percentile.is_finite() || !(0.0..=100.0).contains(&percentile) {
             return Err(ModelLoadError::BadPercentile(percentile));
         }
-        let mut cells = vec![vec![Vec::new(); bins]; allocations.len()];
+        let sketch_k = match kv.get_u64("sketch_k") {
+            Some(k) if (k as usize) < MIN_SKETCH_CAPACITY => {
+                return Err(ModelLoadError::BadSketchCapacity(k));
+            }
+            Some(k) => Some(k as usize),
+            None => None,
+        };
+        // Raw per-cell parts (sketch levels, per-level compaction
+        // counts), grown level-by-level as keys arrive.
+        type RawCell = (Vec<Vec<f64>>, Vec<u64>);
+        let mut raw: Vec<Vec<RawCell>> =
+            vec![vec![(vec![Vec::new()], Vec::new()); bins]; allocations.len()];
         for key in kv.keys() {
             if let Some(rest) = key.strip_prefix("cell.") {
                 let bad = || ModelLoadError::BadCell(key.to_string());
-                let (ai, bin) = rest.split_once('.').ok_or_else(bad)?;
-                let ai: usize = ai.parse().map_err(|_| bad())?;
-                let bin: usize = bin.parse().map_err(|_| bad())?;
+                let parts: Vec<&str> = rest.split('.').collect();
+                if parts.len() != 2 && parts.len() != 3 {
+                    return Err(bad());
+                }
+                let ai: usize = parts[0].parse().map_err(|_| bad())?;
+                let bin: usize = parts[1].parse().map_err(|_| bad())?;
                 if ai >= allocations.len() || bin >= bins {
                     return Err(bad());
                 }
-                cells[ai][bin] = kv.get_f64_list(key).ok_or_else(bad)?;
+                let values = kv.get_f64_list(key).ok_or_else(bad)?;
+                let (levels, comps) = &mut raw[ai][bin];
+                match parts.get(2) {
+                    None => levels[0] = values,
+                    Some(&"c") => {
+                        let mut parsed = Vec::with_capacity(values.len());
+                        for c in values {
+                            if !(c.is_finite() && c >= 0.0 && c.fract() == 0.0) {
+                                return Err(bad());
+                            }
+                            parsed.push(c as u64);
+                        }
+                        if levels.len() < parsed.len() {
+                            levels.resize(parsed.len(), Vec::new());
+                        }
+                        *comps = parsed;
+                    }
+                    Some(level_key) => {
+                        let li: usize = level_key
+                            .strip_prefix('l')
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&li| li >= 1)
+                            .ok_or_else(bad)?;
+                        if levels.len() <= li {
+                            levels.resize(li + 1, Vec::new());
+                        }
+                        levels[li] = values;
+                    }
+                }
             }
+        }
+        let mut cells = Vec::with_capacity(allocations.len());
+        for (ai, alloc_raw) in raw.into_iter().enumerate() {
+            let mut alloc_cells = Vec::with_capacity(bins);
+            for (bin, (levels, comps)) in alloc_raw.into_iter().enumerate() {
+                let sketch = CellSketch::from_parts(sketch_k, levels, comps)
+                    .ok_or_else(|| ModelLoadError::BadCell(format!("cell.{ai}.{bin}")))?;
+                alloc_cells.push(sketch);
+            }
+            cells.push(alloc_cells);
         }
         let mut model = CpaModel {
             allocations,
             bins,
             percentile,
+            sketch_k,
             cells,
             table: Vec::new(),
             fresh_monotone: false,
@@ -521,9 +884,11 @@ pub enum ModelLoadError {
     EmptyModel,
     /// The stored `percentile` is not a finite value in `[0, 100]`.
     BadPercentile(f64),
-    /// A `cell.<alloc>.<bin>` key is malformed, out of range, or not a
-    /// float list.
+    /// A `cell.<alloc>.<bin>[...]` key is malformed, out of range, not
+    /// a float list, or inconsistent with the cell's other parts.
     BadCell(String),
+    /// The stored `sketch_k` is below the supported minimum.
+    BadSketchCapacity(u64),
 }
 
 impl fmt::Display for ModelLoadError {
@@ -535,6 +900,9 @@ impl fmt::Display for ModelLoadError {
                 write!(f, "percentile must be a finite value in [0, 100], got {v}")
             }
             ModelLoadError::BadCell(k) => write!(f, "malformed cell key `{k}`"),
+            ModelLoadError::BadSketchCapacity(v) => {
+                write!(f, "sketch_k must be >= {MIN_SKETCH_CAPACITY}, got {v}")
+            }
         }
     }
 }
@@ -555,8 +923,8 @@ impl CompletionModel for CpaModel {
     }
 }
 
-/// Simulates every training run for one allocation and buckets the
-/// harvested samples. The hot path is allocation-lean: the shared spec
+/// Simulates every training run for one allocation and returns the
+/// per-run harvests. The hot path is allocation-lean: the shared spec
 /// is never deep-cloned, per-job state vectors are rented from `ws`,
 /// trace/profile recording is off, and snapshots flow through a
 /// borrowed [`SampleCollector`] into one reused buffer.
@@ -567,11 +935,10 @@ fn train_one_allocation(
     cfg: &TrainConfig,
     seeds: SeedDeriver,
     ws: &mut SimWorkspace,
-) -> Vec<Vec<f64>> {
-    let mut cells: Vec<Vec<f64>> = vec![Vec::new(); cfg.progress_bins];
-    let mut samples: Vec<(f64, f64)> = Vec::new();
+) -> Vec<RunHarvest> {
+    let mut harvests = Vec::with_capacity(cfg.runs_per_allocation);
     for run in 0..cfg.runs_per_allocation {
-        samples.clear();
+        let mut samples: Vec<(f64, f64)> = Vec::new();
         let mut sim_cfg = ClusterConfig::dedicated_with_failures(allocation);
         sim_cfg.control_period = cfg.sample_period;
         sim_cfg.max_sim_time = cfg.max_sim_time;
@@ -595,20 +962,18 @@ fn train_one_allocation(
         // the completion time yields pessimistic-but-finite samples, so
         // starved allocations read as "very slow" rather than leaving
         // empty cells that would be misread as "instant".
-        let total = match result.duration() {
+        let completed = result.duration().is_some();
+        let total_secs = match result.duration() {
             Some(d) => d.as_secs_f64(),
             None => cfg.max_sim_time.as_secs_f64(),
         };
-        for &(t, p) in &samples {
-            cells[progress_bin(p, cfg.progress_bins)].push((total - t).max(0.0));
-        }
-        // Completion itself: zero remaining at full progress (only for
-        // runs that actually completed).
-        if result.duration().is_some() {
-            cells[cfg.progress_bins - 1].push(0.0);
-        }
+        harvests.push(RunHarvest {
+            samples,
+            total_secs,
+            completed,
+        });
     }
-    cells
+    harvests
 }
 
 /// Runs the job once on an effectively unconstrained cluster and
@@ -900,6 +1265,263 @@ mod tests {
 }
 
 #[cfg(test)]
+mod absorb_tests {
+    use super::*;
+    use jockey_simrt::rng::SeedDeriver;
+    use rand::Rng;
+
+    fn cfg(sketch_capacity: Option<usize>) -> TrainConfig {
+        TrainConfig {
+            progress_bins: 20,
+            sketch_capacity,
+            ..TrainConfig::fast(vec![2, 4, 8, 16])
+        }
+    }
+
+    /// A deterministic synthetic run: samples every `period` seconds at
+    /// linearly growing progress, completing at `total`.
+    fn synth_run(seed: u64, allocation: u32) -> (Vec<RunObservation>, f64) {
+        let mut rng = SeedDeriver::new(seed).rng("synth-run");
+        let total: f64 = rng.gen_range(200.0..2000.0) / f64::from(allocation);
+        let ticks = rng.gen_range(5..40);
+        let obs = (0..ticks)
+            .map(|i| {
+                let frac = f64::from(i) / f64::from(ticks);
+                RunObservation {
+                    elapsed_secs: frac * total,
+                    progress: (frac + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0),
+                    allocation,
+                }
+            })
+            .collect();
+        (obs, total)
+    }
+
+    fn runs(seed: u64, n: u64, grid: &[u32]) -> Vec<(Vec<RunObservation>, f64)> {
+        (0..n)
+            .map(|i| synth_run(seed ^ (i * 977), grid[(i % grid.len() as u64) as usize]))
+            .collect()
+    }
+
+    /// Satellite: absorbing the same trace set under any batch split or
+    /// order yields the *identical* exact model — the per-cell sample
+    /// multiset is order-free, and exact sketches are its unique sorted
+    /// rendering. Checked on serialized bytes, the strongest equality.
+    #[test]
+    fn absorb_order_and_batch_split_do_not_change_exact_models() {
+        let c = cfg(None);
+        let all = runs(31, 24, &c.allocations);
+
+        let mut one_by_one = CpaModel::empty(&c);
+        for (obs, total) in &all {
+            one_by_one.absorb_observations(obs, *total, true);
+        }
+
+        let mut reversed = CpaModel::empty(&c);
+        for (obs, total) in all.iter().rev() {
+            reversed.absorb_observations(obs, *total, true);
+        }
+
+        // One giant batch: all runs' observations fused, completion
+        // markers replayed separately to keep per-run semantics.
+        let mut fused = CpaModel::empty(&c);
+        for (obs, total) in &all {
+            let (head, tail) = obs.split_at(obs.len() / 2);
+            fused.absorb_observations(head, *total, false);
+            fused.absorb_observations(tail, *total, true);
+        }
+
+        let bytes = one_by_one.to_kv().to_text();
+        assert_eq!(reversed.to_kv().to_text(), bytes, "reversed order");
+        assert_eq!(fused.to_kv().to_text(), bytes, "split batches");
+        assert_eq!(one_by_one.rank_error_bound(), 0);
+    }
+
+    /// Satellite: a bounded-sketch model absorbed in arbitrary batch
+    /// splits answers every cell quantile within the documented rank
+    /// error of the exact (one-shot) model built from the same samples.
+    #[test]
+    fn bounded_absorb_stays_within_documented_error_of_one_shot() {
+        let exact_cfg = cfg(None);
+        let bounded_cfg = cfg(Some(16));
+        let all = runs(77, 48, &exact_cfg.allocations);
+
+        let mut exact = CpaModel::empty(&exact_cfg);
+        let mut bounded = CpaModel::empty(&bounded_cfg);
+        for (i, (obs, total)) in all.iter().enumerate() {
+            exact.absorb_observations(obs, *total, true);
+            // Vary the split point per run to exercise merge orders.
+            let split = (i * 7) % obs.len().max(1);
+            let (head, tail) = obs.split_at(split);
+            bounded.absorb_observations(head, *total, false);
+            bounded.absorb_observations(tail, *total, true);
+        }
+        assert_eq!(bounded.sample_count(), exact.sample_count());
+
+        let mut checked = 0;
+        for ai in 0..exact.allocations.len() {
+            for bin in 0..exact.bins {
+                let cell = &exact.cells[ai][bin];
+                if cell.is_empty() {
+                    assert!(bounded.cells[ai][bin].is_empty());
+                    continue;
+                }
+                let sorted = &cell.levels()[0];
+                let sk = &bounded.cells[ai][bin];
+                // Documented bound: rank error <= sum of compaction
+                // errors, plus one top-level item weight for the
+                // interpolation straddle.
+                let slop = (sk.rank_error_bound() + (1 << (sk.levels().len() - 1))) as f64;
+                for q in [10.0, 50.0, 90.0, 95.0] {
+                    let v = sk.quantile(q);
+                    let rank = q / 100.0 * (sorted.len() as f64 - 1.0);
+                    let lo = ((rank - slop).floor().max(0.0)) as usize;
+                    let hi = ((rank + slop).ceil() as usize).min(sorted.len() - 1);
+                    assert!(
+                        sorted[lo] <= v && v <= sorted[hi],
+                        "cell ({ai},{bin}) q={q}: {v} outside [{}, {}]",
+                        sorted[lo],
+                        sorted[hi]
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 100, "too few non-empty cells ({checked} checks)");
+    }
+
+    /// Absorb only touches the dirty allocation's table row; the other
+    /// rows keep their exact bytes, and untouched allocations stay
+    /// INFINITY (vacant).
+    #[test]
+    fn absorb_rebuilds_only_dirty_rows() {
+        let c = cfg(None);
+        let mut m = CpaModel::empty(&c);
+        assert_eq!(m.fresh_latency(4), f64::INFINITY);
+
+        let (obs, total) = synth_run(5, 4);
+        let added = m.absorb_observations(&obs, total, true);
+        assert_eq!(added, obs.len() + 1);
+        assert!(m.fresh_latency(4).is_finite());
+        // Rows of other allocations were never touched.
+        assert_eq!(m.remaining(0.5, 2), f64::INFINITY);
+        assert_eq!(m.remaining(0.5, 16), f64::INFINITY);
+        assert_eq!(m.sample_count(), added);
+    }
+
+    /// Off-grid allocations snap to the nearest grid point (lower wins
+    /// ties), so online traces from interpolated guarantees land in
+    /// real cells.
+    #[test]
+    fn absorb_snaps_allocations_to_nearest_grid_point() {
+        let c = cfg(None);
+        let mut m = CpaModel::empty(&c);
+        assert_eq!(m.grid_index_nearest(1), 0); // below the grid
+        assert_eq!(m.grid_index_nearest(3), 0); // tie 2 vs 4 -> lower
+        assert_eq!(m.grid_index_nearest(5), 1); // nearest 4
+        assert_eq!(m.grid_index_nearest(7), 2); // nearest 8
+        assert_eq!(m.grid_index_nearest(40), 3); // above the grid
+
+        let obs = [RunObservation {
+            elapsed_secs: 0.0,
+            progress: 0.0,
+            allocation: 5,
+        }];
+        m.absorb_observations(&obs, 100.0, false);
+        assert!(m.fresh_latency(4).is_finite(), "sample landed at grid 4");
+        assert_eq!(m.fresh_latency(2), f64::INFINITY);
+    }
+
+    /// `absorb(&RunTrace)` pairs each progress point with the applied
+    /// guarantee at that instant and measures elapsed time from the
+    /// first guarantee point.
+    #[test]
+    fn absorb_run_trace_feeds_observations() {
+        let c = cfg(None);
+        let mut m = CpaModel::empty(&c);
+        let mut trace = RunTrace::new();
+        let t0 = SimTime::from_mins(5);
+        trace.guarantee.push(t0, 4.0);
+        for i in 0..10_u32 {
+            let at = t0 + SimDuration::from_secs(u64::from(i) * 30);
+            trace.progress.push(at, f64::from(i) / 10.0);
+        }
+        let added = m.absorb(&trace, 300.0, true);
+        assert_eq!(added, 11, "10 samples + completion marker");
+        assert!(m.fresh_latency(4).is_finite());
+        // First observation: elapsed 0, remaining = full latency.
+        assert!((m.remaining_percentile(0.0, 4, 100.0) - 300.0).abs() < 1e-9);
+
+        // An empty trace absorbs nothing.
+        assert_eq!(m.absorb(&RunTrace::new(), 100.0, false), 0);
+    }
+
+    /// Bounded sketches cap the stored footprint while the represented
+    /// sample count keeps growing.
+    #[test]
+    fn bounded_model_footprint_stays_sublinear() {
+        let c = cfg(Some(16));
+        let mut m = CpaModel::empty(&c);
+        for i in 0..200 {
+            let (obs, total) = synth_run(1000 + i, 4);
+            m.absorb_observations(&obs, total, true);
+        }
+        assert!(m.sample_count() > 2000, "samples {}", m.sample_count());
+        assert!(
+            m.stored_item_count() < m.sample_count() / 2,
+            "stored {} vs represented {}",
+            m.stored_item_count(),
+            m.sample_count()
+        );
+        assert!(m.rank_error_bound() > 0);
+    }
+
+    /// Bounded models round-trip through kv: levels, compaction
+    /// counters, and capacity all survive, and queries are preserved
+    /// bit-for-bit (serialization is lossless on the sketch state).
+    #[test]
+    fn bounded_model_round_trips_through_kv() {
+        let c = cfg(Some(16));
+        let mut m = CpaModel::empty(&c);
+        for i in 0..60 {
+            let (obs, total) = synth_run(9000 + i, c.allocations[(i % 4) as usize]);
+            m.absorb_observations(&obs, total, true);
+        }
+        assert!(m.rank_error_bound() > 0, "want a compacted model");
+
+        let text = m.to_kv().to_text();
+        let kv = jockey_simrt::table::KvStore::from_text(&text).expect("parses");
+        let round = CpaModel::from_kv(&kv).expect("loads");
+        assert_eq!(round.sketch_capacity(), Some(16));
+        assert_eq!(round.sample_count(), m.sample_count());
+        assert_eq!(round.rank_error_bound(), m.rank_error_bound());
+        assert_eq!(round.cells, m.cells);
+        assert_eq!(round.to_kv().to_text(), text, "fixed point");
+
+        // And absorbing *after* the round-trip behaves identically.
+        let (obs, total) = synth_run(424_242, 8);
+        let mut a = m.clone();
+        let mut b = round;
+        a.absorb_observations(&obs, total, true);
+        b.absorb_observations(&obs, total, true);
+        assert_eq!(a.cells, b.cells);
+    }
+
+    #[test]
+    fn vacant_copy_preserves_shape_and_drops_samples() {
+        let c = cfg(Some(32));
+        let mut m = CpaModel::empty(&c);
+        let (obs, total) = synth_run(3, 8);
+        m.absorb_observations(&obs, total, true);
+        let v = m.vacant_copy();
+        assert_eq!(v.allocations(), m.allocations());
+        assert_eq!(v.sketch_capacity(), m.sketch_capacity());
+        assert_eq!(v.sample_count(), 0);
+        assert_eq!(v.fresh_latency(8), f64::INFINITY);
+    }
+}
+
+#[cfg(test)]
 mod persistence_tests {
     use super::*;
     use crate::progress::{IndicatorContext, ProgressIndicator};
@@ -978,6 +1600,31 @@ mod persistence_tests {
         }
     }
 
+    /// Exact models must not leak any sketch-era keys: their serialized
+    /// form is exactly the pre-sketch format (no `sketch_k`, no level
+    /// or compaction keys), which is what keeps frozen-mode digests
+    /// byte-identical across the refactor.
+    #[test]
+    fn exact_models_serialize_in_the_legacy_format() {
+        let c = TrainConfig::fast(vec![2, 4]);
+        let mut m = CpaModel::empty(&c);
+        let obs: Vec<RunObservation> = (0..30)
+            .map(|i| RunObservation {
+                elapsed_secs: f64::from(i),
+                progress: f64::from(i) / 30.0,
+                allocation: 4,
+            })
+            .collect();
+        m.absorb_observations(&obs, 30.0, true);
+        let text = m.to_kv().to_text();
+        assert!(!text.contains("sketch_k"), "unexpected sketch_k:\n{text}");
+        for key in m.to_kv().keys() {
+            if let Some(rest) = key.strip_prefix("cell.") {
+                assert_eq!(rest.split('.').count(), 2, "sketch-era key `{key}`");
+            }
+        }
+    }
+
     #[test]
     fn from_kv_rejects_malformed() {
         let kv = jockey_simrt::table::KvStore::new();
@@ -1023,6 +1670,37 @@ mod persistence_tests {
             CpaModel::from_kv(&kv),
             Err(ModelLoadError::BadCell(_))
         ));
+
+        // Sketch-era malformations: a level-zero suffix (`l0` shadows
+        // the base key), a dotted tail that is neither `c` nor `l<i>`,
+        // non-integer compaction counters, and an undersized sketch_k.
+        for (key, vals) in [
+            ("cell.0.1.l0", vec![1.0]),
+            ("cell.0.1.x7", vec![1.0]),
+            ("cell.0.1.l2.9", vec![1.0]),
+            ("cell.0.1.c", vec![1.5]),
+            ("cell.0.1.c", vec![-1.0]),
+        ] {
+            let mut kv = jockey_simrt::table::KvStore::new();
+            kv.set_u64("bins", 10);
+            kv.set_f64("percentile", 95.0);
+            kv.set_f64_list("allocations", &[1.0]);
+            kv.set_f64_list(key, &vals);
+            assert!(
+                matches!(CpaModel::from_kv(&kv), Err(ModelLoadError::BadCell(_))),
+                "key `{key}` with {vals:?} should be rejected"
+            );
+        }
+
+        let mut kv = jockey_simrt::table::KvStore::new();
+        kv.set_u64("bins", 10);
+        kv.set_f64("percentile", 95.0);
+        kv.set_f64_list("allocations", &[1.0]);
+        kv.set_u64("sketch_k", 2);
+        assert_eq!(
+            CpaModel::from_kv(&kv).unwrap_err(),
+            ModelLoadError::BadSketchCapacity(2)
+        );
     }
 
     #[test]
@@ -1068,5 +1746,11 @@ mod persistence_tests {
             ..TrainConfig::default()
         };
         assert_eq!(cfg.check(), Err(InvalidTrainConfig::SamplePeriod));
+
+        let cfg = TrainConfig {
+            sketch_capacity: Some(4),
+            ..TrainConfig::default()
+        };
+        assert_eq!(cfg.check(), Err(InvalidTrainConfig::SketchCapacity(4)));
     }
 }

@@ -45,6 +45,13 @@
 //!   model error.
 //! - [`recal`]: §4.4/§5.6 online model recalibration (runtime
 //!   inflation tracking).
+//! - [`sketch`]: the mergeable per-cell **quantile sketch** backing
+//!   `C(p, a)` cells — exact by default, bounded-memory on request,
+//!   with a tracked rank-error bound.
+//! - [`online`]: the **online model lifecycle** — versioned model
+//!   store with atomic generation swap, drift detection over observed
+//!   vs. predicted completions, and a structure-keyed prior library
+//!   for cold-start jobs.
 //!
 //! # Examples
 //!
@@ -60,12 +67,14 @@ pub mod control;
 pub mod cpa;
 pub mod fallback;
 pub mod layer;
+pub mod online;
 pub mod oracle;
 pub mod plane;
 pub mod policy;
 pub mod predict;
 pub mod progress;
 pub mod recal;
+pub mod sketch;
 pub mod utility;
 
 pub use admission::{AdmissionController, AdmissionError, Reservation};
@@ -78,13 +87,18 @@ pub use conditioner::{
 pub use control::{
     ControlParams, ControlTick, ControlTrace, InvalidControlParams, JockeyController,
 };
-pub use cpa::{CpaModel, InvalidTrainConfig, ModelLoadError, TrainConfig};
+pub use cpa::{CpaModel, InvalidTrainConfig, ModelLoadError, RunObservation, TrainConfig};
 pub use fallback::{with_fallback, FallbackLayer, GuardedController};
 pub use layer::{ControlLayer, Layered};
+pub use online::{
+    structure_hash, AbsorbOutcome, DriftConfig, DriftDetector, ModelHandle, ModelLifecycleStats,
+    ModelStore, OnlineConfig, PriorLibrary, RecordedRun,
+};
 pub use oracle::oracle_allocation;
 pub use plane::{ControlPlane, JobHandle, PlaneStats};
 pub use policy::Policy;
-pub use predict::{AmdahlModel, CompletionModel};
+pub use predict::{min_feasible_allocation, AmdahlModel, CompletionModel};
 pub use progress::{IndicatorContext, ProgressIndicator};
 pub use recal::{recalibrated, RecalibratingController, RecalibrationLayer, ScaledModel};
+pub use sketch::CellSketch;
 pub use utility::UtilityFunction;

@@ -71,6 +71,7 @@ use jockey_simrt::time::SimDuration;
 
 use crate::admission::{AdmissionController, AdmissionError};
 use crate::arbiter::{arbitrate, ArbiterJob};
+use crate::online::ModelLifecycleStats;
 use crate::predict::CompletionModel;
 use crate::progress::IndicatorContext;
 use crate::utility::UtilityFunction;
@@ -137,6 +138,16 @@ pub struct PlaneStats {
     /// owns. Zero whenever every job enters through
     /// [`ControlPlane::try_add_job`].
     pub over_committed_rounds: u64,
+    /// Model generations published by online model stores registered
+    /// via [`ControlPlane::register_model_stats`] — one per absorbed
+    /// completion or drift retrain.
+    pub model_generations_swapped: u64,
+    /// Drift-detector firings across registered model stores.
+    pub drift_detections: u64,
+    /// Cold-start prior-library hits across registered stores.
+    pub prior_hits: u64,
+    /// Cold-start prior-library misses across registered stores.
+    pub prior_misses: u64,
 }
 
 /// The sharded multi-job control runtime.
@@ -180,6 +191,11 @@ pub struct ControlPlane {
     ticks: AtomicU64,
     refreshes: AtomicU64,
     over_committed_rounds: AtomicU64,
+    /// Lifecycle counters of the online model stores serving this
+    /// plane's jobs, registered via
+    /// [`ControlPlane::register_model_stats`] and summed into
+    /// [`ControlPlane::stats`].
+    model_stats: Mutex<Vec<Arc<ModelLifecycleStats>>>,
 }
 
 impl ControlPlane {
@@ -210,6 +226,7 @@ impl ControlPlane {
             ticks: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             over_committed_rounds: AtomicU64::new(0),
+            model_stats: Mutex::new(Vec::new()),
         })
     }
 
@@ -260,13 +277,11 @@ impl ControlPlane {
     ) -> Result<JobHandle, AdmissionError> {
         let stage_count = indicator.stage_count();
         let fresh = vec![0.0; stage_count];
-        let required = model
-            .size_for_deadline(&fresh, deadline, slack)
-            .ok_or(AdmissionError::Infeasible)?;
-        self.ledger
+        let required = self
+            .ledger
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .try_reserve(name, required)?;
+            .try_admit(name, model.as_ref(), &fresh, deadline, slack)?;
         let slot = self.new_slot(
             model,
             slack,
@@ -364,13 +379,38 @@ impl ControlPlane {
         // entry from leaking to its next occupant.
     }
 
-    /// The plane's work counters.
+    /// Registers an online model store's lifecycle counters so
+    /// [`ControlPlane::stats`] reports model generations, drift
+    /// detections and prior-library traffic alongside the plane's own
+    /// arbitration work. Stores serving several jobs register once.
+    pub fn register_model_stats(&self, stats: Arc<ModelLifecycleStats>) {
+        self.model_stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(stats);
+    }
+
+    /// The plane's work counters, including the summed lifecycle
+    /// counters of every registered model store.
     pub fn stats(&self) -> PlaneStats {
-        PlaneStats {
+        let mut stats = PlaneStats {
             ticks: self.ticks.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
             over_committed_rounds: self.over_committed_rounds.load(Ordering::Relaxed),
+            ..PlaneStats::default()
+        };
+        for m in self
+            .model_stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            stats.model_generations_swapped += m.generations_swapped.load(Ordering::Relaxed);
+            stats.drift_detections += m.drift_detections.load(Ordering::Relaxed);
+            stats.prior_hits += m.prior_hits.load(Ordering::Relaxed);
+            stats.prior_misses += m.prior_misses.load(Ordering::Relaxed);
         }
+        stats
     }
 
     /// Guaranteed tokens under management.
@@ -1113,6 +1153,28 @@ mod tests {
         let stats = plane.stats();
         assert!(stats.over_committed_rounds > 0, "{stats:?}");
         assert_eq!(stats.over_committed_rounds, stats.refreshes, "{stats:?}");
+    }
+
+    #[test]
+    fn registered_model_stats_surface_in_plane_stats() {
+        let plane = ControlPlane::new(8);
+        let a = ModelLifecycleStats::shared();
+        let b = ModelLifecycleStats::shared();
+        plane.register_model_stats(a.clone());
+        plane.register_model_stats(b.clone());
+        a.generations_swapped.fetch_add(3, Ordering::Relaxed);
+        a.drift_detections.fetch_add(1, Ordering::Relaxed);
+        b.generations_swapped.fetch_add(2, Ordering::Relaxed);
+        b.prior_hits.fetch_add(4, Ordering::Relaxed);
+        b.prior_misses.fetch_add(5, Ordering::Relaxed);
+        let s = plane.stats();
+        assert_eq!(s.model_generations_swapped, 5);
+        assert_eq!(s.drift_detections, 1);
+        assert_eq!(s.prior_hits, 4);
+        assert_eq!(s.prior_misses, 5);
+        // The plane's own counters are untouched by registration.
+        assert_eq!(s.ticks, 0);
+        assert_eq!(s.refreshes, 0);
     }
 
     #[test]

@@ -39,13 +39,53 @@ pub trait CompletionModel: Send + Sync {
     /// (progress 0, per-stage fractions `fs`) meets `deadline`, if any
     /// does — the a-priori sizing used by admission control.
     ///
-    /// The default scans the allocation range; models with structure to
-    /// exploit (e.g. [`crate::cpa::CpaModel`]'s monotone fresh-latency
-    /// grid) override with something faster.
+    /// The default cannot assume the prediction is monotone in the
+    /// allocation, so it uses [`min_feasible_allocation`]'s exhaustive
+    /// scan; models that *know* their fresh-latency curve is monotone
+    /// (e.g. [`crate::cpa::CpaModel`]'s checked grid column) call the
+    /// same helper with the binary-search fast path enabled.
     fn size_for_deadline(&self, fs: &[f64], deadline: SimDuration, slack: f64) -> Option<u32> {
         let d = deadline.as_secs_f64();
-        (1..=self.max_allocation()).find(|&a| self.remaining_secs(fs, 0.0, a) * slack <= d)
+        min_feasible_allocation(self.max_allocation(), false, |a| {
+            self.remaining_secs(fs, 0.0, a) * slack <= d
+        })
     }
+}
+
+/// The smallest allocation in `1..=max` satisfying `fits`, or `None`.
+///
+/// This is the single deadline-sizing search shared by every model:
+/// with `monotone` the predicate is trusted to be non-decreasing in the
+/// allocation (`false…false true…true`) and the answer is found by
+/// binary search after one feasibility probe at `max`; without it, an
+/// exhaustive ascending scan runs. Both paths return identical answers
+/// whenever the predicate really is monotone — the equivalence test
+/// below sweeps randomized grids to hold them to that.
+pub fn min_feasible_allocation(
+    max: u32,
+    monotone: bool,
+    fits: impl Fn(u32) -> bool,
+) -> Option<u32> {
+    if max == 0 {
+        return None;
+    }
+    if !monotone {
+        return (1..=max).find(|&a| fits(a));
+    }
+    if !fits(max) {
+        return None;
+    }
+    // Invariant: fits(hi); find the first fitting allocation.
+    let (mut lo, mut hi) = (1_u32, max);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi)
 }
 
 /// The modified Amdahl's-Law model, used by "Jockey w/o simulator".
@@ -201,5 +241,40 @@ mod tests {
             m.remaining_secs(&[0.0, 0.0], 0.0, 0),
             m.remaining_secs(&[0.0, 0.0], 0.0, 1)
         );
+    }
+
+    /// Satellite: the consolidated sizing search. Over randomized
+    /// monotone latency grids, the binary-search fast path and the
+    /// exhaustive scan must agree on every deadline — including
+    /// never-feasible and always-feasible ones — and the scan remains
+    /// the reference on non-monotone grids.
+    #[test]
+    fn min_feasible_allocation_fast_path_matches_scan_on_random_grids() {
+        use jockey_simrt::rng::SeedDeriver;
+        use rand::Rng;
+
+        let mut rng = SeedDeriver::new(99).rng("sizing-grids");
+        for trial in 0..200 {
+            let max: u32 = rng.gen_range(1..=64);
+            // A non-increasing latency curve with random plateaus.
+            let mut latency = vec![0.0_f64; (max + 1) as usize];
+            let mut cur: f64 = rng.gen_range(10.0..1000.0);
+            for a in (1..=max).rev() {
+                latency[a as usize] = cur;
+                if rng.gen_bool(0.7) {
+                    cur += rng.gen_range(0.0..50.0);
+                }
+            }
+            let deadline: f64 = rng.gen_range(0.0..1200.0);
+            let fits = |a: u32| latency[a as usize] <= deadline;
+            let fast = min_feasible_allocation(max, true, fits);
+            let slow = min_feasible_allocation(max, false, fits);
+            assert_eq!(fast, slow, "trial {trial}: max {max} deadline {deadline}");
+        }
+        // Degenerate inputs.
+        assert_eq!(min_feasible_allocation(0, true, |_| true), None);
+        assert_eq!(min_feasible_allocation(5, true, |_| false), None);
+        assert_eq!(min_feasible_allocation(5, false, |_| false), None);
+        assert_eq!(min_feasible_allocation(5, true, |_| true), Some(1));
     }
 }

@@ -158,11 +158,20 @@ pub struct TrainedParts {
     pub rel_inf: Vec<(f64, f64)>,
 }
 
+/// On-disk format version for cached trained models. Bump whenever the
+/// serialized model's *semantics* change — e.g. the sketch-backed cell
+/// storage introduced alongside online updates — so caches written by
+/// an older binary can only miss, never be misread as current. The
+/// version is folded into [`train_cache_key`] (old keys stop resolving)
+/// *and* stamped into each entry (a same-key file written by a
+/// different format is rejected on load).
+pub const MODEL_FORMAT_VERSION: u32 = 2;
+
 /// Content-hash cache key for one job's training artifacts: covers the
-/// scale, the full training configuration, the training seed, and the
-/// job's identity (name, plan graph, training profile). Any drift in
-/// job generation or training setup changes the key, so a stale cache
-/// can only miss, never poison.
+/// model format version, the scale, the full training configuration,
+/// the training seed, and the job's identity (name, plan graph,
+/// training profile). Any drift in job generation or training setup
+/// changes the key, so a stale cache can only miss, never poison.
 pub fn train_cache_key(
     scale: Scale,
     cfg: &TrainConfig,
@@ -172,8 +181,10 @@ pub fn train_cache_key(
     profile: &JobProfile,
 ) -> u64 {
     let mut canon = String::new();
+    canon.push_str(&format!("format={MODEL_FORMAT_VERSION}\n"));
     canon.push_str(&format!("scale={scale:?}\n"));
     canon.push_str(&format!("allocations={:?}\n", cfg.allocations));
+    canon.push_str(&format!("sketch={:?}\n", cfg.sketch_capacity));
     canon.push_str(&format!("runs={}\n", cfg.runs_per_allocation));
     canon.push_str(&format!("sample_ms={}\n", cfg.sample_period.as_millis()));
     canon.push_str(&format!("bins={}\n", cfg.progress_bins));
@@ -207,6 +218,9 @@ pub fn load_trained(dir: &Path, key: u64) -> Option<TrainedParts> {
     if kv.get("key")? != format!("{key:016x}") {
         return None;
     }
+    if kv.get("format")? != MODEL_FORMAT_VERSION.to_string() {
+        return None;
+    }
     let starts = kv.get_f64_list("rel_inf.start")?;
     let ends = kv.get_f64_list("rel_inf.end")?;
     if starts.len() != ends.len() {
@@ -225,6 +239,7 @@ pub fn load_trained(dir: &Path, key: u64) -> Option<TrainedParts> {
 pub fn store_trained(dir: &Path, key: u64, parts: &TrainedParts) {
     let mut kv = parts.cpa.to_kv();
     kv.set("key", &format!("{key:016x}"));
+    kv.set("format", &MODEL_FORMAT_VERSION.to_string());
     let (starts, ends): (Vec<f64>, Vec<f64>) = parts.rel_inf.iter().copied().unzip();
     kv.set_f64_list("rel_inf.start", &starts);
     kv.set_f64_list("rel_inf.end", &ends);

@@ -11,7 +11,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use jockey_experiments::artifact::{
-    fnv1a, load_trained, store_trained, train_cache_key, ArtifactStore,
+    fnv1a, load_trained, store_trained, train_cache_key, ArtifactStore, MODEL_FORMAT_VERSION,
 };
 use jockey_experiments::env::{Env, Scale};
 use jockey_experiments::experiment::registry;
@@ -220,6 +220,27 @@ fn corrupted_cache_entry_falls_back_to_recompute() {
     assert!(
         load_trained(cache.path(), other).is_none(),
         "embedded key must be validated against the file name"
+    );
+
+    // An entry stamped with a different model-format version — as
+    // written by an older or newer binary that happened to collide on
+    // the key — must miss rather than be misread as current.
+    store_trained(
+        cache.path(),
+        key,
+        &jockey_experiments::artifact::TrainedParts {
+            cpa: (*job.setup.cpa).clone(),
+            rel_inf: job.setup.rel_inf.clone(),
+        },
+    );
+    let path = cache.path().join(format!("cpa-{key:016x}.kv"));
+    let text = fs::read_to_string(&path).unwrap();
+    let stamp = format!("format={MODEL_FORMAT_VERSION}");
+    assert!(text.contains(&stamp), "entry must carry the format stamp");
+    fs::write(&path, text.replace(&stamp, "format=0")).unwrap();
+    assert!(
+        load_trained(cache.path(), key).is_none(),
+        "a foreign format version must be rejected on load"
     );
 }
 

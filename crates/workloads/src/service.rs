@@ -14,7 +14,10 @@
 //! The driver is *open-loop* in the admission sense: arrivals are not
 //! gated on completions — when the ledger is full the submission is
 //! **rejected and counted**, not queued, exactly as the paper's
-//! admission check behaves. Job execution is simulated in virtual time
+//! admission check behaves. Arrivals are paced at one attempt per
+//! vacant pool slot per control round, so a momentarily full ledger
+//! refuses that round's recurrences without consuming the rest of the
+//! schedule. Job execution is simulated in virtual time
 //! (a job accumulates `guarantee × tick_secs` seconds of work per
 //! tick), which makes SLO attainment exact and deterministic while the
 //! control-plane *overhead* — tick latency, refresh cadence, admission
@@ -23,6 +26,21 @@
 //! [`run_service`] returns a [`ServiceReport`] with the NFR numbers the
 //! service bench publishes: sustained submissions/sec, p50/p99/max
 //! control-tick latency, SLO attainment, and admission rates.
+//!
+//! # Model modes and drift
+//!
+//! By default every driver job carries its own exact closed-form model
+//! ([`ModelMode::Exact`]), which isolates control-plane overhead from
+//! prediction error. The learned modes close the online-learning loop
+//! instead: one `C(p, a)` family model — bootstrapped from the
+//! [`jockey_core::online::PriorLibrary`] or from synthetic nominal runs
+//! on a cold start — sizes every admission. [`ModelMode::Frozen`] never
+//! updates it; [`ModelMode::Online`] feeds each virtual-time completion
+//! back through the [`ModelStore`], so generation swaps, drift
+//! detection and window retraining all run under live admission
+//! pressure. A [`DriftSpec`] shifts the family's *true* work mid-run,
+//! making the SLO-attainment cost of a stale model (and the recovery an
+//! adapting one buys) directly measurable.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -33,10 +51,15 @@ use rand::Rng;
 
 use jockey_cluster::{JobController, JobStatus};
 use jockey_core::admission::AdmissionError;
+use jockey_core::cpa::{CpaModel, RunObservation, TrainConfig};
+use jockey_core::online::{
+    ModelHandle, ModelLifecycleStats, ModelStore, PriorLibrary, RecordedRun,
+};
 use jockey_core::plane::{ControlPlane, JobHandle, PlaneStats};
 use jockey_core::predict::CompletionModel;
 use jockey_core::progress::{IndicatorContext, ProgressIndicator};
-use jockey_jobgraph::graph::JobGraphBuilder;
+use jockey_core::OnlineConfig;
+use jockey_jobgraph::graph::{JobGraph, JobGraphBuilder};
 use jockey_jobgraph::profile::ProfileBuilder;
 use jockey_jobgraph::StageId;
 use jockey_simrt::rng::SeedDeriver;
@@ -66,6 +89,35 @@ impl CompletionModel for LinearWork {
     }
 }
 
+/// Which completion model sizes admissions and steers arbitration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ModelMode {
+    /// Every job carries its own exact [`LinearWork`] model; prediction
+    /// error is zero by construction and the run measures the control
+    /// plane alone.
+    #[default]
+    Exact,
+    /// One learned family `C(p, a)` model, bootstrapped at the nominal
+    /// [`ServiceConfig::family_work`] and never updated — the stale
+    /// model a service keeps when online learning is disabled.
+    Frozen,
+    /// The learned family model behind a [`ModelStore`]: every
+    /// completion is absorbed, every absorb publishes a new generation,
+    /// and drift fires a window retrain.
+    Online,
+}
+
+/// A mid-run shift in the family's true work (a regime change the
+/// frozen model cannot see).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftSpec {
+    /// Multiplier on the true work of drifted submissions.
+    pub factor: f64,
+    /// Fraction of each worker's submission quota after which new
+    /// submissions run at the drifted work (`0.0` = from the start).
+    pub at_frac: f64,
+}
+
 /// Configuration for one [`run_service`] run.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -93,6 +145,17 @@ pub struct ServiceConfig {
     pub deadline_change_every: u64,
     /// Root seed; every worker derives an independent stream.
     pub seed: u64,
+    /// Which completion model serves admission and arbitration.
+    pub model: ModelMode,
+    /// Nominal true work (execution seconds) of the recurring family in
+    /// the learned modes; ignored under [`ModelMode::Exact`], where
+    /// each job's work is sampled to hit its token target.
+    pub family_work: f64,
+    /// Optional mid-run regime change in the family's true work.
+    pub drift: Option<DriftSpec>,
+    /// Store parameters (drift window, retained runs) for
+    /// [`ModelMode::Online`].
+    pub online: OnlineConfig,
 }
 
 impl Default for ServiceConfig {
@@ -108,6 +171,10 @@ impl Default for ServiceConfig {
             slack: 1.2,
             deadline_change_every: 7,
             seed: 42,
+            model: ModelMode::Exact,
+            family_work: 3_600.0,
+            drift: None,
+            online: OnlineConfig::default(),
         }
     }
 }
@@ -204,20 +271,123 @@ struct LiveJob {
     elapsed: f64,
     guarantee: u32,
     changed: bool,
+    /// Per-tick trace fed back through the store under
+    /// [`ModelMode::Online`]; empty otherwise.
+    observations: Vec<RunObservation>,
+    /// Slack-inflated prediction at the admission-time sizing — the
+    /// drift detector's "promised" latency.
+    predicted: f64,
+}
+
+/// The single-stage plan every driver job executes (and the key the
+/// prior library files the family model under).
+fn driver_graph() -> JobGraph {
+    let mut b = JobGraphBuilder::new("service-driver");
+    b.stage("body", 16);
+    b.build().expect("one-stage graph is valid")
 }
 
 /// The single-stage indicator context all driver jobs share: job
 /// progress is the completed-vertex fraction of one 16-task stage.
 fn driver_indicator() -> IndicatorContext {
-    let mut b = JobGraphBuilder::new("service-driver");
-    b.stage("body", 16);
-    let g = b.build().expect("one-stage graph is valid");
+    let g = driver_graph();
     let mut pb = ProfileBuilder::new(&g);
     for _ in 0..16 {
         pb.record_task(StageId(0), 1.0, 10.0, false);
     }
     let p = pb.finish(160.0, 1.0);
     IndicatorContext::new(ProgressIndicator::VertexFrac, &g, &p, None)
+}
+
+/// The learned family model shared by every worker in the learned
+/// modes.
+struct LearnedFamily {
+    /// What admission and arbitration consult: the frozen snapshot, or
+    /// a [`ModelHandle`] resolving the newest store generation with the
+    /// nominal closed-form model demoted to the floor.
+    admission_model: Arc<dyn CompletionModel>,
+    /// Present under [`ModelMode::Online`]: completions are absorbed
+    /// here.
+    store: Option<Arc<ModelStore>>,
+}
+
+/// Grid and binning for the family `C(p, a)` model.
+fn family_train_config(max_tokens: u32) -> TrainConfig {
+    TrainConfig {
+        progress_bins: 16,
+        percentile: 95.0,
+        sketch_capacity: Some(64),
+        ..TrainConfig::fast((1..=max_tokens).collect())
+    }
+}
+
+/// Cold-start bootstrap: absorb one synthetic nominal-work run per grid
+/// allocation, so every row answers fresh-latency queries before the
+/// first real completion lands. Each run includes the `p = 0`
+/// observation, seeding bin 0 with the exact full latency.
+fn bootstrap_family_model(family_work: f64, max_tokens: u32) -> CpaModel {
+    let cfg = family_train_config(max_tokens);
+    let bins = cfg.progress_bins;
+    let mut model = CpaModel::empty(&cfg);
+    for a in 1..=max_tokens {
+        let total = family_work / f64::from(a);
+        let obs: Vec<RunObservation> = (0..=bins)
+            .map(|i| {
+                let p = i as f64 / bins as f64;
+                RunObservation {
+                    elapsed_secs: total * p,
+                    progress: p,
+                    allocation: a,
+                }
+            })
+            .collect();
+        model.absorb_observations(&obs, total, true);
+    }
+    model
+}
+
+/// Builds the learned family for the configured mode, consulting (and
+/// seeding) the prior library and registering lifecycle counters on the
+/// plane. Returns `None` under [`ModelMode::Exact`].
+fn build_family(
+    cfg: &ServiceConfig,
+    max_tokens: u32,
+    priors: &PriorLibrary,
+    plane: &Arc<ControlPlane>,
+) -> Option<LearnedFamily> {
+    if cfg.model == ModelMode::Exact {
+        return None;
+    }
+    let graph = driver_graph();
+    plane.register_model_stats(priors.stats());
+    let base: CpaModel = match priors.lookup(&graph) {
+        Some(prior) => (*prior).clone(),
+        None => {
+            let m = bootstrap_family_model(cfg.family_work, max_tokens);
+            priors.insert(&graph, Arc::new(m.clone()));
+            m
+        }
+    };
+    match cfg.model {
+        ModelMode::Exact => unreachable!("handled above"),
+        ModelMode::Frozen => Some(LearnedFamily {
+            admission_model: Arc::new(base),
+            store: None,
+        }),
+        ModelMode::Online => {
+            let stats = ModelLifecycleStats::shared();
+            let store = Arc::new(ModelStore::with_stats(base, cfg.online, stats.clone()));
+            plane.register_model_stats(stats);
+            let floor: Arc<dyn CompletionModel> = Arc::new(LinearWork {
+                work: cfg.family_work,
+                max_tokens,
+            });
+            Some(LearnedFamily {
+                admission_model: Arc::new(ModelHandle::with_floor(store.clone(), floor)),
+                store: Some(store),
+            })
+        }
+    }
 }
 
 /// Samples one job: a deadline, the token count its SLO needs, and a
@@ -253,6 +423,7 @@ fn run_worker(
     cfg: &ServiceConfig,
     worker: usize,
     max_tokens: u32,
+    family: Option<&LearnedFamily>,
 ) -> WorkerStats {
     let mut rng = SeedDeriver::new(cfg.seed)
         .child("service")
@@ -263,16 +434,38 @@ fn run_worker(
     let mut seq: u64 = 0;
 
     loop {
-        // Top the pool up to the concurrency target. Rejected
+        // Top the pool up to the concurrency target — one submission
+        // attempt per vacant slot per control round. Rejected
         // submissions are final (open-loop): the recurrence was refused
-        // service, not queued.
-        while live.len() < cfg.concurrent_per_worker && (seq as usize) < cfg.submissions_per_worker
-        {
+        // service, not queued, and the slot's next recurrence arrives
+        // with the next round rather than instantly draining the quota
+        // against a momentarily full ledger.
+        let mut attempts = cfg.concurrent_per_worker.saturating_sub(live.len());
+        while attempts > 0 && (seq as usize) < cfg.submissions_per_worker {
+            attempts -= 1;
             let (work, deadline, _tokens) = sample_job(&mut rng, cfg);
+            // Regime change: submissions past the onset run at the
+            // drifted true work. The Exact model sees the true work
+            // (drift is invisible to it); the learned modes keep
+            // predicting from history.
+            let factor = cfg
+                .drift
+                .filter(|d| seq as f64 >= d.at_frac * cfg.submissions_per_worker as f64)
+                .map_or(1.0, |d| d.factor);
+            let true_work = match family {
+                None => work * factor,
+                Some(_) => cfg.family_work * factor,
+            };
             let name = format!("w{worker}-j{seq}");
             seq += 1;
             stats.submitted += 1;
-            let model = Arc::new(LinearWork { work, max_tokens });
+            let model: Arc<dyn CompletionModel> = match family {
+                None => Arc::new(LinearWork {
+                    work: true_work,
+                    max_tokens,
+                }),
+                Some(f) => f.admission_model.clone(),
+            };
             match plane.try_add_job(
                 &name,
                 model,
@@ -282,15 +475,35 @@ fn run_worker(
             ) {
                 Ok(handle) => {
                     stats.admitted += 1;
+                    // Under Online, remember what the model promised at
+                    // admission (the drift detector's baseline) and
+                    // seed the run trace with the t = 0 observation.
+                    let mut observations = Vec::new();
+                    let mut predicted = f64::NAN;
+                    if let Some(f) = family.filter(|f| f.store.is_some()) {
+                        let fresh = [0.0];
+                        let d = SimDuration::from_secs_f64(deadline);
+                        let sized = f.admission_model.size_for_deadline(&fresh, d, cfg.slack);
+                        predicted = sized.map_or(deadline, |a| {
+                            f.admission_model.remaining_secs(&fresh, 0.0, a) * cfg.slack
+                        });
+                        observations.push(RunObservation {
+                            elapsed_secs: 0.0,
+                            progress: 0.0,
+                            allocation: sized.unwrap_or(1),
+                        });
+                    }
                     live.push(LiveJob {
                         handle,
                         seq,
-                        work,
+                        work: true_work,
                         deadline,
                         work_done: 0.0,
                         elapsed: 0.0,
                         guarantee: 0,
                         changed: false,
+                        observations,
+                        predicted,
                     });
                 }
                 Err(AdmissionError::Infeasible) => stats.rejected_infeasible += 1,
@@ -298,7 +511,10 @@ fn run_worker(
             }
         }
         if live.is_empty() {
-            break; // Quota exhausted and every job drained.
+            if (seq as usize) >= cfg.submissions_per_worker || cfg.concurrent_per_worker == 0 {
+                break; // Quota exhausted and every job drained.
+            }
+            continue; // Whole round rejected; retry next round.
         }
 
         // One control period: tick every live job once in virtual
@@ -318,11 +534,29 @@ fn run_worker(
                 if job.elapsed <= job.deadline + 1e-9 {
                     stats.slo_met += 1;
                 }
+                // Close the learning loop: the completed run folds into
+                // the store, bumping the model generation (and firing a
+                // window retrain if the run's latency confirms drift).
+                if let Some(store) = family.and_then(|f| f.store.as_ref()) {
+                    store.record_completion(RecordedRun {
+                        observations: std::mem::take(&mut job.observations),
+                        total_secs: job.elapsed,
+                        completed: true,
+                        predicted_secs: job.predicted,
+                    });
+                }
                 live.swap_remove(i);
                 continue;
             }
             job.guarantee = decision.guarantee;
             job.work_done += f64::from(decision.guarantee) * cfg.tick_secs;
+            if family.is_some_and(|f| f.store.is_some()) {
+                job.observations.push(RunObservation {
+                    elapsed_secs: job.elapsed,
+                    progress: frac,
+                    allocation: decision.guarantee,
+                });
+            }
             if cfg.deadline_change_every > 0
                 && !job.changed
                 && frac > 0.4
@@ -344,12 +578,24 @@ fn run_worker(
 }
 
 /// Drives one long-lived [`ControlPlane`] from `cfg.workers` threads
-/// and reports the service-level numbers.
+/// and reports the service-level numbers. Learned modes start from a
+/// fresh (empty) prior library; use [`run_service_with_priors`] to
+/// carry warm priors across runs.
 pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
+    run_service_with_priors(cfg, &PriorLibrary::new())
+}
+
+/// [`run_service`] against a caller-owned prior library: the family
+/// model is borrowed from a structural neighbor when one exists
+/// (cold-start bootstrap otherwise), and under [`ModelMode::Online`]
+/// the adapted model is filed back at the end of the run, so the next
+/// recurrence of the service starts from what this one learned.
+pub fn run_service_with_priors(cfg: &ServiceConfig, priors: &PriorLibrary) -> ServiceReport {
     let plane = ControlPlane::new(cfg.budget);
     // Cap the per-job sizing scan well above the largest requirement so
     // infeasible deadlines are detected without walking the budget.
     let max_tokens = cfg.tokens_needed.1.saturating_mul(4).max(8);
+    let family = build_family(cfg, max_tokens, priors, &plane);
     let max_slots = AtomicUsize::new(0);
     let start = Instant::now();
     let mut merged: Vec<WorkerStats> = Vec::with_capacity(cfg.workers);
@@ -358,8 +604,9 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
             .map(|w| {
                 let plane = plane.clone();
                 let max_slots = &max_slots;
+                let family = family.as_ref();
                 scope.spawn(move || {
-                    let stats = run_worker(&plane, cfg, w, max_tokens);
+                    let stats = run_worker(&plane, cfg, w, max_tokens, family);
                     max_slots.fetch_max(stats.max_slots, Ordering::Relaxed);
                     stats
                 })
@@ -370,6 +617,10 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
         }
     });
     let wall = start.elapsed();
+    // File the adapted model as the structure's new prior.
+    if let Some(store) = family.as_ref().and_then(|f| f.store.as_ref()) {
+        priors.insert(&driver_graph(), store.current());
+    }
 
     let mut tick_nanos: Vec<u64> = Vec::new();
     let mut report = ServiceReport {

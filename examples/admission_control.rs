@@ -42,7 +42,8 @@ fn main() {
     for (i, setup) in setups.iter().enumerate() {
         let deadline = SimDuration::from_secs_f64(setup.cpa.fresh_latency(100) * 2.0);
         let name = setup.graph.name().to_string();
-        match ac.try_admit(&name, &setup.cpa, deadline, slack) {
+        let fresh = vec![0.0; setup.graph.num_stages()];
+        match ac.try_admit(&name, setup.cpa.as_ref(), &fresh, deadline, slack) {
             Ok(tokens) => {
                 println!(
                     "  ADMIT  {name}: deadline {:.0} min, reserved {tokens} tokens ({} / {} used)",

@@ -21,6 +21,11 @@ JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench simrt_kernel
 # (multi-threaded admission, churn, drain; recorded numbers live in
 # BENCH_service.json). The bench asserts zero leaked reservations.
 JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench service
+# Smoke-run the online-model NFR bench: absorb, store-publish and
+# window-retrain on a live C(p, a) (recorded numbers live in
+# BENCH_online.json; the 20x absorb-vs-retrain floor is asserted by
+# the full run).
+JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench online
 # Golden-digest gate: run two cheap figures through the pipeline CLI
 # at smoke scale (parallel) and diff their emitted-TSV digests against
 # the committed goldens, making "byte-identical to baseline" a

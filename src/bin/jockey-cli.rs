@@ -44,6 +44,7 @@ USAGE:
   jockey-cli run     <bundle.job> --deadline <minutes> [--policy jockey|no-adapt|no-sim|max]
                      [--seed S] [--util U]
   jockey-cli service [--budget N] [--workers N] [--concurrent N] [--jobs N] [--seed S]
+                     [--model exact|frozen|online]
 
 A .job bundle is a key=value text file holding the compiled plan graph,
 the training profile, and (after `train`) the fitted C(p,a) model.
@@ -421,6 +422,12 @@ fn cmd_service(flags: &Flags) -> Result<(), String> {
     if budget == 0 || workers == 0 || concurrent == 0 || jobs == 0 {
         return Err("--budget, --workers, --concurrent and --jobs must be positive".into());
     }
+    let model = match flags.get("model").unwrap_or("exact") {
+        "exact" => jockey::workloads::service::ModelMode::Exact,
+        "frozen" => jockey::workloads::service::ModelMode::Frozen,
+        "online" => jockey::workloads::service::ModelMode::Online,
+        other => return Err(format!("unknown model mode {other:?}")),
+    };
 
     let cfg = jockey::workloads::service::ServiceConfig {
         budget,
@@ -428,6 +435,7 @@ fn cmd_service(flags: &Flags) -> Result<(), String> {
         concurrent_per_worker: concurrent.div_ceil(workers),
         submissions_per_worker: jobs.div_ceil(workers),
         seed,
+        model,
         ..jockey::workloads::service::ServiceConfig::default()
     };
     let r = jockey::workloads::service::run_service(&cfg);
@@ -462,6 +470,15 @@ fn cmd_service(flags: &Flags) -> Result<(), String> {
         r.stats.over_committed_rounds,
         r.max_slot_count
     );
+    if model != jockey::workloads::service::ModelMode::Exact {
+        println!(
+            "model: {} generations published, {} drift fires, {} prior hits / {} misses",
+            r.stats.model_generations_swapped,
+            r.stats.drift_detections,
+            r.stats.prior_hits,
+            r.stats.prior_misses
+        );
+    }
     println!(
         "drain: {} tokens reserved, {} jobs active after shutdown",
         r.final_reserved, r.final_active
