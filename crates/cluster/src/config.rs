@@ -36,6 +36,17 @@ pub struct BackgroundConfig {
     /// Slowdown multiplier gained per unit utilization above the knee:
     /// `slowdown = 1 + slope * max(0, util - knee)`.
     pub slowdown_slope: f64,
+    /// Amplitude of the diurnal modulation applied to `mean_util`:
+    /// the OU process reverts toward `mean_util + amplitude *
+    /// sin(2π (t / period + phase))`, clamped to `[0, 1]`. Zero (the
+    /// default) disables modulation and leaves the stationary process
+    /// bit-identical.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal cycle (a simulated day, typically).
+    pub diurnal_period: SimDuration,
+    /// Phase offset in cycles, in `[0, 1)`: 0 starts the run at the
+    /// cycle's zero crossing heading into the peak.
+    pub diurnal_phase: f64,
 }
 
 impl BackgroundConfig {
@@ -52,6 +63,9 @@ impl BackgroundConfig {
             tick: SimDuration::from_secs(30),
             slowdown_knee: 1.0,
             slowdown_slope: 0.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period: SimDuration::from_mins(24 * 60),
+            diurnal_phase: 0.0,
         }
     }
 
@@ -69,6 +83,9 @@ impl BackgroundConfig {
             tick: SimDuration::from_secs(30),
             slowdown_knee: 0.80,
             slowdown_slope: 2.5,
+            diurnal_amplitude: 0.0,
+            diurnal_period: SimDuration::from_mins(24 * 60),
+            diurnal_phase: 0.0,
         }
     }
 }
@@ -91,6 +108,17 @@ pub struct FailureConfig {
     /// completed tasks in still-incomplete stages, forcing
     /// recomputation (the costly pre-barrier failure mode).
     pub data_loss_prob: f64,
+    /// Per-rack correlated-failure hazard, in failures per rack-hour.
+    /// A rack failure kills every task resident on the rack's machines
+    /// at once. Requires a topology (racks are undefined in the flat
+    /// model); zero disables rack failures entirely.
+    pub rack_failure_rate_per_hour: f64,
+    /// Probability that each input replica hosted on a failed machine
+    /// is destroyed with it. A split that loses its last replica is
+    /// re-replicated onto a fresh machine, but tasks reading it pay
+    /// remote penalties until placement catches up. Requires a
+    /// topology; zero disables replica loss.
+    pub replica_loss_prob: f64,
 }
 
 impl FailureConfig {
@@ -101,6 +129,8 @@ impl FailureConfig {
             machine_failure_rate_per_hour: 0.0,
             tasks_per_machine: 2,
             data_loss_prob: 0.0,
+            rack_failure_rate_per_hour: 0.0,
+            replica_loss_prob: 0.0,
         }
     }
 
@@ -113,6 +143,8 @@ impl FailureConfig {
             machine_failure_rate_per_hour: 0.25 / 500.0,
             tasks_per_machine: 2,
             data_loss_prob: 0.5,
+            rack_failure_rate_per_hour: 0.0,
+            replica_loss_prob: 0.0,
         }
     }
 }
@@ -121,8 +153,13 @@ impl FailureConfig {
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterConfig {
     /// Optional machine-level placement and locality model
-    /// (disabled = abstract token pool).
+    /// (disabled = abstract token pool). Superseded by `topology`;
+    /// the two are mutually exclusive.
     pub placement: Option<crate::placement::PlacementConfig>,
+    /// Optional physical topology: racks × heterogeneous machine
+    /// classes with replica placement (see [`crate::topology`]). When
+    /// `None` the simulator runs the legacy flat model bit-identically.
+    pub topology: Option<crate::topology::TopologyConfig>,
     /// Total tokens in the simulated cluster slice (guaranteed +
     /// spare + background).
     pub total_tokens: u32,
@@ -156,6 +193,7 @@ impl ClusterConfig {
     pub fn dedicated(tokens: u32) -> Self {
         ClusterConfig {
             placement: None,
+            topology: None,
             total_tokens: tokens,
             max_guarantee: tokens,
             spare_enabled: false,
@@ -178,6 +216,8 @@ impl ClusterConfig {
             machine_failure_rate_per_hour: 0.0,
             tasks_per_machine: 2,
             data_loss_prob: 0.0,
+            rack_failure_rate_per_hour: 0.0,
+            replica_loss_prob: 0.0,
         };
         c
     }
@@ -188,6 +228,7 @@ impl ClusterConfig {
     pub fn production() -> Self {
         ClusterConfig {
             placement: None,
+            topology: None,
             total_tokens: 1_000,
             max_guarantee: 100,
             spare_enabled: true,
@@ -228,9 +269,23 @@ impl ClusterConfig {
             if !(0.0..=1.0).contains(&b.reversion) {
                 return Err(E::Background("reversion must be in [0, 1]"));
             }
+            if !b.diurnal_amplitude.is_finite() || b.diurnal_amplitude < 0.0 {
+                return Err(E::Background("diurnal_amplitude must be finite and >= 0"));
+            }
+            if b.diurnal_amplitude > 0.0 && b.diurnal_period.is_zero() {
+                return Err(E::Background(
+                    "diurnal_period must be positive when diurnal_amplitude > 0",
+                ));
+            }
+            if !b.diurnal_phase.is_finite() {
+                return Err(E::Background("diurnal_phase must be finite"));
+            }
         }
         if let Some(p) = &self.placement {
             p.validate().map_err(E::Placement)?;
+        }
+        if let Some(t) = &self.topology {
+            t.validate().map_err(E::Topology)?;
         }
         let f = &self.failures;
         if let Some(p) = f.task_failure_prob {
@@ -245,6 +300,72 @@ impl ClusterConfig {
         }
         if !(0.0..=1.0).contains(&f.data_loss_prob) {
             return Err(E::Failures("data_loss_prob must be in [0, 1]"));
+        }
+        if !f.rack_failure_rate_per_hour.is_finite() || f.rack_failure_rate_per_hour < 0.0 {
+            return Err(E::Failures(
+                "rack_failure_rate_per_hour must be finite and >= 0",
+            ));
+        }
+        if !(0.0..=1.0).contains(&f.replica_loss_prob) {
+            return Err(E::Failures("replica_loss_prob must be in [0, 1]"));
+        }
+        self.validate_cross_field()
+    }
+
+    /// Checks that independently-valid sections agree with each other.
+    /// The failure model's machine accounting, the placement/topology
+    /// machine counts, and the token pool must describe the *same*
+    /// cluster — historically each was validated alone and could
+    /// silently contradict the others.
+    fn validate_cross_field(&self) -> Result<(), InvalidClusterConfig> {
+        use InvalidClusterConfig as E;
+        let f = &self.failures;
+        if self.placement.is_some() && self.topology.is_some() {
+            return Err(E::Inconsistent(
+                "placement and topology are mutually exclusive; topology supersedes placement",
+            ));
+        }
+        if self.topology.is_none() {
+            if f.rack_failure_rate_per_hour > 0.0 {
+                return Err(E::Inconsistent(
+                    "rack_failure_rate_per_hour requires a topology (racks are undefined in the \
+                     flat model)",
+                ));
+            }
+            if f.replica_loss_prob > 0.0 {
+                return Err(E::Inconsistent(
+                    "replica_loss_prob requires a topology (there are no replicas in the flat \
+                     model)",
+                ));
+            }
+        }
+        if f.machine_failure_rate_per_hour > 0.0 {
+            // The machine count implied by the failure model must be
+            // able to host the token pool, or the per-machine hazard
+            // describes a different cluster than the one simulated.
+            if let Some(t) = &self.topology {
+                let capacity = u64::from(t.machine_count()) * u64::from(t.slots_per_machine);
+                if capacity < u64::from(self.total_tokens) {
+                    return Err(E::Inconsistent(
+                        "topology machines x slots_per_machine cannot host total_tokens, so the \
+                         per-machine failure hazard contradicts the simulated cluster",
+                    ));
+                }
+            } else if let Some(p) = &self.placement {
+                let capacity = u64::from(p.machines) * u64::from(f.tasks_per_machine);
+                if capacity < u64::from(self.total_tokens) {
+                    return Err(E::Inconsistent(
+                        "placement machines x failures.tasks_per_machine cannot host \
+                         total_tokens, so the per-machine failure hazard contradicts the \
+                         simulated cluster",
+                    ));
+                }
+            } else if f.tasks_per_machine == 0 {
+                return Err(E::Inconsistent(
+                    "tasks_per_machine must be >= 1 when machine failures are enabled without a \
+                     placement or topology (it defines the implied machine count)",
+                ));
+            }
         }
         Ok(())
     }
@@ -267,8 +388,13 @@ pub enum InvalidClusterConfig {
     Background(&'static str),
     /// The placement model is invalid.
     Placement(String),
+    /// The topology model is invalid.
+    Topology(String),
     /// A failure-injection parameter is out of range.
     Failures(&'static str),
+    /// Two individually-valid sections contradict each other (e.g. the
+    /// failure model's machine accounting vs. the topology's).
+    Inconsistent(&'static str),
 }
 
 impl fmt::Display for InvalidClusterConfig {
@@ -284,7 +410,9 @@ impl fmt::Display for InvalidClusterConfig {
             InvalidClusterConfig::ControlPeriod => write!(f, "control_period must be positive"),
             InvalidClusterConfig::Background(what) => write!(f, "background {what}"),
             InvalidClusterConfig::Placement(what) => write!(f, "{what}"),
+            InvalidClusterConfig::Topology(what) => write!(f, "topology {what}"),
             InvalidClusterConfig::Failures(what) => write!(f, "{what}"),
+            InvalidClusterConfig::Inconsistent(what) => write!(f, "{what}"),
         }
     }
 }
@@ -339,6 +467,92 @@ mod tests {
 
         let mut c = ClusterConfig::dedicated(10);
         c.failures.task_failure_prob = Some(2.0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cross_field_validation_catches_contradictions() {
+        use crate::placement::PlacementConfig;
+        use crate::topology::TopologyConfig;
+
+        // Placement and topology are mutually exclusive.
+        let mut c = ClusterConfig::dedicated(10);
+        c.placement = Some(PlacementConfig::production());
+        c.topology = Some(TopologyConfig::google_mix(4));
+        assert_eq!(
+            c.validate(),
+            Err(InvalidClusterConfig::Inconsistent(
+                "placement and topology are mutually exclusive; topology supersedes placement",
+            ))
+        );
+
+        // Rack failures and replica loss are meaningless without racks.
+        let mut c = ClusterConfig::dedicated(10);
+        c.failures.rack_failure_rate_per_hour = 0.5;
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Inconsistent(_))
+        ));
+        let mut c = ClusterConfig::dedicated(10);
+        c.failures.replica_loss_prob = 0.5;
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Inconsistent(_))
+        ));
+
+        // A topology too small to host the token pool contradicts the
+        // per-machine failure hazard (it would fail machines that the
+        // token accounting pretends don't exist).
+        let mut c = ClusterConfig::dedicated(100);
+        c.topology = Some(TopologyConfig::uniform(2, 4)); // 8 machines x 4 slots = 32
+        c.failures.machine_failure_rate_per_hour = 0.01;
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Inconsistent(_))
+        ));
+        // Enough machines: the same config validates.
+        c.topology = Some(TopologyConfig::uniform(5, 6)); // 30 x 4 = 120
+        assert_eq!(c.validate(), Ok(()));
+
+        // Same contradiction through the legacy placement model.
+        let mut c = ClusterConfig::dedicated(100);
+        c.placement = Some(PlacementConfig {
+            machines: 10,
+            locality_fraction: 0.9,
+            remote_penalty: 1.3,
+        });
+        c.failures.machine_failure_rate_per_hour = 0.01;
+        c.failures.tasks_per_machine = 2; // 10 x 2 = 20 < 100 tokens
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Inconsistent(_))
+        ));
+        c.failures.tasks_per_machine = 10; // 10 x 10 = 100
+        assert_eq!(c.validate(), Ok(()));
+
+        // tasks_per_machine = 0 with failures on and no machine model
+        // would silently fall back to max(1) in machine_count().
+        let mut c = ClusterConfig::dedicated(10);
+        c.failures.machine_failure_rate_per_hour = 0.01;
+        c.failures.tasks_per_machine = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn diurnal_parameters_validate() {
+        let mut c = ClusterConfig::production();
+        c.background.diurnal_amplitude = 0.25;
+        assert_eq!(c.validate(), Ok(()));
+        c.background.diurnal_period = SimDuration::from_secs(0);
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::production();
+        c.background.diurnal_amplitude = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::production();
+        c.background.diurnal_phase = f64::INFINITY;
         assert!(c.validate().is_err());
     }
 

@@ -46,6 +46,7 @@ use crate::failure::{DefaultFailureModel, FailureModel};
 use crate::invariants;
 use crate::job::JobSpec;
 use crate::scheduler::{SchedulerPolicy, WeightedFair};
+use crate::topology::{ClusterTopology, LocalityFirst, PlacementPolicy};
 use crate::trace::RunTrace;
 use crate::workspace::{JobBuffers, SimWorkspace};
 
@@ -113,6 +114,7 @@ pub(crate) enum Event {
     },
     BackgroundTick,
     MachineFailure,
+    RackFailure,
     DeadlineChange {
         job: usize,
         new_deadline: SimDuration,
@@ -145,6 +147,10 @@ pub struct JobRun {
     pub(crate) rng_runtime: StdRng,
     pub(crate) rng_queue: StdRng,
     pub(crate) rng_fail: StdRng,
+    /// Replica machines per `(stage, split)` under the topology model,
+    /// indexed `stage.index() * data_splits + (task.index % data_splits)`.
+    /// Empty in the flat model.
+    pub(crate) replicas: Vec<Vec<u32>>,
 }
 
 impl JobRun {
@@ -265,6 +271,14 @@ pub struct EngineCore {
     pub(crate) cand_scratch: Vec<TaskId>,
     /// Reclaimed per-job buffers available for the next `add_job`.
     pub(crate) spare_buffers: Vec<JobBuffers>,
+    /// Realized topology, built once from `cfg.topology`. `None` runs
+    /// the legacy flat model bit-identically.
+    pub(crate) topology: Option<ClusterTopology>,
+    /// Placement decisions under the topology model (unused when flat).
+    pub(crate) placement_policy: Box<dyn PlacementPolicy>,
+    /// Scratch per-machine running-task counts, refreshed before each
+    /// topology placement decision.
+    pub(crate) machine_load: Vec<u32>,
 }
 
 impl EngineCore {
@@ -350,6 +364,19 @@ impl EngineCore {
             rng_runtime: self.seeds.rng_indexed("job-runtime", idx as u64),
             rng_queue: self.seeds.rng_indexed("job-queue", idx as u64),
             rng_fail: self.seeds.rng_indexed("job-fail", idx as u64),
+            // Replica placement draws from its own derived stream, so
+            // enabling the topology perturbs no legacy stream (the seed
+            // deriver is stateless: streams are independent by label).
+            replicas: match &self.topology {
+                Some(topo) => {
+                    let mut rng = self.seeds.rng_indexed("job-replicas", idx as u64);
+                    let splits = topo.data_splits() as usize;
+                    (0..graph.num_stages() * splits)
+                        .map(|_| topo.assign_replicas(&mut rng))
+                        .collect()
+                }
+                None => Vec::new(),
+            },
             spec,
         };
         self.jobs.push(job);
@@ -363,16 +390,26 @@ impl EngineCore {
         idx
     }
 
-    /// Machines in the simulated slice: explicit under the placement
-    /// model, otherwise implied by token count and machine size.
+    /// Machines in the simulated slice: the topology's realized count
+    /// when one is configured, explicit under the placement model,
+    /// otherwise implied by token count and machine size. The
+    /// per-machine failure hazard scales by this count, so aggregate
+    /// failure behavior tracks the cluster actually simulated —
+    /// including heterogeneous topologies.
     pub fn machine_count(&self) -> u32 {
-        match &self.cfg.placement {
-            Some(p) => p.machines,
-            None => self
+        match (&self.topology, &self.cfg.placement) {
+            (Some(t), _) => t.machine_count(),
+            (None, Some(p)) => p.machines,
+            (None, None) => self
                 .cfg
                 .total_tokens
                 .div_ceil(self.cfg.failures.tasks_per_machine.max(1)),
         }
+    }
+
+    /// The realized topology, when one is configured.
+    pub fn topology(&self) -> Option<&ClusterTopology> {
+        self.topology.as_ref()
     }
 
     /// Starts one task attempt of job `j` in the given token class and
@@ -390,6 +427,19 @@ impl EngineCore {
         now: SimTime,
         slowdown: f64,
     ) {
+        // Refresh the per-machine load scratch before borrowing the job
+        // mutably: the placement policy sees every job's residents.
+        if let Some(topo) = &self.topology {
+            self.machine_load.clear();
+            self.machine_load.resize(topo.machine_count() as usize, 0);
+            for job in &self.jobs {
+                for r in &job.running {
+                    if let Some(m) = r.machine {
+                        self.machine_load[m as usize] += 1;
+                    }
+                }
+            }
+        }
         let job = &mut self.jobs[j];
         debug_assert_eq!(job.task_state(task), TaskState::Ready);
         let s = task.stage.index();
@@ -404,14 +454,28 @@ impl EngineCore {
             TokenClass::Guaranteed => 1.0,
             TokenClass::Spare => self.cfg.spare_slowdown,
         };
-        // Machine placement: pick a host and apply the remote-read
-        // penalty when the task loses locality.
-        let (machine, locality_mult) = match &self.cfg.placement {
-            Some(p) => {
+        // Machine placement. Under a topology the policy picks a host
+        // and the multiplier *derives* from where the task landed
+        // relative to its input replicas (machine class x locality);
+        // under the legacy placement model it is a uniform draw plus a
+        // locality coin-flip; flat mode consumes no extra draws.
+        let (machine, locality_mult) = match (&self.topology, &self.cfg.placement) {
+            (Some(topo), _) => {
+                let split = (task.index % topo.data_splits()) as usize;
+                let replicas = &job.replicas[s * topo.data_splits() as usize + split];
+                let m = self.placement_policy.place(
+                    topo,
+                    &self.machine_load,
+                    replicas,
+                    &mut job.rng_queue,
+                );
+                (Some(m), topo.runtime_multiplier(m, replicas))
+            }
+            (None, Some(p)) => {
                 let (m, mult) = p.place(&mut job.rng_queue);
                 (Some(m), mult)
             }
-            None => (None, 1.0),
+            (None, None) => (None, 1.0),
         };
         let queue_secs = base_queue * slowdown;
         let run_secs = base_run * slowdown * class_mult * locality_mult;
@@ -625,6 +689,59 @@ impl EngineCore {
             stage.index()
         );
     }
+
+    /// Destroys input replicas hosted on `machine` (topology model):
+    /// each replica on the machine is lost with probability
+    /// `loss_prob`, drawn from `rng`. A split that loses its last copy
+    /// is immediately re-replicated onto a fresh machine — the data is
+    /// recoverable from upstream, but tasks reading it pay remote
+    /// penalties until placement catches up. No-op in the flat model.
+    pub fn destroy_replicas_on_machine(
+        &mut self,
+        machine: u32,
+        loss_prob: f64,
+        rng: &mut StdRng,
+        now: SimTime,
+    ) {
+        let Some(topo) = &self.topology else {
+            return;
+        };
+        if loss_prob <= 0.0 {
+            return;
+        }
+        let machine_count = topo.machine_count();
+        let mut destroyed: u32 = 0;
+        let mut rehomed: u32 = 0;
+        for job in &mut self.jobs {
+            for split in &mut job.replicas {
+                let Some(pos) = split.iter().position(|&m| m == machine) else {
+                    continue;
+                };
+                if !jockey_simrt::dist::bernoulli(rng, loss_prob) {
+                    continue;
+                }
+                split.swap_remove(pos);
+                destroyed += 1;
+                if split.is_empty() {
+                    // Last copy gone: re-replicate somewhere healthy.
+                    let mut fresh = rand::Rng::gen_range(rng, 0..machine_count);
+                    while fresh == machine && machine_count > 1 {
+                        fresh = rand::Rng::gen_range(rng, 0..machine_count);
+                    }
+                    split.push(fresh);
+                    rehomed += 1;
+                }
+            }
+        }
+        if destroyed > 0 {
+            observe!(
+                self.observer,
+                now,
+                EntryKind::Task,
+                "machine {machine} death destroyed {destroyed} replicas ({rehomed} splits re-replicated)"
+            );
+        }
+    }
 }
 
 /// The discrete-event loop composed with its policy layers.
@@ -643,6 +760,7 @@ impl Engine {
         let background = BackgroundModel::new(cfg.background.clone(), seeds.rng("background"));
         let failure = DefaultFailureModel::new(seeds.rng("machine-failures"));
         let queue = EventQueue::with_backend(cfg.queue_backend);
+        let topology = cfg.topology.as_ref().map(ClusterTopology::build);
         Engine {
             core: EngineCore {
                 cfg,
@@ -658,6 +776,9 @@ impl Engine {
                 record_trace: true,
                 cand_scratch: Vec::new(),
                 spare_buffers: Vec::new(),
+                topology,
+                placement_policy: Box::new(LocalityFirst),
+                machine_load: Vec::new(),
             },
             scheduler: Box::new(WeightedFair),
             failure: Box::new(failure),
@@ -702,6 +823,7 @@ impl Engine {
                 .schedule(SimTime::ZERO + tick, Event::BackgroundTick);
         }
         self.arm_machine_failure(SimTime::ZERO);
+        self.arm_rack_failure(SimTime::ZERO);
     }
 
     /// Runs the event loop to completion (all jobs done, queue drained,
@@ -768,6 +890,9 @@ impl Engine {
             Event::MachineFailure => {
                 observe!(self.core.observer, now, EntryKind::Event, "MachineFailure");
             }
+            Event::RackFailure => {
+                observe!(self.core.observer, now, EntryKind::Event, "RackFailure");
+            }
             Event::DeadlineChange { job, new_deadline } => {
                 observe!(
                     self.core.observer,
@@ -784,6 +909,7 @@ impl Engine {
             Event::ControlTick { job } => self.on_control_tick(job, now, sink),
             Event::BackgroundTick => self.on_background_tick(now),
             Event::MachineFailure => self.on_machine_failure(now),
+            Event::RackFailure => self.on_rack_failure(now),
             Event::DeadlineChange { job, new_deadline } => {
                 self.core.jobs[job]
                     .controller
@@ -1072,6 +1198,28 @@ impl Engine {
     fn on_machine_failure(&mut self, now: SimTime) {
         self.failure.on_machine_failure(&mut self.core, now);
         self.arm_machine_failure(now);
+        self.scheduler.schedule(&mut self.core, now);
+    }
+
+    /// Asks the failure model for the next correlated rack-failure
+    /// arrival and schedules it. The default model returns `None`
+    /// without a topology, so the legacy event stream gains no events.
+    fn arm_rack_failure(&mut self, now: SimTime) {
+        if let Some(delay) = self.failure.next_rack_failure_delay(&self.core) {
+            observe!(
+                self.core.observer,
+                now,
+                EntryKind::Decision,
+                "next rack failure armed in {:.3}s",
+                delay.as_secs_f64()
+            );
+            self.core.queue.schedule(now + delay, Event::RackFailure);
+        }
+    }
+
+    fn on_rack_failure(&mut self, now: SimTime) {
+        self.failure.on_rack_failure(&mut self.core, now);
+        self.arm_rack_failure(now);
         self.scheduler.schedule(&mut self.core, now);
     }
 }

@@ -10,7 +10,7 @@
 //! 3. each machine failure kills resident tasks and may destroy
 //!    completed outputs (forcing recomputation before a barrier).
 
-use jockey_simrt::dist::{bernoulli, Exponential, Sample};
+use jockey_simrt::dist::{bernoulli, exp_duration};
 use jockey_simrt::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -43,6 +43,19 @@ pub trait FailureModel: Send {
     /// (possibly) destroy completed outputs via the [`EngineCore`]
     /// mechanics. The engine re-arms the next arrival afterwards.
     fn on_machine_failure(&mut self, core: &mut EngineCore, now: SimTime);
+
+    /// Delay until the next correlated whole-rack failure, or `None`
+    /// when rack failures are disabled. Racks only exist under a
+    /// topology, so the default is `None` — legacy models see no new
+    /// events and consume no extra RNG draws.
+    fn next_rack_failure_delay(&mut self, _core: &EngineCore) -> Option<SimDuration> {
+        None
+    }
+
+    /// Applies one rack failure. Only called when
+    /// [`next_rack_failure_delay`](FailureModel::next_rack_failure_delay)
+    /// armed an arrival; the default is a no-op.
+    fn on_rack_failure(&mut self, _core: &mut EngineCore, _now: SimTime) {}
 }
 
 /// Jockey's failure model: independent per-attempt task failures, a
@@ -77,10 +90,7 @@ impl FailureModel for DefaultFailureModel {
         if rate <= 0.0 {
             return None;
         }
-        let exp = Exponential::with_mean(3600.0 / rate);
-        Some(SimDuration::from_secs_f64(
-            exp.sample(&mut self.rng_machine),
-        ))
+        Some(exp_duration(&mut self.rng_machine, 3600.0 / rate))
     }
 
     fn on_machine_failure(&mut self, core: &mut EngineCore, now: SimTime) {
@@ -108,22 +118,69 @@ impl FailureModel for DefaultFailureModel {
                 pick -= w;
             }
             let tasks_per_machine = core.cfg.failures.tasks_per_machine;
-            match core.cfg.placement.clone() {
-                Some(p) => {
-                    // A concrete machine dies: every resident task (of
-                    // every job) is killed.
-                    let machine = self.rng_machine.gen_range(0..p.machines);
-                    for j in 0..core.jobs.len() {
-                        core.kill_tasks_on_machine(j, machine, now);
-                    }
+            if let Some(machines) = core.topology().map(|t| t.machine_count()) {
+                // Topology model: a concrete machine dies, killing every
+                // resident task of every job and (optionally) the input
+                // replicas it hosted.
+                let machine = self.rng_machine.gen_range(0..machines);
+                for j in 0..core.jobs.len() {
+                    core.kill_tasks_on_machine(j, machine, now);
                 }
-                None => {
-                    core.kill_running_tasks(victim, tasks_per_machine, now);
+                let loss = core.cfg.failures.replica_loss_prob;
+                core.destroy_replicas_on_machine(machine, loss, &mut self.rng_machine, now);
+            } else {
+                match core.cfg.placement.clone() {
+                    Some(p) => {
+                        // A concrete machine dies: every resident task (of
+                        // every job) is killed.
+                        let machine = self.rng_machine.gen_range(0..p.machines);
+                        for j in 0..core.jobs.len() {
+                            core.kill_tasks_on_machine(j, machine, now);
+                        }
+                    }
+                    None => {
+                        core.kill_running_tasks(victim, tasks_per_machine, now);
+                    }
                 }
             }
             if bernoulli(&mut self.rng_machine, core.cfg.failures.data_loss_prob) {
                 core.lose_completed_outputs(victim, tasks_per_machine, now);
             }
+        }
+    }
+
+    fn next_rack_failure_delay(&mut self, core: &EngineCore) -> Option<SimDuration> {
+        // Per-rack hazard, aggregated over the topology's rack count —
+        // the rack-level analogue of the per-machine scaling above.
+        // Without a topology there are no racks and no draw is made, so
+        // the legacy machine-failure stream is untouched.
+        let racks = core.topology()?.rack_count();
+        let rate = core.cfg.failures.rack_failure_rate_per_hour * f64::from(racks);
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(exp_duration(&mut self.rng_machine, 3600.0 / rate))
+    }
+
+    fn on_rack_failure(&mut self, core: &mut EngineCore, now: SimTime) {
+        let (machines, loss) = {
+            let Some(topo) = core.topology() else {
+                return;
+            };
+            let rack = self.rng_machine.gen_range(0..topo.rack_count());
+            (
+                topo.machines_in_rack(rack),
+                core.cfg.failures.replica_loss_prob,
+            )
+        };
+        // The whole rack goes down at once: every resident task of
+        // every machine in it dies, and each hosted replica may be
+        // destroyed with it.
+        for machine in machines {
+            for j in 0..core.jobs.len() {
+                core.kill_tasks_on_machine(j, machine, now);
+            }
+            core.destroy_replicas_on_machine(machine, loss, &mut self.rng_machine, now);
         }
     }
 }
@@ -169,6 +226,8 @@ mod tests {
             machine_failure_rate_per_hour: 1.0,
             tasks_per_machine: 2,
             data_loss_prob: 0.0,
+            rack_failure_rate_per_hour: 0.0,
+            replica_loss_prob: 0.0,
         };
         let core = &engine_with(cfg).core;
         let delay = |seed| {
@@ -188,6 +247,131 @@ mod tests {
     }
 
     #[test]
+    fn no_rack_delay_without_topology() {
+        let mut cfg = ClusterConfig::dedicated(4);
+        cfg.failures.machine_failure_rate_per_hour = 1.0;
+        let core = &engine_with(cfg).core;
+        let mut model = DefaultFailureModel::new(SeedDeriver::new(7).rng("machine-failures"));
+        assert_eq!(model.next_rack_failure_delay(core), None);
+    }
+
+    #[test]
+    fn rack_failure_kills_every_resident_task_in_the_rack() {
+        use crate::topology::TopologyConfig;
+        let mut cfg = ClusterConfig::dedicated(4);
+        cfg.topology = Some(TopologyConfig::uniform(2, 4));
+        cfg.failures.rack_failure_rate_per_hour = 1.0;
+        let mut engine = engine_with(cfg);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None); // JobStart: 4 tasks running.
+        let mut model = DefaultFailureModel::new(SeedDeriver::new(7).rng("machine-failures"));
+        assert!(model.next_rack_failure_delay(&engine.core).is_some());
+
+        // Force-kill each rack in turn: afterwards no running task may
+        // remain on any of that rack's machines.
+        model.on_rack_failure(&mut engine.core, SimTime::from_secs(1));
+        let dead_rack: Vec<u32> = {
+            // Recover which rack died from the survivors: with two
+            // racks, every surviving resident is in the other one.
+            let topo = engine.core.topology().unwrap();
+            let survivors: Vec<u32> = engine.core.jobs[0]
+                .running()
+                .iter()
+                .filter_map(|r| r.machine)
+                .map(|m| topo.rack_of(m))
+                .collect();
+            (0..topo.rack_count())
+                .filter(|r| !survivors.contains(r))
+                .collect()
+        };
+        assert!(!dead_rack.is_empty(), "one rack must have been cleared");
+        let job = &engine.core.jobs[0];
+        assert!(job.wasted > 0.0 || job.running().len() < 4);
+    }
+
+    #[test]
+    fn machine_failure_under_topology_destroys_hosted_replicas() {
+        use crate::topology::TopologyConfig;
+        let mut cfg = ClusterConfig::dedicated(4);
+        let mut topo = TopologyConfig::uniform(2, 4);
+        topo.data_copies = 1; // Single copy: every loss forces a re-home.
+        cfg.topology = Some(topo);
+        cfg.failures.machine_failure_rate_per_hour = 1.0;
+        cfg.failures.replica_loss_prob = 1.0;
+        let mut engine = engine_with(cfg);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None);
+        let before: Vec<Vec<u32>> = engine.core.jobs[0].replicas.clone();
+        assert!(!before.is_empty());
+        // Fail machines until some replica set changes.
+        let mut model = DefaultFailureModel::new(SeedDeriver::new(9).rng("machine-failures"));
+        for i in 0..8 {
+            model.on_machine_failure(&mut engine.core, SimTime::from_secs(1 + i));
+        }
+        let after = &engine.core.jobs[0].replicas;
+        assert_ne!(&before, after, "replica placement must have churned");
+        // Re-replication keeps every split at exactly one live copy.
+        assert!(after.iter().all(|split| split.len() == 1));
+    }
+
+    /// PR 1 regression, extended to topologies: the configured rate is
+    /// a *per-machine* hazard, so doubling the machine count halves the
+    /// expected arrival delay — exactly, because the exponential draw
+    /// is linear in its mean for a fixed RNG stream. Heterogeneous
+    /// classes must not change the accounting: hazard scales with the
+    /// machine *count*, not capacity.
+    #[test]
+    fn per_machine_hazard_scales_with_topology_machine_count() {
+        use crate::topology::TopologyConfig;
+        let delay_for = |topo: TopologyConfig| {
+            let mut cfg = ClusterConfig::dedicated(4);
+            cfg.topology = Some(topo);
+            cfg.failures.machine_failure_rate_per_hour = 0.01;
+            let core = &engine_with(cfg).core;
+            let mut model = DefaultFailureModel::new(SeedDeriver::new(21).rng("machine-failures"));
+            model.next_failure_delay(core).expect("rate is positive")
+        };
+        // Heterogeneous rack of 10 (5x1.0 + 3x0.5 + 2x0.25).
+        let one_rack = delay_for(TopologyConfig::google_mix(1)).as_secs_f64();
+        let two_racks = delay_for(TopologyConfig::google_mix(2)).as_secs_f64();
+        let four_racks = delay_for(TopologyConfig::google_mix(4)).as_secs_f64();
+        // The exponential draw is linear in its mean for a fixed
+        // stream, so the ratios are exact up to ms quantization.
+        assert!(
+            (one_rack / two_racks - 2.0).abs() < 1e-6,
+            "2x machines must halve the first arrival delay ({one_rack} vs {two_racks})"
+        );
+        assert!((one_rack / four_racks - 4.0).abs() < 1e-6);
+        // A homogeneous topology with the same machine count draws the
+        // same delay: capacities don't enter the hazard.
+        let uniform = delay_for(TopologyConfig::uniform(1, 10)).as_secs_f64();
+        assert_eq!(one_rack.to_bits(), uniform.to_bits());
+        // And the topology count supersedes the flat-model accounting
+        // (tokens / tasks_per_machine): same machine count, same
+        // stream, identical aggregate hazard either way.
+        let mut flat = ClusterConfig::dedicated(4);
+        flat.failures.machine_failure_rate_per_hour = 0.01;
+        flat.failures.tasks_per_machine = 2; // implies 2 machines
+        let flat_core = &engine_with(flat).core;
+        assert_eq!(flat_core.machine_count(), 2);
+        let mut cfg = ClusterConfig::dedicated(4);
+        let mut two = TopologyConfig::uniform(1, 2);
+        two.data_copies = 2; // Only two machines to hold copies.
+        cfg.topology = Some(two);
+        cfg.failures.machine_failure_rate_per_hour = 0.01;
+        let topo_core = &engine_with(cfg).core;
+        assert_eq!(topo_core.machine_count(), 2);
+        let mut a = DefaultFailureModel::new(SeedDeriver::new(3).rng("machine-failures"));
+        let mut b = DefaultFailureModel::new(SeedDeriver::new(3).rng("machine-failures"));
+        assert_eq!(
+            a.next_failure_delay(flat_core),
+            b.next_failure_delay(topo_core)
+        );
+    }
+
+    #[test]
     fn machine_failure_kills_running_tasks() {
         let mut cfg = ClusterConfig::dedicated(4);
         cfg.failures = FailureConfig {
@@ -195,6 +379,8 @@ mod tests {
             machine_failure_rate_per_hour: 1.0,
             tasks_per_machine: 2,
             data_loss_prob: 0.0,
+            rack_failure_rate_per_hour: 0.0,
+            replica_loss_prob: 0.0,
         };
         let mut engine = engine_with(cfg);
         engine.prime();

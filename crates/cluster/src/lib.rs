@@ -58,6 +58,7 @@ pub mod job;
 pub mod placement;
 pub mod scheduler;
 pub mod sim;
+pub mod topology;
 pub mod trace;
 pub mod workspace;
 
@@ -70,5 +71,8 @@ pub use job::JobSpec;
 pub use placement::PlacementConfig;
 pub use scheduler::{SchedulerPolicy, WeightedFair};
 pub use sim::{ClusterSim, JobResult, RunHooks};
+pub use topology::{
+    ClusterTopology, LocalityFirst, MachineClass, PlacementPolicy, RandomPlacement, TopologyConfig,
+};
 pub use trace::RunTrace;
 pub use workspace::SimWorkspace;

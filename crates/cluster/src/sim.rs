@@ -169,6 +169,15 @@ impl ClusterSim {
         self.engine.failure = failure;
     }
 
+    /// Replaces the placement policy used when a
+    /// [`TopologyConfig`](crate::topology::TopologyConfig) is
+    /// configured (default:
+    /// [`LocalityFirst`](crate::topology::LocalityFirst)). Ignored in
+    /// the flat (non-topology) model.
+    pub fn set_placement_policy(&mut self, policy: Box<dyn crate::topology::PlacementPolicy>) {
+        self.engine.core.placement_policy = policy;
+    }
+
     /// Adds a job starting at time zero. Returns its index.
     pub fn add_job(&mut self, spec: JobSpec, controller: Box<dyn JobController>) -> usize {
         self.add_job_at(spec, controller, SimTime::ZERO)

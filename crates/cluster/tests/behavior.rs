@@ -162,6 +162,8 @@ fn machine_failures_do_not_wedge_the_job() {
         machine_failure_rate_per_hour: 120.0, // Very frequent.
         tasks_per_machine: 3,
         data_loss_prob: 1.0,
+        rack_failure_rate_per_hour: 0.0,
+        replica_loss_prob: 0.0,
     };
     let mut sim = ClusterSim::new(cfg, 13);
     sim.add_job(spec(30, 5, 8.0), Box::new(FixedAllocation(8)));

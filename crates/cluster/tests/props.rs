@@ -85,6 +85,7 @@ proptest! {
         );
         let cfg = ClusterConfig {
             placement: None,
+            topology: None,
             total_tokens: 40,
             max_guarantee: 8,
             spare_enabled: true,
@@ -101,12 +102,17 @@ proptest! {
                 tick: jockey_simrt::time::SimDuration::from_secs(15),
                 slowdown_knee: 0.8,
                 slowdown_slope: 2.0,
+                diurnal_amplitude: 0.0,
+                diurnal_period: jockey_simrt::time::SimDuration::from_mins(24 * 60),
+                diurnal_phase: 0.0,
             },
             failures: FailureConfig {
                 task_failure_prob: None,
                 machine_failure_rate_per_hour: 6.0,
                 tasks_per_machine: 2,
                 data_loss_prob: 0.5,
+                rack_failure_rate_per_hour: 0.0,
+                replica_loss_prob: 0.0,
             },
             max_sim_time: jockey_simrt::time::SimTime::from_mins(24 * 60),
             queue_backend: Default::default(),

@@ -246,6 +246,8 @@ fn machine_failures_with_placement_kill_co_resident_tasks() {
         machine_failure_rate_per_hour: 120.0,
         tasks_per_machine: 2, // Ignored by the placement path.
         data_loss_prob: 0.0,
+        rack_failure_rate_per_hour: 0.0,
+        replica_loss_prob: 0.0,
     };
     let mut sim = ClusterSim::new(cfg, 13);
     sim.add_job(spec(40, 4, 8.0), Box::new(FixedAllocation(8)));

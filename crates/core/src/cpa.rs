@@ -72,6 +72,12 @@ pub struct TrainConfig {
     /// rank-error bound documented on
     /// [`CellSketch`](crate::sketch::CellSketch).
     pub sketch_capacity: Option<usize>,
+    /// Optional physical topology for the training simulations. `None`
+    /// (the default) trains against the legacy flat dedicated cluster;
+    /// `Some` trains C(p, a) against the same racks × machine-classes
+    /// geometry the evaluation scenario runs on, so the model's
+    /// percentiles absorb locality penalties and slow-machine classes.
+    pub topology: Option<jockey_cluster::TopologyConfig>,
 }
 
 impl Default for TrainConfig {
@@ -92,6 +98,7 @@ impl Default for TrainConfig {
             max_sim_time: SimTime::from_mins(24 * 60),
             threads: None,
             sketch_capacity: None,
+            topology: None,
         }
     }
 }
@@ -109,6 +116,7 @@ impl TrainConfig {
             max_sim_time: SimTime::from_mins(12 * 60),
             threads: None,
             sketch_capacity: None,
+            topology: None,
         }
     }
 
@@ -942,6 +950,7 @@ fn train_one_allocation(
         let mut sim_cfg = ClusterConfig::dedicated_with_failures(allocation);
         sim_cfg.control_period = cfg.sample_period;
         sim_cfg.max_sim_time = cfg.max_sim_time;
+        sim_cfg.topology = cfg.topology.clone();
         let mut sim =
             ClusterSim::with_workspace(sim_cfg, seeds.seed_indexed("run", run as u64), ws);
         sim.set_record_trace(false);

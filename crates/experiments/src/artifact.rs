@@ -39,17 +39,25 @@ pub enum ArtifactId {
     Sweep,
     /// The Fig. 6 adaptive-run scenario traces.
     Fig6Scenarios,
+    /// The topology-scenario sweep (per-scenario SLO outcomes with
+    /// scenario-retrained models).
+    ScenarioSweep,
 }
 
 impl ArtifactId {
     /// Every artifact, in canonical (materialization) order.
-    pub const ALL: [ArtifactId; 2] = [ArtifactId::Sweep, ArtifactId::Fig6Scenarios];
+    pub const ALL: [ArtifactId; 3] = [
+        ArtifactId::Sweep,
+        ArtifactId::Fig6Scenarios,
+        ArtifactId::ScenarioSweep,
+    ];
 
     /// Stable name used in logs and `--list` output.
     pub fn name(self) -> &'static str {
         match self {
             ArtifactId::Sweep => "sweep",
             ArtifactId::Fig6Scenarios => "fig6-scenarios",
+            ArtifactId::ScenarioSweep => "scenario-sweep",
         }
     }
 
@@ -74,6 +82,7 @@ pub struct ArtifactStore {
     disk: Option<PathBuf>,
     sweep: OnceLock<Arc<Vec<SloOutcome>>>,
     fig6: OnceLock<Arc<Vec<Scenario>>>,
+    scenario_sweep: OnceLock<Arc<Vec<crate::figures::scenarios::ScenarioOutcomes>>>,
 }
 
 impl ArtifactStore {
@@ -121,6 +130,19 @@ impl ArtifactStore {
             .clone()
     }
 
+    /// Computes (or returns the memoized) topology-scenario sweep.
+    pub fn scenario_sweep(
+        &self,
+        env: &Env,
+    ) -> Arc<Vec<crate::figures::scenarios::ScenarioOutcomes>> {
+        self.scenario_sweep
+            .get_or_init(|| {
+                eprintln!("[jockey] running topology-scenario sweep...");
+                Arc::new(crate::figures::scenarios::sweep(env))
+            })
+            .clone()
+    }
+
     /// Materializes `id` now (used by the runner to schedule artifact
     /// production as explicit DAG nodes).
     pub fn materialize(&self, id: ArtifactId, env: &Env) {
@@ -130,6 +152,9 @@ impl ArtifactStore {
             }
             ArtifactId::Fig6Scenarios => {
                 self.fig6_scenarios(env);
+            }
+            ArtifactId::ScenarioSweep => {
+                self.scenario_sweep(env);
             }
         }
     }
@@ -190,6 +215,12 @@ pub fn train_cache_key(
     canon.push_str(&format!("bins={}\n", cfg.progress_bins));
     canon.push_str(&format!("percentile={}\n", cfg.percentile));
     canon.push_str(&format!("horizon_ms={}\n", cfg.max_sim_time.as_millis()));
+    // Only topology-trained models add a line, so keys for the flat
+    // default stay byte-identical to caches written before topologies
+    // existed.
+    if let Some(topo) = &cfg.topology {
+        canon.push_str(&format!("topology={topo:?}\n"));
+    }
     canon.push_str(&format!("seed={train_seed:016x}\n"));
     canon.push_str(&format!("job={job_name}\n"));
     // The graph and profile are folded in via their canonical text

@@ -1,12 +1,12 @@
 //! The evaluation environment: jobs, training artifacts, and the
 //! shared-cluster configuration used by every §5 experiment.
 
-use jockey_cluster::{BackgroundConfig, ClusterConfig, FailureConfig};
+use jockey_cluster::ClusterConfig;
 use jockey_core::cpa::TrainConfig;
 use jockey_core::policy::JockeySetup;
 use jockey_core::progress::ProgressIndicator;
 use jockey_jobgraph::profile::JobProfile;
-use jockey_simrt::time::{SimDuration, SimTime};
+use jockey_simrt::time::SimDuration;
 use jockey_workloads::jobs::{self, GeneratedJob, JobTargets};
 use jockey_workloads::recurring::training_profile;
 
@@ -239,38 +239,12 @@ impl Env {
     /// The shared-cluster configuration experiments run in: a heavily
     /// utilized slice (≈93% mean utilization) with volatile spare
     /// capacity, overload episodes, load-dependent slowdown and
-    /// machine failures — the §2.3/§2.4 variance sources.
+    /// machine failures — the §2.3/§2.4 variance sources. This is the
+    /// scenario registry's base configuration
+    /// ([`jockey_workloads::scenario::base_cluster`]); every named
+    /// scenario is a transformation of it.
     pub fn experiment_cluster(&self) -> ClusterConfig {
-        ClusterConfig {
-            placement: None,
-            total_tokens: 150,
-            max_guarantee: 100,
-            spare_enabled: true,
-            spare_slowdown: 1.4,
-            control_period: SimDuration::from_mins(1),
-            background: BackgroundConfig {
-                enabled: true,
-                mean_util: 0.88,
-                volatility: 0.04,
-                reversion: 0.10,
-                overload_rate_per_hour: 0.8,
-                overload_duration_mins: 10.0,
-                overload_util: 1.0,
-                tick: SimDuration::from_secs(30),
-                slowdown_knee: 0.85,
-                slowdown_slope: 1.5,
-            },
-            failures: FailureConfig {
-                // Per-machine hazard; the 150-token / 50-machine slice
-                // aggregates to about one machine failure per hour.
-                task_failure_prob: None,
-                machine_failure_rate_per_hour: 1.0 / 50.0,
-                tasks_per_machine: 3,
-                data_loss_prob: 0.5,
-            },
-            max_sim_time: SimTime::from_mins(12 * 60),
-            queue_backend: Default::default(),
-        }
+        jockey_workloads::scenario::base_cluster()
     }
 }
 

@@ -19,6 +19,7 @@
 //! | [`fig12`] | slack parameter sweep |
 //! | [`fig13`] | hysteresis parameter sweep |
 //! | [`ext`] | §4.4/§5.6 extension controllers under adverse load |
+//! | [`scenarios`] | SLO attainment per topology scenario |
 //! | [`appendix`] | structural parallelism profiles (§3.3) |
 
 pub mod appendix;
@@ -35,6 +36,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scenarios;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,234 @@
+//! Topology-scenario experiment (beyond the paper's evaluation): SLO
+//! attainment per named cluster scenario.
+//!
+//! Every detailed job runs under Jockey control in each scenario of
+//! the [`jockey_workloads::scenario`] registry — heterogeneous machine
+//! classes, locality stress, correlated rack failures, diurnal load,
+//! and their combination. For topology scenarios the `C(p, a)` model
+//! is **retrained on the scenario's geometry** (same training
+//! configuration, topology injected), so the controller's percentiles
+//! absorb slow machine classes and locality penalties; scenarios that
+//! keep the flat model reuse the environment's setups, which are
+//! trained with the identical configuration. Identical topologies
+//! share one retraining.
+//!
+//! Deadlines stay at each job's base SLO across scenarios, so the
+//! attainment column reads directly as "how hostile is this
+//! environment to the same promise".
+
+use jockey_cluster::TopologyConfig;
+use jockey_core::policy::{JockeySetup, Policy};
+use jockey_simrt::stats;
+use jockey_simrt::table::Table;
+use jockey_workloads::scenario::SCENARIOS;
+
+use crate::env::{Env, EvalJob};
+use crate::par::{parallel_map, parallel_map_with};
+use crate::slo::{run_slo_with, SloConfig, SloOutcome};
+use jockey_cluster::SimWorkspace;
+
+/// Seed salt decorrelating scenario runs from the other figures.
+const SALT: u64 = 0x5ce0;
+
+/// All outcomes for one scenario, in (job, repeat) order.
+pub struct ScenarioOutcomes {
+    /// Scenario registry name.
+    pub scenario: &'static str,
+    /// Scenario title.
+    pub title: &'static str,
+    /// One outcome per (detailed job, repeat) cell.
+    pub outcomes: Vec<SloOutcome>,
+}
+
+/// Runs the full scenario sweep: every `(scenario, detailed job,
+/// repeat)` cell under the Jockey policy, with scenario-retrained
+/// models where a topology is configured. Deterministic in the
+/// environment seed at any worker count.
+pub fn sweep(env: &Env) -> Vec<ScenarioOutcomes> {
+    let detailed = env.detailed();
+    let base = env.experiment_cluster();
+    let clusters: Vec<_> = SCENARIOS.iter().map(|s| (s.build)(base.clone())).collect();
+
+    // Distinct topologies in first-appearance order; scenarios sharing
+    // a geometry share its retrained models.
+    let mut topologies: Vec<TopologyConfig> = Vec::new();
+    for c in &clusters {
+        if let Some(t) = &c.topology {
+            if !topologies.contains(t) {
+                topologies.push(t.clone());
+            }
+        }
+    }
+
+    // Retrain C(p, a) per (topology, job) on a deterministic grid.
+    let train_cfg = env.scale.train_config();
+    let grid: Vec<(usize, usize)> = (0..topologies.len())
+        .flat_map(|gi| (0..detailed.len()).map(move |ji| (gi, ji)))
+        .collect();
+    let retrained: Vec<JockeySetup> = parallel_map(grid, |(gi, ji)| {
+        let job = detailed[ji];
+        let mut cfg = train_cfg.clone();
+        cfg.topology = Some(topologies[gi].clone());
+        JockeySetup::train(
+            job.gen.graph.clone(),
+            job.profile.clone(),
+            job.setup.indicator,
+            &cfg,
+            env.seed ^ SALT ^ ((gi as u64) << 40) ^ ((ji as u64) << 16),
+        )
+    });
+    let setup_for = |si: usize, ji: usize| -> JockeySetup {
+        match &clusters[si].topology {
+            None => detailed[ji].setup.clone(),
+            Some(t) => {
+                let gi = topologies.iter().position(|g| g == t).expect("collected");
+                retrained[gi * detailed.len() + ji].clone()
+            }
+        }
+    };
+
+    // Per-scenario eval jobs: same generated job, profile and deadline
+    // as the environment's, with the scenario's model swapped in.
+    let scenario_jobs: Vec<Vec<EvalJob>> = (0..SCENARIOS.len())
+        .map(|si| {
+            (0..detailed.len())
+                .map(|ji| EvalJob {
+                    gen: detailed[ji].gen.clone(),
+                    profile: detailed[ji].profile.clone(),
+                    setup: setup_for(si, ji),
+                    deadline: detailed[ji].deadline,
+                    detailed: true,
+                })
+                .collect()
+        })
+        .collect();
+
+    // The run grid, scenario-major; seeds derive from grid position.
+    let repeats = env.scale.repeats().max(2);
+    let mut items = Vec::new();
+    for si in 0..SCENARIOS.len() {
+        for ji in 0..detailed.len() {
+            for rep in 0..repeats {
+                items.push((si, ji, rep));
+            }
+        }
+    }
+    let outcomes: Vec<(usize, SloOutcome)> =
+        parallel_map_with(items, SimWorkspace::new, |ws, (si, ji, rep)| {
+            let job = &scenario_jobs[si][ji];
+            let cfg = SloConfig::standard(
+                Policy::Jockey,
+                job.deadline,
+                clusters[si].clone(),
+                env.seed ^ ((si as u64) << 28) ^ ((ji as u64) << 12) ^ (rep as u64) ^ SALT,
+            );
+            (si, run_slo_with(job, &cfg, ws))
+        });
+
+    let mut groups: Vec<ScenarioOutcomes> = SCENARIOS
+        .iter()
+        .map(|s| ScenarioOutcomes {
+            scenario: s.name,
+            title: s.title,
+            outcomes: Vec::new(),
+        })
+        .collect();
+    for (si, o) in outcomes {
+        groups[si].outcomes.push(o);
+    }
+    groups
+}
+
+/// Renders the per-scenario attainment table.
+pub fn run(env: &Env, store: &crate::artifact::ArtifactStore) -> Table {
+    let groups = store.scenario_sweep(env);
+    let mut t = Table::new([
+        "scenario",
+        "runs",
+        "met_SLO",
+        "mean_rel_deadline",
+        "mean_latency_mins",
+        "allocation_above_oracle",
+        "median_allocation",
+    ]);
+    for g in groups.iter() {
+        let n = g.outcomes.len().max(1);
+        let met = g.outcomes.iter().filter(|o| o.met).count() as f64 / n as f64;
+        let rel: Vec<f64> = g.outcomes.iter().map(|o| o.rel_deadline).collect();
+        let mins: Vec<f64> = g
+            .outcomes
+            .iter()
+            .map(|o| o.duration.as_minutes_f64())
+            .collect();
+        let above: Vec<f64> = g.outcomes.iter().map(|o| o.frac_above_oracle).collect();
+        let med: Vec<f64> = g.outcomes.iter().map(|o| o.median_alloc).collect();
+        t.row([
+            g.scenario.to_string(),
+            g.outcomes.len().to_string(),
+            format!("{:.0}%", met * 100.0),
+            format!("{:.2}", stats::mean(&rel)),
+            format!("{:.1}", stats::mean(&mins)),
+            format!("{:.0}%", stats::mean(&above) * 100.0),
+            format!("{:.1}", stats::mean(&med)),
+        ]);
+    }
+    t
+}
+
+/// Pipeline registration for the scenario-attainment table.
+pub struct ScenariosExperiment;
+
+impl crate::experiment::Experiment for ScenariosExperiment {
+    fn name(&self) -> &'static str {
+        "scenarios"
+    }
+    fn title(&self) -> &'static str {
+        "Scenario engine: SLO attainment per cluster scenario"
+    }
+    fn needs(&self) -> &'static [crate::artifact::ArtifactId] {
+        &[crate::artifact::ArtifactId::ScenarioSweep]
+    }
+    fn run(
+        &self,
+        env: &crate::env::Env,
+        store: &crate::artifact::ArtifactStore,
+    ) -> Vec<crate::experiment::Emission> {
+        vec![crate::experiment::Emission::Table {
+            name: "scenarios".into(),
+            title: self.title().into(),
+            table: run(env, store),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ArtifactStore;
+    use crate::env::Scale;
+
+    #[test]
+    fn every_scenario_reports_a_row() {
+        let env = Env::build(Scale::Smoke, 41);
+        let store = ArtifactStore::new();
+        let t = run(&env, &store);
+        assert_eq!(t.len(), SCENARIOS.len());
+        let tsv = t.to_tsv();
+        for s in SCENARIOS {
+            assert!(tsv.contains(s.name), "missing row for {}", s.name);
+        }
+        // Attainment cells parse as percentages.
+        for row in 0..t.len() {
+            let met = crate::report::parse_pct_cell("scenarios", &tsv, row, 2);
+            assert!((0.0..=100.0).contains(&met));
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_the_environment_seed() {
+        let env = Env::build(Scale::Smoke, 41);
+        let a = run(&env, &ArtifactStore::new()).to_tsv();
+        let b = run(&env, &ArtifactStore::new()).to_tsv();
+        assert_eq!(a, b);
+    }
+}

@@ -76,8 +76,24 @@ fn registry_covers_every_figure_module_exactly_once() {
     // One registered experiment per figures:: module (sweep is the
     // shared artifact producer, not an experiment).
     let expected = [
-        "table1", "fig1", "table2", "fig3", "fig4", "fig5", "fig6", "table3", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "fig12", "fig13", "ext", "appendix",
+        "table1",
+        "fig1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "table3",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "ext",
+        "scenarios",
+        "appendix",
     ];
     let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
     assert_eq!(
@@ -349,13 +365,14 @@ fn unknown_experiment_is_an_error() {
 #[test]
 fn golden_smoke_digests_match() {
     // The committed golden digests gate the CI smoke run
-    // (`jockey-repro --only table2,fig1 --jobs 2 --digests`); this
-    // test keeps the committed file honest against the live tables.
+    // (`jockey-repro --only table2,fig1,scenarios --jobs 2 --digests`);
+    // this test keeps the committed file honest against the live
+    // tables.
     let golden = include_str!("golden_smoke_digests.tsv");
     let env = Env::build(Scale::Smoke, 42);
     let store = ArtifactStore::new();
     let mut computed = BTreeMap::new();
-    for name in ["table2", "fig1"] {
+    for name in ["table2", "fig1", "scenarios"] {
         let exp = jockey_experiments::experiment::find(name).unwrap();
         for emission in exp.run(&env, &store) {
             computed.insert(
@@ -376,6 +393,6 @@ fn golden_smoke_digests_match() {
     assert_eq!(
         computed, golden_map,
         "smoke digests drifted; regenerate crates/experiments/tests/golden_smoke_digests.tsv \
-         with: JOCKEY_SCALE=smoke JOCKEY_SEED=42 jockey-repro --only table2,fig1 --digests"
+         with: JOCKEY_SCALE=smoke JOCKEY_SEED=42 jockey-repro --only table2,fig1,scenarios --digests"
     );
 }

@@ -708,6 +708,26 @@ pub fn bernoulli(rng: &mut dyn rand::RngCore, p: f64) -> bool {
     rng.gen::<f64>() < p
 }
 
+/// Draws an exponential waiting time with the given mean (seconds) as a
+/// [`SimDuration`].
+///
+/// This is the single shared inter-event draw used by the cluster
+/// simulator's background-overload and failure processes; it consumes
+/// exactly one `f64` from `rng` and is bit-identical to
+/// `Exponential::with_mean(mean_secs).sample_with(rng)` (both compute
+/// `-mean * ln(1 - u)` from one uniform draw).
+///
+/// # Panics
+///
+/// Panics if `mean_secs` is not strictly positive and finite.
+pub fn exp_duration<R: rand::RngCore + ?Sized>(
+    rng: &mut R,
+    mean_secs: f64,
+) -> crate::time::SimDuration {
+    let secs = Exponential::with_mean(mean_secs).sample_with(rng);
+    crate::time::SimDuration::from_secs_f64(secs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -932,5 +952,31 @@ mod tests {
         let e = d.clone();
         assert!(std::ptr::eq(d.values().as_ptr(), e.values().as_ptr()));
         assert_eq!(d, e);
+    }
+
+    /// `exp_duration` is bit-identical to the inline `1 - u` inverse-CDF
+    /// draw it replaced in the cluster crate's background and failure
+    /// processes: same RNG stream in, same `f64::to_bits` out.
+    #[test]
+    fn exp_duration_matches_legacy_inline_draw() {
+        for mean in [0.5, 30.0, 3600.0] {
+            let mut a = SeedDeriver::new(99).rng("exp-dedup");
+            let mut b = SeedDeriver::new(99).rng("exp-dedup");
+            let mut c = SeedDeriver::new(99).rng("exp-dedup");
+            for _ in 0..1_000 {
+                // The exact expression background.rs and failure.rs each
+                // carried before deduplication: one uniform draw, then
+                // `-mean * ln(1 - u)`.
+                let legacy: f64 = {
+                    let u: f64 = 1.0 - a.gen::<f64>();
+                    -mean * u.ln()
+                };
+                let raw = Exponential::with_mean(mean).sample_with(&mut b);
+                assert_eq!(raw.to_bits(), legacy.to_bits());
+                // And the shared helper quantizes that same sample.
+                let shared = exp_duration(&mut c, mean);
+                assert_eq!(shared, crate::time::SimDuration::from_secs_f64(legacy));
+            }
+        }
     }
 }

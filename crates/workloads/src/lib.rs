@@ -22,13 +22,19 @@
 //!   threads sustaining recurring deadline jobs against one long-lived
 //!   control plane, measuring admission throughput, tick latency and
 //!   SLO attainment.
+//! - [`scenario`]: the declarative scenario registry — named
+//!   transformations of the shared experiment cluster (heterogeneous
+//!   machine classes, locality stress, correlated rack failures,
+//!   diurnal load) runnable by name from `jockey-cli scenario`.
 
 pub mod background;
 pub mod jobs;
 pub mod pipeline;
 pub mod recurring;
+pub mod scenario;
 pub mod service;
 
 pub use jobs::{paper_job, paper_jobs, synthetic_recurring_jobs, GeneratedJob, JobTargets, TABLE2};
 pub use recurring::{input_size_factors, training_profile};
+pub use scenario::{base_cluster, run_scenario, ScenarioDef, ScenarioReport, SCENARIOS};
 pub use service::{run_service, LinearWork, ServiceConfig, ServiceReport};

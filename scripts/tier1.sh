@@ -26,14 +26,27 @@ JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench service
 # BENCH_online.json; the 20x absorb-vs-retrain floor is asserted by
 # the full run).
 JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench online
-# Golden-digest gate: run two cheap figures through the pipeline CLI
-# at smoke scale (parallel) and diff their emitted-TSV digests against
-# the committed goldens, making "byte-identical to baseline" a
-# regression gate instead of a manual check.
+# Legacy-model gate: the flat (no-topology) training path must stay
+# bit-identical across the topology/scenario work. The example prints
+# an FNV-1a digest of a fixed-seed C(p, a) table.
+cargo run --release -p jockey-core --example train_digest \
+  | grep -qx 'digest=39c32f08b9cd7eea' \
+  || { echo "tier1: flat-model training digest drifted from 39c32f08b9cd7eea" >&2; exit 1; }
+# Scenario-engine smoke: the registry lists by name and one named
+# scenario runs end to end (topology build, retrain, controlled runs).
+./target/release/jockey-cli scenario list | grep -q 'hetero-mix' \
+  || { echo "tier1: scenario registry missing hetero-mix" >&2; exit 1; }
+./target/release/jockey-cli scenario hetero-mix --seed 7 --runs 1 \
+  || { echo "tier1: scenario smoke run failed" >&2; exit 1; }
+# Golden-digest gate: run cheap figures (including the scenario
+# sweep) through the pipeline CLI at smoke scale (parallel) and diff
+# their emitted-TSV digests against the committed goldens, making
+# "byte-identical to baseline" a regression gate instead of a manual
+# check.
 golden_out="$(mktemp -d)"
 trap 'rm -rf "$golden_out"' EXIT
 JOCKEY_SCALE=smoke JOCKEY_SEED=42 \
-  ./target/release/jockey-repro --only table2,fig1 --jobs 2 \
+  ./target/release/jockey-repro --only table2,fig1,scenarios --jobs 2 \
   --out "$golden_out" --digests \
   | grep '^digest' | cut -f2,3 \
   | diff <(grep -v '^#' crates/experiments/tests/golden_smoke_digests.tsv) - \

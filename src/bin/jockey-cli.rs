@@ -45,11 +45,17 @@ USAGE:
                      [--seed S] [--util U]
   jockey-cli service [--budget N] [--workers N] [--concurrent N] [--jobs N] [--seed S]
                      [--model exact|frozen|online]
+  jockey-cli scenario list
+  jockey-cli scenario <name> [--seed S] [--runs N]
 
 A .job bundle is a key=value text file holding the compiled plan graph,
 the training profile, and (after `train`) the fitted C(p,a) model.
 `service` runs the open-loop SLO admission service driver against one
-long-lived control plane and prints the service-level numbers.";
+long-lived control plane and prints the service-level numbers.
+`scenario` runs a named cluster scenario (heterogeneous machine
+classes, locality stress, correlated rack failures, diurnal load) end
+to end: it trains C(p,a) against the scenario's topology and executes
+Jockey-controlled runs in it.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("feasible") => cmd_feasible(&parse_flags(it)?),
         Some("run") => cmd_run(&parse_flags(it)?),
         Some("service") => cmd_service(&parse_flags(it)?),
+        Some("scenario") => cmd_scenario(&parse_flags(it)?),
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -486,6 +493,52 @@ fn cmd_service(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_scenario(flags: &Flags) -> Result<(), String> {
+    use jockey::workloads::scenario;
+    let name = flags.positional(0, "scenario name (or `list`)")?;
+    if name == "list" {
+        for def in scenario::SCENARIOS {
+            println!("{:<16} {} — {}", def.name, def.title, def.blurb);
+        }
+        return Ok(());
+    }
+    let def = scenario::find(name).ok_or_else(|| {
+        format!(
+            "unknown scenario {name:?}; available: {}",
+            scenario::names().join(", ")
+        )
+    })?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let runs: usize = flags.get_parsed("runs", 3)?;
+    if runs == 0 {
+        return Err("--runs must be positive".into());
+    }
+    println!("{}: {}", def.title, def.blurb);
+    let cluster = (def.build)(scenario::base_cluster());
+    match &cluster.topology {
+        Some(t) => println!(
+            "topology: {} racks x {} machines/rack ({} machines), {} replica copies",
+            t.racks,
+            t.machines_per_rack(),
+            t.machine_count(),
+            t.data_copies
+        ),
+        None => println!("topology: flat token pool (legacy model)"),
+    }
+    let r = scenario::run_scenario(def, seed, runs);
+    println!(
+        "SLO: {}/{} met against a {:.0}-minute deadline",
+        r.met,
+        r.runs,
+        r.deadline.as_minutes_f64()
+    );
+    println!(
+        "latency: mean {:.1} min ({:.2}x deadline); median allocation {:.1} tokens",
+        r.mean_latency_mins, r.mean_rel_deadline, r.mean_median_alloc
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,5 +597,12 @@ mod tests {
     fn unknown_command_is_an_error() {
         assert!(run(&["frob".to_string()]).is_err());
         assert!(run(&[]).is_ok()); // Help.
+    }
+
+    #[test]
+    fn scenario_list_and_unknown_name() {
+        assert!(run(&["scenario".into(), "list".into()]).is_ok());
+        let err = run(&["scenario".into(), "nope".into()]).unwrap_err();
+        assert!(err.contains("hetero-mix"), "{err}");
     }
 }
