@@ -49,6 +49,7 @@ fn engine_sim(spec: &JobSpec) -> ClusterSim {
 
 /// Event-dispatch throughput of one production-shaped run.
 fn bench_engine_events(c: &mut Criterion) {
+    let smoke = std::env::var_os("JOCKEY_BENCH_SMOKE").is_some();
     let job = paper_job(0, 1);
 
     // One instrumented run establishes how many events the fixed seed
@@ -60,7 +61,7 @@ fn bench_engine_events(c: &mut Criterion) {
     let events = counter.0.load(Ordering::Relaxed);
 
     let mut g = c.benchmark_group("engine");
-    g.sample_size(20);
+    g.sample_size(if smoke { 3 } else { 20 });
     g.bench_function("events_per_sec", |b| {
         b.iter(|| engine_sim(&job.spec).run());
     });
@@ -71,8 +72,9 @@ fn bench_engine_events(c: &mut Criterion) {
 /// Full offline training of one `C(p, a)` table — the repeated
 /// simulation loop the zero-copy hot path targets.
 fn bench_train_one_model(c: &mut Criterion) {
+    let smoke = std::env::var_os("JOCKEY_BENCH_SMOKE").is_some();
     let job = paper_job(0, 1);
-    let profile = training_profile(&job.spec, 40, 5);
+    let profile = training_profile(&job.spec, 40, if smoke { 2 } else { 5 });
     let ctx = IndicatorContext::new(
         ProgressIndicator::TotalWorkWithQ,
         &job.graph,
@@ -81,9 +83,16 @@ fn bench_train_one_model(c: &mut Criterion) {
     );
     let cfg = TrainConfig::fast(vec![4, 16, 64]);
     let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
+    g.sample_size(if smoke { 3 } else { 10 });
     g.bench_function("train_one_model", |b| {
         b.iter(|| CpaModel::train(&job.graph, &profile, &ctx, &cfg, 9));
+    });
+    // The dense kernel: identical workload and grid, but all
+    // allocations simulated off one shared event stream per run
+    // (common random numbers + fork-at-divergence) instead of one
+    // full cluster simulation per (allocation, run) pair.
+    g.bench_function("train_one_model_batched", |b| {
+        b.iter(|| CpaModel::train_batched(&job.graph, &profile, &ctx, &cfg, 9));
     });
     g.finish();
 }

@@ -8,10 +8,13 @@
 //! that `remaining`'s dense table is built from — so one binary
 //! measures both sides of each pair on identical inputs:
 //!
-//! - `queue/{heap,bucketed}`: a hold-model workload (pop one event,
-//!   schedule a successor at a near-monotone future time) over a few
-//!   thousand pending events, the access pattern the cluster engine
-//!   produces.
+//! - `queue/{heap,bucketed,adaptive}`: a hold-model workload (pop one
+//!   event, schedule a successor at a near-monotone future time) over
+//!   a few thousand pending events, the access pattern the cluster
+//!   engine produces. The `adaptive` row is the occupancy-triggered
+//!   hybrid that is now the default backend; `engine_dense` and
+//!   `engine_sparse` measure all three backends at engine level in the
+//!   two regimes the hybrid has to win (or at least tie) in.
 //! - `sample/{dyn,enum}`: per-task-attempt draws from a realistic
 //!   distribution mix through the `dyn Sample` vtable vs. the
 //!   monomorphized [`Dist::sample_with`] match.
@@ -78,6 +81,9 @@ fn bench_queue(c: &mut Criterion) {
     g.bench_function("bucketed", |b| {
         b.iter(|| queue_hold_model(QueueBackend::Bucketed));
     });
+    g.bench_function("adaptive", |b| {
+        b.iter(|| queue_hold_model(QueueBackend::Adaptive));
+    });
     g.finish();
 }
 
@@ -105,6 +111,41 @@ fn bench_engine_dense(c: &mut Criterion) {
     });
     g.bench_function("bucketed", |b| {
         b.iter(|| dense_sim(&job.spec, QueueBackend::Bucketed).run());
+    });
+    g.bench_function("adaptive", |b| {
+        b.iter(|| dense_sim(&job.spec, QueueBackend::Adaptive).run());
+    });
+    g.finish();
+}
+
+/// A sparse production-shaped run — the same 60-token, ~20-pending-
+/// event regime as `engine/events_per_sec`. This is the regime where
+/// the always-on bucket ladder used to *lose* to the binary heap
+/// (~10% at PR 4); the adaptive backend must match the heap here
+/// because its occupancy never crosses the promotion threshold.
+fn sparse_sim(spec: &JobSpec, backend: QueueBackend) -> ClusterSim {
+    let mut cfg = ClusterConfig::production();
+    cfg.total_tokens = 60;
+    cfg.max_guarantee = 40;
+    cfg.queue_backend = backend;
+    let mut sim = ClusterSim::new(cfg, 17);
+    sim.add_job(spec.clone(), Box::new(FixedAllocation(24)));
+    sim
+}
+
+fn bench_engine_sparse(c: &mut Criterion) {
+    let smoke = std::env::var_os("JOCKEY_BENCH_SMOKE").is_some();
+    let job = paper_job(0, 1);
+    let mut g = c.benchmark_group("engine_sparse");
+    g.sample_size(if smoke { 3 } else { 20 });
+    g.bench_function("heap", |b| {
+        b.iter(|| sparse_sim(&job.spec, QueueBackend::BinaryHeap).run());
+    });
+    g.bench_function("bucketed", |b| {
+        b.iter(|| sparse_sim(&job.spec, QueueBackend::Bucketed).run());
+    });
+    g.bench_function("adaptive", |b| {
+        b.iter(|| sparse_sim(&job.spec, QueueBackend::Adaptive).run());
     });
     g.finish();
 }
@@ -235,6 +276,7 @@ criterion_group!(
     benches,
     bench_queue,
     bench_engine_dense,
+    bench_engine_sparse,
     bench_sampling,
     bench_remaining
 );

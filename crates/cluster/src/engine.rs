@@ -80,6 +80,83 @@ pub enum TaskState {
     },
 }
 
+/// Flat struct-of-arrays task state: one dense slot per task vertex.
+///
+/// Stage `s` occupies slots `offsets[s] .. offsets[s + 1]`; a task's
+/// slot is `offsets[stage] + index`. Replacing the former per-stage
+/// `Vec<Vec<_>>` nesting with flat parallel arrays keeps the whole
+/// table in two cache-friendly allocations (instead of one heap object
+/// per stage), makes per-run resets a pair of `fill`s, and pools
+/// across runs via `JobBuffers`.
+#[derive(Clone, Debug, Default)]
+pub struct TaskTable {
+    state: Vec<TaskState>,
+    attempts: Vec<u32>,
+    /// Prefix sums of per-stage task counts; `offsets[num_stages]` is
+    /// the total slot count.
+    offsets: Vec<u32>,
+}
+
+impl TaskTable {
+    /// Rebuilds the table for `graph` (all tasks `Pending`, zero
+    /// attempts), reusing the existing allocations.
+    pub(crate) fn reset_for(&mut self, graph: &jockey_jobgraph::graph::JobGraph) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        let mut total: u32 = 0;
+        for s in graph.stage_ids() {
+            total += graph.tasks_in(s);
+            self.offsets.push(total);
+        }
+        self.state.clear();
+        self.state.resize(total as usize, TaskState::Pending);
+        self.attempts.clear();
+        self.attempts.resize(total as usize, 0);
+    }
+
+    #[inline]
+    fn slot(&self, t: TaskId) -> usize {
+        self.offsets[t.stage.index()] as usize + t.index as usize
+    }
+
+    /// Lifecycle state of one task.
+    #[inline]
+    pub fn state(&self, t: TaskId) -> TaskState {
+        self.state[self.slot(t)]
+    }
+
+    #[inline]
+    pub(crate) fn set_state(&mut self, t: TaskId, s: TaskState) {
+        let i = self.slot(t);
+        self.state[i] = s;
+    }
+
+    /// The task's attempt counter.
+    #[inline]
+    pub fn attempts(&self, t: TaskId) -> u32 {
+        self.attempts[self.slot(t)]
+    }
+
+    /// Increments and returns the task's attempt counter.
+    #[inline]
+    pub(crate) fn bump_attempts(&mut self, t: TaskId) -> u32 {
+        let i = self.slot(t);
+        self.attempts[i] += 1;
+        self.attempts[i]
+    }
+
+    /// Per-slot lifecycle states of stage `s`.
+    pub(crate) fn stage_states(&self, s: usize) -> &[TaskState] {
+        &self.state[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Total task slots in the table.
+    #[cfg(test)]
+    pub(crate) fn total(&self) -> usize {
+        self.state.len()
+    }
+}
+
 /// A task currently occupying a token.
 #[derive(Clone, Copy, Debug)]
 pub struct RunningTask {
@@ -128,8 +205,7 @@ pub struct JobRun {
     pub(crate) start_at: SimTime,
     pub(crate) started: Option<SimTime>,
     pub(crate) finished_at: Option<SimTime>,
-    pub(crate) state: Vec<Vec<TaskState>>,
-    pub(crate) attempts: Vec<Vec<u32>>,
+    pub(crate) tasks: TaskTable,
     pub(crate) completed: Vec<u32>,
     pub(crate) done_tasks: u64,
     pub(crate) ready: VecDeque<TaskId>,
@@ -198,11 +274,11 @@ impl JobRun {
 
     /// The lifecycle state of one task.
     pub fn task_state(&self, t: TaskId) -> TaskState {
-        self.state[t.stage.index()][t.index as usize]
+        self.tasks.state(t)
     }
 
     pub(crate) fn set_task_state(&mut self, t: TaskId, s: TaskState) {
-        self.state[t.stage.index()][t.index as usize] = s;
+        self.tasks.set_state(t, s);
     }
 
     /// Pops ready tasks, skipping stale queue entries.
@@ -256,6 +332,12 @@ pub struct EngineCore {
     pub(crate) seeds: SeedDeriver,
     pub(crate) observer: Box<dyn SimObserver>,
     pub(crate) invariants_enabled: bool,
+    /// When true (the default), the run loop may drain batches of
+    /// same-instant task completions through one merged scheduling pass
+    /// — the dense-kernel fast path. Only engaged when the batching
+    /// gate holds (see [`Engine::run_loop`]); turned off by equivalence
+    /// tests to pin the per-event reference semantics.
+    pub(crate) batching_enabled: bool,
     /// Time of the most recently dispatched event (event-time
     /// monotonicity invariant).
     pub(crate) last_event_time: SimTime,
@@ -323,8 +405,7 @@ impl EngineCore {
         let mut buf = self.spare_buffers.pop().unwrap_or_default();
         buf.reset_for(&graph);
         let JobBuffers {
-            state,
-            attempts,
+            tasks,
             completed,
             floor,
             ready,
@@ -337,8 +418,7 @@ impl EngineCore {
             start_at,
             started: None,
             finished_at: None,
-            state,
-            attempts,
+            tasks,
             completed,
             done_tasks: 0,
             ready,
@@ -348,7 +428,14 @@ impl EngineCore {
             wasted: 0.0,
             guaranteed_task_count: 0,
             spare_task_count: 0,
-            profile: ProfileBuilder::new(&graph),
+            // With profiling off (the training hot path) the builder is
+            // the allocation-free empty one; `record_task`/
+            // `record_stage_window` are already gated on the same flag.
+            profile: if self.record_profile {
+                ProfileBuilder::new(&graph)
+            } else {
+                ProfileBuilder::empty()
+            },
             trace: RunTrace::new(),
             status: JobStatus {
                 now: SimTime::ZERO,
@@ -443,8 +530,7 @@ impl EngineCore {
         let job = &mut self.jobs[j];
         debug_assert_eq!(job.task_state(task), TaskState::Ready);
         let s = task.stage.index();
-        job.attempts[s][task.index as usize] += 1;
-        let attempt = job.attempts[s][task.index as usize];
+        let attempt = job.tasks.bump_attempts(task);
 
         // Statically-dispatched draws: `Dist::sample_with` monomorphizes
         // over `StdRng`, the simulator's hottest call.
@@ -664,10 +750,7 @@ impl EngineCore {
             }
             // The undone task reruns; its own inputs may still be intact.
             let ready = deps.is_ready(t, &job.completed, |x| {
-                matches!(
-                    job.state[x.stage.index()][x.index as usize],
-                    TaskState::Done { .. }
-                )
+                matches!(job.tasks.state(x), TaskState::Done { .. })
             });
             if ready {
                 job.set_task_state(t, TaskState::Ready);
@@ -770,6 +853,7 @@ impl Engine {
                 seeds,
                 observer: Box::new(NoopObserver),
                 invariants_enabled: cfg!(debug_assertions),
+                batching_enabled: true,
                 last_event_time: SimTime::ZERO,
                 completed_floor: Vec::new(),
                 record_profile: true,
@@ -828,11 +912,56 @@ impl Engine {
 
     /// Runs the event loop to completion (all jobs done, queue drained,
     /// or the configured horizon reached).
+    ///
+    /// # The dense-kernel batching gate
+    ///
+    /// When a `TaskDone` pops and *all* of the following hold, the loop
+    /// drains every same-instant completion as one batch and runs the
+    /// scheduler's pass once for the whole batch instead of once per
+    /// event (see `DESIGN.md` §15 for the equivalence argument):
+    ///
+    /// - batching has not been disabled (the test seam),
+    /// - spare capacity is off and the background model is disabled, so
+    ///   a pass cannot start spare tasks, evict, or draw background RNG,
+    /// - no topology is configured: machine placement reads the free
+    ///   slots live, so a merged pass — which sees every completion's
+    ///   slot freed before placing the first replacement — can place
+    ///   tasks differently than the interleaved per-event passes,
+    /// - invariant checks are off (they observe the per-pass state),
+    /// - the scheduler declares merged passes safe
+    ///   ([`SchedulerPolicy::batchable`]),
+    /// - every running task is Guaranteed-class (a demoting controller
+    ///   can strand Spare tasks even with spare starts disabled; their
+    ///   evictions would make per-event and merged passes diverge).
+    ///
+    /// In the gated regime a pass consumes RNG only inside
+    /// [`EngineCore::start_task`] and fills per job in FIFO order, so
+    /// the merged pass is the concatenation of the per-event passes:
+    /// task state, RNG streams, results and traces are bit-identical.
+    /// Only the *interleaving* of observer lines differs (completion
+    /// records group before the batch's start records); journal-based
+    /// comparisons must run with batching disabled.
     pub(crate) fn run_loop(&mut self, mut sink: Option<&mut dyn ProgressSink>) {
         self.prime();
+        let can_batch = self.core.batching_enabled
+            && !self.core.cfg.spare_enabled
+            && !self.core.cfg.background.enabled
+            && self.core.cfg.topology.is_none()
+            && !self.core.invariants_enabled
+            && self.scheduler.batchable();
         while let Some((now, event)) = self.core.queue.pop() {
             if now > self.core.cfg.max_sim_time {
                 break;
+            }
+            if can_batch {
+                if let Event::TaskDone { job, task, attempt } = event {
+                    if self.all_running_guaranteed() {
+                        if self.run_completion_batch(now, (job, task, attempt), &mut sink) {
+                            break;
+                        }
+                        continue;
+                    }
+                }
             }
             match sink {
                 Some(ref mut s) => self.step(now, event, Some(&mut **s)),
@@ -844,10 +973,94 @@ impl Engine {
         }
     }
 
+    /// Dynamic half of the batching gate: no running task anywhere
+    /// holds a Spare-class token.
+    fn all_running_guaranteed(&self) -> bool {
+        self.core.jobs.iter().all(|job| {
+            job.running
+                .iter()
+                .all(|r| r.class == TokenClass::Guaranteed)
+        })
+    }
+
+    /// Drains the batch of same-instant `TaskDone` events beginning with
+    /// `first`: completion mechanics run per event, the scheduler pass
+    /// runs once at the end (or before a non-completion event that
+    /// shares the instant). Returns `true` when every job finished and
+    /// the caller should stop. See [`Engine::run_loop`] for the gate
+    /// that makes this observably identical to per-event stepping.
+    fn run_completion_batch(
+        &mut self,
+        now: SimTime,
+        first: (usize, TaskId, u32),
+        sink: &mut Option<&mut dyn ProgressSink>,
+    ) -> bool {
+        let (job, task, attempt) = first;
+        self.observe_event(now, &Event::TaskDone { job, task, attempt });
+        self.task_done_mechanics(job, task, attempt, now);
+        self.core.last_event_time = now;
+        loop {
+            if self.core.jobs.iter().all(JobRun::is_finished) {
+                // Match the reference: the finishing completion's pass
+                // still runs before the loop breaks.
+                self.scheduler.schedule(&mut self.core, now);
+                return true;
+            }
+            match self.core.queue.pop_at(now) {
+                Some(Event::TaskDone { job, task, attempt }) => {
+                    self.observe_event(now, &Event::TaskDone { job, task, attempt });
+                    self.task_done_mechanics(job, task, attempt, now);
+                }
+                Some(other) => {
+                    // A non-completion shares the instant. Flush the
+                    // deferred pass first (the reference ran it before
+                    // this event dispatched), then dispatch normally.
+                    self.scheduler.schedule(&mut self.core, now);
+                    match sink {
+                        Some(ref mut s) => self.step(now, other, Some(&mut **s)),
+                        None => self.step(now, other, None),
+                    }
+                    return self.core.jobs.iter().all(JobRun::is_finished);
+                }
+                None => break,
+            }
+        }
+        self.scheduler.schedule(&mut self.core, now);
+        false
+    }
+
     /// Dispatches one event, then (in test/debug builds) checks the
     /// simulator's invariants. Every event path funnels through the
     /// scheduling pass, so post-step state is always consistent.
     pub(crate) fn step(&mut self, now: SimTime, event: Event, sink: Option<&mut dyn ProgressSink>) {
+        self.observe_event(now, &event);
+        match event {
+            Event::JobStart { job } => self.on_job_start(job, now, sink),
+            Event::TaskDone { job, task, attempt } => self.on_task_done(job, task, attempt, now),
+            Event::ControlTick { job } => self.on_control_tick(job, now, sink),
+            Event::BackgroundTick => self.on_background_tick(now),
+            Event::MachineFailure => self.on_machine_failure(now),
+            Event::RackFailure => self.on_rack_failure(now),
+            Event::DeadlineChange { job, new_deadline } => {
+                self.core.jobs[job]
+                    .controller
+                    .deadline_changed(new_deadline);
+                // Force an immediate control decision at the new
+                // deadline rather than waiting for the next tick.
+                self.consult_controller(job, now, sink, false);
+                self.scheduler.schedule(&mut self.core, now);
+            }
+        }
+        if self.core.invariants_enabled {
+            invariants::check(&mut self.core, now);
+        } else {
+            self.core.last_event_time = now;
+        }
+    }
+
+    /// Emits the clock-advance and per-event observer records exactly as
+    /// the per-event reference path does (shared with the batch drain).
+    fn observe_event(&mut self, now: SimTime, event: &Event) {
         if now > self.core.last_event_time {
             observe!(
                 self.core.observer,
@@ -857,7 +1070,7 @@ impl Engine {
                 self.core.last_event_time.as_secs_f64()
             );
         }
-        match &event {
+        match event {
             Event::JobStart { job } => {
                 observe!(
                     self.core.observer,
@@ -902,28 +1115,6 @@ impl Engine {
                     new_deadline.as_secs_f64()
                 );
             }
-        }
-        match event {
-            Event::JobStart { job } => self.on_job_start(job, now, sink),
-            Event::TaskDone { job, task, attempt } => self.on_task_done(job, task, attempt, now),
-            Event::ControlTick { job } => self.on_control_tick(job, now, sink),
-            Event::BackgroundTick => self.on_background_tick(now),
-            Event::MachineFailure => self.on_machine_failure(now),
-            Event::RackFailure => self.on_rack_failure(now),
-            Event::DeadlineChange { job, new_deadline } => {
-                self.core.jobs[job]
-                    .controller
-                    .deadline_changed(new_deadline);
-                // Force an immediate control decision at the new
-                // deadline rather than waiting for the next tick.
-                self.consult_controller(job, now, sink, false);
-                self.scheduler.schedule(&mut self.core, now);
-            }
-        }
-        if self.core.invariants_enabled {
-            invariants::check(&mut self.core, now);
-        } else {
-            self.core.last_event_time = now;
         }
     }
 
@@ -1033,6 +1224,19 @@ impl Engine {
     }
 
     fn on_task_done(&mut self, j: usize, task: TaskId, attempt: u32, now: SimTime) {
+        if self.task_done_mechanics(j, task, attempt, now) {
+            self.scheduler.schedule(&mut self.core, now);
+        }
+    }
+
+    /// Everything a task completion does *except* the trailing
+    /// scheduling pass: failure draw, state transition, accounting,
+    /// dependent promotion. Returns `false` for a stale completion
+    /// (which, as in the reference path, must not trigger a pass — a
+    /// pass at a stale event's time could move background advancement
+    /// and spare starts to a different instant). Split out so the batch
+    /// drain can run the mechanics per event and the pass once.
+    fn task_done_mechanics(&mut self, j: usize, task: TaskId, attempt: u32, now: SimTime) -> bool {
         let failure_prob = self
             .core
             .cfg
@@ -1040,7 +1244,7 @@ impl Engine {
             .task_failure_prob
             .unwrap_or(self.core.jobs[j].spec.task_failure_prob);
 
-        {
+        let pos = {
             let job = &self.core.jobs[j];
             // Stale completion (task was evicted/killed since scheduling)?
             match job.task_state(task) {
@@ -1054,17 +1258,20 @@ impl Engine {
                         task.stage.index(),
                         task.index
                     );
-                    return;
+                    return false;
                 }
             }
-            if !job
+            // One scan both proves presence and locates the entry (the
+            // reference scanned twice).
+            match job
                 .running
                 .iter()
-                .any(|r| r.task == task && r.attempt == attempt)
+                .position(|r| r.task == task && r.attempt == attempt)
             {
-                return;
+                Some(pos) => pos,
+                None => return false,
             }
-        }
+        };
         let failed = self
             .failure
             .task_attempt_fails(&mut self.core, j, failure_prob);
@@ -1073,11 +1280,10 @@ impl Engine {
         let stage_now_complete;
         {
             let job = &mut self.core.jobs[j];
-            let pos = job
-                .running
-                .iter()
-                .position(|r| r.task == task && r.attempt == attempt)
-                .expect("presence checked above");
+            debug_assert!(
+                job.running[pos].task == task && job.running[pos].attempt == attempt,
+                "failure model mutated the running list during the completion draw"
+            );
             let running = job.running.swap_remove(pos);
 
             if record_profile {
@@ -1141,10 +1347,7 @@ impl Engine {
                 for &c in &candidates {
                     if job.task_state(c) == TaskState::Pending
                         && deps.is_ready(c, &job.completed, |t| {
-                            matches!(
-                                job.state[t.stage.index()][t.index as usize],
-                                TaskState::Done { .. }
-                            )
+                            matches!(job.tasks.state(t), TaskState::Done { .. })
                         })
                     {
                         job.set_task_state(c, TaskState::Ready);
@@ -1167,8 +1370,7 @@ impl Engine {
             }
             self.core.cand_scratch = candidates;
         }
-
-        self.scheduler.schedule(&mut self.core, now);
+        true
     }
 
     fn on_background_tick(&mut self, now: SimTime) {

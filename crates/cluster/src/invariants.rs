@@ -82,7 +82,7 @@ pub(crate) fn check(core: &mut EngineCore, now: SimTime) {
         let mut running_states: usize = 0;
         for s in graph.stage_ids() {
             let mut done: u32 = 0;
-            for st in &job.state[s.index()] {
+            for st in job.tasks.stage_states(s.index()) {
                 match st {
                     TaskState::Done { .. } => done += 1,
                     TaskState::Running { .. } => running_states += 1,

@@ -65,7 +65,7 @@ pub mod workspace;
 pub use background::BackgroundModel;
 pub use config::{BackgroundConfig, ClusterConfig, FailureConfig, InvalidClusterConfig};
 pub use controller::{ControlDecision, FixedAllocation, JobController, JobStatus};
-pub use engine::{EngineCore, JobRun, RunningTask, TaskState, TokenClass};
+pub use engine::{EngineCore, JobRun, RunningTask, TaskState, TaskTable, TokenClass};
 pub use failure::{DefaultFailureModel, FailureModel};
 pub use job::JobSpec;
 pub use placement::PlacementConfig;

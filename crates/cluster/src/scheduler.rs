@@ -25,6 +25,23 @@ use crate::engine::{EngineCore, TokenClass};
 pub trait SchedulerPolicy: Send {
     /// One scheduling pass at time `now`.
     fn schedule(&mut self, core: &mut EngineCore, now: SimTime);
+
+    /// True if one merged pass after a batch of same-instant task
+    /// completions is observably identical to one pass per completion,
+    /// *provided* the engine's own batching gate holds (no spare
+    /// capacity, no background model, every running task Guaranteed).
+    /// The engine only drains completion batches (the dense-kernel fast
+    /// path, see `DESIGN.md` §15) when this returns true; the default
+    /// is `false` so custom policies — which may be stateful, draw RNG
+    /// per pass, or start tasks in non-FIFO order — keep the exact
+    /// per-event reference semantics. Only return `true` if your policy
+    /// upholds the same proof obligations as [`WeightedFair`]: a pass
+    /// in the gated regime consumes no RNG except through
+    /// [`EngineCore::start_task`], and fills strictly in ready-queue
+    /// FIFO order per job, in job-index order.
+    fn batchable(&self) -> bool {
+        false
+    }
 }
 
 /// Jockey's scheduler: guaranteed admission per job, spare capacity
@@ -38,22 +55,36 @@ pub trait SchedulerPolicy: Send {
 pub struct WeightedFair;
 
 impl SchedulerPolicy for WeightedFair {
+    /// A gated-regime pass reduces to RNG-free class bookkeeping plus a
+    /// FIFO guaranteed fill (spare starts and the background model are
+    /// disabled, evictions impossible), so merged passes start the same
+    /// tasks in the same order as per-event passes.
+    fn batchable(&self) -> bool {
+        true
+    }
+
     fn schedule(&mut self, core: &mut EngineCore, now: SimTime) {
         core.background.advance_to(now);
         let total = core.cfg.total_tokens;
         let bg_demand = core.background.demand_tokens(now, total);
         let slowdown = core.background.slowdown(now);
 
-        // Phase 1: per-job class balancing and guaranteed starts.
+        // Phase 1: per-job class balancing and guaranteed starts. The
+        // guaranteed-class count is established with one scan and then
+        // maintained incrementally, so the fill loop is O(1) per start
+        // instead of rescanning the running list per iteration (the
+        // former inner-loop `running_in_class` scans dominated dense
+        // passes).
         for j in 0..core.jobs.len() {
             if !core.jobs[j].is_active() {
                 continue;
             }
             let guarantee = core.jobs[j].guarantee;
+            let mut guar = core.jobs[j].running_in_class(TokenClass::Guaranteed);
             {
                 let job = &mut core.jobs[j];
                 // Demote newest guaranteed tasks above the guarantee.
-                while job.running_in_class(TokenClass::Guaranteed) > guarantee {
+                while guar > guarantee {
                     let pos = job
                         .running
                         .iter()
@@ -63,9 +94,10 @@ impl SchedulerPolicy for WeightedFair {
                         .map(|(i, _)| i)
                         .expect("counted above");
                     job.running[pos].class = TokenClass::Spare;
+                    guar -= 1;
                 }
                 // Upgrade oldest spare tasks into unused guarantee.
-                while job.running_in_class(TokenClass::Guaranteed) < guarantee {
+                while guar < guarantee {
                     let pos = job
                         .running
                         .iter()
@@ -73,31 +105,36 @@ impl SchedulerPolicy for WeightedFair {
                         .filter(|(_, r)| r.class == TokenClass::Spare)
                         .min_by_key(|(_, r)| r.started);
                     match pos {
-                        Some((i, _)) => job.running[i].class = TokenClass::Guaranteed,
+                        Some((i, _)) => {
+                            job.running[i].class = TokenClass::Guaranteed;
+                            guar += 1;
+                        }
                         None => break,
                     }
                 }
             }
             // Start new guaranteed tasks.
-            while core.jobs[j].running_in_class(TokenClass::Guaranteed) < guarantee {
+            while guar < guarantee {
                 let Some(task) = core.jobs[j].pop_ready() else {
                     break;
                 };
                 core.start_task(j, task, TokenClass::Guaranteed, now, slowdown);
+                guar += 1;
             }
         }
 
-        // Phase 2: spare capacity accounting.
-        let guar_running: u32 = core
-            .jobs
-            .iter()
-            .map(|j| j.running_in_class(TokenClass::Guaranteed))
-            .sum();
-        let spare_running: u32 = core
-            .jobs
-            .iter()
-            .map(|j| j.running_in_class(TokenClass::Spare))
-            .sum();
+        // Phase 2: spare capacity accounting (both class totals in one
+        // scan of each running list).
+        let mut guar_running: u32 = 0;
+        let mut spare_running: u32 = 0;
+        for job in &core.jobs {
+            for r in &job.running {
+                match r.class {
+                    TokenClass::Guaranteed => guar_running += 1,
+                    TokenClass::Spare => spare_running += 1,
+                }
+            }
+        }
         let spare_budget = i64::from(total) - i64::from(bg_demand) - i64::from(guar_running);
 
         if i64::from(spare_running) > spare_budget {

@@ -142,10 +142,28 @@ impl ClusterSim {
         self.engine.core.invariants_enabled = enabled;
     }
 
+    /// Enables or disables the dense-kernel completion batching
+    /// (default on). When enabled — and the run qualifies: no spare
+    /// capacity, no background model, no topology (live machine
+    /// placement must see slots free one completion at a time),
+    /// invariant checks off, a [`SchedulerPolicy`] that declares
+    /// itself batchable, every running task Guaranteed-class — the run
+    /// loop drains same-instant task completions as one batch and runs
+    /// a single merged scheduling pass. Results are bit-identical to per-event
+    /// stepping; only the interleaving of observer/journal lines
+    /// differs. Equivalence tests disable it to pin the per-event
+    /// reference semantics.
+    pub fn set_batching(&mut self, enabled: bool) {
+        self.engine.core.batching_enabled = enabled;
+    }
+
     /// Enables or disables per-task profile recording (default on).
     /// Training loops that only consume progress samples turn this off
     /// to keep per-run allocations out of the hot path; the returned
-    /// [`JobResult::profile`] is then empty of task samples.
+    /// [`JobResult::profile`] is then structurally empty (zero stages —
+    /// the per-run profile builder itself is the allocation-free empty
+    /// one). Must be set *before* jobs are added to take effect for
+    /// those jobs.
     pub fn set_record_profile(&mut self, enabled: bool) {
         self.engine.core.record_profile = enabled;
     }
@@ -268,8 +286,7 @@ impl ClusterSim {
                 start_at,
                 started,
                 finished_at,
-                state,
-                attempts,
+                tasks,
                 completed,
                 ready,
                 running,
@@ -298,8 +315,7 @@ impl ClusterSim {
             });
             if let Some(ws) = reclaim.as_mut() {
                 ws.give_back(JobBuffers {
-                    state,
-                    attempts,
+                    tasks,
                     completed,
                     floor,
                     ready,

@@ -17,13 +17,13 @@ use jockey_jobgraph::graph::JobGraph;
 use jockey_jobgraph::task::TaskId;
 use jockey_simrt::event::EventQueue;
 
-use crate::engine::{Event, RunningTask, TaskState};
+use crate::engine::{Event, RunningTask, TaskTable};
 
 /// Per-job state vectors pooled between runs.
 #[derive(Default)]
 pub(crate) struct JobBuffers {
-    pub(crate) state: Vec<Vec<TaskState>>,
-    pub(crate) attempts: Vec<Vec<u32>>,
+    /// Flat struct-of-arrays task state (see [`TaskTable`]).
+    pub(crate) tasks: TaskTable,
     pub(crate) completed: Vec<u32>,
     pub(crate) floor: Vec<u32>,
     pub(crate) ready: VecDeque<TaskId>,
@@ -33,25 +33,11 @@ pub(crate) struct JobBuffers {
 }
 
 impl JobBuffers {
-    /// Clears every buffer and re-shapes the per-stage vectors for
-    /// `graph`, leaving the exact state a fresh allocation would have.
+    /// Clears every buffer and re-shapes the task table for `graph`,
+    /// leaving the exact state a fresh allocation would have.
     pub(crate) fn reset_for(&mut self, graph: &JobGraph) {
         let n = graph.num_stages();
-        self.state.truncate(n);
-        self.attempts.truncate(n);
-        while self.state.len() < n {
-            self.state.push(Vec::new());
-        }
-        while self.attempts.len() < n {
-            self.attempts.push(Vec::new());
-        }
-        for (i, s) in graph.stage_ids().enumerate() {
-            let tasks = graph.tasks_in(s) as usize;
-            self.state[i].clear();
-            self.state[i].resize(tasks, TaskState::Pending);
-            self.attempts[i].clear();
-            self.attempts[i].resize(tasks, 0);
-        }
+        self.tasks.reset_for(graph);
         self.completed.clear();
         self.completed.resize(n, 0);
         self.floor.clear();
@@ -180,6 +166,6 @@ mod tests {
         });
         assert_eq!(ws.pooled_jobs(), 1, "run must return its job buffers");
         // The reclaimed buffers carry grown capacity back to the pool.
-        assert!(!ws.job_buffers[0].state.is_empty());
+        assert!(ws.job_buffers[0].tasks.total() > 0);
     }
 }

@@ -28,7 +28,6 @@
 //! [`CpaModel::train`] itself is a thin wrapper that harvests
 //! simulation runs and absorbs them into an empty model.
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -205,6 +204,15 @@ impl fmt::Display for InvalidTrainConfig {
 
 impl std::error::Error for InvalidTrainConfig {}
 
+/// Default training worker count when [`TrainConfig::threads`] is
+/// `None`: the machine's available parallelism. Training results are
+/// byte-identical for any thread count, so this only tunes wall-clock
+/// time — on a 1-core machine it keeps the sharded loops inline
+/// instead of paying spawn/join overhead for no concurrency.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Maps progress `p` (clamped to `[0, 1]`) onto one of `bins` buckets.
 /// Shared by model queries and training-time bucketing so the two can
 /// never drift apart.
@@ -264,14 +272,15 @@ impl ProgressSink for SampleCollector<'_> {
     }
 }
 
-/// The samples harvested from one simulated training run.
-struct RunHarvest {
+/// The samples harvested from one simulated training run (shared with
+/// the dense shared-stream kernel in [`crate::dense`]).
+pub(crate) struct RunHarvest {
     /// `(elapsed_secs, progress)` pairs at each control tick.
-    samples: Vec<(f64, f64)>,
+    pub(crate) samples: Vec<(f64, f64)>,
     /// Completion time, horizon-censored for runs that never finished.
-    total_secs: f64,
+    pub(crate) total_secs: f64,
     /// Whether the run actually completed within the horizon.
-    completed: bool,
+    pub(crate) completed: bool,
 }
 
 /// The trained `C(p, a)` table.
@@ -311,8 +320,19 @@ impl CpaModel {
     ///
     /// Panics on an invalid [`TrainConfig`].
     pub fn empty(cfg: &TrainConfig) -> Self {
+        let mut model = Self::empty_unbuilt(cfg);
+        model.build_table();
+        model
+    }
+
+    /// [`CpaModel::empty`] without the initial table build. Private to
+    /// the training paths, which absorb every harvested sample and
+    /// *then* build the table once — the all-empty table (150 cells,
+    /// each running the full outward fallback scan) would be thrown
+    /// away unread.
+    fn empty_unbuilt(cfg: &TrainConfig) -> Self {
         cfg.validate();
-        let mut model = CpaModel {
+        CpaModel {
             allocations: cfg.allocations.clone(),
             bins: cfg.progress_bins,
             percentile: cfg.percentile,
@@ -323,9 +343,7 @@ impl CpaModel {
             ],
             table: Vec::new(),
             fresh_monotone: false,
-        };
-        model.build_table();
-        model
+        }
     }
 
     /// A sample-free model with the same shape (grid, bins, percentile,
@@ -374,39 +392,47 @@ impl CpaModel {
         // per chunk, each reusing a single SimWorkspace across all its
         // runs. Every shard's RNG seeds derive from (allocation index,
         // run index), so the trained cells are byte-identical for any
-        // thread count.
+        // thread count — including the single-shard case, which runs
+        // inline to spare a 1-core machine the spawn/join jitter.
         let n = cfg.allocations.len();
-        let threads = cfg.threads.unwrap_or(n).clamp(1, n.max(1));
+        let threads = cfg
+            .threads
+            .unwrap_or_else(default_threads)
+            .clamp(1, n.max(1));
         let chunk = n.div_ceil(threads);
         let mut harvests: Vec<Vec<RunHarvest>> = Vec::new();
         harvests.resize_with(n, Vec::new);
-        std::thread::scope(|scope| {
-            for (ci, chunk_harvests) in harvests.chunks_mut(chunk).enumerate() {
-                let spec = &spec;
-                let seeds = &seeds;
-                scope.spawn(move || {
-                    let mut ws = SimWorkspace::new();
-                    for (k, harvest) in chunk_harvests.iter_mut().enumerate() {
-                        let ai = ci * chunk + k;
-                        *harvest = train_one_allocation(
-                            spec,
-                            indicator,
-                            cfg.allocations[ai],
-                            cfg,
-                            seeds.child_indexed("alloc", ai as u64),
-                            &mut ws,
-                        );
-                    }
-                });
+        let shard = |ci: usize, chunk_harvests: &mut [Vec<RunHarvest>]| {
+            let mut ws = SimWorkspace::new();
+            for (k, harvest) in chunk_harvests.iter_mut().enumerate() {
+                let ai = ci * chunk + k;
+                *harvest = train_one_allocation(
+                    &spec,
+                    indicator,
+                    cfg.allocations[ai],
+                    cfg,
+                    seeds.child_indexed("alloc", ai as u64),
+                    &mut ws,
+                );
             }
-        });
+        };
+        if threads == 1 {
+            shard(0, &mut harvests);
+        } else {
+            std::thread::scope(|scope| {
+                for (ci, chunk_harvests) in harvests.chunks_mut(chunk).enumerate() {
+                    let shard = &shard;
+                    scope.spawn(move || shard(ci, chunk_harvests));
+                }
+            });
+        }
 
         // Absorb every harvested run, in grid-then-run order, into an
         // empty model. Deterministic and thread-count independent: the
         // per-cell sample multiset does not depend on absorb order, and
         // sorted merges keep each exact cell identical to a one-shot
         // concat-then-sort of the same samples.
-        let mut model = CpaModel::empty(cfg);
+        let mut model = CpaModel::empty_unbuilt(cfg);
         let mut obs: Vec<RunObservation> = Vec::new();
         for (ai, runs) in harvests.iter().enumerate() {
             let allocation = cfg.allocations[ai];
@@ -421,6 +447,120 @@ impl CpaModel {
                 model.fold_run(&obs, run.total_secs, completed_alloc, None);
             }
         }
+        model.build_table();
+        model
+    }
+
+    /// Trains the model through the dense shared-stream kernel
+    /// ([`crate::dense`]): one multi-allocation simulation per run
+    /// index covers the *whole* allocation grid, with per-allocation
+    /// state forked only at fill divergence points and every task
+    /// attempt consuming common random numbers across allocations.
+    ///
+    /// Statistically this estimates the same `C(p, a)` table as
+    /// [`CpaModel::train`] — same grid, bins, percentile, horizon
+    /// censoring, absorb order — but it is a *different deterministic
+    /// estimator*: its RNG schedule is keyed per task slot (stream
+    /// `"cpa-train-batched"`) rather than per `(allocation, run)`
+    /// simulation, so the two tables are not byte-identical. The
+    /// common-random-numbers coupling is a feature beyond speed: within
+    /// one run, completion time is monotone in allocation, so the
+    /// trained fresh-latency column is far less likely to need the
+    /// non-monotone fallback scan.
+    ///
+    /// The kernel models the flat dedicated training cluster only;
+    /// a config with a `topology` falls back to [`CpaModel::train`]
+    /// (which simulates the full placement model). Where [`train`]
+    /// parallelizes over the allocation grid, this path has already
+    /// amortized the grid into single runs — so `threads` shards the
+    /// *run* indices instead. Each run's variates are keyed by its run
+    /// index alone, so the trained cells are byte-identical for any
+    /// thread count.
+    ///
+    /// [`train`]: CpaModel::train
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`TrainConfig`].
+    pub fn train_batched(
+        graph: &Arc<JobGraph>,
+        profile: &JobProfile,
+        indicator: &IndicatorContext,
+        cfg: &TrainConfig,
+        seed: u64,
+    ) -> Self {
+        cfg.validate();
+        if cfg.topology.is_some() {
+            return Self::train(graph, profile, indicator, cfg, seed);
+        }
+        let seeds = SeedDeriver::new(seed).child("cpa-train-batched");
+        let spec = JobSpec::from_profile(graph.clone(), profile);
+        let job = crate::dense::DenseJob::new(&spec.graph);
+        let horizon = cfg.max_sim_time.as_secs_f64();
+        let period = cfg.sample_period.as_secs_f64();
+
+        // One shared-stream simulation per run index covers every
+        // allocation. Runs are sharded into contiguous chunks, one
+        // worker thread per chunk; a single shard runs inline so a
+        // 1-core machine pays no spawn/join jitter.
+        let n_runs = cfg.runs_per_allocation;
+        let threads = cfg.threads.unwrap_or_else(default_threads).clamp(1, n_runs);
+        let chunk = n_runs.div_ceil(threads);
+        let mut run_harvests: Vec<Vec<RunHarvest>> = Vec::new();
+        run_harvests.resize_with(n_runs, Vec::new);
+        let shard = |ci: usize, chunk_harvests: &mut [Vec<RunHarvest>]| {
+            for (k, harvest) in chunk_harvests.iter_mut().enumerate() {
+                let run = ci * chunk + k;
+                let mut vars = crate::dense::SharedVariates::new(
+                    &spec,
+                    &job,
+                    seeds.child_indexed("run", run as u64),
+                );
+                *harvest = crate::dense::simulate_run(
+                    &job,
+                    indicator,
+                    &cfg.allocations,
+                    period,
+                    horizon,
+                    &mut vars,
+                );
+            }
+        };
+        if threads == 1 {
+            shard(0, &mut run_harvests);
+        } else {
+            std::thread::scope(|scope| {
+                for (ci, chunk_harvests) in run_harvests.chunks_mut(chunk).enumerate() {
+                    let shard = &shard;
+                    scope.spawn(move || shard(ci, chunk_harvests));
+                }
+            });
+        }
+
+        // Absorb all runs in one pass: a sketch cell's contents depend
+        // on its sample multiset, so staging every harvested
+        // observation into one globally sorted buffer replaces the
+        // per-run folds `train` performs — fewer, larger sorted merges
+        // into each cell.
+        let mut model = CpaModel::empty_unbuilt(cfg);
+        let mut staged: Vec<((usize, usize), f64)> = Vec::new();
+        for harvests in &run_harvests {
+            for (ai, run) in harvests.iter().enumerate() {
+                let cell = model.grid_index_nearest(cfg.allocations[ai]);
+                staged.extend(run.samples.iter().map(|&(t, p)| {
+                    (
+                        (cell, progress_bin(p, model.bins)),
+                        (run.total_secs - t).max(0.0),
+                    )
+                }));
+                // Completion itself: zero remaining at full progress.
+                if run.completed {
+                    staged.push(((cell, model.bins - 1), 0.0));
+                }
+            }
+        }
+        staged.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.total_cmp(&y.1)));
+        model.absorb_staged(&staged, None);
         model.build_table();
         model
     }
@@ -489,33 +629,55 @@ impl CpaModel {
         obs: &[RunObservation],
         total_secs: f64,
         completed_alloc: Option<u32>,
-        mut dirty: Option<&mut Vec<bool>>,
+        dirty: Option<&mut Vec<bool>>,
     ) -> usize {
-        let mut staged: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
-        for o in obs {
+        // Stage every sample as a `(cell, remaining)` pair and sort once
+        // by cell then value: each cell's batch comes out contiguous and
+        // ascending, and cells are visited in the same ascending
+        // `(allocation, bin)` order a keyed map would yield — so the
+        // sketches absorb byte-identical batches, without a map node and
+        // a vector allocation per touched cell.
+        let mut staged: Vec<((usize, usize), f64)> = Vec::with_capacity(obs.len() + 1);
+        staged.extend(obs.iter().map(|o| {
             let ai = self.grid_index_nearest(o.allocation);
             let bin = progress_bin(o.progress, self.bins);
-            staged
-                .entry((ai, bin))
-                .or_default()
-                .push((total_secs - o.elapsed_secs).max(0.0));
-        }
+            ((ai, bin), (total_secs - o.elapsed_secs).max(0.0))
+        }));
         // Completion itself: zero remaining at full progress (only for
         // runs that actually completed).
         if let Some(a) = completed_alloc {
             let ai = self.grid_index_nearest(a);
-            staged.entry((ai, self.bins - 1)).or_default().push(0.0);
+            staged.push(((ai, self.bins - 1), 0.0));
         }
-        let mut added = 0;
-        for ((ai, bin), mut batch) in staged {
-            batch.sort_by(f64::total_cmp);
-            added += batch.len();
-            self.cells[ai][bin].extend_sorted(&batch);
-            if let Some(d) = dirty.as_deref_mut() {
-                d[ai] = true;
-            }
-        }
+        staged.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.total_cmp(&y.1)));
+        let added = staged.len();
+        self.absorb_staged(&staged, dirty);
         added
+    }
+
+    /// Walks a `(cell, value)`-sorted staging buffer and merges each
+    /// cell's contiguous (already ascending) batch into its sketch.
+    fn absorb_staged(
+        &mut self,
+        staged: &[((usize, usize), f64)],
+        mut dirty: Option<&mut Vec<bool>>,
+    ) {
+        let mut batch: Vec<f64> = Vec::new();
+        let mut i = 0;
+        while i < staged.len() {
+            let key = staged[i].0;
+            let end = staged[i..]
+                .iter()
+                .position(|e| e.0 != key)
+                .map_or(staged.len(), |p| i + p);
+            batch.clear();
+            batch.extend(staged[i..end].iter().map(|e| e.1));
+            self.cells[key.0][key.1].extend_sorted(&batch);
+            if let Some(d) = dirty.as_deref_mut() {
+                d[key.0] = true;
+            }
+            i = end;
+        }
     }
 
     /// The grid index nearest to `allocation` (lower index wins ties).
@@ -1178,6 +1340,65 @@ mod tests {
         let auto = with_threads(None);
         assert_eq!(one.cells, three.cells, "1 thread vs 3 threads");
         assert_eq!(one.cells, auto.cells, "1 thread vs one-per-allocation");
+    }
+
+    #[test]
+    fn train_batched_is_deterministic_and_thread_independent() {
+        let (graph, profile) = fixture();
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let with_threads = |threads: Option<usize>| {
+            let mut cfg = TrainConfig::fast(vec![2, 4, 8]);
+            cfg.threads = threads;
+            CpaModel::train_batched(&graph, &profile, &ind, &cfg, 7)
+        };
+        let one = with_threads(Some(1));
+        let again = with_threads(Some(1));
+        let four = with_threads(Some(4));
+        let auto = with_threads(None);
+        assert_eq!(one.cells, again.cells, "same seed must reproduce");
+        assert_eq!(one.cells, four.cells, "1 thread vs one-per-run");
+        assert_eq!(one.cells, auto.cells, "1 thread vs machine default");
+        assert_eq!(one.table, auto.table);
+    }
+
+    /// The batched path is a *different* deterministic estimator (its
+    /// RNG schedule is per task slot, not per (allocation, run) sim),
+    /// so its table is not byte-identical to `train`'s — but it must
+    /// estimate the same quantity: fresh latency close to `train`'s at
+    /// every grid allocation, monotone in allocation thanks to the
+    /// common-random-numbers coupling.
+    #[test]
+    fn train_batched_estimates_match_train_statistically() {
+        let (graph, profile) = fixture();
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let cfg = TrainConfig::fast(vec![2, 4, 8]);
+        let reference = CpaModel::train(&graph, &profile, &ind, &cfg, 42);
+        let batched = CpaModel::train_batched(&graph, &profile, &ind, &cfg, 42);
+        assert!(batched.sample_count() > 20);
+        for &a in &[2_u32, 4, 8] {
+            let (r, b) = (reference.fresh_latency(a), batched.fresh_latency(a));
+            assert!(
+                (b - r).abs() / r < 0.35,
+                "allocation {a}: batched {b} vs reference {r}"
+            );
+        }
+        assert!(batched.fresh_latency(2) > batched.fresh_latency(4));
+        assert!(batched.fresh_latency(4) > batched.fresh_latency(8));
+    }
+
+    /// A topology config is outside the dense kernel's flat-cluster
+    /// model; `train_batched` must fall back to the full `train` path,
+    /// bit for bit.
+    #[test]
+    fn train_batched_topology_falls_back_to_train() {
+        let (graph, profile) = fixture();
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let mut cfg = TrainConfig::fast(vec![2, 4, 8]);
+        cfg.topology = Some(jockey_cluster::TopologyConfig::google_mix(2));
+        let reference = CpaModel::train(&graph, &profile, &ind, &cfg, 11);
+        let batched = CpaModel::train_batched(&graph, &profile, &ind, &cfg, 11);
+        assert_eq!(reference.cells, batched.cells);
+        assert_eq!(reference.table, batched.table);
     }
 
     #[test]

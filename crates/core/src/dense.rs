@@ -1,0 +1,606 @@
+//! The dense training kernel: shared-stream multi-allocation
+//! simulation with per-allocation state forking.
+//!
+//! [`CpaModel::train`](crate::cpa::CpaModel::train) runs one full
+//! discrete-event simulation per `(allocation, run)` grid point. But in
+//! the offline training regime — a dedicated flat cluster, a fixed
+//! allocation, no spare capacity, no background load — adjacent
+//! allocation levels execute *the same job against the same random
+//! draws*; they differ only in how many tasks run concurrently. This
+//! module exploits that:
+//!
+//! - [`SharedVariates`] makes every task attempt's random triple
+//!   `(queue_secs, run_secs, failed)` a pure function of `(task slot,
+//!   attempt index)`, so all allocation levels of one run consume
+//!   *common random numbers*: attempt `k` of a task behaves
+//!   identically at every allocation.
+//! - [`simulate_run`] simulates the whole ascending allocation grid as
+//!   one **group** holding a single shared state. The group splits at
+//!   *fill divergence points*: when the ready queue is non-empty and
+//!   the running count has reached the smallest member's allocation,
+//!   members with larger allocations fork the state and keep filling.
+//!   Groups never re-merge — but the shared prefix (job start, the
+//!   common early waves, the serial tail where fewer tasks are ready
+//!   than any allocation admits) is simulated once instead of once per
+//!   grid point.
+//!
+//! A group of one member *is* the naive single-allocation simulator —
+//! the same code path with no possible split — which the equivalence
+//! tests use as the reference oracle: forking over the full grid must
+//! reproduce each member's independent run bit for bit.
+//!
+//! This kernel is intentionally *not* the [`ClusterSim`] event loop: it
+//! has no observer, no scheduler/failure/placement seams, no machine
+//! failures and no topology. It defines its own event stream (and its
+//! own RNG schedule, keyed per task slot rather than per job), so
+//! models trained through it are deterministic but not byte-identical
+//! to [`CpaModel::train`]'s — which keeps its historical digest.
+//!
+//! [`ClusterSim`]: jockey_cluster::ClusterSim
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use jockey_cluster::JobSpec;
+use jockey_jobgraph::graph::{EdgeKind, JobGraph};
+use jockey_simrt::dist::bernoulli;
+use jockey_simrt::rng::SeedDeriver;
+
+use crate::cpa::RunHarvest;
+use crate::progress::IndicatorContext;
+
+/// Total-order wrapper for event times (sums of finite draws; ordered
+/// via `total_cmp` so the heap never panics even on pathological
+/// distributions).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A pending completion: `(finish time, start sequence, slot, failed)`.
+/// The failure draw rides along so completion needs no variate lookup;
+/// it never influences ordering (sequences are unique).
+type PendingDone = Reverse<(OrdF64, u64, u32, bool)>;
+
+/// The job graph flattened for dense simulation: tasks are dense
+/// *slots* (stage-major), and per-stage parent edges drive readiness.
+pub(crate) struct DenseJob {
+    /// Slot -> stage index.
+    stage_of: Vec<u32>,
+    /// Stage -> first slot.
+    offsets: Vec<u32>,
+    /// Stage -> task count.
+    tasks_in: Vec<u32>,
+    /// Stage -> `(parent stage, edge kind)` list.
+    parents: Vec<Vec<(usize, EdgeKind)>>,
+    /// Stage -> `(child stage, edge kind)` list.
+    children: Vec<Vec<(usize, EdgeKind)>>,
+    total: u64,
+}
+
+impl DenseJob {
+    pub(crate) fn new(graph: &JobGraph) -> Self {
+        let n = graph.num_stages();
+        let mut stage_of = Vec::new();
+        let mut offsets = Vec::with_capacity(n);
+        let mut tasks_in = Vec::with_capacity(n);
+        for s in graph.stage_ids() {
+            offsets.push(stage_of.len() as u32);
+            let count = graph.tasks_in(s);
+            tasks_in.push(count);
+            stage_of.extend(std::iter::repeat_n(s.index() as u32, count as usize));
+        }
+        let edge_list = |pairs: &[(jockey_jobgraph::StageId, EdgeKind)]| {
+            pairs
+                .iter()
+                .map(|&(s, k)| (s.index(), k))
+                .collect::<Vec<_>>()
+        };
+        DenseJob {
+            total: stage_of.len() as u64,
+            stage_of,
+            offsets,
+            tasks_in,
+            parents: graph
+                .stage_ids()
+                .map(|s| edge_list(graph.parents(s)))
+                .collect(),
+            children: graph
+                .stage_ids()
+                .map(|s| edge_list(graph.children(s)))
+                .collect(),
+        }
+    }
+
+    fn slot(&self, stage: usize, index: u32) -> usize {
+        (self.offsets[stage] + index) as usize
+    }
+
+    fn num_stages(&self) -> usize {
+        self.tasks_in.len()
+    }
+}
+
+/// One task attempt's shared random draws.
+#[derive(Clone, Copy)]
+struct AttemptDraws {
+    queue_secs: f64,
+    run_secs: f64,
+    failed: bool,
+}
+
+/// Per-`(slot, attempt)` random triples from one independent RNG
+/// stream per task slot. A triple is a *pure function* of `(slot,
+/// attempt)` — that is exactly what makes the draws common random
+/// numbers: every allocation branch that asks for `(slot, k)` sees the
+/// same values, regardless of ask order.
+///
+/// Every slot's attempt 0 is needed by every branch (a run completes
+/// all tasks), so those are generated eagerly into one flat array —
+/// one tight pass, no per-slot allocations. Retry attempts exist only
+/// for failed draws (rare by construction); they are recomputed on
+/// demand by replaying the slot's stream from the start, keeping the
+/// pure-function contract without a memo table.
+pub(crate) struct SharedVariates<'a> {
+    spec: &'a JobSpec,
+    seeds: SeedDeriver,
+    first: Vec<AttemptDraws>,
+}
+
+impl<'a> SharedVariates<'a> {
+    /// `seeds` scopes one run: every slot stream forks from it.
+    pub(crate) fn new(spec: &'a JobSpec, job: &DenseJob, seeds: SeedDeriver) -> Self {
+        let first = (0..job.stage_of.len())
+            .map(|slot| Self::draw(spec, job, &seeds, slot, 0))
+            .collect();
+        SharedVariates { spec, seeds, first }
+    }
+
+    /// Generates attempt `k` of `slot` by replaying the slot's stream
+    /// from its start. Attempts must be drawn in order within one
+    /// stream, so reaching attempt `k` regenerates `0..k` first —
+    /// cheap, because retries beyond the first attempt only exist for
+    /// the (rare) failed draws.
+    fn draw(
+        spec: &JobSpec,
+        job: &DenseJob,
+        seeds: &SeedDeriver,
+        slot: usize,
+        k: u32,
+    ) -> AttemptDraws {
+        let mut rng = seeds.rng_indexed("slot", slot as u64);
+        let stage = job.stage_of[slot] as usize;
+        let mut draws = AttemptDraws {
+            queue_secs: 0.0,
+            run_secs: 0.0,
+            failed: false,
+        };
+        for _ in 0..=k {
+            draws = AttemptDraws {
+                queue_secs: spec.stage_queues[stage].sample_with(&mut rng),
+                run_secs: spec.stage_runtimes[stage].sample_with(&mut rng),
+                failed: bernoulli(&mut rng, spec.task_failure_prob),
+            };
+        }
+        draws
+    }
+
+    fn attempt(&mut self, job: &DenseJob, slot: usize, k: u32) -> AttemptDraws {
+        if k == 0 {
+            return self.first[slot];
+        }
+        Self::draw(self.spec, job, &self.seeds, slot, k)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SlotState {
+    Pending,
+    Ready,
+    Running,
+    Done,
+}
+
+/// One allocation group's complete simulation state; cloned at fill
+/// divergence points.
+#[derive(Clone)]
+struct GroupState {
+    clock: f64,
+    /// Min-heap of in-flight attempts, at most the allocation deep.
+    heap: BinaryHeap<PendingDone>,
+    /// In-flight attempt count (the heap's length, tracked separately
+    /// so the fill loop stays a plain integer compare).
+    running: u32,
+    seq: u64,
+    state: Vec<SlotState>,
+    /// Next attempt index per slot.
+    attempts: Vec<u32>,
+    ready: VecDeque<u32>,
+    completed: Vec<u32>,
+    done_total: u64,
+    next_tick: f64,
+    samples: Vec<(f64, f64)>,
+    frac: Vec<f64>,
+    finished_at: Option<f64>,
+}
+
+impl GroupState {
+    fn fresh(job: &DenseJob) -> Self {
+        let mut st = GroupState {
+            clock: 0.0,
+            heap: BinaryHeap::new(),
+            running: 0,
+            seq: 0,
+            state: vec![SlotState::Pending; job.stage_of.len()],
+            attempts: vec![0; job.stage_of.len()],
+            ready: VecDeque::new(),
+            completed: vec![0; job.num_stages()],
+            done_total: 0,
+            next_tick: 0.0,
+            samples: Vec::new(),
+            frac: vec![0.0; job.num_stages()],
+            finished_at: None,
+        };
+        // Root-stage tasks are ready at job start, in slot order — the
+        // same order the engine's `initial_tasks` enqueues them.
+        for stage in 0..job.num_stages() {
+            if job.parents[stage].is_empty() {
+                for i in 0..job.tasks_in[stage] {
+                    let slot = job.slot(stage, i);
+                    st.state[slot] = SlotState::Ready;
+                    st.ready.push_back(slot as u32);
+                }
+            }
+        }
+        st
+    }
+
+    fn start_task(&mut self, job: &DenseJob, vars: &mut SharedVariates<'_>, slot: u32) {
+        let k = self.attempts[slot as usize];
+        self.attempts[slot as usize] = k + 1;
+        let draws = vars.attempt(job, slot as usize, k);
+        self.seq += 1;
+        self.heap.push(Reverse((
+            OrdF64(self.clock + draws.queue_secs + draws.run_secs),
+            self.seq,
+            slot,
+            draws.failed,
+        )));
+        self.state[slot as usize] = SlotState::Running;
+        self.running += 1;
+    }
+
+    /// Evaluates the indicator at the current completion fractions.
+    /// Progress only changes when a task completes, so tick batches
+    /// call this once and reuse the value.
+    fn progress_now(&mut self, job: &DenseJob, indicator: &IndicatorContext) -> f64 {
+        for stage in 0..job.num_stages() {
+            self.frac[stage] = f64::from(self.completed[stage]) / f64::from(job.tasks_in[stage]);
+        }
+        indicator.progress(&self.frac)
+    }
+
+    /// Task-completion bookkeeping: a failed attempt requeues, a
+    /// successful one completes and promotes newly-ready dependents
+    /// (children in graph order, task indices ascending — the
+    /// deterministic order both the forked and the naive paths share).
+    fn complete(&mut self, job: &DenseJob, slot: u32, failed: bool) {
+        self.running -= 1;
+        if failed {
+            self.state[slot as usize] = SlotState::Ready;
+            self.ready.push_back(slot);
+            return;
+        }
+        self.state[slot as usize] = SlotState::Done;
+        let stage = job.stage_of[slot as usize] as usize;
+        self.completed[stage] += 1;
+        self.done_total += 1;
+        let stage_complete = self.completed[stage] == job.tasks_in[stage];
+        let index = slot - job.offsets[stage];
+        for &(child, kind) in &job.children[stage] {
+            match kind {
+                EdgeKind::OneToOne => self.promote_if_ready(job, job.slot(child, index)),
+                EdgeKind::AllToAll => {
+                    if stage_complete {
+                        for i in 0..job.tasks_in[child] {
+                            self.promote_if_ready(job, job.slot(child, i));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn promote_if_ready(&mut self, job: &DenseJob, slot: usize) {
+        if self.state[slot] != SlotState::Pending {
+            return;
+        }
+        let stage = job.stage_of[slot] as usize;
+        let index = (slot as u32) - job.offsets[stage];
+        let ready = job.parents[stage].iter().all(|&(p, kind)| match kind {
+            EdgeKind::OneToOne => self.state[job.slot(p, index)] == SlotState::Done,
+            EdgeKind::AllToAll => self.completed[p] == job.tasks_in[p],
+        });
+        if ready {
+            self.state[slot] = SlotState::Ready;
+            self.ready.push_back(slot as u32);
+        }
+    }
+}
+
+/// Simulates one shared-stream run of `job` at every allocation in
+/// `allocs` (strictly ascending) and returns one harvest per
+/// allocation, in order. Progress is sampled at `t = 0` and every
+/// `sample_period_secs` until the job finishes; a run that reaches
+/// `horizon_secs` is censored exactly as
+/// [`train_one_allocation`](crate::cpa) censors it.
+///
+/// Passing a single-element `allocs` runs the naive independent
+/// simulator — no split is possible — which is the reference oracle
+/// the fork logic is tested against.
+pub(crate) fn simulate_run(
+    job: &DenseJob,
+    indicator: &IndicatorContext,
+    allocs: &[u32],
+    sample_period_secs: f64,
+    horizon_secs: f64,
+    vars: &mut SharedVariates<'_>,
+) -> Vec<RunHarvest> {
+    debug_assert!(!allocs.is_empty() && allocs.windows(2).all(|w| w[0] < w[1]));
+    let mut out: Vec<Option<RunHarvest>> = (0..allocs.len()).map(|_| None).collect();
+    // LIFO worklist of (member range into `allocs`, state). Lower
+    // members keep the original state at a split; upper members clone.
+    let mut work: Vec<(std::ops::Range<usize>, GroupState)> =
+        vec![(0..allocs.len(), GroupState::fresh(job))];
+    while let Some((mut members, mut st)) = work.pop() {
+        loop {
+            // Fill up to the smallest member's allocation; if larger
+            // members could admit more, fork them off to keep filling.
+            while st.running < allocs[members.start] {
+                let Some(slot) = st.ready.pop_front() else {
+                    break;
+                };
+                st.start_task(job, vars, slot);
+            }
+            if members.len() > 1 && !st.ready.is_empty() && st.running >= allocs[members.start] {
+                work.push((members.start + 1..members.end, st.clone()));
+                members = members.start..members.start + 1;
+            }
+
+            if st.done_total == job.total {
+                st.finished_at = Some(st.clock);
+                break;
+            }
+            // Drain every control tick up to the next task completion
+            // (ties to the tick — it was armed earlier). Progress can't
+            // change between completions, so one indicator evaluation
+            // covers the whole batch.
+            let next_finish = st
+                .heap
+                .peek()
+                .map_or(f64::INFINITY, |&Reverse((t, _, _, _))| t.0);
+            if st.next_tick <= next_finish {
+                let p = st.progress_now(job, indicator);
+                let mut censored = false;
+                while st.next_tick <= next_finish {
+                    if st.next_tick > horizon_secs {
+                        censored = true; // The run outlived the horizon.
+                        break;
+                    }
+                    st.clock = st.next_tick;
+                    st.samples.push((st.next_tick, p));
+                    st.next_tick += sample_period_secs;
+                }
+                if censored || next_finish == f64::INFINITY {
+                    break;
+                }
+            }
+            let Reverse((OrdF64(at), _, slot, failed)) = st.heap.pop().expect("non-empty above");
+            if at > horizon_secs {
+                break; // Censored.
+            }
+            st.clock = at;
+            st.complete(job, slot, failed);
+        }
+        let completed = st.finished_at.is_some();
+        let total_secs = st.finished_at.unwrap_or(horizon_secs);
+        // Split-free groups cover several members with one identical
+        // harvest: the last member takes the samples, the rest clone.
+        let last = members.end - 1;
+        for m in members {
+            let samples = if m == last {
+                std::mem::take(&mut st.samples)
+            } else {
+                st.samples.clone()
+            };
+            out[m] = Some(RunHarvest {
+                samples,
+                total_secs,
+                completed,
+            });
+        }
+    }
+    out.into_iter()
+        .map(|h| h.expect("every allocation harvested"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::ProgressIndicator;
+    use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+    use jockey_jobgraph::profile::ProfileBuilder;
+    use jockey_jobgraph::StageId;
+    use jockey_simrt::dist::Uniform;
+    use std::sync::Arc;
+
+    fn diamond_graph() -> Arc<JobGraph> {
+        let mut b = JobGraphBuilder::new("dense-job");
+        let m = b.stage("map", 14);
+        let l = b.stage("left", 14);
+        let r = b.stage("right", 5);
+        let j = b.stage("join", 5);
+        b.edge(m, l, EdgeKind::OneToOne);
+        b.edge(m, r, EdgeKind::AllToAll);
+        b.edge(l, j, EdgeKind::AllToAll);
+        b.edge(r, j, EdgeKind::OneToOne);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn fixture(failure_prob: f64) -> (Arc<JobGraph>, JobSpec, IndicatorContext) {
+        let graph = diamond_graph();
+        let mut pb = ProfileBuilder::new(&graph);
+        for s in 0..4 {
+            for i in 0..6 {
+                pb.record_task(StageId(s), 0.3 * f64::from(i), 4.0 + f64::from(i), false);
+            }
+        }
+        let mut profile = pb.finish(60.0, 10.0);
+        profile.task_failure_prob = failure_prob;
+        let spec = JobSpec::from_profile(graph.clone(), &profile);
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        (graph, spec, ind)
+    }
+
+    fn run_grid(
+        spec: &JobSpec,
+        ind: &IndicatorContext,
+        allocs: &[u32],
+        seed: u64,
+    ) -> Vec<RunHarvest> {
+        let job = DenseJob::new(&spec.graph);
+        let seeds = SeedDeriver::new(seed).child("dense-test");
+        let mut vars = SharedVariates::new(spec, &job, seeds);
+        simulate_run(&job, ind, allocs, 5.0, 10_000.0, &mut vars)
+    }
+
+    /// The tentpole equivalence: forking the whole ascending grid off
+    /// one shared stream must reproduce, bit for bit, what each
+    /// allocation's *independent* simulation (a single-member group —
+    /// the same code with no possible split) produces from the same
+    /// variate table.
+    #[test]
+    fn forked_grid_matches_naive_single_allocation_runs() {
+        for failure_prob in [0.0, 0.15] {
+            let (_, spec, ind) = fixture(failure_prob);
+            for seed in 0..20u64 {
+                let allocs = [1, 2, 3, 5, 9, 40];
+                let forked = run_grid(&spec, &ind, &allocs, seed);
+                for (ai, &a) in allocs.iter().enumerate() {
+                    let naive = run_grid(&spec, &ind, &[a], seed);
+                    assert_eq!(
+                        forked[ai].samples, naive[0].samples,
+                        "seed {seed} fail {failure_prob} alloc {a}: samples diverged"
+                    );
+                    assert_eq!(
+                        forked[ai].total_secs.to_bits(),
+                        naive[0].total_secs.to_bits()
+                    );
+                    assert_eq!(forked[ai].completed, naive[0].completed);
+                }
+            }
+        }
+    }
+
+    /// Common random numbers make completion time monotone in
+    /// allocation within one run (more tokens never slow the same
+    /// draws down).
+    #[test]
+    fn shared_stream_completion_is_monotone_in_allocation() {
+        let (_, spec, ind) = fixture(0.1);
+        for seed in 0..10u64 {
+            let harvests = run_grid(&spec, &ind, &[1, 2, 4, 8, 16], seed);
+            for w in harvests.windows(2) {
+                assert!(
+                    w[1].total_secs <= w[0].total_secs + 1e-9,
+                    "seed {seed}: completion not monotone: {} then {}",
+                    w[0].total_secs,
+                    w[1].total_secs
+                );
+            }
+        }
+    }
+
+    /// An allocation too small to finish by the horizon is censored —
+    /// `completed: false` with the horizon as its total — while larger
+    /// members of the same group finish normally.
+    #[test]
+    fn horizon_censors_starved_members_only() {
+        let (_, spec, ind) = fixture(0.0);
+        let job = DenseJob::new(&spec.graph);
+        let seeds = SeedDeriver::new(3).child("dense-test");
+        let mut vars = SharedVariates::new(&spec, &job, seeds);
+        let harvests = simulate_run(&job, &ind, &[1, 30], 5.0, 60.0, &mut vars);
+        assert!(!harvests[0].completed, "1 token cannot finish in 60s");
+        assert_eq!(harvests[0].total_secs, 60.0);
+        assert!(harvests[1].completed, "30 tokens finishes well inside");
+        assert!(harvests[1].total_secs < 60.0);
+    }
+
+    /// Failed attempts consume exactly one variate triple and rerun
+    /// with the next one: with a fixed failure sequence the job still
+    /// finishes and every sample stream stays deterministic.
+    #[test]
+    fn failures_rerun_until_done_deterministically() {
+        let (_, spec, ind) = fixture(0.3);
+        let a = run_grid(&spec, &ind, &[2, 6], 7);
+        let b = run_grid(&spec, &ind, &[2, 6], 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.samples, y.samples);
+            assert_eq!(x.total_secs.to_bits(), y.total_secs.to_bits());
+        }
+        assert!(a.iter().all(|h| h.completed));
+    }
+
+    /// Wide-open allocations admit every ready task at once: the run
+    /// completes in roughly the critical path of stage waves.
+    #[test]
+    fn unconstrained_allocation_tracks_the_critical_path() {
+        let (_, spec, ind) = fixture(0.0);
+        let h = run_grid(&spec, &ind, &[64], 11);
+        // 4 stage waves, task times in [4.3, 9.0] with queue <= 1.5 each:
+        // the end-to-end time must sit in the waves' feasible envelope.
+        assert!(h[0].completed);
+        assert!(
+            h[0].total_secs > 4.0 * 4.0 && h[0].total_secs < 4.0 * 11.0,
+            "total {}",
+            h[0].total_secs
+        );
+    }
+
+    #[test]
+    fn uniform_distributions_share_variates_across_allocations() {
+        // Uniform draws (not empirical resampling) through the same
+        // kernel: slot streams must be identical whichever member
+        // generates them first, so a reversed-order naive run matches.
+        let graph = diamond_graph();
+        let spec = JobSpec::uniform(
+            graph.clone(),
+            Uniform::new(2.0, 9.0),
+            Uniform::new(0.0, 1.0),
+            0.05,
+        );
+        let profile = ProfileBuilder::new(&graph).finish(1.0, 0.0);
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        for seed in [0u64, 1, 2] {
+            let forked = run_grid(&spec, &ind, &[3, 7], seed);
+            let naive_hi = run_grid(&spec, &ind, &[7], seed);
+            let naive_lo = run_grid(&spec, &ind, &[3], seed);
+            assert_eq!(forked[1].samples, naive_hi[0].samples, "seed {seed}");
+            assert_eq!(forked[0].samples, naive_lo[0].samples, "seed {seed}");
+        }
+    }
+}

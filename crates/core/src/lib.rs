@@ -65,6 +65,7 @@ pub mod arbiter;
 pub mod conditioner;
 pub mod control;
 pub mod cpa;
+mod dense;
 pub mod fallback;
 pub mod layer;
 pub mod online;

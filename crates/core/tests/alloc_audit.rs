@@ -1,0 +1,140 @@
+//! Counting-allocator audit of the training hot path.
+//!
+//! The `C(p, a)` training loop runs the same job thousands of times;
+//! every per-run heap allocation multiplies accordingly. The workspace
+//! pooling (task tables, queues, status scratch, event queue) plus the
+//! empty profile builder are supposed to leave only a small constant
+//! number of unavoidable per-run allocations (policy boxes, the result
+//! and its name, the harvested sample vector). This test pins that
+//! budget with a counting `#[global_allocator]`: it fails if a change
+//! reintroduces per-event or per-task allocations into the loop.
+//!
+//! Integration tests are separate binaries, so the global allocator
+//! here affects no other test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec, RunHooks, SimWorkspace};
+use jockey_jobgraph::graph::{EdgeKind, JobGraphBuilder};
+use jockey_simrt::dist::Uniform;
+use jockey_simrt::observe::ProgressSink;
+use jockey_simrt::time::{SimDuration, SimTime};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A sink that only counts samples — mirrors training's borrowed
+/// collector without the indicator dependency.
+struct CountSink(u64);
+
+impl ProgressSink for CountSink {
+    fn sample(&mut self, _job: usize, _elapsed_secs: f64, _stage_fraction: &[f64]) {
+        self.0 += 1;
+    }
+}
+
+fn training_spec() -> Arc<JobSpec> {
+    let mut b = JobGraphBuilder::new("alloc-audit");
+    let m = b.stage("map", 40);
+    let mid = b.stage("mid", 40);
+    let r = b.stage("reduce", 8);
+    b.edge(m, mid, EdgeKind::OneToOne);
+    b.edge(mid, r, EdgeKind::AllToAll);
+    Arc::new(JobSpec::uniform(
+        Arc::new(b.build().unwrap()),
+        Uniform::new(4.0, 12.0),
+        Uniform::new(0.0, 1.0),
+        0.05,
+    ))
+}
+
+/// One training-shaped run: pooled workspace, recording off, borrowed
+/// sink — exactly the shape of `train_one_allocation`'s inner loop.
+fn one_run(spec: &Arc<JobSpec>, ws: &mut SimWorkspace, seed: u64) {
+    let mut cfg = ClusterConfig::dedicated_with_failures(12);
+    cfg.control_period = SimDuration::from_secs(15);
+    cfg.max_sim_time = SimTime::from_mins(12 * 60);
+    let mut sim = ClusterSim::with_workspace(cfg, seed, ws);
+    sim.set_record_trace(false);
+    sim.set_record_profile(false);
+    sim.add_job_shared(spec.clone(), Box::new(FixedAllocation(12)));
+    let mut sink = CountSink(0);
+    let result = sim.run_single_hooked(RunHooks {
+        sink: Some(&mut sink),
+        reclaim: Some(ws),
+    });
+    assert!(result.completed_at.is_some(), "audit job must finish");
+    assert!(sink.0 > 0, "training sink must observe samples");
+}
+
+#[test]
+fn training_loop_allocations_are_pooled_and_constant_per_run() {
+    let spec = training_spec();
+    let mut ws = SimWorkspace::new();
+    // Warm the pool: first runs grow the task table, the ready/running
+    // buffers, the event queue's ladder and the status scratch to this
+    // job's high-water marks.
+    for seed in 0..8 {
+        one_run(&spec, &mut ws, seed);
+    }
+
+    // Steady state: measure two disjoint batches over fresh seeds.
+    const BATCH: u64 = 16;
+    let before_a = allocations();
+    for seed in 100..100 + BATCH {
+        one_run(&spec, &mut ws, seed);
+    }
+    let batch_a = allocations() - before_a;
+    let before_b = allocations();
+    for seed in 200..200 + BATCH {
+        one_run(&spec, &mut ws, seed);
+    }
+    let batch_b = allocations() - before_b;
+
+    let per_run_a = batch_a.div_ceil(BATCH);
+    let per_run_b = batch_b.div_ceil(BATCH);
+    // The job runs 88 tasks / ~90+ events per run; a pooled loop must
+    // stay under a small constant that could never cover per-event or
+    // per-task allocation. The exact count (boxes for the scheduler,
+    // failure model, observer, placement policy and controller; the
+    // result, its name, the job vector, the floor vector, the sample
+    // growth) sits well under this bound — the bound is deliberately
+    // loose so unrelated refactors don't thrash it, while still
+    // catching any O(tasks) regression.
+    assert!(
+        per_run_a <= 40,
+        "training run allocates too much: {per_run_a} allocations/run (batch {batch_a})"
+    );
+    // And the count is steady — nothing accumulates run over run.
+    let spread = per_run_a.abs_diff(per_run_b);
+    assert!(
+        spread <= 8,
+        "per-run allocations drift between batches: {per_run_a} vs {per_run_b}"
+    );
+}

@@ -276,6 +276,21 @@ impl ProfileBuilder {
         }
     }
 
+    /// A builder that records nothing: zero stages, no name, no
+    /// windows — and therefore no heap allocations. The hot-loop
+    /// choice when per-task profiling is disabled: `finish` on it is
+    /// a handful of moves and yields a structurally empty
+    /// [`JobProfile`].
+    pub fn empty() -> Self {
+        ProfileBuilder {
+            job_name: String::new(),
+            stages: Vec::new(),
+            windows: Vec::new(),
+            attempts: 0,
+            failures: 0,
+        }
+    }
+
     /// Records one task attempt: its queueing latency, execution time,
     /// and whether the attempt failed.
     ///

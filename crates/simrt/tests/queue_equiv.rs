@@ -1,11 +1,13 @@
-//! Property proof that the bucketed event-queue backend is
-//! observationally identical to the `BinaryHeap` reference.
+//! Property proof that the bucketed and adaptive event-queue backends
+//! are observationally identical to the `BinaryHeap` reference.
 //!
 //! Every simulator in this workspace depends on the queue's exact
 //! `(time, payload)` stream — same-instant events must pop in schedule
-//! order — so the bucketed backend is exercised here against the heap
-//! on randomized interleavings of schedules and pops, including heavy
-//! ties, far-future overflow events, and scheduling-at-now edge cases.
+//! order — so the bucketed and adaptive backends are exercised here
+//! against the heap on randomized interleavings of schedules and pops,
+//! including heavy ties, far-future overflow events, scheduling-at-now
+//! edge cases, and (for adaptive) occupancy ramps crossing the
+//! promotion threshold mid-program.
 
 use jockey_simrt::event::{EventQueue, QueueBackend};
 use jockey_simrt::time::{SimDuration, SimTime};
@@ -43,6 +45,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..400),
     ) {
         let mut bucketed = EventQueue::with_backend(QueueBackend::Bucketed);
+        let mut adaptive = EventQueue::with_backend(QueueBackend::Adaptive);
         let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
         let mut next_id: u32 = 0;
         for op in &ops {
@@ -50,22 +53,61 @@ proptest! {
                 Op::Schedule { offset_ms } => {
                     let at = bucketed.now() + SimDuration::from_millis(offset_ms);
                     bucketed.schedule(at, next_id);
+                    adaptive.schedule(at, next_id);
                     heap.schedule(at, next_id);
                     next_id += 1;
                 }
                 Op::Pop => {
                     let a = bucketed.pop();
                     let b = heap.pop();
+                    let c = adaptive.pop();
                     prop_assert_eq!(a, b);
+                    prop_assert_eq!(c, b);
                 }
             }
             prop_assert_eq!(bucketed.len(), heap.len());
+            prop_assert_eq!(adaptive.len(), heap.len());
             prop_assert_eq!(bucketed.peek_time(), heap.peek_time());
+            prop_assert_eq!(adaptive.peek_time(), heap.peek_time());
             prop_assert_eq!(bucketed.now(), heap.now());
+            prop_assert_eq!(adaptive.now(), heap.now());
         }
         // Drain whatever is left: the tails must agree element-for-element.
         loop {
             let a = bucketed.pop();
+            let b = heap.pop();
+            let c = adaptive.pop();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(c, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Programs deep enough to force adaptive promotion mid-stream stay
+    /// identical to the heap reference through the representation
+    /// switch, and the switch itself is observed.
+    #[test]
+    fn adaptive_promotion_preserves_the_stream(
+        depth in 150_usize..400,
+        offsets in proptest::collection::vec(0_u64..30_000, 600..900),
+    ) {
+        let mut adaptive = EventQueue::with_backend(QueueBackend::Adaptive);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        for (i, &off) in offsets.iter().enumerate() {
+            let at = adaptive.now() + SimDuration::from_millis(off);
+            let id = i as u32;
+            adaptive.schedule(at, id);
+            heap.schedule(at, id);
+            // Hold the queue near `depth` pending events.
+            if i >= depth {
+                prop_assert_eq!(adaptive.pop(), heap.pop());
+            }
+        }
+        prop_assert!(adaptive.is_promoted());
+        loop {
+            let a = adaptive.pop();
             let b = heap.pop();
             prop_assert_eq!(a, b);
             if a.is_none() {
@@ -112,7 +154,11 @@ proptest! {
         first_ms in 1_u64..1_000_000,
         behind_ms in 1_u64..1_000,
     ) {
-        for backend in [QueueBackend::Bucketed, QueueBackend::BinaryHeap] {
+        for backend in [
+            QueueBackend::Bucketed,
+            QueueBackend::BinaryHeap,
+            QueueBackend::Adaptive,
+        ] {
             let mut q = EventQueue::with_backend(backend);
             q.schedule(SimTime::from_millis(first_ms), 0_u8);
             q.pop();

@@ -14,9 +14,14 @@ cargo bench --workspace --no-run
 # sampling) so the sharded path is exercised end to end, not just
 # compiled.
 JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench control_plane
-# Smoke-run the simulation-kernel bench so both queue backends, the
+# Smoke-run the simulation-kernel bench so all three queue backends
+# (heap, bucketed, adaptive), the dense/sparse engine regimes, the
 # dyn/enum sampling pair and the C(p, a) table path all execute.
 JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench simrt_kernel
+# Smoke-run the engine bench: events_per_sec plus both training paths
+# (train_one_model and the dense-kernel train_one_model_batched)
+# execute end to end on the adaptive-queue default.
+JOCKEY_BENCH_SMOKE=1 cargo bench -p jockey-bench --bench engine
 # Smoke-run the service NFR bench: the open-loop driver end to end
 # (multi-threaded admission, churn, drain; recorded numbers live in
 # BENCH_service.json). The bench asserts zero leaked reservations.
