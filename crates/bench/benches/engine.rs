@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec};
+use jockey_cluster::{ClusterConfig, ClusterSim, FixedAllocation, JobSpec, SpeculationConfig};
 use jockey_core::cpa::{CpaModel, TrainConfig};
 use jockey_core::progress::{IndicatorContext, ProgressIndicator};
 use jockey_simrt::observe::{EntryKind, SimObserver};
@@ -64,6 +64,20 @@ fn bench_engine_events(c: &mut Criterion) {
     g.sample_size(if smoke { 3 } else { 20 });
     g.bench_function("events_per_sec", |b| {
         b.iter(|| engine_sim(&job.spec).run());
+    });
+    // The same production-shaped run with clone-on-slow speculation
+    // active: measures what the watcher ticks, sibling bookkeeping and
+    // clone races add on top of the baseline event loop.
+    g.bench_function("events_per_sec_speculative", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::production();
+            cfg.total_tokens = 60;
+            cfg.max_guarantee = 40;
+            cfg.speculation = Some(SpeculationConfig::clone_on_slow(2.0, 8));
+            let mut sim = ClusterSim::new(cfg, 17);
+            sim.add_job(job.spec.clone(), Box::new(FixedAllocation(24)));
+            sim.run()
+        });
     });
     g.finish();
     println!("engine/events_per_sec: {events} events per iteration");

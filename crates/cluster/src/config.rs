@@ -149,6 +149,41 @@ impl FailureConfig {
     }
 }
 
+/// Speculative-execution (clone-on-slow) parameters.
+///
+/// When configured, the engine watches running attempts against a
+/// per-stage expected-runtime estimate (derived from the stage's
+/// runtime/queue `Dist` means) and launches a clone on an idle token
+/// once an attempt exceeds `slowdown_threshold` times its expectation.
+/// The first attempt to finish wins; all sibling attempts are killed
+/// and their partial work is accounted as wasted. `None` (the default)
+/// runs the legacy engine bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeculationConfig {
+    /// An attempt is a straggler once its elapsed occupancy exceeds
+    /// this multiple of the expected occupancy. Must be `> 1.0` — at
+    /// `1.0` or below, half of all attempts would be cloned on sight.
+    pub slowdown_threshold: f64,
+    /// Maximum concurrent clone attempts per job. Clones occupy idle
+    /// tokens outside the job's guarantee, so the budget must fit in
+    /// the spare headroom `total_tokens - max_guarantee`.
+    pub clone_budget: u32,
+    /// How often the watcher scans running attempts.
+    pub watch_period: SimDuration,
+}
+
+impl SpeculationConfig {
+    /// Clone-on-slow at `threshold` with `clone_budget` concurrent
+    /// clones per job, watching every 15 simulated seconds.
+    pub fn clone_on_slow(threshold: f64, clone_budget: u32) -> Self {
+        SpeculationConfig {
+            slowdown_threshold: threshold,
+            clone_budget,
+            watch_period: SimDuration::from_secs(15),
+        }
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClusterConfig {
@@ -168,6 +203,10 @@ pub struct ClusterConfig {
     pub max_guarantee: u32,
     /// Whether unused capacity is redistributed as spare tokens.
     pub spare_enabled: bool,
+    /// Optional straggler mitigation: clone-on-slow speculative
+    /// execution with kill-on-first-finish (see [`SpeculationConfig`]).
+    /// When `None` the simulator runs the legacy model bit-identically.
+    pub speculation: Option<SpeculationConfig>,
     /// Runtime multiplier for spare-class tasks ("pushed into the
     /// background during periods of contention").
     pub spare_slowdown: f64,
@@ -198,6 +237,7 @@ impl ClusterConfig {
             total_tokens: tokens,
             max_guarantee: tokens,
             spare_enabled: false,
+            speculation: None,
             spare_slowdown: 1.25,
             control_period: SimDuration::from_secs(30),
             background: BackgroundConfig::none(),
@@ -233,6 +273,7 @@ impl ClusterConfig {
             total_tokens: 1_000,
             max_guarantee: 100,
             spare_enabled: true,
+            speculation: None,
             spare_slowdown: 1.25,
             control_period: SimDuration::from_mins(1),
             background: BackgroundConfig::production(),
@@ -258,6 +299,19 @@ impl ClusterConfig {
         }
         if self.control_period.is_zero() {
             return Err(E::ControlPeriod);
+        }
+        if let Some(sp) = &self.speculation {
+            if !sp.slowdown_threshold.is_finite() || sp.slowdown_threshold <= 1.0 {
+                return Err(E::Speculation(
+                    "slowdown_threshold must be finite and > 1.0 (NaN is rejected)",
+                ));
+            }
+            if sp.clone_budget == 0 {
+                return Err(E::Speculation("clone_budget must be >= 1"));
+            }
+            if sp.watch_period.is_zero() {
+                return Err(E::Speculation("watch_period must be positive"));
+            }
         }
         let b = &self.background;
         if b.enabled {
@@ -368,6 +422,19 @@ impl ClusterConfig {
                 ));
             }
         }
+        if let Some(sp) = &self.speculation {
+            // Clones race outside the winner job's guarantee, so the
+            // budget must fit in the headroom every job is promised to
+            // leave idle — otherwise a fully-guaranteed job could never
+            // clone and the admission ledger would price phantom tokens.
+            if sp.clone_budget > self.total_tokens - self.max_guarantee {
+                return Err(E::Inconsistent(
+                    "speculation clone_budget exceeds the spare headroom total_tokens - \
+                     max_guarantee, so clones could never be placed alongside a fully-guaranteed \
+                     job",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -393,6 +460,8 @@ pub enum InvalidClusterConfig {
     Topology(String),
     /// A failure-injection parameter is out of range.
     Failures(&'static str),
+    /// A speculative-execution parameter is out of range.
+    Speculation(&'static str),
     /// Two individually-valid sections contradict each other (e.g. the
     /// failure model's machine accounting vs. the topology's).
     Inconsistent(&'static str),
@@ -413,6 +482,7 @@ impl fmt::Display for InvalidClusterConfig {
             InvalidClusterConfig::Placement(what) => write!(f, "{what}"),
             InvalidClusterConfig::Topology(what) => write!(f, "topology {what}"),
             InvalidClusterConfig::Failures(what) => write!(f, "{what}"),
+            InvalidClusterConfig::Speculation(what) => write!(f, "speculation {what}"),
             InvalidClusterConfig::Inconsistent(what) => write!(f, "{what}"),
         }
     }
@@ -540,6 +610,57 @@ mod tests {
             c.validate(),
             Err(InvalidClusterConfig::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn speculation_parameters_validate() {
+        // A sane clone-on-slow config passes.
+        let mut c = ClusterConfig::production();
+        c.speculation = Some(SpeculationConfig::clone_on_slow(2.0, 10));
+        assert_eq!(c.validate(), Ok(()));
+
+        // Threshold at or below 1.0 would clone the median attempt.
+        let mut c = ClusterConfig::production();
+        c.speculation = Some(SpeculationConfig::clone_on_slow(1.0, 10));
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Speculation(_))
+        ));
+        let mut c = ClusterConfig::production();
+        c.speculation = Some(SpeculationConfig::clone_on_slow(f64::NAN, 10));
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Speculation(_))
+        ));
+
+        // A zero clone budget is speculation that can never speculate.
+        let mut c = ClusterConfig::production();
+        c.speculation = Some(SpeculationConfig::clone_on_slow(2.0, 0));
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Speculation(_))
+        ));
+
+        // The watcher must actually fire.
+        let mut c = ClusterConfig::production();
+        let mut sp = SpeculationConfig::clone_on_slow(2.0, 10);
+        sp.watch_period = SimDuration::from_secs(0);
+        c.speculation = Some(sp);
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Speculation(_))
+        ));
+
+        // Cross-field: the clone budget must fit in the headroom the
+        // guarantee cap leaves idle (total_tokens - max_guarantee).
+        let mut c = ClusterConfig::dedicated(10); // max_guarantee == total
+        c.speculation = Some(SpeculationConfig::clone_on_slow(2.0, 1));
+        assert!(matches!(
+            c.validate(),
+            Err(InvalidClusterConfig::Inconsistent(_))
+        ));
+        c.max_guarantee = 8; // headroom 2 >= budget 1
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

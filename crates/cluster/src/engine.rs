@@ -46,6 +46,7 @@ use crate::failure::{DefaultFailureModel, FailureModel};
 use crate::invariants;
 use crate::job::JobSpec;
 use crate::scheduler::{SchedulerPolicy, WeightedFair};
+use crate::speculation::{CloneOnSlow, SpeculationPolicy};
 use crate::topology::{ClusterTopology, LocalityFirst, PlacementPolicy};
 use crate::trace::RunTrace;
 use crate::workspace::{JobBuffers, SimWorkspace};
@@ -57,6 +58,40 @@ pub enum TokenClass {
     Guaranteed,
     /// Opportunistic spare capacity: evictable and slowed down.
     Spare,
+    /// A speculative clone racing a straggling sibling attempt on an
+    /// idle token (clone-on-slow). Runs at full speed, is never evicted
+    /// for capacity, and dies when any sibling attempt finishes first.
+    Clone,
+}
+
+/// The runtime multiplier a token class imposes: spare-class attempts
+/// run slowed by `spare_slowdown`; guaranteed attempts and speculative
+/// clones (which exist to *beat* a straggler) run at full speed.
+#[inline]
+pub(crate) fn class_multiplier(class: TokenClass, spare_slowdown: f64) -> f64 {
+    match class {
+        TokenClass::Guaranteed | TokenClass::Clone => 1.0,
+        TokenClass::Spare => spare_slowdown,
+    }
+}
+
+/// The single source of truth for per-attempt timing: queueing seconds
+/// scale by the background slowdown; execution seconds additionally
+/// scale by the token-class and locality multipliers. Shared by the
+/// start paths (with sampled bases) and the speculation watcher (with
+/// distribution means), so the straggler test and the engine can never
+/// disagree about what "expected occupancy" means.
+#[inline]
+pub(crate) fn attempt_timing(
+    base_queue: f64,
+    base_run: f64,
+    slowdown: f64,
+    class_mult: f64,
+    locality_mult: f64,
+) -> (f64, f64) {
+    let queue_secs = base_queue * slowdown;
+    let run_secs = base_run * slowdown * class_mult * locality_mult;
+    (queue_secs, run_secs)
 }
 
 /// Per-task lifecycle state.
@@ -190,6 +225,10 @@ pub(crate) enum Event {
         job: usize,
     },
     BackgroundTick,
+    /// Periodic straggler scan (only scheduled when a
+    /// [`SpeculationPolicy`](crate::speculation::SpeculationPolicy)
+    /// declares a watch period).
+    SpeculationTick,
     MachineFailure,
     RackFailure,
     DeadlineChange {
@@ -215,6 +254,10 @@ pub struct JobRun {
     pub(crate) wasted: f64,
     pub(crate) guaranteed_task_count: u64,
     pub(crate) spare_task_count: u64,
+    /// Speculative clone attempts launched (clone-on-slow).
+    pub(crate) clone_task_count: u64,
+    /// Completions won by a clone (the straggler lost the race).
+    pub(crate) clone_wins: u64,
     pub(crate) profile: ProfileBuilder,
     pub(crate) trace: RunTrace,
     /// Scratch [`JobStatus`] refreshed in place before each controller
@@ -402,6 +445,21 @@ impl EngineCore {
     ) -> usize {
         let idx = self.jobs.len();
         let graph = spec.graph.clone();
+        // Clone-on-slow sizes its straggler threshold from the
+        // per-stage distribution means; a spec whose stages have no
+        // finite mean (e.g. Pareto with alpha <= 1) cannot be watched.
+        if self.cfg.speculation.is_some() {
+            for s in graph.stage_ids() {
+                assert!(
+                    spec.stage_runtimes[s.index()].mean().is_some()
+                        && spec.stage_queues[s.index()].mean().is_some(),
+                    "speculation requires per-stage runtime/queue distributions with finite \
+                     means, but stage {} of job {:?} has none",
+                    s.index(),
+                    graph.name()
+                );
+            }
+        }
         let mut buf = self.spare_buffers.pop().unwrap_or_default();
         buf.reset_for(&graph);
         let JobBuffers {
@@ -428,6 +486,8 @@ impl EngineCore {
             wasted: 0.0,
             guaranteed_task_count: 0,
             spare_task_count: 0,
+            clone_task_count: 0,
+            clone_wins: 0,
             // With profiling off (the training hot path) the builder is
             // the allocation-free empty one; `record_task`/
             // `record_stage_window` are already gated on the same flag.
@@ -514,6 +574,42 @@ impl EngineCore {
         now: SimTime,
         slowdown: f64,
     ) {
+        debug_assert_eq!(self.jobs[j].task_state(task), TaskState::Ready);
+        self.launch_attempt(j, task, class, now, slowdown);
+    }
+
+    /// Launches a speculative clone of a *running* task of job `j` on
+    /// an idle token (clone-on-slow). The clone races its straggling
+    /// sibling; whichever attempt finishes first wins and the losers
+    /// are killed ([`task_done_mechanics`]'s kill-on-first-finish).
+    /// Returns `false` (and does nothing) if the task is not running —
+    /// it may have completed between the watcher's scan and this call.
+    ///
+    /// [`task_done_mechanics`]: crate::engine::Engine
+    pub fn start_clone(&mut self, j: usize, task: TaskId, now: SimTime, slowdown: f64) -> bool {
+        if !matches!(self.jobs[j].task_state(task), TaskState::Running { .. }) {
+            return false;
+        }
+        self.launch_attempt(j, task, TokenClass::Clone, now, slowdown);
+        true
+    }
+
+    /// The shared attempt-launch mechanics behind [`start_task`] and
+    /// [`start_clone`]: samples the attempt's timing, places it, bumps
+    /// the class counters, records the running entry and schedules the
+    /// completion event. RNG draw order (runtime, queue, placement) is
+    /// part of the bit-identical contract.
+    ///
+    /// [`start_task`]: EngineCore::start_task
+    /// [`start_clone`]: EngineCore::start_clone
+    fn launch_attempt(
+        &mut self,
+        j: usize,
+        task: TaskId,
+        class: TokenClass,
+        now: SimTime,
+        slowdown: f64,
+    ) {
         // Refresh the per-machine load scratch before borrowing the job
         // mutably: the placement policy sees every job's residents.
         if let Some(topo) = &self.topology {
@@ -528,7 +624,6 @@ impl EngineCore {
             }
         }
         let job = &mut self.jobs[j];
-        debug_assert_eq!(job.task_state(task), TaskState::Ready);
         let s = task.stage.index();
         let attempt = job.tasks.bump_attempts(task);
 
@@ -536,10 +631,7 @@ impl EngineCore {
         // over `StdRng`, the simulator's hottest call.
         let base_run = job.spec.stage_runtimes[s].sample_with(&mut job.rng_runtime);
         let base_queue = job.spec.stage_queues[s].sample_with(&mut job.rng_queue);
-        let class_mult = match class {
-            TokenClass::Guaranteed => 1.0,
-            TokenClass::Spare => self.cfg.spare_slowdown,
-        };
+        let class_mult = class_multiplier(class, self.cfg.spare_slowdown);
         // Machine placement. Under a topology the policy picks a host
         // and the multiplier *derives* from where the task landed
         // relative to its input replicas (machine class x locality);
@@ -563,12 +655,13 @@ impl EngineCore {
             }
             (None, None) => (None, 1.0),
         };
-        let queue_secs = base_queue * slowdown;
-        let run_secs = base_run * slowdown * class_mult * locality_mult;
+        let (queue_secs, run_secs) =
+            attempt_timing(base_queue, base_run, slowdown, class_mult, locality_mult);
 
         match class {
             TokenClass::Guaranteed => job.guaranteed_task_count += 1,
             TokenClass::Spare => job.spare_task_count += 1,
+            TokenClass::Clone => job.clone_task_count += 1,
         }
         job.set_task_state(task, TaskState::Running { attempt });
         job.running.push(RunningTask {
@@ -832,6 +925,7 @@ pub(crate) struct Engine {
     pub(crate) core: EngineCore,
     pub(crate) scheduler: Box<dyn SchedulerPolicy>,
     pub(crate) failure: Box<dyn FailureModel>,
+    pub(crate) speculation: Box<dyn SpeculationPolicy>,
 }
 
 impl Engine {
@@ -866,6 +960,11 @@ impl Engine {
             },
             scheduler: Box::new(WeightedFair),
             failure: Box::new(failure),
+            // Inert unless `cfg.speculation` is set: with no config the
+            // default policy declares no watch period, so no
+            // SpeculationTick is ever scheduled and the event stream is
+            // bit-identical to the pre-speculation engine.
+            speculation: Box::new(CloneOnSlow),
         }
     }
 
@@ -906,6 +1005,14 @@ impl Engine {
                 .queue
                 .schedule(SimTime::ZERO + tick, Event::BackgroundTick);
         }
+        // The speculation watcher only exists in the event stream when
+        // the policy asks for one (the default asks only when
+        // `cfg.speculation` is set), keeping the legacy stream intact.
+        if let Some(period) = self.speculation.watch_period(&self.core) {
+            self.core
+                .queue
+                .schedule(SimTime::ZERO + period, Event::SpeculationTick);
+        }
         self.arm_machine_failure(SimTime::ZERO);
         self.arm_rack_failure(SimTime::ZERO);
     }
@@ -927,6 +1034,10 @@ impl Engine {
     ///   slots live, so a merged pass — which sees every completion's
     ///   slot freed before placing the first replacement — can place
     ///   tasks differently than the interleaved per-event passes,
+    /// - no speculation is configured: kill-on-first-finish makes
+    ///   same-instant completions order-sensitive (the first sibling to
+    ///   complete kills the rest), and the watcher tick must interleave
+    ///   with completions exactly as the per-event reference does,
     /// - invariant checks are off (they observe the per-pass state),
     /// - the scheduler declares merged passes safe
     ///   ([`SchedulerPolicy::batchable`]),
@@ -947,6 +1058,7 @@ impl Engine {
             && !self.core.cfg.spare_enabled
             && !self.core.cfg.background.enabled
             && self.core.cfg.topology.is_none()
+            && self.core.cfg.speculation.is_none()
             && !self.core.invariants_enabled
             && self.scheduler.batchable();
         while let Some((now, event)) = self.core.queue.pop() {
@@ -1039,6 +1151,7 @@ impl Engine {
             Event::TaskDone { job, task, attempt } => self.on_task_done(job, task, attempt, now),
             Event::ControlTick { job } => self.on_control_tick(job, now, sink),
             Event::BackgroundTick => self.on_background_tick(now),
+            Event::SpeculationTick => self.on_speculation_tick(now),
             Event::MachineFailure => self.on_machine_failure(now),
             Event::RackFailure => self.on_rack_failure(now),
             Event::DeadlineChange { job, new_deadline } => {
@@ -1099,6 +1212,9 @@ impl Engine {
             }
             Event::BackgroundTick => {
                 observe!(self.core.observer, now, EntryKind::Event, "BackgroundTick");
+            }
+            Event::SpeculationTick => {
+                observe!(self.core.observer, now, EntryKind::Event, "SpeculationTick");
             }
             Event::MachineFailure => {
                 observe!(self.core.observer, now, EntryKind::Event, "MachineFailure");
@@ -1244,22 +1360,31 @@ impl Engine {
             .task_failure_prob
             .unwrap_or(self.core.jobs[j].spec.task_failure_prob);
 
+        let speculating = self.core.cfg.speculation.is_some();
         let pos = {
             let job = &self.core.jobs[j];
             // Stale completion (task was evicted/killed since scheduling)?
-            match job.task_state(task) {
-                TaskState::Running { attempt: a } if a == attempt => {}
-                _ => {
-                    observe!(
-                        self.core.observer,
-                        now,
-                        EntryKind::Task,
-                        "job {j}: stale TaskDone for s{}/{} attempt {attempt} ignored",
-                        task.stage.index(),
-                        task.index
-                    );
-                    return false;
-                }
+            // The task state holds the *newest* attempt; under
+            // speculation an older sibling attempt is still live as
+            // long as its running-list entry survives.
+            let live = match job.task_state(task) {
+                TaskState::Running { attempt: a } if a == attempt => true,
+                TaskState::Running { .. } if speculating => job
+                    .running
+                    .iter()
+                    .any(|r| r.task == task && r.attempt == attempt),
+                _ => false,
+            };
+            if !live {
+                observe!(
+                    self.core.observer,
+                    now,
+                    EntryKind::Task,
+                    "job {j}: stale TaskDone for s{}/{} attempt {attempt} ignored",
+                    task.stage.index(),
+                    task.index
+                );
+                return false;
             }
             // One scan both proves presence and locates the entry (the
             // reference scanned twice).
@@ -1292,8 +1417,26 @@ impl Engine {
             }
             if failed {
                 job.wasted += running.run_secs;
-                job.set_task_state(task, TaskState::Ready);
-                job.ready.push_back(task);
+                // A surviving sibling attempt keeps racing: no requeue,
+                // repoint the task state at the newest live sibling so
+                // its completion is not mistaken for stale. Without
+                // speculation there are never siblings.
+                let sibling = if speculating {
+                    job.running
+                        .iter()
+                        .filter(|r| r.task == task)
+                        .map(|r| r.attempt)
+                        .max()
+                } else {
+                    None
+                };
+                match sibling {
+                    Some(a) => job.set_task_state(task, TaskState::Running { attempt: a }),
+                    None => {
+                        job.set_task_state(task, TaskState::Ready);
+                        job.ready.push_back(task);
+                    }
+                }
                 stage_now_complete = false;
             } else {
                 job.work_done += running.run_secs;
@@ -1305,6 +1448,37 @@ impl Engine {
                 );
                 job.completed[task.stage.index()] += 1;
                 job.done_tasks += 1;
+                // Kill-on-first-finish: every sibling attempt of the
+                // winner dies, its partial work wasted. Like eviction
+                // (and unlike a task fault) this records no profile
+                // failure — losing a race is a scheduling outcome.
+                if speculating {
+                    if running.class == TokenClass::Clone {
+                        job.clone_wins += 1;
+                    }
+                    let mut killed: u32 = 0;
+                    let mut i = 0;
+                    while i < job.running.len() {
+                        if job.running[i].task == task {
+                            let victim = job.running.swap_remove(i);
+                            let elapsed = now.saturating_since(victim.started).as_secs_f64();
+                            job.wasted += elapsed.min(victim.run_secs);
+                            killed += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if killed > 0 {
+                        observe!(
+                            self.core.observer,
+                            now,
+                            EntryKind::Task,
+                            "job {j}: s{}/{} first finish killed {killed} sibling attempt(s)",
+                            task.stage.index(),
+                            task.index
+                        );
+                    }
+                }
                 if record_profile {
                     job.profile.record_stage_window(
                         task.stage,
@@ -1334,8 +1508,12 @@ impl Engine {
             }
         );
 
-        // Promote newly ready dependents.
-        if !matches!(self.core.jobs[j].task_state(task), TaskState::Ready) {
+        // Promote newly ready dependents. (On failure the attempt either
+        // requeued or left a sibling racing; neither can ready a
+        // dependent. Equivalent to the former `task_state != Ready`
+        // check in the sibling-free engine, and additionally correct
+        // when a failed attempt leaves the state `Running`.)
+        if !failed {
             let graph = self.core.jobs[j].spec.graph.clone();
             let deps = TaskDeps::new(&graph);
             let mut candidates = std::mem::take(&mut self.core.cand_scratch);
@@ -1380,6 +1558,23 @@ impl Engine {
                 .queue
                 .schedule(now + self.core.background.tick(), Event::BackgroundTick);
         }
+    }
+
+    /// One straggler scan: the speculation policy inspects running
+    /// attempts and may launch clones through
+    /// [`EngineCore::start_clone`]; the pass then re-arms while any job
+    /// is unfinished. A trailing scheduling pass keeps the post-event
+    /// consistency contract every other event upholds.
+    fn on_speculation_tick(&mut self, now: SimTime) {
+        self.speculation.watch(&mut self.core, now);
+        if self.core.jobs.iter().any(|j| !j.is_finished()) {
+            if let Some(period) = self.speculation.watch_period(&self.core) {
+                self.core
+                    .queue
+                    .schedule(now + period, Event::SpeculationTick);
+            }
+        }
+        self.scheduler.schedule(&mut self.core, now);
     }
 
     /// Asks the failure model for the next machine-failure arrival and
@@ -1479,6 +1674,115 @@ mod tests {
             engine.core.jobs[0].task_state(task),
             TaskState::Running { .. }
         ));
+    }
+
+    /// The shared timing helper must reproduce the engine's historical
+    /// inline formulas bit-for-bit: `queue = base_queue * slowdown` and
+    /// `run = base_run * slowdown * class_mult * locality_mult`, in
+    /// exactly that association order. Any reassociation (e.g. fusing
+    /// multiplications) would drift the training digest.
+    #[test]
+    fn attempt_timing_is_bit_identical_to_the_inline_derivation() {
+        let cases = [
+            (3.7, 42.123, 1.0, 1.0, 1.0),
+            (0.25, 17.5, 1.37, 1.25, 1.0),
+            (1e-9, 9e9, 2.5001, 1.4, 1.3),
+            (0.0, 123.456, 1.0101, 1.25, 0.97),
+            (5.5, 0.333, 3.3333333333333335, 1.0, 1.15),
+        ];
+        for (base_queue, base_run, slowdown, class_mult, locality_mult) in cases {
+            let (queue, run) =
+                attempt_timing(base_queue, base_run, slowdown, class_mult, locality_mult);
+            let ref_queue: f64 = base_queue * slowdown;
+            let ref_run: f64 = base_run * slowdown * class_mult * locality_mult;
+            assert_eq!(queue.to_bits(), ref_queue.to_bits());
+            assert_eq!(run.to_bits(), ref_run.to_bits());
+        }
+    }
+
+    #[test]
+    fn class_multiplier_slows_only_spare_attempts() {
+        assert_eq!(class_multiplier(TokenClass::Guaranteed, 1.4), 1.0);
+        assert_eq!(class_multiplier(TokenClass::Clone, 1.4), 1.0);
+        assert_eq!(class_multiplier(TokenClass::Spare, 1.4), 1.4);
+    }
+
+    #[test]
+    fn start_clone_races_and_first_finish_kills_siblings() {
+        use crate::config::SpeculationConfig;
+        let mut b = JobGraphBuilder::new("clone-test");
+        b.stage("map", 2);
+        let graph = Arc::new(b.build().unwrap());
+        let spec = JobSpec::uniform(graph, Constant(100.0), Constant(0.0), 0.0);
+        let mut cfg = ClusterConfig::dedicated(4);
+        cfg.max_guarantee = 2;
+        cfg.speculation = Some(SpeculationConfig::clone_on_slow(2.0, 2));
+        let mut engine = Engine::new(cfg, 1);
+        engine
+            .core
+            .add_job_at(Arc::new(spec), Box::new(FixedAllocation(2)), SimTime::ZERO);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None); // JobStart: both tasks running.
+
+        let task = engine.core.jobs[0].running[0].task;
+        let straggler_attempt = engine.core.jobs[0].running[0].attempt;
+        assert!(engine
+            .core
+            .start_clone(0, task, SimTime::from_secs(10), 1.0));
+        assert_eq!(engine.core.jobs[0].clone_task_count, 1);
+        assert_eq!(
+            engine.core.jobs[0].running_in_class(TokenClass::Clone),
+            1,
+            "clone occupies a Clone-class token"
+        );
+        // Two sibling attempts of the same task are now racing.
+        let siblings = engine.core.jobs[0]
+            .running
+            .iter()
+            .filter(|r| r.task == task)
+            .count();
+        assert_eq!(siblings, 2);
+
+        // The original (older) attempt finishes first: it must be
+        // accepted, and the clone must die with it.
+        assert!(engine.task_done_mechanics(0, task, straggler_attempt, SimTime::from_secs(110)));
+        assert!(matches!(
+            engine.core.jobs[0].task_state(task),
+            TaskState::Done { .. }
+        ));
+        assert_eq!(
+            engine.core.jobs[0]
+                .running
+                .iter()
+                .filter(|r| r.task == task)
+                .count(),
+            0,
+            "kill-on-first-finish leaves no sibling running"
+        );
+        assert_eq!(engine.core.jobs[0].clone_wins, 0);
+        assert!(
+            engine.core.jobs[0].wasted > 0.0,
+            "the losing clone's partial work is wasted"
+        );
+    }
+
+    #[test]
+    fn start_clone_refuses_non_running_tasks() {
+        let mut engine = one_job_engine(2);
+        engine.prime();
+        let (now, event) = engine.core.queue.pop().unwrap();
+        engine.step(now, event, None);
+        // Reduce tasks are still Pending behind the barrier.
+        let pending = jockey_jobgraph::task::TaskId::new(
+            engine.core.jobs[0].spec.graph.stage_ids().nth(1).unwrap(),
+            0,
+        );
+        assert_eq!(engine.core.jobs[0].task_state(pending), TaskState::Pending);
+        assert!(!engine
+            .core
+            .start_clone(0, pending, SimTime::from_secs(1), 1.0));
+        assert_eq!(engine.core.jobs[0].clone_task_count, 0);
     }
 
     #[test]

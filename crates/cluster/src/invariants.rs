@@ -14,14 +14,18 @@ use crate::engine::{EngineCore, TaskState, TokenClass};
 /// 1. **Event-time monotonicity** — dispatched event times never go
 ///    backwards.
 /// 2. **Token conservation** — per job, guaranteed-class tasks never
-///    exceed the guarantee, and globally `guaranteed + spare +
-///    background + idle = capacity` with `idle >= 0` for the spare
-///    class (guaranteed admission is bounded separately, so a
-///    guarantee above cluster size surfaces here too).
+///    exceed the guarantee and clone-class attempts never exceed the
+///    configured clone budget (nor exist at all with speculation off),
+///    and globally `guaranteed + spare + clone + background + idle =
+///    capacity` with `idle >= 0` for the spare class (guaranteed
+///    admission is bounded separately, so a guarantee above cluster
+///    size surfaces here too).
 /// 3. **Per-stage task accounting** — `pending + ready + running +
 ///    done == total` per stage, the `Done` count matches `completed`,
-///    the running list matches `Running` task states, and `done_tasks`
-///    equals the per-stage sum.
+///    the running list matches `Running` task states (1:1 without
+///    speculation; per distinct task with sibling attempts racing, and
+///    every entry — so no orphan clones — anchored to a live attempt),
+///    and `done_tasks` equals the per-stage sum.
 /// 4. **Monotone stage fractions** — completed counts never decrease
 ///    except through an explicit data-loss rollback (which lowers the
 ///    floor).
@@ -46,6 +50,7 @@ pub(crate) fn check(core: &mut EngineCore, now: SimTime) {
     let bg_demand = core.background.demand_tokens(now, total);
     let mut guar_running: u32 = 0;
     let mut spare_running: u32 = 0;
+    let mut clone_running: u32 = 0;
     for (j, job) in core.jobs.iter().enumerate() {
         let g = job.running_in_class(TokenClass::Guaranteed);
         if g > job.guarantee() {
@@ -61,8 +66,32 @@ pub(crate) fn check(core: &mut EngineCore, now: SimTime) {
         }
         guar_running += g;
         spare_running += job.running_in_class(TokenClass::Spare);
+        let c = job.running_in_class(TokenClass::Clone);
+        match &core.cfg.speculation {
+            Some(sp) if c > sp.clone_budget => violation(
+                core,
+                now,
+                "token conservation",
+                format!(
+                    "job {j} runs {c} clone attempts above the clone budget {}",
+                    sp.clone_budget
+                ),
+            ),
+            None if c > 0 => violation(
+                core,
+                now,
+                "token conservation",
+                format!("job {j} runs {c} clone attempts with speculation disabled"),
+            ),
+            _ => {}
+        }
+        clone_running += c;
     }
-    let spare_budget = (i64::from(total) - i64::from(bg_demand) - i64::from(guar_running)).max(0);
+    let spare_budget = (i64::from(total)
+        - i64::from(bg_demand)
+        - i64::from(guar_running)
+        - i64::from(clone_running))
+    .max(0);
     if i64::from(spare_running) > spare_budget {
         violation(
             core,
@@ -114,29 +143,56 @@ pub(crate) fn check(core: &mut EngineCore, now: SimTime) {
                 ),
             );
         }
-        if running_states != job.running().len() {
+        // Under speculation one task can hold several running-list
+        // entries (sibling attempts racing), but still exactly one
+        // `Running` task state; without it the two counts match 1:1.
+        let speculating = core.cfg.speculation.is_some();
+        let expected_running_states = if speculating {
+            job.running()
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| !job.running()[..*i].iter().any(|o| o.task == r.task))
+                .count()
+        } else {
+            job.running().len()
+        };
+        if running_states != expected_running_states {
             violation(
                 core,
                 now,
                 "per-stage task accounting",
                 format!(
-                    "job {j}: {running_states} Running task states but {} running-list entries",
+                    "job {j}: {running_states} Running task states but {} distinct running-list \
+                     tasks ({} entries)",
+                    expected_running_states,
                     job.running().len()
                 ),
             );
         }
         for r in job.running() {
+            // Every entry — clones included — must point at a task in a
+            // `Running` state whose attempt is held by some live
+            // sibling entry (an orphan clone fails here: its task has
+            // moved on to `Done`/`Ready` but the entry survived).
             match job.task_state(r.task) {
                 TaskState::Running { attempt } if attempt == r.attempt => {}
+                TaskState::Running { attempt }
+                    if speculating
+                        && job
+                            .running()
+                            .iter()
+                            .any(|o| o.task == r.task && o.attempt == attempt) => {}
                 other => violation(
                     core,
                     now,
                     "per-stage task accounting",
                     format!(
-                        "job {j}: running-list entry s{}/{} attempt {} has task state {other:?}",
+                        "job {j}: running-list entry s{}/{} attempt {} ({:?}) has task state \
+                         {other:?}",
                         r.task.stage.index(),
                         r.task.index,
-                        r.attempt
+                        r.attempt,
+                        r.class
                     ),
                 ),
             }
@@ -238,6 +294,30 @@ mod tests {
         let (mut sim, _, now) = stepped_sim(false);
         assert!(sim.engine.core.jobs[0].running_in_class(TokenClass::Guaranteed) > 0);
         sim.engine.core.jobs[0].guarantee = 0;
+        check(&mut sim.engine.core, now);
+    }
+
+    #[test]
+    #[should_panic(expected = "token conservation")]
+    fn invariant_fires_on_clone_without_speculation() {
+        let (mut sim, _, now) = stepped_sim(false);
+        // Forge a clone-class attempt in a run with speculation off: no
+        // legitimate path creates one.
+        sim.engine.core.jobs[0].running[0].class = TokenClass::Clone;
+        check(&mut sim.engine.core, now);
+    }
+
+    #[test]
+    #[should_panic(expected = "clone budget")]
+    fn invariant_fires_on_clone_budget_overrun() {
+        use crate::config::SpeculationConfig;
+        let (mut sim, _, now) = stepped_sim(false);
+        sim.engine.core.cfg.max_guarantee = 2;
+        sim.engine.core.cfg.speculation = Some(SpeculationConfig::clone_on_slow(2.0, 1));
+        // Two forged clones against a budget of one. Reclassifying
+        // existing guaranteed entries keeps every other account intact.
+        sim.engine.core.jobs[0].running[0].class = TokenClass::Clone;
+        sim.engine.core.jobs[0].running[1].class = TokenClass::Clone;
         check(&mut sim.engine.core, now);
     }
 

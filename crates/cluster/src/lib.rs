@@ -58,12 +58,15 @@ pub mod job;
 pub mod placement;
 pub mod scheduler;
 pub mod sim;
+pub mod speculation;
 pub mod topology;
 pub mod trace;
 pub mod workspace;
 
 pub use background::BackgroundModel;
-pub use config::{BackgroundConfig, ClusterConfig, FailureConfig, InvalidClusterConfig};
+pub use config::{
+    BackgroundConfig, ClusterConfig, FailureConfig, InvalidClusterConfig, SpeculationConfig,
+};
 pub use controller::{ControlDecision, FixedAllocation, JobController, JobStatus};
 pub use engine::{EngineCore, JobRun, RunningTask, TaskState, TaskTable, TokenClass};
 pub use failure::{DefaultFailureModel, FailureModel};
@@ -71,6 +74,7 @@ pub use job::JobSpec;
 pub use placement::PlacementConfig;
 pub use scheduler::{SchedulerPolicy, WeightedFair};
 pub use sim::{ClusterSim, JobResult, RunHooks};
+pub use speculation::{CloneOnSlow, NoSpeculation, SpeculationPolicy};
 pub use topology::{
     ClusterTopology, LocalityFirst, MachineClass, PlacementPolicy, RandomPlacement, TopologyConfig,
 };

@@ -29,7 +29,8 @@ pub trait SchedulerPolicy: Send {
     /// True if one merged pass after a batch of same-instant task
     /// completions is observably identical to one pass per completion,
     /// *provided* the engine's own batching gate holds (no spare
-    /// capacity, no background model, every running task Guaranteed).
+    /// capacity, no background model, no speculation, every running
+    /// task Guaranteed).
     /// The engine only drains completion batches (the dense-kernel fast
     /// path, see `DESIGN.md` §15) when this returns true; the default
     /// is `false` so custom policies — which may be stateful, draw RNG
@@ -123,19 +124,27 @@ impl SchedulerPolicy for WeightedFair {
             }
         }
 
-        // Phase 2: spare capacity accounting (both class totals in one
-        // scan of each running list).
+        // Phase 2: spare capacity accounting (all class totals in one
+        // scan of each running list). Clone-class attempts hold real
+        // tokens, so they shrink the spare budget; they are never
+        // demoted, upgraded, or evicted here — their lifetime is
+        // bounded by kill-on-first-finish.
         let mut guar_running: u32 = 0;
         let mut spare_running: u32 = 0;
+        let mut clone_running: u32 = 0;
         for job in &core.jobs {
             for r in &job.running {
                 match r.class {
                     TokenClass::Guaranteed => guar_running += 1,
                     TokenClass::Spare => spare_running += 1,
+                    TokenClass::Clone => clone_running += 1,
                 }
             }
         }
-        let spare_budget = i64::from(total) - i64::from(bg_demand) - i64::from(guar_running);
+        let spare_budget = i64::from(total)
+            - i64::from(bg_demand)
+            - i64::from(guar_running)
+            - i64::from(clone_running);
 
         if i64::from(spare_running) > spare_budget {
             // Evict newest spare tasks first until within budget.
@@ -183,11 +192,14 @@ impl SchedulerPolicy for WeightedFair {
 
         // Token conservation: foreground tasks plus the background's
         // demand can never exceed the slice (guaranteed starts are
-        // admission-bounded; spare starts are budgeted above).
+        // admission-bounded; spare starts are budgeted above). Like the
+        // guarantee, in-flight clones are not evicted when background
+        // demand rises after their launch, so they join the slack term.
         debug_assert!(
             {
                 let fg: u32 = core.jobs.iter().map(|j| j.running.len() as u32).sum();
-                i64::from(fg) + i64::from(bg_demand) <= i64::from(total) + i64::from(guar_running)
+                i64::from(fg) + i64::from(bg_demand)
+                    <= i64::from(total) + i64::from(guar_running) + i64::from(clone_running)
             },
             "token over-commit in scheduling pass"
         );

@@ -56,6 +56,10 @@ pub struct JobResult {
     pub guaranteed_task_count: u64,
     /// Tasks started on spare tokens.
     pub spare_task_count: u64,
+    /// Speculative clone attempts launched (clone-on-slow).
+    pub clone_task_count: u64,
+    /// Completions won by a clone (the straggling sibling lost).
+    pub clone_wins: u64,
     /// Recorded control/allocation time series.
     pub trace: RunTrace,
     /// The profile measured during this run (usable as training data).
@@ -145,7 +149,8 @@ impl ClusterSim {
     /// Enables or disables the dense-kernel completion batching
     /// (default on). When enabled — and the run qualifies: no spare
     /// capacity, no background model, no topology (live machine
-    /// placement must see slots free one completion at a time),
+    /// placement must see slots free one completion at a time), no
+    /// speculation (kill-on-first-finish is completion-order-sensitive),
     /// invariant checks off, a [`SchedulerPolicy`] that declares
     /// itself batchable, every running task Guaranteed-class — the run
     /// loop drains same-instant task completions as one batch and runs
@@ -185,6 +190,16 @@ impl ClusterSim {
     /// seeded from the root seed's `"machine-failures"` stream).
     pub fn set_failure_model(&mut self, failure: Box<dyn FailureModel>) {
         self.engine.failure = failure;
+    }
+
+    /// Replaces the speculation policy (default:
+    /// [`CloneOnSlow`](crate::speculation::CloneOnSlow), which is inert
+    /// unless [`ClusterConfig::speculation`] is set).
+    pub fn set_speculation_policy(
+        &mut self,
+        policy: Box<dyn crate::speculation::SpeculationPolicy>,
+    ) {
+        self.engine.speculation = policy;
     }
 
     /// Replaces the placement policy used when a
@@ -294,6 +309,8 @@ impl ClusterSim {
                 wasted,
                 guaranteed_task_count,
                 spare_task_count,
+                clone_task_count,
+                clone_wins,
                 profile,
                 trace,
                 status,
@@ -310,6 +327,8 @@ impl ClusterSim {
                 wasted_secs: wasted,
                 guaranteed_task_count,
                 spare_task_count,
+                clone_task_count,
+                clone_wins,
                 trace,
                 profile,
             });

@@ -86,6 +86,7 @@ proptest! {
         let cfg = ClusterConfig {
             placement: None,
             topology: None,
+            speculation: None,
             total_tokens: 40,
             max_guarantee: 8,
             spare_enabled: true,

@@ -77,6 +77,14 @@ pub struct TrainConfig {
     /// geometry the evaluation scenario runs on, so the model's
     /// percentiles absorb locality penalties and slow-machine classes.
     pub topology: Option<jockey_cluster::TopologyConfig>,
+    /// Optional speculative-execution (clone-on-slow) configuration for
+    /// the training simulations. `None` (the default) trains the legacy
+    /// `C(p, a)` surface bit-identically; `Some` trains one `C(p, a, s)`
+    /// surface — each allocation `a` simulates with `clone_budget` idle
+    /// tokens held aside for clones, so the learned completion times
+    /// reflect the cloning policy *and* the total reserved footprint
+    /// `a + clone_budget` the 2D controller prices (§4.3 extended).
+    pub speculation: Option<jockey_cluster::SpeculationConfig>,
 }
 
 impl Default for TrainConfig {
@@ -98,6 +106,7 @@ impl Default for TrainConfig {
             threads: None,
             sketch_capacity: None,
             topology: None,
+            speculation: None,
         }
     }
 }
@@ -116,6 +125,7 @@ impl TrainConfig {
             threads: None,
             sketch_capacity: None,
             topology: None,
+            speculation: None,
         }
     }
 
@@ -469,8 +479,9 @@ impl CpaModel {
     /// non-monotone fallback scan.
     ///
     /// The kernel models the flat dedicated training cluster only;
-    /// a config with a `topology` falls back to [`CpaModel::train`]
-    /// (which simulates the full placement model). Where [`train`]
+    /// a config with a `topology` or a `speculation` policy falls back
+    /// to [`CpaModel::train`] (which simulates the full placement and
+    /// clone-on-slow machinery). Where [`train`]
     /// parallelizes over the allocation grid, this path has already
     /// amortized the grid into single runs — so `threads` shards the
     /// *run* indices instead. Each run's variates are keyed by its run
@@ -490,7 +501,7 @@ impl CpaModel {
         seed: u64,
     ) -> Self {
         cfg.validate();
-        if cfg.topology.is_some() {
+        if cfg.topology.is_some() || cfg.speculation.is_some() {
             return Self::train(graph, profile, indicator, cfg, seed);
         }
         let seeds = SeedDeriver::new(seed).child("cpa-train-batched");
@@ -1113,6 +1124,16 @@ fn train_one_allocation(
         sim_cfg.control_period = cfg.sample_period;
         sim_cfg.max_sim_time = cfg.max_sim_time;
         sim_cfg.topology = cfg.topology.clone();
+        if let Some(sp) = &cfg.speculation {
+            // The clone budget rides on top of the allocation: training
+            // at `a` under speculation level `s` simulates exactly the
+            // `a + clone_budget(s)` token footprint the 2D controller
+            // reserves, with the extra tokens idle unless a straggler
+            // draws a clone onto them.
+            sim_cfg.total_tokens = allocation + sp.clone_budget;
+            sim_cfg.max_guarantee = allocation;
+            sim_cfg.speculation = Some(sp.clone());
+        }
         let mut sim =
             ClusterSim::with_workspace(sim_cfg, seeds.seed_indexed("run", run as u64), ws);
         sim.set_record_trace(false);
@@ -1399,6 +1420,63 @@ mod tests {
         let batched = CpaModel::train_batched(&graph, &profile, &ind, &cfg, 11);
         assert_eq!(reference.cells, batched.cells);
         assert_eq!(reference.table, batched.table);
+    }
+
+    /// A speculation config is likewise outside the dense kernel's
+    /// model (clone launches and kill-on-first-finish are per-event
+    /// mechanics); `train_batched` must fall back to the full `train`
+    /// path, bit for bit.
+    #[test]
+    fn train_batched_speculation_falls_back_to_train() {
+        let (graph, profile) = fixture();
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let mut cfg = TrainConfig::fast(vec![2, 4, 8]);
+        cfg.speculation = Some(jockey_cluster::SpeculationConfig::clone_on_slow(2.0, 2));
+        let reference = CpaModel::train(&graph, &profile, &ind, &cfg, 11);
+        let batched = CpaModel::train_batched(&graph, &profile, &ind, &cfg, 11);
+        assert_eq!(reference.cells, batched.cells);
+        assert_eq!(reference.table, batched.table);
+    }
+
+    /// A profile with a genuine straggler tail: most map attempts take
+    /// 10 s, a quarter take 240 s, so the empirical runtime dist has
+    /// mean 67.5 s and attempts drawing the tail cross any threshold
+    /// above ~1.5x well before they finish.
+    fn straggler_fixture() -> (Arc<JobGraph>, JobProfile) {
+        let mut b = JobGraphBuilder::new("train-straggle");
+        b.stage("map", 12);
+        let graph = Arc::new(b.build().unwrap());
+        let mut pb = jockey_jobgraph::profile::ProfileBuilder::new(&graph);
+        for i in 0..12 {
+            let rt = if i % 4 == 0 { 240.0 } else { 10.0 };
+            pb.record_task(jockey_jobgraph::StageId(0), 0.0, rt, false);
+        }
+        let profile = pb.finish(300.0, 4.0);
+        (graph, profile)
+    }
+
+    /// Training with a speculation config simulates a different engine
+    /// (idle clone headroom, clone-on-slow watcher) — on a job with a
+    /// straggler tail the trained C(p, a, s) surface must differ from
+    /// the legacy C(p, a) surface while staying a valid monotone model.
+    #[test]
+    fn speculation_training_produces_a_distinct_surface() {
+        let (graph, profile) = straggler_fixture();
+        let ind = IndicatorContext::new(ProgressIndicator::TotalWorkWithQ, &graph, &profile, None);
+        let cfg = TrainConfig::fast(vec![2, 4, 8]);
+        let mut sp_cfg = cfg.clone();
+        sp_cfg.speculation = Some(jockey_cluster::SpeculationConfig::clone_on_slow(1.5, 2));
+        let plain = CpaModel::train(&graph, &profile, &ind, &cfg, 42);
+        let spec = CpaModel::train(&graph, &profile, &ind, &sp_cfg, 42);
+        assert!(spec.sample_count() > 0);
+        // The surfaces come from different simulations (clone launches
+        // rewrite straggler completions), so at least one grid latency
+        // must differ.
+        assert!(
+            (2..=8).any(|a| spec.fresh_latency(a) != plain.fresh_latency(a)),
+            "speculation-trained surface is identical to the plain one"
+        );
+        assert!(spec.fresh_latency(2) >= spec.fresh_latency(8));
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub mod sketch;
 pub mod utility;
 
 pub use admission::{AdmissionController, AdmissionError, Reservation};
-pub use alloc::{AllocationPolicy, ArgminPolicy};
+pub use alloc::{
+    AllocationPolicy, ArgminPolicy, SpeculationLevel, SpeculativeArgmin, SpeculativeDecision,
+};
 pub use arbiter::{ArbitratedController, ArbitrationLayer, SharedArbiter};
 pub use conditioner::{
     ConditionStage, ConditionerPipeline, DeadZoneGate, HysteresisEwma, MinClamp, PipelineTrace,

@@ -148,6 +148,20 @@ pub struct PlaneStats {
     pub prior_hits: u64,
     /// Cold-start prior-library misses across registered stores.
     pub prior_misses: u64,
+    /// Jobs admitted through the 2D speculative path
+    /// ([`ControlPlane::try_add_job_speculative`]) with a non-zero
+    /// clone budget — i.e. admissions where speculation actually won
+    /// the (allocation, level) search.
+    pub speculative_admissions: u64,
+    /// Cumulative clone-budget tokens priced into reservations by
+    /// speculative admissions.
+    pub clone_tokens_reserved: u64,
+    /// Clone attempts launched by jobs reporting through
+    /// [`ControlPlane::record_speculation`].
+    pub clone_tasks_launched: u64,
+    /// Straggler races won by a clone, reported through
+    /// [`ControlPlane::record_speculation`].
+    pub clone_wins: u64,
 }
 
 /// The sharded multi-job control runtime.
@@ -191,6 +205,10 @@ pub struct ControlPlane {
     ticks: AtomicU64,
     refreshes: AtomicU64,
     over_committed_rounds: AtomicU64,
+    speculative_admissions: AtomicU64,
+    clone_tokens_reserved: AtomicU64,
+    clone_tasks_launched: AtomicU64,
+    clone_wins: AtomicU64,
     /// Lifecycle counters of the online model stores serving this
     /// plane's jobs, registered via
     /// [`ControlPlane::register_model_stats`] and summed into
@@ -226,6 +244,10 @@ impl ControlPlane {
             ticks: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             over_committed_rounds: AtomicU64::new(0),
+            speculative_admissions: AtomicU64::new(0),
+            clone_tokens_reserved: AtomicU64::new(0),
+            clone_tasks_launched: AtomicU64::new(0),
+            clone_wins: AtomicU64::new(0),
             model_stats: Mutex::new(Vec::new()),
         })
     }
@@ -290,6 +312,96 @@ impl ControlPlane {
             required,
         );
         Ok(self.admit_slot(slot, indicator, Some(name.to_string())))
+    }
+
+    /// Admits an SLO job through the 2D (allocation, speculation)
+    /// search: sizes each level's minimum deadline-meeting allocation
+    /// from its own `C(p, a, s)` surface, picks the level with the
+    /// smallest *total* token cost `a + clone_budget(s)` (ties go to
+    /// the lower level), and reserves the full total in the plane's
+    /// ledger — a clone token held for straggler races is priced
+    /// exactly like a guaranteed token. The job's ticks are served the
+    /// guarantee part `a`; the clone budget stays idle headroom the
+    /// cluster's clone-on-slow watcher can draw on.
+    ///
+    /// The chosen level is fixed for the job's lifetime (speculation is
+    /// a cluster-level engine configuration, not a per-tick actuator);
+    /// the per-tick allocation still floats with the fleet split, over
+    /// the chosen level's surface.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Infeasible`] when no level has a
+    /// deadline-meeting allocation, and the same capacity/duplicate
+    /// errors as [`ControlPlane::try_add_job`] — capacity is judged
+    /// against the chosen level's *total* cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn try_add_job_speculative(
+        self: &Arc<Self>,
+        name: &str,
+        levels: &[crate::alloc::SpeculationLevel],
+        indicator: IndicatorContext,
+        deadline: SimDuration,
+        slack: f64,
+    ) -> Result<(JobHandle, crate::alloc::SpeculativeDecision), AdmissionError> {
+        assert!(!levels.is_empty(), "need at least one speculation level");
+        let stage_count = indicator.stage_count();
+        let fresh = vec![0.0; stage_count];
+        let mut best: Option<(crate::alloc::SpeculativeDecision, u32)> = None;
+        for (s, level) in levels.iter().enumerate() {
+            let Some(a) = level.model.size_for_deadline(&fresh, deadline, slack) else {
+                continue;
+            };
+            let total = a + level.clone_budget;
+            // Ascending level order: a tie on total cost keeps the
+            // earlier (less speculative) level.
+            if best.is_none_or(|(d, _)| total < d.total_tokens) {
+                best = Some((
+                    crate::alloc::SpeculativeDecision {
+                        allocation: a,
+                        level: s,
+                        total_tokens: total,
+                    },
+                    level.clone_budget,
+                ));
+            }
+        }
+        let Some((decision, clone_budget)) = best else {
+            return Err(AdmissionError::Infeasible);
+        };
+        self.ledger
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .try_reserve(name, decision.total_tokens)?;
+        if clone_budget > 0 {
+            self.speculative_admissions.fetch_add(1, Ordering::Relaxed);
+            self.clone_tokens_reserved
+                .fetch_add(u64::from(clone_budget), Ordering::Relaxed);
+        }
+        let slot = self.new_slot(
+            levels[decision.level].model.clone(),
+            slack,
+            stage_count,
+            UtilityFunction::deadline(deadline),
+            decision.allocation,
+        );
+        Ok((
+            self.admit_slot(slot, indicator, Some(name.to_string())),
+            decision,
+        ))
+    }
+
+    /// Folds one finished job's speculation counters (clone attempts
+    /// launched, races won) into the plane's stats. The cluster engine
+    /// owns these counts — callers report them from the run's
+    /// `JobResult` when it completes.
+    pub fn record_speculation(&self, clones_launched: u64, clone_wins: u64) {
+        self.clone_tasks_launched
+            .fetch_add(clones_launched, Ordering::Relaxed);
+        self.clone_wins.fetch_add(clone_wins, Ordering::Relaxed);
     }
 
     fn new_slot(
@@ -397,6 +509,10 @@ impl ControlPlane {
             ticks: self.ticks.load(Ordering::Relaxed),
             refreshes: self.refreshes.load(Ordering::Relaxed),
             over_committed_rounds: self.over_committed_rounds.load(Ordering::Relaxed),
+            speculative_admissions: self.speculative_admissions.load(Ordering::Relaxed),
+            clone_tokens_reserved: self.clone_tokens_reserved.load(Ordering::Relaxed),
+            clone_tasks_launched: self.clone_tasks_launched.load(Ordering::Relaxed),
+            clone_wins: self.clone_wins.load(Ordering::Relaxed),
             ..PlaneStats::default()
         };
         for m in self
@@ -1153,6 +1269,111 @@ mod tests {
         let stats = plane.stats();
         assert!(stats.over_committed_rounds > 0, "{stats:?}");
         assert_eq!(stats.over_committed_rounds, stats.refreshes, "{stats:?}");
+    }
+
+    /// [`Toy`] with a straggler tail the speculative surface removes.
+    struct TailToy {
+        work: f64,
+        tail: f64,
+    }
+
+    impl CompletionModel for TailToy {
+        fn remaining_secs(&self, _fs: &[f64], progress: f64, allocation: u32) -> f64 {
+            self.tail * self.work * (1.0 - progress) / f64::from(allocation.max(1))
+        }
+        fn max_allocation(&self) -> u32 {
+            100
+        }
+    }
+
+    fn tail_levels(work: f64, tail: f64, clone_budget: u32) -> Vec<crate::alloc::SpeculationLevel> {
+        vec![
+            crate::alloc::SpeculationLevel {
+                label: "off".into(),
+                clone_budget: 0,
+                model: Arc::new(TailToy { work, tail }),
+            },
+            crate::alloc::SpeculationLevel {
+                label: "clone@2.0x".into(),
+                clone_budget,
+                model: Arc::new(TailToy { work, tail: 1.0 }),
+            },
+        ]
+    }
+
+    #[test]
+    fn speculative_admission_prices_the_clone_budget() {
+        let plane = ControlPlane::new(20);
+        // Tail doubles the plain surface: 36 000 s in 60 min needs 20
+        // plain tokens but only 10 + 2 with cloning.
+        let (h, d) = plane
+            .try_add_job_speculative(
+                "tailed",
+                &tail_levels(36_000.0, 2.0, 2),
+                toy_indicator(),
+                SimDuration::from_mins(60),
+                1.0,
+            )
+            .expect("fits with speculation");
+        assert_eq!(d.level, 1);
+        assert_eq!(d.allocation, 10);
+        assert_eq!(d.total_tokens, 12);
+        // The ledger holds the *total*: guarantee plus clone budget.
+        assert_eq!(plane.reserved(), 12);
+        let s = plane.stats();
+        assert_eq!(s.speculative_admissions, 1);
+        assert_eq!(s.clone_tokens_reserved, 2);
+        plane.record_speculation(7, 3);
+        let s = plane.stats();
+        assert_eq!(s.clone_tasks_launched, 7);
+        assert_eq!(s.clone_wins, 3);
+        drop(h);
+        assert_eq!(plane.reserved(), 0, "total reservation freed on drop");
+    }
+
+    #[test]
+    fn speculative_admission_falls_back_to_level_zero() {
+        // No tail: speculation is pure surcharge, level 0 must win and
+        // the speculative counters stay untouched.
+        let plane = ControlPlane::new(20);
+        let (_h, d) = plane
+            .try_add_job_speculative(
+                "plain",
+                &tail_levels(36_000.0, 1.0, 2),
+                toy_indicator(),
+                SimDuration::from_mins(60),
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(d.level, 0);
+        assert_eq!(d.total_tokens, d.allocation);
+        assert_eq!(plane.reserved(), d.allocation);
+        let s = plane.stats();
+        assert_eq!(s.speculative_admissions, 0);
+        assert_eq!(s.clone_tokens_reserved, 0);
+    }
+
+    #[test]
+    fn speculative_admission_rejects_on_total_cost() {
+        // The guarantee alone (10) fits a 11-token plane, but the
+        // total with the clone budget (12) does not: capacity is judged
+        // against what speculation actually holds.
+        let plane = ControlPlane::new(11);
+        match plane.try_add_job_speculative(
+            "tailed",
+            &tail_levels(36_000.0, 2.0, 2),
+            toy_indicator(),
+            SimDuration::from_mins(60),
+            1.0,
+        ) {
+            Err(AdmissionError::InsufficientCapacity {
+                required,
+                available,
+            }) => assert_eq!((required, available), (12, 11)),
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("expected capacity rejection"),
+        }
+        assert_eq!(plane.reserved(), 0);
     }
 
     #[test]

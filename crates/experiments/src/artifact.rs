@@ -217,9 +217,13 @@ pub fn train_cache_key(
     canon.push_str(&format!("horizon_ms={}\n", cfg.max_sim_time.as_millis()));
     // Only topology-trained models add a line, so keys for the flat
     // default stay byte-identical to caches written before topologies
-    // existed.
+    // existed. Speculation-trained `C(p, a, s)` surfaces likewise get
+    // their own keyspace without disturbing plain `C(p, a)` caches.
     if let Some(topo) = &cfg.topology {
         canon.push_str(&format!("topology={topo:?}\n"));
+    }
+    if let Some(sp) = &cfg.speculation {
+        canon.push_str(&format!("speculation={sp:?}\n"));
     }
     canon.push_str(&format!("seed={train_seed:016x}\n"));
     canon.push_str(&format!("job={job_name}\n"));

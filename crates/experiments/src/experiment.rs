@@ -85,7 +85,7 @@ pub trait Experiment: Sync {
 /// pre-pipeline `repro_all` produced outputs, so results remain
 /// byte-identical and console output keeps its familiar shape).
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 18] = [
+    static REGISTRY: [&dyn Experiment; 19] = [
         &figures::table1::Table1Experiment,
         &figures::fig1::Fig1Experiment,
         &figures::table2::Table2Experiment,
@@ -103,6 +103,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &figures::fig13::Fig13Experiment,
         &figures::ext::ExtExperiment,
         &figures::scenarios::ScenariosExperiment,
+        &figures::speculation::SpeculationExperiment,
         &figures::appendix::AppendixExperiment,
     ];
     &REGISTRY

@@ -20,6 +20,7 @@
 //! | [`fig13`] | hysteresis parameter sweep |
 //! | [`ext`] | §4.4/§5.6 extension controllers under adverse load |
 //! | [`scenarios`] | SLO attainment per topology scenario |
+//! | [`speculation`] | clone-on-slow speculation at equal token budget |
 //! | [`appendix`] | structural parallelism profiles (§3.3) |
 
 pub mod appendix;
@@ -37,6 +38,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scenarios;
+pub mod speculation;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -93,6 +93,7 @@ fn registry_covers_every_figure_module_exactly_once() {
         "fig13",
         "ext",
         "scenarios",
+        "speculation",
         "appendix",
     ];
     let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
@@ -365,14 +366,14 @@ fn unknown_experiment_is_an_error() {
 #[test]
 fn golden_smoke_digests_match() {
     // The committed golden digests gate the CI smoke run
-    // (`jockey-repro --only table2,fig1,scenarios --jobs 2 --digests`);
-    // this test keeps the committed file honest against the live
-    // tables.
+    // (`jockey-repro --only table2,fig1,scenarios,speculation --jobs 2
+    // --digests`); this test keeps the committed file honest against
+    // the live tables.
     let golden = include_str!("golden_smoke_digests.tsv");
     let env = Env::build(Scale::Smoke, 42);
     let store = ArtifactStore::new();
     let mut computed = BTreeMap::new();
-    for name in ["table2", "fig1", "scenarios"] {
+    for name in ["table2", "fig1", "scenarios", "speculation"] {
         let exp = jockey_experiments::experiment::find(name).unwrap();
         for emission in exp.run(&env, &store) {
             computed.insert(
@@ -393,6 +394,7 @@ fn golden_smoke_digests_match() {
     assert_eq!(
         computed, golden_map,
         "smoke digests drifted; regenerate crates/experiments/tests/golden_smoke_digests.tsv \
-         with: JOCKEY_SCALE=smoke JOCKEY_SEED=42 jockey-repro --only table2,fig1,scenarios --digests"
+         with: JOCKEY_SCALE=smoke JOCKEY_SEED=42 jockey-repro \
+         --only table2,fig1,scenarios,speculation --digests"
     );
 }

@@ -374,6 +374,13 @@ impl<D: Sample> Sample for Clamped<D> {
     fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
         self.inner.sample(rng).clamp(self.lo, self.hi)
     }
+
+    fn mean(&self) -> Option<f64> {
+        // The truncated mean has no closed form in general; the inner
+        // mean clamped into the support is a finite, same-scale
+        // estimate (exact when the clamp never binds).
+        self.inner.mean().map(|m| m.clamp(self.lo, self.hi))
+    }
 }
 
 /// Scales samples of an inner distribution by a constant factor.
@@ -548,7 +555,11 @@ impl Dist {
         }
     }
 
-    /// The distribution mean, if known in closed form.
+    /// The distribution mean, if known in closed form. `Clamped` is
+    /// the one estimated case: the truncated mean has no closed form,
+    /// so it reports the inner mean clamped into the support — finite
+    /// and on the right scale (exact when the clamp never binds),
+    /// which is what mean consumers like the speculation watcher need.
     pub fn mean(&self) -> Option<f64> {
         match self {
             Dist::Constant(d) => d.mean(),
@@ -566,7 +577,7 @@ impl Dist {
                 let b = second.mean()?;
                 Some(a * (1.0 - p_second) + b * p_second)
             }
-            Dist::Clamped { .. } => None,
+            Dist::Clamped { inner, lo, hi } => inner.mean().map(|m| m.clamp(*lo, *hi)),
             Dist::Scaled { inner, factor } => inner.mean().map(|m| m * factor),
             Dist::Custom(d) => d.mean(),
         }
@@ -816,6 +827,21 @@ mod tests {
     fn clamped_limits_range() {
         let d = Clamped::new(Pareto::new(1.0, 0.8), 0.0, 5.0);
         assert!(draw(&d, 5_000).iter().all(|&x| x <= 5.0));
+    }
+
+    #[test]
+    fn clamped_mean_is_the_inner_mean_clamped_into_the_support() {
+        // Exact when the clamp never binds on the mean...
+        let loose = Dist::clamped(Constant(3.0), 0.0, 10.0);
+        assert_eq!(loose.mean(), Some(3.0));
+        // ...pinned to the bound when it does...
+        let tight = Dist::clamped(Exponential::with_mean(40.0), 0.0, 5.0);
+        assert_eq!(tight.mean(), Some(5.0));
+        // ...and still None when the inner mean is unknown (here an
+        // infinite-mean Pareto), matching the generic combinator.
+        let unknown = Dist::clamped(Pareto::new(1.0, 0.8), 0.0, 5.0);
+        assert_eq!(unknown.mean(), None);
+        assert_eq!(Clamped::new(Constant(7.0), 0.0, 4.0).mean(), Some(4.0));
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //! scenario's topology so the controller's percentiles absorb the
 //! geometry it will actually run on.
 
-use jockey_cluster::{ClusterConfig, ClusterSim, JobController, TopologyConfig};
+use jockey_cluster::{
+    ClusterConfig, ClusterSim, JobController, JobSpec, SpeculationConfig, TopologyConfig,
+};
 use jockey_core::control::ControlParams;
 use jockey_core::cpa::TrainConfig;
 use jockey_core::policy::{JockeySetup, Policy};
 use jockey_core::progress::ProgressIndicator;
+use jockey_simrt::dist::{Dist, Pareto};
 use jockey_simrt::time::SimDuration;
 
 use crate::jobs::{self, JobTargets};
@@ -32,6 +35,16 @@ pub struct ScenarioDef {
     pub blurb: &'static str,
     /// Applies the scenario to a base configuration.
     pub build: fn(ClusterConfig) -> ClusterConfig,
+    /// Optional transformation of the probe job itself — for scenarios
+    /// whose phenomenon lives in the *workload* (e.g. heavy-tailed
+    /// service times) rather than the cluster. Applied before
+    /// profiling, so training sees the shaped job too.
+    pub shape: Option<fn(JobSpec) -> JobSpec>,
+    /// Whether the `scenarios` experiment sweeps this scenario. The
+    /// sweep's committed goldens predate workload-shaped scenarios, so
+    /// those opt out and are exercised by their own experiments (the
+    /// straggler scenario is swept by `speculation`).
+    pub in_sweep: bool,
 }
 
 /// The standard five-rack heterogeneous topology scenarios share:
@@ -50,6 +63,8 @@ pub const SCENARIOS: &[ScenarioDef] = &[
         title: "Baseline shared slice",
         blurb: "the unmodified flat-model experiment cluster",
         build: |cfg| cfg,
+        shape: None,
+        in_sweep: true,
     },
     ScenarioDef {
         name: "hetero-mix",
@@ -59,6 +74,8 @@ pub const SCENARIOS: &[ScenarioDef] = &[
             cfg.topology = Some(five_racks());
             cfg
         },
+        shape: None,
+        in_sweep: true,
     },
     ScenarioDef {
         name: "locality-stress",
@@ -72,6 +89,8 @@ pub const SCENARIOS: &[ScenarioDef] = &[
             cfg.topology = Some(topo);
             cfg
         },
+        shape: None,
+        in_sweep: true,
     },
     ScenarioDef {
         name: "rack-failure",
@@ -83,6 +102,8 @@ pub const SCENARIOS: &[ScenarioDef] = &[
             cfg.failures.replica_loss_prob = 0.5;
             cfg
         },
+        shape: None,
+        in_sweep: true,
     },
     ScenarioDef {
         name: "diurnal",
@@ -95,6 +116,8 @@ pub const SCENARIOS: &[ScenarioDef] = &[
             cfg.background.diurnal_phase = 0.75;
             cfg
         },
+        shape: None,
+        in_sweep: true,
     },
     ScenarioDef {
         name: "hostile",
@@ -109,8 +132,39 @@ pub const SCENARIOS: &[ScenarioDef] = &[
             cfg.background.diurnal_phase = 0.75;
             cfg
         },
+        shape: None,
+        in_sweep: true,
+    },
+    ScenarioDef {
+        name: "straggler",
+        title: "Heavy-tailed stragglers",
+        blurb: "Pareto-inflated task runtimes with clone-on-slow speculation",
+        build: |mut cfg| {
+            cfg.speculation = Some(SpeculationConfig::clone_on_slow(2.0, 12));
+            cfg
+        },
+        shape: Some(inflate_stragglers),
+        in_sweep: false,
     },
 ];
+
+/// Probability that any one task draws its runtime from the straggler
+/// tail instead of the stage's profiled body.
+const STRAGGLE_PROB: f64 = 0.08;
+
+/// The straggler scenario's workload shape: every stage's runtime
+/// becomes a mixture of its profiled body and a Pareto tail
+/// (`alpha = 1.5` keeps the mean finite — a requirement of the
+/// speculation machinery — while the far quantiles reach into the
+/// thousands of seconds).
+fn inflate_stragglers(mut spec: JobSpec) -> JobSpec {
+    spec.stage_runtimes = spec
+        .stage_runtimes
+        .into_iter()
+        .map(|body| Dist::mixture(body, Pareto::new(120.0, 1.5), STRAGGLE_PROB))
+        .collect();
+    spec
+}
 
 /// Looks a scenario up by name.
 pub fn find(name: &str) -> Option<&'static ScenarioDef> {
@@ -133,6 +187,7 @@ pub fn base_cluster() -> ClusterConfig {
     ClusterConfig {
         placement: None,
         topology: None,
+        speculation: None,
         total_tokens: 150,
         max_guarantee: 100,
         spare_enabled: true,
@@ -219,11 +274,18 @@ pub fn run_scenario(def: &ScenarioDef, seed: u64, runs: usize) -> ScenarioReport
     }
 
     let gen = jobs::generate(probe_targets(), seed);
-    let profile = training_profile(&gen.spec, 80, seed ^ 0xa5);
+    let spec = match def.shape {
+        Some(shape) => shape(gen.spec.clone()),
+        None => gen.spec.clone(),
+    };
+    let profile = training_profile(&spec, 80, seed ^ 0xa5);
     let mut train_cfg = TrainConfig::fast(vec![1, 5, 10, 20, 40, 100]);
     // Train on the same geometry the evaluation runs on, so the
-    // model's percentiles absorb locality penalties and slow classes.
+    // model's percentiles absorb locality penalties and slow classes —
+    // and under the same cloning policy, so `C(p, a, s)` prices the
+    // tail the speculative engine actually produces.
     train_cfg.topology = cluster.topology.clone();
+    train_cfg.speculation = cluster.speculation.clone();
     let setup = JockeySetup::train(
         gen.graph.clone(),
         profile,
@@ -245,7 +307,7 @@ pub fn run_scenario(def: &ScenarioDef, seed: u64, runs: usize) -> ScenarioReport
         let mut sim = ClusterSim::new(cluster.clone(), seed ^ ((run as u64) << 8) ^ 0x5ce0);
         let controller: Box<dyn JobController> =
             setup.controller(Policy::Jockey, deadline, ControlParams::default());
-        sim.add_job(gen.spec.clone(), controller);
+        sim.add_job(spec.clone(), controller);
         let result = sim.run_single();
         let duration = result.duration().unwrap_or_else(|| {
             cluster
@@ -286,6 +348,7 @@ mod tests {
             "rack-failure",
             "diurnal",
             "hostile",
+            "straggler",
         ] {
             assert!(names.contains(&required), "missing scenario {required}");
         }
@@ -337,5 +400,48 @@ mod tests {
         let r = run_scenario(def, 11, 1);
         assert_eq!(r.runs, 1);
         assert!(r.mean_rel_deadline > 0.0);
+    }
+
+    #[test]
+    fn straggler_scenario_shapes_the_workload_and_enables_cloning() {
+        let def = find("straggler").unwrap();
+        assert!(
+            !def.in_sweep,
+            "straggler must stay out of the scenarios sweep"
+        );
+        let cfg = (def.build)(base_cluster());
+        let sp = cfg.speculation.expect("straggler turns speculation on");
+        assert!(sp.slowdown_threshold > 1.0);
+        let gen = jobs::generate(probe_targets(), 3);
+        let shaped = (def.shape.unwrap())(gen.spec.clone());
+        for (i, (body, shaped)) in gen
+            .spec
+            .stage_runtimes
+            .iter()
+            .zip(&shaped.stage_runtimes)
+            .enumerate()
+        {
+            let (bm, sm) = (body.mean().unwrap(), shaped.mean().unwrap());
+            assert!(sm.is_finite(), "stage {i} shaped mean must stay finite");
+            assert!(sm > bm, "stage {i}: the Pareto tail must inflate the mean");
+        }
+    }
+
+    #[test]
+    fn straggler_scenario_runs_with_speculation_trained_model() {
+        let def = find("straggler").unwrap();
+        let r = run_scenario(def, 13, 1);
+        assert_eq!(r.runs, 1);
+        assert!(r.mean_rel_deadline > 0.0);
+    }
+
+    #[test]
+    fn exactly_the_workload_shaped_scenarios_opt_out_of_the_sweep() {
+        let out: Vec<_> = SCENARIOS
+            .iter()
+            .filter(|s| !s.in_sweep)
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(out, ["straggler"]);
     }
 }

@@ -107,6 +107,24 @@ pub enum ModelMode {
     Online,
 }
 
+/// Clone-budget speculation for service admissions. When set, every
+/// [`ModelMode::Exact`] submission is priced two ways — *serial* at
+/// the tail-inflated work with no surcharge, or *speculative* at the
+/// nominal work plus `clone_budget` reserved clone tokens — and
+/// admitted through [`ControlPlane::try_add_job_speculative`], which
+/// picks whichever total-token footprint is smaller. Jobs admitted at
+/// the speculative level execute at the nominal work (the clones cut
+/// the tail); serial admissions pay the tail.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeculationSpec {
+    /// Work multiplier a job pays when it runs without cloning — the
+    /// straggler tail the clone budget would cut. Must be ≥ 1.
+    pub tail_factor: f64,
+    /// Clone tokens the speculative level reserves on top of its
+    /// guarantee allocation.
+    pub clone_budget: u32,
+}
+
 /// A mid-run shift in the family's true work (a regime change the
 /// frozen model cannot see).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -156,6 +174,10 @@ pub struct ServiceConfig {
     /// Store parameters (drift window, retained runs) for
     /// [`ModelMode::Online`].
     pub online: OnlineConfig,
+    /// Optional clone-budget speculation: admissions price a serial
+    /// (tail-inflated) level against a clone level whose reservation
+    /// includes the clone budget. Requires [`ModelMode::Exact`].
+    pub speculation: Option<SpeculationSpec>,
 }
 
 impl Default for ServiceConfig {
@@ -175,6 +197,7 @@ impl Default for ServiceConfig {
             family_work: 3_600.0,
             drift: None,
             online: OnlineConfig::default(),
+            speculation: None,
         }
     }
 }
@@ -459,21 +482,69 @@ fn run_worker(
             let name = format!("w{worker}-j{seq}");
             seq += 1;
             stats.submitted += 1;
-            let model: Arc<dyn CompletionModel> = match family {
-                None => Arc::new(LinearWork {
-                    work: true_work,
-                    max_tokens,
-                }),
-                Some(f) => f.admission_model.clone(),
+            // With speculation, admission prices the serial
+            // (tail-inflated) level against the clone level and the
+            // job executes at whichever work the chosen level
+            // promised; otherwise the plain single-model path runs.
+            let admitted: Result<(JobHandle, f64), AdmissionError> = match (cfg.speculation, family)
+            {
+                (Some(sp), None) => {
+                    let levels = [
+                        jockey_core::alloc::SpeculationLevel {
+                            label: "serial".into(),
+                            clone_budget: 0,
+                            model: Arc::new(LinearWork {
+                                work: true_work * sp.tail_factor,
+                                max_tokens,
+                            }),
+                        },
+                        jockey_core::alloc::SpeculationLevel {
+                            label: "clone".into(),
+                            clone_budget: sp.clone_budget,
+                            model: Arc::new(LinearWork {
+                                work: true_work,
+                                max_tokens,
+                            }),
+                        },
+                    ];
+                    plane
+                        .try_add_job_speculative(
+                            &name,
+                            &levels,
+                            indicator.clone(),
+                            SimDuration::from_secs_f64(deadline),
+                            cfg.slack,
+                        )
+                        .map(|(handle, decision)| {
+                            let work = if decision.level == 1 {
+                                true_work
+                            } else {
+                                true_work * sp.tail_factor
+                            };
+                            (handle, work)
+                        })
+                }
+                _ => {
+                    let model: Arc<dyn CompletionModel> = match family {
+                        None => Arc::new(LinearWork {
+                            work: true_work,
+                            max_tokens,
+                        }),
+                        Some(f) => f.admission_model.clone(),
+                    };
+                    plane
+                        .try_add_job(
+                            &name,
+                            model,
+                            indicator.clone(),
+                            SimDuration::from_secs_f64(deadline),
+                            cfg.slack,
+                        )
+                        .map(|handle| (handle, true_work))
+                }
             };
-            match plane.try_add_job(
-                &name,
-                model,
-                indicator.clone(),
-                SimDuration::from_secs_f64(deadline),
-                cfg.slack,
-            ) {
-                Ok(handle) => {
+            match admitted {
+                Ok((handle, true_work)) => {
                     stats.admitted += 1;
                     // Under Online, remember what the model promised at
                     // admission (the drift detector's baseline) and
@@ -591,6 +662,19 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
 /// the adapted model is filed back at the end of the run, so the next
 /// recurrence of the service starts from what this one learned.
 pub fn run_service_with_priors(cfg: &ServiceConfig, priors: &PriorLibrary) -> ServiceReport {
+    if let Some(sp) = cfg.speculation {
+        assert_eq!(
+            cfg.model,
+            ModelMode::Exact,
+            "speculative admission prices exact per-job levels; learned family modes \
+             share one model and cannot express the serial/clone split"
+        );
+        assert!(
+            sp.tail_factor >= 1.0 && sp.tail_factor.is_finite(),
+            "tail_factor must be a finite multiplier >= 1, got {}",
+            sp.tail_factor
+        );
+    }
     let plane = ControlPlane::new(cfg.budget);
     // Cap the per-job sizing scan well above the largest requirement so
     // infeasible deadlines are detected without walking the budget.
@@ -672,6 +756,50 @@ pub fn run_service_with_priors(cfg: &ServiceConfig, priors: &PriorLibrary) -> Se
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn speculative_service_admits_and_drains_cleanly() {
+        let cfg = ServiceConfig {
+            budget: 48,
+            workers: 2,
+            concurrent_per_worker: 4,
+            submissions_per_worker: 40,
+            speculation: Some(SpeculationSpec {
+                tail_factor: 2.0,
+                clone_budget: 1,
+            }),
+            ..ServiceConfig::default()
+        };
+        let r = run_service(&cfg);
+        assert_eq!(r.submitted, 80);
+        assert!(r.completed > 0, "some jobs must run to completion");
+        // Leak checks: the ledger returns to empty even though the
+        // speculative reservations carried clone surcharges.
+        assert_eq!(r.final_reserved, 0);
+        assert_eq!(r.final_active, 0);
+        // With a cheap 1-token clone budget against a 2x serial tail,
+        // multi-token jobs admit speculatively; the counters prove the
+        // 2D admission path actually ran and priced clone tokens.
+        assert!(
+            r.stats.speculative_admissions > 0,
+            "no admission chose the clone level"
+        );
+        assert!(r.stats.clone_tokens_reserved >= r.stats.speculative_admissions);
+    }
+
+    #[test]
+    #[should_panic(expected = "speculative admission prices exact per-job levels")]
+    fn speculative_service_rejects_learned_modes() {
+        let cfg = ServiceConfig {
+            model: ModelMode::Frozen,
+            speculation: Some(SpeculationSpec {
+                tail_factor: 2.0,
+                clone_budget: 1,
+            }),
+            ..ServiceConfig::default()
+        };
+        run_service(&cfg);
+    }
 
     #[test]
     fn sampled_jobs_reserve_exactly_their_token_target() {

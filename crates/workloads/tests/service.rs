@@ -27,6 +27,7 @@ fn small_cfg() -> ServiceConfig {
         family_work: 3_600.0,
         drift: None,
         online: OnlineConfig::default(),
+        speculation: None,
     }
 }
 
@@ -61,6 +62,7 @@ fn drift_cfg(model: ModelMode) -> ServiceConfig {
             },
             retain_runs: 32,
         },
+        speculation: None,
     }
 }
 

@@ -43,15 +43,22 @@ cargo run --release -p jockey-core --example train_digest \
   || { echo "tier1: scenario registry missing hetero-mix" >&2; exit 1; }
 ./target/release/jockey-cli scenario hetero-mix --seed 7 --runs 1 \
   || { echo "tier1: scenario smoke run failed" >&2; exit 1; }
-# Golden-digest gate: run cheap figures (including the scenario
-# sweep) through the pipeline CLI at smoke scale (parallel) and diff
-# their emitted-TSV digests against the committed goldens, making
-# "byte-identical to baseline" a regression gate instead of a manual
-# check.
+# Speculation smoke: the heavy-tailed straggler scenario runs end to
+# end — workload shaping, C(p, a, s) training under clone-on-slow,
+# and a speculative controlled run.
+./target/release/jockey-cli scenario list | grep -q 'straggler' \
+  || { echo "tier1: scenario registry missing straggler" >&2; exit 1; }
+./target/release/jockey-cli scenario straggler --seed 7 --runs 1 \
+  || { echo "tier1: straggler scenario smoke run failed" >&2; exit 1; }
+# Golden-digest gate: run cheap figures (including the scenario and
+# speculation sweeps) through the pipeline CLI at smoke scale
+# (parallel) and diff their emitted-TSV digests against the committed
+# goldens, making "byte-identical to baseline" a regression gate
+# instead of a manual check.
 golden_out="$(mktemp -d)"
 trap 'rm -rf "$golden_out"' EXIT
 JOCKEY_SCALE=smoke JOCKEY_SEED=42 \
-  ./target/release/jockey-repro --only table2,fig1,scenarios --jobs 2 \
+  ./target/release/jockey-repro --only table2,fig1,scenarios,speculation --jobs 2 \
   --out "$golden_out" --digests \
   | grep '^digest' | cut -f2,3 \
   | diff <(grep -v '^#' crates/experiments/tests/golden_smoke_digests.tsv) - \

@@ -44,18 +44,22 @@ USAGE:
   jockey-cli run     <bundle.job> --deadline <minutes> [--policy jockey|no-adapt|no-sim|max]
                      [--seed S] [--util U]
   jockey-cli service [--budget N] [--workers N] [--concurrent N] [--jobs N] [--seed S]
-                     [--model exact|frozen|online]
+                     [--model exact|frozen|online] [--speculation CLONE_TOKENS]
+                     [--tail-factor F]
   jockey-cli scenario list
   jockey-cli scenario <name> [--seed S] [--runs N]
 
 A .job bundle is a key=value text file holding the compiled plan graph,
 the training profile, and (after `train`) the fitted C(p,a) model.
 `service` runs the open-loop SLO admission service driver against one
-long-lived control plane and prints the service-level numbers.
+long-lived control plane and prints the service-level numbers; with
+--speculation N, admissions price a clone level (N reserved clone
+tokens) against a serial level paying the --tail-factor straggler tail.
 `scenario` runs a named cluster scenario (heterogeneous machine
-classes, locality stress, correlated rack failures, diurnal load) end
-to end: it trains C(p,a) against the scenario's topology and executes
-Jockey-controlled runs in it.";
+classes, locality stress, correlated rack failures, diurnal load,
+heavy-tailed stragglers with clone-on-slow speculation) end to end: it
+trains C(p,a) against the scenario's topology and speculation policy
+and executes Jockey-controlled runs in it.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -435,6 +439,18 @@ fn cmd_service(flags: &Flags) -> Result<(), String> {
         "online" => jockey::workloads::service::ModelMode::Online,
         other => return Err(format!("unknown model mode {other:?}")),
     };
+    // --speculation N reserves N clone tokens per speculative
+    // admission, priced against a serial level that pays the
+    // straggler tail (--tail-factor, default 2x) without cloning.
+    let clone_budget: u32 = flags.get_parsed("speculation", 0)?;
+    let tail_factor: f64 = flags.get_parsed("tail-factor", 2.0)?;
+    let speculation = (clone_budget > 0).then_some(jockey::workloads::service::SpeculationSpec {
+        tail_factor,
+        clone_budget,
+    });
+    if speculation.is_some() && model != jockey::workloads::service::ModelMode::Exact {
+        return Err("--speculation requires --model exact".into());
+    }
 
     let cfg = jockey::workloads::service::ServiceConfig {
         budget,
@@ -443,6 +459,7 @@ fn cmd_service(flags: &Flags) -> Result<(), String> {
         submissions_per_worker: jobs.div_ceil(workers),
         seed,
         model,
+        speculation,
         ..jockey::workloads::service::ServiceConfig::default()
     };
     let r = jockey::workloads::service::run_service(&cfg);
@@ -484,6 +501,12 @@ fn cmd_service(flags: &Flags) -> Result<(), String> {
             r.stats.drift_detections,
             r.stats.prior_hits,
             r.stats.prior_misses
+        );
+    }
+    if speculation.is_some() {
+        println!(
+            "speculation: {} clone-level admissions, {} clone tokens reserved",
+            r.stats.speculative_admissions, r.stats.clone_tokens_reserved
         );
     }
     println!(
